@@ -1,0 +1,533 @@
+package benchmarks
+
+// Live-system reproductions: these benchmarks drive the real protocol stack
+// (TCP + GSI + GRAM/GASS + the agent) end to end on loopback. Each one
+// regenerates a figure or protocol guarantee of the paper; see DESIGN.md §3
+// and EXPERIMENTS.md.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"condorg/internal/condor"
+	"condorg/internal/condorg"
+	"condorg/internal/credmgr"
+	"condorg/internal/gass"
+	"condorg/internal/gcat"
+	"condorg/internal/glidein"
+	"condorg/internal/gram"
+	"condorg/internal/gridftp"
+	"condorg/internal/gsi"
+	"condorg/internal/lrm"
+	"condorg/internal/wire"
+)
+
+func mustTempDir(b *testing.B, prefix string) string {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "bench-"+prefix+"-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	return dir
+}
+
+// benchRuntime counts executions so exactly-once can be asserted.
+func benchRuntime(runs *atomic.Int64) *gram.FuncRuntime {
+	rt := gram.NewFuncRuntime()
+	rt.Register("noop", func(_ context.Context, _ []string, _ []byte, stdout, _ io.Writer, _ map[string]string) error {
+		runs.Add(1)
+		fmt.Fprintln(stdout, "ok")
+		return nil
+	})
+	rt.Register("linger", func(ctx context.Context, args []string, _ []byte, stdout, _ io.Writer, _ map[string]string) error {
+		runs.Add(1)
+		d, _ := time.ParseDuration(args[0])
+		select {
+		case <-time.After(d):
+			fmt.Fprintln(stdout, "ok")
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	return rt
+}
+
+func benchSite(b *testing.B, name string, runs *atomic.Int64, addr string, stateDir string) *gram.Site {
+	b.Helper()
+	cluster, err := lrm.NewCluster(lrm.Config{Name: name, Cpus: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if stateDir == "" {
+		stateDir = mustTempDir(b, "site-"+name)
+	}
+	site, err := gram.NewSite(gram.SiteConfig{
+		Name:           name,
+		Cluster:        cluster,
+		Runtime:        benchRuntime(runs),
+		StateDir:       stateDir,
+		GatekeeperAddr: addr,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(site.Close)
+	return site
+}
+
+func benchAgent(b *testing.B, site *gram.Site) *condorg.Agent {
+	b.Helper()
+	agent, err := condorg.NewAgent(condorg.AgentConfig{
+		StateDir:      mustTempDir(b, "agent"),
+		Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
+		ProbeInterval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(agent.Close)
+	return agent
+}
+
+func waitCompleted(b *testing.B, agent *condorg.Agent, id string) condorg.JobInfo {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	info, err := agent.Wait(ctx, id)
+	if err != nil || info.State != condorg.Completed {
+		b.Fatalf("job %s: %v err=%v (%s)", id, info.State, err, info.Error)
+	}
+	return info
+}
+
+// BenchmarkE1_Figure1_RemoteExecution — the complete Figure 1 path per
+// iteration: user submit → Scheduler (persistent queue) → GridManager →
+// two-phase GRAM submit → Gatekeeper → JobManager → GASS stage-in → local
+// scheduler → execution → status callbacks → completion. ns/op is the
+// full-path latency of one remote job.
+func BenchmarkE1_Figure1_RemoteExecution(b *testing.B) {
+	var runs atomic.Int64
+	site := benchSite(b, "e1", &runs, "", "")
+	agent := benchAgent(b, site)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := agent.Submit(condorg.SubmitRequest{
+			Owner: "bench", Executable: gram.Program("noop"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		waitCompleted(b, agent, id)
+	}
+	b.StopTimer()
+	if got := runs.Load(); got != int64(b.N) {
+		b.Fatalf("ran %d jobs for %d submissions (exactly-once violated)", got, b.N)
+	}
+	once("E1", func() {
+		fmt.Println("\n=== E1 (Figure 1): full remote-execution path on the live protocol stack ===")
+		fmt.Println("submit -> persistent queue -> GridManager -> 2PC GRAM -> Gatekeeper ->")
+		fmt.Println("JobManager -> GASS stage-in -> LRM -> execute -> callbacks -> done")
+	})
+}
+
+// BenchmarkE2_Figure2_GlideIn — the Figure 2 path per iteration: a job in
+// the personal pool is matchmade onto a glided-in Startd, its Shadow serves
+// redirected I/O, the Starter reports completion. The pool (collector,
+// negotiator, one pilot glided in through real GRAM+GridFTP) is set up once.
+func BenchmarkE2_Figure2_GlideIn(b *testing.B) {
+	coll, err := condor.NewCollector(condor.CollectorOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { coll.Close() })
+	jobRT := condor.NewRuntime()
+	jobRT.Register("work", func(_ context.Context, jc *condor.JobContext) error {
+		// One redirected system call per job: the Figure 2 I/O path.
+		if err := jc.IO.WriteFile("out/"+jc.Args[0], []byte("result")); err != nil {
+			return err
+		}
+		fmt.Fprintln(jc.Stdout, "done")
+		return nil
+	})
+	repo, err := gridftp.NewServer(mustTempDir(b, "repo"), gridftp.ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { repo.Close() })
+	ftp := gridftp.NewClient(nil, nil, 2)
+	ftp.Put(repo.Addr(), glidein.StartdBlob, []byte("payload"))
+	ftp.Close()
+
+	var runs atomic.Int64
+	cluster, _ := lrm.NewCluster(lrm.Config{Name: "e2", Cpus: 2})
+	siteRT := benchRuntime(&runs)
+	glidein.InstallBootstrap(siteRT, jobRT, nil, nil, nil)
+	site, err := gram.NewSite(gram.SiteConfig{
+		Name: "e2", Cluster: cluster, Runtime: siteRT, StateDir: mustTempDir(b, "e2site"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(site.Close)
+
+	factory := glidein.NewFactory(glidein.FactoryConfig{
+		CollectorAddr:     coll.Addr(),
+		RepoAddr:          repo.Addr(),
+		Lease:             time.Hour,
+		IdleTimeout:       time.Hour,
+		AdvertiseInterval: 10 * time.Millisecond,
+	})
+	b.Cleanup(factory.Close)
+	if _, err := factory.SubmitPilot(site.GatekeeperAddr(), "e2"); err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for coll.Len() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if coll.Len() < 1 {
+		b.Fatal("glidein never joined the pool")
+	}
+	schedd, err := condor.NewSchedd(condor.ScheddConfig{Name: "bench", SpoolDir: mustTempDir(b, "spool")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(schedd.Close)
+	neg := condor.NewNegotiator(coll.Addr(), nil, nil, schedd)
+	b.Cleanup(neg.Stop)
+	neg.Start(5 * time.Millisecond)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := schedd.Submit(condor.JobAd("bench", "work", fmt.Sprint(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			j, _ := schedd.Job(id)
+			if j.State == condor.PoolCompleted {
+				break
+			}
+			if j.State.Terminal() || time.Now().After(deadline) {
+				b.Fatalf("pool job %s: %v err=%q", id, j.State, j.Err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	b.StopTimer()
+	once("E2", func() {
+		fmt.Println("\n=== E2 (Figure 2): GlideIn execution path ===")
+		fmt.Println("pilot via GRAM -> GridFTP binary fetch -> Startd joins personal pool ->")
+		fmt.Println("matchmaking -> Shadow remote I/O -> Starter completion report")
+	})
+}
+
+// BenchmarkE3_FaultTolerance — §4.2's four failure types, each as a
+// sub-benchmark measuring time from failure injection to verified job
+// completion with exactly-once semantics.
+func BenchmarkE3_FaultTolerance(b *testing.B) {
+	type scenario struct {
+		name   string
+		inject func(b *testing.B, site *gram.Site, agent *condorg.Agent, id string) (*gram.Site, *condorg.Agent)
+	}
+	var runsShared atomic.Int64
+	scenarios := []scenario{
+		{"jobmanager-crash", func(b *testing.B, site *gram.Site, agent *condorg.Agent, id string) (*gram.Site, *condorg.Agent) {
+			info, _ := agent.Status(id)
+			if err := site.CrashJobManager(info.Contact.JobID); err != nil {
+				b.Fatal(err)
+			}
+			return site, agent
+		}},
+		{"gatekeeper-machine-crash", func(b *testing.B, site *gram.Site, agent *condorg.Agent, id string) (*gram.Site, *condorg.Agent) {
+			site.CrashGatekeeperMachine()
+			time.Sleep(80 * time.Millisecond)
+			if err := site.RestartGatekeeperMachine(); err != nil {
+				b.Fatal(err)
+			}
+			return site, agent
+		}},
+		{"network-partition", func(b *testing.B, site *gram.Site, agent *condorg.Agent, id string) (*gram.Site, *condorg.Agent) {
+			site.Partition()
+			time.Sleep(80 * time.Millisecond)
+			site.Heal()
+			return site, agent
+		}},
+		{"submit-machine-crash", func(b *testing.B, site *gram.Site, agent *condorg.Agent, id string) (*gram.Site, *condorg.Agent) {
+			stateDir := agentStateDirs[agent]
+			agent.Close()
+			a2, err := condorg.NewAgent(condorg.AgentConfig{
+				StateDir:      stateDir,
+				Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
+				ProbeInterval: 30 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(a2.Close)
+			agentStateDirs[a2] = stateDir
+			return site, a2
+		}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		b.Run(sc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				runsShared.Store(0)
+				site := benchSite(b, "e3", &runsShared, "", "")
+				stateDir := mustTempDir(b, "e3agent")
+				agent, err := condorg.NewAgent(condorg.AgentConfig{
+					StateDir:      stateDir,
+					Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
+					ProbeInterval: 30 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(agent.Close)
+				agentStateDirs[agent] = stateDir
+				id, err := agent.Submit(condorg.SubmitRequest{
+					Owner: "bench", Executable: gram.Program("linger"), Args: []string{"250ms"},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Wait until running before injecting the failure.
+				for {
+					info, _ := agent.Status(id)
+					if info.State == condorg.Running {
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				b.StartTimer()
+				site, agent = sc.inject(b, site, agent, id)
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				info, err := agent.Wait(ctx, id)
+				cancel()
+				if err != nil || info.State != condorg.Completed {
+					b.Fatalf("%s: %v err=%v (%q)", sc.name, info.State, err, info.Error)
+				}
+				b.StopTimer()
+				if got := runsShared.Load(); got != 1 {
+					b.Fatalf("%s: job ran %d times, want exactly once", sc.name, got)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+	once("E3", func() {
+		fmt.Println("\n=== E3 (§4.2): all four failure types recovered with exactly-once execution ===")
+	})
+}
+
+// agentStateDirs lets the submit-machine-crash scenario find the state dir
+// to recover from.
+var agentStateDirs = map[*condorg.Agent]string{}
+
+// BenchmarkE4_TwoPhaseCommit — §3.2: exactly-once submission under heavy
+// message loss. Per iteration one job is submitted through a Gatekeeper
+// that drops 30% of requests and 30% of responses; sequence-number retries
+// plus the reply cache keep execution exactly-once.
+func BenchmarkE4_TwoPhaseCommit(b *testing.B) {
+	var runs atomic.Int64
+	faults := &wire.Faults{}
+	cluster, _ := lrm.NewCluster(lrm.Config{Name: "e4", Cpus: 8})
+	site, err := gram.NewSite(gram.SiteConfig{
+		Name:             "e4",
+		Cluster:          cluster,
+		Runtime:          benchRuntime(&runs),
+		StateDir:         mustTempDir(b, "e4"),
+		GatekeeperFaults: faults,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(site.Close)
+	drop := int64(0)
+	faults.Set(
+		func(string) bool { return atomic.AddInt64(&drop, 1)%10 < 3 },
+		func(string) bool { return atomic.AddInt64(&drop, 1)%10 < 3 },
+	)
+	client := gram.NewClient(nil, nil)
+	client.SetTimeouts(80*time.Millisecond, 20)
+	b.Cleanup(client.Close)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		contact, err := client.Submit(site.GatekeeperAddr(), gram.JobSpec{
+			Executable: string(gram.Program("noop")),
+		}, gram.SubmitOptions{SubmissionID: gram.NewSubmissionID()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := client.Commit(contact); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			st, err := client.Status(contact)
+			if err == nil && st.State == gram.StateDone {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("job never completed under loss")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	b.StopTimer()
+	if got := runs.Load(); got != int64(b.N) {
+		b.Fatalf("%d executions for %d submissions under 30%% loss", got, b.N)
+	}
+	b.ReportMetric(0, "duplicate-executions")
+	once("E4", func() {
+		fmt.Printf("\n=== E4 (§3.2): two-phase commit under 30%%/30%% request/response loss ===\n")
+		fmt.Printf("submissions=%d executions=%d duplicates=0\n", b.N, runs.Load())
+	})
+}
+
+// BenchmarkE5_Credentials — §3.1/§4.3 credential machinery: proxy creation,
+// chain verification, auth-token round-trip, delegation, and the full
+// MyProxy renewal RPC.
+func BenchmarkE5_Credentials(b *testing.B) {
+	now := time.Now()
+	ca, err := gsi.NewCA("/O=Grid/CN=CA", now, 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	user, _ := ca.IssueUser("/O=Grid/CN=bench", now, 12*time.Hour)
+	proxy, _ := gsi.NewProxy(user, now, time.Hour)
+
+	b.Run("new-proxy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gsi.NewProxy(user, now, time.Hour); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("verify-chain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gsi.VerifyChain(proxy.Chain, ca.Certificate(), now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("auth-token-roundtrip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tok, err := gsi.NewAuthToken(proxy, "bench", now)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tok.Verify(ca.Certificate(), "bench", now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("myproxy-renewal", func(b *testing.B) {
+		srv, err := credmgr.NewMyProxyServer(credmgr.MyProxyOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		mc := credmgr.NewMyProxyClient(srv.Addr(), nil, nil)
+		defer mc.Close()
+		long, _ := gsi.NewProxy(user, now, 10*time.Hour)
+		if err := mc.Store("bench", "pw", long); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mc.Get("bench", "pw", time.Hour); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10_GCat — §6.3: G-Cat end-to-end throughput shipping a growing
+// output file to MSS through the local scratch buffer, and the latency for
+// a user to see fresh partial output.
+func BenchmarkE10_GCat(b *testing.B) {
+	b.Run("ship-throughput", func(b *testing.B) {
+		mss, err := gcat.NewMSS(gcat.MSSOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer mss.Close()
+		dir := mustTempDir(b, "gcat")
+		src := filepath.Join(dir, "out")
+		os.WriteFile(src, nil, 0o600)
+		g, err := gcat.NewGCat(gcat.GCatConfig{
+			SourcePath: src, MSSAddr: mss.Addr(), RemoteName: "out",
+			ChunkSize: 16 << 10, Poll: time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Start()
+		defer g.Stop(10 * time.Second)
+		payload := []byte(strings.Repeat("SCF cycle data line\n", 512)) // ~10 KiB
+		f, _ := os.OpenFile(src, os.O_WRONLY|os.O_APPEND, 0)
+		defer f.Close()
+		b.SetBytes(int64(len(payload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Write(payload)
+			want := int64(len(payload)) * int64(i+1)
+			for {
+				_, shipped := g.Progress()
+				if shipped >= want {
+					break
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	})
+	b.Run("partial-view-read", func(b *testing.B) {
+		mss, _ := gcat.NewMSS(gcat.MSSOptions{})
+		defer mss.Close()
+		c := gcat.NewMSSClient(mss.Addr(), nil, nil)
+		defer c.Close()
+		for i := 0; i < 64; i++ {
+			c.PutChunk("f", i, []byte(strings.Repeat("x", 4096)))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Read("f"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Sanity reference: the raw GASS streaming path the JobManager uses.
+func BenchmarkGASSAppendThroughput(b *testing.B) {
+	srv, err := gass.NewServer(mustTempDir(b, "gass"), gass.ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c := gass.NewClient(nil, nil)
+	defer c.Close()
+	u := srv.URLFor("stream")
+	payload := []byte(strings.Repeat("x", 16<<10))
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Append(u, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Command condorg is the user-facing Condor-G tool: `condorg serve` runs
+// the personal computation-management agent, and the remaining subcommands
+// (submit, q, status, wait, rm, hold, release, log, stdout) talk to a
+// running agent — the §4.1 "API and command line tools that allow the user
+// to perform job management operations" with the look and feel of a local
+// resource manager.
+//
+// Usage:
+//
+//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir]
+//	condorg submit -agent 127.0.0.1:7100 [-owner u] [-site addr] program [args...]
+//	condorg q      -agent 127.0.0.1:7100
+//	condorg status -agent 127.0.0.1:7100 <job-id>
+//	condorg wait   -agent 127.0.0.1:7100 <job-id>
+//	condorg rm     -agent 127.0.0.1:7100 <job-id>
+//	condorg hold   -agent 127.0.0.1:7100 <job-id> [reason]
+//	condorg release -agent 127.0.0.1:7100 <job-id>
+//	condorg log    -agent 127.0.0.1:7100 <job-id>
+//	condorg stdout -agent 127.0.0.1:7100 <job-id>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"condorg/internal/broker"
+	"condorg/internal/condorg"
+	"condorg/internal/mds"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	switch cmd {
+	case "serve":
+		serve(args)
+	case "submit":
+		submit(args)
+	case "sites":
+		listSites(args)
+	case "q", "status", "wait", "rm", "hold", "release", "log", "stdout":
+		jobOp(cmd, args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: condorg <serve|submit|q|status|wait|rm|hold|release|log|stdout|sites> [flags]")
+	os.Exit(2)
+}
+
+// listSites queries an MDS directory for advertised resources — what the
+// personal broker sees.
+func listSites(args []string) {
+	fs := flag.NewFlagSet("sites", flag.ExitOnError)
+	mdsAddr := fs.String("mds", "", "MDS directory address")
+	constraint := fs.String("constraint", "", "ClassAd constraint expression")
+	fs.Parse(args)
+	if *mdsAddr == "" {
+		log.Fatal("condorg sites: need -mds")
+	}
+	c := mds.NewClient(*mdsAddr, nil, nil)
+	defer c.Close()
+	ads, err := c.Query(*constraint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %-22s %6s %6s %6s %8s %-10s\n",
+		"NAME", "GATEKEEPER", "CPUS", "FREE", "QUEUE", "COST", "POLICY")
+	for _, ad := range ads {
+		fmt.Printf("%-12s %-22s %6d %6d %6d %8.2f %-10s\n",
+			ad.EvalString("Name", "?"),
+			ad.EvalString("GatekeeperAddr", "?"),
+			ad.EvalInt("Cpus", 0),
+			ad.EvalInt("FreeCpus", 0),
+			ad.EvalInt("QueueDepth", 0),
+			ad.EvalReal("Cost", 0),
+			ad.EvalString("Policy", "?"))
+	}
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "control endpoint address")
+	sites := fs.String("sites", "", "comma-separated gatekeeper addresses (round-robin)")
+	mdsAddr := fs.String("mds", "", "MDS directory for brokered site selection")
+	state := fs.String("state", "", "agent state directory (default: temp)")
+	fs.Parse(args)
+
+	var selector condorg.Selector
+	switch {
+	case *mdsAddr != "":
+		b, err := broker.NewMDSBroker(*mdsAddr, "", "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer b.Close()
+		selector = b
+	case *sites != "":
+		selector = &condorg.RoundRobinSelector{Sites: strings.Split(*sites, ",")}
+	default:
+		log.Fatal("condorg serve: need -sites or -mds")
+	}
+
+	stateDir := *state
+	if stateDir == "" {
+		var err error
+		stateDir, err = os.MkdirTemp("", "condorg-agent-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	agent, err := condorg.NewAgent(condorg.AgentConfig{
+		StateDir: stateDir,
+		Selector: selector,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+	ctl, err := condorg.NewControlServerAddr(agent, *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctl.Close()
+	fmt.Printf("condorg agent: control endpoint %s (state %s)\n", ctl.Addr(), stateDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("condorg agent: shutting down")
+}
+
+func client(fs *flag.FlagSet, args []string) (*condorg.ControlClient, []string) {
+	agent := fs.String("agent", "127.0.0.1:7100", "agent control address")
+	owner := fs.String("owner", "user", "submitting user")
+	site := fs.String("site", "", "pin to one gatekeeper address")
+	fs.Parse(args)
+	cli := condorg.NewControlClient(*agent)
+	rest := fs.Args()
+	// Stash flag values for submit through package-level vars.
+	submitOwner, submitSite = *owner, *site
+	return cli, rest
+}
+
+var submitOwner, submitSite string
+
+func submit(args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	cli, rest := client(fs, args)
+	defer cli.Close()
+	if len(rest) < 1 {
+		log.Fatal("condorg submit: need a program name")
+	}
+	id, err := cli.Submit(condorg.CtlSubmit{
+		Owner:   submitOwner,
+		Program: rest[0],
+		Args:    rest[1:],
+		Site:    submitSite,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(id)
+}
+
+func jobOp(cmd string, args []string) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cli, rest := client(fs, args)
+	defer cli.Close()
+	switch cmd {
+	case "q":
+		jobs, err := cli.Queue()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %-10s %-10s %-22s %s\n", "ID", "OWNER", "STATE", "SITE", "DETAIL")
+		for _, j := range jobs {
+			detail := j.Error
+			if j.State == condorg.Held {
+				detail = j.HoldReason
+			}
+			fmt.Printf("%-8s %-10s %-10s %-22s %s\n", j.ID, j.Owner, j.State, j.Site, detail)
+		}
+		return
+	}
+	if len(rest) < 1 {
+		log.Fatalf("condorg %s: need a job id", cmd)
+	}
+	id := rest[0]
+	switch cmd {
+	case "status":
+		info, err := cli.Status(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %s (site %s, resubmits %d)\n", info.ID, info.State, info.Site, info.Resubmits)
+		if info.Error != "" {
+			fmt.Printf("  error: %s\n", info.Error)
+		}
+	case "wait":
+		info, err := cli.Wait(id, time.Hour)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %s\n", info.ID, info.State)
+		if info.State != condorg.Completed {
+			os.Exit(1)
+		}
+	case "rm":
+		if err := cli.Remove(id); err != nil {
+			log.Fatal(err)
+		}
+	case "hold":
+		reason := "held by user"
+		if len(rest) > 1 {
+			reason = strings.Join(rest[1:], " ")
+		}
+		if err := cli.Hold(id, reason); err != nil {
+			log.Fatal(err)
+		}
+	case "release":
+		if err := cli.Release(id); err != nil {
+			log.Fatal(err)
+		}
+	case "log":
+		events, err := cli.Log(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range events {
+			fmt.Printf("%s %-16s %s\n", e.Time.Format("15:04:05.000"), e.Code, e.Text)
+		}
+	case "stdout":
+		data, err := cli.Stdout(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+	}
+}

@@ -1,0 +1,29 @@
+// Command mdsserver runs a standalone GIIS — the MDS-2 aggregate directory
+// of §3.3. Sites register resource ads with it (GRRP); brokers query it
+// (GRIP).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"condorg/internal/mds"
+)
+
+func main() {
+	addr := flag.String("listen", "127.0.0.1:0", "listen address")
+	flag.Parse()
+	srv, err := mds.NewServer(mds.ServerOptions{Addr: *addr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("mdsserver: GIIS directory on %s\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

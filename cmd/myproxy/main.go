@@ -1,0 +1,29 @@
+// Command myproxy runs the online credential repository of §4.3: users
+// deposit a long-lived proxy under a password; agents fetch short-lived
+// proxies from it, limiting the exposure of the long-lived credential.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"condorg/internal/credmgr"
+)
+
+func main() {
+	addr := flag.String("listen", "127.0.0.1:0", "listen address")
+	flag.Parse()
+	srv, err := credmgr.NewMyProxyServer(credmgr.MyProxyOptions{Addr: *addr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("myproxy: credential repository on %s\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

@@ -1,0 +1,271 @@
+// CMS example — the §6.2 case study: "A two-node Directed Acyclic Graph of
+// jobs submitted to a Condor-G agent at Caltech triggers [N] simulation
+// jobs on the Condor pool at the University of Wisconsin. Each of these
+// jobs generates 500 events. The execution of these jobs is also controlled
+// by a DAG that makes sure that local disk buffers do not overflow and that
+// all events produced are transferred via GridFTP to a data repository at
+// NCSA. Once all simulation jobs terminate and all data is shipped to the
+// repository, the agent submits a subsequent reconstruction job to the PBS
+// system that manages the reconstruction cluster at NCSA."
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"condorg/internal/condorg"
+	"condorg/internal/dagman"
+	"condorg/internal/gram"
+	"condorg/internal/gridftp"
+	"condorg/internal/lrm"
+)
+
+const (
+	simJobs      = 10 // scaled from the paper's 100
+	eventsPerJob = 500
+	bufferLimit  = 3 // concurrent sim jobs (the disk-buffer guard)
+)
+
+// cmsRuntime registers the physics programs.
+func cmsRuntime() *gram.FuncRuntime {
+	rt := gram.NewFuncRuntime()
+	// cmsim generates events: one line per event.
+	rt.Register("cmsim", func(ctx context.Context, args []string, _ []byte, stdout, _ io.Writer, _ map[string]string) error {
+		run, _ := strconv.Atoi(args[0])
+		n, _ := strconv.Atoi(args[1])
+		rng := rand.New(rand.NewSource(int64(run)))
+		for i := 0; i < n; i++ {
+			if i%100 == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fmt.Fprintf(stdout, "EVT run=%03d id=%05d E=%8.3fGeV tracks=%d\n",
+				run, i, 20+rng.Float64()*200, 2+rng.Intn(40))
+		}
+		return nil
+	})
+	// reconstruct consumes staged event data and emits a summary.
+	rt.Register("reconstruct", func(_ context.Context, _ []string, stdin []byte, stdout, _ io.Writer, _ map[string]string) error {
+		events := 0
+		var energy float64
+		for _, line := range strings.Split(string(stdin), "\n") {
+			if !strings.HasPrefix(line, "EVT ") {
+				continue
+			}
+			events++
+			if i := strings.Index(line, "E="); i >= 0 {
+				var e float64
+				fmt.Sscanf(line[i+2:], "%f", &e)
+				energy += e
+			}
+		}
+		fmt.Fprintf(stdout, "reconstructed %d events, total energy %.1f GeV\n", events, energy)
+		return nil
+	})
+	return rt
+}
+
+func main() {
+	start := time.Now()
+
+	// --- Wisconsin simulation pool and the NCSA reconstruction cluster. ---
+	mkSite := func(name string, cpus int, policy lrm.Policy) *gram.Site {
+		cluster, err := lrm.NewCluster(lrm.Config{Name: name, Cpus: cpus, Policy: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		site, err := gram.NewSite(gram.SiteConfig{
+			Name: name, Cluster: cluster, Runtime: cmsRuntime(), StateDir: mustTemp(name),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return site
+	}
+	wisc := mkSite("uw-pool", 8, lrm.FIFO{})
+	defer wisc.Close()
+	ncsa := mkSite("ncsa-pbs", 4, lrm.FIFO{})
+	defer ncsa.Close()
+
+	// --- The NCSA data repository (GridFTP). ---
+	repo, err := gridftp.NewServer(mustTemp("repo"), gridftp.ServerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+	ftp := gridftp.NewClient(nil, nil, 4)
+	defer ftp.Close()
+
+	// --- The Caltech agent. ---
+	agent, err := condorg.NewAgent(condorg.AgentConfig{
+		StateDir:      mustTemp("agent"),
+		Selector:      condorg.StaticSelector(wisc.GatekeeperAddr()),
+		ProbeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+	fmt.Printf("agent up; repository at %s\n", repo.Addr())
+
+	// --- Build the production DAG. ---
+	var dagText strings.Builder
+	for i := 0; i < simJobs; i++ {
+		fmt.Fprintf(&dagText, "JOB sim%d cmsim %d %d\n", i, i, eventsPerJob)
+		fmt.Fprintf(&dagText, "JOB transfer%d gridftp %d\n", i, i)
+	}
+	dagText.WriteString("JOB reco reconstruct\nRETRY reco 1\n")
+	for i := 0; i < simJobs; i++ {
+		fmt.Fprintf(&dagText, "PARENT sim%d CHILD transfer%d\n", i, i)
+		fmt.Fprintf(&dagText, "PARENT transfer%d CHILD reco\n", i)
+	}
+	dag, err := dagman.Parse(dagText.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DAG: %d nodes (%d simulation, %d transfer, 1 reconstruction), throttle %d\n",
+		len(dag.Nodes), simJobs, simJobs, bufferLimit)
+
+	// --- Node execution: sim and reco are Condor-G jobs; transfers are
+	//     GridFTP movements of each sim's event data to the repository. ---
+	submit := func(ctx context.Context, node *dagman.Node) error {
+		fields := strings.Fields(node.Spec)
+		switch fields[0] {
+		case "cmsim":
+			id, err := agent.Submit(condorg.SubmitRequest{
+				Owner:      "cms",
+				Executable: gram.Program("cmsim"),
+				Args:       fields[1:],
+			})
+			if err != nil {
+				return err
+			}
+			info, err := agent.Wait(ctx, id)
+			if err != nil {
+				return err
+			}
+			if info.State != condorg.Completed {
+				return fmt.Errorf("%s: %s", node.Name, info.Error)
+			}
+			// Remember which agent job produced this node's events.
+			setNodeJob(node.Name, id)
+			return nil
+		case "gridftp":
+			// The sim job is done, but its stdout is still streaming
+			// back through GASS; wait for the final event record
+			// before shipping the file.
+			simName := "sim" + fields[1]
+			finalRecord := fmt.Sprintf("id=%05d", eventsPerJob-1)
+			var data []byte
+			for {
+				var err error
+				data, err = agent.Stdout(getNodeJob(simName))
+				if err != nil {
+					return err
+				}
+				if strings.Contains(string(data), finalRecord) {
+					break
+				}
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+			return ftp.Put(repo.Addr(), "cms/run"+fields[1]+".evt", data)
+		case "reconstruct":
+			// Assemble all event files from the repository as stdin.
+			paths, err := ftp.List(repo.Addr(), "cms/")
+			if err != nil {
+				return err
+			}
+			var all []byte
+			for _, p := range paths {
+				data, err := ftp.Get(repo.Addr(), p)
+				if err != nil {
+					return err
+				}
+				all = append(all, data...)
+			}
+			id, err := agent.Submit(condorg.SubmitRequest{
+				Owner:      "cms",
+				Executable: gram.Program("reconstruct"),
+				Stdin:      all,
+				Site:       ncsa.GatekeeperAddr(),
+			})
+			if err != nil {
+				return err
+			}
+			info, err := agent.Wait(ctx, id)
+			if err != nil {
+				return err
+			}
+			if info.State != condorg.Completed {
+				return fmt.Errorf("reco: %s", info.Error)
+			}
+			setNodeJob(node.Name, id)
+			return nil
+		}
+		return fmt.Errorf("unknown node spec %q", node.Spec)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := dagman.Execute(ctx, dag, dagman.ExecConfig{
+		Submit:    submit,
+		MaxActive: bufferLimit,
+		OnEvent: func(node string, st dagman.NodeState, attempt int) {
+			if st == dagman.NodeDone && strings.HasPrefix(node, "transfer") {
+				fmt.Printf("  shipped %s to the repository\n", node)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Succeeded() {
+		log.Fatalf("pipeline failed: %v", res.Failed)
+	}
+
+	// --- Results. ---
+	time.Sleep(200 * time.Millisecond)
+	recoOut, _ := agent.Stdout(getNodeJob("reco"))
+	bytes, _, _, _ := ftp.Stat(repo.Addr(), "cms/run0.evt")
+	fmt.Printf("\npipeline complete in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("events produced: %d (%d jobs x %d events; run0 file is %d bytes)\n",
+		simJobs*eventsPerJob, simJobs, eventsPerJob, bytes)
+	fmt.Printf("reconstruction output: %s", recoOut)
+}
+
+// nodeJob maps DAG node -> agent job ID; DAG nodes run concurrently.
+var (
+	nodeJobMu sync.Mutex
+	nodeJob   = map[string]string{}
+)
+
+func setNodeJob(node, id string) {
+	nodeJobMu.Lock()
+	defer nodeJobMu.Unlock()
+	nodeJob[node] = id
+}
+
+func getNodeJob(node string) string {
+	nodeJobMu.Lock()
+	defer nodeJobMu.Unlock()
+	return nodeJob[node]
+}
+
+func mustTemp(prefix string) string {
+	dir, err := os.MkdirTemp("", "cms-"+prefix+"-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return dir
+}

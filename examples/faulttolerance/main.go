@@ -1,0 +1,145 @@
+// Fault tolerance demo: the four failure types of §4.2, inflicted live on
+// a running computation. A long job is submitted; the JobManager is
+// crashed, then the whole Gatekeeper machine, then the network is
+// partitioned — and the agent recovers from each without losing the job or
+// running it twice. The job's user log at the end is the paper's "complete
+// history of their jobs' execution".
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"condorg/internal/condorg"
+	"condorg/internal/gram"
+	"condorg/internal/lrm"
+	"condorg/internal/programs"
+)
+
+func main() {
+	cluster, err := lrm.NewCluster(lrm.Config{Name: "remote", Cpus: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	site, err := gram.NewSite(gram.SiteConfig{
+		Name:     "remote",
+		Cluster:  cluster,
+		Runtime:  programs.NewRuntime(),
+		StateDir: mustTemp("site"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer site.Close()
+
+	agent, err := condorg.NewAgent(condorg.AgentConfig{
+		StateDir:      mustTemp("agent"),
+		Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+
+	id, err := agent.Submit(condorg.SubmitRequest{
+		Owner:      "demo",
+		Executable: gram.Program("sleep"),
+		Args:       []string{"3s"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (a 3s job) to %s\n", id, site.GatekeeperAddr())
+	waitState(agent, id, condorg.Running)
+	info, _ := agent.Status(id)
+	fmt.Printf("job is running as %s\n\n", info.Contact.JobID)
+
+	// --- Failure 1: the JobManager process crashes. ---
+	fmt.Println("FAILURE 1: crashing the JobManager (the LRM job keeps running)")
+	if err := site.CrashJobManager(info.Contact.JobID); err != nil {
+		log.Fatal(err)
+	}
+	waitForLog(agent, id, "JM_RESTARTED")
+	fmt.Println("  -> agent probed, found the Gatekeeper alive, started a replacement JobManager")
+
+	// --- Failure 2: the whole interface machine goes down. ---
+	fmt.Println("FAILURE 2: crashing the Gatekeeper machine")
+	site.CrashGatekeeperMachine()
+	waitDisconnected(agent, id, true)
+	fmt.Println("  -> agent lost contact (cannot tell crash from partition); waiting...")
+	time.Sleep(300 * time.Millisecond)
+	if err := site.RestartGatekeeperMachine(); err != nil {
+		log.Fatal(err)
+	}
+	waitDisconnected(agent, id, false)
+	fmt.Println("  -> machine back on the same address; agent reconnected")
+
+	// --- Failure 4: a network partition. ---
+	fmt.Println("FAILURE 4: partitioning the network")
+	site.Partition()
+	waitDisconnected(agent, id, true)
+	fmt.Println("  -> agent disconnected again; the site-side job is unaffected")
+	time.Sleep(300 * time.Millisecond)
+	site.Heal()
+
+	// The job finishes exactly once despite everything.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	final, err := agent.Wait(ctx, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal state: %v (exactly-once: ExitOK=%v)\n", final.State, final.ExitOK)
+	fmt.Println("\nuser log (the complete history):")
+	for _, e := range final.Log {
+		fmt.Printf("  %-18s %s\n", e.Code, e.Text)
+	}
+
+	// (Failure 3 — the submit machine itself crashing — is demonstrated
+	// by the agent's persistent queue: see TestAgentCrashRecovery in
+	// internal/condorg and BenchmarkE3_FaultTolerance.)
+}
+
+func waitState(agent *condorg.Agent, id string, want condorg.JobState) {
+	for {
+		info, _ := agent.Status(id)
+		if info.State == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitForLog(agent *condorg.Agent, id, code string) {
+	for {
+		events, _ := agent.UserLog(id)
+		for _, e := range events {
+			if e.Code == code {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitDisconnected(agent *condorg.Agent, id string, want bool) {
+	for {
+		info, _ := agent.Status(id)
+		if info.Disconnected == want || info.State.Terminal() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func mustTemp(prefix string) string {
+	dir, err := os.MkdirTemp("", "ft-"+prefix+"-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return dir
+}

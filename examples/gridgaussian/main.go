@@ -1,0 +1,117 @@
+// GridGaussian example — the §6.3 case study: a portal runs Gaussian98 jobs
+// on Grid resources, and a utility called G-Cat monitors each job's output
+// file, buffering it on local scratch and shipping it to a shared Mass
+// Storage System as partial file chunks, so that (1) output is reliably
+// stored at MSS when the job completes and (2) users can view the output
+// while it is being produced, with network performance variations hidden
+// from Gaussian.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"condorg/internal/gcat"
+)
+
+func main() {
+	// --- The shared MSS, with a deliberately bumpy network: every chunk
+	//     transfer takes a few ms, and mid-run the MSS goes down. ---
+	mss, err := gcat.NewMSS(gcat.MSSOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mss.Close()
+	mss.SetThrottle(func(int) { time.Sleep(time.Millisecond) })
+	fmt.Printf("MSS at %s (throttled network)\n", mss.Addr())
+
+	// --- The "Gaussian" run: an SCF-like iteration writing its log. ---
+	work := mustTemp()
+	outFile := filepath.Join(work, "water.log")
+	os.WriteFile(outFile, nil, 0o600)
+
+	g, err := gcat.NewGCat(gcat.GCatConfig{
+		SourcePath:  outFile,
+		ScratchPath: filepath.Join(work, "scratch.buf"),
+		MSSAddr:     mss.Addr(),
+		RemoteName:  "gaussian/water.log",
+		ChunkSize:   256,
+		Poll:        5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.Start()
+	fmt.Println("G-Cat monitoring water.log; starting the computation")
+
+	gaussianDone := make(chan struct{})
+	go func() {
+		defer close(gaussianDone)
+		f, _ := os.OpenFile(outFile, os.O_WRONLY|os.O_APPEND, 0)
+		defer f.Close()
+		rng := rand.New(rand.NewSource(1))
+		energy := -75.0
+		start := time.Now()
+		for i := 1; i <= 40; i++ {
+			energy += -1.0/float64(i*i) + rng.Float64()*0.001
+			fmt.Fprintf(f, "SCF cycle %2d  E(RHF) = %12.8f  conv = %8.2e\n",
+				i, energy, math.Pow(10, -float64(i)/4))
+			time.Sleep(8 * time.Millisecond)
+		}
+		fmt.Fprintf(f, "SCF Done:  E(RHF) = %12.8f after 40 cycles\n", energy)
+		fmt.Printf("gaussian finished in %v (it never waited on the network)\n",
+			time.Since(start).Round(time.Millisecond))
+	}()
+
+	// --- Mid-run: the user checks progress through the portal while the
+	//     MSS suffers an outage. ---
+	viewer := gcat.NewMSSClient(mss.Addr(), nil, nil)
+	defer viewer.Close()
+	time.Sleep(120 * time.Millisecond)
+	partial, chunks, _ := viewer.Read("gaussian/water.log")
+	fmt.Printf("\n[user refreshes the portal mid-run: %d chunks, last line so far]\n  %s\n",
+		chunks, lastLine(partial))
+
+	fmt.Println("\n[MSS outage begins — Gaussian keeps computing]")
+	mss.SetOutage(true)
+	time.Sleep(100 * time.Millisecond)
+	buffered, shipped := g.Progress()
+	fmt.Printf("[during outage: %d bytes buffered on scratch, %d shipped]\n", buffered, shipped)
+	mss.SetOutage(false)
+	fmt.Println("[MSS back; G-Cat drains the scratch buffer]")
+
+	<-gaussianDone
+	g.Stop(10 * time.Second)
+
+	// --- Final state: the complete log is reliably at MSS. ---
+	final, chunks, err := viewer.Read("gaussian/water.log")
+	if err != nil {
+		log.Fatal(err)
+	}
+	local, _ := os.ReadFile(outFile)
+	fmt.Printf("\nfinal: %d chunks, %d bytes at MSS (local file %d bytes, identical=%v)\n",
+		chunks, len(final), len(local), string(final) == string(local))
+	fmt.Printf("last line at MSS:\n  %s\n", lastLine(final))
+}
+
+func lastLine(data []byte) string {
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 {
+		return "(empty)"
+	}
+	return lines[len(lines)-1]
+}
+
+func mustTemp() string {
+	dir, err := os.MkdirTemp("", "gridgaussian-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return dir
+}

@@ -1,0 +1,210 @@
+// QAP example — §6.1 in miniature. The record-setting Condor-G computation
+// solved a large Quadratic Assignment Problem with a Master-Worker branch
+// and bound whose bounding step solves Linear Assignment Problems, on a
+// personal pool of GlideIn daemons spanning many sites. Here: GlideIn
+// pilots flood three GRAM sites, fetch their daemon payload from a GridFTP
+// repository, join the user's personal Condor pool, and matchmade worker
+// jobs pull B&B subtrees from an MW master — sharing the incumbent bound —
+// until the instance is solved exactly.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"condorg/internal/condor"
+	"condorg/internal/glidein"
+	"condorg/internal/gram"
+	"condorg/internal/gridftp"
+	"condorg/internal/lrm"
+	"condorg/internal/mw"
+)
+
+type qapTask struct {
+	Prefix []int `json:"prefix"`
+}
+
+type sharedState struct {
+	Incumbent float64 `json:"incumbent"`
+}
+
+func main() {
+	// --- The problem: a random QAP instance (facility layout). ---
+	rng := rand.New(rand.NewSource(2001))
+	n := 8
+	q := &mw.QAP{Flow: randMatrix(rng, n), Dist: randMatrix(rng, n)}
+	fmt.Printf("QAP instance: %d facilities, %d locations (%d leaves in the full tree)\n",
+		n, n, factorial(n))
+
+	// --- The MW master with one task per root subtree. ---
+	master, err := mw.NewMaster(mw.MasterOptions{Lease: 30 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer master.Close()
+	master.SetShared(sharedState{Incumbent: math.Inf(1)})
+	for _, prefix := range q.RootTasks() {
+		master.AddTask(qapTask{Prefix: prefix})
+	}
+	fmt.Printf("master at %s with %d subtree tasks\n", master.Addr(), n)
+
+	// --- The user's personal pool. ---
+	coll, err := condor.NewCollector(condor.CollectorOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coll.Close()
+	jobRT := condor.NewRuntime()
+	jobRT.Register("mw-worker", func(ctx context.Context, jc *condor.JobContext) error {
+		masterAddr := jc.Args[0]
+		done, err := mw.RunWorker(ctx, masterAddr, jc.JobAd.EvalString("WorkerName", "worker"),
+			func(_ context.Context, task mw.Task, shared json.RawMessage) (any, any, error) {
+				var in qapTask
+				if err := json.Unmarshal(task.Payload, &in); err != nil {
+					return nil, nil, err
+				}
+				incumbent := math.Inf(1)
+				var s sharedState
+				if shared != nil && json.Unmarshal(shared, &s) == nil && s.Incumbent > 0 {
+					incumbent = s.Incumbent
+				}
+				sol := q.SolveSubtree(in.Prefix, incumbent)
+				var update any
+				if sol.Perm != nil && sol.Cost < incumbent {
+					update = sharedState{Incumbent: sol.Cost}
+				}
+				return sol, update, nil
+			})
+		fmt.Fprintf(jc.Stdout, "worker finished %d subtree tasks\n", done)
+		return err
+	})
+	schedd, err := condor.NewSchedd(condor.ScheddConfig{Name: "mathematician", SpoolDir: mustTemp("schedd")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer schedd.Close()
+	neg := condor.NewNegotiator(coll.Addr(), nil, nil, schedd)
+	defer neg.Stop()
+	neg.Start(25 * time.Millisecond)
+
+	// --- The Grid: three sites and the binary repository. ---
+	repo, err := gridftp.NewServer(mustTemp("repo"), gridftp.ServerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+	ftp := gridftp.NewClient(nil, nil, 2)
+	if err := ftp.Put(repo.Addr(), glidein.StartdBlob, []byte("condor daemon payload v6.3.1")); err != nil {
+		log.Fatal(err)
+	}
+	ftp.Close()
+
+	sites := map[string]string{}
+	for _, name := range []string{"wisc", "anl", "ncsa"} {
+		cluster, err := lrm.NewCluster(lrm.Config{Name: name, Cpus: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		siteRT := gram.NewFuncRuntime()
+		glidein.InstallBootstrap(siteRT, jobRT, nil, nil, nil)
+		site, err := gram.NewSite(gram.SiteConfig{
+			Name: name, Cluster: cluster, Runtime: siteRT, StateDir: mustTemp("site-" + name),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer site.Close()
+		sites[name] = site.GatekeeperAddr()
+		fmt.Printf("site %-5s gatekeeper %s (2 CPUs)\n", name, site.GatekeeperAddr())
+	}
+
+	// --- Flood pilots; the dynamic personal pool assembles itself. ---
+	factory := glidein.NewFactory(glidein.FactoryConfig{
+		CollectorAddr:     coll.Addr(),
+		RepoAddr:          repo.Addr(),
+		Lease:             2 * time.Minute,
+		IdleTimeout:       2 * time.Second,
+		AdvertiseInterval: 25 * time.Millisecond,
+	})
+	defer factory.Close()
+	pilots, err := factory.Flood(sites, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flooded %d GlideIn pilots across %d sites\n", len(pilots), len(sites))
+
+	// --- Worker jobs matchmade onto the glided-in slots. ---
+	for i := 0; i < 6; i++ {
+		ad := condor.JobAd("mathematician", "mw-worker", master.Addr())
+		ad.SetString("WorkerName", fmt.Sprintf("worker-%d", i))
+		if _, err := schedd.Submit(ad); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := master.Wait(ctx); err != nil {
+		log.Fatal("master: ", err)
+	}
+
+	// --- Results. ---
+	best := mw.QAPSolution{Cost: math.Inf(1)}
+	var totalLAPs, totalNodes int64
+	for _, r := range master.Results() {
+		var sol mw.QAPSolution
+		json.Unmarshal(r.Payload, &sol)
+		totalLAPs += sol.LAPsSolved
+		totalNodes += sol.NodesSeen
+		if sol.Perm != nil && sol.Cost < best.Cost {
+			best = sol
+		}
+	}
+	fmt.Printf("\noptimal assignment: %v  cost %.0f\n", best.Perm, best.Cost)
+	fmt.Printf("search effort: %d B&B nodes, %d LAPs solved (of %d leaves without pruning)\n",
+		totalNodes, totalLAPs, factorial(n))
+	fmt.Println("tasks per worker:")
+	for w, c := range master.WorkerStats() {
+		fmt.Printf("  %-10s %d\n", w, c)
+	}
+	if err := schedd.WaitAll(ctx); err != nil {
+		log.Fatal(err)
+	}
+	_, _, done := schedd.Counts()
+	fmt.Printf("pool jobs completed: %d; pilots started: %d\n", done, len(pilots))
+}
+
+func randMatrix(rng *rand.Rand, n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = float64(rng.Intn(10))
+			}
+		}
+	}
+	return m
+}
+
+func factorial(n int) int64 {
+	f := int64(1)
+	for i := 2; i <= n; i++ {
+		f *= int64(i)
+	}
+	return f
+}
+
+func mustTemp(prefix string) string {
+	dir, err := os.MkdirTemp("", "qap-"+prefix+"-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return dir
+}

@@ -1,0 +1,3 @@
+module condorg
+
+go 1.22

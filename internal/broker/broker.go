@@ -1,0 +1,276 @@
+// Package broker implements the resource-selection strategies of §4.4:
+//
+//  1. a static user-supplied list of GRAM servers (condorg.StaticSelector /
+//     condorg.RoundRobinSelector cover this),
+//  2. a personal matchmaker that combines application requirements with
+//     resource state from MDS, using the Condor Matchmaking framework
+//     (ClassAds) to rank candidates by user preferences such as allocation
+//     cost and expected start time, and
+//  3. an adaptive strategy for high-throughput work: monitor actual
+//     queuing times and tune where subsequent jobs are submitted.
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"condorg/internal/classad"
+	"condorg/internal/condorg"
+	"condorg/internal/gram"
+	"condorg/internal/mds"
+)
+
+// ResourceAd builds the MDS advertisement for an execution site: identity,
+// contact, capacity, live queue state, and an allocation cost that user
+// rank expressions can weigh.
+func ResourceAd(site *gram.Site, arch string, costPerCPUHour float64) *classad.Ad {
+	cluster := site.Cluster()
+	ad := classad.New()
+	ad.SetString("Name", site.Name())
+	ad.SetString("MyType", "Resource")
+	ad.SetString("GatekeeperAddr", site.GatekeeperAddr())
+	ad.SetString("Arch", arch)
+	ad.SetInt("Cpus", int64(cluster.Cpus()))
+	ad.SetInt("FreeCpus", int64(cluster.FreeCpus()))
+	ad.SetInt("QueueDepth", int64(cluster.QueueDepth()))
+	ad.SetReal("Cost", costPerCPUHour)
+	ad.SetString("Policy", cluster.PolicyName())
+	return ad
+}
+
+// Reporter periodically re-registers a site's resource ad with an MDS
+// directory (GRRP soft state).
+type Reporter struct {
+	site   *gram.Site
+	arch   string
+	cost   float64
+	client *mds.Client
+	ttl    time.Duration
+
+	mu     sync.Mutex
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewReporter creates a reporter; call Start or Publish.
+func NewReporter(site *gram.Site, mdsAddr, arch string, cost float64, ttl time.Duration) *Reporter {
+	if ttl == 0 {
+		ttl = mds.DefaultTTL
+	}
+	return &Reporter{
+		site:   site,
+		arch:   arch,
+		cost:   cost,
+		client: mds.NewClient(mdsAddr, nil, nil),
+		ttl:    ttl,
+	}
+}
+
+// Publish registers the current resource state once.
+func (r *Reporter) Publish() error {
+	return r.client.Register(ResourceAd(r.site, r.arch, r.cost), r.ttl)
+}
+
+// Start re-publishes on the given interval until Stop.
+func (r *Reporter) Start(interval time.Duration) {
+	r.mu.Lock()
+	if r.stopCh != nil {
+		r.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	r.stopCh = stop
+	r.mu.Unlock()
+	r.Publish()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				r.Publish()
+			}
+		}
+	}()
+}
+
+// Stop halts republication and withdraws the ad.
+func (r *Reporter) Stop() {
+	r.mu.Lock()
+	stop := r.stopCh
+	r.stopCh = nil
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		r.wg.Wait()
+	}
+	r.client.Unregister(r.site.Name())
+	r.client.Close()
+}
+
+// MDSBroker is the personal resource broker: it queries MDS for candidate
+// resources, matches them against the job's requirements, and ranks them by
+// the user's preferences.
+type MDSBroker struct {
+	client *mds.Client
+	// Requirements constrains acceptable resources, evaluated with the
+	// resource ad as TARGET (e.g. `TARGET.Arch == "x86_64" &&
+	// TARGET.Cpus >= MY.Cpus`).
+	Requirements classad.Expr
+	// Rank orders acceptable resources, higher better (e.g.
+	// `-(TARGET.QueueDepth * 10.0 + TARGET.Cost)`).
+	Rank classad.Expr
+}
+
+// NewMDSBroker builds a broker over the directory at mdsAddr. requirements
+// and rank are ClassAd expressions ("" for defaults: accept everything,
+// prefer free CPUs and short queues).
+func NewMDSBroker(mdsAddr, requirements, rank string) (*MDSBroker, error) {
+	b := &MDSBroker{client: mds.NewClient(mdsAddr, nil, nil)}
+	if requirements == "" {
+		requirements = "TARGET.FreeCpus >= 0"
+	}
+	if rank == "" {
+		rank = "TARGET.FreeCpus * 100 - TARGET.QueueDepth * 10 - TARGET.Cost"
+	}
+	var err error
+	if b.Requirements, err = classad.ParseExpr(requirements); err != nil {
+		return nil, fmt.Errorf("broker: requirements: %w", err)
+	}
+	if b.Rank, err = classad.ParseExpr(rank); err != nil {
+		return nil, fmt.Errorf("broker: rank: %w", err)
+	}
+	return b, nil
+}
+
+// Close releases the MDS connection.
+func (b *MDSBroker) Close() { b.client.Close() }
+
+// Candidates returns the ranked list of acceptable resource ads for req.
+func (b *MDSBroker) Candidates(req condorg.SubmitRequest) ([]classad.Candidate, error) {
+	resources, err := b.client.Query(`MyType == "Resource"`)
+	if err != nil {
+		return nil, fmt.Errorf("broker: MDS query: %w", err)
+	}
+	jobAd := classad.New()
+	jobAd.SetString("MyType", "Job")
+	jobAd.SetString("Owner", req.Owner)
+	cpus := req.Cpus
+	if cpus <= 0 {
+		cpus = 1
+	}
+	jobAd.SetInt("Cpus", int64(cpus))
+	jobAd.SetExpr("Requirements", b.Requirements)
+	jobAd.SetExpr("Rank", b.Rank)
+	return classad.MatchList(jobAd, resources), nil
+}
+
+// Select implements condorg.Selector: the best-ranked acceptable resource.
+func (b *MDSBroker) Select(req condorg.SubmitRequest) (string, error) {
+	list, err := b.Candidates(req)
+	if err != nil {
+		return "", err
+	}
+	if len(list) == 0 {
+		return "", fmt.Errorf("broker: no resource satisfies the job requirements")
+	}
+	addr := list[0].Ad.EvalString("GatekeeperAddr", "")
+	if addr == "" {
+		return "", fmt.Errorf("broker: matched resource %q has no contact", list[0].Ad.EvalString("Name", ""))
+	}
+	return addr, nil
+}
+
+// Adaptive is the high-throughput strategy: it observes actual queuing
+// times per site and routes each new job to the site with the lowest
+// estimated wait, "allowing the tuning of where to submit subsequent jobs".
+type Adaptive struct {
+	mu    sync.Mutex
+	sites []string
+	stats map[string]*siteStats
+}
+
+type siteStats struct {
+	inFlight  int           // submitted, not yet started
+	samples   int           // completed queue-wait observations
+	totalWait time.Duration // sum of observed waits
+}
+
+// NewAdaptive creates an adaptive selector over a fixed site list.
+func NewAdaptive(sites []string) *Adaptive {
+	a := &Adaptive{sites: append([]string(nil), sites...), stats: make(map[string]*siteStats)}
+	for _, s := range a.sites {
+		a.stats[s] = &siteStats{}
+	}
+	return a
+}
+
+// Select implements condorg.Selector.
+func (a *Adaptive) Select(condorg.SubmitRequest) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.sites) == 0 {
+		return "", fmt.Errorf("broker: no sites")
+	}
+	best := ""
+	bestScore := 0.0
+	for _, site := range a.sites {
+		st := a.stats[site]
+		// Unprobed sites get explored first; the epsilon makes backlog
+		// break ties so equal-wait sites alternate instead of piling
+		// onto the first.
+		avg := float64(time.Millisecond)
+		if st.samples > 0 {
+			avg += float64(st.totalWait) / float64(st.samples)
+		}
+		score := avg * float64(1+st.inFlight)
+		if best == "" || score < bestScore {
+			best, bestScore = site, score
+		}
+	}
+	a.stats[best].inFlight++
+	return best, nil
+}
+
+// ObserveStart records that a job submitted to site started executing
+// after waiting wait in the site's queue.
+func (a *Adaptive) ObserveStart(site string, wait time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.stats[site]
+	if !ok {
+		st = &siteStats{}
+		a.stats[site] = st
+	}
+	if st.inFlight > 0 {
+		st.inFlight--
+	}
+	st.samples++
+	st.totalWait += wait
+}
+
+// EstimatedWait reports the current average observed queue wait for site.
+func (a *Adaptive) EstimatedWait(site string) time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.stats[site]
+	if !ok || st.samples == 0 {
+		return 0
+	}
+	return st.totalWait / time.Duration(st.samples)
+}
+
+// InFlight reports outstanding submissions to site.
+func (a *Adaptive) InFlight(site string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st, ok := a.stats[site]; ok {
+		return st.inFlight
+	}
+	return 0
+}

@@ -1,0 +1,242 @@
+package broker
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"condorg/internal/condorg"
+	"condorg/internal/gram"
+	"condorg/internal/lrm"
+	"condorg/internal/mds"
+)
+
+func quickSite(t *testing.T, name string, cpus int) *gram.Site {
+	t.Helper()
+	cluster, err := lrm.NewCluster(lrm.Config{Name: name, Cpus: cpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := gram.NewFuncRuntime()
+	rt.Register("task", func(ctx context.Context, args []string, _ []byte, stdout, _ io.Writer, _ map[string]string) error {
+		d := 10 * time.Millisecond
+		if len(args) > 0 {
+			if p, err := time.ParseDuration(args[0]); err == nil {
+				d = p
+			}
+		}
+		select {
+		case <-time.After(d):
+			fmt.Fprintln(stdout, "ok")
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	site, err := gram.NewSite(gram.SiteConfig{
+		Name: name, Cluster: cluster, Runtime: rt, StateDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+	return site
+}
+
+func newMDS(t *testing.T) *mds.Server {
+	t.Helper()
+	s, err := mds.NewServer(mds.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestResourceAdContents(t *testing.T) {
+	site := quickSite(t, "wisc", 8)
+	ad := ResourceAd(site, "x86_64", 1.5)
+	if ad.EvalString("Name", "") != "wisc" ||
+		ad.EvalInt("Cpus", 0) != 8 ||
+		ad.EvalInt("FreeCpus", -1) != 8 ||
+		ad.EvalReal("Cost", 0) != 1.5 ||
+		ad.EvalString("GatekeeperAddr", "") != site.GatekeeperAddr() {
+		t.Fatalf("resource ad:\n%s", ad)
+	}
+}
+
+func TestMDSBrokerPicksBestRanked(t *testing.T) {
+	dir := newMDS(t)
+	big := quickSite(t, "big", 64)
+	small := quickSite(t, "small", 2)
+	for _, s := range []*gram.Site{big, small} {
+		rep := NewReporter(s, dir.Addr(), "x86_64", 1.0, time.Minute)
+		if err := rep.Publish(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(rep.Stop)
+	}
+	b, err := NewMDSBroker(dir.Addr(), "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	addr, err := b.Select(condorg.SubmitRequest{Owner: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != big.GatekeeperAddr() {
+		t.Fatalf("selected %s, want the 64-CPU site %s", addr, big.GatekeeperAddr())
+	}
+}
+
+func TestMDSBrokerRequirementsFilter(t *testing.T) {
+	dir := newMDS(t)
+	s1 := quickSite(t, "cheap", 4)
+	s2 := quickSite(t, "pricey", 4)
+	NewReporterPublish(t, s1, dir.Addr(), 1.0)
+	NewReporterPublish(t, s2, dir.Addr(), 50.0)
+	// Only resources cheaper than 10 are acceptable.
+	b, err := NewMDSBroker(dir.Addr(), "TARGET.Cost < 10.0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	addr, err := b.Select(condorg.SubmitRequest{Owner: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != s1.GatekeeperAddr() {
+		t.Fatalf("selected %s, want the cheap site", addr)
+	}
+	// Impossible requirements -> explicit error.
+	none, err := NewMDSBroker(dir.Addr(), "TARGET.Cost < 0.0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer none.Close()
+	if _, err := none.Select(condorg.SubmitRequest{}); err == nil {
+		t.Fatal("impossible requirements matched something")
+	}
+}
+
+func NewReporterPublish(t *testing.T, s *gram.Site, mdsAddr string, cost float64) {
+	t.Helper()
+	rep := NewReporter(s, mdsAddr, "x86_64", cost, time.Minute)
+	if err := rep.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep.Stop)
+}
+
+func TestMDSBrokerBadExpressions(t *testing.T) {
+	if _, err := NewMDSBroker("127.0.0.1:1", "((bad", ""); err == nil {
+		t.Fatal("bad requirements accepted")
+	}
+	if _, err := NewMDSBroker("127.0.0.1:1", "", "((bad"); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+}
+
+func TestReporterSoftState(t *testing.T) {
+	dir := newMDS(t)
+	site := quickSite(t, "s", 2)
+	rep := NewReporter(site, dir.Addr(), "x86_64", 1.0, time.Minute)
+	rep.Start(10 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for dir.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if dir.Len() != 1 {
+		t.Fatal("reporter never registered")
+	}
+	rep.Stop()
+	if dir.Len() != 0 {
+		t.Fatal("Stop did not withdraw the ad")
+	}
+}
+
+func TestAdaptiveExploresThenExploits(t *testing.T) {
+	a := NewAdaptive([]string{"slow", "fast"})
+	// Both unknown: the first choice is the first site, the second pick
+	// goes to the other (lower score: no backlog).
+	s1, _ := a.Select(condorg.SubmitRequest{})
+	s2, _ := a.Select(condorg.SubmitRequest{})
+	if s1 == s2 {
+		t.Fatalf("no exploration: %s then %s", s1, s2)
+	}
+	// Observations arrive: slow has 10s queue waits, fast 100ms.
+	a.ObserveStart("slow", 10*time.Second)
+	a.ObserveStart("fast", 100*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		site, _ := a.Select(condorg.SubmitRequest{})
+		if site != "fast" {
+			t.Fatalf("pick %d went to %s despite 100x wait difference", i, site)
+		}
+		a.ObserveStart("fast", 100*time.Millisecond)
+	}
+	if a.EstimatedWait("slow") != 10*time.Second {
+		t.Fatalf("slow estimate = %v", a.EstimatedWait("slow"))
+	}
+}
+
+func TestAdaptiveBacklogSteersAway(t *testing.T) {
+	a := NewAdaptive([]string{"a", "b"})
+	a.ObserveStart("a", time.Second)
+	a.ObserveStart("b", time.Second)
+	// Pile submissions onto a without observing starts: backlog grows,
+	// selections shift to b.
+	first, _ := a.Select(condorg.SubmitRequest{})
+	second, _ := a.Select(condorg.SubmitRequest{})
+	if first == second {
+		t.Fatalf("equal-wait sites should alternate under backlog: %s, %s", first, second)
+	}
+}
+
+func TestAdaptiveEmpty(t *testing.T) {
+	a := NewAdaptive(nil)
+	if _, err := a.Select(condorg.SubmitRequest{}); err == nil {
+		t.Fatal("empty site list selected")
+	}
+	if a.InFlight("x") != 0 || a.EstimatedWait("x") != 0 {
+		t.Fatal("unknown site stats non-zero")
+	}
+	a.ObserveStart("x", time.Second) // must not panic for unknown site
+}
+
+func TestEndToEndMDSBrokeredExecution(t *testing.T) {
+	dir := newMDS(t)
+	s1 := quickSite(t, "siteA", 8)
+	s2 := quickSite(t, "siteB", 2)
+	NewReporterPublish(t, s1, dir.Addr(), 1.0)
+	NewReporterPublish(t, s2, dir.Addr(), 1.0)
+	b, err := NewMDSBroker(dir.Addr(), "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	agent, err := condorg.NewAgent(condorg.AgentConfig{
+		StateDir:      t.TempDir(),
+		Selector:      b,
+		ProbeInterval: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	id, err := agent.Submit(condorg.SubmitRequest{Owner: "u", Executable: gram.Program("task")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
+	defer cancel()
+	info, err := agent.Wait(ctx, id)
+	if err != nil || info.State != condorg.Completed {
+		t.Fatalf("brokered job: %v err=%v", info.State, err)
+	}
+	if info.Site != s1.GatekeeperAddr() {
+		t.Fatalf("brokered to %s, want the larger siteA", info.Site)
+	}
+}

@@ -1,0 +1,276 @@
+package classad
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ad is a ClassAd: an ordered set of (attribute, expression) pairs.
+// Attribute names are case-insensitive, as in Condor; the original spelling
+// of the first Set is preserved for printing. Ads are not safe for
+// concurrent mutation; copy with Clone when sharing across goroutines.
+type Ad struct {
+	attrs map[string]Expr   // lowercased name -> expression
+	names map[string]string // lowercased name -> display name
+	order []string          // lowercased names in insertion order
+}
+
+// New returns an empty ClassAd.
+func New() *Ad {
+	return &Ad{
+		attrs: make(map[string]Expr),
+		names: make(map[string]string),
+	}
+}
+
+// ParseAd parses the "old ClassAd" representation: one `Name = expr` pair
+// per line, with blank lines and comments ignored. This is the on-the-wire
+// and on-disk format used throughout the repository.
+func ParseAd(src string) (*Ad, error) {
+	ad := New()
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		eq := indexTopLevelAssign(line)
+		if eq < 0 {
+			return nil, fmt.Errorf("classad: line %d: missing '=' in %q", ln+1, line)
+		}
+		name := strings.TrimSpace(line[:eq])
+		if name == "" || !isValidAttrName(name) {
+			return nil, fmt.Errorf("classad: line %d: bad attribute name %q", ln+1, name)
+		}
+		expr, err := ParseExpr(line[eq+1:])
+		if err != nil {
+			return nil, fmt.Errorf("classad: line %d: %v", ln+1, err)
+		}
+		ad.SetExpr(name, expr)
+	}
+	return ad, nil
+}
+
+// MustParseAd is ParseAd that panics on error, for constants in tests.
+func MustParseAd(src string) *Ad {
+	ad, err := ParseAd(src)
+	if err != nil {
+		panic(err)
+	}
+	return ad
+}
+
+// indexTopLevelAssign finds the first '=' that is an assignment, not part of
+// ==, =?=, =!=, <=, >=, or !=, and not inside a string literal.
+func indexTopLevelAssign(line string) int {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if inStr {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '=':
+			if i > 0 && strings.ContainsRune("<>!=", rune(line[i-1])) {
+				continue
+			}
+			if i+1 < len(line) && strings.ContainsRune("=?!", rune(line[i+1])) {
+				// ==, =?=, =!= — skip past the operator.
+				if line[i+1] == '=' {
+					i++
+				} else {
+					i += 2
+				}
+				continue
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+func isValidAttrName(s string) bool {
+	if !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentPart(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of attributes.
+func (a *Ad) Len() int { return len(a.order) }
+
+// Names returns attribute display names in insertion order.
+func (a *Ad) Names() []string {
+	out := make([]string, len(a.order))
+	for i, k := range a.order {
+		out[i] = a.names[k]
+	}
+	return out
+}
+
+// SetExpr binds name to an expression.
+func (a *Ad) SetExpr(name string, e Expr) {
+	k := strings.ToLower(name)
+	if _, exists := a.attrs[k]; !exists {
+		a.order = append(a.order, k)
+		a.names[k] = name
+	}
+	a.attrs[k] = e
+}
+
+// Set binds name to a literal value.
+func (a *Ad) Set(name string, v Value) { a.SetExpr(name, litExpr{v}) }
+
+// SetString, SetInt, SetReal, SetBool are typed conveniences.
+func (a *Ad) SetString(name, s string)       { a.Set(name, Str(s)) }
+func (a *Ad) SetInt(name string, i int64)    { a.Set(name, Integer(i)) }
+func (a *Ad) SetReal(name string, f float64) { a.Set(name, RealValue(f)) }
+func (a *Ad) SetBool(name string, b bool)    { a.Set(name, Boolean(b)) }
+
+// Delete removes an attribute; it reports whether it was present.
+func (a *Ad) Delete(name string) bool {
+	k := strings.ToLower(name)
+	if _, ok := a.attrs[k]; !ok {
+		return false
+	}
+	delete(a.attrs, k)
+	delete(a.names, k)
+	for i, o := range a.order {
+		if o == k {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Lookup returns the expression bound to name.
+func (a *Ad) Lookup(name string) (Expr, bool) {
+	e, ok := a.attrs[strings.ToLower(name)]
+	return e, ok
+}
+
+// Eval evaluates the named attribute with no target ad.
+func (a *Ad) Eval(name string) Value { return a.EvalAgainst(name, nil) }
+
+// EvalAgainst evaluates the named attribute with target visible as TARGET.
+func (a *Ad) EvalAgainst(name string, target *Ad) Value {
+	e, ok := a.Lookup(name)
+	if !ok {
+		return Undefined
+	}
+	return e.Eval(&EvalContext{Self: a, Target: target})
+}
+
+// EvalString evaluates name and returns its string value, or def if the
+// attribute is missing or not a string.
+func (a *Ad) EvalString(name, def string) string {
+	if v := a.Eval(name); v.Kind == StringKind {
+		return v.Str
+	}
+	return def
+}
+
+// EvalInt evaluates name as an integer with a default.
+func (a *Ad) EvalInt(name string, def int64) int64 {
+	if v, ok := a.Eval(name).AsInt(); ok {
+		return v
+	}
+	return def
+}
+
+// EvalReal evaluates name as a real with a default.
+func (a *Ad) EvalReal(name string, def float64) float64 {
+	if v, ok := a.Eval(name).AsReal(); ok {
+		return v
+	}
+	return def
+}
+
+// EvalBool evaluates name as a boolean with a default.
+func (a *Ad) EvalBool(name string, def bool) bool {
+	if v := a.Eval(name); v.Kind == BooleanKind {
+		return v.Bool
+	}
+	return def
+}
+
+// Clone returns a deep-enough copy (expressions are immutable and shared).
+func (a *Ad) Clone() *Ad {
+	c := New()
+	for _, k := range a.order {
+		c.SetExpr(a.names[k], a.attrs[k])
+	}
+	return c
+}
+
+// Merge copies every attribute of src into a, overwriting duplicates.
+func (a *Ad) Merge(src *Ad) {
+	for _, k := range src.order {
+		a.SetExpr(src.names[k], src.attrs[k])
+	}
+}
+
+// String renders the ad in old-ClassAd syntax, one attribute per line, in
+// insertion order.
+func (a *Ad) String() string {
+	var sb strings.Builder
+	for _, k := range a.order {
+		fmt.Fprintf(&sb, "%s = %s\n", a.names[k], a.attrs[k].String())
+	}
+	return sb.String()
+}
+
+// StringCompact renders the ad in new-ClassAd syntax on one line.
+func (a *Ad) StringCompact() string {
+	parts := make([]string, len(a.order))
+	for i, k := range a.order {
+		parts[i] = fmt.Sprintf("%s = %s", a.names[k], a.attrs[k].String())
+	}
+	return "[ " + strings.Join(parts, "; ") + " ]"
+}
+
+// StringSorted renders attributes sorted by name — a canonical form used in
+// tests and journaling.
+func (a *Ad) StringSorted() string {
+	keys := append([]string(nil), a.order...)
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s = %s\n", a.names[k], a.attrs[k].String())
+	}
+	return sb.String()
+}
+
+// MarshalJSON serializes the ad as its old-ClassAd text, making ads directly
+// embeddable in wire messages and journals.
+func (a *Ad) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.String())
+}
+
+// UnmarshalJSON parses the old-ClassAd text form.
+func (a *Ad) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseAd(s)
+	if err != nil {
+		return err
+	}
+	*a = *parsed
+	return nil
+}

@@ -1,0 +1,375 @@
+package classad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a parsed ClassAd expression. Expressions are immutable after
+// parsing and safe for concurrent evaluation.
+type Expr interface {
+	// Eval evaluates the expression in ctx.
+	Eval(ctx *EvalContext) Value
+	// String renders the expression in parseable ClassAd syntax.
+	String() string
+}
+
+// EvalContext carries the ads visible during evaluation. Self is the ad the
+// expression belongs to; Target is the candidate ad during matchmaking (may
+// be nil). Depth guards against runaway recursive attribute references.
+type EvalContext struct {
+	Self   *Ad
+	Target *Ad
+	depth  int
+}
+
+const maxEvalDepth = 64
+
+// litExpr is a literal constant.
+type litExpr struct{ v Value }
+
+func (e litExpr) Eval(*EvalContext) Value { return e.v }
+func (e litExpr) String() string          { return e.v.String() }
+
+// Lit builds a literal expression, useful when constructing ads in code.
+func Lit(v Value) Expr { return litExpr{v} }
+
+// attrExpr is an attribute reference, optionally scoped with MY. or TARGET.
+type attrExpr struct {
+	scope string // "", "my", or "target"
+	name  string
+}
+
+func (e attrExpr) Eval(ctx *EvalContext) Value {
+	if ctx.depth >= maxEvalDepth {
+		return ErrorVal
+	}
+	sub := *ctx
+	sub.depth = ctx.depth + 1
+	lookup := func(ad *Ad) (Value, bool) {
+		if ad == nil {
+			return Undefined, false
+		}
+		ex, ok := ad.Lookup(e.name)
+		if !ok {
+			return Undefined, false
+		}
+		inner := sub
+		inner.Self = ad
+		return ex.Eval(&inner), true
+	}
+	switch e.scope {
+	case "my":
+		v, _ := lookup(ctx.Self)
+		return v
+	case "target":
+		v, _ := lookup(ctx.Target)
+		return v
+	default:
+		if v, ok := lookup(ctx.Self); ok {
+			return v
+		}
+		if v, ok := lookup(ctx.Target); ok {
+			return v
+		}
+		return Undefined
+	}
+}
+
+func (e attrExpr) String() string {
+	switch e.scope {
+	case "my":
+		return "MY." + e.name
+	case "target":
+		return "TARGET." + e.name
+	}
+	return e.name
+}
+
+// Attr builds an unscoped attribute reference expression.
+func Attr(name string) Expr { return attrExpr{name: name} }
+
+// unaryExpr is !x or -x or +x.
+type unaryExpr struct {
+	op string
+	x  Expr
+}
+
+func (e unaryExpr) Eval(ctx *EvalContext) Value {
+	v := e.x.Eval(ctx)
+	switch e.op {
+	case "!":
+		switch v.Kind {
+		case BooleanKind:
+			return Boolean(!v.Bool)
+		case UndefinedKind:
+			return Undefined
+		default:
+			return ErrorVal
+		}
+	case "-":
+		switch v.Kind {
+		case IntegerKind:
+			return Integer(-v.Int)
+		case RealKind:
+			return RealValue(-v.Real)
+		case UndefinedKind:
+			return Undefined
+		default:
+			return ErrorVal
+		}
+	case "+":
+		if v.IsNumber() || v.Kind == UndefinedKind {
+			return v
+		}
+		return ErrorVal
+	}
+	return ErrorVal
+}
+
+func (e unaryExpr) String() string { return e.op + parenthesize(e.x) }
+
+// binaryExpr covers arithmetic, comparison, and logic.
+type binaryExpr struct {
+	op   string
+	l, r Expr
+}
+
+func (e binaryExpr) Eval(ctx *EvalContext) Value {
+	switch e.op {
+	case "&&", "||":
+		return evalLogic(e.op, e.l, e.r, ctx)
+	case "=?=":
+		return Boolean(SameValue(e.l.Eval(ctx), e.r.Eval(ctx)))
+	case "=!=":
+		return Boolean(!SameValue(e.l.Eval(ctx), e.r.Eval(ctx)))
+	}
+	l, r := e.l.Eval(ctx), e.r.Eval(ctx)
+	if l.Kind == ErrorKind || r.Kind == ErrorKind {
+		return ErrorVal
+	}
+	if l.Kind == UndefinedKind || r.Kind == UndefinedKind {
+		return Undefined
+	}
+	switch e.op {
+	case "+", "-", "*", "/", "%":
+		return evalArith(e.op, l, r)
+	case "==", "!=", "<", "<=", ">", ">=":
+		return evalCompare(e.op, l, r)
+	}
+	return ErrorVal
+}
+
+func (e binaryExpr) String() string {
+	return parenthesize(e.l) + " " + e.op + " " + parenthesize(e.r)
+}
+
+// condExpr is c ? a : b.
+type condExpr struct{ c, a, b Expr }
+
+func (e condExpr) Eval(ctx *EvalContext) Value {
+	c := e.c.Eval(ctx)
+	switch c.Kind {
+	case BooleanKind:
+		if c.Bool {
+			return e.a.Eval(ctx)
+		}
+		return e.b.Eval(ctx)
+	case UndefinedKind:
+		return Undefined
+	default:
+		return ErrorVal
+	}
+}
+
+func (e condExpr) String() string {
+	return parenthesize(e.c) + " ? " + parenthesize(e.a) + " : " + parenthesize(e.b)
+}
+
+// callExpr is a builtin function call.
+type callExpr struct {
+	name string
+	args []Expr
+}
+
+func (e callExpr) Eval(ctx *EvalContext) Value {
+	fn, ok := builtins[strings.ToLower(e.name)]
+	if !ok {
+		return ErrorVal
+	}
+	return fn(ctx, e.args)
+}
+
+func (e callExpr) String() string {
+	parts := make([]string, len(e.args))
+	for i, a := range e.args {
+		parts[i] = a.String()
+	}
+	return e.name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// listExpr is {e1, e2, ...}.
+type listExpr struct{ elems []Expr }
+
+func (e listExpr) Eval(ctx *EvalContext) Value {
+	vs := make([]Value, len(e.elems))
+	for i, el := range e.elems {
+		vs[i] = el.Eval(ctx)
+	}
+	return ListOf(vs...)
+}
+
+func (e listExpr) String() string {
+	parts := make([]string, len(e.elems))
+	for i, el := range e.elems {
+		parts[i] = el.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case litExpr, attrExpr, callExpr, listExpr:
+		return e.String()
+	}
+	return "(" + e.String() + ")"
+}
+
+func evalLogic(op string, le, re Expr, ctx *EvalContext) Value {
+	l := le.Eval(ctx)
+	toB := func(v Value) Value {
+		switch v.Kind {
+		case BooleanKind, UndefinedKind:
+			return v
+		default:
+			return ErrorVal
+		}
+	}
+	l = toB(l)
+	if l.Kind == ErrorKind {
+		return ErrorVal
+	}
+	// Short circuit where three-valued logic allows it.
+	if op == "&&" && l.Kind == BooleanKind && !l.Bool {
+		return False
+	}
+	if op == "||" && l.Kind == BooleanKind && l.Bool {
+		return True
+	}
+	r := toB(re.Eval(ctx))
+	if r.Kind == ErrorKind {
+		return ErrorVal
+	}
+	if op == "&&" {
+		if r.Kind == BooleanKind && !r.Bool {
+			return False
+		}
+		if l.Kind == UndefinedKind || r.Kind == UndefinedKind {
+			return Undefined
+		}
+		return Boolean(l.Bool && r.Bool)
+	}
+	// op == "||"
+	if r.Kind == BooleanKind && r.Bool {
+		return True
+	}
+	if l.Kind == UndefinedKind || r.Kind == UndefinedKind {
+		return Undefined
+	}
+	return Boolean(l.Bool || r.Bool)
+}
+
+func evalArith(op string, l, r Value) Value {
+	if !l.IsNumber() || !r.IsNumber() {
+		if op == "+" && l.Kind == StringKind && r.Kind == StringKind {
+			return Str(l.Str + r.Str)
+		}
+		return ErrorVal
+	}
+	if l.Kind == IntegerKind && r.Kind == IntegerKind {
+		a, b := l.Int, r.Int
+		switch op {
+		case "+":
+			return Integer(a + b)
+		case "-":
+			return Integer(a - b)
+		case "*":
+			return Integer(a * b)
+		case "/":
+			if b == 0 {
+				return ErrorVal
+			}
+			return Integer(a / b)
+		case "%":
+			if b == 0 {
+				return ErrorVal
+			}
+			return Integer(a % b)
+		}
+	}
+	a, _ := l.AsReal()
+	b, _ := r.AsReal()
+	switch op {
+	case "+":
+		return RealValue(a + b)
+	case "-":
+		return RealValue(a - b)
+	case "*":
+		return RealValue(a * b)
+	case "/":
+		if b == 0 {
+			return ErrorVal
+		}
+		return RealValue(a / b)
+	case "%":
+		if b == 0 {
+			return ErrorVal
+		}
+		return RealValue(float64(int64(a) % int64(b)))
+	}
+	return ErrorVal
+}
+
+func evalCompare(op string, l, r Value) Value {
+	var cmp int
+	switch {
+	case l.IsNumber() && r.IsNumber():
+		a, _ := l.AsReal()
+		b, _ := r.AsReal()
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+	case l.Kind == StringKind && r.Kind == StringKind:
+		// Old ClassAd string == is case-insensitive.
+		cmp = strings.Compare(strings.ToLower(l.Str), strings.ToLower(r.Str))
+	case l.Kind == BooleanKind && r.Kind == BooleanKind:
+		switch {
+		case !l.Bool && r.Bool:
+			cmp = -1
+		case l.Bool && !r.Bool:
+			cmp = 1
+		}
+	default:
+		return ErrorVal
+	}
+	switch op {
+	case "==":
+		return Boolean(cmp == 0)
+	case "!=":
+		return Boolean(cmp != 0)
+	case "<":
+		return Boolean(cmp < 0)
+	case "<=":
+		return Boolean(cmp <= 0)
+	case ">":
+		return Boolean(cmp > 0)
+	case ">=":
+		return Boolean(cmp >= 0)
+	}
+	return ErrorVal
+}
+
+var _ = fmt.Sprintf // keep fmt linked for debug helpers

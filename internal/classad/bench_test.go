@@ -1,0 +1,82 @@
+package classad
+
+import (
+	"fmt"
+	"testing"
+)
+
+var benchMachine = MustParseAd(`
+MyType = "Machine"
+Name = "vm12.cs.wisc.edu"
+Arch = "x86_64"
+OpSys = "LINUX"
+Memory = 2048
+Cpus = 4
+LoadAvg = 0.15
+KeyboardIdle = 3600
+State = "Unclaimed"
+Requirements = TARGET.ImageSize <= MY.Memory && LoadAvg < 0.3
+Rank = TARGET.Owner == "condor-admin" ? 10 : 1
+`)
+
+var benchJob = MustParseAd(`
+MyType = "Job"
+Owner = "jfrey"
+Cmd = "mw-worker"
+ImageSize = 128
+Requirements = TARGET.Arch == "x86_64" && TARGET.OpSys == "LINUX" && TARGET.Memory >= MY.ImageSize && TARGET.KeyboardIdle > 900
+Rank = TARGET.Memory * 1.0 + TARGET.Cpus * 100
+`)
+
+func BenchmarkParseAd(b *testing.B) {
+	src := benchMachine.String()
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAd(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseExpr(b *testing.B) {
+	const src = `TARGET.Arch == "x86_64" && (TARGET.Memory >= MY.ImageSize * 2 || member(TARGET.Name, {"a","b","c"}))`
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseExpr(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalRequirements(b *testing.B) {
+	req, _ := benchJob.Lookup("Requirements")
+	ctx := &EvalContext{Self: benchJob, Target: benchMachine}
+	for i := 0; i < b.N; i++ {
+		if !req.Eval(ctx).IsTrue() {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !Match(benchJob, benchMachine) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkMatchList100(b *testing.B) {
+	machines := make([]*Ad, 100)
+	for i := range machines {
+		m := benchMachine.Clone()
+		m.SetString("Name", fmt.Sprintf("vm%d", i))
+		m.SetInt("Memory", int64(256+i*32))
+		machines[i] = m
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := MatchList(benchJob, machines); len(got) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}

@@ -1,0 +1,418 @@
+package classad
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// builtinFunc implements a ClassAd intrinsic. Arguments are unevaluated so
+// intrinsics such as isUndefined can inspect evaluation results without
+// tripping error propagation at the call boundary.
+type builtinFunc func(ctx *EvalContext, args []Expr) Value
+
+var builtins map[string]builtinFunc
+
+func init() {
+	builtins = map[string]builtinFunc{
+		"strcat":      biStrcat,
+		"substr":      biSubstr,
+		"strcmp":      biStrcmp,
+		"stricmp":     biStricmp,
+		"toupper":     biToUpper,
+		"tolower":     biToLower,
+		"size":        biSize,
+		"member":      biMember,
+		"isundefined": biIsUndefined,
+		"iserror":     biIsError,
+		"isstring":    biIsKind(StringKind),
+		"isinteger":   biIsKind(IntegerKind),
+		"isreal":      biIsKind(RealKind),
+		"isboolean":   biIsKind(BooleanKind),
+		"islist":      biIsKind(ListKind),
+		"int":         biInt,
+		"real":        biReal,
+		"string":      biString,
+		"floor":       biRound(math.Floor),
+		"ceiling":     biRound(math.Ceil),
+		"round":       biRound(math.Round),
+		"ifthenelse":  biIfThenElse,
+		"min":         biMinMax(true),
+		"max":         biMinMax(false),
+		"regexp":      biRegexp,
+	}
+}
+
+func evalArgs(ctx *EvalContext, args []Expr) []Value {
+	vs := make([]Value, len(args))
+	for i, a := range args {
+		vs[i] = a.Eval(ctx)
+	}
+	return vs
+}
+
+func biStrcat(ctx *EvalContext, args []Expr) Value {
+	var sb strings.Builder
+	for _, v := range evalArgs(ctx, args) {
+		switch v.Kind {
+		case StringKind:
+			sb.WriteString(v.Str)
+		case IntegerKind, RealKind, BooleanKind:
+			sb.WriteString(strings.Trim(v.String(), `"`))
+		case UndefinedKind:
+			return Undefined
+		default:
+			return ErrorVal
+		}
+	}
+	return Str(sb.String())
+}
+
+func biSubstr(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 2 && len(args) != 3 {
+		return ErrorVal
+	}
+	vs := evalArgs(ctx, args)
+	if vs[0].Kind != StringKind {
+		return ErrorVal
+	}
+	off, ok := vs[1].AsInt()
+	if !ok {
+		return ErrorVal
+	}
+	s := vs[0].Str
+	if off < 0 {
+		off += int64(len(s))
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off > int64(len(s)) {
+		return Str("")
+	}
+	rest := s[off:]
+	if len(args) == 3 {
+		n, ok := vs[2].AsInt()
+		if !ok {
+			return ErrorVal
+		}
+		if n < 0 {
+			n += int64(len(rest))
+			if n < 0 {
+				n = 0
+			}
+		}
+		if n < int64(len(rest)) {
+			rest = rest[:n]
+		}
+	}
+	return Str(rest)
+}
+
+func biStrcmp(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 2 {
+		return ErrorVal
+	}
+	vs := evalArgs(ctx, args)
+	if vs[0].Kind != StringKind || vs[1].Kind != StringKind {
+		return ErrorVal
+	}
+	return Integer(int64(strings.Compare(vs[0].Str, vs[1].Str)))
+}
+
+func biStricmp(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 2 {
+		return ErrorVal
+	}
+	vs := evalArgs(ctx, args)
+	if vs[0].Kind != StringKind || vs[1].Kind != StringKind {
+		return ErrorVal
+	}
+	return Integer(int64(strings.Compare(strings.ToLower(vs[0].Str), strings.ToLower(vs[1].Str))))
+}
+
+func biToUpper(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 1 {
+		return ErrorVal
+	}
+	v := args[0].Eval(ctx)
+	if v.Kind != StringKind {
+		return ErrorVal
+	}
+	return Str(strings.ToUpper(v.Str))
+}
+
+func biToLower(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 1 {
+		return ErrorVal
+	}
+	v := args[0].Eval(ctx)
+	if v.Kind != StringKind {
+		return ErrorVal
+	}
+	return Str(strings.ToLower(v.Str))
+}
+
+func biSize(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 1 {
+		return ErrorVal
+	}
+	v := args[0].Eval(ctx)
+	switch v.Kind {
+	case StringKind:
+		return Integer(int64(len(v.Str)))
+	case ListKind:
+		return Integer(int64(len(v.List)))
+	case UndefinedKind:
+		return Undefined
+	default:
+		return ErrorVal
+	}
+}
+
+func biMember(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 2 {
+		return ErrorVal
+	}
+	item := args[0].Eval(ctx)
+	list := args[1].Eval(ctx)
+	if list.Kind != ListKind {
+		return ErrorVal
+	}
+	if item.Kind == UndefinedKind {
+		return Undefined
+	}
+	for _, e := range list.List {
+		if item.Kind == StringKind && e.Kind == StringKind {
+			if strings.EqualFold(item.Str, e.Str) {
+				return True
+			}
+			continue
+		}
+		if SameValue(item, e) {
+			return True
+		}
+	}
+	return False
+}
+
+func biIsUndefined(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 1 {
+		return ErrorVal
+	}
+	return Boolean(args[0].Eval(ctx).Kind == UndefinedKind)
+}
+
+func biIsError(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 1 {
+		return ErrorVal
+	}
+	return Boolean(args[0].Eval(ctx).Kind == ErrorKind)
+}
+
+func biIsKind(k ValueKind) builtinFunc {
+	return func(ctx *EvalContext, args []Expr) Value {
+		if len(args) != 1 {
+			return ErrorVal
+		}
+		return Boolean(args[0].Eval(ctx).Kind == k)
+	}
+}
+
+func biInt(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 1 {
+		return ErrorVal
+	}
+	v := args[0].Eval(ctx)
+	switch v.Kind {
+	case IntegerKind:
+		return v
+	case RealKind:
+		return Integer(int64(v.Real))
+	case BooleanKind:
+		if v.Bool {
+			return Integer(1)
+		}
+		return Integer(0)
+	case StringKind:
+		var i int64
+		var f float64
+		if _, err := fscan(v.Str, &i); err == nil {
+			return Integer(i)
+		}
+		if _, err := fscan(v.Str, &f); err == nil {
+			return Integer(int64(f))
+		}
+		return ErrorVal
+	case UndefinedKind:
+		return Undefined
+	}
+	return ErrorVal
+}
+
+func biReal(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 1 {
+		return ErrorVal
+	}
+	v := args[0].Eval(ctx)
+	switch v.Kind {
+	case RealKind:
+		return v
+	case IntegerKind:
+		return RealValue(float64(v.Int))
+	case BooleanKind:
+		if v.Bool {
+			return RealValue(1)
+		}
+		return RealValue(0)
+	case StringKind:
+		var f float64
+		if _, err := fscan(v.Str, &f); err == nil {
+			return RealValue(f)
+		}
+		return ErrorVal
+	case UndefinedKind:
+		return Undefined
+	}
+	return ErrorVal
+}
+
+func biString(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 1 {
+		return ErrorVal
+	}
+	v := args[0].Eval(ctx)
+	switch v.Kind {
+	case StringKind:
+		return v
+	case UndefinedKind:
+		return Undefined
+	case ErrorKind:
+		return ErrorVal
+	default:
+		return Str(strings.Trim(v.String(), `"`))
+	}
+}
+
+func biRound(f func(float64) float64) builtinFunc {
+	return func(ctx *EvalContext, args []Expr) Value {
+		if len(args) != 1 {
+			return ErrorVal
+		}
+		v := args[0].Eval(ctx)
+		switch v.Kind {
+		case IntegerKind:
+			return v
+		case RealKind:
+			return Integer(int64(f(v.Real)))
+		case UndefinedKind:
+			return Undefined
+		default:
+			return ErrorVal
+		}
+	}
+}
+
+func biIfThenElse(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 3 {
+		return ErrorVal
+	}
+	return condExpr{args[0], args[1], args[2]}.Eval(ctx)
+}
+
+func biMinMax(isMin bool) builtinFunc {
+	return func(ctx *EvalContext, args []Expr) Value {
+		if len(args) == 0 {
+			return ErrorVal
+		}
+		vs := evalArgs(ctx, args)
+		best, ok := vs[0].AsReal()
+		if !ok {
+			if vs[0].Kind == UndefinedKind {
+				return Undefined
+			}
+			return ErrorVal
+		}
+		allInt := vs[0].Kind == IntegerKind
+		for _, v := range vs[1:] {
+			f, ok := v.AsReal()
+			if !ok {
+				if v.Kind == UndefinedKind {
+					return Undefined
+				}
+				return ErrorVal
+			}
+			allInt = allInt && v.Kind == IntegerKind
+			if (isMin && f < best) || (!isMin && f > best) {
+				best = f
+			}
+		}
+		if allInt {
+			return Integer(int64(best))
+		}
+		return RealValue(best)
+	}
+}
+
+// biRegexp implements a minimal glob-style match: '*' matches any run and
+// '?' one character. Full POSIX regexps would drag in state we do not need;
+// every broker constraint in this repository uses globs.
+func biRegexp(ctx *EvalContext, args []Expr) Value {
+	if len(args) != 2 {
+		return ErrorVal
+	}
+	vs := evalArgs(ctx, args)
+	if vs[0].Kind != StringKind || vs[1].Kind != StringKind {
+		return ErrorVal
+	}
+	return Boolean(globMatch(vs[0].Str, vs[1].Str))
+}
+
+func globMatch(pattern, s string) bool {
+	// Classic iterative glob with backtracking on the last '*'.
+	var pi, si int
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '?' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '*':
+			star, mark = pi, si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '*' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// fscan parses a full numeric string into *int64 or *float64.
+func fscan(s string, out any) (int, error) {
+	s = strings.TrimSpace(s)
+	switch p := out.(type) {
+	case *int64:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, err
+		}
+		*p = v
+	case *float64:
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, err
+		}
+		*p = v
+	default:
+		return 0, errors.New("classad: unsupported scan target")
+	}
+	return 1, nil
+}

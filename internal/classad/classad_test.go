@@ -1,0 +1,342 @@
+package classad
+
+import (
+	"strings"
+	"testing"
+)
+
+func evalStr(t *testing.T, src string) Value {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e.Eval(&EvalContext{})
+}
+
+func TestLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"42", Integer(42)},
+		{"-42", Integer(-42)},
+		{"3.5", RealValue(3.5)},
+		{"1e3", RealValue(1000)},
+		{"2.5e-1", RealValue(0.25)},
+		{`"hello"`, Str("hello")},
+		{`"a\"b\n"`, Str("a\"b\n")},
+		{"true", True},
+		{"FALSE", False},
+		{"undefined", Undefined},
+		{"error", ErrorVal},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		if !SameValue(got, c.want) || got.Kind != c.want.Kind {
+			t.Errorf("%q = %v (%v), want %v (%v)", c.src, got, got.Kind, c.want, c.want.Kind)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"1 + 2 * 3", Integer(7)},
+		{"(1 + 2) * 3", Integer(9)},
+		{"10 / 4", Integer(2)},
+		{"10.0 / 4", RealValue(2.5)},
+		{"10 % 3", Integer(1)},
+		{"2 - 5", Integer(-3)},
+		{"-2 * -3", Integer(6)},
+		{"1 / 0", ErrorVal},
+		{"1 % 0", ErrorVal},
+		{`"foo" + "bar"`, Str("foobar")},
+		{`1 + "x"`, ErrorVal},
+		{"1 + undefined", Undefined},
+		{"error + 1", ErrorVal},
+		// Error beats Undefined when both present.
+		{"undefined + error", ErrorVal},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		if got.Kind != c.want.Kind || !SameValue(got, c.want) {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"1 < 2", True},
+		{"2 <= 2", True},
+		{"3 > 4", False},
+		{"1.5 >= 1.5", True},
+		{"1 == 1.0", True},
+		{"1 != 2", True},
+		{`"ABC" == "abc"`, True}, // old-ClassAd string equality is case-insensitive
+		{`"abc" < "abd"`, True},
+		{`"a" == 1`, ErrorVal},
+		{"undefined == 1", Undefined},
+		{"undefined =?= 1", False},
+		{"undefined =?= undefined", True},
+		{"undefined =!= undefined", False},
+		{`"ABC" =?= "abc"`, False}, // meta-equality is exact
+		{"true == true", True},
+		{"false < true", True},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		if got.Kind != c.want.Kind || !SameValue(got, c.want) {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"true && true", True},
+		{"true && false", False},
+		{"false && undefined", False}, // short circuit absorbs undefined
+		{"undefined && false", False},
+		{"undefined && true", Undefined},
+		{"true || undefined", True},
+		{"undefined || true", True},
+		{"undefined || false", Undefined},
+		{"undefined || undefined", Undefined},
+		{"!undefined", Undefined},
+		{"!true", False},
+		{"1 && true", ErrorVal},
+		{"error || true", ErrorVal},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		if got.Kind != c.want.Kind || !SameValue(got, c.want) {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestConditional(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"true ? 1 : 2", Integer(1)},
+		{"false ? 1 : 2", Integer(2)},
+		{"undefined ? 1 : 2", Undefined},
+		{"1 ? 1 : 2", ErrorVal},
+		{"2 > 1 ? \"yes\" : \"no\"", Str("yes")},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		if got.Kind != c.want.Kind || !SameValue(got, c.want) {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{`strcat("a", "b", 3)`, Str("ab3")},
+		{`substr("condor", 2)`, Str("ndor")},
+		{`substr("condor", 2, 2)`, Str("nd")},
+		{`substr("condor", -3)`, Str("dor")},
+		{`substr("condor", 10)`, Str("")},
+		{`strcmp("a", "b")`, Integer(-1)},
+		{`stricmp("ABC", "abc")`, Integer(0)},
+		{`toUpper("abc")`, Str("ABC")},
+		{`toLower("ABC")`, Str("abc")},
+		{`size("hello")`, Integer(5)},
+		{`size({1,2,3})`, Integer(3)},
+		{`member(2, {1,2,3})`, True},
+		{`member("B", {"a","b"})`, True},
+		{`member(9, {1,2,3})`, False},
+		{`isUndefined(undefined)`, True},
+		{`isUndefined(3)`, False},
+		{`isError(1/0)`, True},
+		{`isString("x")`, True},
+		{`isInteger(3)`, True},
+		{`isReal(3.0)`, True},
+		{`isBoolean(true)`, True},
+		{`isList({1})`, True},
+		{`int(3.9)`, Integer(3)},
+		{`int("12")`, Integer(12)},
+		{`real(3)`, RealValue(3)},
+		{`real("2.5")`, RealValue(2.5)},
+		{`string(42)`, Str("42")},
+		{`floor(3.7)`, Integer(3)},
+		{`ceiling(3.2)`, Integer(4)},
+		{`round(3.5)`, Integer(4)},
+		{`ifThenElse(1 < 2, "a", "b")`, Str("a")},
+		{`min(3, 1, 2)`, Integer(1)},
+		{`max(3, 1, 2.5)`, RealValue(3)},
+		{`regexp("vm*.cs.wisc.edu", "vm12.cs.wisc.edu")`, True},
+		{`regexp("*.anl.gov", "mcs.anl.gov")`, True},
+		{`regexp("*.anl.gov", "cs.wisc.edu")`, False},
+		{`regexp("node?", "node7")`, True},
+		{`regexp("node?", "node72")`, False},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		if got.Kind != c.want.Kind || !SameValue(got, c.want) {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestUnknownFunctionIsParseError(t *testing.T) {
+	if _, err := ParseExpr("noSuchFn(1)"); err == nil {
+		t.Fatal("unknown function should fail to parse")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"1 +", "(1", `"unterminated`, "{1, }", "? : 1", "a = b", "1 2", "@",
+		`"bad \q escape"`,
+	} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", src)
+		}
+	}
+}
+
+func TestAttrResolution(t *testing.T) {
+	machine := MustParseAd(`
+		Memory = 512
+		Arch = "x86_64"
+		LoadAvg = 0.25
+	`)
+	job := MustParseAd(`
+		ImageSize = 128
+		WantArch = "x86_64"
+		Requirements = TARGET.Memory >= MY.ImageSize && TARGET.Arch == MY.WantArch
+	`)
+	v := job.EvalAgainst("Requirements", machine)
+	if !v.IsTrue() {
+		t.Fatalf("Requirements = %v, want true", v)
+	}
+	// Unqualified names resolve self-first, then target.
+	mixed := MustParseAd(`Memory = 64` + "\n" + `Check = Memory < 100`)
+	if !mixed.EvalAgainst("Check", machine).IsTrue() {
+		t.Fatal("unqualified ref should bind self's Memory=64 first")
+	}
+	noSelf := MustParseAd(`Check = Memory > 100`)
+	if !noSelf.EvalAgainst("Check", machine).IsTrue() {
+		t.Fatal("unqualified ref should fall through to target's Memory=512")
+	}
+}
+
+func TestAttrCaseInsensitivity(t *testing.T) {
+	ad := New()
+	ad.SetInt("Memory", 512)
+	if got := ad.EvalInt("MEMORY", -1); got != 512 {
+		t.Fatalf("case-insensitive lookup = %d, want 512", got)
+	}
+	ad.SetInt("MEMORY", 1024) // same attribute, different case
+	if ad.Len() != 1 {
+		t.Fatalf("case-variant Set created a second attribute: %d", ad.Len())
+	}
+	if got := ad.EvalInt("memory", -1); got != 1024 {
+		t.Fatalf("overwrite through case variant = %d, want 1024", got)
+	}
+}
+
+func TestRecursiveAttrIsError(t *testing.T) {
+	ad := MustParseAd("A = B\nB = A")
+	if got := ad.Eval("A"); got.Kind != ErrorKind {
+		t.Fatalf("recursive attribute = %v, want error", got)
+	}
+}
+
+func TestAdRoundTrip(t *testing.T) {
+	src := `MyType = "Machine"
+Name = "vm1.cs.wisc.edu"
+Memory = 512
+LoadAvg = 0.25
+Requirements = TARGET.ImageSize <= MY.Memory && member(TARGET.Owner, {"jfrey", "miron"})
+Rank = TARGET.JobPrio * 2 + 1
+Flags = {1, 2.5, "three", true}
+`
+	ad := MustParseAd(src)
+	again := MustParseAd(ad.String())
+	if ad.StringSorted() != again.StringSorted() {
+		t.Fatalf("round-trip mismatch:\n%s\nvs\n%s", ad.StringSorted(), again.StringSorted())
+	}
+}
+
+func TestAdJSONRoundTrip(t *testing.T) {
+	ad := MustParseAd("A = 1\nB = \"two\"\nC = TARGET.X > 3")
+	data, err := ad.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Ad
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.StringSorted() != ad.StringSorted() {
+		t.Fatalf("JSON round-trip mismatch:\n%q\nvs\n%q", back.StringSorted(), ad.StringSorted())
+	}
+}
+
+func TestDeleteAndClone(t *testing.T) {
+	ad := MustParseAd("A = 1\nB = 2\nC = 3")
+	c := ad.Clone()
+	if !ad.Delete("b") {
+		t.Fatal("Delete should report true for existing attribute")
+	}
+	if ad.Delete("b") {
+		t.Fatal("second Delete should report false")
+	}
+	if ad.Len() != 2 || c.Len() != 3 {
+		t.Fatalf("delete leaked into clone: ad=%d clone=%d", ad.Len(), c.Len())
+	}
+	if got := strings.Join(ad.Names(), ","); got != "A,C" {
+		t.Fatalf("Names after delete = %s", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := MustParseAd("A = 1\nB = 2")
+	b := MustParseAd("B = 20\nC = 30")
+	a.Merge(b)
+	if a.EvalInt("B", -1) != 20 || a.EvalInt("C", -1) != 30 || a.EvalInt("A", -1) != 1 {
+		t.Fatalf("merge result wrong: %s", a)
+	}
+}
+
+func TestNestedAdLiteral(t *testing.T) {
+	e := MustParseExpr(`[ a = 1; b = "x" ]`)
+	v := e.Eval(&EvalContext{})
+	if v.Kind != AdKind {
+		t.Fatalf("kind = %v, want classad", v.Kind)
+	}
+	if v.Ad.EvalInt("a", -1) != 1 || v.Ad.EvalString("b", "") != "x" {
+		t.Fatalf("nested ad contents wrong: %s", v.Ad)
+	}
+}
+
+func TestComments(t *testing.T) {
+	ad := MustParseAd(`
+		# hash comment
+		// slash comment
+		A = 1 // trailing comment
+		B = /* inline */ 2
+	`)
+	if ad.EvalInt("A", -1) != 1 || ad.EvalInt("B", -1) != 2 {
+		t.Fatalf("comment handling broke parsing: %s", ad)
+	}
+}

@@ -1,0 +1,271 @@
+// Package classad implements the Condor ClassAd language: a lexer, parser,
+// three-valued-logic evaluator, and the bilateral Requirements/Rank
+// matchmaking used by the Condor Matchmaker (Raman, Livny, Solomon, HPDC'98)
+// that the Condor-G paper adopts for its personal resource broker (§4.4) and
+// for GlideIn pool scheduling (§5).
+package classad
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokReal
+	tokString
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokSemi
+	tokAssign // =
+	tokDot
+	tokQuestion
+	tokColon
+	tokOr      // ||
+	tokAnd     // &&
+	tokNot     // !
+	tokEq      // ==
+	tokNe      // !=
+	tokMetaEq  // =?=
+	tokMetaNe  // =!=
+	tokLt      // <
+	tokLe      // <=
+	tokGt      // >
+	tokGe      // >=
+	tokPlus    // +
+	tokMinus   // -
+	tokStar    // *
+	tokSlash   // /
+	tokPercent // %
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src. ClassAd comments (// and /* */) are stripped.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber()
+		case isIdentStart(c):
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos])
+		default:
+			if err := l.lexOperator(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			l.emit(tokString, sb.String())
+			return nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return fmt.Errorf("classad: unterminated escape at %d", start)
+			}
+			switch e := l.src[l.pos]; e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '"':
+				sb.WriteByte(e)
+			default:
+				return fmt.Errorf("classad: bad escape \\%c at %d", e, l.pos)
+			}
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return fmt.Errorf("classad: unterminated string at %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	isReal := false
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		isReal = true
+		l.pos++
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		mark := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			isReal = true
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.pos++
+			}
+		} else {
+			l.pos = mark // not an exponent after all
+		}
+	}
+	if isReal {
+		l.emit(tokReal, l.src[start:l.pos])
+	} else {
+		l.emit(tokInt, l.src[start:l.pos])
+	}
+}
+
+func (l *lexer) lexOperator() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	three := ""
+	if l.pos+2 < len(l.src) {
+		three = l.src[l.pos : l.pos+3]
+	}
+	switch three {
+	case "=?=":
+		l.pos += 3
+		l.emit(tokMetaEq, three)
+		return nil
+	case "=!=":
+		l.pos += 3
+		l.emit(tokMetaNe, three)
+		return nil
+	}
+	switch two {
+	case "||":
+		l.pos += 2
+		l.emit(tokOr, two)
+		return nil
+	case "&&":
+		l.pos += 2
+		l.emit(tokAnd, two)
+		return nil
+	case "==":
+		l.pos += 2
+		l.emit(tokEq, two)
+		return nil
+	case "!=":
+		l.pos += 2
+		l.emit(tokNe, two)
+		return nil
+	case "<=":
+		l.pos += 2
+		l.emit(tokLe, two)
+		return nil
+	case ">=":
+		l.pos += 2
+		l.emit(tokGe, two)
+		return nil
+	}
+	one := l.src[l.pos]
+	kinds := map[byte]tokenKind{
+		'(': tokLParen, ')': tokRParen,
+		'[': tokLBracket, ']': tokRBracket,
+		'{': tokLBrace, '}': tokRBrace,
+		',': tokComma, ';': tokSemi,
+		'=': tokAssign, '.': tokDot,
+		'?': tokQuestion, ':': tokColon,
+		'!': tokNot, '<': tokLt, '>': tokGt,
+		'+': tokPlus, '-': tokMinus,
+		'*': tokStar, '/': tokSlash, '%': tokPercent,
+	}
+	k, ok := kinds[one]
+	if !ok {
+		return fmt.Errorf("classad: unexpected character %q at %d", one, l.pos)
+	}
+	l.pos++
+	l.emit(k, string(one))
+	return nil
+}

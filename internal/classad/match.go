@@ -1,0 +1,70 @@
+package classad
+
+import "sort"
+
+// Symmetric matchmaking per Raman/Livny/Solomon: two ads match when each
+// ad's Requirements expression evaluates to true with the other ad bound as
+// TARGET. Rank orders acceptable matches; higher is better.
+
+// Satisfies reports whether a's Requirements is true against b. A missing
+// Requirements attribute is treated as true (an unconstrained ad);
+// an Undefined or Error evaluation is treated as no-match.
+func Satisfies(a, b *Ad) bool {
+	req, ok := a.Lookup("Requirements")
+	if !ok {
+		return true
+	}
+	return req.Eval(&EvalContext{Self: a, Target: b}).IsTrue()
+}
+
+// Match reports whether the two ads satisfy each other's Requirements.
+func Match(a, b *Ad) bool { return Satisfies(a, b) && Satisfies(b, a) }
+
+// RankOf evaluates a's Rank against candidate b as a float. Missing,
+// Undefined, or non-numeric ranks are 0, per Condor semantics.
+func RankOf(a, b *Ad) float64 {
+	rank, ok := a.Lookup("Rank")
+	if !ok {
+		return 0
+	}
+	v := rank.Eval(&EvalContext{Self: a, Target: b})
+	if v.Kind == BooleanKind {
+		if v.Bool {
+			return 1
+		}
+		return 0
+	}
+	f, ok := v.AsReal()
+	if !ok {
+		return 0
+	}
+	return f
+}
+
+// Candidate pairs an ad with its rank as seen from a requesting ad.
+type Candidate struct {
+	Ad   *Ad
+	Rank float64 // requester's Rank of this candidate
+}
+
+// MatchList returns the candidates that mutually match request, ordered by
+// descending requester rank; ties preserve input order (stable).
+func MatchList(request *Ad, candidates []*Ad) []Candidate {
+	var out []Candidate
+	for _, c := range candidates {
+		if Match(request, c) {
+			out = append(out, Candidate{Ad: c, Rank: RankOf(request, c)})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Rank > out[j].Rank })
+	return out
+}
+
+// BestMatch returns the highest-ranked mutual match, or nil when none.
+func BestMatch(request *Ad, candidates []*Ad) *Ad {
+	list := MatchList(request, candidates)
+	if len(list) == 0 {
+		return nil
+	}
+	return list[0].Ad
+}

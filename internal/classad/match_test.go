@@ -1,0 +1,168 @@
+package classad
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func machineAd(name string, mem int64, arch string) *Ad {
+	ad := New()
+	ad.SetString("MyType", "Machine")
+	ad.SetString("Name", name)
+	ad.SetInt("Memory", mem)
+	ad.SetString("Arch", arch)
+	ad.SetExpr("Requirements", MustParseExpr("TARGET.ImageSize <= MY.Memory"))
+	return ad
+}
+
+func jobAd(image int64, arch string) *Ad {
+	ad := New()
+	ad.SetString("MyType", "Job")
+	ad.SetInt("ImageSize", image)
+	ad.SetString("WantArch", arch)
+	ad.SetExpr("Requirements", MustParseExpr("TARGET.Arch == MY.WantArch"))
+	ad.SetExpr("Rank", MustParseExpr("TARGET.Memory"))
+	return ad
+}
+
+func TestMatchBothDirections(t *testing.T) {
+	m := machineAd("m1", 512, "x86_64")
+	j := jobAd(256, "x86_64")
+	if !Match(j, m) {
+		t.Fatal("compatible job/machine should match")
+	}
+	// Job violates machine's requirements.
+	big := jobAd(1024, "x86_64")
+	if Match(big, m) {
+		t.Fatal("job with ImageSize > machine Memory must not match")
+	}
+	// Machine violates job's requirements.
+	sparc := machineAd("m2", 2048, "sparc")
+	if Match(j, sparc) {
+		t.Fatal("arch mismatch must not match")
+	}
+}
+
+func TestMissingRequirementsIsTrue(t *testing.T) {
+	a, b := New(), New()
+	if !Match(a, b) {
+		t.Fatal("two empty ads should match (no constraints)")
+	}
+}
+
+func TestUndefinedRequirementsIsNoMatch(t *testing.T) {
+	a := New()
+	a.SetExpr("Requirements", MustParseExpr("TARGET.NoSuchAttr > 5"))
+	if Match(a, New()) {
+		t.Fatal("undefined Requirements must be treated as no-match")
+	}
+}
+
+func TestMatchListRanking(t *testing.T) {
+	machines := []*Ad{
+		machineAd("small", 128, "x86_64"),
+		machineAd("big", 4096, "x86_64"),
+		machineAd("medium", 512, "x86_64"),
+	}
+	j := jobAd(100, "x86_64")
+	list := MatchList(j, machines)
+	if len(list) != 3 {
+		t.Fatalf("matches = %d, want 3", len(list))
+	}
+	wantOrder := []string{"big", "medium", "small"}
+	for i, w := range wantOrder {
+		if got := list[i].Ad.EvalString("Name", ""); got != w {
+			t.Fatalf("rank order[%d] = %s, want %s", i, got, w)
+		}
+	}
+	if best := BestMatch(j, machines); best.EvalString("Name", "") != "big" {
+		t.Fatalf("BestMatch = %s, want big", best.EvalString("Name", ""))
+	}
+}
+
+func TestBestMatchNone(t *testing.T) {
+	j := jobAd(100, "mips")
+	if best := BestMatch(j, []*Ad{machineAd("m", 512, "x86_64")}); best != nil {
+		t.Fatal("BestMatch with no candidates should be nil")
+	}
+}
+
+func TestRankOfNonNumeric(t *testing.T) {
+	a := New()
+	a.SetExpr("Rank", MustParseExpr(`"high"`))
+	if r := RankOf(a, New()); r != 0 {
+		t.Fatalf("non-numeric rank = %v, want 0", r)
+	}
+	b := New()
+	b.SetExpr("Rank", MustParseExpr("TARGET.Fast == true"))
+	fast := New()
+	fast.SetBool("Fast", true)
+	if r := RankOf(b, fast); r != 1 {
+		t.Fatalf("boolean-true rank = %v, want 1", r)
+	}
+}
+
+// Property: matchmaking is symmetric — Match(a,b) == Match(b,a).
+func TestQuickMatchSymmetry(t *testing.T) {
+	f := func(memA, memB uint16, imgA, imgB uint16) bool {
+		a := New()
+		a.SetInt("Memory", int64(memA))
+		a.SetInt("ImageSize", int64(imgA))
+		a.SetExpr("Requirements", MustParseExpr("TARGET.ImageSize <= MY.Memory"))
+		b := New()
+		b.SetInt("Memory", int64(memB))
+		b.SetInt("ImageSize", int64(imgB))
+		b.SetExpr("Requirements", MustParseExpr("TARGET.ImageSize <= MY.Memory"))
+		return Match(a, b) == Match(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatchList rank ordering is nonincreasing and every entry
+// mutually matches the request.
+func TestQuickMatchListSorted(t *testing.T) {
+	f := func(mems []uint16) bool {
+		var machines []*Ad
+		for i, m := range mems {
+			machines = append(machines, machineAd(fmt.Sprintf("m%d", i), int64(m), "x86_64"))
+		}
+		j := jobAd(0, "x86_64")
+		list := MatchList(j, machines)
+		for i, c := range list {
+			if !Match(j, c.Ad) {
+				return false
+			}
+			if i > 0 && list[i-1].Rank < c.Rank {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: expression printing round-trips through the parser with an
+// identical evaluation result, for a family of generated expressions.
+func TestQuickExprPrintParse(t *testing.T) {
+	f := func(a, b int16, c bool) bool {
+		src := fmt.Sprintf("(%d + %d * 2 > %d) && %v ? %d : size(\"xyz\")", a, b, a, c, b)
+		e1, err := ParseExpr(src)
+		if err != nil {
+			return false
+		}
+		e2, err := ParseExpr(e1.String())
+		if err != nil {
+			return false
+		}
+		ctx := &EvalContext{}
+		return SameValue(e1.Eval(ctx), e2.Eval(ctx))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

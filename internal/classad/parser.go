@@ -1,0 +1,305 @@
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseExpr parses a single ClassAd expression.
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("classad: trailing input at %s", p.peek())
+	}
+	return e, nil
+}
+
+// MustParseExpr is ParseExpr for compile-time-constant expressions; it
+// panics on error.
+func MustParseExpr(src string) Expr {
+	e, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) accept(k tokenKind) bool {
+	if p.peek().kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("classad: expected %s, found %s", what, t)
+	}
+	return t, nil
+}
+
+// Grammar, lowest to highest precedence:
+//   expr     := orExpr [ '?' expr ':' expr ]
+//   orExpr   := andExpr { '||' andExpr }
+//   andExpr  := eqExpr  { '&&' eqExpr }
+//   eqExpr   := relExpr { ('=='|'!='|'=?='|'=!=') relExpr }
+//   relExpr  := addExpr { ('<'|'<='|'>'|'>=') addExpr }
+//   addExpr  := mulExpr { ('+'|'-') mulExpr }
+//   mulExpr  := unary   { ('*'|'/'|'%') unary }
+//   unary    := ('!'|'-'|'+') unary | primary
+//   primary  := literal | list | '(' expr ')' | newAd
+//             | IDENT '(' args ')' | [MY.|TARGET.] IDENT
+
+func (p *parser) parseExpr() (Expr, error) {
+	c, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokQuestion) {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon, "':'"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return condExpr{c, a, b}, nil
+	}
+	return c, nil
+}
+
+func (p *parser) parseBinaryLevel(ops map[tokenKind]string, sub func() (Expr, error)) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := ops[p.peek().kind]
+		if !ok {
+			return l, nil
+		}
+		p.next()
+		r, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryExpr{op: op, l: l, r: r}
+	}
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	return p.parseBinaryLevel(map[tokenKind]string{tokOr: "||"}, p.parseAnd)
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	return p.parseBinaryLevel(map[tokenKind]string{tokAnd: "&&"}, p.parseEq)
+}
+
+func (p *parser) parseEq() (Expr, error) {
+	return p.parseBinaryLevel(map[tokenKind]string{
+		tokEq: "==", tokNe: "!=", tokMetaEq: "=?=", tokMetaNe: "=!=",
+	}, p.parseRel)
+}
+
+func (p *parser) parseRel() (Expr, error) {
+	return p.parseBinaryLevel(map[tokenKind]string{
+		tokLt: "<", tokLe: "<=", tokGt: ">", tokGe: ">=",
+	}, p.parseAdd)
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	return p.parseBinaryLevel(map[tokenKind]string{tokPlus: "+", tokMinus: "-"}, p.parseMul)
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	return p.parseBinaryLevel(map[tokenKind]string{
+		tokStar: "*", tokSlash: "/", tokPercent: "%",
+	}, p.parseUnary)
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.peek().kind {
+	case tokNot:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{"!", x}, nil
+	case tokMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals so -5 prints as -5 rather than -(5).
+		if lit, ok := x.(litExpr); ok {
+			switch lit.v.Kind {
+			case IntegerKind:
+				return litExpr{Integer(-lit.v.Int)}, nil
+			case RealKind:
+				return litExpr{RealValue(-lit.v.Real)}, nil
+			}
+		}
+		return unaryExpr{"-", x}, nil
+	case tokPlus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{"+", x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("classad: bad integer %q: %v", t.text, err)
+		}
+		return litExpr{Integer(i)}, nil
+	case tokReal:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("classad: bad real %q: %v", t.text, err)
+		}
+		return litExpr{RealValue(f)}, nil
+	case tokString:
+		return litExpr{Str(t.text)}, nil
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLBrace:
+		var elems []Expr
+		if !p.accept(tokRBrace) {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if p.accept(tokRBrace) {
+					break
+				}
+				if _, err := p.expect(tokComma, "',' or '}'"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return listExpr{elems}, nil
+	case tokLBracket:
+		return p.parseNewAd()
+	case tokIdent:
+		return p.parseIdent(t)
+	}
+	return nil, fmt.Errorf("classad: unexpected %s", t)
+}
+
+func (p *parser) parseIdent(t token) (Expr, error) {
+	lower := strings.ToLower(t.text)
+	switch lower {
+	case "true":
+		return litExpr{True}, nil
+	case "false":
+		return litExpr{False}, nil
+	case "undefined":
+		return litExpr{Undefined}, nil
+	case "error":
+		return litExpr{ErrorVal}, nil
+	}
+	// Scoped reference: MY.Attr or TARGET.Attr.
+	if lower == "my" || lower == "target" {
+		if p.accept(tokDot) {
+			name, err := p.expect(tokIdent, "attribute name")
+			if err != nil {
+				return nil, err
+			}
+			return attrExpr{scope: lower, name: strings.ToLower(name.text)}, nil
+		}
+	}
+	// Function call.
+	if p.accept(tokLParen) {
+		if _, ok := builtins[lower]; !ok {
+			return nil, fmt.Errorf("classad: unknown function %q", t.text)
+		}
+		var args []Expr
+		if !p.accept(tokRParen) {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.accept(tokRParen) {
+					break
+				}
+				if _, err := p.expect(tokComma, "',' or ')'"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return callExpr{name: t.text, args: args}, nil
+	}
+	return attrExpr{name: strings.ToLower(t.text)}, nil
+}
+
+// parseNewAd parses the "new ClassAd" syntax [a = 1; b = 2] as a literal
+// nested ad. The opening bracket has been consumed.
+func (p *parser) parseNewAd() (Expr, error) {
+	ad := New()
+	for {
+		if p.accept(tokRBracket) {
+			return litExpr{AdValue(ad)}, nil
+		}
+		name, err := p.expect(tokIdent, "attribute name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAssign, "'='"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ad.SetExpr(name.text, e)
+		if !p.accept(tokSemi) {
+			if _, err := p.expect(tokRBracket, "';' or ']'"); err != nil {
+				return nil, err
+			}
+			return litExpr{AdValue(ad)}, nil
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package classad
+
+import "testing"
+
+// Operator precedence and associativity, nailed down case by case: subtle
+// parser bugs here would corrupt matchmaking decisions silently.
+func TestOperatorPrecedence(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		// * binds tighter than +.
+		{"2 + 3 * 4", Integer(14)},
+		{"2 * 3 + 4", Integer(10)},
+		// +,- left associative.
+		{"10 - 4 - 3", Integer(3)},
+		{"100 / 10 / 5", Integer(2)},
+		// comparison binds tighter than equality.
+		{"1 < 2 == 3 < 4", True}, // (1<2) == (3<4)
+		// equality binds tighter than &&.
+		{"1 == 1 && 2 == 2", True},
+		// && binds tighter than ||.
+		{"false && false || true", True},
+		{"true || false && false", True},
+		// unary minus binds tighter than *.
+		{"-2 * 3", Integer(-6)},
+		{"2 * -3", Integer(-6)},
+		// ! binds tighter than &&.
+		{"!false && true", True},
+		// ternary is lowest and right-grouping via nesting.
+		{"true ? 1 : false ? 2 : 3", Integer(1)},
+		{"false ? 1 : false ? 2 : 3", Integer(3)},
+		{"false ? 1 : true ? 2 : 3", Integer(2)},
+		// ternary condition may be a full || expression.
+		{"false || true ? 1 : 2", Integer(1)},
+		// modulo with multiplication.
+		{"7 % 3 * 2", Integer(2)}, // (7%3)*2
+		// meta-equality at the same level as ==.
+		{"1 + 1 =?= 2", True},
+		// parentheses override everything.
+		{"(2 + 3) * (4 - 1)", Integer(15)},
+		// double unary.
+		{"!!true", True},
+		{"- -5", Integer(5)},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("parse %q: %v", c.src, err)
+			continue
+		}
+		got := e.Eval(&EvalContext{})
+		if got.Kind != c.want.Kind || !SameValue(got, c.want) {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+		// Printing must preserve the value.
+		again, err := ParseExpr(e.String())
+		if err != nil {
+			t.Errorf("reparse of %q (%q): %v", c.src, e.String(), err)
+			continue
+		}
+		if got2 := again.Eval(&EvalContext{}); !SameValue(got, got2) {
+			t.Errorf("%q: print/reparse changed value %v -> %v", c.src, got, got2)
+		}
+	}
+}
+
+func TestStringEscapePrinting(t *testing.T) {
+	ad := New()
+	ad.SetString("Path", `C:\dir "quoted"`+"\n")
+	again := MustParseAd(ad.String())
+	if got := again.EvalString("Path", ""); got != `C:\dir "quoted"`+"\n" {
+		t.Fatalf("escaped string round trip = %q", got)
+	}
+}
+
+func TestScopedVsUnscopedShadowing(t *testing.T) {
+	self := MustParseAd("Memory = 100\nCheckMy = MY.Memory\nCheckPlain = Memory\nCheckTarget = TARGET.Memory")
+	target := MustParseAd("Memory = 999")
+	if v, _ := self.EvalAgainst("CheckMy", target).AsInt(); v != 100 {
+		t.Fatalf("MY. = %d", v)
+	}
+	if v, _ := self.EvalAgainst("CheckPlain", target).AsInt(); v != 100 {
+		t.Fatalf("plain = %d (self wins)", v)
+	}
+	if v, _ := self.EvalAgainst("CheckTarget", target).AsInt(); v != 999 {
+		t.Fatalf("TARGET. = %d", v)
+	}
+	// TARGET with no target ad is Undefined.
+	if got := self.Eval("CheckTarget"); got.Kind != UndefinedKind {
+		t.Fatalf("TARGET with nil target = %v", got)
+	}
+}

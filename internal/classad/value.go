@@ -1,0 +1,191 @@
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValueKind enumerates the ClassAd value lattice. Undefined and Error are
+// first-class values: the evaluator implements the standard ClassAd
+// three-valued logic in which they propagate through most operators.
+type ValueKind int
+
+const (
+	UndefinedKind ValueKind = iota
+	ErrorKind
+	BooleanKind
+	IntegerKind
+	RealKind
+	StringKind
+	ListKind
+	AdKind
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case UndefinedKind:
+		return "undefined"
+	case ErrorKind:
+		return "error"
+	case BooleanKind:
+		return "boolean"
+	case IntegerKind:
+		return "integer"
+	case RealKind:
+		return "real"
+	case StringKind:
+		return "string"
+	case ListKind:
+		return "list"
+	case AdKind:
+		return "classad"
+	}
+	return "invalid"
+}
+
+// Value is a ClassAd runtime value.
+type Value struct {
+	Kind ValueKind
+	Bool bool
+	Int  int64
+	Real float64
+	Str  string
+	List []Value
+	Ad   *Ad
+}
+
+// Convenience constructors.
+var (
+	Undefined = Value{Kind: UndefinedKind}
+	ErrorVal  = Value{Kind: ErrorKind}
+	True      = Value{Kind: BooleanKind, Bool: true}
+	False     = Value{Kind: BooleanKind, Bool: false}
+)
+
+// Boolean wraps a Go bool.
+func Boolean(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Integer wraps an int64.
+func Integer(i int64) Value { return Value{Kind: IntegerKind, Int: i} }
+
+// Real wraps a float64.
+func RealValue(f float64) Value { return Value{Kind: RealKind, Real: f} }
+
+// Str wraps a string.
+func Str(s string) Value { return Value{Kind: StringKind, Str: s} }
+
+// ListOf wraps values into a list value.
+func ListOf(vs ...Value) Value { return Value{Kind: ListKind, List: vs} }
+
+// AdValue wraps a nested ClassAd.
+func AdValue(a *Ad) Value { return Value{Kind: AdKind, Ad: a} }
+
+// IsNumber reports whether v is an integer or real.
+func (v Value) IsNumber() bool { return v.Kind == IntegerKind || v.Kind == RealKind }
+
+// AsReal converts a numeric value to float64; ok is false otherwise.
+func (v Value) AsReal() (float64, bool) {
+	switch v.Kind {
+	case IntegerKind:
+		return float64(v.Int), true
+	case RealKind:
+		return v.Real, true
+	}
+	return 0, false
+}
+
+// AsInt converts a numeric value to int64 (truncating reals).
+func (v Value) AsInt() (int64, bool) {
+	switch v.Kind {
+	case IntegerKind:
+		return v.Int, true
+	case RealKind:
+		return int64(v.Real), true
+	}
+	return 0, false
+}
+
+// IsTrue reports whether v is the boolean true. Undefined and non-booleans
+// are not true (matchmaking treats an Undefined Requirements as no-match).
+func (v Value) IsTrue() bool { return v.Kind == BooleanKind && v.Bool }
+
+// String renders the value in ClassAd literal syntax.
+func (v Value) String() string {
+	switch v.Kind {
+	case UndefinedKind:
+		return "undefined"
+	case ErrorKind:
+		return "error"
+	case BooleanKind:
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	case IntegerKind:
+		return strconv.FormatInt(v.Int, 10)
+	case RealKind:
+		s := strconv.FormatFloat(v.Real, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case StringKind:
+		return strconv.Quote(v.Str)
+	case ListKind:
+		parts := make([]string, len(v.List))
+		for i, e := range v.List {
+			parts[i] = e.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case AdKind:
+		return v.Ad.StringCompact()
+	}
+	return fmt.Sprintf("invalid(%d)", v.Kind)
+}
+
+// SameValue reports deep identity between two values, used by the =?= and
+// =!= meta-comparison operators (which do NOT propagate Undefined).
+func SameValue(a, b Value) bool {
+	if a.Kind != b.Kind {
+		// Meta-comparison in Condor treats int/real of equal magnitude as
+		// distinct only by value, not kind; follow Condor and compare
+		// numerics numerically.
+		if a.IsNumber() && b.IsNumber() {
+			af, _ := a.AsReal()
+			bf, _ := b.AsReal()
+			return af == bf
+		}
+		return false
+	}
+	switch a.Kind {
+	case UndefinedKind, ErrorKind:
+		return true
+	case BooleanKind:
+		return a.Bool == b.Bool
+	case IntegerKind:
+		return a.Int == b.Int
+	case RealKind:
+		return a.Real == b.Real
+	case StringKind:
+		return a.Str == b.Str // case-sensitive: =?= is exact
+	case ListKind:
+		if len(a.List) != len(b.List) {
+			return false
+		}
+		for i := range a.List {
+			if !SameValue(a.List[i], b.List[i]) {
+				return false
+			}
+		}
+		return true
+	case AdKind:
+		return a.Ad == b.Ad
+	}
+	return false
+}

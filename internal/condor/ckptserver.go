@@ -1,0 +1,168 @@
+package condor
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"condorg/internal/gsi"
+	"condorg/internal/wire"
+)
+
+// CkptService is the wire service name for checkpoint servers.
+const CkptService = "condor-ckptserver"
+
+// CheckpointServer stores job checkpoints near the execution site — §5:
+// the GlideIn daemon "periodically checkpoints the job to another location
+// (e.g., the originating location or a local checkpoint server)". Keeping
+// checkpoints at a site-local server avoids shipping them across the wide
+// area on every save; only a locator travels back to the Shadow.
+type CheckpointServer struct {
+	srv *wire.Server
+	mu  sync.Mutex
+	ckp map[string][]byte
+}
+
+// CkptServerOptions configures a checkpoint server.
+type CkptServerOptions struct {
+	Anchor *gsi.Certificate
+	Clock  gsi.Clock
+	Faults *wire.Faults
+}
+
+// NewCheckpointServer starts a checkpoint server on a fresh loopback port.
+func NewCheckpointServer(opts CkptServerOptions) (*CheckpointServer, error) {
+	srv, err := wire.NewServer(wire.ServerConfig{
+		Name:   CkptService,
+		Anchor: opts.Anchor,
+		Clock:  opts.Clock,
+		Faults: opts.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &CheckpointServer{srv: srv, ckp: make(map[string][]byte)}
+	srv.Handle("ckpt.store", s.handleStore)
+	srv.Handle("ckpt.fetch", s.handleFetch)
+	srv.Handle("ckpt.delete", s.handleDelete)
+	return s, nil
+}
+
+// Addr returns host:port.
+func (s *CheckpointServer) Addr() string { return s.srv.Addr() }
+
+// Close stops the server.
+func (s *CheckpointServer) Close() error { return s.srv.Close() }
+
+// Len reports stored checkpoints (for tests).
+func (s *CheckpointServer) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ckp)
+}
+
+type ckptReq struct {
+	Job  string `json:"job"`
+	Data []byte `json:"data,omitempty"`
+}
+
+type ckptResp struct {
+	Data   []byte `json:"data,omitempty"`
+	Exists bool   `json:"exists"`
+}
+
+func (s *CheckpointServer) handleStore(_ string, body json.RawMessage) (any, error) {
+	var req ckptReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if req.Job == "" {
+		return nil, fmt.Errorf("condor: checkpoint store without job id")
+	}
+	s.mu.Lock()
+	s.ckp[req.Job] = append([]byte(nil), req.Data...)
+	s.mu.Unlock()
+	return struct{}{}, nil
+}
+
+func (s *CheckpointServer) handleFetch(_ string, body json.RawMessage) (any, error) {
+	var req ckptReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	data, ok := s.ckp[req.Job]
+	s.mu.Unlock()
+	return ckptResp{Data: data, Exists: ok}, nil
+}
+
+func (s *CheckpointServer) handleDelete(_ string, body json.RawMessage) (any, error) {
+	var req ckptReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	delete(s.ckp, req.Job)
+	s.mu.Unlock()
+	return struct{}{}, nil
+}
+
+// CkptClient talks to a checkpoint server.
+type CkptClient struct {
+	wc *wire.Client
+}
+
+// NewCkptClient connects to the server at addr.
+func NewCkptClient(addr string, cred *gsi.Credential, clock gsi.Clock) *CkptClient {
+	return &CkptClient{wc: wire.Dial(addr, wire.ClientConfig{
+		ServerName: CkptService,
+		Credential: cred,
+		Clock:      clock,
+		Timeout:    2 * time.Second,
+	})}
+}
+
+// Close releases the connection.
+func (c *CkptClient) Close() error { return c.wc.Close() }
+
+// Store saves a checkpoint under the job id.
+func (c *CkptClient) Store(job string, data []byte) error {
+	return c.wc.Call("ckpt.store", ckptReq{Job: job, Data: data}, nil)
+}
+
+// Fetch retrieves the latest checkpoint for job.
+func (c *CkptClient) Fetch(job string) ([]byte, bool, error) {
+	var resp ckptResp
+	if err := c.wc.Call("ckpt.fetch", ckptReq{Job: job}, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.Data, resp.Exists, nil
+}
+
+// Delete removes a job's checkpoint.
+func (c *CkptClient) Delete(job string) error {
+	return c.wc.Call("ckpt.delete", ckptReq{Job: job}, nil)
+}
+
+// Locator is what travels to the Shadow when a site-local checkpoint
+// server holds the data: "ckptsrv://<addr>/<job>".
+const locatorPrefix = "ckptsrv://"
+
+func makeLocator(addr, job string) []byte {
+	return []byte(locatorPrefix + addr + "/" + job)
+}
+
+func parseLocator(data []byte) (addr, job string, ok bool) {
+	s := string(data)
+	if !strings.HasPrefix(s, locatorPrefix) {
+		return "", "", false
+	}
+	rest := s[len(locatorPrefix):]
+	i := strings.LastIndexByte(rest, '/')
+	if i <= 0 || i == len(rest)-1 {
+		return "", "", false
+	}
+	return rest[:i], rest[i+1:], true
+}

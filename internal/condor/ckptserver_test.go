@@ -1,0 +1,159 @@
+package condor
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckpointServerStoreFetchDelete(t *testing.T) {
+	s, err := NewCheckpointServer(CkptServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewCkptClient(s.Addr(), nil, nil)
+	defer c.Close()
+	if err := c.Store("job1", []byte("state-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("job1", []byte("state-v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := c.Fetch("job1")
+	if err != nil || !ok || string(data) != "state-v2" {
+		t.Fatalf("fetch: %q ok=%v err=%v", data, ok, err)
+	}
+	if _, ok, _ := c.Fetch("ghost"); ok {
+		t.Fatal("missing checkpoint reported present")
+	}
+	if err := c.Delete("job1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Fetch("job1"); ok {
+		t.Fatal("deleted checkpoint still present")
+	}
+	if err := c.Store("", []byte("x")); err == nil {
+		t.Fatal("empty job id accepted")
+	}
+}
+
+func TestLocatorRoundTrip(t *testing.T) {
+	loc := makeLocator("127.0.0.1:9999", "schedd.42")
+	addr, job, ok := parseLocator(loc)
+	if !ok || addr != "127.0.0.1:9999" || job != "schedd.42" {
+		t.Fatalf("parse: %q %q %v", addr, job, ok)
+	}
+	for _, bad := range []string{"raw-checkpoint-bytes", "ckptsrv://", "ckptsrv://hostonly", "ckptsrv://host/"} {
+		if _, _, ok := parseLocator([]byte(bad)); ok {
+			t.Errorf("parseLocator(%q) should fail", bad)
+		}
+	}
+}
+
+// TestMigrationViaCheckpointServer runs the full §5 path with a site-local
+// checkpoint server: the job checkpoints to the server, is evicted,
+// re-matches on a second slot, and resumes from the server-held state.
+func TestMigrationViaCheckpointServer(t *testing.T) {
+	cs, err := NewCheckpointServer(CkptServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	coll, _ := NewCollector(CollectorOptions{})
+	defer coll.Close()
+	rt := poolRuntime()
+	var slots []*Startd
+	for i := 0; i < 2; i++ {
+		sd, err := NewStartd(StartdConfig{
+			Name:              fmt.Sprintf("ckpt-slot%d", i),
+			CollectorAddr:     coll.Addr(),
+			Runtime:           rt,
+			AdvertiseInterval: 10 * time.Millisecond,
+			CkptServerAddr:    cs.Addr(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sd.Shutdown("cleanup")
+		slots = append(slots, sd)
+	}
+	schedd, _ := NewSchedd(ScheddConfig{Name: "user", SpoolDir: t.TempDir()})
+	defer schedd.Close()
+	neg := NewNegotiator(coll.Addr(), nil, nil, schedd)
+	defer neg.Stop()
+
+	id, _ := schedd.Submit(JobAd("user", "counter"))
+	deadline := time.Now().Add(2 * time.Second)
+	for coll.Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	neg.Cycle()
+	j := waitPoolState(t, schedd, id, PoolRunning)
+	time.Sleep(50 * time.Millisecond) // a few checkpoints land at the server
+	if cs.Len() == 0 {
+		t.Fatal("no checkpoint reached the server")
+	}
+	// The shadow holds only a small locator, not the state itself.
+	sc := NewStartdClient(j.Machine, nil, nil)
+	sc.Vacate()
+	sc.Close()
+	j = waitPoolState(t, schedd, id, PoolIdle)
+	if !strings.HasPrefix(string(j.Ckpt), "ckptsrv://") {
+		t.Fatalf("shadow-side checkpoint is %q, want a locator", j.Ckpt)
+	}
+	neg.Start(10 * time.Millisecond)
+	j = waitPoolState(t, schedd, id, PoolCompleted)
+	if !strings.Contains(string(j.Stdout), "resumed at") {
+		t.Fatalf("job restarted from scratch after server-side checkpoint: %q", j.Stdout)
+	}
+}
+
+// TestMigrationLocatorWithoutLocalServer: the job lands on a slot with no
+// checkpoint server configured but carries a locator from its previous
+// site; the restore path resolves it remotely.
+func TestMigrationLocatorWithoutLocalServer(t *testing.T) {
+	cs, _ := NewCheckpointServer(CkptServerOptions{})
+	defer cs.Close()
+	coll, _ := NewCollector(CollectorOptions{})
+	defer coll.Close()
+	rt := poolRuntime()
+	withServer, err := NewStartd(StartdConfig{
+		Name: "has-server", CollectorAddr: coll.Addr(), Runtime: rt,
+		AdvertiseInterval: 10 * time.Millisecond, CkptServerAddr: cs.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedd, _ := NewSchedd(ScheddConfig{Name: "user", SpoolDir: t.TempDir()})
+	defer schedd.Close()
+	neg := NewNegotiator(coll.Addr(), nil, nil, schedd)
+	defer neg.Stop()
+	id, _ := schedd.Submit(JobAd("user", "counter"))
+	deadline := time.Now().Add(2 * time.Second)
+	for coll.Len() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	neg.Cycle()
+	waitPoolState(t, schedd, id, PoolRunning)
+	time.Sleep(50 * time.Millisecond)
+	withServer.Vacate()
+	waitPoolState(t, schedd, id, PoolIdle)
+	withServer.Shutdown("gone")
+
+	// Second slot has NO local checkpoint server.
+	plain, err := NewStartd(StartdConfig{
+		Name: "no-server", CollectorAddr: coll.Addr(), Runtime: rt,
+		AdvertiseInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Shutdown("cleanup")
+	neg.Start(10 * time.Millisecond)
+	j := waitPoolState(t, schedd, id, PoolCompleted)
+	if !strings.Contains(string(j.Stdout), "resumed at") {
+		t.Fatalf("cross-site locator restore failed: %q", j.Stdout)
+	}
+}

@@ -1,0 +1,217 @@
+package condor
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"condorg/internal/classad"
+	"condorg/internal/gsi"
+	"condorg/internal/wire"
+)
+
+// Collector is the pool's directory: daemons advertise ClassAds; the
+// Negotiator and tools query them. Ads are soft state and expire unless
+// renewed, which is how the pool notices a vanished GlideIn.
+type Collector struct {
+	srv   *wire.Server
+	clock gsi.Clock
+	mu    sync.Mutex
+	ads   map[string]*collectorEntry // key: MyType + "/" + Name
+}
+
+type collectorEntry struct {
+	ad      *classad.Ad
+	expires time.Time
+}
+
+// CollectorOptions configures a Collector.
+type CollectorOptions struct {
+	Anchor *gsi.Certificate
+	Clock  gsi.Clock
+	Faults *wire.Faults
+}
+
+// NewCollector starts a collector on a fresh loopback port.
+func NewCollector(opts CollectorOptions) (*Collector, error) {
+	if opts.Clock == nil {
+		opts.Clock = gsi.WallClock
+	}
+	srv, err := wire.NewServer(wire.ServerConfig{
+		Name:   CollectorService,
+		Anchor: opts.Anchor,
+		Clock:  opts.Clock,
+		Faults: opts.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{srv: srv, clock: opts.Clock, ads: make(map[string]*collectorEntry)}
+	srv.Handle("collector.advertise", c.handleAdvertise)
+	srv.Handle("collector.invalidate", c.handleInvalidate)
+	srv.Handle("collector.query", c.handleQuery)
+	srv.Handle("collector.ping", func(string, json.RawMessage) (any, error) { return struct{}{}, nil })
+	return c, nil
+}
+
+// Addr returns host:port.
+func (c *Collector) Addr() string { return c.srv.Addr() }
+
+// Close stops the collector.
+func (c *Collector) Close() error { return c.srv.Close() }
+
+func adKey(ad *classad.Ad) (string, error) {
+	typ := ad.EvalString("MyType", "")
+	name := ad.EvalString("Name", "")
+	if typ == "" || name == "" {
+		return "", fmt.Errorf("condor: advertised ad needs MyType and Name")
+	}
+	return typ + "/" + name, nil
+}
+
+type advertiseReq struct {
+	Ad         *classad.Ad `json:"ad"`
+	TTLSeconds int         `json:"ttl_seconds"`
+}
+
+func (c *Collector) handleAdvertise(_ string, body json.RawMessage) (any, error) {
+	var req advertiseReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if req.Ad == nil {
+		return nil, fmt.Errorf("condor: advertise without ad")
+	}
+	key, err := adKey(req.Ad)
+	if err != nil {
+		return nil, err
+	}
+	ttl := adTTL
+	if req.TTLSeconds > 0 {
+		ttl = time.Duration(req.TTLSeconds) * time.Second
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	c.ads[key] = &collectorEntry{ad: req.Ad, expires: c.clock().Add(ttl)}
+	return struct{}{}, nil
+}
+
+type invalidateReq struct {
+	MyType string `json:"my_type"`
+	Name   string `json:"name"`
+}
+
+func (c *Collector) handleInvalidate(_ string, body json.RawMessage) (any, error) {
+	var req invalidateReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.ads, req.MyType+"/"+req.Name)
+	return struct{}{}, nil
+}
+
+type queryReq struct {
+	MyType     string `json:"my_type,omitempty"`
+	Constraint string `json:"constraint,omitempty"`
+}
+
+type queryResp struct {
+	Ads []*classad.Ad `json:"ads"`
+}
+
+func (c *Collector) handleQuery(_ string, body json.RawMessage) (any, error) {
+	var req queryReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	var constraint classad.Expr
+	if req.Constraint != "" {
+		var err error
+		constraint, err = classad.ParseExpr(req.Constraint)
+		if err != nil {
+			return nil, fmt.Errorf("condor: bad constraint: %w", err)
+		}
+	}
+	c.mu.Lock()
+	c.expireLocked()
+	keys := make([]string, 0, len(c.ads))
+	for k := range c.ads {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []*classad.Ad
+	for _, k := range keys {
+		ad := c.ads[k].ad
+		if req.MyType != "" && ad.EvalString("MyType", "") != req.MyType {
+			continue
+		}
+		if constraint != nil && !constraint.Eval(&classad.EvalContext{Self: ad}).IsTrue() {
+			continue
+		}
+		out = append(out, ad)
+	}
+	c.mu.Unlock()
+	return queryResp{Ads: out}, nil
+}
+
+func (c *Collector) expireLocked() {
+	now := c.clock()
+	for k, e := range c.ads {
+		if now.After(e.expires) {
+			delete(c.ads, k)
+		}
+	}
+}
+
+// Len returns the number of live ads (for tests and pool monitoring).
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	return len(c.ads)
+}
+
+// CollectorClient is the client side of the collector protocol.
+type CollectorClient struct {
+	wc *wire.Client
+}
+
+// NewCollectorClient connects to the collector at addr.
+func NewCollectorClient(addr string, cred *gsi.Credential, clock gsi.Clock) *CollectorClient {
+	return &CollectorClient{wc: wire.Dial(addr, wire.ClientConfig{
+		ServerName: CollectorService,
+		Credential: cred,
+		Clock:      clock,
+		Timeout:    2 * time.Second,
+	})}
+}
+
+// Close releases the connection.
+func (c *CollectorClient) Close() error { return c.wc.Close() }
+
+// Advertise publishes ad with a TTL.
+func (c *CollectorClient) Advertise(ad *classad.Ad, ttl time.Duration) error {
+	return c.wc.Call("collector.advertise", advertiseReq{Ad: ad, TTLSeconds: int(ttl / time.Second)}, nil)
+}
+
+// Invalidate withdraws an ad.
+func (c *CollectorClient) Invalidate(myType, name string) error {
+	return c.wc.Call("collector.invalidate", invalidateReq{MyType: myType, Name: name}, nil)
+}
+
+// Query returns ads of myType matching the constraint ("" = all).
+func (c *CollectorClient) Query(myType, constraint string) ([]*classad.Ad, error) {
+	var resp queryResp
+	if err := c.wc.Call("collector.query", queryReq{MyType: myType, Constraint: constraint}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Ads, nil
+}
+
+// Ping checks collector liveness.
+func (c *CollectorClient) Ping() error { return c.wc.Ping("collector.ping") }

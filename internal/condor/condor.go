@@ -1,0 +1,163 @@
+// Package condor implements the intra-domain Condor machinery that Condor-G
+// builds on: the Collector (resource directory), Negotiator (matchmaking
+// cycle), Schedd (persistent job queue), Startd/Starter (execution slot and
+// sandbox), Shadow (submit-side remote-I/O server), and a cooperative
+// checkpoint/migration library. Together these are the personal Condor pool
+// of Figure 2 that GlideIn daemons join.
+//
+// All daemons speak the wire protocol, so a Startd started by a GlideIn on
+// a "remote" site interacts with the user's Collector and Shadows exactly
+// as a local one would.
+package condor
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"condorg/internal/classad"
+)
+
+// Service names for wire auth contexts.
+const (
+	CollectorService = "condor-collector"
+	StartdService    = "condor-startd"
+	ShadowService    = "condor-shadow"
+)
+
+// JobContext is the sandboxed view a running Condor job has of the world.
+// File access goes through RemoteIO — the paper's "system call trapping
+// technologies ... redirect system calls issued by the task back to the
+// originating system" — and state persistence goes through the
+// Checkpointer.
+type JobContext struct {
+	// JobAd is the job's ClassAd (arguments and attributes).
+	JobAd *classad.Ad
+	// Args are the job arguments from the ad.
+	Args []string
+	// IO performs remote file operations on the submit machine.
+	IO RemoteIO
+	// Stdout accumulates standard output, shipped to the submit machine
+	// at completion (and on checkpoint).
+	Stdout io.Writer
+	// Ckpt saves and restores job state across evictions/migrations.
+	Ckpt *Checkpointer
+}
+
+// JobFunc is the body of a Condor job. It must poll ctx for eviction and
+// may checkpoint through jc.Ckpt at safe points.
+type JobFunc func(ctx context.Context, jc *JobContext) error
+
+// Runtime maps the job ad's Cmd attribute to an executable body, standing
+// in for the sandboxed binary.
+type Runtime struct {
+	mu    sync.RWMutex
+	funcs map[string]JobFunc
+}
+
+// NewRuntime creates an empty job registry.
+func NewRuntime() *Runtime { return &Runtime{funcs: make(map[string]JobFunc)} }
+
+// Register binds a Cmd name to a job body.
+func (r *Runtime) Register(name string, fn JobFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Lookup resolves a Cmd name.
+func (r *Runtime) Lookup(name string) (JobFunc, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.funcs[name]
+	return fn, ok
+}
+
+// RemoteIO is the remote-system-call surface. Paths are submit-side.
+type RemoteIO interface {
+	ReadFile(path string) ([]byte, error)
+	WriteFile(path string, data []byte) error
+	AppendFile(path string, data []byte) error
+}
+
+// Checkpointer provides cooperative checkpoint and restart. Save ships
+// state to the submit machine (via the Shadow); Restore recovers the last
+// saved state after a migration.
+type Checkpointer struct {
+	save    func(state []byte) error
+	restore func() ([]byte, bool, error)
+	count   int
+	mu      sync.Mutex
+}
+
+// Save persists state; the job should call it at consistent points.
+func (c *Checkpointer) Save(state []byte) error {
+	c.mu.Lock()
+	c.count++
+	c.mu.Unlock()
+	return c.save(state)
+}
+
+// Restore returns the most recent checkpoint, if any.
+func (c *Checkpointer) Restore() ([]byte, bool, error) { return c.restore() }
+
+// Saves reports how many checkpoints this execution took.
+func (c *Checkpointer) Saves() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// ErrEvicted is returned by job bodies that exit due to eviction; the
+// Shadow requeues such jobs rather than failing them.
+var ErrEvicted = fmt.Errorf("condor: evicted")
+
+// MachineAd builds the ClassAd a Startd advertises.
+func MachineAd(name, arch string, memoryMB int64, addr string) *classad.Ad {
+	ad := classad.New()
+	ad.SetString("MyType", "Machine")
+	ad.SetString("Name", name)
+	ad.SetString("Arch", arch)
+	ad.SetInt("Memory", memoryMB)
+	ad.SetString("StartdAddr", addr)
+	ad.SetString("State", "Unclaimed")
+	ad.SetExpr("Requirements", classad.MustParseExpr("TARGET.ImageSize <= MY.Memory"))
+	return ad
+}
+
+// JobAd builds a minimal job ClassAd for cmd with args.
+func JobAd(owner, cmd string, args ...string) *classad.Ad {
+	ad := classad.New()
+	ad.SetString("MyType", "Job")
+	ad.SetString("Owner", owner)
+	ad.SetString("Cmd", cmd)
+	list := make([]classad.Value, len(args))
+	for i, a := range args {
+		list[i] = classad.Str(a)
+	}
+	ad.Set("Args", classad.ListOf(list...))
+	ad.SetInt("ImageSize", 64)
+	ad.SetExpr("Requirements", classad.MustParseExpr("TARGET.Arch == \"x86_64\""))
+	ad.SetExpr("Rank", classad.MustParseExpr("TARGET.Memory"))
+	return ad
+}
+
+// AdArgs extracts the Args list from a job ad.
+func AdArgs(ad *classad.Ad) []string {
+	v := ad.Eval("Args")
+	if v.Kind != classad.ListKind {
+		return nil
+	}
+	out := make([]string, 0, len(v.List))
+	for _, e := range v.List {
+		if e.Kind == classad.StringKind {
+			out = append(out, e.Str)
+		}
+	}
+	return out
+}
+
+// adTTL is how long collector entries live without renewal.
+const adTTL = 30 * time.Second

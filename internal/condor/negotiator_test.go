@@ -1,0 +1,107 @@
+package condor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"condorg/internal/classad"
+)
+
+// TestNegotiatorRespectsRequirementsBothWays: a job whose Requirements no
+// machine satisfies is never placed, and a machine whose Requirements the
+// job violates never receives it — bilateral matchmaking in the live pool.
+func TestNegotiatorRespectsRequirementsBothWays(t *testing.T) {
+	p := newPool(t, 2) // memories 256, 512
+	deadline := time.Now().Add(2 * time.Second)
+	for p.coll.Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Job demanding more memory than any slot offers: never matches.
+	picky := JobAd("user", "hello")
+	picky.SetExpr("Requirements", classad.MustParseExpr("TARGET.Memory >= 100000"))
+	pickyID, _ := p.schedd.Submit(picky)
+
+	// Job exceeding every machine's ImageSize requirement: machines
+	// refuse it.
+	huge := JobAd("user", "hello")
+	huge.SetInt("ImageSize", 1<<20)
+	hugeID, _ := p.schedd.Submit(huge)
+
+	// A normal job must still flow around the unmatchable ones.
+	okID, _ := p.schedd.Submit(JobAd("user", "hello", "x"))
+
+	placed, err := p.neg.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed != 1 {
+		t.Fatalf("placed %d, want only the matchable job", placed)
+	}
+	waitPoolState(t, p.schedd, okID, PoolCompleted)
+	for _, id := range []string{pickyID, hugeID} {
+		j, _ := p.schedd.Job(id)
+		if j.State != PoolIdle {
+			t.Fatalf("unmatchable job %s reached %v", id, j.State)
+		}
+	}
+}
+
+// TestNegotiatorDrainsBacklogAcrossCycles: more jobs than slots; repeated
+// cycles work through the queue without starvation.
+func TestNegotiatorDrainsBacklogAcrossCycles(t *testing.T) {
+	p := newPool(t, 2)
+	for i := 0; i < 10; i++ {
+		p.schedd.Submit(JobAd("user", "hello", fmt.Sprint(i)))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.coll.Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.neg.Start(10 * time.Millisecond)
+	drainDeadline := time.Now().Add(10 * time.Second)
+	for {
+		_, _, done := p.schedd.Counts()
+		if done == 10 {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			idle, running, done := p.schedd.Counts()
+			t.Fatalf("backlog stuck: idle=%d running=%d done=%d", idle, running, done)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if p.neg.Matches() < 10 {
+		t.Fatalf("negotiator recorded %d matches, want >= 10", p.neg.Matches())
+	}
+}
+
+// TestShadowIOCounts: the Figure 2 remote-syscall counters.
+func TestShadowIOCounts(t *testing.T) {
+	sh, err := NewShadow("job", t.TempDir(), nil, ShadowOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	io := newShadowIO(sh.Addr(), nil, nil)
+	defer io.close()
+	if err := io.WriteFile("a.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := io.AppendFile("a.txt", []byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadFile("a.txt")
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("read = %q err=%v", data, err)
+	}
+	reads, writes := sh.IOCounts()
+	if reads != 1 || writes != 2 {
+		t.Fatalf("io counts = %d reads, %d writes", reads, writes)
+	}
+	// Sandbox escape refused.
+	if _, err := io.ReadFile("../../etc/passwd"); err == nil {
+		t.Fatal("sandbox escape read succeeded")
+	}
+}

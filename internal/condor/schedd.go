@@ -1,0 +1,528 @@
+package condor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"condorg/internal/classad"
+	"condorg/internal/gsi"
+	"condorg/internal/journal"
+)
+
+// PoolJobState is a job's state in the Schedd queue.
+type PoolJobState int
+
+const (
+	PoolIdle PoolJobState = iota
+	PoolRunning
+	PoolCompleted
+	PoolFailed
+	PoolHeld
+	PoolRemoved
+)
+
+func (s PoolJobState) String() string {
+	switch s {
+	case PoolIdle:
+		return "idle"
+	case PoolRunning:
+		return "running"
+	case PoolCompleted:
+		return "completed"
+	case PoolFailed:
+		return "failed"
+	case PoolHeld:
+		return "held"
+	case PoolRemoved:
+		return "removed"
+	}
+	return "unknown"
+}
+
+// Terminal reports whether the state is final.
+func (s PoolJobState) Terminal() bool {
+	return s == PoolCompleted || s == PoolFailed || s == PoolRemoved
+}
+
+// PoolJob is a queue entry.
+type PoolJob struct {
+	ID        string       `json:"id"`
+	Ad        *classad.Ad  `json:"ad"`
+	State     PoolJobState `json:"state"`
+	Err       string       `json:"err,omitempty"`
+	Stdout    []byte       `json:"stdout,omitempty"`
+	Ckpt      []byte       `json:"ckpt,omitempty"`
+	Evictions int          `json:"evictions"`
+	Machine   string       `json:"machine,omitempty"` // where it ran last
+}
+
+// Schedd is the persistent job queue plus Shadow factory of the user's
+// personal pool. Its queue survives restarts via a journal store, mirroring
+// "the job status is stored persistently" (§4.1).
+type Schedd struct {
+	cfg   ScheddConfig
+	store *journal.Store
+
+	mu      sync.Mutex
+	jobs    map[string]*PoolJob
+	shadows map[string]*Shadow
+	serial  int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// ScheddConfig configures a Schedd.
+type ScheddConfig struct {
+	// Name identifies the submitter.
+	Name string
+	// SpoolDir holds per-job shadow sandboxes and the persistent queue.
+	SpoolDir string
+	// Credential authenticates shadows to startds.
+	Credential *gsi.Credential
+	Anchor     *gsi.Certificate
+	Clock      gsi.Clock
+}
+
+// NewSchedd opens (or recovers) a schedd.
+func NewSchedd(cfg ScheddConfig) (*Schedd, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = gsi.WallClock
+	}
+	store, err := journal.OpenStore(filepath.Join(cfg.SpoolDir, "queue"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Schedd{cfg: cfg, store: store, jobs: make(map[string]*PoolJob), shadows: make(map[string]*Shadow)}
+	err = store.ForEach(func(key string, raw json.RawMessage) error {
+		var job PoolJob
+		if err := json.Unmarshal(raw, &job); err != nil {
+			return err
+		}
+		if job.State == PoolRunning {
+			// Running at crash time: the shadow died with us, so the
+			// job goes back to Idle and reruns from its checkpoint.
+			job.State = PoolIdle
+			job.Evictions++
+		}
+		s.jobs[job.ID] = &job
+		if n := parseSerial(job.ID); n > s.serial {
+			s.serial = n
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Persist any recovery transitions.
+	for _, job := range s.jobs {
+		s.persist(job)
+	}
+	return s, nil
+}
+
+func parseSerial(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id[lastDot(id)+1:], "%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// Name returns the submitter name.
+func (s *Schedd) Name() string { return s.cfg.Name }
+
+func (s *Schedd) persist(job *PoolJob) {
+	_ = s.store.Put(job.ID, job)
+}
+
+// Submit enqueues a job ad and returns the job ID.
+func (s *Schedd) Submit(ad *classad.Ad) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", fmt.Errorf("condor: schedd closed")
+	}
+	s.serial++
+	id := fmt.Sprintf("%s.%d", s.cfg.Name, s.serial)
+	job := &PoolJob{ID: id, Ad: ad.Clone(), State: PoolIdle}
+	s.jobs[id] = job
+	s.persist(job)
+	return id, nil
+}
+
+// Job returns a snapshot of the job record.
+func (s *Schedd) Job(id string) (PoolJob, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return PoolJob{}, fmt.Errorf("condor: no such job %q", id)
+	}
+	return *job, nil
+}
+
+// Jobs returns all job snapshots sorted by ID.
+func (s *Schedd) Jobs() []PoolJob {
+	s.mu.Lock()
+	out := make([]PoolJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IdleJobs returns the IDs of idle jobs in submission order.
+func (s *Schedd) IdleJobs() []string {
+	var out []string
+	for _, j := range s.Jobs() {
+		if j.State == PoolIdle {
+			out = append(out, j.ID)
+		}
+	}
+	return out
+}
+
+// Counts returns (idle, running, done) totals for pool monitoring.
+func (s *Schedd) Counts() (idle, running, done int) {
+	for _, j := range s.Jobs() {
+		switch j.State {
+		case PoolIdle:
+			idle++
+		case PoolRunning:
+			running++
+		case PoolCompleted, PoolFailed, PoolRemoved:
+			done++
+		}
+	}
+	return
+}
+
+// SubmitterAd is the ad a schedd advertises to the collector.
+func (s *Schedd) SubmitterAd() *classad.Ad {
+	idle, running, _ := s.Counts()
+	ad := classad.New()
+	ad.SetString("MyType", "Submitter")
+	ad.SetString("Name", s.cfg.Name)
+	ad.SetInt("IdleJobs", int64(idle))
+	ad.SetInt("RunningJobs", int64(running))
+	return ad
+}
+
+// Remove cancels a job. A running job's slot is vacated.
+func (s *Schedd) Remove(id string) error {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("condor: no such job %q", id)
+	}
+	if job.State.Terminal() {
+		s.mu.Unlock()
+		return nil
+	}
+	machine := job.Machine
+	wasRunning := job.State == PoolRunning
+	job.State = PoolRemoved
+	s.persist(job)
+	s.mu.Unlock()
+	if wasRunning && machine != "" {
+		sc := NewStartdClient(machine, s.cfg.Credential, s.cfg.Clock)
+		defer sc.Close()
+		sc.Vacate()
+	}
+	return nil
+}
+
+// RunOn launches the job on a matched machine: spawn the Shadow, claim the
+// slot, and watch for completion. A claim race (the slot got taken) leaves
+// the job Idle and returns an error for the Negotiator to note.
+func (s *Schedd) RunOn(jobID string, machineAd *classad.Ad) error {
+	startdAddr := machineAd.EvalString("StartdAddr", "")
+	if startdAddr == "" {
+		return fmt.Errorf("condor: machine ad lacks StartdAddr")
+	}
+	s.mu.Lock()
+	job, ok := s.jobs[jobID]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("condor: no such job %q", jobID)
+	}
+	if job.State != PoolIdle {
+		s.mu.Unlock()
+		return fmt.Errorf("condor: job %s is %v, not idle", jobID, job.State)
+	}
+	ckpt := job.Ckpt
+	ad := job.Ad
+	s.mu.Unlock()
+
+	sandbox := filepath.Join(s.cfg.SpoolDir, "sandbox", jobID)
+	shadow, err := NewShadow(jobID, sandbox, ckpt, ShadowOptions{
+		Anchor: s.cfg.Anchor,
+		Clock:  s.cfg.Clock,
+	})
+	if err != nil {
+		return err
+	}
+	sc := NewStartdClient(startdAddr, s.cfg.Credential, s.cfg.Clock)
+	if err := sc.Run(jobID, ad, shadow.Addr()); err != nil {
+		sc.Close()
+		shadow.Close()
+		return err
+	}
+	sc.Close()
+
+	s.mu.Lock()
+	job.State = PoolRunning
+	job.Machine = startdAddr
+	s.shadows[jobID] = shadow
+	s.persist(job)
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.watchShadow(job, shadow)
+	return nil
+}
+
+// watchShadow consumes the shadow's completion report and updates the
+// queue: done, failed, or (on eviction) back to idle with the checkpoint
+// retained for the next match — migration.
+func (s *Schedd) watchShadow(job *PoolJob, shadow *Shadow) {
+	defer s.wg.Done()
+	res := <-shadow.Done()
+	ckpt, hasCkpt := shadow.Checkpoint()
+	shadow.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.shadows, job.ID)
+	if job.State == PoolRemoved {
+		return
+	}
+	if hasCkpt {
+		job.Ckpt = ckpt
+	}
+	switch {
+	case res.Evicted:
+		job.State = PoolIdle
+		job.Evictions++
+	case res.Err != "":
+		job.State = PoolFailed
+		job.Err = res.Err
+		job.Stdout = res.Stdout
+	default:
+		job.State = PoolCompleted
+		job.Stdout = res.Stdout
+	}
+	s.persist(job)
+}
+
+// WaitAll blocks until every job in the queue is terminal or ctx expires.
+func (s *Schedd) WaitAll(ctx context.Context) error {
+	for {
+		allDone := true
+		for _, j := range s.Jobs() {
+			if !j.State.Terminal() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Close shuts the schedd down, closing shadows and the queue store.
+func (s *Schedd) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	shadows := make([]*Shadow, 0, len(s.shadows))
+	for _, sh := range s.shadows {
+		shadows = append(shadows, sh)
+	}
+	s.mu.Unlock()
+	for _, sh := range shadows {
+		// Unblock watchers with an eviction report, then close.
+		select {
+		case sh.done <- ShadowResult{Evicted: true}:
+		default:
+		}
+	}
+	s.wg.Wait()
+	for _, sh := range shadows {
+		sh.Close()
+	}
+	s.store.Close()
+}
+
+// Negotiator runs the matchmaking cycle of the personal pool: pull machine
+// ads from the Collector, walk each schedd's idle jobs, and place the best
+// mutual matches (§4.4, via the framework of [25]).
+type Negotiator struct {
+	coll    *CollectorClient
+	schedds []*Schedd
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped bool
+	matches int
+	wg      sync.WaitGroup
+}
+
+// NewNegotiator builds a negotiator over one collector and a set of local
+// schedds.
+func NewNegotiator(collectorAddr string, cred *gsi.Credential, clock gsi.Clock, schedds ...*Schedd) *Negotiator {
+	return &Negotiator{
+		coll:    NewCollectorClient(collectorAddr, cred, clock),
+		schedds: schedds,
+	}
+}
+
+// Matches reports how many placements the negotiator has made.
+func (n *Negotiator) Matches() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.matches
+}
+
+// Cycle performs one negotiation round and returns the number of
+// placements made.
+func (n *Negotiator) Cycle() (int, error) {
+	machines, err := n.coll.Query("Machine", `State == "Unclaimed"`)
+	if err != nil {
+		return 0, err
+	}
+	// Available machines are consumed as they are claimed this cycle.
+	avail := append([]*classad.Ad(nil), machines...)
+	placed := 0
+	// Round-robin across schedds for fairness.
+	type pending struct {
+		schedd *Schedd
+		jobs   []string
+	}
+	var queues []pending
+	for _, sd := range n.schedds {
+		if ids := sd.IdleJobs(); len(ids) > 0 {
+			queues = append(queues, pending{sd, ids})
+		}
+	}
+	remaining := func(qs []pending) int {
+		total := 0
+		for _, q := range qs {
+			total += len(q.jobs)
+		}
+		return total
+	}
+	for len(queues) > 0 && len(avail) > 0 {
+		before := remaining(queues)
+		next := queues[:0]
+		for _, q := range queues {
+			if len(avail) == 0 {
+				// Keep the unexamined jobs so the progress check sees
+				// them, then stop this cycle.
+				next = append(next, q)
+				continue
+			}
+			jobID := q.jobs[0]
+			job, err := q.schedd.Job(jobID)
+			if err == nil && job.State == PoolIdle {
+				best := -1
+				bestRank := 0.0
+				for i, m := range avail {
+					if m == nil || !classad.Match(job.Ad, m) {
+						continue
+					}
+					r := classad.RankOf(job.Ad, m)
+					if best == -1 || r > bestRank {
+						best, bestRank = i, r
+					}
+				}
+				if best >= 0 {
+					machine := avail[best]
+					if err := q.schedd.RunOn(jobID, machine); err == nil {
+						placed++
+						n.mu.Lock()
+						n.matches++
+						n.mu.Unlock()
+					}
+					// Claimed (or claim-raced): drop from this cycle.
+					avail = append(avail[:best], avail[best+1:]...)
+				}
+			}
+			if len(q.jobs) > 1 {
+				next = append(next, pending{q.schedd, q.jobs[1:]})
+			}
+		}
+		if remaining(next) >= before {
+			break // no job consumed: avoid spinning
+		}
+		queues = next
+	}
+	return placed, nil
+}
+
+// Start runs Cycle on a fixed period until Stop.
+func (n *Negotiator) Start(interval time.Duration) {
+	n.mu.Lock()
+	if n.stop != nil {
+		n.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	n.stop = stop
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				n.Cycle()
+			}
+		}
+	}()
+}
+
+// Stop halts the negotiation loop and releases the collector connection.
+func (n *Negotiator) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	if n.stop != nil {
+		close(n.stop)
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	n.coll.Close()
+}

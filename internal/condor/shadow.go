@@ -1,0 +1,280 @@
+package condor
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"condorg/internal/gsi"
+	"condorg/internal/wire"
+)
+
+// Shadow is the submit-side agent for one running job (Figure 2's "Condor
+// Shadow Process for Job X"). It serves the job's redirected system calls,
+// stores checkpoints on the originating machine, and receives the
+// completion report from the remote Starter.
+type Shadow struct {
+	srv     *wire.Server
+	jobID   string
+	sandbox string // submit-side directory the job's remote I/O resolves in
+
+	mu       sync.Mutex
+	ckpt     []byte
+	hasCkpt  bool
+	done     chan ShadowResult
+	finished bool
+	ioReads  int
+	ioWrites int
+}
+
+// ShadowResult is the Starter's completion report.
+type ShadowResult struct {
+	JobID   string `json:"job_id"`
+	Err     string `json:"err,omitempty"`
+	Evicted bool   `json:"evicted"`
+	Stdout  []byte `json:"stdout,omitempty"`
+}
+
+// ShadowOptions configures a Shadow.
+type ShadowOptions struct {
+	Anchor *gsi.Certificate
+	Clock  gsi.Clock
+	Faults *wire.Faults
+}
+
+// NewShadow starts a shadow for jobID whose remote I/O is rooted at
+// sandbox. Pass initial checkpoint state when resuming a migrated job.
+func NewShadow(jobID, sandbox string, initialCkpt []byte, opts ShadowOptions) (*Shadow, error) {
+	if err := os.MkdirAll(sandbox, 0o700); err != nil {
+		return nil, err
+	}
+	srv, err := wire.NewServer(wire.ServerConfig{
+		Name:   ShadowService,
+		Anchor: opts.Anchor,
+		Clock:  opts.Clock,
+		Faults: opts.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sh := &Shadow{
+		srv:     srv,
+		jobID:   jobID,
+		sandbox: sandbox,
+		ckpt:    initialCkpt,
+		hasCkpt: initialCkpt != nil,
+		done:    make(chan ShadowResult, 1),
+	}
+	srv.Handle("shadow.ping", func(string, json.RawMessage) (any, error) { return struct{}{}, nil })
+	srv.Handle("shadow.read", sh.handleRead)
+	srv.Handle("shadow.write", sh.handleWrite)
+	srv.Handle("shadow.append", sh.handleAppend)
+	srv.Handle("shadow.ckpt.save", sh.handleCkptSave)
+	srv.Handle("shadow.ckpt.get", sh.handleCkptGet)
+	srv.Handle("shadow.complete", sh.handleComplete)
+	return sh, nil
+}
+
+// Addr returns the shadow's contact address.
+func (s *Shadow) Addr() string { return s.srv.Addr() }
+
+// Done yields the completion report exactly once.
+func (s *Shadow) Done() <-chan ShadowResult { return s.done }
+
+// Checkpoint returns the latest checkpoint bytes, if any.
+func (s *Shadow) Checkpoint() ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckpt, s.hasCkpt
+}
+
+// IOCounts reports how many remote reads and writes the job issued — the
+// remote-system-call traffic of the Figure 2 experiment.
+func (s *Shadow) IOCounts() (reads, writes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ioReads, s.ioWrites
+}
+
+// Close stops the shadow's server.
+func (s *Shadow) Close() error { return s.srv.Close() }
+
+func (s *Shadow) resolve(p string) (string, error) {
+	clean := filepath.Clean("/" + p)
+	if strings.Contains(clean, "..") {
+		return "", fmt.Errorf("shadow: path escapes sandbox: %q", p)
+	}
+	return filepath.Join(s.sandbox, clean), nil
+}
+
+type ioReq struct {
+	Path string `json:"path"`
+	Data []byte `json:"data,omitempty"`
+}
+
+type ioResp struct {
+	Data []byte `json:"data,omitempty"`
+}
+
+func (s *Shadow) handleRead(_ string, body json.RawMessage) (any, error) {
+	var req ioReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	path, err := s.resolve(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ioReads++
+	s.mu.Unlock()
+	return ioResp{Data: data}, nil
+}
+
+func (s *Shadow) handleWrite(_ string, body json.RawMessage) (any, error) {
+	var req ioReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	path, err := s.resolve(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, req.Data, 0o600); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ioWrites++
+	s.mu.Unlock()
+	return struct{}{}, nil
+}
+
+func (s *Shadow) handleAppend(_ string, body json.RawMessage) (any, error) {
+	var req ioReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	path, err := s.resolve(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Write(req.Data); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ioWrites++
+	s.mu.Unlock()
+	return struct{}{}, nil
+}
+
+type ckptSaveReq struct {
+	Data []byte `json:"data"`
+}
+
+func (s *Shadow) handleCkptSave(_ string, body json.RawMessage) (any, error) {
+	var req ckptSaveReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ckpt = append([]byte(nil), req.Data...)
+	s.hasCkpt = true
+	s.mu.Unlock()
+	return struct{}{}, nil
+}
+
+type ckptGetResp struct {
+	Data   []byte `json:"data,omitempty"`
+	Exists bool   `json:"exists"`
+}
+
+func (s *Shadow) handleCkptGet(_ string, _ json.RawMessage) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ckptGetResp{Data: s.ckpt, Exists: s.hasCkpt}, nil
+}
+
+func (s *Shadow) handleComplete(_ string, body json.RawMessage) (any, error) {
+	var res ShadowResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		return struct{}{}, nil // duplicate report (retry); first wins
+	}
+	s.finished = true
+	s.mu.Unlock()
+	res.JobID = s.jobID
+	s.done <- res
+	return struct{}{}, nil
+}
+
+// shadowIO is the Starter-side RemoteIO implementation: every call is an
+// RPC to the Shadow — a redirected system call.
+type shadowIO struct {
+	wc *wire.Client
+}
+
+func newShadowIO(addr string, cred *gsi.Credential, clock gsi.Clock) *shadowIO {
+	return &shadowIO{wc: wire.Dial(addr, wire.ClientConfig{
+		ServerName: ShadowService,
+		Credential: cred,
+		Clock:      clock,
+		Timeout:    2 * time.Second,
+	})}
+}
+
+func (io *shadowIO) ReadFile(path string) ([]byte, error) {
+	var resp ioResp
+	if err := io.wc.Call("shadow.read", ioReq{Path: path}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+func (io *shadowIO) WriteFile(path string, data []byte) error {
+	return io.wc.Call("shadow.write", ioReq{Path: path, Data: data}, nil)
+}
+
+func (io *shadowIO) AppendFile(path string, data []byte) error {
+	return io.wc.Call("shadow.append", ioReq{Path: path, Data: data}, nil)
+}
+
+func (io *shadowIO) saveCkpt(data []byte) error {
+	return io.wc.Call("shadow.ckpt.save", ckptSaveReq{Data: data}, nil)
+}
+
+func (io *shadowIO) getCkpt() ([]byte, bool, error) {
+	var resp ckptGetResp
+	if err := io.wc.Call("shadow.ckpt.get", struct{}{}, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.Data, resp.Exists, nil
+}
+
+func (io *shadowIO) complete(res ShadowResult) error {
+	return io.wc.Call("shadow.complete", res, nil)
+}
+
+func (io *shadowIO) close() { io.wc.Close() }

@@ -1,0 +1,378 @@
+package condor
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"condorg/internal/classad"
+	"condorg/internal/gsi"
+	"condorg/internal/wire"
+)
+
+// Startd is one execution slot. It advertises its machine ad to the
+// Collector, accepts claims from Shadows, and runs each claimed job in a
+// Starter whose file I/O is redirected to the Shadow. A GlideIn is exactly
+// this daemon started on a remote site under a lease.
+type Startd struct {
+	cfg  StartdConfig
+	srv  *wire.Server
+	coll *CollectorClient
+
+	mu        sync.Mutex
+	state     string // "Unclaimed", "Claimed"
+	currentID string
+	cancelRun context.CancelFunc
+	closed    bool
+	lastWork  time.Time
+	jobsRun   int
+	stopAdv   chan struct{}
+	advWG     sync.WaitGroup
+	onIdle    func()
+}
+
+// StartdConfig configures a slot.
+type StartdConfig struct {
+	// Name uniquely identifies the slot in the pool.
+	Name string
+	// Arch and MemoryMB populate the machine ad.
+	Arch     string
+	MemoryMB int64
+	// CollectorAddr is the user pool's collector.
+	CollectorAddr string
+	// Runtime resolves job Cmd names.
+	Runtime *Runtime
+	// Credential authenticates the daemon to collector and shadows.
+	Credential *gsi.Credential
+	Anchor     *gsi.Certificate
+	Clock      gsi.Clock
+	// AdvertiseInterval is the ad renewal period (default 1s).
+	AdvertiseInterval time.Duration
+	// AdTTL is the advertised lifetime (default 30s).
+	AdTTL time.Duration
+	// CkptServerAddr, when set, stores job checkpoints at a site-local
+	// checkpoint server (§5); only a small locator travels to the
+	// Shadow. Empty means checkpoints go to the originating machine.
+	CkptServerAddr string
+	// IdleTimeout, when positive, shuts the daemon down after that long
+	// without work — the paper's guard against runaway GlideIn daemons.
+	IdleTimeout time.Duration
+	// Lease, when positive, shuts the daemon down unconditionally after
+	// that long — the remote allocation expiring.
+	Lease time.Duration
+	// OnShutdown is called once when the daemon exits for any reason.
+	OnShutdown func(reason string)
+	// CustomAd decorates the machine ad (e.g. GlideIn site labels).
+	CustomAd func(*classad.Ad)
+}
+
+// NewStartd starts the slot daemon: it listens, advertises, and waits for
+// claims.
+func NewStartd(cfg StartdConfig) (*Startd, error) {
+	if cfg.Runtime == nil {
+		return nil, fmt.Errorf("condor: startd needs a runtime")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = gsi.WallClock
+	}
+	if cfg.AdvertiseInterval == 0 {
+		cfg.AdvertiseInterval = time.Second
+	}
+	if cfg.AdTTL == 0 {
+		cfg.AdTTL = adTTL
+	}
+	if cfg.Arch == "" {
+		cfg.Arch = "x86_64"
+	}
+	if cfg.MemoryMB == 0 {
+		cfg.MemoryMB = 512
+	}
+	srv, err := wire.NewServer(wire.ServerConfig{
+		Name:   StartdService,
+		Anchor: cfg.Anchor,
+		Clock:  cfg.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sd := &Startd{
+		cfg:      cfg,
+		srv:      srv,
+		coll:     NewCollectorClient(cfg.CollectorAddr, cfg.Credential, cfg.Clock),
+		state:    "Unclaimed",
+		lastWork: time.Now(),
+		stopAdv:  make(chan struct{}),
+	}
+	srv.Handle("startd.ping", func(string, json.RawMessage) (any, error) { return struct{}{}, nil })
+	srv.Handle("startd.run", sd.handleRun)
+	srv.Handle("startd.vacate", sd.handleVacate)
+	sd.advWG.Add(1)
+	go sd.advertiseLoop()
+	return sd, nil
+}
+
+// Addr returns the slot's contact address.
+func (s *Startd) Addr() string { return s.srv.Addr() }
+
+// Name returns the slot name.
+func (s *Startd) Name() string { return s.cfg.Name }
+
+// State returns the slot state ("Unclaimed"/"Claimed").
+func (s *Startd) State() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// JobsRun reports how many jobs this slot has executed.
+func (s *Startd) JobsRun() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobsRun
+}
+
+func (s *Startd) machineAd() *classad.Ad {
+	s.mu.Lock()
+	state := s.state
+	s.mu.Unlock()
+	ad := MachineAd(s.cfg.Name, s.cfg.Arch, s.cfg.MemoryMB, s.srv.Addr())
+	ad.SetString("State", state)
+	if s.cfg.CustomAd != nil {
+		s.cfg.CustomAd(ad)
+	}
+	return ad
+}
+
+func (s *Startd) advertiseLoop() {
+	defer s.advWG.Done()
+	start := time.Now()
+	ticker := time.NewTicker(s.cfg.AdvertiseInterval)
+	defer ticker.Stop()
+	s.coll.Advertise(s.machineAd(), s.cfg.AdTTL)
+	for {
+		select {
+		case <-s.stopAdv:
+			return
+		case <-ticker.C:
+			if s.cfg.Lease > 0 && time.Since(start) >= s.cfg.Lease {
+				go s.Shutdown("lease expired")
+				return
+			}
+			s.mu.Lock()
+			idleFor := time.Since(s.lastWork)
+			busy := s.state == "Claimed"
+			s.mu.Unlock()
+			if !busy && s.cfg.IdleTimeout > 0 && idleFor >= s.cfg.IdleTimeout {
+				go s.Shutdown("idle timeout")
+				return
+			}
+			s.coll.Advertise(s.machineAd(), s.cfg.AdTTL)
+		}
+	}
+}
+
+type runReq struct {
+	JobID      string      `json:"job_id"`
+	JobAd      *classad.Ad `json:"job_ad"`
+	ShadowAddr string      `json:"shadow_addr"`
+}
+
+// handleRun claims the slot and activates the job in a Starter.
+func (s *Startd) handleRun(_ string, body json.RawMessage) (any, error) {
+	var req runReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if req.JobAd == nil {
+		return nil, fmt.Errorf("condor: run without job ad")
+	}
+	machine := s.machineAd()
+	if !classad.Match(req.JobAd, machine) {
+		return nil, fmt.Errorf("condor: job %s does not match slot %s", req.JobID, s.cfg.Name)
+	}
+	cmd := req.JobAd.EvalString("Cmd", "")
+	fn, ok := s.cfg.Runtime.Lookup(cmd)
+	if !ok {
+		return nil, fmt.Errorf("condor: no such program %q on slot %s", cmd, s.cfg.Name)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("condor: slot %s is shut down", s.cfg.Name)
+	}
+	if s.state != "Unclaimed" {
+		cur := s.currentID
+		s.mu.Unlock()
+		return nil, fmt.Errorf("condor: slot %s already claimed by %s", s.cfg.Name, cur)
+	}
+	s.state = "Claimed"
+	s.currentID = req.JobID
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancelRun = cancel
+	s.mu.Unlock()
+	s.coll.Advertise(s.machineAd(), s.cfg.AdTTL)
+	go s.starter(ctx, req, fn)
+	return struct{}{}, nil
+}
+
+// starter runs the job body with redirected I/O and reports completion to
+// the Shadow — Figure 2's Starter/sandbox.
+func (s *Startd) starter(ctx context.Context, req runReq, fn JobFunc) {
+	sio := newShadowIO(req.ShadowAddr, s.cfg.Credential, s.cfg.Clock)
+	defer sio.close()
+	var stdout bytes.Buffer
+	save, restore := sio.saveCkpt, sio.getCkpt
+	if s.cfg.CkptServerAddr != "" {
+		// Checkpoint to the site-local server; hand the Shadow only a
+		// locator. Restore resolves locators back through the server,
+		// and falls through to raw Shadow data for jobs that last
+		// checkpointed without a server.
+		cc := NewCkptClient(s.cfg.CkptServerAddr, s.cfg.Credential, s.cfg.Clock)
+		defer cc.Close()
+		save = func(data []byte) error {
+			if err := cc.Store(req.JobID, data); err != nil {
+				return err
+			}
+			return sio.saveCkpt(makeLocator(s.cfg.CkptServerAddr, req.JobID))
+		}
+		restore = func() ([]byte, bool, error) {
+			data, ok, err := sio.getCkpt()
+			if err != nil || !ok {
+				return data, ok, err
+			}
+			if addr, job, isLoc := parseLocator(data); isLoc {
+				rc := NewCkptClient(addr, s.cfg.Credential, s.cfg.Clock)
+				defer rc.Close()
+				return rc.Fetch(job)
+			}
+			return data, ok, nil
+		}
+	} else {
+		// Even without a local server, a migrated-in job may carry a
+		// locator from a previous site: resolve it.
+		restore = func() ([]byte, bool, error) {
+			data, ok, err := sio.getCkpt()
+			if err != nil || !ok {
+				return data, ok, err
+			}
+			if addr, job, isLoc := parseLocator(data); isLoc {
+				rc := NewCkptClient(addr, s.cfg.Credential, s.cfg.Clock)
+				defer rc.Close()
+				return rc.Fetch(job)
+			}
+			return data, ok, nil
+		}
+	}
+	jc := &JobContext{
+		JobAd:  req.JobAd,
+		Args:   AdArgs(req.JobAd),
+		IO:     sio,
+		Stdout: &stdout,
+		Ckpt: &Checkpointer{
+			save:    save,
+			restore: restore,
+		},
+	}
+	err := fn(ctx, jc)
+	evicted := err == ErrEvicted || (err != nil && ctx.Err() != nil)
+	res := ShadowResult{JobID: req.JobID, Evicted: evicted, Stdout: stdout.Bytes()}
+	if err != nil && !evicted {
+		res.Err = err.Error()
+	}
+	// Report completion; retry briefly since the shadow may be mid-restart.
+	for attempt := 0; attempt < 3; attempt++ {
+		if sio.complete(res) == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	s.mu.Lock()
+	s.state = "Unclaimed"
+	s.currentID = ""
+	s.cancelRun = nil
+	s.lastWork = time.Now()
+	s.jobsRun++
+	closed := s.closed
+	s.mu.Unlock()
+	if !closed {
+		s.coll.Advertise(s.machineAd(), s.cfg.AdTTL)
+	}
+}
+
+// handleVacate evicts the current job (resource reclaimed or allocation
+// expiring). The job checkpoints cooperatively and is requeued by its
+// Shadow.
+func (s *Startd) handleVacate(_ string, _ json.RawMessage) (any, error) {
+	s.mu.Lock()
+	cancel := s.cancelRun
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return struct{}{}, nil
+}
+
+// Vacate evicts locally (used by lease expiry and tests).
+func (s *Startd) Vacate() {
+	s.handleVacate("", nil)
+}
+
+// Shutdown stops the daemon gracefully: evict any job, withdraw the ad,
+// stop serving.
+func (s *Startd) Shutdown(reason string) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	cancel := s.cancelRun
+	s.mu.Unlock()
+	close(s.stopAdv)
+	if cancel != nil {
+		cancel()
+	}
+	// Stop the advertise loop BEFORE invalidating, or an in-flight
+	// re-advertise can land after the invalidation and resurrect the ad.
+	s.advWG.Wait()
+	s.coll.Invalidate("Machine", s.cfg.Name)
+	s.srv.Close()
+	s.coll.Close()
+	if s.cfg.OnShutdown != nil {
+		s.cfg.OnShutdown(reason)
+	}
+}
+
+// StartdClient lets Shadows (and the pool tooling) talk to a slot.
+type StartdClient struct {
+	wc *wire.Client
+}
+
+// NewStartdClient connects to a slot at addr.
+func NewStartdClient(addr string, cred *gsi.Credential, clock gsi.Clock) *StartdClient {
+	return &StartdClient{wc: wire.Dial(addr, wire.ClientConfig{
+		ServerName: StartdService,
+		Credential: cred,
+		Clock:      clock,
+		Timeout:    2 * time.Second,
+	})}
+}
+
+// Close releases the connection.
+func (c *StartdClient) Close() error { return c.wc.Close() }
+
+// Run claims the slot and starts the job.
+func (c *StartdClient) Run(jobID string, jobAd *classad.Ad, shadowAddr string) error {
+	return c.wc.Call("startd.run", runReq{JobID: jobID, JobAd: jobAd, ShadowAddr: shadowAddr}, nil)
+}
+
+// Vacate evicts the running job.
+func (c *StartdClient) Vacate() error {
+	return c.wc.Call("startd.vacate", struct{}{}, nil)
+}
+
+// Ping probes the slot.
+func (c *StartdClient) Ping() error { return c.wc.Ping("startd.ping") }

@@ -1,0 +1,756 @@
+package condorg
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"condorg/internal/gass"
+	"condorg/internal/gram"
+	"condorg/internal/gsi"
+	"condorg/internal/journal"
+	"condorg/internal/wire"
+)
+
+// AgentConfig configures the agent.
+type AgentConfig struct {
+	// StateDir holds the persistent queue, the GASS spool, and user logs.
+	// Reopening an agent on the same StateDir recovers every job.
+	StateDir string
+	// Credential is the user's proxy (nil on an unauthenticated grid).
+	Credential *gsi.Credential
+	// Clock for credential decisions; defaults to wall time.
+	Clock gsi.Clock
+	// Selector picks sites for jobs without an explicit Site.
+	Selector Selector
+	// Notifier receives user notifications; defaults to a Mailbox.
+	Notifier Notifier
+	// ProbeInterval is the JobManager liveness probe period (§4.2).
+	ProbeInterval time.Duration
+	// ReconnectInterval paces reconnection attempts during partitions.
+	ReconnectInterval time.Duration
+	// MaxResubmits bounds automatic resubmission of site-lost jobs.
+	MaxResubmits int
+	// Delegate forwards a proxy of this lifetime with each submission.
+	Delegate time.Duration
+	// MigrateAfter, when positive, moves a job that has sat in a remote
+	// site's queue for that long to a different site chosen by the
+	// Selector — §4.4's "migrate queued jobs". Zero disables migration.
+	MigrateAfter time.Duration
+	// MaxMigrations bounds queue migrations per job (default 5).
+	MaxMigrations int
+}
+
+// Agent is the Condor-G Scheduler: persistent queue plus per-user
+// GridManagers.
+type Agent struct {
+	cfg   AgentConfig
+	store *journal.Store
+	gassS *gass.Server
+	cbSrv *wire.Server
+
+	logMu     sync.Mutex // serializes on-disk user-log appends
+	mu        sync.Mutex
+	jobs      map[string]*jobRecord
+	bySiteJob map[string]string // site job ID -> agent job ID
+	managers  map[string]*GridManager
+	serial    int
+	closed    bool
+	mailbox   *Mailbox
+}
+
+// NewAgent opens (or recovers) an agent rooted at cfg.StateDir.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.StateDir == "" {
+		return nil, errors.New("condorg: StateDir required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = gsi.WallClock
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ReconnectInterval == 0 {
+		cfg.ReconnectInterval = cfg.ProbeInterval
+	}
+	if cfg.MaxResubmits == 0 {
+		cfg.MaxResubmits = 3
+	}
+	if cfg.MaxMigrations == 0 {
+		cfg.MaxMigrations = 5
+	}
+	a := &Agent{
+		cfg:       cfg,
+		jobs:      make(map[string]*jobRecord),
+		bySiteJob: make(map[string]string),
+		managers:  make(map[string]*GridManager),
+	}
+	if cfg.Notifier == nil {
+		a.mailbox = NewMailbox()
+		a.cfg.Notifier = a.mailbox
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "logs"), 0o700); err != nil {
+		return nil, err
+	}
+	store, err := journal.OpenStore(filepath.Join(cfg.StateDir, "queue"))
+	if err != nil {
+		return nil, err
+	}
+	a.store = store
+	gassS, err := gass.NewServer(filepath.Join(cfg.StateDir, "spool"), gass.ServerOptions{})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	a.gassS = gassS
+	cbSrv, err := wire.NewServer(wire.ServerConfig{Name: gram.CallbackService})
+	if err != nil {
+		gassS.Close()
+		store.Close()
+		return nil, err
+	}
+	cbSrv.Handle("gram.callback", a.handleCallback)
+	a.cbSrv = cbSrv
+	if err := a.recover(); err != nil {
+		a.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// Mailbox returns the default in-memory notifier (nil when a custom
+// Notifier was supplied).
+func (a *Agent) Mailbox() *Mailbox { return a.mailbox }
+
+// GassAddr returns the agent's GASS server address.
+func (a *Agent) GassAddr() string { return a.gassS.Addr() }
+
+// recover reloads the queue and restarts GridManagers for unfinished work.
+// For jobs whose GASS URLs reference the agent's previous address, the URLs
+// are rewritten and pushed to the JobManagers — the §4.2 restart path.
+func (a *Agent) recover() error {
+	var recovered []*jobRecord
+	err := a.store.ForEach(func(key string, raw json.RawMessage) error {
+		var rec jobRecord
+		if err := json.Unmarshal(raw, &rec.JobInfo); err != nil {
+			return err
+		}
+		var full struct {
+			SubmissionID string        `json:"submission_id"`
+			Spec         gram.JobSpec  `json:"spec"`
+			Remote       gram.JobState `json:"remote"`
+		}
+		if err := json.Unmarshal(raw, &full); err != nil {
+			return err
+		}
+		rec.SubmissionID = full.SubmissionID
+		rec.Spec = full.Spec
+		rec.Remote = full.Remote
+		a.jobs[rec.ID] = &rec
+		if rec.Contact.JobID != "" {
+			a.bySiteJob[rec.Contact.JobID] = rec.ID
+		}
+		if n := parseAgentSerial(rec.ID); n > a.serial {
+			a.serial = n
+		}
+		if !rec.State.Terminal() && rec.State != Held {
+			recovered = append(recovered, &rec)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, rec := range recovered {
+		// The GASS server restarted on a new port: rewrite the job's
+		// staging and output URLs before the GridManager touches it.
+		rec.mu.Lock()
+		a.rewriteSpecURLs(&rec.Spec)
+		rec.mu.Unlock()
+		a.persist(rec)
+		a.managerFor(rec.Owner).enqueueRecovery(rec)
+	}
+	return nil
+}
+
+func parseAgentSerial(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "gj%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// rewriteSpecURLs repoints every gass:// URL in the spec at the agent's
+// current GASS address.
+func (a *Agent) rewriteSpecURLs(spec *gram.JobSpec) {
+	fix := func(s string) string {
+		u, err := gass.ParseURL(s)
+		if err != nil {
+			return s
+		}
+		u.Addr = a.gassS.Addr()
+		return u.String()
+	}
+	if spec.Executable != "" {
+		spec.Executable = fix(spec.Executable)
+	}
+	if spec.Stdin != "" {
+		spec.Stdin = fix(spec.Stdin)
+	}
+	if spec.StdoutURL != "" {
+		spec.StdoutURL = fix(spec.StdoutURL)
+	}
+	if spec.StderrURL != "" {
+		spec.StderrURL = fix(spec.StderrURL)
+	}
+}
+
+func (a *Agent) persist(rec *jobRecord) {
+	rec.mu.Lock()
+	doc := struct {
+		JobInfo
+		SubmissionID string        `json:"submission_id"`
+		Spec         gram.JobSpec  `json:"spec"`
+		Remote       gram.JobState `json:"remote"`
+	}{rec.JobInfo, rec.SubmissionID, rec.Spec, rec.Remote}
+	rec.mu.Unlock()
+	_ = a.store.Put(doc.ID, doc)
+}
+
+func (a *Agent) log(rec *jobRecord, code, format string, args ...any) {
+	ev := LogEvent{Time: time.Now(), Code: code, Text: fmt.Sprintf(format, args...)}
+	rec.mu.Lock()
+	rec.Log = append(rec.Log, ev)
+	id := rec.ID
+	rec.mu.Unlock()
+	a.persist(rec)
+	// Mirror to the on-disk user log (§4.1: "obtain access to detailed
+	// logs, providing a complete history of their jobs' execution") so
+	// the history is greppable without the agent API.
+	a.logMu.Lock()
+	f, err := os.OpenFile(a.UserLogPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err == nil {
+		fmt.Fprintf(f, "%s %-16s %s\n", ev.Time.Format(time.RFC3339Nano), ev.Code, ev.Text)
+		f.Close()
+	}
+	a.logMu.Unlock()
+}
+
+// UserLogPath returns the on-disk user log file for a job.
+func (a *Agent) UserLogPath(id string) string {
+	return filepath.Join(a.cfg.StateDir, "logs", id+".log")
+}
+
+// managerFor returns (starting if needed) the owner's GridManager.
+// "The Scheduler responds to a user request to submit jobs ... by creating
+// a new GridManager daemon."
+func (a *Agent) managerFor(owner string) *GridManager {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if gm, ok := a.managers[owner]; ok && !gm.done() {
+		return gm
+	}
+	gm := newGridManager(a, owner)
+	a.managers[owner] = gm
+	return gm
+}
+
+// ActiveGridManagers counts live per-user managers (they terminate when
+// their user has no unfinished jobs).
+func (a *Agent) ActiveGridManagers() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, gm := range a.managers {
+		if !gm.done() {
+			n++
+		}
+	}
+	return n
+}
+
+// Submit stages the executable into the agent's GASS spool and enqueues the
+// job; the owner's GridManager drives it from there.
+func (a *Agent) Submit(req SubmitRequest) (string, error) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return "", errors.New("condorg: agent closed")
+	}
+	a.serial++
+	id := fmt.Sprintf("gj%d", a.serial)
+	a.mu.Unlock()
+	if req.Owner == "" {
+		req.Owner = "user"
+	}
+	site := req.Site
+	if site == "" {
+		if a.cfg.Selector == nil {
+			return "", errors.New("condorg: no Site given and no Selector configured")
+		}
+		var err error
+		site, err = a.cfg.Selector.Select(req)
+		if err != nil {
+			return "", fmt.Errorf("condorg: selector: %w", err)
+		}
+	}
+
+	gc := gass.NewClient(nil, a.cfg.Clock) // local loopback staging
+	defer gc.Close()
+	execURL := a.gassS.URLFor(filepath.Join("jobs", id, "executable"))
+	if err := gc.WriteFile(execURL, req.Executable); err != nil {
+		return "", fmt.Errorf("condorg: stage executable: %w", err)
+	}
+	spec := gram.JobSpec{
+		Executable: execURL.String(),
+		Args:       req.Args,
+		Cpus:       req.Cpus,
+		WallLimit:  req.WallLimit,
+		Estimate:   req.Estimate,
+		Env:        req.Env,
+		StdoutURL:  a.gassS.URLFor(filepath.Join("jobs", id, "stdout")).String(),
+		StderrURL:  a.gassS.URLFor(filepath.Join("jobs", id, "stderr")).String(),
+	}
+	if req.Stdin != nil {
+		stdinURL := a.gassS.URLFor(filepath.Join("jobs", id, "stdin"))
+		if err := gc.WriteFile(stdinURL, req.Stdin); err != nil {
+			return "", fmt.Errorf("condorg: stage stdin: %w", err)
+		}
+		spec.Stdin = stdinURL.String()
+	}
+
+	rec := &jobRecord{
+		JobInfo: JobInfo{
+			ID: id, Owner: req.Owner, State: Idle, Site: site, SubmittedAt: time.Now(),
+		},
+		SubmissionID: gram.NewSubmissionID(),
+		Spec:         spec,
+	}
+	a.mu.Lock()
+	a.jobs[id] = rec
+	a.mu.Unlock()
+	// Journal BEFORE the network submission: if we crash between the
+	// journal write and the site's reply, recovery resubmits with the
+	// same SubmissionID and the site deduplicates — exactly-once.
+	a.persist(rec)
+	a.log(rec, "SUBMIT", "job submitted to agent, destined for %s", site)
+	a.managerFor(req.Owner).enqueueSubmit(rec)
+	return id, nil
+}
+
+// Status returns a job snapshot.
+func (a *Agent) Status(id string) (JobInfo, error) {
+	a.mu.Lock()
+	rec, ok := a.jobs[id]
+	a.mu.Unlock()
+	if !ok {
+		return JobInfo{}, fmt.Errorf("condorg: no such job %q", id)
+	}
+	return rec.snapshot(), nil
+}
+
+// Jobs lists all jobs sorted by ID.
+func (a *Agent) Jobs() []JobInfo {
+	a.mu.Lock()
+	out := make([]JobInfo, 0, len(a.jobs))
+	for _, rec := range a.jobs {
+		out = append(out, rec.snapshot())
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return parseAgentSerial(out[i].ID) < parseAgentSerial(out[j].ID)
+	})
+	return out
+}
+
+// Hold parks a job: a held job is cancelled remotely (if running) and will
+// not run again until Release. The credential monitor uses this for
+// expired proxies (§4.3).
+func (a *Agent) Hold(id, reason string) error {
+	a.mu.Lock()
+	rec, ok := a.jobs[id]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("condorg: no such job %q", id)
+	}
+	rec.mu.Lock()
+	if rec.State.Terminal() {
+		rec.mu.Unlock()
+		return fmt.Errorf("condorg: job %s is %v", id, rec.State)
+	}
+	if rec.State == Held {
+		rec.mu.Unlock()
+		return nil
+	}
+	rec.State = Held
+	rec.HoldReason = reason
+	contact := rec.Contact
+	rec.mu.Unlock()
+	a.log(rec, "HELD", "job held: %s", reason)
+	if contact.JobID != "" {
+		gm := a.managerFor(rec.Owner)
+		go gm.gram.Cancel(contact) // best effort; the site may be down
+	}
+	return nil
+}
+
+// Release returns a held job to Idle; it will be (re)submitted.
+func (a *Agent) Release(id string) error {
+	a.mu.Lock()
+	rec, ok := a.jobs[id]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("condorg: no such job %q", id)
+	}
+	rec.mu.Lock()
+	if rec.State != Held {
+		rec.mu.Unlock()
+		return fmt.Errorf("condorg: job %s is %v, not held", id, rec.State)
+	}
+	rec.State = Idle
+	rec.HoldReason = ""
+	// A fresh submission identity: the old remote job (if any) was
+	// cancelled at hold time.
+	rec.SubmissionID = gram.NewSubmissionID()
+	rec.Contact = gram.JobContact{}
+	rec.Remote = gram.StateUnsubmitted
+	rec.mu.Unlock()
+	a.log(rec, "RELEASED", "job released from hold")
+	a.managerFor(rec.Owner).enqueueSubmit(rec)
+	return nil
+}
+
+// Remove cancels a job.
+func (a *Agent) Remove(id string) error {
+	a.mu.Lock()
+	rec, ok := a.jobs[id]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("condorg: no such job %q", id)
+	}
+	rec.mu.Lock()
+	if rec.State.Terminal() {
+		rec.mu.Unlock()
+		return nil
+	}
+	rec.State = Removed
+	rec.FinishedAt = time.Now()
+	contact := rec.Contact
+	rec.mu.Unlock()
+	a.log(rec, "REMOVED", "job removed by user")
+	if contact.JobID != "" {
+		gm := a.managerFor(rec.Owner)
+		go gm.gram.Cancel(contact)
+	}
+	return nil
+}
+
+// Wait blocks until the job is terminal or ctx expires.
+func (a *Agent) Wait(ctx context.Context, id string) (JobInfo, error) {
+	for {
+		info, err := a.Status(id)
+		if err != nil {
+			return JobInfo{}, err
+		}
+		if info.State.Terminal() {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// WaitAll blocks until every job is terminal or held, or ctx expires.
+func (a *Agent) WaitAll(ctx context.Context) error {
+	for {
+		pending := false
+		for _, info := range a.Jobs() {
+			if !info.State.Terminal() && info.State != Held {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Stdout returns the job's streamed standard output so far (empty when
+// nothing has arrived yet).
+func (a *Agent) Stdout(id string) ([]byte, error) {
+	return a.readStream(id, "stdout")
+}
+
+// Stderr returns the job's streamed standard error so far.
+func (a *Agent) Stderr(id string) ([]byte, error) {
+	return a.readStream(id, "stderr")
+}
+
+func (a *Agent) readStream(id, stream string) ([]byte, error) {
+	if _, err := a.Status(id); err != nil {
+		return nil, err
+	}
+	gc := gass.NewClient(nil, a.cfg.Clock)
+	defer gc.Close()
+	u := a.gassS.URLFor(filepath.Join("jobs", id, stream))
+	if _, exists, err := gc.Stat(u); err != nil {
+		return nil, err
+	} else if !exists {
+		return nil, nil // no output streamed yet
+	}
+	return gc.ReadAll(u)
+}
+
+// UserLog returns the job's event history.
+func (a *Agent) UserLog(id string) ([]LogEvent, error) {
+	info, err := a.Status(id)
+	if err != nil {
+		return nil, err
+	}
+	return info.Log, nil
+}
+
+// handleCallback receives JobManager status pushes.
+func (a *Agent) handleCallback(_ string, body json.RawMessage) (any, error) {
+	var st gram.StatusInfo
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	agentID, ok := a.bySiteJob[st.JobID]
+	var rec *jobRecord
+	if ok {
+		rec = a.jobs[agentID]
+	}
+	a.mu.Unlock()
+	if rec != nil {
+		a.applyRemoteStatus(rec, st)
+	}
+	return struct{}{}, nil
+}
+
+// remoteRank orders GRAM states along the job lifecycle so stale,
+// out-of-order status deliveries (callbacks are asynchronous) cannot move
+// a job backwards.
+func remoteRank(s gram.JobState) int {
+	switch s {
+	case gram.StateUnsubmitted:
+		return 0
+	case gram.StateStageIn:
+		return 1
+	case gram.StatePending:
+		return 2
+	case gram.StateActive:
+		return 3
+	case gram.StateDone, gram.StateFailed:
+		return 4
+	}
+	return 0
+}
+
+// applyRemoteStatus folds a GRAM status into the agent job record. Two
+// staleness guards apply: the status must describe the job's CURRENT
+// remote incarnation (hold/release, resubmission, and migration mint fresh
+// remote jobs, and callbacks from the dead incarnation may still be in
+// flight), and within an incarnation it must not move the lifecycle
+// backwards (callbacks are delivered asynchronously and can reorder).
+func (a *Agent) applyRemoteStatus(rec *jobRecord, st gram.StatusInfo) {
+	rec.mu.Lock()
+	if rec.State.Terminal() || rec.State == Held {
+		rec.mu.Unlock()
+		return
+	}
+	if st.JobID != "" && st.JobID != rec.Contact.JobID {
+		rec.mu.Unlock()
+		return // a previous incarnation's status
+	}
+	if remoteRank(st.State) < remoteRank(rec.Remote) {
+		rec.mu.Unlock()
+		return // stale out-of-order delivery
+	}
+	prev := rec.Remote
+	rec.Remote = st.State
+	rec.Disconnected = false
+	transitioned := prev != st.State
+	var code, text string
+	switch st.State {
+	case gram.StatePending:
+		rec.State = Idle
+		if rec.PendingSince.IsZero() {
+			rec.PendingSince = time.Now()
+		}
+	case gram.StateActive:
+		rec.State = Running
+		rec.PendingSince = time.Time{}
+		code, text = "EXECUTE", "job began executing at "+rec.Site
+	case gram.StateDone:
+		rec.State = Completed
+		rec.ExitOK = true
+		rec.FinishedAt = time.Now()
+		code, text = "TERMINATED", "job completed successfully"
+	case gram.StateFailed:
+		// Site-lost jobs are the GridManager's to resubmit; it
+		// decides in its loop. Mark the remote error for it.
+		rec.Error = st.Error
+		code, text = "REMOTE_FAILURE", "remote failure: "+st.Error
+	default:
+		rec.State = Idle
+	}
+	owner := rec.Owner
+	rec.mu.Unlock()
+	if transitioned && code != "" {
+		a.log(rec, code, "%s", text)
+	} else {
+		a.persist(rec)
+	}
+	if st.State == gram.StateDone {
+		a.cfg.Notifier.Notify(owner, "job "+rec.ID+" completed",
+			fmt.Sprintf("Your job %s finished successfully on %s.", rec.ID, rec.Site))
+	}
+}
+
+// Credential returns the agent's current user proxy.
+func (a *Agent) Credential() *gsi.Credential {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cfg.Credential
+}
+
+// SetCredential installs a refreshed proxy (§4.3): every GridManager's GRAM
+// client switches to it, and the refreshed proxy is re-forwarded to the
+// JobManager of every active job so the remote copies do not expire either.
+// It returns the per-job forwarding errors (sites that are down will pick
+// up the fresh credential when the GridManager reconnects).
+func (a *Agent) SetCredential(cred *gsi.Credential) map[string]error {
+	a.mu.Lock()
+	a.cfg.Credential = cred
+	managers := make([]*GridManager, 0, len(a.managers))
+	for _, gm := range a.managers {
+		managers = append(managers, gm)
+	}
+	a.mu.Unlock()
+	for _, gm := range managers {
+		gm.gram.SetCredential(cred)
+	}
+	errs := make(map[string]error)
+	delegate := a.cfg.Delegate
+	if delegate == 0 {
+		delegate = 12 * time.Hour
+	}
+	for _, info := range a.Jobs() {
+		if info.State.Terminal() || info.Contact.JobID == "" {
+			continue
+		}
+		gm := a.managerFor(info.Owner)
+		if err := gm.gram.RefreshCredential(info.Contact, delegate); err != nil {
+			errs[info.ID] = err
+		}
+	}
+	return errs
+}
+
+// HoldAll holds every non-terminal job of owner with the given reason and
+// returns the held job IDs — the credential monitor's bulk action.
+func (a *Agent) HoldAll(owner, reason string) []string {
+	var held []string
+	for _, info := range a.Jobs() {
+		if info.Owner != owner || info.State.Terminal() || info.State == Held {
+			continue
+		}
+		if err := a.Hold(info.ID, reason); err == nil {
+			held = append(held, info.ID)
+		}
+	}
+	return held
+}
+
+// ReleaseAll releases every held job of owner whose hold reason matches
+// reasonPrefix ("" = all held jobs of that owner).
+func (a *Agent) ReleaseAll(owner, reasonPrefix string) []string {
+	var released []string
+	for _, info := range a.Jobs() {
+		if info.Owner != owner || info.State != Held {
+			continue
+		}
+		if reasonPrefix != "" && !hasPrefix(info.HoldReason, reasonPrefix) {
+			continue
+		}
+		if err := a.Release(info.ID); err == nil {
+			released = append(released, info.ID)
+		}
+	}
+	return released
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// Owners returns users with at least one job in the queue.
+func (a *Agent) Owners() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, info := range a.Jobs() {
+		if !seen[info.Owner] {
+			seen[info.Owner] = true
+			out = append(out, info.Owner)
+		}
+	}
+	return out
+}
+
+// HasPendingJobs reports whether owner has non-terminal jobs (the
+// credential monitor only analyzes "users with currently queued jobs").
+func (a *Agent) HasPendingJobs(owner string) bool {
+	for _, info := range a.Jobs() {
+		if info.Owner == owner && !info.State.Terminal() {
+			return true
+		}
+	}
+	return false
+}
+
+// Notifier exposes the configured notifier for companion services.
+func (a *Agent) Notifier() Notifier { return a.cfg.Notifier }
+
+// Clock exposes the agent's clock.
+func (a *Agent) Clock() gsi.Clock { return a.cfg.Clock }
+
+// Close shuts the agent down (the submit machine powering off). Managers
+// stop, servers close, the queue store is flushed. Reopen with NewAgent on
+// the same StateDir to recover.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	managers := make([]*GridManager, 0, len(a.managers))
+	for _, gm := range a.managers {
+		managers = append(managers, gm)
+	}
+	a.mu.Unlock()
+	for _, gm := range managers {
+		gm.stop()
+	}
+	a.cbSrv.Close()
+	a.gassS.Close()
+	a.store.Close()
+}

@@ -1,0 +1,289 @@
+package condorg
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"condorg/internal/gram"
+	"condorg/internal/wire"
+)
+
+// ControlService is the wire service name for the agent's command
+// interface — the "API and command line tools" of §4.1 that preserve the
+// look and feel of a local resource manager.
+const ControlService = "condorg-control"
+
+// ControlServer exposes an Agent over the wire protocol so the condorg CLI
+// (and tests) can submit, query, and manage jobs from another process.
+type ControlServer struct {
+	agent *Agent
+	srv   *wire.Server
+}
+
+// NewControlServer starts the command endpoint for agent on a fresh port.
+func NewControlServer(agent *Agent) (*ControlServer, error) {
+	return NewControlServerAddr(agent, "127.0.0.1:0")
+}
+
+// NewControlServerAddr starts the command endpoint on an explicit address.
+func NewControlServerAddr(agent *Agent, addr string) (*ControlServer, error) {
+	srv, err := wire.NewServerAddr(addr, wire.ServerConfig{Name: ControlService})
+	if err != nil {
+		return nil, err
+	}
+	c := &ControlServer{agent: agent, srv: srv}
+	srv.Handle("ctl.submit", c.handleSubmit)
+	srv.Handle("ctl.q", c.handleQ)
+	srv.Handle("ctl.status", c.handleStatus)
+	srv.Handle("ctl.rm", c.handleRm)
+	srv.Handle("ctl.hold", c.handleHold)
+	srv.Handle("ctl.release", c.handleRelease)
+	srv.Handle("ctl.log", c.handleLog)
+	srv.Handle("ctl.stdout", c.handleStdout)
+	srv.Handle("ctl.wait", c.handleWait)
+	return c, nil
+}
+
+// Addr returns the control endpoint address.
+func (c *ControlServer) Addr() string { return c.srv.Addr() }
+
+// Close stops the endpoint (the agent itself is not touched).
+func (c *ControlServer) Close() error { return c.srv.Close() }
+
+// CtlSubmit is the submit request: Program names a site-registered program
+// (staged as a "#!condor" stub through GASS).
+type CtlSubmit struct {
+	Owner     string            `json:"owner"`
+	Program   string            `json:"program"`
+	Args      []string          `json:"args,omitempty"`
+	Stdin     []byte            `json:"stdin,omitempty"`
+	Site      string            `json:"site,omitempty"`
+	Cpus      int               `json:"cpus,omitempty"`
+	WallLimit time.Duration     `json:"wall_limit,omitempty"`
+	Env       map[string]string `json:"env,omitempty"`
+}
+
+type ctlID struct {
+	ID string `json:"id"`
+}
+
+func (c *ControlServer) handleSubmit(_ string, body json.RawMessage) (any, error) {
+	var req CtlSubmit
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if req.Program == "" {
+		return nil, fmt.Errorf("condorg: submit needs a program name")
+	}
+	id, err := c.agent.Submit(SubmitRequest{
+		Owner:      req.Owner,
+		Executable: gram.Program(req.Program),
+		Args:       req.Args,
+		Stdin:      req.Stdin,
+		Site:       req.Site,
+		Cpus:       req.Cpus,
+		WallLimit:  req.WallLimit,
+		Env:        req.Env,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ctlID{ID: id}, nil
+}
+
+type ctlJobs struct {
+	Jobs []JobInfo `json:"jobs"`
+}
+
+func (c *ControlServer) handleQ(_ string, _ json.RawMessage) (any, error) {
+	return ctlJobs{Jobs: c.agent.Jobs()}, nil
+}
+
+func (c *ControlServer) handleStatus(_ string, body json.RawMessage) (any, error) {
+	var req ctlID
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	return c.agent.Status(req.ID)
+}
+
+func (c *ControlServer) handleRm(_ string, body json.RawMessage) (any, error) {
+	var req ctlID
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	return struct{}{}, c.agent.Remove(req.ID)
+}
+
+type ctlHold struct {
+	ID     string `json:"id"`
+	Reason string `json:"reason"`
+}
+
+func (c *ControlServer) handleHold(_ string, body json.RawMessage) (any, error) {
+	var req ctlHold
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if req.Reason == "" {
+		req.Reason = "held by user"
+	}
+	return struct{}{}, c.agent.Hold(req.ID, req.Reason)
+}
+
+func (c *ControlServer) handleRelease(_ string, body json.RawMessage) (any, error) {
+	var req ctlID
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	return struct{}{}, c.agent.Release(req.ID)
+}
+
+type ctlLog struct {
+	Events []LogEvent `json:"events"`
+}
+
+func (c *ControlServer) handleLog(_ string, body json.RawMessage) (any, error) {
+	var req ctlID
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	events, err := c.agent.UserLog(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	return ctlLog{Events: events}, nil
+}
+
+type ctlData struct {
+	Data []byte `json:"data"`
+}
+
+func (c *ControlServer) handleStdout(_ string, body json.RawMessage) (any, error) {
+	var req ctlID
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	data, err := c.agent.Stdout(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	return ctlData{Data: data}, nil
+}
+
+type ctlWait struct {
+	ID         string `json:"id"`
+	TimeoutSec int    `json:"timeout_sec"`
+}
+
+func (c *ControlServer) handleWait(_ string, body json.RawMessage) (any, error) {
+	var req ctlWait
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	// Wait briefly server-side; the client polls for long waits so a
+	// single RPC never outlives the wire timeout.
+	deadline := time.Now().Add(time.Duration(req.TimeoutSec) * time.Second)
+	for {
+		info, err := c.agent.Status(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		if info.State.Terminal() || time.Now().After(deadline) {
+			return info, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ControlClient is the CLI side of the control protocol.
+type ControlClient struct {
+	wc *wire.Client
+}
+
+// NewControlClient connects to a control endpoint.
+func NewControlClient(addr string) *ControlClient {
+	return &ControlClient{wc: wire.Dial(addr, wire.ClientConfig{
+		ServerName: ControlService,
+		Timeout:    3 * time.Second,
+	})}
+}
+
+// Close releases the connection.
+func (c *ControlClient) Close() error { return c.wc.Close() }
+
+// Submit submits a job and returns its ID.
+func (c *ControlClient) Submit(req CtlSubmit) (string, error) {
+	var resp ctlID
+	if err := c.wc.Call("ctl.submit", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Queue lists all jobs.
+func (c *ControlClient) Queue() ([]JobInfo, error) {
+	var resp ctlJobs
+	if err := c.wc.Call("ctl.q", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Status fetches one job.
+func (c *ControlClient) Status(id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.wc.Call("ctl.status", ctlID{ID: id}, &info)
+	return info, err
+}
+
+// Remove cancels a job.
+func (c *ControlClient) Remove(id string) error {
+	return c.wc.Call("ctl.rm", ctlID{ID: id}, nil)
+}
+
+// Hold parks a job.
+func (c *ControlClient) Hold(id, reason string) error {
+	return c.wc.Call("ctl.hold", ctlHold{ID: id, Reason: reason}, nil)
+}
+
+// Release releases a held job.
+func (c *ControlClient) Release(id string) error {
+	return c.wc.Call("ctl.release", ctlID{ID: id}, nil)
+}
+
+// Log fetches the user log.
+func (c *ControlClient) Log(id string) ([]LogEvent, error) {
+	var resp ctlLog
+	if err := c.wc.Call("ctl.log", ctlID{ID: id}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Events, nil
+}
+
+// Stdout fetches streamed standard output.
+func (c *ControlClient) Stdout(id string) ([]byte, error) {
+	var resp ctlData
+	if err := c.wc.Call("ctl.stdout", ctlID{ID: id}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Wait blocks (polling) until the job is terminal or timeout elapses.
+func (c *ControlClient) Wait(id string, timeout time.Duration) (JobInfo, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		var info JobInfo
+		if err := c.wc.Call("ctl.wait", ctlWait{ID: id, TimeoutSec: 1}, &info); err != nil {
+			return JobInfo{}, err
+		}
+		if info.State.Terminal() {
+			return info, nil
+		}
+		if time.Now().After(deadline) {
+			return info, fmt.Errorf("condorg: wait for %s timed out in state %v", id, info.State)
+		}
+	}
+}

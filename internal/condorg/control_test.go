@@ -1,0 +1,99 @@
+package condorg
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"condorg/internal/gram"
+)
+
+func TestControlProtocolEndToEnd(t *testing.T) {
+	w := newWorld(t, 1)
+	ctl, err := NewControlServer(w.agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	cli := NewControlClient(ctl.Addr())
+	defer cli.Close()
+
+	id, err := cli.Submit(CtlSubmit{Owner: "u", Program: "task", Args: []string{"20ms", "via-ctl"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cli.Wait(id, 8*time.Second)
+	if err != nil || info.State != Completed {
+		t.Fatalf("wait: %v %v", info.State, err)
+	}
+	jobs, err := cli.Queue()
+	if err != nil || len(jobs) != 1 || jobs[0].ID != id {
+		t.Fatalf("queue: %v err=%v", jobs, err)
+	}
+	if st, err := cli.Status(id); err != nil || st.State != Completed {
+		t.Fatalf("status: %+v err=%v", st, err)
+	}
+	log, err := cli.Log(id)
+	if err != nil || len(log) == 0 {
+		t.Fatalf("log: %v err=%v", log, err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		out, err := cli.Stdout(id)
+		if err == nil && strings.Contains(string(out), "via-ctl") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stdout via control: %q err=%v", out, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestControlHoldReleaseRemove(t *testing.T) {
+	w := newWorld(t, 1)
+	ctl, _ := NewControlServer(w.agent)
+	defer ctl.Close()
+	cli := NewControlClient(ctl.Addr())
+	defer cli.Close()
+
+	id, err := cli.Submit(CtlSubmit{Owner: "u", Program: "task", Args: []string{"5s"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAgentState(t, w.agent, id, Running)
+	if err := cli.Hold(id, ""); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := cli.Status(id); st.State != Held || st.HoldReason != "held by user" {
+		t.Fatalf("after hold: %+v", st)
+	}
+	if err := cli.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	waitAgentState(t, w.agent, id, Running)
+	if err := cli.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := cli.Status(id); st.State != Removed {
+		t.Fatalf("after rm: %v", st.State)
+	}
+}
+
+func TestControlErrors(t *testing.T) {
+	w := newWorld(t, 1)
+	ctl, _ := NewControlServer(w.agent)
+	defer ctl.Close()
+	cli := NewControlClient(ctl.Addr())
+	defer cli.Close()
+	if _, err := cli.Submit(CtlSubmit{Owner: "u"}); err == nil {
+		t.Fatal("submit without program accepted")
+	}
+	if _, err := cli.Status("ghost"); err == nil {
+		t.Fatal("status of unknown job succeeded")
+	}
+	if err := cli.Remove("ghost"); err == nil {
+		t.Fatal("rm of unknown job succeeded")
+	}
+	_ = gram.Program // keep import
+}

@@ -1,0 +1,387 @@
+package condorg
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"condorg/internal/gram"
+)
+
+// GridManager is the per-user daemon of Figure 1: it submits the user's
+// jobs through GRAM's two-phase commit, probes their JobManagers, restarts
+// dead ones through the Gatekeeper, waits out partitions, resubmits jobs
+// the site lost, and exits when the user has no unfinished work.
+type GridManager struct {
+	agent *Agent
+	owner string
+	gram  *gram.Client
+
+	mu       sync.Mutex
+	pending  []*jobRecord // awaiting first submission (or resubmission)
+	recovery []*jobRecord // recovered with a live contact to re-verify
+	finished bool
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newGridManager(a *Agent, owner string) *GridManager {
+	gm := &GridManager{
+		agent:  a,
+		owner:  owner,
+		gram:   gram.NewClient(a.cfg.Credential, a.cfg.Clock),
+		stopCh: make(chan struct{}),
+	}
+	gm.gram.SetTimeouts(300*time.Millisecond, 2)
+	gm.wg.Add(1)
+	go gm.run()
+	return gm
+}
+
+func (gm *GridManager) done() bool {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	return gm.finished
+}
+
+func (gm *GridManager) stop() {
+	gm.mu.Lock()
+	if gm.finished {
+		gm.mu.Unlock()
+		return
+	}
+	gm.finished = true
+	close(gm.stopCh)
+	gm.mu.Unlock()
+	gm.wg.Wait()
+	gm.gram.Close()
+}
+
+// enqueueSubmit hands a new or released job to the manager.
+func (gm *GridManager) enqueueSubmit(rec *jobRecord) {
+	gm.mu.Lock()
+	gm.pending = append(gm.pending, rec)
+	gm.mu.Unlock()
+}
+
+// enqueueRecovery hands a job recovered from the persistent queue: it may
+// or may not have a remote contact yet.
+func (gm *GridManager) enqueueRecovery(rec *jobRecord) {
+	rec.mu.Lock()
+	hasContact := rec.Contact.JobID != ""
+	rec.mu.Unlock()
+	gm.mu.Lock()
+	if hasContact {
+		gm.recovery = append(gm.recovery, rec)
+	} else {
+		// Crashed between journaling and submission: resubmit with the
+		// SAME SubmissionID; the site deduplicates.
+		gm.pending = append(gm.pending, rec)
+	}
+	gm.mu.Unlock()
+}
+
+// run is the manager's main loop.
+func (gm *GridManager) run() {
+	defer gm.wg.Done()
+	ticker := time.NewTicker(gm.agent.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		gm.drainPending()
+		gm.drainRecovery()
+		gm.probeAll()
+		if gm.tryRetire() {
+			return
+		}
+		select {
+		case <-gm.stopCh:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// tryRetire exits the manager when the user has no unfinished jobs —
+// "one GridManager process handles all jobs for a single user and
+// terminates once all jobs are complete".
+func (gm *GridManager) tryRetire() bool {
+	gm.mu.Lock()
+	if len(gm.pending) > 0 || len(gm.recovery) > 0 {
+		gm.mu.Unlock()
+		return false
+	}
+	gm.mu.Unlock()
+	for _, info := range gm.agent.Jobs() {
+		if info.Owner != gm.owner {
+			continue
+		}
+		if !info.State.Terminal() && info.State != Held {
+			return false
+		}
+	}
+	gm.mu.Lock()
+	if gm.finished {
+		gm.mu.Unlock()
+		return true
+	}
+	gm.finished = true
+	close(gm.stopCh)
+	gm.mu.Unlock()
+	gm.gram.Close()
+	return true
+}
+
+// drainPending submits the current batch. Jobs whose submission fails are
+// re-queued for the NEXT pass (paced by the probe ticker), not retried in a
+// hot loop.
+func (gm *GridManager) drainPending() {
+	gm.mu.Lock()
+	batch := gm.pending
+	gm.pending = nil
+	gm.mu.Unlock()
+	for _, rec := range batch {
+		gm.submit(rec)
+	}
+}
+
+// submit runs the two-phase commit for one job.
+func (gm *GridManager) submit(rec *jobRecord) {
+	rec.mu.Lock()
+	if rec.State.Terminal() || rec.State == Held {
+		rec.mu.Unlock()
+		return
+	}
+	site := rec.Site
+	spec := rec.Spec
+	subID := rec.SubmissionID
+	rec.mu.Unlock()
+
+	contact, err := gm.gram.Submit(site, spec, gram.SubmitOptions{
+		SubmissionID: subID,
+		Callback:     gm.agent.cbSrv.Addr(),
+		Delegate:     gm.agent.cfg.Delegate,
+	})
+	if err != nil {
+		// Site unreachable or refused: leave the job Idle and retry on
+		// the next loop pass.
+		gm.agent.log(rec, "SUBMIT_RETRY", "submission to %s failed (%v); will retry", site, err)
+		gm.mu.Lock()
+		gm.pendingLater(rec)
+		gm.mu.Unlock()
+		return
+	}
+	rec.mu.Lock()
+	rec.Contact = contact
+	rec.mu.Unlock()
+	gm.agent.mu.Lock()
+	gm.agent.bySiteJob[contact.JobID] = rec.ID
+	gm.agent.mu.Unlock()
+	// Journal the contact BEFORE committing: recovery after a crash here
+	// reconnects rather than resubmits.
+	gm.agent.persist(rec)
+	if err := gm.gram.Commit(contact); err != nil {
+		gm.agent.log(rec, "COMMIT_RETRY", "commit failed (%v); will re-verify", err)
+		gm.mu.Lock()
+		gm.recovery = append(gm.recovery, rec)
+		gm.mu.Unlock()
+		return
+	}
+	gm.agent.log(rec, "GRID_SUBMIT", "job submitted to %s as %s", site, contact.JobID)
+}
+
+// pendingLater re-queues a job for the next loop pass. Caller holds gm.mu.
+func (gm *GridManager) pendingLater(rec *jobRecord) {
+	gm.pending = append(gm.pending, rec)
+}
+
+// drainRecovery re-verifies jobs recovered with a contact: re-commit
+// (idempotent) and refresh status; dead JobManagers go through the probe
+// path.
+func (gm *GridManager) drainRecovery() {
+	gm.mu.Lock()
+	recs := gm.recovery
+	gm.recovery = nil
+	gm.mu.Unlock()
+	for _, rec := range recs {
+		rec.mu.Lock()
+		contact := rec.Contact
+		rec.mu.Unlock()
+		if err := gm.gram.Commit(contact); err != nil {
+			// Gatekeeper down or job unknown; probeAll will sort it out.
+			continue
+		}
+		if st, err := gm.gram.Status(contact); err == nil {
+			gm.agent.applyRemoteStatus(rec, st)
+		}
+		// Tell the JobManager where our GASS server lives now.
+		gm.gram.UpdateURLFile(contact, gm.agent.gassS.Addr())
+	}
+}
+
+// probeAll is the §4.2 failure detector: "The GridManager detects remote
+// failures by periodically probing the JobManagers of all the jobs it
+// manages."
+func (gm *GridManager) probeAll() {
+	for _, info := range gm.agent.Jobs() {
+		if info.Owner != gm.owner || info.State.Terminal() || info.State == Held {
+			continue
+		}
+		if info.Contact.JobID == "" {
+			continue // not submitted yet
+		}
+		gm.agent.mu.Lock()
+		rec := gm.agent.jobs[info.ID]
+		gm.agent.mu.Unlock()
+		if rec == nil {
+			continue
+		}
+		gm.probeJob(rec)
+	}
+}
+
+func (gm *GridManager) probeJob(rec *jobRecord) {
+	rec.mu.Lock()
+	contact := rec.Contact
+	rec.mu.Unlock()
+
+	st, err := gm.gram.Status(contact)
+	if err == nil {
+		gm.agent.applyRemoteStatus(rec, st)
+		gm.maybeResubmit(rec, st)
+		gm.maybeMigrate(rec, st)
+		return
+	}
+	// "If a JobManager fails to respond, the GridManager then probes the
+	// GateKeeper for that machine."
+	if gkErr := gm.gram.PingGatekeeper(contact.GatekeeperAddr); gkErr != nil {
+		// "Either the whole resource management machine crashed or
+		// there is a network failure (the GridManager cannot
+		// distinguish these two cases) ... the GridManager waits until
+		// it can reestablish contact."
+		rec.mu.Lock()
+		already := rec.Disconnected
+		rec.Disconnected = true
+		rec.mu.Unlock()
+		if !already {
+			gm.agent.log(rec, "DISCONNECTED", "lost contact with %s; waiting to reconnect", contact.GatekeeperAddr)
+		}
+		return
+	}
+	// Gatekeeper lives: the JobManager alone crashed (or exited after the
+	// job completed during a partition). "The GridManager starts a new
+	// JobManager, which will resume watching the job or tell the
+	// GridManager that the job has completed."
+	newContact, err := gm.gram.RestartJobManager(contact)
+	if err != nil {
+		gm.agent.log(rec, "JM_RESTART_FAILED", "jobmanager restart failed: %v", err)
+		return
+	}
+	rec.mu.Lock()
+	rec.Contact = newContact
+	wasDisconnected := rec.Disconnected
+	rec.Disconnected = false
+	rec.mu.Unlock()
+	gm.agent.persist(rec)
+	if wasDisconnected {
+		gm.agent.log(rec, "RECONNECTED", "reestablished contact with %s", contact.GatekeeperAddr)
+	} else {
+		gm.agent.log(rec, "JM_RESTARTED", "started replacement jobmanager at %s", newContact.JobManagerAddr)
+	}
+	if st, err := gm.gram.Status(newContact); err == nil {
+		gm.agent.applyRemoteStatus(rec, st)
+		gm.maybeResubmit(rec, st)
+	}
+}
+
+// maybeMigrate moves a job that has been stuck in a remote queue past the
+// configured threshold to a different site — "Monitoring of actual queuing
+// and execution times allows for the tuning of where to submit subsequent
+// jobs and to migrate queued jobs" (§4.4).
+func (gm *GridManager) maybeMigrate(rec *jobRecord, st gram.StatusInfo) {
+	cfg := gm.agent.cfg
+	if cfg.MigrateAfter <= 0 || cfg.Selector == nil || st.State != gram.StatePending {
+		return
+	}
+	rec.mu.Lock()
+	if rec.State.Terminal() || rec.State == Held ||
+		rec.PendingSince.IsZero() || time.Since(rec.PendingSince) < cfg.MigrateAfter ||
+		rec.Migrations >= cfg.MaxMigrations {
+		rec.mu.Unlock()
+		return
+	}
+	currentSite := rec.Site
+	owner := rec.Owner
+	rec.mu.Unlock()
+	newSite, err := cfg.Selector.Select(SubmitRequest{Owner: owner})
+	if err != nil || newSite == currentSite {
+		return // nowhere better to go right now
+	}
+	rec.mu.Lock()
+	oldContact := rec.Contact
+	rec.Migrations++
+	rec.Site = newSite
+	rec.State = Idle
+	rec.Remote = gram.StateUnsubmitted
+	rec.Contact = gram.JobContact{}
+	rec.SubmissionID = gram.NewSubmissionID()
+	rec.PendingSince = time.Time{}
+	n := rec.Migrations
+	rec.mu.Unlock()
+	gm.agent.mu.Lock()
+	delete(gm.agent.bySiteJob, oldContact.JobID)
+	gm.agent.mu.Unlock()
+	gm.agent.log(rec, "MIGRATED", "queued too long at %s; migrating to %s (migration %d)", currentSite, newSite, n)
+	// Best effort: withdraw the old queued copy so it does not also run.
+	gm.gram.Cancel(oldContact)
+	gm.mu.Lock()
+	gm.pendingLater(rec)
+	gm.mu.Unlock()
+}
+
+// maybeResubmit handles jobs the site reported as failed. Failures caused
+// by the site losing the job are retried (possibly elsewhere); application
+// failures are final.
+func (gm *GridManager) maybeResubmit(rec *jobRecord, st gram.StatusInfo) {
+	if st.State != gram.StateFailed {
+		return
+	}
+	rec.mu.Lock()
+	if rec.State.Terminal() || rec.State == Held {
+		rec.mu.Unlock()
+		return
+	}
+	siteLost := st.Error == "lost by site restart" || st.Error == "commit timeout: two-phase commit never completed"
+	if !siteLost || rec.Resubmits >= gm.agent.cfg.MaxResubmits {
+		rec.State = Failed
+		rec.Error = st.Error
+		rec.FinishedAt = time.Now()
+		owner := rec.Owner
+		id := rec.ID
+		rec.mu.Unlock()
+		gm.agent.log(rec, "FAILED", "job failed: %s", st.Error)
+		gm.agent.cfg.Notifier.Notify(owner, "job "+id+" failed",
+			fmt.Sprintf("Your job %s failed: %s", id, st.Error))
+		return
+	}
+	// Resubmit: fresh identity, fresh site choice if a selector exists.
+	rec.Resubmits++
+	rec.State = Idle
+	rec.Remote = gram.StateUnsubmitted
+	oldContact := rec.Contact
+	rec.Contact = gram.JobContact{}
+	rec.SubmissionID = gram.NewSubmissionID()
+	if gm.agent.cfg.Selector != nil {
+		if site, err := gm.agent.cfg.Selector.Select(SubmitRequest{Owner: rec.Owner}); err == nil {
+			rec.Site = site
+		}
+	}
+	n := rec.Resubmits
+	rec.mu.Unlock()
+	gm.agent.mu.Lock()
+	delete(gm.agent.bySiteJob, oldContact.JobID)
+	gm.agent.mu.Unlock()
+	gm.agent.log(rec, "RESUBMIT", "site lost the job (%s); resubmission %d", st.Error, n)
+	gm.mu.Lock()
+	gm.pendingLater(rec)
+	gm.mu.Unlock()
+}

@@ -1,0 +1,155 @@
+package condorg
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"condorg/internal/gram"
+	"condorg/internal/lrm"
+)
+
+// blockedSite builds a 1-CPU site whose only CPU is held by a long job, so
+// anything submitted to it queues indefinitely.
+func blockedSite(t *testing.T, runs *atomic.Int64) *gram.Site {
+	t.Helper()
+	cluster, err := lrm.NewCluster(lrm.Config{Name: "blocked", Cpus: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Submit(lrm.Job{ID: "hog", Owner: "other", Run: func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}}, 0)
+	site, err := gram.NewSite(gram.SiteConfig{
+		Name:     "blocked",
+		Cluster:  cluster,
+		Runtime:  buildRuntime(runs),
+		StateDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+	return site
+}
+
+// switchSelector returns busy first, then free forever after.
+type switchSelector struct {
+	busy, free string
+	calls      atomic.Int64
+}
+
+func (s *switchSelector) Select(SubmitRequest) (string, error) {
+	if s.calls.Add(1) == 1 {
+		return s.busy, nil
+	}
+	return s.free, nil
+}
+
+func TestQueuedJobMigratesToFreeSite(t *testing.T) {
+	runs := &atomic.Int64{}
+	busy := blockedSite(t, runs)
+	free := newSite(t, "free", runs, t.TempDir(), "")
+	defer free.Close()
+
+	sel := &switchSelector{busy: busy.GatekeeperAddr(), free: free.GatekeeperAddr()}
+	agent, err := NewAgent(AgentConfig{
+		StateDir:      t.TempDir(),
+		Selector:      sel,
+		ProbeInterval: 30 * time.Millisecond,
+		MigrateAfter:  120 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	id, err := agent.Submit(SubmitRequest{
+		Owner: "u", Executable: gram.Program("task"), Args: []string{"20ms"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitAgentState(t, agent, id, Completed)
+	if info.Site != free.GatekeeperAddr() {
+		t.Fatalf("completed at %s, want migration to the free site %s", info.Site, free.GatekeeperAddr())
+	}
+	if info.Migrations < 1 {
+		t.Fatalf("migrations = %d, want >= 1", info.Migrations)
+	}
+	if !strings.Contains(fmt2str(info.Log), "MIGRATED") {
+		t.Fatalf("no MIGRATED event in log: %v", info.Log)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("job ran %d times across migration, want exactly once", runs.Load())
+	}
+}
+
+func fmt2str(events []LogEvent) string {
+	var sb strings.Builder
+	for _, e := range events {
+		sb.WriteString(e.Code)
+		sb.WriteString(" ")
+		sb.WriteString(e.Text)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func TestMigrationDisabledByDefault(t *testing.T) {
+	runs := &atomic.Int64{}
+	busy := blockedSite(t, runs)
+	agent, err := NewAgent(AgentConfig{
+		StateDir:      t.TempDir(),
+		Selector:      StaticSelector(busy.GatekeeperAddr()),
+		ProbeInterval: 30 * time.Millisecond,
+		// MigrateAfter unset: the job stays queued at the busy site.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	id, _ := agent.Submit(SubmitRequest{Owner: "u", Executable: gram.Program("task")})
+	time.Sleep(300 * time.Millisecond)
+	info, _ := agent.Status(id)
+	if info.Migrations != 0 || info.State.Terminal() {
+		t.Fatalf("unexpected movement without MigrateAfter: %+v", info)
+	}
+	agent.Remove(id)
+}
+
+func TestMigrationRespectsCap(t *testing.T) {
+	runs := &atomic.Int64{}
+	// Both sites blocked: migration ping-pongs until the cap stops it.
+	busyA := blockedSite(t, runs)
+	busyB := blockedSite(t, runs)
+	sel := &RoundRobinSelector{Sites: []string{busyA.GatekeeperAddr(), busyB.GatekeeperAddr()}}
+	agent, err := NewAgent(AgentConfig{
+		StateDir:      t.TempDir(),
+		Selector:      sel,
+		ProbeInterval: 20 * time.Millisecond,
+		MigrateAfter:  40 * time.Millisecond,
+		MaxMigrations: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	id, _ := agent.Submit(SubmitRequest{Owner: "u", Executable: gram.Program("task")})
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		info, _ := agent.Status(id)
+		if info.Migrations > 2 {
+			t.Fatalf("migrations = %d exceeds cap 2", info.Migrations)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	info, _ := agent.Status(id)
+	if info.Migrations != 2 {
+		t.Fatalf("migrations = %d, want exactly the cap (2)", info.Migrations)
+	}
+	agent.Remove(id)
+}

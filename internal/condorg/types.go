@@ -1,0 +1,207 @@
+// Package condorg implements the computation management agent of §4 — the
+// paper's primary contribution. The Agent is the personal-desktop Scheduler
+// with a persistent job queue; it spawns one GridManager per user to
+// submit, monitor, and recover jobs on remote Grid resources through GRAM,
+// GASS, and GSI, while preserving "the look and feel of a local resource
+// manager": submit, query, cancel, hold/release, user logs, and
+// notification callbacks, with exactly-once execution guaranteed across
+// the four failure types of §4.2.
+package condorg
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"condorg/internal/gram"
+)
+
+// JobState is the queue state shown to the user (condor_q vocabulary).
+type JobState int
+
+const (
+	// Idle: queued locally or at the remote site, not yet executing.
+	Idle JobState = iota
+	// Running: executing on a remote resource.
+	Running
+	// Completed: finished successfully.
+	Completed
+	// Failed: finished unsuccessfully (after exhausting resubmissions).
+	Failed
+	// Held: parked by the user or by the credential monitor; will not
+	// run until released.
+	Held
+	// Removed: cancelled by the user.
+	Removed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Running:
+		return "running"
+	case Completed:
+		return "completed"
+	case Failed:
+		return "failed"
+	case Held:
+		return "held"
+	case Removed:
+		return "removed"
+	}
+	return "unknown"
+}
+
+// Terminal reports whether no further transitions can occur.
+func (s JobState) Terminal() bool {
+	return s == Completed || s == Failed || s == Removed
+}
+
+// SubmitRequest describes a job handed to the agent.
+type SubmitRequest struct {
+	// Owner is the submitting user (one GridManager runs per owner).
+	Owner string
+	// Executable is the program blob staged to the site through GASS
+	// (use gram.Program(name) for registered programs).
+	Executable []byte
+	// Args are program arguments.
+	Args []string
+	// Stdin, when non-nil, is staged as standard input.
+	Stdin []byte
+	// Site pins the job to one Gatekeeper address. Leave empty to let
+	// the agent's Selector choose.
+	Site string
+	// Cpus, WallLimit, Estimate pass through to the site scheduler.
+	Cpus      int
+	WallLimit time.Duration
+	Estimate  time.Duration
+	// Env is the job environment.
+	Env map[string]string
+}
+
+// LogEvent is one line of the job's user log — "a complete history of
+// their jobs' execution" (§4.1).
+type LogEvent struct {
+	Time time.Time `json:"time"`
+	Code string    `json:"code"` // SUBMIT, EXECUTE, TERMINATED, ...
+	Text string    `json:"text"`
+}
+
+// JobInfo is the externally visible job record.
+type JobInfo struct {
+	ID           string          `json:"id"`
+	Owner        string          `json:"owner"`
+	State        JobState        `json:"state"`
+	Site         string          `json:"site"`
+	HoldReason   string          `json:"hold_reason,omitempty"`
+	Error        string          `json:"error,omitempty"`
+	ExitOK       bool            `json:"exit_ok"`
+	Resubmits    int             `json:"resubmits"`
+	Disconnected bool            `json:"disconnected"` // waiting out a partition
+	Migrations   int             `json:"migrations"`
+	SubmittedAt  time.Time       `json:"submitted_at"`
+	FinishedAt   time.Time       `json:"finished_at,omitempty"`
+	PendingSince time.Time       `json:"pending_since,omitempty"`
+	Contact      gram.JobContact `json:"contact"`
+	Log          []LogEvent      `json:"log"`
+}
+
+// jobRecord is the internal, persisted job state.
+type jobRecord struct {
+	mu sync.Mutex
+	JobInfo
+	SubmissionID string       `json:"submission_id"`
+	Spec         gram.JobSpec `json:"spec"`
+	// remote mirrors the last GRAM state seen, to detect transitions.
+	Remote gram.JobState `json:"remote"`
+}
+
+func (j *jobRecord) snapshot() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := j.JobInfo
+	info.Log = append([]LogEvent(nil), j.Log...)
+	return info
+}
+
+// Notifier delivers the user-facing notifications of §4.3 (the paper uses
+// e-mail; the agent only needs the abstraction).
+type Notifier interface {
+	Notify(user, subject, body string)
+}
+
+// Mailbox is an in-memory Notifier for tests, examples, and benches.
+type Mailbox struct {
+	mu   sync.Mutex
+	msgs []Mail
+}
+
+// Mail is one delivered notification.
+type Mail struct {
+	User    string
+	Subject string
+	Body    string
+	At      time.Time
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox() *Mailbox { return &Mailbox{} }
+
+// Notify implements Notifier.
+func (m *Mailbox) Notify(user, subject, body string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.msgs = append(m.msgs, Mail{User: user, Subject: subject, Body: body, At: time.Now()})
+}
+
+// Messages returns all mail for user ("" = everyone).
+func (m *Mailbox) Messages(user string) []Mail {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Mail
+	for _, msg := range m.msgs {
+		if user == "" || msg.User == user {
+			out = append(out, msg)
+		}
+	}
+	return out
+}
+
+// Selector chooses an execution site for a job — the pluggable resource
+// brokering of §4.4. The broker package provides the paper's strategies.
+type Selector interface {
+	// Select returns the Gatekeeper address for the request.
+	Select(req SubmitRequest) (string, error)
+}
+
+// StaticSelector always routes to one site (the paper's "user-supplied
+// list of GRAM servers" starting point, with a list of one).
+type StaticSelector string
+
+// Select implements Selector.
+func (s StaticSelector) Select(SubmitRequest) (string, error) {
+	if s == "" {
+		return "", fmt.Errorf("condorg: no site configured")
+	}
+	return string(s), nil
+}
+
+// RoundRobinSelector rotates through a fixed site list.
+type RoundRobinSelector struct {
+	mu    sync.Mutex
+	Sites []string
+	next  int
+}
+
+// Select implements Selector.
+func (r *RoundRobinSelector) Select(SubmitRequest) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.Sites) == 0 {
+		return "", fmt.Errorf("condorg: empty site list")
+	}
+	site := r.Sites[r.next%len(r.Sites)]
+	r.next++
+	return site, nil
+}

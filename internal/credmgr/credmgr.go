@@ -1,0 +1,225 @@
+// Package credmgr implements the credential management of §4.3: a monitor
+// that periodically analyzes the proxies of users with queued jobs, raises
+// alarms before expiry, places jobs on hold (with an explanatory e-mail)
+// when a proxy expires, and releases + re-forwards after a refresh; plus a
+// MyProxy server from which the agent can fetch fresh short-lived proxies
+// automatically, limiting exposure of the long-lived credential.
+package credmgr
+
+import (
+	"sync"
+	"time"
+
+	"condorg/internal/condorg"
+	"condorg/internal/gsi"
+)
+
+// HoldReason marks holds placed by the monitor, so only those are released
+// on refresh.
+const HoldReason = "credential expired"
+
+// MonitorConfig configures a credential monitor.
+type MonitorConfig struct {
+	// Agent is the Condor-G agent whose credential is watched.
+	Agent *condorg.Agent
+	// Owner is the user the agent's credential belongs to.
+	Owner string
+	// Clock drives expiry decisions (virtual in tests).
+	Clock gsi.Clock
+	// WarnThreshold raises a reminder e-mail when less than this
+	// lifetime remains ("credential alarms", §4.3).
+	WarnThreshold time.Duration
+	// Interval is the scan period.
+	Interval time.Duration
+	// MyProxy, when set, enables automatic renewal: expiring proxies are
+	// replaced from the MyProxy server without user action.
+	MyProxy *MyProxyClient
+	// MyProxyUser and MyProxyPass authenticate the renewal fetch.
+	MyProxyUser string
+	MyProxyPass string
+	// RenewLifetime is the lifetime requested for auto-renewed proxies.
+	RenewLifetime time.Duration
+}
+
+// Monitor watches the agent's credential.
+type Monitor struct {
+	cfg MonitorConfig
+
+	mu       sync.Mutex
+	warned   bool
+	held     bool
+	scans    int
+	renewals int
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewMonitor creates a monitor (call Start for the background loop, or
+// Scan from a test for deterministic stepping).
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	if cfg.Clock == nil {
+		cfg.Clock = gsi.WallClock
+	}
+	if cfg.WarnThreshold == 0 {
+		cfg.WarnThreshold = time.Hour
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = time.Minute
+	}
+	if cfg.RenewLifetime == 0 {
+		cfg.RenewLifetime = 12 * time.Hour
+	}
+	return &Monitor{cfg: cfg}
+}
+
+// Stats reports scan and renewal counts.
+func (m *Monitor) Stats() (scans, renewals int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scans, m.renewals
+}
+
+// Scan performs one analysis pass and reports what it did.
+type ScanResult struct {
+	TimeLeft time.Duration
+	Warned   bool
+	Held     []string
+	Renewed  bool
+	Released []string
+}
+
+// Scan analyzes the credential once. "The agent ... periodically analyzes
+// the credentials for all users with currently queued jobs."
+func (m *Monitor) Scan() ScanResult {
+	m.mu.Lock()
+	m.scans++
+	m.mu.Unlock()
+	agent, owner := m.cfg.Agent, m.cfg.Owner
+	var res ScanResult
+	if !agent.HasPendingJobs(owner) {
+		return res
+	}
+	cred := agent.Credential()
+	if cred == nil {
+		return res
+	}
+	now := m.cfg.Clock()
+	res.TimeLeft = cred.TimeLeft(now)
+
+	// Auto-renewal from MyProxy preempts both the alarm and the hold.
+	if m.cfg.MyProxy != nil && res.TimeLeft < m.cfg.WarnThreshold {
+		fresh, err := m.cfg.MyProxy.Get(m.cfg.MyProxyUser, m.cfg.MyProxyPass, m.cfg.RenewLifetime)
+		if err == nil {
+			agent.SetCredential(fresh)
+			m.mu.Lock()
+			m.renewals++
+			m.warned = false
+			m.mu.Unlock()
+			res.Renewed = true
+			res.TimeLeft = fresh.TimeLeft(now)
+			if m.takeHeldFlag() {
+				res.Released = agent.ReleaseAll(owner, HoldReason)
+			}
+			return res
+		}
+		agent.Notifier().Notify(owner, "MyProxy renewal failed",
+			"Automatic credential renewal from MyProxy failed: "+err.Error())
+	}
+
+	switch {
+	case res.TimeLeft <= 0:
+		// Expired: hold everything and tell the user how to recover.
+		res.Held = agent.HoldAll(owner, HoldReason)
+		if len(res.Held) > 0 {
+			m.mu.Lock()
+			m.held = true
+			m.mu.Unlock()
+			agent.Notifier().Notify(owner, "credentials expired — jobs held",
+				"Your Grid proxy has expired. Your jobs cannot run again until "+
+					"your credentials are refreshed (run grid-proxy-init, then "+
+					"condorg refresh).")
+		}
+	case res.TimeLeft < m.cfg.WarnThreshold:
+		m.mu.Lock()
+		already := m.warned
+		m.warned = true
+		m.mu.Unlock()
+		if !already {
+			res.Warned = true
+			agent.Notifier().Notify(owner, "credential expiring soon",
+				"Your Grid proxy expires in "+res.TimeLeft.Truncate(time.Second).String()+
+					". Refresh it to keep your jobs running.")
+		}
+	default:
+		m.mu.Lock()
+		m.warned = false
+		m.mu.Unlock()
+	}
+	return res
+}
+
+func (m *Monitor) takeHeldFlag() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.held
+	m.held = false
+	return h
+}
+
+// Refresh installs a user-supplied fresh proxy: the agent switches to it,
+// re-forwards it to every active JobManager, and jobs held for expiry are
+// released.
+func (m *Monitor) Refresh(cred *gsi.Credential) ScanResult {
+	m.cfg.Agent.SetCredential(cred)
+	m.mu.Lock()
+	m.warned = false
+	m.mu.Unlock()
+	var res ScanResult
+	res.TimeLeft = cred.TimeLeft(m.cfg.Clock())
+	if m.takeHeldFlag() {
+		res.Released = m.cfg.Agent.ReleaseAll(m.cfg.Owner, HoldReason)
+	} else {
+		// Release any matching holds even if this monitor instance did
+		// not place them (e.g. after an agent restart).
+		res.Released = m.cfg.Agent.ReleaseAll(m.cfg.Owner, HoldReason)
+	}
+	return res
+}
+
+// Start runs Scan on the configured interval until Stop.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	if m.stopCh != nil {
+		m.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	m.stopCh = stop
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(m.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				m.Scan()
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	stop := m.stopCh
+	m.stopCh = nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		m.wg.Wait()
+	}
+}

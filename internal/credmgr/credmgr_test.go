@@ -1,0 +1,349 @@
+package credmgr
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"condorg/internal/condorg"
+	"condorg/internal/gram"
+	"condorg/internal/gsi"
+	"condorg/internal/lrm"
+)
+
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// world sets up a CA, a user credential, a site, and an agent.
+type world struct {
+	ca    *gsi.CA
+	user  *gsi.Credential
+	clk   *fakeClock
+	agent *condorg.Agent
+	site  *gram.Site
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	clk := &fakeClock{now: time.Date(2001, 8, 6, 9, 0, 0, 0, time.UTC)}
+	ca, err := gsi.NewCA("/O=Grid/CN=CA", clk.Now(), 365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := ca.IssueUser("/O=Grid/CN=jfrey", clk.Now(), 30*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, _ := lrm.NewCluster(lrm.Config{Name: "s", Cpus: 4})
+	rt := gram.NewFuncRuntime()
+	rt.Register("task", func(ctx context.Context, args []string, _ []byte, stdout, _ io.Writer, _ map[string]string) error {
+		d := 10 * time.Millisecond
+		if len(args) > 0 {
+			if p, err := time.ParseDuration(args[0]); err == nil {
+				d = p
+			}
+		}
+		select {
+		case <-time.After(d):
+			fmt.Fprintln(stdout, "ok")
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	site, err := gram.NewSite(gram.SiteConfig{
+		Name: "s", Cluster: cluster, Runtime: rt, StateDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+
+	proxy, err := gsi.NewProxy(user, clk.Now(), 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := condorg.NewAgent(condorg.AgentConfig{
+		StateDir:      t.TempDir(),
+		Credential:    proxy,
+		Clock:         clk.Now,
+		Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
+		ProbeInterval: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Close)
+	return &world{ca: ca, user: user, clk: clk, agent: agent, site: site}
+}
+
+func (w *world) submitLong(t *testing.T) string {
+	t.Helper()
+	id, err := w.agent.Submit(condorg.SubmitRequest{
+		Owner: "jfrey", Executable: gram.Program("task"), Args: []string{"30s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestWarnBeforeExpiry(t *testing.T) {
+	w := newWorld(t)
+	id := w.submitLong(t)
+	defer w.agent.Remove(id)
+	mon := NewMonitor(MonitorConfig{
+		Agent: w.agent, Owner: "jfrey", Clock: w.clk.Now, WarnThreshold: time.Hour,
+	})
+	// 2h left: no warning.
+	if res := mon.Scan(); res.Warned || len(res.Held) != 0 {
+		t.Fatalf("early scan acted: %+v", res)
+	}
+	// 30m left: warn once.
+	w.clk.Advance(90 * time.Minute)
+	res := mon.Scan()
+	if !res.Warned {
+		t.Fatalf("no warning at 30m left: %+v", res)
+	}
+	if res := mon.Scan(); res.Warned {
+		t.Fatal("warning repeated on next scan")
+	}
+	msgs := w.agent.Mailbox().Messages("jfrey")
+	if len(msgs) != 1 || !strings.Contains(msgs[0].Subject, "expiring") {
+		t.Fatalf("mailbox = %+v", msgs)
+	}
+}
+
+func TestExpiredCredentialHoldsJobs(t *testing.T) {
+	w := newWorld(t)
+	id := w.submitLong(t)
+	mon := NewMonitor(MonitorConfig{
+		Agent: w.agent, Owner: "jfrey", Clock: w.clk.Now, WarnThreshold: time.Hour,
+	})
+	w.clk.Advance(3 * time.Hour) // proxy (2h) now expired
+	res := mon.Scan()
+	if len(res.Held) != 1 || res.Held[0] != id {
+		t.Fatalf("held = %v", res.Held)
+	}
+	info, _ := w.agent.Status(id)
+	if info.State != condorg.Held || !strings.Contains(info.HoldReason, "credential") {
+		t.Fatalf("job after expiry: %+v", info)
+	}
+	msgs := w.agent.Mailbox().Messages("jfrey")
+	found := false
+	for _, m := range msgs {
+		if strings.Contains(m.Subject, "expired") && strings.Contains(m.Body, "cannot run again until") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no expiry e-mail: %+v", msgs)
+	}
+	// A second scan does not re-hold (nothing left to hold).
+	if res := mon.Scan(); len(res.Held) != 0 {
+		t.Fatalf("second scan held again: %v", res.Held)
+	}
+}
+
+func TestRefreshReleasesAndCompletes(t *testing.T) {
+	w := newWorld(t)
+	id, err := w.agent.Submit(condorg.SubmitRequest{
+		Owner: "jfrey", Executable: gram.Program("task"), Args: []string{"50ms"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor(MonitorConfig{
+		Agent: w.agent, Owner: "jfrey", Clock: w.clk.Now, WarnThreshold: time.Hour,
+	})
+	w.clk.Advance(3 * time.Hour)
+	if res := mon.Scan(); len(res.Held) != 1 {
+		t.Fatalf("expiry scan held %v", res.Held)
+	}
+	// User refreshes: new proxy from the long-lived user credential.
+	fresh, err := gsi.NewProxy(w.user, w.clk.Now(), 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mon.Refresh(fresh)
+	if len(res.Released) != 1 || res.Released[0] != id {
+		t.Fatalf("released = %v", res.Released)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
+	defer cancel()
+	info, err := w.agent.Wait(ctx, id)
+	if err != nil || info.State != condorg.Completed {
+		t.Fatalf("after refresh: %v %v (err=%q)", info.State, err, info.Error)
+	}
+}
+
+func TestMonitorIgnoresIdleUsers(t *testing.T) {
+	w := newWorld(t)
+	mon := NewMonitor(MonitorConfig{
+		Agent: w.agent, Owner: "jfrey", Clock: w.clk.Now, WarnThreshold: time.Hour,
+	})
+	w.clk.Advance(3 * time.Hour) // expired, but no queued jobs
+	if res := mon.Scan(); res.Warned || len(res.Held) != 0 {
+		t.Fatalf("monitor acted with no pending jobs: %+v", res)
+	}
+}
+
+func TestMyProxyStoreGetDestroy(t *testing.T) {
+	clk := &fakeClock{now: time.Date(2001, 8, 6, 9, 0, 0, 0, time.UTC)}
+	ca, _ := gsi.NewCA("/O=Grid/CN=CA", clk.Now(), 365*24*time.Hour)
+	user, _ := ca.IssueUser("/O=Grid/CN=u", clk.Now(), 30*24*time.Hour)
+	longProxy, _ := gsi.NewProxy(user, clk.Now(), 7*24*time.Hour) // a week
+
+	srv, err := NewMyProxyServer(MyProxyOptions{Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	mc := NewMyProxyClient(srv.Addr(), nil, clk.Now)
+	defer mc.Close()
+
+	if err := mc.Store("u", "hunter2", longProxy); err != nil {
+		t.Fatal(err)
+	}
+	short, err := mc.Get("u", "hunter2", 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left := short.TimeLeft(clk.Now()); left > 12*time.Hour || left <= 0 {
+		t.Fatalf("short proxy lifetime = %v", left)
+	}
+	if short.Subject() != "/O=Grid/CN=u" {
+		t.Fatalf("short proxy subject = %q", short.Subject())
+	}
+	// Chain verifies against the CA.
+	if _, err := gsi.VerifyChain(short.Chain, ca.Certificate(), clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong password.
+	if _, err := mc.Get("u", "wrong", time.Hour); err == nil {
+		t.Fatal("wrong password accepted")
+	}
+	// Unknown user.
+	if _, err := mc.Get("ghost", "x", time.Hour); err == nil {
+		t.Fatal("unknown user served")
+	}
+	// Destroy with wrong password fails; with right one succeeds.
+	if err := mc.Destroy("u", "wrong"); err == nil {
+		t.Fatal("destroy with wrong password succeeded")
+	}
+	if err := mc.Destroy("u", "hunter2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Get("u", "hunter2", time.Hour); err == nil {
+		t.Fatal("destroyed credential still served")
+	}
+}
+
+func TestMyProxyRefusesExpiredStored(t *testing.T) {
+	clk := &fakeClock{now: time.Date(2001, 8, 6, 9, 0, 0, 0, time.UTC)}
+	ca, _ := gsi.NewCA("/O=Grid/CN=CA", clk.Now(), 365*24*time.Hour)
+	user, _ := ca.IssueUser("/O=Grid/CN=u", clk.Now(), 30*24*time.Hour)
+	shortLived, _ := gsi.NewProxy(user, clk.Now(), time.Hour)
+	srv, _ := NewMyProxyServer(MyProxyOptions{Clock: clk.Now})
+	defer srv.Close()
+	mc := NewMyProxyClient(srv.Addr(), nil, clk.Now)
+	defer mc.Close()
+	if err := mc.Store("u", "p", shortLived); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Hour)
+	if _, err := mc.Get("u", "p", time.Hour); err == nil {
+		t.Fatal("proxy derived from expired stored credential")
+	}
+	// Storing an already-expired credential is refused outright.
+	if err := mc.Store("u2", "p", shortLived); err == nil {
+		t.Fatal("expired credential stored")
+	}
+}
+
+func TestAutoRenewalFromMyProxy(t *testing.T) {
+	w := newWorld(t)
+	id := w.submitLong(t)
+	defer w.agent.Remove(id)
+
+	// Deposit a week-long proxy in MyProxy.
+	longProxy, _ := gsi.NewProxy(w.user, w.clk.Now(), 7*24*time.Hour)
+	srv, _ := NewMyProxyServer(MyProxyOptions{Clock: w.clk.Now})
+	defer srv.Close()
+	mc := NewMyProxyClient(srv.Addr(), nil, w.clk.Now)
+	defer mc.Close()
+	if err := mc.Store("jfrey", "s3cret", longProxy); err != nil {
+		t.Fatal(err)
+	}
+
+	mon := NewMonitor(MonitorConfig{
+		Agent: w.agent, Owner: "jfrey", Clock: w.clk.Now,
+		WarnThreshold: time.Hour,
+		MyProxy:       mc, MyProxyUser: "jfrey", MyProxyPass: "s3cret",
+		RenewLifetime: 12 * time.Hour,
+	})
+	// Let the agent proxy run down to 30 minutes: auto-renew, no hold.
+	w.clk.Advance(90 * time.Minute)
+	res := mon.Scan()
+	if !res.Renewed {
+		t.Fatalf("no auto-renewal: %+v", res)
+	}
+	if len(res.Held) != 0 {
+		t.Fatalf("auto-renewal still held jobs: %v", res.Held)
+	}
+	if left := w.agent.Credential().TimeLeft(w.clk.Now()); left < 11*time.Hour {
+		t.Fatalf("agent credential lifetime after renewal = %v", left)
+	}
+	info, _ := w.agent.Status(id)
+	if info.State == condorg.Held {
+		t.Fatal("job held despite auto-renewal")
+	}
+	_, renewals := mon.Stats()
+	if renewals != 1 {
+		t.Fatalf("renewals = %d", renewals)
+	}
+}
+
+func TestMonitorStartStop(t *testing.T) {
+	w := newWorld(t)
+	mon := NewMonitor(MonitorConfig{
+		Agent: w.agent, Owner: "jfrey", Clock: w.clk.Now,
+		Interval: 10 * time.Millisecond,
+	})
+	mon.Start()
+	mon.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if scans, _ := mon.Stats(); scans >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background monitor never scanned")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mon.Stop()
+	scans, _ := mon.Stats()
+	time.Sleep(50 * time.Millisecond)
+	if after, _ := mon.Stats(); after != scans {
+		t.Fatal("monitor kept scanning after Stop")
+	}
+}

@@ -1,0 +1,206 @@
+package credmgr
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"condorg/internal/gsi"
+	"condorg/internal/wire"
+)
+
+// MyProxyService is the wire service name.
+const MyProxyService = "myproxy"
+
+// MyProxyServer stores long-lived proxy credentials on a secure server so
+// that "remote services acting on behalf of the user can then obtain
+// short-lived proxies" (§4.3, citing [23]). Stored credentials are
+// password-protected; only the MyProxy server and the agent ever see the
+// long-lived proxy.
+type MyProxyServer struct {
+	srv   *wire.Server
+	clock gsi.Clock
+	mu    sync.Mutex
+	store map[string]*myproxyEntry
+}
+
+type myproxyEntry struct {
+	passHash [32]byte
+	cred     *gsi.Credential
+}
+
+// MyProxyOptions configures a server.
+type MyProxyOptions struct {
+	Anchor *gsi.Certificate
+	Clock  gsi.Clock
+	Faults *wire.Faults
+	// Addr pins the listen address; empty selects a fresh loopback port.
+	Addr string
+}
+
+// NewMyProxyServer starts a credential repository.
+func NewMyProxyServer(opts MyProxyOptions) (*MyProxyServer, error) {
+	if opts.Clock == nil {
+		opts.Clock = gsi.WallClock
+	}
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	srv, err := wire.NewServerAddr(opts.Addr, wire.ServerConfig{
+		Name:   MyProxyService,
+		Anchor: opts.Anchor,
+		Clock:  opts.Clock,
+		Faults: opts.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &MyProxyServer{srv: srv, clock: opts.Clock, store: make(map[string]*myproxyEntry)}
+	srv.Handle("myproxy.store", s.handleStore)
+	srv.Handle("myproxy.get", s.handleGet)
+	srv.Handle("myproxy.destroy", s.handleDestroy)
+	return s, nil
+}
+
+// Addr returns host:port.
+func (s *MyProxyServer) Addr() string { return s.srv.Addr() }
+
+// Close stops the server.
+func (s *MyProxyServer) Close() error { return s.srv.Close() }
+
+type storeReq struct {
+	User string `json:"user"`
+	Pass string `json:"pass"`
+	Cred []byte `json:"cred"`
+}
+
+func (s *MyProxyServer) handleStore(_ string, body json.RawMessage) (any, error) {
+	var req storeReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	cred, err := gsi.DecodeCredential(req.Cred)
+	if err != nil {
+		return nil, fmt.Errorf("myproxy: bad credential: %w", err)
+	}
+	if cred.Expired(s.clock()) {
+		return nil, fmt.Errorf("myproxy: refusing to store an expired credential")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store[req.User] = &myproxyEntry{passHash: sha256.Sum256([]byte(req.Pass)), cred: cred}
+	return struct{}{}, nil
+}
+
+type getReq struct {
+	User        string `json:"user"`
+	Pass        string `json:"pass"`
+	LifetimeSec int    `json:"lifetime_sec"`
+}
+
+type getResp struct {
+	Cred []byte `json:"cred"`
+}
+
+func (s *MyProxyServer) handleGet(_ string, body json.RawMessage) (any, error) {
+	var req getReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	entry, ok := s.store[req.User]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("myproxy: no credential stored for %q", req.User)
+	}
+	hash := sha256.Sum256([]byte(req.Pass))
+	if subtle.ConstantTimeCompare(hash[:], entry.passHash[:]) != 1 {
+		return nil, fmt.Errorf("myproxy: bad password for %q", req.User)
+	}
+	lifetime := time.Duration(req.LifetimeSec) * time.Second
+	if lifetime <= 0 {
+		lifetime = 12 * time.Hour
+	}
+	proxy, err := gsi.NewProxy(entry.cred, s.clock(), lifetime)
+	if err != nil {
+		return nil, fmt.Errorf("myproxy: stored credential: %w", err)
+	}
+	data, err := gsi.EncodeCredential(proxy)
+	if err != nil {
+		return nil, err
+	}
+	return getResp{Cred: data}, nil
+}
+
+type destroyReq struct {
+	User string `json:"user"`
+	Pass string `json:"pass"`
+}
+
+func (s *MyProxyServer) handleDestroy(_ string, body json.RawMessage) (any, error) {
+	var req destroyReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, ok := s.store[req.User]
+	if !ok {
+		return struct{}{}, nil
+	}
+	hash := sha256.Sum256([]byte(req.Pass))
+	if subtle.ConstantTimeCompare(hash[:], entry.passHash[:]) != 1 {
+		return nil, fmt.Errorf("myproxy: bad password for %q", req.User)
+	}
+	delete(s.store, req.User)
+	return struct{}{}, nil
+}
+
+// MyProxyClient talks to a MyProxy server.
+type MyProxyClient struct {
+	wc    *wire.Client
+	clock gsi.Clock
+}
+
+// NewMyProxyClient connects to the server at addr.
+func NewMyProxyClient(addr string, cred *gsi.Credential, clock gsi.Clock) *MyProxyClient {
+	return &MyProxyClient{
+		wc: wire.Dial(addr, wire.ClientConfig{
+			ServerName: MyProxyService,
+			Credential: cred,
+			Clock:      clock,
+			Timeout:    2 * time.Second,
+		}),
+		clock: clock,
+	}
+}
+
+// Close releases the connection.
+func (c *MyProxyClient) Close() error { return c.wc.Close() }
+
+// Store deposits a long-lived credential under a password.
+func (c *MyProxyClient) Store(user, pass string, cred *gsi.Credential) error {
+	data, err := gsi.EncodeCredential(cred)
+	if err != nil {
+		return err
+	}
+	return c.wc.Call("myproxy.store", storeReq{User: user, Pass: pass, Cred: data}, nil)
+}
+
+// Get fetches a fresh short-lived proxy derived from the stored credential.
+func (c *MyProxyClient) Get(user, pass string, lifetime time.Duration) (*gsi.Credential, error) {
+	var resp getResp
+	err := c.wc.Call("myproxy.get", getReq{User: user, Pass: pass, LifetimeSec: int(lifetime / time.Second)}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return gsi.DecodeCredential(resp.Cred)
+}
+
+// Destroy removes the stored credential.
+func (c *MyProxyClient) Destroy(user, pass string) error {
+	return c.wc.Call("myproxy.destroy", destroyReq{User: user, Pass: pass}, nil)
+}

@@ -1,0 +1,363 @@
+package dagman
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const cmsDag = `
+# CMS-style pipeline
+JOB sim1 simulate --events 500
+JOB sim2 simulate --events 500
+JOB transfer gridftp-put
+JOB reco reconstruct
+PARENT sim1 sim2 CHILD transfer
+PARENT transfer CHILD reco
+RETRY transfer 2
+`
+
+func TestParse(t *testing.T) {
+	d, err := Parse(cmsDag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(d.Nodes))
+	}
+	if got := d.Nodes["transfer"].Retries; got != 2 {
+		t.Fatalf("transfer retries = %d", got)
+	}
+	if got := d.Nodes["reco"].Parents; len(got) != 1 || got[0] != "transfer" {
+		t.Fatalf("reco parents = %v", got)
+	}
+	if got := d.Roots(); len(got) != 2 || got[0] != "sim1" || got[1] != "sim2" {
+		t.Fatalf("roots = %v", got)
+	}
+	if d.Nodes["sim1"].Spec != "simulate --events 500" {
+		t.Fatalf("spec = %q", d.Nodes["sim1"].Spec)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"JOB a",                         // no spec
+		"JOB a x\nJOB a y",              // duplicate
+		"JOB a x\nPARENT a CHILD",       // no children
+		"JOB a x\nPARENT CHILD a",       // no parents
+		"JOB a x\nPARENT ghost CHILD a", // unknown parent
+		"JOB a x\nPARENT a CHILD ghost", // unknown child
+		"JOB a x\nRETRY a lots",         // bad retry
+		"JOB a x\nRETRY ghost 2",        // unknown retry
+		"JOB a x\nPRIORITY a high",      // bad priority
+		"FROB a x",                      // unknown keyword
+		"JOB a x\nJOB b y\nPARENT a CHILD b\nPARENT b CHILD a", // cycle
+		"JOB a x\nPARENT a CHILD a",                            // self-cycle
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseDoneMarker(t *testing.T) {
+	d, err := Parse("JOB a spec-a DONE\nJOB b spec-b\nPARENT a CHILD b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Nodes["a"].Done || d.Nodes["b"].Done {
+		t.Fatal("DONE marker misparsed")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	d, _ := Parse(cmsDag)
+	again, err := Parse(d.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, d.String())
+	}
+	if len(again.Nodes) != len(d.Nodes) {
+		t.Fatal("round trip lost nodes")
+	}
+	if again.Nodes["transfer"].Retries != 2 {
+		t.Fatal("round trip lost retries")
+	}
+	if len(again.Nodes["transfer"].Parents) != 2 {
+		t.Fatal("round trip lost edges")
+	}
+}
+
+// runDAG executes with an in-memory submit function that records order.
+func runDAG(t *testing.T, d *DAG, fail map[string]int, maxActive int) (*Result, []string) {
+	t.Helper()
+	var mu sync.Mutex
+	var order []string
+	attempts := map[string]int{}
+	res, err := Execute(context.Background(), d, ExecConfig{
+		MaxActive: maxActive,
+		Submit: func(_ context.Context, n *Node) error {
+			mu.Lock()
+			order = append(order, n.Name)
+			attempts[n.Name]++
+			failures := fail[n.Name]
+			shouldFail := attempts[n.Name] <= failures
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			if shouldFail {
+				return errors.New("node failed")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, order
+}
+
+func TestExecuteRespectsDependencies(t *testing.T) {
+	d, _ := Parse(cmsDag)
+	res, order := runDAG(t, d, nil, 0)
+	if !res.Succeeded() {
+		t.Fatalf("failed nodes: %v", res.Failed)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["transfer"] < pos["sim1"] || pos["transfer"] < pos["sim2"] {
+		t.Fatalf("transfer ran before its parents: %v", order)
+	}
+	if pos["reco"] < pos["transfer"] {
+		t.Fatalf("reco ran before transfer: %v", order)
+	}
+}
+
+func TestExecuteRetries(t *testing.T) {
+	d, _ := Parse(cmsDag)
+	// transfer fails twice (RETRY 2 allows exactly that), then succeeds.
+	res, _ := runDAG(t, d, map[string]int{"transfer": 2}, 0)
+	if !res.Succeeded() {
+		t.Fatalf("retryable failure not recovered: %v", res.Failed)
+	}
+	if res.Attempts["transfer"] != 3 {
+		t.Fatalf("transfer attempts = %d, want 3", res.Attempts["transfer"])
+	}
+}
+
+func TestExecuteFailureAbandonsDescendants(t *testing.T) {
+	d, _ := Parse(cmsDag)
+	// transfer fails 3 times: one more than retries allow.
+	res, _ := runDAG(t, d, map[string]int{"transfer": 3}, 0)
+	if res.Succeeded() {
+		t.Fatal("should have failed")
+	}
+	if res.States["sim1"] != NodeDone || res.States["sim2"] != NodeDone {
+		t.Fatal("independent parents should have completed")
+	}
+	if res.States["transfer"] != NodeFailed || res.States["reco"] != NodeFailed {
+		t.Fatalf("failure propagation wrong: transfer=%v reco=%v",
+			res.States["transfer"], res.States["reco"])
+	}
+	if len(res.Failed) != 2 {
+		t.Fatalf("failed = %v", res.Failed)
+	}
+}
+
+func TestRescueDAGResumes(t *testing.T) {
+	d, _ := Parse(cmsDag)
+	res, _ := runDAG(t, d, map[string]int{"transfer": 3}, 0)
+	rescue := Rescue(d, res)
+	if !rescue.Nodes["sim1"].Done || rescue.Nodes["transfer"].Done {
+		t.Fatal("rescue DONE markers wrong")
+	}
+	// Rescue DAG round-trips through text, as on disk.
+	reparsed, err := Parse(rescue.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, order := runDAG(t, reparsed, nil, 0)
+	if !res2.Succeeded() {
+		t.Fatalf("rescue run failed: %v", res2.Failed)
+	}
+	// Only the unfinished nodes ran.
+	for _, n := range order {
+		if n == "sim1" || n == "sim2" {
+			t.Fatalf("rescue re-ran completed node %s", n)
+		}
+	}
+}
+
+func TestThrottle(t *testing.T) {
+	var lines []string
+	for i := 0; i < 20; i++ {
+		lines = append(lines, fmt.Sprintf("JOB n%d spec", i))
+	}
+	d, err := Parse(joinLines(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var active, maxActive atomic.Int64
+	_, err = Execute(context.Background(), d, ExecConfig{
+		MaxActive: 3,
+		Submit: func(context.Context, *Node) error {
+			cur := active.Add(1)
+			for {
+				prev := maxActive.Load()
+				if cur <= prev || maxActive.CompareAndSwap(prev, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			active.Add(-1)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxActive.Load() > 3 {
+		t.Fatalf("throttle exceeded: %d concurrent", maxActive.Load())
+	}
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+func TestPriorityOrdersReadyNodes(t *testing.T) {
+	d, err := Parse("JOB low spec\nJOB high spec\nPRIORITY high 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first string
+	var mu sync.Mutex
+	Execute(context.Background(), d, ExecConfig{
+		MaxActive: 1,
+		Submit: func(_ context.Context, n *Node) error {
+			mu.Lock()
+			if first == "" {
+				first = n.Name
+			}
+			mu.Unlock()
+			return nil
+		},
+	})
+	if first != "high" {
+		t.Fatalf("first launched = %s, want high", first)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	d, _ := Parse("JOB a spec\nJOB b spec\nPARENT a CHILD b")
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := Execute(ctx, d, ExecConfig{
+		Submit: func(ctx context.Context, n *Node) error {
+			cancel()
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// b never ran.
+	if res.Attempts["b"] != 0 {
+		t.Fatal("child ran after cancellation")
+	}
+}
+
+func TestEventCallbacks(t *testing.T) {
+	d, _ := Parse("JOB a spec")
+	var mu sync.Mutex
+	var events []NodeState
+	Execute(context.Background(), d, ExecConfig{
+		Submit: func(context.Context, *Node) error { return nil },
+		OnEvent: func(_ string, st NodeState, _ int) {
+			mu.Lock()
+			events = append(events, st)
+			mu.Unlock()
+		},
+	})
+	if len(events) != 2 || events[0] != NodeRunning || events[1] != NodeDone {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+// Property: for random layered DAGs, execution order respects every edge
+// and every node runs exactly once.
+func TestQuickTopologicalExecution(t *testing.T) {
+	f := func(widths []uint8, edgeMask uint64) bool {
+		// Build 2-4 layers with 1-4 nodes each.
+		layers := len(widths)%3 + 2
+		var lines []string
+		var layerNodes [][]string
+		id := 0
+		for l := 0; l < layers; l++ {
+			w := 1
+			if l < len(widths) {
+				w = int(widths[l])%4 + 1
+			}
+			var row []string
+			for i := 0; i < w; i++ {
+				name := fmt.Sprintf("n%d", id)
+				id++
+				lines = append(lines, "JOB "+name+" spec")
+				row = append(row, name)
+			}
+			layerNodes = append(layerNodes, row)
+		}
+		bit := 0
+		for l := 1; l < layers; l++ {
+			for _, p := range layerNodes[l-1] {
+				for _, c := range layerNodes[l] {
+					if edgeMask&(1<<uint(bit%64)) != 0 {
+						lines = append(lines, "PARENT "+p+" CHILD "+c)
+					}
+					bit++
+				}
+			}
+		}
+		d, err := Parse(joinLines(lines))
+		if err != nil {
+			return false
+		}
+		var mu sync.Mutex
+		var order []string
+		res, err := Execute(context.Background(), d, ExecConfig{
+			Submit: func(_ context.Context, n *Node) error {
+				mu.Lock()
+				order = append(order, n.Name)
+				mu.Unlock()
+				return nil
+			},
+		})
+		if err != nil || !res.Succeeded() || len(order) != len(d.Nodes) {
+			return false
+		}
+		pos := map[string]int{}
+		for i, n := range order {
+			pos[n] = i
+		}
+		for name, n := range d.Nodes {
+			for _, c := range n.Children {
+				if pos[c] < pos[name] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package dagman
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeState tracks one node through an execution.
+type NodeState int
+
+const (
+	NodeWaiting NodeState = iota
+	NodeReady
+	NodeRunning
+	NodeDone
+	NodeFailed
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeWaiting:
+		return "waiting"
+	case NodeReady:
+		return "ready"
+	case NodeRunning:
+		return "running"
+	case NodeDone:
+		return "done"
+	case NodeFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// SubmitFunc launches a node and blocks until it finishes, returning nil on
+// success. DAGMan drives Condor-G: a typical SubmitFunc calls Agent.Submit
+// then Agent.Wait.
+type SubmitFunc func(ctx context.Context, node *Node) error
+
+// ScriptFunc runs a node's PRE or POST script. jobErr is nil for PRE; for
+// POST it carries the job's result so the script can inspect it.
+type ScriptFunc func(ctx context.Context, node *Node, script string, jobErr error) error
+
+// ExecConfig configures an execution.
+type ExecConfig struct {
+	// Submit runs one node to completion.
+	Submit SubmitFunc
+	// RunScript executes PRE/POST scripts; required when the DAG uses
+	// SCRIPT lines. POST semantics follow DAGMan: the POST script runs
+	// even when the job failed, and its result decides the node outcome.
+	RunScript ScriptFunc
+	// MaxActive throttles concurrently running nodes (the CMS DAG uses
+	// this to "make sure that local disk buffers do not overflow");
+	// 0 = unlimited.
+	MaxActive int
+	// OnEvent, if set, observes node state transitions.
+	OnEvent func(node string, state NodeState, attempt int)
+}
+
+// Result summarizes an execution.
+type Result struct {
+	States   map[string]NodeState
+	Attempts map[string]int
+	// Failed lists failed nodes (after retries), sorted.
+	Failed []string
+}
+
+// Succeeded reports whether every node completed.
+func (r *Result) Succeeded() bool { return len(r.Failed) == 0 }
+
+// Execute runs the DAG: roots first, children as parents complete, with
+// throttling and retries. On node failure its descendants are abandoned but
+// independent branches keep running, exactly like DAGMan. The returned
+// Result can be turned into a rescue DAG with Rescue.
+func Execute(ctx context.Context, d *DAG, cfg ExecConfig) (*Result, error) {
+	if cfg.Submit == nil {
+		return nil, fmt.Errorf("dagman: ExecConfig.Submit required")
+	}
+	type doneMsg struct {
+		name string
+		err  error
+	}
+	res := &Result{
+		States:   make(map[string]NodeState, len(d.Nodes)),
+		Attempts: make(map[string]int, len(d.Nodes)),
+	}
+	pendingParents := make(map[string]int, len(d.Nodes))
+	for _, name := range d.Order {
+		n := d.Nodes[name]
+		if n.Done {
+			res.States[name] = NodeDone
+			continue
+		}
+		res.States[name] = NodeWaiting
+		count := 0
+		for _, p := range n.Parents {
+			if !d.Nodes[p].Done {
+				count++
+			}
+		}
+		pendingParents[name] = count
+	}
+
+	var mu sync.Mutex
+	doneCh := make(chan doneMsg)
+	running := 0
+	emit := func(name string, st NodeState, attempt int) {
+		if cfg.OnEvent != nil {
+			cfg.OnEvent(name, st, attempt)
+		}
+	}
+
+	// ready returns runnable nodes in priority-then-declaration order.
+	ready := func() []string {
+		var out []string
+		for _, name := range d.Order {
+			if res.States[name] == NodeWaiting && pendingParents[name] == 0 {
+				out = append(out, name)
+			}
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			return d.Nodes[out[i]].Priority > d.Nodes[out[j]].Priority
+		})
+		return out
+	}
+
+	launch := func(name string) {
+		res.States[name] = NodeRunning
+		res.Attempts[name]++
+		attempt := res.Attempts[name]
+		running++
+		emit(name, NodeRunning, attempt)
+		go func() {
+			node := d.Nodes[name]
+			err := runNodeCycle(ctx, node, cfg)
+			doneCh <- doneMsg{name, err}
+		}()
+	}
+
+	// abandon marks every descendant of a failed node as failed-by-parent
+	// so the loop does not wait for them.
+	var abandon func(name string)
+	abandon = func(name string) {
+		for _, c := range d.Nodes[name].Children {
+			if res.States[c] == NodeWaiting {
+				res.States[c] = NodeFailed
+				emit(c, NodeFailed, 0)
+				abandon(c)
+			}
+		}
+	}
+
+	mu.Lock()
+	for {
+		for _, name := range ready() {
+			if cfg.MaxActive > 0 && running >= cfg.MaxActive {
+				break
+			}
+			launch(name)
+		}
+		if running == 0 {
+			break
+		}
+		mu.Unlock()
+		select {
+		case msg := <-doneCh:
+			mu.Lock()
+			running--
+			node := d.Nodes[msg.name]
+			if msg.err == nil {
+				res.States[msg.name] = NodeDone
+				emit(msg.name, NodeDone, res.Attempts[msg.name])
+				for _, c := range node.Children {
+					pendingParents[c]--
+				}
+			} else if res.Attempts[msg.name] <= node.Retries && ctx.Err() == nil {
+				// Retry: back to waiting; the loop relaunches it.
+				res.States[msg.name] = NodeWaiting
+				emit(msg.name, NodeReady, res.Attempts[msg.name])
+			} else {
+				res.States[msg.name] = NodeFailed
+				emit(msg.name, NodeFailed, res.Attempts[msg.name])
+				abandon(msg.name)
+			}
+		case <-ctx.Done():
+			// Drain in-flight nodes before returning.
+			mu.Lock()
+			for running > 0 {
+				mu.Unlock()
+				msg := <-doneCh
+				mu.Lock()
+				running--
+				if msg.err == nil {
+					res.States[msg.name] = NodeDone
+				} else {
+					res.States[msg.name] = NodeFailed
+				}
+			}
+			finishResult(d, res)
+			mu.Unlock()
+			return res, ctx.Err()
+		}
+	}
+	finishResult(d, res)
+	mu.Unlock()
+	return res, nil
+}
+
+func finishResult(d *DAG, res *Result) {
+	for _, name := range d.Order {
+		st := res.States[name]
+		if st != NodeDone {
+			if st == NodeWaiting || st == NodeRunning || st == NodeReady {
+				res.States[name] = NodeFailed
+			}
+			res.Failed = append(res.Failed, name)
+		}
+	}
+	sort.Strings(res.Failed)
+}
+
+// runNodeCycle executes one attempt: PRE script, the job, POST script.
+// When a POST script exists, its result is the node's result (DAGMan
+// semantics); otherwise the job's result stands.
+func runNodeCycle(ctx context.Context, node *Node, cfg ExecConfig) error {
+	if node.PreScript != "" {
+		if cfg.RunScript == nil {
+			return fmt.Errorf("dagman: node %s has a PRE script but no RunScript configured", node.Name)
+		}
+		if err := cfg.RunScript(ctx, node, node.PreScript, nil); err != nil {
+			return fmt.Errorf("dagman: PRE %s: %w", node.Name, err)
+		}
+	}
+	jobErr := cfg.Submit(ctx, node)
+	if node.PostScript != "" {
+		if cfg.RunScript == nil {
+			return fmt.Errorf("dagman: node %s has a POST script but no RunScript configured", node.Name)
+		}
+		if err := cfg.RunScript(ctx, node, node.PostScript, jobErr); err != nil {
+			return fmt.Errorf("dagman: POST %s: %w", node.Name, err)
+		}
+		return nil // POST succeeded: the node succeeds even if the job failed
+	}
+	return jobErr
+}
+
+// Rescue builds the rescue DAG for a partial run: completed nodes are
+// marked DONE so a rerun picks up where the failure stopped.
+func Rescue(d *DAG, res *Result) *DAG {
+	rescue := &DAG{Nodes: make(map[string]*Node, len(d.Nodes)), Order: append([]string(nil), d.Order...)}
+	for name, n := range d.Nodes {
+		copied := *n
+		copied.Parents = append([]string(nil), n.Parents...)
+		copied.Children = append([]string(nil), n.Children...)
+		copied.Done = res.States[name] == NodeDone
+		rescue.Nodes[name] = &copied
+	}
+	return rescue
+}

@@ -1,0 +1,134 @@
+package dagman
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseScripts(t *testing.T) {
+	d, err := Parse(`
+JOB a run-a
+SCRIPT PRE a stage-in --from repo
+SCRIPT POST a check-output --strict
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.Nodes["a"]
+	if n.PreScript != "stage-in --from repo" || n.PostScript != "check-output --strict" {
+		t.Fatalf("scripts: %q / %q", n.PreScript, n.PostScript)
+	}
+	// Round-trips through text.
+	again, err := Parse(d.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Nodes["a"].PreScript != n.PreScript || again.Nodes["a"].PostScript != n.PostScript {
+		t.Fatal("scripts lost in round trip")
+	}
+	for _, bad := range []string{
+		"JOB a x\nSCRIPT PRE a",        // no script body
+		"JOB a x\nSCRIPT DURING a cmd", // bad kind
+		"SCRIPT PRE ghost cmd",         // unknown node
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPreAndPostOrdering(t *testing.T) {
+	d, _ := Parse("JOB a job-a\nSCRIPT PRE a pre-a\nSCRIPT POST a post-a")
+	var mu sync.Mutex
+	var order []string
+	record := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	res, err := Execute(context.Background(), d, ExecConfig{
+		Submit: func(_ context.Context, n *Node) error {
+			record("job")
+			return nil
+		},
+		RunScript: func(_ context.Context, _ *Node, script string, jobErr error) error {
+			record(script)
+			return nil
+		},
+	})
+	if err != nil || !res.Succeeded() {
+		t.Fatalf("err=%v failed=%v", err, res.Failed)
+	}
+	want := "pre-a,job,post-a"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("order = %s, want %s", got, want)
+	}
+}
+
+func TestPreFailureFailsAttemptAndRetries(t *testing.T) {
+	d, _ := Parse("JOB a job-a\nSCRIPT PRE a pre-a\nRETRY a 1")
+	attempts := 0
+	var mu sync.Mutex
+	res, _ := Execute(context.Background(), d, ExecConfig{
+		Submit: func(context.Context, *Node) error { return nil },
+		RunScript: func(_ context.Context, _ *Node, _ string, _ error) error {
+			mu.Lock()
+			attempts++
+			a := attempts
+			mu.Unlock()
+			if a == 1 {
+				return errors.New("stage-in failed")
+			}
+			return nil
+		},
+	})
+	if !res.Succeeded() {
+		t.Fatalf("retry after PRE failure did not recover: %v", res.Failed)
+	}
+	if attempts != 2 {
+		t.Fatalf("PRE ran %d times, want 2", attempts)
+	}
+}
+
+func TestPostDecidesOutcome(t *testing.T) {
+	// Job fails, POST succeeds: the node succeeds (DAGMan semantics —
+	// the POST script recovered or deemed the output acceptable).
+	d, _ := Parse("JOB a job-a\nSCRIPT POST a check")
+	var sawJobErr error
+	res, err := Execute(context.Background(), d, ExecConfig{
+		Submit: func(context.Context, *Node) error { return errors.New("job exploded") },
+		RunScript: func(_ context.Context, _ *Node, _ string, jobErr error) error {
+			sawJobErr = jobErr
+			return nil
+		},
+	})
+	if err != nil || !res.Succeeded() {
+		t.Fatalf("POST success should rescue the node: %v", res.Failed)
+	}
+	if sawJobErr == nil || !strings.Contains(sawJobErr.Error(), "exploded") {
+		t.Fatalf("POST did not see the job error: %v", sawJobErr)
+	}
+
+	// Job succeeds, POST fails: the node fails.
+	d2, _ := Parse("JOB a job-a\nSCRIPT POST a check")
+	res2, _ := Execute(context.Background(), d2, ExecConfig{
+		Submit:    func(context.Context, *Node) error { return nil },
+		RunScript: func(context.Context, *Node, string, error) error { return errors.New("bad output") },
+	})
+	if res2.Succeeded() {
+		t.Fatal("POST failure should fail the node")
+	}
+}
+
+func TestScriptWithoutRunnerFails(t *testing.T) {
+	d, _ := Parse("JOB a job-a\nSCRIPT PRE a pre")
+	res, _ := Execute(context.Background(), d, ExecConfig{
+		Submit: func(context.Context, *Node) error { return nil },
+	})
+	if res.Succeeded() {
+		t.Fatal("SCRIPT without RunScript should fail the node")
+	}
+}

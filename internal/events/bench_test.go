@@ -1,0 +1,44 @@
+package events
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineThroughput measures raw event dispatch rate — the budget
+// the week-long grid simulations spend.
+func BenchmarkEngineThroughput(b *testing.B) {
+	g := NewEngine(1)
+	var tick func(t time.Duration)
+	tick = func(t time.Duration) {
+		g.At(t+time.Second, func() { tick(t + time.Second) })
+	}
+	tick(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Step()
+	}
+}
+
+func BenchmarkScheduleCancel(b *testing.B) {
+	g := NewEngine(1)
+	for i := 0; i < b.N; i++ {
+		e := g.After(time.Hour, func() {})
+		e.Cancel()
+	}
+}
+
+func BenchmarkDeepQueue(b *testing.B) {
+	// 10k pending events: measures heap behaviour at simulation scale.
+	g := NewEngine(1)
+	for i := 0; i < 10_000; i++ {
+		d := time.Duration(i) * time.Millisecond
+		var again func()
+		again = func() { g.After(10*time.Second, again) }
+		g.At(d, again)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Step()
+	}
+}

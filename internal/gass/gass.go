@@ -1,0 +1,258 @@
+// Package gass implements the Global Access to Secondary Storage service of
+// §3.4: a small authenticated file service that Condor-G uses to stage
+// executables and stdin to remote sites and to stream stdout/stderr back to
+// the submission machine in real time. Reads are offset-based, so after a
+// crash a client can ask for "everything after byte N" — the paper's
+// "permitting a client to request resending of this data after a crash".
+//
+// A GASS URL has the form gass://host:port/relative/path.
+package gass
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"condorg/internal/gsi"
+	"condorg/internal/wire"
+)
+
+// ChunkSize is the transfer unit for streaming reads and writes.
+const ChunkSize = 64 << 10
+
+// ErrBadURL reports a malformed GASS URL.
+var ErrBadURL = errors.New("gass: malformed URL")
+
+// URL identifies a file on a GASS server.
+type URL struct {
+	Addr string // host:port
+	Path string // server-relative path, no leading slash
+}
+
+// String renders the URL.
+func (u URL) String() string { return "gass://" + u.Addr + "/" + u.Path }
+
+// ParseURL parses gass://host:port/path.
+func ParseURL(s string) (URL, error) {
+	rest, ok := strings.CutPrefix(s, "gass://")
+	if !ok {
+		return URL{}, fmt.Errorf("%w: %q", ErrBadURL, s)
+	}
+	addr, path, ok := strings.Cut(rest, "/")
+	if !ok || addr == "" || path == "" {
+		return URL{}, fmt.Errorf("%w: %q", ErrBadURL, s)
+	}
+	return URL{Addr: addr, Path: path}, nil
+}
+
+// Server exposes a directory tree over the wire protocol.
+type Server struct {
+	root string
+	srv  *wire.Server
+	mu   sync.Mutex
+}
+
+// ServerOptions configures a GASS server.
+type ServerOptions struct {
+	// Anchor enables GSI authentication when non-nil.
+	Anchor *gsi.Certificate
+	// Clock for token verification.
+	Clock gsi.Clock
+	// Faults allows the failure experiments to break staging.
+	Faults *wire.Faults
+}
+
+// ServiceName is the wire service name GASS servers register under; clients
+// must bind their tokens to it.
+const ServiceName = "gass"
+
+// NewServer serves the tree rooted at root on a fresh loopback port.
+func NewServer(root string, opts ServerOptions) (*Server, error) {
+	if err := os.MkdirAll(root, 0o700); err != nil {
+		return nil, err
+	}
+	ws, err := wire.NewServer(wire.ServerConfig{
+		Name:   ServiceName,
+		Anchor: opts.Anchor,
+		Clock:  opts.Clock,
+		Faults: opts.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{root: root, srv: ws}
+	ws.Handle("gass.stat", s.handleStat)
+	ws.Handle("gass.read", s.handleRead)
+	ws.Handle("gass.write", s.handleWrite)
+	ws.Handle("gass.append", s.handleAppend)
+	ws.Handle("gass.ping", func(string, json.RawMessage) (any, error) { return struct{}{}, nil })
+	return s, nil
+}
+
+// Addr returns host:port.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Root returns the served directory.
+func (s *Server) Root() string { return s.root }
+
+// URLFor returns the URL of a path under this server.
+func (s *Server) URLFor(relPath string) URL { return URL{Addr: s.Addr(), Path: relPath} }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Pause and Resume simulate partitions for the fault experiments.
+func (s *Server) Pause()  { s.srv.Pause() }
+func (s *Server) Resume() { s.srv.Resume() }
+
+// resolve confines a request path to the served root.
+func (s *Server) resolve(p string) (string, error) {
+	clean := filepath.Clean("/" + p)
+	if strings.Contains(clean, "..") {
+		return "", fmt.Errorf("gass: path escapes root: %q", p)
+	}
+	return filepath.Join(s.root, clean), nil
+}
+
+type statReq struct {
+	Path string `json:"path"`
+}
+
+type statResp struct {
+	Size   int64 `json:"size"`
+	Exists bool  `json:"exists"`
+}
+
+func (s *Server) handleStat(_ string, body json.RawMessage) (any, error) {
+	var req statReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	path, err := s.resolve(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return statResp{Exists: false}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return statResp{Size: fi.Size(), Exists: true}, nil
+}
+
+type readReq struct {
+	Path   string `json:"path"`
+	Offset int64  `json:"offset"`
+	MaxLen int    `json:"max_len"`
+}
+
+type readResp struct {
+	Data []byte `json:"data"`
+	EOF  bool   `json:"eof"`
+}
+
+func (s *Server) handleRead(_ string, body json.RawMessage) (any, error) {
+	var req readReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	path, err := s.resolve(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gass: %w", err)
+	}
+	defer f.Close()
+	if req.MaxLen <= 0 || req.MaxLen > ChunkSize {
+		req.MaxLen = ChunkSize
+	}
+	buf := make([]byte, req.MaxLen)
+	n, err := f.ReadAt(buf, req.Offset)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return readResp{Data: buf[:n], EOF: err == io.EOF}, nil
+}
+
+type writeReq struct {
+	Path     string `json:"path"`
+	Offset   int64  `json:"offset"`
+	Data     []byte `json:"data"`
+	Truncate bool   `json:"truncate"`
+}
+
+func (s *Server) handleWrite(_ string, body json.RawMessage) (any, error) {
+	var req writeReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	path, err := s.resolve(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	flags := os.O_CREATE | os.O_WRONLY
+	if req.Truncate {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o700)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(req.Data, req.Offset); err != nil {
+		return nil, err
+	}
+	return struct{}{}, nil
+}
+
+type appendReq struct {
+	Path string `json:"path"`
+	Data []byte `json:"data"`
+}
+
+type appendResp struct {
+	Size int64 `json:"size"` // file size after append
+}
+
+func (s *Server) handleAppend(_ string, body json.RawMessage) (any, error) {
+	var req appendReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	path, err := s.resolve(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Write(req.Data); err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return appendResp{Size: fi.Size()}, nil
+}

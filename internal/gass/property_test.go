@@ -1,0 +1,114 @@
+package gass
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any file content and any (offset, length) window, ReadAt
+// returns exactly the corresponding slice with a correct EOF flag.
+func TestQuickReadAtWindows(t *testing.T) {
+	s, err := NewServer(t.TempDir(), ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(nil, nil)
+	defer c.Close()
+
+	f := func(seed int64, size uint16, offset uint16, length uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		content := make([]byte, int(size)%5000)
+		rng.Read(content)
+		u := s.URLFor("prop/file")
+		if err := c.WriteFile(u, content); err != nil {
+			return false
+		}
+		off := int64(offset) % (int64(len(content)) + 10)
+		maxLen := int(length)%4096 + 1
+		data, eof, err := c.ReadAt(u, off, maxLen)
+		if err != nil {
+			return false
+		}
+		want := []byte{}
+		if off < int64(len(content)) {
+			end := off + int64(maxLen)
+			if end > int64(len(content)) {
+				end = int64(len(content))
+			}
+			want = content[off:end]
+		}
+		if !bytes.Equal(data, want) {
+			return false
+		}
+		// EOF must be reported when the window reaches the end.
+		if off+int64(len(data)) >= int64(len(content)) && !eof {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a sequence of random appends reassembles to exactly the
+// concatenation, with sizes reported monotonically.
+func TestQuickAppendSequence(t *testing.T) {
+	s, err := NewServer(t.TempDir(), ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(nil, nil)
+	defer c.Close()
+
+	f := func(chunks [][]byte) bool {
+		u := s.URLFor("prop/append-" + randName())
+		var want []byte
+		var lastSize int64
+		for _, ch := range chunks {
+			size, err := c.Append(u, ch)
+			if err != nil {
+				return false
+			}
+			want = append(want, ch...)
+			if size != int64(len(want)) || size < lastSize {
+				return false
+			}
+			lastSize = size
+		}
+		if len(chunks) == 0 {
+			return true
+		}
+		got, err := c.ReadAll(u)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var nameCounter int
+
+func randName() string {
+	nameCounter++
+	return string(rune('a'+nameCounter%26)) + string(rune('0'+nameCounter%10)) + "x" + itoa(nameCounter)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

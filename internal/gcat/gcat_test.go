@@ -1,0 +1,232 @@
+package gcat
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func newMSS(t *testing.T) *MSS {
+	t.Helper()
+	m, err := NewMSS(MSSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestMSSChunkStoreAndAssembly(t *testing.T) {
+	m := newMSS(t)
+	c := NewMSSClient(m.Addr(), nil, nil)
+	defer c.Close()
+	c.PutChunk("out.log", 0, []byte("aaa"))
+	c.PutChunk("out.log", 2, []byte("ccc")) // out of order: hole at 1
+	data, chunks, err := c.Read("out.log")
+	if err != nil || chunks != 1 || string(data) != "aaa" {
+		t.Fatalf("prefix read = %q chunks=%d err=%v", data, chunks, err)
+	}
+	c.PutChunk("out.log", 1, []byte("bbb"))
+	data, chunks, _ = c.Read("out.log")
+	if chunks != 3 || string(data) != "aaabbbccc" {
+		t.Fatalf("full read = %q chunks=%d", data, chunks)
+	}
+	// Duplicate re-send is idempotent.
+	c.PutChunk("out.log", 1, []byte("XXX"))
+	data, _, _ = c.Read("out.log")
+	if string(data) != "aaabbbccc" {
+		t.Fatalf("duplicate overwrote chunk: %q", data)
+	}
+	nChunks, nBytes, _ := c.Stat("out.log")
+	if nChunks != 3 || nBytes != 9 {
+		t.Fatalf("stat = %d chunks %d bytes", nChunks, nBytes)
+	}
+}
+
+func TestMSSOutage(t *testing.T) {
+	m := newMSS(t)
+	c := NewMSSClient(m.Addr(), nil, nil)
+	defer c.Close()
+	m.SetOutage(true)
+	if err := c.PutChunk("f", 0, []byte("x")); err == nil {
+		t.Fatal("put during outage succeeded")
+	}
+	m.SetOutage(false)
+	if err := c.PutChunk("f", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeSlowly appends lines to path over time, like Gaussian producing
+// output.
+func writeSlowly(t *testing.T, path string, lines int, interval time.Duration) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(f, "SCF iteration %04d energy -76.02%04d\n", i, i)
+		time.Sleep(interval)
+	}
+}
+
+func TestGCatStreamsOutput(t *testing.T) {
+	m := newMSS(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "gaussian.out")
+	os.WriteFile(src, nil, 0o600)
+	g, err := NewGCat(GCatConfig{
+		SourcePath:  src,
+		ScratchPath: filepath.Join(dir, "scratch"),
+		MSSAddr:     m.Addr(),
+		RemoteName:  "runs/g98.out",
+		ChunkSize:   64,
+		Poll:        5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	writeSlowly(t, src, 30, time.Millisecond)
+	// The user can view partial output while the run is in progress.
+	c := NewMSSClient(m.Addr(), nil, nil)
+	defer c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		data, _, _ := c.Read("runs/g98.out")
+		if bytes.Contains(data, []byte("iteration 0005")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("partial output never visible (have %d bytes)", len(data))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	g.Stop(3 * time.Second)
+	want, _ := os.ReadFile(src)
+	got, _, _ := c.Read("runs/g98.out")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("MSS copy differs: %d vs %d bytes", len(got), len(want))
+	}
+	// Scratch buffer holds the full local copy.
+	scratch, _ := os.ReadFile(filepath.Join(dir, "scratch"))
+	if !bytes.Equal(scratch, want) {
+		t.Fatalf("scratch differs: %d vs %d bytes", len(scratch), len(want))
+	}
+}
+
+func TestGCatHidesNetworkOutageFromWriter(t *testing.T) {
+	m := newMSS(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "out")
+	os.WriteFile(src, nil, 0o600)
+	g, err := NewGCat(GCatConfig{
+		SourcePath: src,
+		MSSAddr:    m.Addr(),
+		RemoteName: "out",
+		ChunkSize:  32,
+		Poll:       5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetOutage(true)
+	g.Start()
+	// The writer proceeds at full speed during the outage.
+	start := time.Now()
+	writeSlowly(t, src, 20, 0)
+	writerElapsed := time.Since(start)
+	if writerElapsed > time.Second {
+		t.Fatalf("writer was slowed by the outage: %v", writerElapsed)
+	}
+	// Bytes are buffered, not shipped.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		buffered, shipped := g.Progress()
+		if buffered > 0 && shipped == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("buffering not observed: buffered=%d shipped=%d", buffered, shipped)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Network heals; everything drains.
+	m.SetOutage(false)
+	g.Stop(5 * time.Second)
+	buffered, shipped := g.Progress()
+	if buffered != shipped {
+		t.Fatalf("after heal: buffered=%d shipped=%d", buffered, shipped)
+	}
+	c := NewMSSClient(m.Addr(), nil, nil)
+	defer c.Close()
+	want, _ := os.ReadFile(src)
+	got, _, _ := c.Read("out")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-outage MSS copy differs: %d vs %d bytes", len(got), len(want))
+	}
+}
+
+func TestGCatThrottledNetwork(t *testing.T) {
+	m := newMSS(t)
+	// 2ms per chunk: slow but reachable.
+	m.SetThrottle(func(int) { time.Sleep(2 * time.Millisecond) })
+	dir := t.TempDir()
+	src := filepath.Join(dir, "out")
+	os.WriteFile(src, nil, 0o600)
+	g, _ := NewGCat(GCatConfig{
+		SourcePath: src,
+		MSSAddr:    m.Addr(),
+		RemoteName: "out",
+		ChunkSize:  16,
+		Poll:       2 * time.Millisecond,
+	})
+	g.Start()
+	start := time.Now()
+	writeSlowly(t, src, 10, 0)
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("writer throttled by slow network: %v", elapsed)
+	}
+	g.Stop(5 * time.Second)
+	c := NewMSSClient(m.Addr(), nil, nil)
+	defer c.Close()
+	want, _ := os.ReadFile(src)
+	got, _, _ := c.Read("out")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("throttled copy differs: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestGCatMissingSourceTolerated(t *testing.T) {
+	m := newMSS(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "late")
+	g, err := NewGCat(GCatConfig{
+		SourcePath: src, MSSAddr: m.Addr(), RemoteName: "late", Poll: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	time.Sleep(20 * time.Millisecond) // file does not exist yet
+	os.WriteFile(src, []byte("finally"), 0o600)
+	deadline := time.Now().Add(3 * time.Second)
+	c := NewMSSClient(m.Addr(), nil, nil)
+	defer c.Close()
+	for {
+		data, _, _ := c.Read("late")
+		if string(data) == "finally" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("late-created file never shipped: %q", data)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	g.Stop(time.Second)
+}

@@ -1,0 +1,104 @@
+package gram
+
+import (
+	"testing"
+	"time"
+
+	"condorg/internal/gsi"
+	"condorg/internal/lrm"
+)
+
+// TestCapabilityAuthorizedSubmission exercises the §3.2 capability
+// extension end to end: a subject with no gridmap entry submits
+// successfully by presenting a grant signed by the site administrator.
+func TestCapabilityAuthorizedSubmission(t *testing.T) {
+	now := time.Now()
+	ca, _ := gsi.NewCA("/O=Grid/CN=CA", now, 24*time.Hour)
+	admin, _ := ca.IssueUser("/O=Grid/CN=site-admin", now, 24*time.Hour)
+	gridmap := gsi.NewGridmap(map[string]string{}) // nobody is mapped
+
+	cluster, _ := lrm.NewCluster(lrm.Config{Name: "cap", Cpus: 2})
+	site, err := NewSite(SiteConfig{
+		Name:             "cap",
+		Anchor:           ca.Certificate(),
+		Gridmap:          gridmap,
+		CapabilityIssuer: admin.Leaf(),
+		Cluster:          cluster,
+		Runtime:          testRuntime(),
+		StateDir:         t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+
+	visitor, _ := ca.IssueUser("/O=Grid/CN=visitor", now, 24*time.Hour)
+	client := NewClient(visitor, nil)
+	client.SetTimeouts(300*time.Millisecond, 2)
+	defer client.Close()
+
+	// Without a capability: refused (not in the gridmap).
+	if _, err := client.Submit(site.GatekeeperAddr(), JobSpec{
+		Executable: string(Program("echo")),
+	}, SubmitOptions{SubmissionID: NewSubmissionID()}); err == nil {
+		t.Fatal("unmapped subject submitted without a capability")
+	}
+
+	// With an admin-signed capability: authorized, mapped to "guest01".
+	cap, err := gsi.IssueCapability(admin, "/O=Grid/CN=visitor", "guest01",
+		[]string{"gram:submit"}, now, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contact, err := client.Submit(site.GatekeeperAddr(), JobSpec{
+		Executable: string(Program("echo")),
+		Args:       []string{"capability", "works"},
+	}, SubmitOptions{SubmissionID: NewSubmissionID(), Capability: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Commit(contact); err != nil {
+		t.Fatal(err)
+	}
+	st := waitGramState(t, client, contact, StateDone)
+	if st.LocalUser != "guest01" {
+		t.Fatalf("capability mapped to %q, want guest01", st.LocalUser)
+	}
+}
+
+func TestCapabilityFromWrongIssuerRefused(t *testing.T) {
+	now := time.Now()
+	ca, _ := gsi.NewCA("/O=Grid/CN=CA", now, 24*time.Hour)
+	admin, _ := ca.IssueUser("/O=Grid/CN=site-admin", now, 24*time.Hour)
+	mallory, _ := ca.IssueUser("/O=Grid/CN=mallory", now, 24*time.Hour)
+
+	cluster, _ := lrm.NewCluster(lrm.Config{Name: "cap2", Cpus: 1})
+	site, err := NewSite(SiteConfig{
+		Name:             "cap2",
+		Anchor:           ca.Certificate(),
+		Gridmap:          gsi.NewGridmap(map[string]string{}),
+		CapabilityIssuer: admin.Leaf(),
+		Cluster:          cluster,
+		Runtime:          testRuntime(),
+		StateDir:         t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+
+	visitor, _ := ca.IssueUser("/O=Grid/CN=visitor", now, 24*time.Hour)
+	client := NewClient(visitor, nil)
+	client.SetTimeouts(300*time.Millisecond, 1)
+	defer client.Close()
+
+	// Mallory signs herself a capability for the visitor; the site pins
+	// the admin's certificate, so this is refused.
+	forged, _ := gsi.IssueCapability(mallory, "/O=Grid/CN=visitor", "root",
+		[]string{"gram:submit"}, now, time.Hour)
+	if _, err := client.Submit(site.GatekeeperAddr(), JobSpec{
+		Executable: string(Program("echo")),
+	}, SubmitOptions{SubmissionID: NewSubmissionID(), Capability: forged}); err == nil {
+		t.Fatal("capability from untrusted issuer accepted")
+	}
+}

@@ -1,0 +1,259 @@
+package gram
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"condorg/internal/gsi"
+	"condorg/internal/wire"
+)
+
+// Client is the submit-side GRAM library used by the GridManager. One
+// client serves one user credential; connections to Gatekeepers and
+// JobManagers are cached per address.
+type Client struct {
+	clock gsi.Clock
+
+	mu     sync.Mutex
+	cred   *gsi.Credential
+	gkConn map[string]*wire.Client
+	jmConn map[string]*wire.Client
+	// timeouts are shortened by tests.
+	timeout time.Duration
+	retries int
+}
+
+// NewClient creates a GRAM client authenticating as cred.
+func NewClient(cred *gsi.Credential, clock gsi.Clock) *Client {
+	if clock == nil {
+		clock = gsi.WallClock
+	}
+	return &Client{
+		clock:   clock,
+		cred:    cred,
+		gkConn:  make(map[string]*wire.Client),
+		jmConn:  make(map[string]*wire.Client),
+		timeout: 2 * time.Second,
+		retries: 3,
+	}
+}
+
+// SetTimeouts adjusts per-attempt timeout and retry count (tests shorten
+// them so partition detection is fast).
+func (c *Client) SetTimeouts(timeout time.Duration, retries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = timeout
+	c.retries = retries
+	for _, wc := range c.gkConn {
+		wc.Close()
+	}
+	for _, wc := range c.jmConn {
+		wc.Close()
+	}
+	c.gkConn = make(map[string]*wire.Client)
+	c.jmConn = make(map[string]*wire.Client)
+}
+
+// SetCredential swaps in a refreshed proxy.
+func (c *Client) SetCredential(cred *gsi.Credential) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cred = cred
+	for _, wc := range c.gkConn {
+		wc.SetCredential(cred)
+	}
+	for _, wc := range c.jmConn {
+		wc.SetCredential(cred)
+	}
+}
+
+// Credential returns the current proxy.
+func (c *Client) Credential() *gsi.Credential {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cred
+}
+
+// conn returns (dialing if necessary) the cached connection for addr in
+// the selected pool. The pool is chosen under the lock so Close (which
+// replaces the maps) cannot race concurrent callers.
+func (c *Client) conn(jm bool, addr, service string) *wire.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.gkConn
+	if jm {
+		m = c.jmConn
+	}
+	if wc, ok := m[addr]; ok {
+		return wc
+	}
+	wc := wire.Dial(addr, wire.ClientConfig{
+		ServerName: service,
+		Credential: c.cred,
+		Clock:      c.clock,
+		Timeout:    c.timeout,
+		Retries:    c.retries,
+	})
+	m[addr] = wc
+	return wc
+}
+
+func (c *Client) gatekeeper(addr string) *wire.Client {
+	return c.conn(false, addr, GatekeeperService)
+}
+
+func (c *Client) jobmanager(addr string) *wire.Client {
+	return c.conn(true, addr, JobManagerService)
+}
+
+// Close releases all connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, wc := range c.gkConn {
+		wc.Close()
+	}
+	for _, wc := range c.jmConn {
+		wc.Close()
+	}
+	c.gkConn = make(map[string]*wire.Client)
+	c.jmConn = make(map[string]*wire.Client)
+}
+
+// NewSubmissionID mints the unique identifier the GridManager journals
+// before phase one, making resubmission after any crash idempotent.
+func NewSubmissionID() string {
+	b := make([]byte, 10)
+	rand.Read(b)
+	return "sub-" + hex.EncodeToString(b)
+}
+
+// SubmitOptions carries the optional parts of a submission.
+type SubmitOptions struct {
+	// SubmissionID, when non-empty, deduplicates resubmissions. Journal
+	// it before calling Submit.
+	SubmissionID string
+	// Callback is the client's callback endpoint address.
+	Callback string
+	// Delegate forwards a fresh proxy of this lifetime to the site.
+	Delegate time.Duration
+	// Capability accompanies the request for sites that authorize by
+	// capability rather than gridmap (§3.2 extension).
+	Capability *gsi.Capability
+}
+
+// Submit runs phase one of the two-phase commit: the request travels with
+// the submission ID, and a lost response is recovered by retrying the same
+// wire sequence number. On success the job exists at the site in
+// StateUnsubmitted, awaiting Commit.
+func (c *Client) Submit(gkAddr string, spec JobSpec, opts SubmitOptions) (JobContact, error) {
+	req := submitReq{SubmissionID: opts.SubmissionID, Spec: spec, Callback: opts.Callback}
+	if opts.Capability != nil {
+		data, err := gsi.EncodeCapability(opts.Capability)
+		if err != nil {
+			return JobContact{}, err
+		}
+		req.Capability = data
+	}
+	if opts.Delegate > 0 {
+		c.mu.Lock()
+		cred := c.cred
+		c.mu.Unlock()
+		if cred == nil {
+			return JobContact{}, fmt.Errorf("gram: delegation requested without a credential")
+		}
+		proxy, err := gsi.Delegate(cred, c.clock(), opts.Delegate)
+		if err != nil {
+			return JobContact{}, fmt.Errorf("gram: delegate: %w", err)
+		}
+		data, err := gsi.EncodeCredential(proxy)
+		if err != nil {
+			return JobContact{}, err
+		}
+		req.Delegated = data
+	}
+	var resp submitResp
+	if err := c.gatekeeper(gkAddr).Call("gram.submit", req, &resp); err != nil {
+		return JobContact{}, err
+	}
+	return JobContact{
+		JobManagerAddr: resp.JobManagerAddr,
+		GatekeeperAddr: gkAddr,
+		JobID:          resp.JobID,
+	}, nil
+}
+
+// Commit runs phase two: "job execution can commence". Idempotent.
+func (c *Client) Commit(contact JobContact) error {
+	return c.gatekeeper(contact.GatekeeperAddr).Call("gram.commit", commitReq{JobID: contact.JobID}, nil)
+}
+
+// Status queries the JobManager for the job's current state.
+func (c *Client) Status(contact JobContact) (StatusInfo, error) {
+	var st StatusInfo
+	err := c.jobmanager(contact.JobManagerAddr).Call("jm.status", struct{}{}, &st)
+	return st, err
+}
+
+// Cancel asks the JobManager to kill the job.
+func (c *Client) Cancel(contact JobContact) error {
+	return c.jobmanager(contact.JobManagerAddr).Call("jm.cancel", struct{}{}, nil)
+}
+
+// PingJobManager probes the per-job daemon (single attempt, no retries):
+// the GridManager's liveness check.
+func (c *Client) PingJobManager(contact JobContact) error {
+	return c.jobmanager(contact.JobManagerAddr).Ping("jm.ping")
+}
+
+// PingGatekeeper probes the site's interface machine.
+func (c *Client) PingGatekeeper(addr string) error {
+	return c.gatekeeper(addr).Ping("gram.ping")
+}
+
+// RestartJobManager asks the Gatekeeper to start a replacement JobManager
+// for a job whose daemon died. The returned contact has the new address.
+func (c *Client) RestartJobManager(contact JobContact) (JobContact, error) {
+	var resp jmRestartResp
+	err := c.gatekeeper(contact.GatekeeperAddr).Call("gram.jm-restart", jmRestartReq{JobID: contact.JobID}, &resp)
+	if err != nil {
+		return contact, err
+	}
+	// Drop any cached connection to the dead JobManager.
+	c.mu.Lock()
+	if wc, ok := c.jmConn[contact.JobManagerAddr]; ok && contact.JobManagerAddr != resp.JobManagerAddr {
+		wc.Close()
+		delete(c.jmConn, contact.JobManagerAddr)
+	}
+	c.mu.Unlock()
+	contact.JobManagerAddr = resp.JobManagerAddr
+	return contact, nil
+}
+
+// RefreshCredential re-forwards a fresh proxy to the job's site (§4.3).
+func (c *Client) RefreshCredential(contact JobContact, lifetime time.Duration) error {
+	c.mu.Lock()
+	cred := c.cred
+	c.mu.Unlock()
+	if cred == nil {
+		return fmt.Errorf("gram: no credential to forward")
+	}
+	proxy, err := gsi.Delegate(cred, c.clock(), lifetime)
+	if err != nil {
+		return err
+	}
+	data, err := gsi.EncodeCredential(proxy)
+	if err != nil {
+		return err
+	}
+	return c.jobmanager(contact.JobManagerAddr).Call("jm.refresh-credential", refreshCredReq{Delegated: data}, nil)
+}
+
+// UpdateURLFile tells the JobManager the client's GASS server moved.
+func (c *Client) UpdateURLFile(contact JobContact, newAddr string) error {
+	return c.jobmanager(contact.JobManagerAddr).Call("jm.update-urlfile", updateURLFileReq{Addr: newAddr}, nil)
+}

@@ -1,0 +1,264 @@
+package gram
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"condorg/internal/gass"
+	"condorg/internal/gsi"
+	"condorg/internal/wire"
+)
+
+// JobManager is the per-job daemon of Figure 1. It owns the job's wire
+// endpoint (ping/status/cancel/credential-refresh), pushes stdout/stderr to
+// the client's GASS server, and relays status callbacks. Killing a
+// JobManager does not kill the underlying LRM job — that separation is the
+// essence of GRAM's resource-side fault tolerance.
+type JobManager struct {
+	site *Site
+	job  *siteJob
+	srv  *wire.Server
+
+	mu       sync.Mutex
+	closed   bool
+	cbClient *wire.Client
+	stopPush chan struct{}
+}
+
+// startJobManager creates and registers a JobManager for job.
+func (s *Site) startJobManager(job *siteJob) (*JobManager, error) {
+	srv, err := wire.NewServer(wire.ServerConfig{
+		Name:   JobManagerService,
+		Anchor: s.cfg.Anchor,
+		Clock:  s.cfg.Clock,
+		Faults: s.cfg.JobManagerFaults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	jm := &JobManager{site: s, job: job, srv: srv, stopPush: make(chan struct{})}
+	srv.Handle("jm.ping", func(string, json.RawMessage) (any, error) { return struct{}{}, nil })
+	srv.Handle("jm.status", jm.handleStatus)
+	srv.Handle("jm.cancel", jm.handleCancel)
+	srv.Handle("jm.refresh-credential", jm.handleRefreshCredential)
+	srv.Handle("jm.update-urlfile", jm.handleUpdateURLFile)
+	job.mu.Lock()
+	job.jm = jm
+	cb := job.callback
+	job.mu.Unlock()
+	if cb != "" {
+		jm.cbClient = wire.Dial(cb, wire.ClientConfig{
+			ServerName: CallbackService,
+			Credential: nil, // callbacks ride on the client's own channel trust
+			Timeout:    time.Second,
+			Retries:    1,
+		})
+	}
+	go jm.pushLoop()
+	return jm, nil
+}
+
+// Addr returns the JobManager's contact address.
+func (jm *JobManager) Addr() string { return jm.srv.Addr() }
+
+// Close simulates the JobManager process exiting (crash or normal exit).
+func (jm *JobManager) Close() {
+	jm.mu.Lock()
+	if jm.closed {
+		jm.mu.Unlock()
+		return
+	}
+	jm.closed = true
+	close(jm.stopPush)
+	cb := jm.cbClient
+	jm.mu.Unlock()
+	jm.srv.Close()
+	if cb != nil {
+		cb.Close()
+	}
+}
+
+func (jm *JobManager) authorized(peer string) error {
+	if jm.site.cfg.Anchor == nil {
+		return nil
+	}
+	jm.job.mu.Lock()
+	owner := jm.job.owner
+	jm.job.mu.Unlock()
+	if peer != owner {
+		return fmt.Errorf("gram: job belongs to %s", owner)
+	}
+	return nil
+}
+
+func (jm *JobManager) handleStatus(peer string, _ json.RawMessage) (any, error) {
+	if err := jm.authorized(peer); err != nil {
+		return nil, err
+	}
+	jm.job.mu.Lock()
+	st := jm.job.status
+	jm.job.mu.Unlock()
+	st.StdoutSent = jm.job.stdout.sentBytes()
+	st.StderrSent = jm.job.stderr.sentBytes()
+	return st, nil
+}
+
+func (jm *JobManager) handleCancel(peer string, _ json.RawMessage) (any, error) {
+	if err := jm.authorized(peer); err != nil {
+		return nil, err
+	}
+	jm.job.mu.Lock()
+	lrmID := jm.job.lrmID
+	state := jm.job.status.State
+	jm.job.mu.Unlock()
+	if state.Terminal() {
+		return struct{}{}, nil
+	}
+	if lrmID == "" {
+		// Not yet in the LRM: mark failed directly.
+		jm.job.mu.Lock()
+		jm.job.status.State = StateFailed
+		jm.job.status.Error = "cancelled before submission"
+		jm.job.mu.Unlock()
+		jm.site.persist(jm.job)
+		return struct{}{}, nil
+	}
+	if err := jm.site.cfg.Cluster.Cancel(lrmID); err != nil {
+		return nil, err
+	}
+	return struct{}{}, nil
+}
+
+type refreshCredReq struct {
+	Delegated []byte `json:"delegated"`
+}
+
+func (jm *JobManager) handleRefreshCredential(peer string, body json.RawMessage) (any, error) {
+	if err := jm.authorized(peer); err != nil {
+		return nil, err
+	}
+	var req refreshCredReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	cred, err := gsi.DecodeCredential(req.Delegated)
+	if err != nil {
+		return nil, err
+	}
+	if jm.site.cfg.Anchor != nil {
+		subject, err := gsi.VerifyChain(cred.Chain, jm.site.cfg.Anchor, jm.site.cfg.Clock())
+		if err != nil {
+			return nil, fmt.Errorf("gram: refreshed credential: %w", err)
+		}
+		if subject != peer {
+			return nil, fmt.Errorf("gram: refreshed credential subject %s != peer %s", subject, peer)
+		}
+	}
+	jm.job.mu.Lock()
+	jm.job.cred = cred
+	jm.job.mu.Unlock()
+	return struct{}{}, nil
+}
+
+type updateURLFileReq struct {
+	Addr string `json:"addr"`
+}
+
+// handleUpdateURLFile rewrites the job's GASS URL file after the submission
+// machine restarts with a new address (§4.2) and redirects the output push
+// streams to the new server.
+func (jm *JobManager) handleUpdateURLFile(peer string, body json.RawMessage) (any, error) {
+	if err := jm.authorized(peer); err != nil {
+		return nil, err
+	}
+	var req updateURLFileReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	jm.job.mu.Lock()
+	spec := &jm.job.spec
+	rewrite := func(urlStr string) string {
+		u, err := gass.ParseURL(urlStr)
+		if err != nil {
+			return urlStr
+		}
+		u.Addr = req.Addr
+		return u.String()
+	}
+	if spec.StdoutURL != "" {
+		spec.StdoutURL = rewrite(spec.StdoutURL)
+	}
+	if spec.StderrURL != "" {
+		spec.StderrURL = rewrite(spec.StderrURL)
+	}
+	urlFile := spec.GassURLFile
+	jm.job.mu.Unlock()
+	jm.site.persist(jm.job)
+	if urlFile != "" {
+		if err := gass.WriteURLFile(urlFile, req.Addr); err != nil {
+			return nil, err
+		}
+	}
+	return struct{}{}, nil
+}
+
+// pushLoop streams output buffers to the client's GASS URLs, resuming from
+// the high-water mark after any failure — "real-time streaming of standard
+// output and error".
+func (jm *JobManager) pushLoop() {
+	jm.job.mu.Lock()
+	cred := jm.job.cred
+	jm.job.mu.Unlock()
+	gc := gass.NewClient(cred, jm.site.cfg.Clock)
+	defer gc.Close()
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-jm.stopPush:
+			return
+		case <-ticker.C:
+			jm.job.mu.Lock()
+			stdoutURL, stderrURL := jm.job.spec.StdoutURL, jm.job.spec.StderrURL
+			jm.job.mu.Unlock()
+			jm.pushStream(gc, &jm.job.stdout, stdoutURL)
+			jm.pushStream(gc, &jm.job.stderr, stderrURL)
+		}
+	}
+}
+
+func (jm *JobManager) pushStream(gc *gass.Client, buf *outBuffer, urlStr string) {
+	if urlStr == "" {
+		return
+	}
+	data, _ := buf.unsent()
+	if len(data) == 0 {
+		return
+	}
+	u, err := gass.ParseURL(urlStr)
+	if err != nil {
+		return
+	}
+	if _, err := gc.Append(u, data); err != nil {
+		return // client GASS unreachable; retry next tick from the mark
+	}
+	buf.markSent(int64(len(data)))
+}
+
+// sendCallback delivers a status change to the client's callback endpoint.
+// Best effort: the GridManager also polls.
+func (jm *JobManager) sendCallback(st StatusInfo) {
+	jm.mu.Lock()
+	cb := jm.cbClient
+	closed := jm.closed
+	jm.mu.Unlock()
+	if cb == nil || closed {
+		return
+	}
+	go cb.Call("gram.callback", st, nil)
+}
+
+// CallbackService is the wire service name for client callback endpoints.
+const CallbackService = "gram-callback"

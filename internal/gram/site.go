@@ -1,0 +1,745 @@
+package gram
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"condorg/internal/gass"
+	"condorg/internal/gsi"
+	"condorg/internal/journal"
+	"condorg/internal/lrm"
+	"condorg/internal/wire"
+)
+
+// Service names for auth-context binding.
+const (
+	GatekeeperService = "gram-gatekeeper"
+	JobManagerService = "gram-jobmanager"
+)
+
+// DefaultCommitTimeout bounds how long an uncommitted submission survives
+// before the site discards it (phase two of the two-phase commit never
+// arrived, e.g. the client crashed between phases).
+const DefaultCommitTimeout = 30 * time.Second
+
+// SiteConfig configures a grid execution site (the right half of Fig. 1).
+type SiteConfig struct {
+	// Name identifies the site in logs and resource ads.
+	Name string
+	// Anchor is the trusted CA; nil disables authentication.
+	Anchor *gsi.Certificate
+	// Gridmap authorizes grid subjects; nil allows all authenticated
+	// subjects (mapped to "nobody").
+	Gridmap *gsi.Gridmap
+	// CapabilityIssuer, when set, enables the §3.2 capability extension:
+	// a subject absent from the gridmap is still authorized when its
+	// request carries a "gram:submit" capability signed by this pinned
+	// certificate (the site administrator).
+	CapabilityIssuer *gsi.Certificate
+	// Cluster is the local resource manager behind the Gatekeeper.
+	Cluster *lrm.Cluster
+	// Runtime executes staged programs.
+	Runtime Runtime
+	// StateDir is the site's stable storage for job records.
+	StateDir string
+	// Clock for auth decisions; defaults to wall time.
+	Clock gsi.Clock
+	// CommitTimeout overrides DefaultCommitTimeout.
+	CommitTimeout time.Duration
+	// GatekeeperAddr pins the Gatekeeper to an explicit address so a
+	// fully restarted site comes back where clients expect it. Empty
+	// selects a fresh loopback port.
+	GatekeeperAddr string
+	// AutoCommit disables the two-phase commit: jobs start the moment
+	// the submit request is processed, as in pre-GRAM-2. Exists ONLY for
+	// ablation A1, which demonstrates the duplicate executions this
+	// causes under message loss.
+	AutoCommit bool
+	// GatekeeperFaults and JobManagerFaults inject protocol failures.
+	GatekeeperFaults *wire.Faults
+	JobManagerFaults *wire.Faults
+}
+
+// Site is one administrative domain: Gatekeeper + JobManagers + LRM.
+type Site struct {
+	cfg   SiteConfig
+	store *journal.Store
+
+	mu      sync.Mutex
+	gk      *wire.Server
+	gkAddr  string // stable across restarts
+	jobs    map[string]*siteJob
+	serial  int
+	crashed bool
+}
+
+// siteJob is the server-side job record. Its persistent core (persistJob)
+// survives Gatekeeper crashes via the journal store.
+type siteJob struct {
+	mu           sync.Mutex
+	id           string
+	submissionID string
+	owner        string // grid subject
+	localUser    string
+	spec         JobSpec
+	committed    bool
+	lrmID        string
+	callback     string // client callback address
+	cred         *gsi.Credential
+	jm           *JobManager
+	status       StatusInfo
+	stdout       outBuffer
+	stderr       outBuffer
+	commitTimer  *time.Timer
+}
+
+type persistJob struct {
+	ID           string   `json:"id"`
+	SubmissionID string   `json:"submission_id"`
+	Owner        string   `json:"owner"`
+	LocalUser    string   `json:"local_user"`
+	Spec         JobSpec  `json:"spec"`
+	Committed    bool     `json:"committed"`
+	LrmID        string   `json:"lrm_id"`
+	Callback     string   `json:"callback"`
+	State        JobState `json:"state"`
+	Error        string   `json:"error,omitempty"`
+}
+
+// outBuffer accumulates a job output stream and tracks how much has been
+// pushed to the client's GASS server.
+type outBuffer struct {
+	mu   sync.Mutex
+	data []byte
+	sent int64
+}
+
+func (b *outBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	b.data = append(b.data, p...)
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+func (b *outBuffer) unsent() ([]byte, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.data[b.sent:]...), b.sent
+}
+
+func (b *outBuffer) markSent(n int64) {
+	b.mu.Lock()
+	b.sent += n
+	b.mu.Unlock()
+}
+
+func (b *outBuffer) sentBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sent
+}
+
+// NewSite starts a site: Gatekeeper listening on a fresh port, job records
+// recovered from StateDir if present.
+func NewSite(cfg SiteConfig) (*Site, error) {
+	if cfg.Cluster == nil {
+		return nil, errors.New("gram: site needs a cluster")
+	}
+	if cfg.Runtime == nil {
+		return nil, errors.New("gram: site needs a runtime")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = gsi.WallClock
+	}
+	if cfg.CommitTimeout == 0 {
+		cfg.CommitTimeout = DefaultCommitTimeout
+	}
+	store, err := journal.OpenStore(filepath.Join(cfg.StateDir, "site-jobs"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Site{cfg: cfg, store: store, jobs: make(map[string]*siteJob)}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	addr := cfg.GatekeeperAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if err := s.startGatekeeper(addr); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover loads persisted job records (no JobManagers are started; the
+// client requests restarts per the protocol).
+func (s *Site) recover() error {
+	return s.store.ForEach(func(key string, raw json.RawMessage) error {
+		var p persistJob
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return err
+		}
+		job := &siteJob{
+			id:           p.ID,
+			submissionID: p.SubmissionID,
+			owner:        p.Owner,
+			localUser:    p.LocalUser,
+			spec:         p.Spec,
+			committed:    p.Committed,
+			lrmID:        p.LrmID,
+			callback:     p.Callback,
+			status: StatusInfo{
+				JobID: p.ID, State: p.State, Error: p.Error, LocalUser: p.LocalUser,
+			},
+		}
+		s.jobs[p.ID] = job
+		if p.Committed && !p.State.Terminal() && p.LrmID != "" {
+			// The LRM outlived the Gatekeeper crash only within one
+			// process lifetime; across a true process restart the
+			// cluster is fresh and the job is gone. Reconcile.
+			if _, err := s.cfg.Cluster.Status(p.LrmID); err != nil {
+				job.status.State = StateFailed
+				job.status.Error = "lost by site restart"
+				s.persist(job)
+			}
+		}
+		return nil
+	})
+}
+
+func (s *Site) persist(job *siteJob) {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	p := persistJob{
+		ID:           job.id,
+		SubmissionID: job.submissionID,
+		Owner:        job.owner,
+		LocalUser:    job.localUser,
+		Spec:         job.spec,
+		Committed:    job.committed,
+		LrmID:        job.lrmID,
+		Callback:     job.callback,
+		State:        job.status.State,
+		Error:        job.status.Error,
+	}
+	// A put can fail benignly when the site is shutting down (the store
+	// closes while an LRM watcher delivers a final transition); that
+	// state is lost with the site anyway.
+	_ = s.store.Put(job.id, p)
+}
+
+func (s *Site) startGatekeeper(addr string) error {
+	gk, err := wire.NewServerAddr(addr, wire.ServerConfig{
+		Name:   GatekeeperService,
+		Anchor: s.cfg.Anchor,
+		Clock:  s.cfg.Clock,
+		Faults: s.cfg.GatekeeperFaults,
+	})
+	if err != nil {
+		return err
+	}
+	gk.Handle("gram.ping", func(string, json.RawMessage) (any, error) { return struct{}{}, nil })
+	gk.Handle("gram.submit", s.handleSubmit)
+	gk.Handle("gram.commit", s.handleCommit)
+	gk.Handle("gram.jm-restart", s.handleJMRestart)
+	s.mu.Lock()
+	s.gk = gk
+	s.gkAddr = gk.Addr()
+	s.crashed = false
+	s.mu.Unlock()
+	return nil
+}
+
+// GatekeeperAddr returns the published contact address.
+func (s *Site) GatekeeperAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gkAddr
+}
+
+// Name returns the site name.
+func (s *Site) Name() string { return s.cfg.Name }
+
+// Cluster exposes the LRM (resource ads need queue depth etc.).
+func (s *Site) Cluster() *lrm.Cluster { return s.cfg.Cluster }
+
+// authorize maps a peer subject through the gridmap.
+func (s *Site) authorize(peer string) (string, error) {
+	if s.cfg.Anchor == nil {
+		return "anonymous", nil
+	}
+	if s.cfg.Gridmap == nil {
+		return "nobody", nil
+	}
+	return s.cfg.Gridmap.LocalUser(peer)
+}
+
+type submitReq struct {
+	SubmissionID string  `json:"submission_id"`
+	Spec         JobSpec `json:"spec"`
+	Callback     string  `json:"callback,omitempty"`
+	// Delegated is the serialized proxy forwarded to the site (§4.3).
+	Delegated []byte `json:"delegated,omitempty"`
+	// Capability is an optional serialized authorization grant (§3.2
+	// capability extension) for subjects outside the gridmap.
+	Capability []byte `json:"capability,omitempty"`
+}
+
+type submitResp struct {
+	JobID          string `json:"job_id"`
+	JobManagerAddr string `json:"jobmanager_addr"`
+}
+
+func (s *Site) handleSubmit(peer string, body json.RawMessage) (any, error) {
+	var req submitReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	localUser, err := s.authorize(peer)
+	if err != nil {
+		// Gridmap refused: a capability signed by the site
+		// administrator may still authorize this request.
+		if s.cfg.CapabilityIssuer == nil || len(req.Capability) == 0 {
+			return nil, err
+		}
+		cap, decErr := gsi.DecodeCapability(req.Capability)
+		if decErr != nil {
+			return nil, fmt.Errorf("gram: bad capability: %w", decErr)
+		}
+		localUser, err = cap.Verify(s.cfg.CapabilityIssuer, peer, "gram:submit", s.cfg.Clock())
+		if err != nil {
+			return nil, fmt.Errorf("gram: capability: %w", err)
+		}
+	}
+	var cred *gsi.Credential
+	if len(req.Delegated) > 0 {
+		cred, err = gsi.DecodeCredential(req.Delegated)
+		if err != nil {
+			return nil, fmt.Errorf("gram: bad delegated credential: %w", err)
+		}
+		if _, err := gsi.VerifyChain(cred.Chain, s.cfg.Anchor, s.cfg.Clock()); s.cfg.Anchor != nil && err != nil {
+			return nil, fmt.Errorf("gram: delegated credential: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	// Exactly-once across Gatekeeper restarts: a resent submission with a
+	// known SubmissionID returns the existing job instead of a new one.
+	if req.SubmissionID != "" {
+		for _, job := range s.jobs {
+			if job.submissionID == req.SubmissionID {
+				existing := job
+				s.mu.Unlock()
+				existing.mu.Lock()
+				defer existing.mu.Unlock()
+				addr := ""
+				if existing.jm != nil {
+					addr = existing.jm.Addr()
+				}
+				return submitResp{JobID: existing.id, JobManagerAddr: addr}, nil
+			}
+		}
+	}
+	s.serial++
+	id := fmt.Sprintf("%s-job%d", s.cfg.Name, s.serial)
+	job := &siteJob{
+		id:           id,
+		submissionID: req.SubmissionID,
+		owner:        peer,
+		localUser:    localUser,
+		spec:         req.Spec,
+		callback:     req.Callback,
+		cred:         cred,
+		status:       StatusInfo{JobID: id, State: StateUnsubmitted, LocalUser: localUser},
+	}
+	s.jobs[id] = job
+	s.mu.Unlock()
+
+	jm, err := s.startJobManager(job)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.AutoCommit {
+		// Ablation A1: no second phase — execution commences now.
+		job.mu.Lock()
+		job.committed = true
+		job.status.State = StateStageIn
+		job.mu.Unlock()
+		s.persist(job)
+		go s.stageAndSubmit(job)
+	} else {
+		job.mu.Lock()
+		job.commitTimer = time.AfterFunc(s.cfg.CommitTimeout, func() { s.expireUncommitted(id) })
+		job.mu.Unlock()
+		s.persist(job)
+	}
+	return submitResp{JobID: id, JobManagerAddr: jm.Addr()}, nil
+}
+
+// expireUncommitted discards a submission whose commit never arrived.
+func (s *Site) expireUncommitted(id string) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	job.mu.Lock()
+	if job.committed {
+		job.mu.Unlock()
+		return
+	}
+	job.status.State = StateFailed
+	job.status.Error = "commit timeout: two-phase commit never completed"
+	jm := job.jm
+	job.jm = nil
+	job.mu.Unlock()
+	if jm != nil {
+		jm.Close()
+	}
+	s.persist(job)
+}
+
+type commitReq struct {
+	JobID string `json:"job_id"`
+}
+
+func (s *Site) handleCommit(peer string, body json.RawMessage) (any, error) {
+	var req commitReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	job, ok := s.jobs[req.JobID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("gram: commit for unknown job %q", req.JobID)
+	}
+	if s.cfg.Anchor != nil && job.owner != peer {
+		return nil, fmt.Errorf("gram: job %s belongs to %s", req.JobID, job.owner)
+	}
+	job.mu.Lock()
+	if job.committed {
+		job.mu.Unlock()
+		return struct{}{}, nil // idempotent
+	}
+	if job.status.State == StateFailed {
+		err := job.status.Error
+		job.mu.Unlock()
+		return nil, fmt.Errorf("gram: job %s already failed: %s", req.JobID, err)
+	}
+	job.committed = true
+	if job.commitTimer != nil {
+		job.commitTimer.Stop()
+	}
+	job.status.State = StateStageIn
+	job.mu.Unlock()
+	s.persist(job)
+	go s.stageAndSubmit(job)
+	return struct{}{}, nil
+}
+
+type jmRestartReq struct {
+	JobID string `json:"job_id"`
+}
+
+type jmRestartResp struct {
+	JobManagerAddr string `json:"jobmanager_addr"`
+}
+
+func (s *Site) handleJMRestart(peer string, body json.RawMessage) (any, error) {
+	var req jmRestartReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	job, ok := s.jobs[req.JobID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("gram: restart for unknown job %q", req.JobID)
+	}
+	if s.cfg.Anchor != nil && job.owner != peer {
+		return nil, fmt.Errorf("gram: job %s belongs to %s", req.JobID, job.owner)
+	}
+	job.mu.Lock()
+	if job.jm != nil {
+		addr := job.jm.Addr()
+		job.mu.Unlock()
+		return jmRestartResp{JobManagerAddr: addr}, nil // still alive
+	}
+	job.mu.Unlock()
+	jm, err := s.startJobManager(job)
+	if err != nil {
+		return nil, err
+	}
+	return jmRestartResp{JobManagerAddr: jm.Addr()}, nil
+}
+
+// stageAndSubmit performs stage-in through GASS and hands the job to the
+// LRM. Runs outside any lock.
+func (s *Site) stageAndSubmit(job *siteJob) {
+	job.mu.Lock()
+	spec := job.spec
+	cred := job.cred
+	job.mu.Unlock()
+
+	gc := gass.NewClient(cred, s.cfg.Clock)
+	defer gc.Close()
+
+	fail := func(err error) {
+		job.mu.Lock()
+		job.status.State = StateFailed
+		job.status.Error = err.Error()
+		job.mu.Unlock()
+		s.persist(job)
+		s.notifyStatus(job)
+	}
+
+	execData, err := s.stageFile(gc, spec.Executable)
+	if err != nil {
+		fail(fmt.Errorf("stage-in executable: %w", err))
+		return
+	}
+	var stdin []byte
+	if spec.Stdin != "" {
+		stdin, err = s.stageFile(gc, spec.Stdin)
+		if err != nil {
+			fail(fmt.Errorf("stage-in stdin: %w", err))
+			return
+		}
+	}
+
+	lrmID, err := s.cfg.Cluster.Submit(lrm.Job{
+		ID:        job.id + ".lrm",
+		Owner:     job.localUser,
+		Cpus:      spec.Cpus,
+		WallLimit: spec.WallLimit,
+		Run: func(ctx context.Context) error {
+			env := map[string]string{}
+			for k, v := range spec.Env {
+				env[k] = v
+			}
+			if spec.GassURLFile != "" {
+				env["GASS_URL_FILE"] = spec.GassURLFile
+			}
+			return s.cfg.Runtime.Run(ctx, execData, spec.Args, stdin, &job.stdout, &job.stderr, env)
+		},
+	}, spec.Estimate)
+	if err != nil {
+		fail(fmt.Errorf("lrm submit: %w", err))
+		return
+	}
+	job.mu.Lock()
+	job.lrmID = lrmID
+	job.status.State = StatePending
+	job.mu.Unlock()
+	s.persist(job)
+	s.notifyStatus(job)
+	go s.watchLRM(job, lrmID)
+}
+
+// stageFile fetches a GASS URL, or treats the string as inline program text
+// when it has no URL scheme (used by tests and GlideIn bootstrap).
+func (s *Site) stageFile(gc *gass.Client, ref string) ([]byte, error) {
+	if u, err := gass.ParseURL(ref); err == nil {
+		return gc.ReadAll(u)
+	}
+	return []byte(ref), nil
+}
+
+// watchLRM polls the LRM for terminal state and mirrors transitions into
+// the GRAM status. (The LRM also has callbacks; polling keeps this
+// resilient to missed events and is how the real JobManager watches PBS.)
+func (s *Site) watchLRM(job *siteJob, lrmID string) {
+	for {
+		st, err := s.cfg.Cluster.Status(lrmID)
+		if err != nil {
+			return
+		}
+		job.mu.Lock()
+		var newState JobState
+		switch st.State {
+		case lrm.Queued:
+			newState = StatePending
+		case lrm.Running:
+			newState = StateActive
+		case lrm.Completed:
+			newState = StateDone
+		default: // Failed, Cancelled, TimedOut
+			newState = StateFailed
+			if job.status.Error == "" {
+				job.status.Error = st.State.String()
+				if st.Error != "" {
+					job.status.Error = st.Error
+				}
+			}
+		}
+		changed := newState != job.status.State
+		job.status.State = newState
+		job.status.ExitOK = st.State == lrm.Completed
+		job.mu.Unlock()
+		if changed {
+			s.persist(job)
+			s.notifyStatus(job)
+		}
+		if newState.Terminal() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// notifyStatus sends a status callback through the job's JobManager, if one
+// is alive. Lost callbacks are fine: the GridManager also probes.
+func (s *Site) notifyStatus(job *siteJob) {
+	job.mu.Lock()
+	jm := job.jm
+	st := job.status
+	job.mu.Unlock()
+	if jm != nil {
+		jm.sendCallback(st)
+	}
+}
+
+// --- crash and partition injection (the §4.2 failure matrix) ---
+
+// CrashJobManager kills only the JobManager process of a job; the LRM job
+// keeps running (failure type 1).
+func (s *Site) CrashJobManager(jobID string) error {
+	s.mu.Lock()
+	job, ok := s.jobs[jobID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("gram: no such job %q", jobID)
+	}
+	job.mu.Lock()
+	jm := job.jm
+	job.jm = nil
+	job.mu.Unlock()
+	if jm == nil {
+		return errors.New("gram: jobmanager already down")
+	}
+	jm.Close()
+	return nil
+}
+
+// CrashGatekeeperMachine simulates failure type 2: the interface machine
+// hosting the Gatekeeper and every JobManager dies. Jobs already inside
+// the LRM keep running.
+func (s *Site) CrashGatekeeperMachine() {
+	s.mu.Lock()
+	gk := s.gk
+	s.gk = nil
+	s.crashed = true
+	jobs := make([]*siteJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	if gk != nil {
+		gk.Close()
+	}
+	for _, job := range jobs {
+		job.mu.Lock()
+		jm := job.jm
+		job.jm = nil
+		job.mu.Unlock()
+		if jm != nil {
+			jm.Close()
+		}
+	}
+}
+
+// RestartGatekeeperMachine brings the Gatekeeper back on its old address.
+// JobManagers stay down until the client requests restarts.
+func (s *Site) RestartGatekeeperMachine() error {
+	s.mu.Lock()
+	if !s.crashed {
+		s.mu.Unlock()
+		return errors.New("gram: gatekeeper is not down")
+	}
+	addr := s.gkAddr
+	s.mu.Unlock()
+	return s.startGatekeeper(addr)
+}
+
+// Partition severs and refuses all connections to the site until Heal —
+// indistinguishable, from the client side, from a machine crash (the paper
+// notes the GridManager cannot tell these apart).
+func (s *Site) Partition() {
+	s.mu.Lock()
+	gk := s.gk
+	jobs := make([]*siteJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	if gk != nil {
+		gk.Pause()
+	}
+	for _, job := range jobs {
+		job.mu.Lock()
+		jm := job.jm
+		job.mu.Unlock()
+		if jm != nil {
+			jm.srv.Pause()
+		}
+	}
+}
+
+// Heal ends a Partition.
+func (s *Site) Heal() {
+	s.mu.Lock()
+	gk := s.gk
+	jobs := make([]*siteJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	if gk != nil {
+		gk.Resume()
+	}
+	for _, job := range jobs {
+		job.mu.Lock()
+		jm := job.jm
+		job.mu.Unlock()
+		if jm != nil {
+			jm.srv.Resume()
+		}
+	}
+}
+
+// Close shuts the whole site down.
+func (s *Site) Close() {
+	s.mu.Lock()
+	gk := s.gk
+	s.gk = nil
+	jobs := make([]*siteJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	if gk != nil {
+		gk.Close()
+	}
+	for _, job := range jobs {
+		job.mu.Lock()
+		jm := job.jm
+		job.jm = nil
+		if job.commitTimer != nil {
+			job.commitTimer.Stop()
+		}
+		job.mu.Unlock()
+		if jm != nil {
+			jm.Close()
+		}
+	}
+	s.cfg.Cluster.Close()
+	s.store.Close()
+}

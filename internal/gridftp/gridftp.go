@@ -1,0 +1,432 @@
+// Package gridftp implements the GSI-authenticated bulk transfer service
+// the paper uses in two places: the GlideIn bootstrap ("uses
+// GSI-authenticated GridFTP to retrieve the Condor executables from a
+// central repository", §5) and the CMS workflow ("all events produced are
+// transferred via GridFTP to a data repository at NCSA", §6). Unlike GASS
+// (random access, streaming appends), GridFTP moves whole files with
+// parallel streams and end-to-end checksums.
+package gridftp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"condorg/internal/gsi"
+	"condorg/internal/wire"
+)
+
+// ServiceName binds auth tokens to GridFTP servers.
+const ServiceName = "gridftp"
+
+// ChunkSize is the parallel-stream block size.
+const ChunkSize = 256 << 10
+
+// DefaultStreams is the default transfer parallelism.
+const DefaultStreams = 4
+
+// Server exposes a repository directory.
+type Server struct {
+	root string
+	srv  *wire.Server
+	mu   sync.Mutex
+}
+
+// ServerOptions configures a GridFTP server.
+type ServerOptions struct {
+	Anchor *gsi.Certificate
+	Clock  gsi.Clock
+	Faults *wire.Faults
+}
+
+// NewServer serves root on a fresh loopback port.
+func NewServer(root string, opts ServerOptions) (*Server, error) {
+	if err := os.MkdirAll(root, 0o700); err != nil {
+		return nil, err
+	}
+	ws, err := wire.NewServer(wire.ServerConfig{
+		Name:   ServiceName,
+		Anchor: opts.Anchor,
+		Clock:  opts.Clock,
+		Faults: opts.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{root: root, srv: ws}
+	ws.Handle("ftp.stat", s.handleStat)
+	ws.Handle("ftp.get", s.handleGet)
+	ws.Handle("ftp.put", s.handlePut)
+	ws.Handle("ftp.list", s.handleList)
+	return s, nil
+}
+
+// Addr returns host:port.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Root returns the repository path.
+func (s *Server) Root() string { return s.root }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) resolve(p string) (string, error) {
+	clean := filepath.Clean("/" + p)
+	if strings.Contains(clean, "..") {
+		return "", fmt.Errorf("gridftp: path escapes root: %q", p)
+	}
+	return filepath.Join(s.root, clean), nil
+}
+
+type statReq struct {
+	Path string `json:"path"`
+}
+
+type statResp struct {
+	Size   int64  `json:"size"`
+	CRC    uint32 `json:"crc"`
+	Exists bool   `json:"exists"`
+}
+
+func (s *Server) handleStat(_ string, body json.RawMessage) (any, error) {
+	var req statReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	path, err := s.resolve(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return statResp{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return statResp{Size: int64(len(data)), CRC: crc32.ChecksumIEEE(data), Exists: true}, nil
+}
+
+type getReq struct {
+	Path   string `json:"path"`
+	Offset int64  `json:"offset"`
+	Len    int    `json:"len"`
+}
+
+type getResp struct {
+	Data []byte `json:"data"`
+}
+
+func (s *Server) handleGet(_ string, body json.RawMessage) (any, error) {
+	var req getReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	path, err := s.resolve(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if req.Len <= 0 || req.Len > ChunkSize {
+		req.Len = ChunkSize
+	}
+	buf := make([]byte, req.Len)
+	n, err := f.ReadAt(buf, req.Offset)
+	if err != nil && n == 0 {
+		return nil, err
+	}
+	return getResp{Data: buf[:n]}, nil
+}
+
+type putReq struct {
+	Path   string `json:"path"`
+	Offset int64  `json:"offset"`
+	Data   []byte `json:"data"`
+	// Total and CRC arrive with the final chunk (Commit true) so the
+	// server can verify the assembled file end to end.
+	Commit bool   `json:"commit"`
+	Total  int64  `json:"total"`
+	CRC    uint32 `json:"crc"`
+}
+
+func (s *Server) handlePut(_ string, body json.RawMessage) (any, error) {
+	var req putReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	path, err := s.resolve(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	part := path + ".part"
+	if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.OpenFile(part, os.O_CREATE|os.O_WRONLY, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Data) > 0 {
+		if _, err := f.WriteAt(req.Data, req.Offset); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if !req.Commit {
+		return struct{}{}, nil
+	}
+	data, err := os.ReadFile(part)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != req.Total {
+		return nil, fmt.Errorf("gridftp: assembled %d bytes, expected %d", len(data), req.Total)
+	}
+	if crc32.ChecksumIEEE(data) != req.CRC {
+		return nil, errors.New("gridftp: checksum mismatch after assembly")
+	}
+	if err := os.Rename(part, path); err != nil {
+		return nil, err
+	}
+	return struct{}{}, nil
+}
+
+type listReq struct {
+	Prefix string `json:"prefix"`
+}
+
+type listResp struct {
+	Paths []string `json:"paths"`
+}
+
+func (s *Server) handleList(_ string, body json.RawMessage) (any, error) {
+	var req listReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	var out []string
+	err := filepath.Walk(s.root, func(p string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || strings.HasSuffix(p, ".part") {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return nil
+		}
+		if strings.HasPrefix(rel, req.Prefix) {
+			out = append(out, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return listResp{Paths: out}, nil
+}
+
+// Client performs parallel-stream transfers.
+type Client struct {
+	cred    *gsi.Credential
+	clock   gsi.Clock
+	streams int
+
+	mu    sync.Mutex
+	conns map[string]*wire.Client
+}
+
+// NewClient creates a client with the given parallelism (0 = default).
+func NewClient(cred *gsi.Credential, clock gsi.Clock, streams int) *Client {
+	if clock == nil {
+		clock = gsi.WallClock
+	}
+	if streams <= 0 {
+		streams = DefaultStreams
+	}
+	return &Client{cred: cred, clock: clock, streams: streams, conns: make(map[string]*wire.Client)}
+}
+
+func (c *Client) conn(addr string) *wire.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if wc, ok := c.conns[addr]; ok {
+		return wc
+	}
+	wc := wire.Dial(addr, wire.ClientConfig{
+		ServerName: ServiceName,
+		Credential: c.cred,
+		Clock:      c.clock,
+		Timeout:    5 * time.Second,
+	})
+	c.conns[addr] = wc
+	return wc
+}
+
+// Close releases connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, wc := range c.conns {
+		wc.Close()
+	}
+	c.conns = make(map[string]*wire.Client)
+}
+
+// Stat returns size and checksum of a remote file.
+func (c *Client) Stat(addr, path string) (size int64, crc uint32, exists bool, err error) {
+	var resp statResp
+	if err := c.conn(addr).Call("ftp.stat", statReq{Path: path}, &resp); err != nil {
+		return 0, 0, false, err
+	}
+	return resp.Size, resp.CRC, resp.Exists, nil
+}
+
+// List enumerates remote files under a prefix.
+func (c *Client) List(addr, prefix string) ([]string, error) {
+	var resp listResp
+	if err := c.conn(addr).Call("ftp.list", listReq{Prefix: prefix}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Paths, nil
+}
+
+// Get downloads a remote file with parallel streams and verifies its
+// checksum.
+func (c *Client) Get(addr, path string) ([]byte, error) {
+	size, wantCRC, exists, err := c.Stat(addr, path)
+	if err != nil {
+		return nil, err
+	}
+	if !exists {
+		return nil, fmt.Errorf("gridftp: %s not found on %s", path, addr)
+	}
+	data := make([]byte, size)
+	type chunk struct{ off int64 }
+	work := make(chan chunk)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	for i := 0; i < c.streams; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ch := range work {
+				var resp getResp
+				n := ChunkSize
+				if rem := size - ch.off; rem < int64(n) {
+					n = int(rem)
+				}
+				err := c.conn(addr).Call("ftp.get", getReq{Path: path, Offset: ch.off, Len: n}, &resp)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				copy(data[ch.off:], resp.Data)
+			}
+		}()
+	}
+	for off := int64(0); off < size; off += ChunkSize {
+		work <- chunk{off}
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if crc32.ChecksumIEEE(data) != wantCRC {
+		return nil, errors.New("gridftp: download checksum mismatch")
+	}
+	return data, nil
+}
+
+// Put uploads data to a remote path with parallel streams; the server
+// verifies the checksum before exposing the file.
+func (c *Client) Put(addr, path string, data []byte) error {
+	size := int64(len(data))
+	crc := crc32.ChecksumIEEE(data)
+	type chunk struct {
+		off  int64
+		last bool
+	}
+	var chunks []chunk
+	for off := int64(0); off < size; off += ChunkSize {
+		chunks = append(chunks, chunk{off: off})
+	}
+	if len(chunks) == 0 {
+		chunks = []chunk{{off: 0}}
+	}
+	// All but the final chunk go in parallel; the final chunk carries the
+	// commit so ordering stays simple.
+	last := chunks[len(chunks)-1]
+	rest := chunks[:len(chunks)-1]
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	sem := make(chan struct{}, c.streams)
+	for _, ch := range rest {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ch chunk) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			end := ch.off + ChunkSize
+			if end > size {
+				end = size
+			}
+			err := c.conn(addr).Call("ftp.put", putReq{Path: path, Offset: ch.off, Data: data[ch.off:end]}, nil)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(ch)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	end := last.off + ChunkSize
+	if end > size {
+		end = size
+	}
+	var payload []byte
+	if last.off < size {
+		payload = data[last.off:end]
+	}
+	return c.conn(addr).Call("ftp.put", putReq{
+		Path: path, Offset: last.off, Data: payload,
+		Commit: true, Total: size, CRC: crc,
+	}, nil)
+}
+
+// Transfer copies a file between two GridFTP servers through the client
+// (the CMS site-to-repository move).
+func (c *Client) Transfer(srcAddr, srcPath, dstAddr, dstPath string) error {
+	data, err := c.Get(srcAddr, srcPath)
+	if err != nil {
+		return err
+	}
+	return c.Put(dstAddr, dstPath, data)
+}

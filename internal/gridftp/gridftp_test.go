@@ -1,0 +1,176 @@
+package gridftp
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"condorg/internal/gsi"
+)
+
+func newPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s, err := NewServer(t.TempDir(), ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c := NewClient(nil, nil, 4)
+	t.Cleanup(c.Close)
+	return s, c
+}
+
+func randBytes(n int) []byte {
+	data := make([]byte, n)
+	rand.New(rand.NewSource(42)).Read(data)
+	return data
+}
+
+func TestPutGetRoundTripMultiChunk(t *testing.T) {
+	s, c := newPair(t)
+	payload := randBytes(3*ChunkSize + 777) // forces parallel chunks
+	if err := c.Put(s.Addr(), "repo/condor-binaries.tar", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(s.Addr(), "repo/condor-binaries.tar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip corrupted: %d vs %d bytes", len(got), len(payload))
+	}
+}
+
+func TestPutEmptyFile(t *testing.T) {
+	s, c := newPair(t)
+	if err := c.Put(s.Addr(), "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(s.Addr(), "empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty get = %d bytes, err=%v", len(got), err)
+	}
+}
+
+func TestStat(t *testing.T) {
+	s, c := newPair(t)
+	payload := randBytes(1000)
+	c.Put(s.Addr(), "f", payload)
+	size, _, exists, err := c.Stat(s.Addr(), "f")
+	if err != nil || !exists || size != 1000 {
+		t.Fatalf("stat: size=%d exists=%v err=%v", size, exists, err)
+	}
+	_, _, exists, err = c.Stat(s.Addr(), "missing")
+	if err != nil || exists {
+		t.Fatalf("missing stat: exists=%v err=%v", exists, err)
+	}
+}
+
+func TestGetMissingFails(t *testing.T) {
+	s, c := newPair(t)
+	if _, err := c.Get(s.Addr(), "ghost"); err == nil {
+		t.Fatal("get of missing file succeeded")
+	}
+}
+
+func TestPartFilesHiddenUntilCommit(t *testing.T) {
+	s, c := newPair(t)
+	// Write chunks without the commit by calling the wire method directly.
+	err := c.conn(s.Addr()).Call("ftp.put", putReq{Path: "wip", Offset: 0, Data: []byte("partial")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, exists, _ := c.Stat(s.Addr(), "wip")
+	if exists {
+		t.Fatal("uncommitted upload visible")
+	}
+	paths, _ := c.List(s.Addr(), "")
+	if len(paths) != 0 {
+		t.Fatalf("list shows uncommitted files: %v", paths)
+	}
+}
+
+func TestCorruptAssemblyRejected(t *testing.T) {
+	s, c := newPair(t)
+	// Commit with a wrong CRC must fail and not expose the file.
+	err := c.conn(s.Addr()).Call("ftp.put", putReq{
+		Path: "bad", Offset: 0, Data: []byte("data"),
+		Commit: true, Total: 4, CRC: 0xDEADBEEF,
+	}, nil)
+	if err == nil {
+		t.Fatal("bad checksum accepted")
+	}
+	_, _, exists, _ := c.Stat(s.Addr(), "bad")
+	if exists {
+		t.Fatal("corrupt file exposed")
+	}
+}
+
+func TestList(t *testing.T) {
+	s, c := newPair(t)
+	c.Put(s.Addr(), "bin/linux/condor_startd", randBytes(10))
+	c.Put(s.Addr(), "bin/linux/condor_starter", randBytes(10))
+	c.Put(s.Addr(), "data/events.dat", randBytes(10))
+	paths, err := c.List(s.Addr(), "bin/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("list bin/ = %v", paths)
+	}
+	all, _ := c.List(s.Addr(), "")
+	if len(all) != 3 {
+		t.Fatalf("list all = %v", all)
+	}
+}
+
+func TestThirdPartyTransfer(t *testing.T) {
+	src, c := newPair(t)
+	dst, err := NewServer(t.TempDir(), ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	payload := randBytes(2*ChunkSize + 5)
+	c.Put(src.Addr(), "events/run1.dat", payload)
+	if err := c.Transfer(src.Addr(), "events/run1.dat", dst.Addr(), "archive/run1.dat"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(dst.Addr(), "archive/run1.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("transfer mismatch: %d bytes err=%v", len(got), err)
+	}
+}
+
+func TestAuthenticatedTransfer(t *testing.T) {
+	now := time.Now()
+	ca, _ := gsi.NewCA("/O=Grid/CN=CA", now, 24*time.Hour)
+	s, err := NewServer(t.TempDir(), ServerOptions{Anchor: ca.Certificate()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	anon := NewClient(nil, nil, 2)
+	defer anon.Close()
+	if err := anon.Put(s.Addr(), "f", []byte("x")); err == nil {
+		t.Fatal("anonymous put accepted")
+	}
+	user, _ := ca.IssueUser("/O=Grid/CN=u", now, time.Hour)
+	authed := NewClient(user, nil, 2)
+	defer authed.Close()
+	if err := authed.Put(s.Addr(), "f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathEscapeRejected(t *testing.T) {
+	s, c := newPair(t)
+	secret := filepath.Join(filepath.Dir(s.Root()), "secret")
+	os.WriteFile(secret, []byte("classified"), 0o600)
+	if _, err := c.Get(s.Addr(), "../secret"); err == nil {
+		t.Fatal("path escape allowed")
+	}
+}

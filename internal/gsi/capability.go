@@ -1,0 +1,97 @@
+package gsi
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Capability is a signed authorization grant, implementing the §3.2
+// extension: "Work in progress will also allow authorization decisions to
+// be made on the basis of capabilities supplied with the request." A site
+// administrator signs a capability giving a grid subject specific rights
+// (e.g. "gram:submit") and a local account mapping, so users outside the
+// gridmap can be authorized per-request.
+type Capability struct {
+	// Subject is the grid identity being granted the rights.
+	Subject string `json:"subject"`
+	// LocalUser is the local account the subject maps to when exercising
+	// this capability.
+	LocalUser string `json:"local_user"`
+	// Rights are operation names, e.g. "gram:submit".
+	Rights    []string  `json:"rights"`
+	NotBefore time.Time `json:"not_before"`
+	NotAfter  time.Time `json:"not_after"`
+	// Issuer is the granting authority's subject (informational; the
+	// signature is what is verified).
+	Issuer    string `json:"issuer"`
+	Signature []byte `json:"signature"`
+}
+
+func (c *Capability) tbs() []byte {
+	clone := *c
+	clone.Signature = nil
+	data, err := json.Marshal(&clone)
+	if err != nil {
+		panic("gsi: capability not marshalable: " + err.Error())
+	}
+	return data
+}
+
+// IssueCapability signs a grant with the issuer's credential.
+func IssueCapability(issuer *Credential, subject, localUser string, rights []string, now time.Time, lifetime time.Duration) (*Capability, error) {
+	if issuer.Expired(now) {
+		return nil, ErrExpired
+	}
+	cap := &Capability{
+		Subject:   subject,
+		LocalUser: localUser,
+		Rights:    append([]string(nil), rights...),
+		NotBefore: now,
+		NotAfter:  now.Add(lifetime),
+		Issuer:    issuer.Subject(),
+	}
+	cap.Signature = issuer.Sign(cap.tbs())
+	return cap, nil
+}
+
+// Verify checks the capability against the pinned issuer certificate: the
+// signature must verify, the window must contain now, the authenticated
+// subject must be the grantee, and the requested right must be granted.
+// It returns the local user the grant maps to.
+func (c *Capability) Verify(issuerCert *Certificate, subject, right string, now time.Time) (string, error) {
+	if c == nil {
+		return "", fmt.Errorf("%w: no capability supplied", ErrUnauthorized)
+	}
+	if now.Before(c.NotBefore) || now.After(c.NotAfter) {
+		return "", fmt.Errorf("%w: capability window", ErrExpired)
+	}
+	if issuerCert.Expired(now) {
+		return "", fmt.Errorf("%w: capability issuer certificate", ErrExpired)
+	}
+	if !ed25519.Verify(issuerCert.PublicKey, c.tbs(), c.Signature) {
+		return "", fmt.Errorf("%w: capability signature", ErrBadSignature)
+	}
+	if c.Subject != subject {
+		return "", fmt.Errorf("%w: capability granted to %s, presented by %s", ErrUnauthorized, c.Subject, subject)
+	}
+	for _, r := range c.Rights {
+		if r == right {
+			return c.LocalUser, nil
+		}
+	}
+	return "", fmt.Errorf("%w: capability does not grant %q", ErrUnauthorized, right)
+}
+
+// EncodeCapability serializes a capability for transport.
+func EncodeCapability(c *Capability) ([]byte, error) { return json.Marshal(c) }
+
+// DecodeCapability reverses EncodeCapability.
+func DecodeCapability(data []byte) (*Capability, error) {
+	var c Capability
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

@@ -1,0 +1,88 @@
+package gsi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCapabilityIssueVerify(t *testing.T) {
+	ca := newTestCA(t)
+	admin, _ := ca.IssueUser("/O=Grid/CN=site-admin", t0, 365*24*time.Hour)
+	cap, err := IssueCapability(admin, "/O=Grid/CN=visitor", "guest",
+		[]string{"gram:submit", "gram:status"}, t0, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localUser, err := cap.Verify(admin.Leaf(), "/O=Grid/CN=visitor", "gram:submit", t0.Add(time.Hour))
+	if err != nil || localUser != "guest" {
+		t.Fatalf("verify: %q %v", localUser, err)
+	}
+	// Wrong right.
+	if _, err := cap.Verify(admin.Leaf(), "/O=Grid/CN=visitor", "gram:cancel", t0); err == nil {
+		t.Fatal("ungranted right authorized")
+	}
+	// Wrong subject (capability theft).
+	if _, err := cap.Verify(admin.Leaf(), "/O=Grid/CN=thief", "gram:submit", t0); err == nil {
+		t.Fatal("stolen capability authorized")
+	}
+	// Expired.
+	if _, err := cap.Verify(admin.Leaf(), "/O=Grid/CN=visitor", "gram:submit", t0.Add(25*time.Hour)); err == nil {
+		t.Fatal("expired capability authorized")
+	}
+	// Not yet valid.
+	if _, err := cap.Verify(admin.Leaf(), "/O=Grid/CN=visitor", "gram:submit", t0.Add(-time.Hour)); err == nil {
+		t.Fatal("future capability authorized")
+	}
+}
+
+func TestCapabilityTamperRejected(t *testing.T) {
+	ca := newTestCA(t)
+	admin, _ := ca.IssueUser("/O=Grid/CN=admin", t0, 24*time.Hour)
+	cap, _ := IssueCapability(admin, "/O=Grid/CN=u", "guest", []string{"gram:submit"}, t0, time.Hour)
+	cap.LocalUser = "root" // privilege escalation attempt
+	if _, err := cap.Verify(admin.Leaf(), "/O=Grid/CN=u", "gram:submit", t0); err == nil {
+		t.Fatal("tampered capability verified")
+	}
+}
+
+func TestCapabilityWrongIssuerRejected(t *testing.T) {
+	ca := newTestCA(t)
+	admin, _ := ca.IssueUser("/O=Grid/CN=admin", t0, 24*time.Hour)
+	mallory, _ := ca.IssueUser("/O=Grid/CN=mallory", t0, 24*time.Hour)
+	cap, _ := IssueCapability(mallory, "/O=Grid/CN=u", "guest", []string{"gram:submit"}, t0, time.Hour)
+	// The site pins admin's certificate; mallory's grant means nothing.
+	if _, err := cap.Verify(admin.Leaf(), "/O=Grid/CN=u", "gram:submit", t0); err == nil {
+		t.Fatal("capability from untrusted issuer verified")
+	}
+}
+
+func TestCapabilityEncodeDecode(t *testing.T) {
+	ca := newTestCA(t)
+	admin, _ := ca.IssueUser("/O=Grid/CN=admin", t0, 24*time.Hour)
+	cap, _ := IssueCapability(admin, "/O=Grid/CN=u", "guest", []string{"gram:submit"}, t0, time.Hour)
+	data, err := EncodeCapability(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCapability(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.Verify(admin.Leaf(), "/O=Grid/CN=u", "gram:submit", t0); err != nil {
+		t.Fatalf("decoded capability failed verify: %v", err)
+	}
+}
+
+func TestExpiredIssuerCannotGrant(t *testing.T) {
+	ca := newTestCA(t)
+	admin, _ := ca.IssueUser("/O=Grid/CN=admin", t0, time.Hour)
+	if _, err := IssueCapability(admin, "/O=Grid/CN=u", "g", []string{"r"}, t0.Add(2*time.Hour), time.Hour); err == nil {
+		t.Fatal("expired issuer granted a capability")
+	}
+	// A valid-at-issue grant outliving the issuer's cert is refused at
+	// verification time.
+	cap, _ := IssueCapability(admin, "/O=Grid/CN=u", "g", []string{"r"}, t0, 10*time.Hour)
+	if _, err := cap.Verify(admin.Leaf(), "/O=Grid/CN=u", "r", t0.Add(5*time.Hour)); err == nil {
+		t.Fatal("capability honored after issuer cert expiry")
+	}
+}

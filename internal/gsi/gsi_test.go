@@ -1,0 +1,254 @@
+package gsi
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2001, 8, 6, 9, 0, 0, 0, time.UTC) // HPDC 2001 week
+
+func newTestCA(t *testing.T) *CA {
+	t.Helper()
+	ca, err := NewCA("/O=Grid/CN=TestCA", t0, 365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func TestIssueAndVerifyUser(t *testing.T) {
+	ca := newTestCA(t)
+	cred, err := ca.IssueUser("/O=Grid/CN=jfrey", t0, 30*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subject, err := VerifyChain(cred.Chain, ca.Certificate(), t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subject != "/O=Grid/CN=jfrey" {
+		t.Fatalf("subject = %q", subject)
+	}
+}
+
+func TestProxyChainVerifies(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=miron", t0, 30*24*time.Hour)
+	proxy, err := NewProxy(user, t0, 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := proxy.Subject(); got != "/O=Grid/CN=miron" {
+		t.Fatalf("proxy identity = %q, want the user subject", got)
+	}
+	subject, err := VerifyChain(proxy.Chain, ca.Certificate(), t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subject != "/O=Grid/CN=miron" {
+		t.Fatalf("verified subject = %q", subject)
+	}
+	// Second-level delegation (user -> agent -> jobmanager).
+	proxy2, err := NewProxy(proxy, t0.Add(time.Minute), 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proxy2.Chain) != 3 {
+		t.Fatalf("chain depth = %d, want 3", len(proxy2.Chain))
+	}
+	if _, err := VerifyChain(proxy2.Chain, ca.Certificate(), t0.Add(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProxyLifetimeClampedToParent(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=u", t0, 10*time.Hour)
+	proxy, err := NewProxy(user, t0, 100*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left := proxy.TimeLeft(t0); left > 10*time.Hour {
+		t.Fatalf("proxy lifetime %v exceeds parent's 10h", left)
+	}
+}
+
+func TestExpiredProxyRejected(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=u", t0, 30*24*time.Hour)
+	proxy, _ := NewProxy(user, t0, time.Hour)
+	if _, err := VerifyChain(proxy.Chain, ca.Certificate(), t0.Add(2*time.Hour)); err == nil {
+		t.Fatal("expired proxy verified")
+	}
+	if !proxy.Expired(t0.Add(2 * time.Hour)) {
+		t.Fatal("Expired() should report true after lifetime")
+	}
+	if proxy.Expired(t0.Add(30 * time.Minute)) {
+		t.Fatal("Expired() true before lifetime")
+	}
+	// Cannot derive a proxy from an expired credential.
+	if _, err := NewProxy(proxy, t0.Add(2*time.Hour), time.Hour); err == nil {
+		t.Fatal("NewProxy from expired parent should fail")
+	}
+}
+
+func TestTamperedCertificateRejected(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.IssueUser("/O=Grid/CN=u", t0, time.Hour)
+	evil := *cred.Leaf()
+	evil.Subject = "/O=Grid/CN=root"
+	if _, err := VerifyChain([]*Certificate{&evil}, ca.Certificate(), t0); err == nil {
+		t.Fatal("tampered subject verified")
+	}
+}
+
+func TestWrongCARejected(t *testing.T) {
+	ca1 := newTestCA(t)
+	ca2, _ := NewCA("/O=Grid/CN=OtherCA", t0, 365*24*time.Hour)
+	cred, _ := ca1.IssueUser("/O=Grid/CN=u", t0, time.Hour)
+	if _, err := VerifyChain(cred.Chain, ca2.Certificate(), t0); err == nil {
+		t.Fatal("chain verified against wrong CA")
+	}
+}
+
+func TestForgedProxyRejected(t *testing.T) {
+	ca := newTestCA(t)
+	alice, _ := ca.IssueUser("/O=Grid/CN=alice", t0, 24*time.Hour)
+	mallory, _ := ca.IssueUser("/O=Grid/CN=mallory", t0, 24*time.Hour)
+	// Mallory signs a proxy claiming to extend Alice's identity.
+	forged, _ := NewProxy(mallory, t0, time.Hour)
+	forged.Chain[0].Subject = alice.Leaf().Subject + "/CN=proxy"
+	forged.Chain[0].Issuer = alice.Leaf().Subject
+	if _, err := VerifyChain(forged.Chain, ca.Certificate(), t0); err == nil {
+		t.Fatal("forged proxy chain verified")
+	}
+}
+
+func TestGridmap(t *testing.T) {
+	gm := NewGridmap(map[string]string{"/O=Grid/CN=jfrey": "jfrey"})
+	u, err := gm.LocalUser("/O=Grid/CN=jfrey")
+	if err != nil || u != "jfrey" {
+		t.Fatalf("LocalUser = %q, %v", u, err)
+	}
+	if _, err := gm.LocalUser("/O=Grid/CN=stranger"); err == nil {
+		t.Fatal("unmapped subject authorized")
+	}
+	gm.Add("/O=Grid/CN=stranger", "guest")
+	if u, _ := gm.LocalUser("/O=Grid/CN=stranger"); u != "guest" {
+		t.Fatalf("after Add: %q", u)
+	}
+	gm.Remove("/O=Grid/CN=stranger")
+	if _, err := gm.LocalUser("/O=Grid/CN=stranger"); err == nil {
+		t.Fatal("removed subject still authorized")
+	}
+}
+
+func TestAuthTokenRoundTrip(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=u", t0, 24*time.Hour)
+	proxy, _ := NewProxy(user, t0, 12*time.Hour)
+	tok, err := NewAuthToken(proxy, "gram:submit", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subject, err := tok.Verify(ca.Certificate(), "gram:submit", t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subject != "/O=Grid/CN=u" {
+		t.Fatalf("token subject = %q", subject)
+	}
+}
+
+func TestAuthTokenContextBinding(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=u", t0, 24*time.Hour)
+	tok, _ := NewAuthToken(user, "gass:read", t0)
+	if _, err := tok.Verify(ca.Certificate(), "gram:submit", t0); err == nil {
+		t.Fatal("token replayed across contexts")
+	}
+}
+
+func TestAuthTokenFreshness(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=u", t0, 24*time.Hour)
+	tok, _ := NewAuthToken(user, "x", t0)
+	if _, err := tok.Verify(ca.Certificate(), "x", t0.Add(MaxTokenAge+time.Minute)); err == nil {
+		t.Fatal("stale token verified")
+	}
+}
+
+func TestAuthTokenTamperedSignature(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=u", t0, 24*time.Hour)
+	tok, _ := NewAuthToken(user, "x", t0)
+	tok.Nonce[0] ^= 1
+	if _, err := tok.Verify(ca.Certificate(), "x", t0); err == nil {
+		t.Fatal("tampered token verified")
+	}
+}
+
+func TestExpiredCredentialCannotMakeToken(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=u", t0, time.Hour)
+	if _, err := NewAuthToken(user, "x", t0.Add(2*time.Hour)); err == nil {
+		t.Fatal("expired credential produced a token")
+	}
+}
+
+func TestCredentialEncodeDecode(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=u", t0, 24*time.Hour)
+	proxy, _ := NewProxy(user, t0, time.Hour)
+	data, err := EncodeCredential(proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCredential(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Subject() != proxy.Subject() || len(back.Chain) != len(proxy.Chain) {
+		t.Fatalf("decode mismatch: %q %d", back.Subject(), len(back.Chain))
+	}
+	// Decoded credential can still sign (key survived).
+	if _, err := NewAuthToken(back, "x", t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCredential([]byte(`{"chain":[]}`)); err == nil {
+		t.Fatal("empty chain decoded")
+	}
+}
+
+// Property: a proxy's remaining lifetime never exceeds its parent's, at any
+// derivation depth.
+func TestQuickProxyLifetimeMonotone(t *testing.T) {
+	ca := newTestCA(t)
+	user, err := ca.IssueUser("/O=Grid/CN=q", t0, 100*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(hours []uint8) bool {
+		cred := user
+		now := t0
+		for _, h := range hours {
+			if len(cred.Chain) > 6 {
+				break
+			}
+			next, err := NewProxy(cred, now, time.Duration(h%50)*time.Hour+time.Minute)
+			if err != nil {
+				return false
+			}
+			if next.TimeLeft(now) > cred.TimeLeft(now) {
+				return false
+			}
+			cred = next
+		}
+		_, err := VerifyChain(cred.Chain, ca.Certificate(), now)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

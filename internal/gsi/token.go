@@ -1,0 +1,108 @@
+package gsi
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// AuthToken is the unit of GSI authentication on the wire: the sender's
+// certificate chain plus a signature, by the chain's leaf key, over a fresh
+// nonce and a caller-chosen context string (channel binding). A verifier
+// checks the chain to its trust anchor and the signature, yielding the
+// authenticated grid subject. Tokens are bound to a context so a token
+// captured from one protocol exchange cannot be replayed into another.
+type AuthToken struct {
+	Chain     []*Certificate `json:"chain"`
+	Context   string         `json:"context"`
+	Nonce     []byte         `json:"nonce"`
+	IssuedAt  time.Time      `json:"issued_at"`
+	Signature []byte         `json:"signature"`
+}
+
+// MaxTokenAge bounds token freshness during verification.
+const MaxTokenAge = 5 * time.Minute
+
+func tokenMessage(context string, nonce []byte, issued time.Time) []byte {
+	msg, err := json.Marshal(struct {
+		Context string    `json:"context"`
+		Nonce   []byte    `json:"nonce"`
+		Issued  time.Time `json:"issued"`
+	}{context, nonce, issued})
+	if err != nil {
+		panic("gsi: token message not marshalable: " + err.Error())
+	}
+	return msg
+}
+
+// NewAuthToken creates a token proving possession of cred's leaf key.
+func NewAuthToken(cred *Credential, context string, now time.Time) (*AuthToken, error) {
+	if cred.Expired(now) {
+		return nil, ErrExpired
+	}
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	t := &AuthToken{
+		Chain:    cred.PublicChain(),
+		Context:  context,
+		Nonce:    nonce,
+		IssuedAt: now,
+	}
+	t.Signature = cred.Sign(tokenMessage(context, nonce, now))
+	return t, nil
+}
+
+// Verify validates the token against the trust anchor: chain verification,
+// leaf signature, context binding, and freshness. It returns the
+// authenticated grid subject.
+func (t *AuthToken) Verify(anchor *Certificate, wantContext string, now time.Time) (string, error) {
+	if t == nil {
+		return "", fmt.Errorf("%w: missing token", ErrBadChain)
+	}
+	if t.Context != wantContext {
+		return "", fmt.Errorf("%w: token context %q, want %q", ErrBadSignature, t.Context, wantContext)
+	}
+	age := now.Sub(t.IssuedAt)
+	if age < -MaxTokenAge || age > MaxTokenAge {
+		return "", fmt.Errorf("%w: token issued %v, now %v", ErrExpired, t.IssuedAt, now)
+	}
+	subject, err := VerifyChain(t.Chain, anchor, now)
+	if err != nil {
+		return "", err
+	}
+	leaf := t.Chain[0]
+	if !ed25519.Verify(leaf.PublicKey, tokenMessage(t.Context, t.Nonce, t.IssuedAt), t.Signature) {
+		return "", fmt.Errorf("%w: token signature", ErrBadSignature)
+	}
+	return subject, nil
+}
+
+// Delegate serializes a credential for forwarding to a remote service (the
+// paper forwards the user's proxy to the remote GRAM server at job start).
+// In real GSI delegation the remote side generates the key pair; here the
+// forwarded proxy is a fresh key pair created locally and shipped whole,
+// which preserves the property under study: the remote copy expires
+// independently and must be re-forwarded after refresh (§4.3).
+func Delegate(cred *Credential, now time.Time, lifetime time.Duration) (*Credential, error) {
+	return NewProxy(cred, now, lifetime)
+}
+
+// EncodeCredential serializes a credential (including its private key) for
+// transport inside an already-authenticated delegation message.
+func EncodeCredential(c *Credential) ([]byte, error) { return json.Marshal(c) }
+
+// DecodeCredential reverses EncodeCredential.
+func DecodeCredential(data []byte) (*Credential, error) {
+	var c Credential
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	if len(c.Chain) == 0 {
+		return nil, ErrBadChain
+	}
+	return &c, nil
+}

@@ -1,0 +1,67 @@
+package journal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	j, err := Open(filepath.Join(b.TempDir(), "bench.log"), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	rec := map[string]any{"id": "job-123", "state": "running", "site": "wisc", "resubmits": 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append("job", rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendSync(b *testing.B) {
+	j, err := Open(filepath.Join(b.TempDir(), "bench.log"), Options{Sync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	rec := map[string]any{"id": "job-123", "state": "running"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append("job", rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay1000(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.log")
+	j, _ := Open(path, Options{})
+	for i := 0; i < 1000; i++ {
+		j.Append("job", map[string]int{"n": i})
+	}
+	j.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := Replay(path, func(Record) error { return nil })
+		if err != nil || n != 1000 {
+			b.Fatalf("n=%d err=%v", n, err)
+		}
+	}
+}
+
+func BenchmarkStorePut(b *testing.B) {
+	s, err := OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i%64), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

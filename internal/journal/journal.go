@@ -1,0 +1,222 @@
+// Package journal provides the "stable storage" that the Condor-G paper
+// leans on for fault tolerance: the Schedd's persistent job queue, the
+// GridManager's recovery state, and the GRAM client-side job log are all
+// journaled through this package.
+//
+// A Journal is an append-only log of JSON records, each protected by a CRC32
+// so a torn final write (the classic crash signature) is detected and
+// discarded on replay rather than corrupting recovery. Compact writes a
+// snapshot atomically (write-temp + rename) and truncates the log.
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Record is one journal entry: an opaque type tag plus a JSON payload.
+type Record struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Journal is an append-only crash-safe log. It is safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	sync    bool // fsync after every append
+	appends int
+}
+
+// Options configures a Journal.
+type Options struct {
+	// Sync forces an fsync after every append. Tests that simulate
+	// crashes at arbitrary points leave this off for speed; the agent
+	// turns it on.
+	Sync bool
+}
+
+// Open opens (creating if needed) the journal at path.
+func Open(path string, opts Options) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	return &Journal{path: path, f: f, w: bufio.NewWriter(f), sync: opts.Sync}, nil
+}
+
+// Append writes one record. The payload v is marshalled to JSON.
+func (j *Journal) Append(recType string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: marshal %s: %w", recType, err)
+	}
+	rec, err := json.Marshal(Record{Type: recType, Data: data})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(rec))
+	if _, err := j.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := j.w.Write(rec); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+	}
+	j.appends++
+	return nil
+}
+
+// Appends returns the number of records appended through this handle.
+func (j *Journal) Appends() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appends
+}
+
+// Close flushes and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	flushErr := j.w.Flush()
+	closeErr := j.f.Close()
+	j.f = nil
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Replay reads every intact record in the journal at path, calling fn for
+// each. A corrupt or truncated tail is tolerated (replay stops there); a
+// missing file yields zero records. Replay returns the number of records
+// delivered.
+func Replay(path string, fn func(rec Record) error) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("journal: replay open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	n := 0
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return n, nil // clean EOF or torn header: stop
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if size > 1<<26 {
+			return n, nil // implausible length: torn write
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return n, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(buf) != sum {
+			return n, nil // corrupt record
+		}
+		var rec Record
+		if err := json.Unmarshal(buf, &rec); err != nil {
+			return n, nil
+		}
+		if err := fn(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Truncate empties the journal (used after a successful Compact).
+func (j *Journal) Truncate() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	j.w.Reset(j.f)
+	return nil
+}
+
+// WriteFileAtomic writes data to path via a temp file + rename so readers
+// never observe a partial file. The rename is atomic on POSIX filesystems.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".atomic-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// SaveJSONAtomic marshals v and writes it atomically to path.
+func SaveJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, data)
+}
+
+// LoadJSON reads path into v; a missing file returns os.ErrNotExist.
+func LoadJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}

@@ -1,0 +1,201 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store is a crash-safe persistent map built from a snapshot file plus a
+// journal of deltas — the shape of the Schedd job queue ("all relevant state
+// for each submitted job is stored persistently in the scheduler's job
+// queue", §4.2). Keys are strings; values are JSON documents.
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	jn       *Journal
+	data     map[string]json.RawMessage
+	deltas   int
+	maxDelta int // Compact automatically after this many deltas
+}
+
+type storeDelta struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value,omitempty"` // nil means delete
+}
+
+const (
+	recSet    = "set"
+	recDelete = "del"
+)
+
+// OpenStore opens (or recovers) a store rooted at dir. Recovery loads the
+// snapshot and replays the delta journal, so state survives any crash.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:      dir,
+		data:     make(map[string]json.RawMessage),
+		maxDelta: 1000,
+	}
+	var snap map[string]json.RawMessage
+	err := LoadJSON(s.snapshotPath(), &snap)
+	switch {
+	case err == nil:
+		s.data = snap
+		if s.data == nil {
+			s.data = make(map[string]json.RawMessage)
+		}
+	case errors.Is(err, os.ErrNotExist):
+	default:
+		return nil, fmt.Errorf("journal: load snapshot: %w", err)
+	}
+	_, err = Replay(s.journalPath(), func(rec Record) error {
+		var d storeDelta
+		if err := json.Unmarshal(rec.Data, &d); err != nil {
+			return err
+		}
+		switch rec.Type {
+		case recSet:
+			s.data[d.Key] = d.Value
+		case recDelete:
+			delete(s.data, d.Key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	jn, err := Open(s.journalPath(), Options{Sync: false})
+	if err != nil {
+		return nil, err
+	}
+	s.jn = jn
+	return s, nil
+}
+
+func (s *Store) snapshotPath() string { return s.dir + "/snapshot.json" }
+func (s *Store) journalPath() string  { return s.dir + "/journal.log" }
+
+// Put stores v under key.
+func (s *Store) Put(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jn == nil {
+		return errors.New("journal: store closed")
+	}
+	if err := s.jn.Append(recSet, storeDelta{Key: key, Value: raw}); err != nil {
+		return err
+	}
+	s.data[key] = raw
+	s.deltas++
+	return s.maybeCompactLocked()
+}
+
+// Delete removes key.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jn == nil {
+		return errors.New("journal: store closed")
+	}
+	if _, ok := s.data[key]; !ok {
+		return nil
+	}
+	if err := s.jn.Append(recDelete, storeDelta{Key: key}); err != nil {
+		return err
+	}
+	delete(s.data, key)
+	s.deltas++
+	return s.maybeCompactLocked()
+}
+
+// Get unmarshals the value at key into v; found is false when absent.
+func (s *Store) Get(key string, v any) (found bool, err error) {
+	s.mu.Lock()
+	raw, ok := s.data[key]
+	s.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	return true, json.Unmarshal(raw, v)
+}
+
+// Keys returns all keys (unordered).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Len returns the number of stored keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// ForEach calls fn with each key and raw value.
+func (s *Store) ForEach(fn func(key string, raw json.RawMessage) error) error {
+	s.mu.Lock()
+	snapshot := make(map[string]json.RawMessage, len(s.data))
+	for k, v := range s.data {
+		snapshot[k] = v
+	}
+	s.mu.Unlock()
+	for k, v := range snapshot {
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact writes a snapshot and truncates the journal.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) maybeCompactLocked() error {
+	if s.deltas < s.maxDelta {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	if err := SaveJSONAtomic(s.snapshotPath(), s.data); err != nil {
+		return err
+	}
+	if err := s.jn.Truncate(); err != nil {
+		return err
+	}
+	s.deltas = 0
+	return nil
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jn == nil {
+		return nil
+	}
+	err := s.jn.Close()
+	s.jn = nil
+	return err
+}

@@ -1,0 +1,287 @@
+package lrm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// waitState polls until the job reaches a terminal state or times out.
+func waitState(t *testing.T, c *Cluster, id string, want State) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() && st.State != want {
+			t.Fatalf("job %s reached %v, want %v (err=%q)", id, st.State, want, st.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %v", id, want)
+	return JobStatus{}
+}
+
+func TestSubmitRunComplete(t *testing.T) {
+	c, err := NewCluster(Config{Name: "pbs", Cpus: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ran := atomic.Bool{}
+	id, err := c.Submit(Job{Owner: "u", Run: func(context.Context) error {
+		ran.Store(true)
+		return nil
+	}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, c, id, Completed)
+	if !ran.Load() {
+		t.Fatal("payload did not run")
+	}
+	if st.Started.Before(st.Queued) || st.Finished.Before(st.Started) {
+		t.Fatalf("timestamps out of order: %+v", st)
+	}
+	if c.FreeCpus() != 2 {
+		t.Fatalf("free CPUs = %d after completion, want 2", c.FreeCpus())
+	}
+}
+
+func TestFailedJob(t *testing.T) {
+	c, _ := NewCluster(Config{Name: "x", Cpus: 1})
+	defer c.Close()
+	id, _ := c.Submit(Job{Run: func(context.Context) error { return errors.New("segfault") }}, 0)
+	st := waitState(t, c, id, Failed)
+	if st.Error != "segfault" {
+		t.Fatalf("error = %q", st.Error)
+	}
+}
+
+func TestWalltimeEnforced(t *testing.T) {
+	c, _ := NewCluster(Config{Name: "x", Cpus: 1})
+	defer c.Close()
+	id, _ := c.Submit(Job{
+		WallLimit: 20 * time.Millisecond,
+		Run: func(ctx context.Context) error {
+			<-ctx.Done()
+			return ctx.Err()
+		},
+	}, 0)
+	waitState(t, c, id, TimedOut)
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	c, _ := NewCluster(Config{Name: "x", Cpus: 1})
+	defer c.Close()
+	block := make(chan struct{})
+	running, _ := c.Submit(Job{Run: func(ctx context.Context) error {
+		close(block)
+		<-ctx.Done()
+		return ctx.Err()
+	}}, 0)
+	<-block
+	queued, _ := c.Submit(Job{Run: func(context.Context) error { return nil }}, 0)
+	if st, _ := c.Status(queued); st.State != Queued {
+		t.Fatalf("second job state = %v, want queued", st.State)
+	}
+	if err := c.Cancel(queued); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, queued, Cancelled)
+	if err := c.Cancel(running); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, running, Cancelled)
+	// Cancel after terminal is a no-op.
+	if err := c.Cancel(running); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel("nope"); err == nil {
+		t.Fatal("cancel of unknown job succeeded")
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	c, _ := NewCluster(Config{Name: "x", Cpus: 3})
+	defer c.Close()
+	var mu sync.Mutex
+	inFlight, maxInFlight := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		c.Submit(Job{Run: func(context.Context) error {
+			defer wg.Done()
+			mu.Lock()
+			inFlight++
+			if inFlight > maxInFlight {
+				maxInFlight = inFlight
+			}
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+			return nil
+		}}, 0)
+	}
+	wg.Wait()
+	if maxInFlight > 3 {
+		t.Fatalf("concurrency %d exceeded capacity 3", maxInFlight)
+	}
+}
+
+func TestOversizedJobRejected(t *testing.T) {
+	c, _ := NewCluster(Config{Name: "x", Cpus: 2})
+	defer c.Close()
+	if _, err := c.Submit(Job{Cpus: 3}, 0); err == nil {
+		t.Fatal("job larger than cluster accepted")
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	c, _ := NewCluster(Config{Name: "x", Cpus: 4})
+	defer c.Close()
+	block := make(chan struct{})
+	defer close(block)
+	if _, err := c.Submit(Job{ID: "j1", Run: func(context.Context) error { <-block; return nil }}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(Job{ID: "j1"}, 0); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	c, _ := NewCluster(Config{Name: "x", Cpus: 1})
+	c.Close()
+	if _, err := c.Submit(Job{}, 0); err == nil {
+		t.Fatal("submit after close succeeded")
+	}
+	c.Close() // idempotent
+}
+
+func TestStatusCallbackSequence(t *testing.T) {
+	var mu sync.Mutex
+	var states []State
+	done := make(chan struct{})
+	c, _ := NewCluster(Config{Name: "x", Cpus: 1, OnEvent: func(s JobStatus) {
+		mu.Lock()
+		states = append(states, s.State)
+		mu.Unlock()
+		if s.State.Terminal() {
+			close(done)
+		}
+	}})
+	defer c.Close()
+	c.Submit(Job{Run: func(context.Context) error { return nil }}, 0)
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	want := []State{Queued, Running, Completed}
+	if len(states) != 3 {
+		t.Fatalf("events = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("events = %v, want %v", states, want)
+		}
+	}
+}
+
+// --- policy unit tests (pure functions, no goroutines) ---
+
+func qj(id, owner string, cpus int) *QueuedJob {
+	return &QueuedJob{ID: id, Owner: owner, Cpus: cpus}
+}
+
+func ids(jobs []*QueuedJob) string {
+	s := ""
+	for i, j := range jobs {
+		if i > 0 {
+			s += ","
+		}
+		s += j.ID
+	}
+	return s
+}
+
+func TestFIFOHeadOfLineBlocking(t *testing.T) {
+	queue := []*QueuedJob{qj("a", "u", 4), qj("b", "u", 1)}
+	if got := ids(FIFO{}.Select(queue, 2, nil)); got != "" {
+		t.Fatalf("FIFO started %q past a blocked head", got)
+	}
+	if got := ids(FIFO{}.Select(queue, 5, nil)); got != "a,b" {
+		t.Fatalf("FIFO with room = %q, want a,b", got)
+	}
+}
+
+func TestBackfillJumpsBlockedHead(t *testing.T) {
+	queue := []*QueuedJob{qj("big", "u", 4), qj("small", "u", 1), qj("med", "u", 2)}
+	if got := ids(Backfill{}.Select(queue, 3, nil)); got != "small,med" {
+		t.Fatalf("backfill = %q, want small,med", got)
+	}
+}
+
+func TestFairShareBalancesOwners(t *testing.T) {
+	queue := []*QueuedJob{
+		qj("a1", "alice", 1), qj("a2", "alice", 1),
+		qj("b1", "bob", 1),
+	}
+	// Alice already has 2 running; Bob has 0 — Bob goes first.
+	got := FairShare{}.Select(queue, 2, []string{"alice", "alice"})
+	if ids(got) != "b1,a1" {
+		t.Fatalf("fairshare = %q, want b1,a1", ids(got))
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"", "fifo", "backfill", "fairshare"} {
+		if _, err := PolicyByName(name); err != nil {
+			t.Fatalf("PolicyByName(%q): %v", name, err)
+		}
+	}
+	if _, err := PolicyByName("lottery"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// Property: no policy ever over-commits CPUs or schedules a job twice.
+func TestQuickPoliciesNeverOvercommit(t *testing.T) {
+	policies := []Policy{FIFO{}, Backfill{}, FairShare{}}
+	f := func(sizes []uint8, free uint8) bool {
+		var queue []*QueuedJob
+		for i, s := range sizes {
+			queue = append(queue, qj(fmt.Sprintf("j%d", i), fmt.Sprintf("u%d", i%3), int(s%8)+1))
+		}
+		for _, p := range policies {
+			picks := p.Select(queue, int(free%32), nil)
+			total := 0
+			seen := map[string]bool{}
+			for _, j := range picks {
+				if seen[j.ID] {
+					return false
+				}
+				seen[j.ID] = true
+				total += j.Cpus
+			}
+			if total > int(free%32) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

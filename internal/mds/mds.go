@@ -1,0 +1,234 @@
+// Package mds implements the MDS-2 information service of §3.3. Resources
+// announce themselves with the Grid Resource Registration Protocol (GRRP):
+// a soft-state registration carrying a ClassAd that expires unless renewed.
+// Consumers discover resources with the Grid Resource Information Protocol
+// (GRIP): a query whose constraint is a ClassAd expression evaluated
+// against each registered ad. The aggregate directory (GIIS) is what the
+// Condor-G personal broker of §4.4 queries to build candidate resource
+// lists.
+package mds
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"condorg/internal/classad"
+	"condorg/internal/gsi"
+	"condorg/internal/wire"
+)
+
+// ServiceName is the wire service name for GIIS servers.
+const ServiceName = "mds"
+
+// DefaultTTL is the registration lifetime when the registrant does not
+// choose one.
+const DefaultTTL = 2 * time.Minute
+
+// Server is a GIIS: an aggregate directory of resource ads.
+type Server struct {
+	srv   *wire.Server
+	clock gsi.Clock
+	mu    sync.Mutex
+	ads   map[string]*entry // keyed by ad Name
+}
+
+type entry struct {
+	ad      *classad.Ad
+	expires time.Time
+	owner   string // authenticated subject that registered it
+}
+
+// ServerOptions configures a GIIS server.
+type ServerOptions struct {
+	Anchor *gsi.Certificate
+	Clock  gsi.Clock
+	Faults *wire.Faults
+	// Addr pins the listen address; empty selects a fresh loopback port.
+	Addr string
+}
+
+// NewServer starts a GIIS on a fresh loopback port.
+func NewServer(opts ServerOptions) (*Server, error) {
+	if opts.Clock == nil {
+		opts.Clock = gsi.WallClock
+	}
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	ws, err := wire.NewServerAddr(opts.Addr, wire.ServerConfig{
+		Name:   ServiceName,
+		Anchor: opts.Anchor,
+		Clock:  opts.Clock,
+		Faults: opts.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: ws, clock: opts.Clock, ads: make(map[string]*entry)}
+	ws.Handle("mds.register", s.handleRegister)
+	ws.Handle("mds.unregister", s.handleUnregister)
+	ws.Handle("mds.query", s.handleQuery)
+	ws.Handle("mds.ping", func(string, json.RawMessage) (any, error) { return struct{}{}, nil })
+	return s, nil
+}
+
+// Addr returns host:port.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Len returns the number of live registrations.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	return len(s.ads)
+}
+
+func (s *Server) expireLocked() {
+	now := s.clock()
+	for name, e := range s.ads {
+		if now.After(e.expires) {
+			delete(s.ads, name)
+		}
+	}
+}
+
+type registerReq struct {
+	Ad         *classad.Ad `json:"ad"`
+	TTLSeconds int         `json:"ttl_seconds"`
+}
+
+func (s *Server) handleRegister(peer string, body json.RawMessage) (any, error) {
+	var req registerReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if req.Ad == nil {
+		return nil, fmt.Errorf("mds: register without ad")
+	}
+	name := req.Ad.EvalString("Name", "")
+	if name == "" {
+		return nil, fmt.Errorf("mds: registered ad must carry a Name attribute")
+	}
+	ttl := DefaultTTL
+	if req.TTLSeconds > 0 {
+		ttl = time.Duration(req.TTLSeconds) * time.Second
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	s.ads[name] = &entry{ad: req.Ad, expires: s.clock().Add(ttl), owner: peer}
+	return struct{}{}, nil
+}
+
+type unregisterReq struct {
+	Name string `json:"name"`
+}
+
+func (s *Server) handleUnregister(peer string, body json.RawMessage) (any, error) {
+	var req unregisterReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.ads[req.Name]; ok {
+		// Only the registrant (or an unauthenticated directory) may
+		// remove an entry.
+		if e.owner != "" && e.owner != peer {
+			return nil, fmt.Errorf("mds: %s registered by %s, not %s", req.Name, e.owner, peer)
+		}
+		delete(s.ads, req.Name)
+	}
+	return struct{}{}, nil
+}
+
+type queryReq struct {
+	Constraint string `json:"constraint"` // ClassAd expression; empty = all
+}
+
+type queryResp struct {
+	Ads []*classad.Ad `json:"ads"`
+}
+
+func (s *Server) handleQuery(_ string, body json.RawMessage) (any, error) {
+	var req queryReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	var constraint classad.Expr
+	if req.Constraint != "" {
+		var err error
+		constraint, err = classad.ParseExpr(req.Constraint)
+		if err != nil {
+			return nil, fmt.Errorf("mds: bad constraint: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.expireLocked()
+	names := make([]string, 0, len(s.ads))
+	for name := range s.ads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []*classad.Ad
+	for _, name := range names {
+		ad := s.ads[name].ad
+		if constraint != nil {
+			v := constraint.Eval(&classad.EvalContext{Self: ad})
+			if !v.IsTrue() {
+				continue
+			}
+		}
+		out = append(out, ad)
+	}
+	s.mu.Unlock()
+	return queryResp{Ads: out}, nil
+}
+
+// Client registers with and queries a GIIS.
+type Client struct {
+	wc *wire.Client
+}
+
+// NewClient connects to the GIIS at addr.
+func NewClient(addr string, cred *gsi.Credential, clock gsi.Clock) *Client {
+	return &Client{wc: wire.Dial(addr, wire.ClientConfig{
+		ServerName: ServiceName,
+		Credential: cred,
+		Clock:      clock,
+		Timeout:    3 * time.Second,
+	})}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.wc.Close() }
+
+// Register announces ad for ttl (GRRP). Re-register before expiry to stay
+// in the directory.
+func (c *Client) Register(ad *classad.Ad, ttl time.Duration) error {
+	return c.wc.Call("mds.register", registerReq{Ad: ad, TTLSeconds: int(ttl / time.Second)}, nil)
+}
+
+// Unregister withdraws the named registration.
+func (c *Client) Unregister(name string) error {
+	return c.wc.Call("mds.unregister", unregisterReq{Name: name}, nil)
+}
+
+// Query returns all ads matching the constraint expression (GRIP). An empty
+// constraint returns everything.
+func (c *Client) Query(constraint string) ([]*classad.Ad, error) {
+	var resp queryResp
+	if err := c.wc.Call("mds.query", queryReq{Constraint: constraint}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Ads, nil
+}
+
+// Ping checks directory liveness.
+func (c *Client) Ping() error { return c.wc.Ping("mds.ping") }

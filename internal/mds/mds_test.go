@@ -1,0 +1,198 @@
+package mds
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"condorg/internal/classad"
+	"condorg/internal/gsi"
+)
+
+// fakeClock is a mutable clock for soft-state expiry tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func resourceAd(name string, cpus int64, arch string) *classad.Ad {
+	ad := classad.New()
+	ad.SetString("Name", name)
+	ad.SetString("MyType", "Resource")
+	ad.SetInt("Cpus", cpus)
+	ad.SetString("Arch", arch)
+	return ad
+}
+
+func newGIIS(t *testing.T, clock gsi.Clock) (*Server, *Client) {
+	t.Helper()
+	s, err := NewServer(ServerOptions{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c := NewClient(s.Addr(), nil, clock)
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func TestRegisterAndQueryAll(t *testing.T) {
+	_, c := newGIIS(t, nil)
+	if err := c.Register(resourceAd("wisc-pool", 300, "x86_64"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(resourceAd("anl-cluster", 64, "x86_64"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	ads, err := c.Query("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ads) != 2 {
+		t.Fatalf("query all = %d ads, want 2", len(ads))
+	}
+	// Deterministic (sorted) order.
+	if ads[0].EvalString("Name", "") != "anl-cluster" {
+		t.Fatalf("order[0] = %s", ads[0].EvalString("Name", ""))
+	}
+}
+
+func TestConstraintQuery(t *testing.T) {
+	_, c := newGIIS(t, nil)
+	c.Register(resourceAd("big", 1000, "x86_64"), time.Minute)
+	c.Register(resourceAd("small", 8, "x86_64"), time.Minute)
+	c.Register(resourceAd("sparc", 500, "sparc"), time.Minute)
+	ads, err := c.Query(`Cpus > 100 && Arch == "x86_64"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ads) != 1 || ads[0].EvalString("Name", "") != "big" {
+		t.Fatalf("constraint query = %v", names(ads))
+	}
+	if _, err := c.Query("not a valid ((("); err == nil {
+		t.Fatal("bad constraint accepted")
+	}
+}
+
+func names(ads []*classad.Ad) []string {
+	var out []string
+	for _, ad := range ads {
+		out = append(out, ad.EvalString("Name", ""))
+	}
+	return out
+}
+
+func TestReRegisterReplaces(t *testing.T) {
+	s, c := newGIIS(t, nil)
+	c.Register(resourceAd("pool", 10, "x86_64"), time.Minute)
+	c.Register(resourceAd("pool", 99, "x86_64"), time.Minute)
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1 after re-register", s.Len())
+	}
+	ads, _ := c.Query("")
+	if got := ads[0].EvalInt("Cpus", 0); got != 99 {
+		t.Fatalf("Cpus = %d, want replacement value 99", got)
+	}
+}
+
+func TestSoftStateExpiry(t *testing.T) {
+	clk := &fakeClock{now: time.Date(2001, 8, 6, 0, 0, 0, 0, time.UTC)}
+	s, c := newGIIS(t, clk.Now)
+	c.Register(resourceAd("ephemeral", 4, "x86_64"), 30*time.Second)
+	c.Register(resourceAd("longlived", 4, "x86_64"), 10*time.Minute)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	clk.Advance(time.Minute)
+	ads, _ := c.Query("")
+	if len(ads) != 1 || ads[0].EvalString("Name", "") != "longlived" {
+		t.Fatalf("after expiry: %v", names(ads))
+	}
+	// Renewal resets the clock.
+	c.Register(resourceAd("longlived", 4, "x86_64"), 10*time.Minute)
+	clk.Advance(9 * time.Minute)
+	if s.Len() != 1 {
+		t.Fatalf("renewed ad expired prematurely")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	s, c := newGIIS(t, nil)
+	c.Register(resourceAd("gone", 4, "x86_64"), time.Minute)
+	if err := c.Unregister("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("unregister left the ad behind")
+	}
+	// Unregistering a missing name is not an error (idempotent).
+	if err := c.Unregister("gone"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterRequiresName(t *testing.T) {
+	_, c := newGIIS(t, nil)
+	ad := classad.New()
+	ad.SetInt("Cpus", 4)
+	if err := c.Register(ad, time.Minute); err == nil {
+		t.Fatal("nameless ad registered")
+	}
+}
+
+func TestOwnershipEnforcedWhenAuthenticated(t *testing.T) {
+	now := time.Now()
+	ca, _ := gsi.NewCA("/O=Grid/CN=CA", now, 24*time.Hour)
+	s, err := NewServer(ServerOptions{Anchor: ca.Certificate()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	alice, _ := ca.IssueUser("/O=Grid/CN=alice", now, time.Hour)
+	bob, _ := ca.IssueUser("/O=Grid/CN=bob", now, time.Hour)
+	ac := NewClient(s.Addr(), alice, nil)
+	defer ac.Close()
+	bc := NewClient(s.Addr(), bob, nil)
+	defer bc.Close()
+	if err := ac.Register(resourceAd("alices-pool", 10, "x86_64"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Unregister("alices-pool"); err == nil {
+		t.Fatal("bob unregistered alice's resource")
+	}
+	if err := ac.Unregister("alices-pool"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGRRPKeepAliveLoop(t *testing.T) {
+	// A resource that renews every tick survives; one that stops renewing
+	// falls out — GRRP soft state end to end.
+	clk := &fakeClock{now: time.Date(2001, 8, 6, 0, 0, 0, 0, time.UTC)}
+	s, c := newGIIS(t, clk.Now)
+	for i := 0; i < 5; i++ {
+		if err := c.Register(resourceAd("renewer", 1, "x86_64"), 20*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(15 * time.Second)
+	}
+	if s.Len() != 1 {
+		t.Fatal("renewing resource dropped")
+	}
+	clk.Advance(30 * time.Second)
+	if s.Len() != 0 {
+		t.Fatal("silent resource survived past TTL")
+	}
+}

@@ -1,0 +1,82 @@
+package mw
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func nil2ctx() context.Context { return context.Background() }
+
+func benchMatrix(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = float64(rng.Intn(100))
+		}
+	}
+	return m
+}
+
+// BenchmarkSolveLAP measures the paper's inner loop: the campaign solved
+// "over 540 billion Linear Assignment Problems".
+func BenchmarkSolveLAP(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		cost := benchMatrix(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveLAP(cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQAPSolve(b *testing.B) {
+	for _, n := range []int{6, 7, 8} {
+		q := &QAP{Flow: benchMatrix(n), Dist: benchMatrix(n)}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var laps int64
+			for i := 0; i < b.N; i++ {
+				sol, err := q.Solve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				laps = sol.LAPsSolved
+			}
+			b.ReportMetric(float64(laps), "laps/solve")
+		})
+	}
+}
+
+func BenchmarkQAPBound(b *testing.B) {
+	q := &QAP{Flow: benchMatrix(10), Dist: benchMatrix(10)}
+	prefix := []int{3, 7}
+	var laps int64
+	for i := 0; i < b.N; i++ {
+		if bound := q.glBound(prefix, &laps); math.IsNaN(bound) {
+			b.Fatal("NaN bound")
+		}
+	}
+}
+
+func BenchmarkMasterFetchReport(b *testing.B) {
+	m, err := NewMaster(MasterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < b.N; i++ {
+		m.AddTask(sqTask{X: i})
+	}
+	b.ResetTimer()
+	done, err := RunWorker(nil2ctx(), m.Addr(), "bench", squareWorker)
+	if err != nil || done != b.N {
+		b.Fatalf("done=%d err=%v", done, err)
+	}
+}

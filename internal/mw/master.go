@@ -1,0 +1,342 @@
+package mw
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"condorg/internal/gsi"
+	"condorg/internal/wire"
+)
+
+// MasterService is the wire service name for MW masters.
+const MasterService = "mw-master"
+
+// Task is a unit of work.
+type Task struct {
+	ID      int             `json:"id"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// TaskResult is a worker's answer.
+type TaskResult struct {
+	TaskID   int             `json:"task_id"`
+	WorkerID string          `json:"worker_id"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// Master coordinates a pool of workers over the wire protocol — §6.1's
+// Master-Worker pattern, where "each worker ... used Remote I/O services to
+// communicate with the Master". Tasks are leased: a worker that dies (or is
+// evicted with its GlideIn) forfeits its lease and the task is re-dispatched,
+// so the computation tolerates worker churn exactly as MW did on the Grid.
+type Master struct {
+	srv   *wire.Server
+	lease time.Duration
+
+	mu          sync.Mutex
+	queue       []Task
+	outstanding map[int]*leaseRec
+	done        map[int]TaskResult
+	total       int
+	shared      json.RawMessage // broadcast state (e.g. B&B incumbent)
+	sharedRev   int
+	workers     map[string]int // worker -> tasks completed
+	allDone     chan struct{}
+	closed      bool
+}
+
+type leaseRec struct {
+	task     Task
+	worker   string
+	deadline time.Time
+}
+
+// MasterOptions configures a master.
+type MasterOptions struct {
+	// Lease is how long a worker may hold a task before it is
+	// re-dispatched (default 2s; the QAP run used much longer).
+	Lease  time.Duration
+	Anchor *gsi.Certificate
+	Clock  gsi.Clock
+	Faults *wire.Faults
+}
+
+// NewMaster starts a master on a fresh loopback port.
+func NewMaster(opts MasterOptions) (*Master, error) {
+	if opts.Lease == 0 {
+		opts.Lease = 2 * time.Second
+	}
+	srv, err := wire.NewServer(wire.ServerConfig{
+		Name:   MasterService,
+		Anchor: opts.Anchor,
+		Clock:  opts.Clock,
+		Faults: opts.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Master{
+		srv:         srv,
+		lease:       opts.Lease,
+		outstanding: make(map[int]*leaseRec),
+		done:        make(map[int]TaskResult),
+		workers:     make(map[string]int),
+		allDone:     make(chan struct{}),
+	}
+	srv.Handle("mw.fetch", m.handleFetch)
+	srv.Handle("mw.result", m.handleResult)
+	srv.Handle("mw.shared", m.handleShared)
+	return m, nil
+}
+
+// Addr returns the master's contact address.
+func (m *Master) Addr() string { return m.srv.Addr() }
+
+// Close stops the master.
+func (m *Master) Close() error { return m.srv.Close() }
+
+// AddTask enqueues work. payload is marshalled to JSON.
+func (m *Master) AddTask(payload any) (int, error) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, errors.New("mw: master closed")
+	}
+	m.total++
+	id := m.total
+	m.queue = append(m.queue, Task{ID: id, Payload: data})
+	return id, nil
+}
+
+// SetShared replaces the broadcast state (workers see it on every fetch and
+// result exchange). Used for the B&B incumbent.
+func (m *Master) SetShared(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shared = data
+	m.sharedRev++
+	return nil
+}
+
+// Shared unmarshals the broadcast state into v; false when unset.
+func (m *Master) Shared(v any) (bool, error) {
+	m.mu.Lock()
+	data := m.shared
+	m.mu.Unlock()
+	if data == nil {
+		return false, nil
+	}
+	return true, json.Unmarshal(data, v)
+}
+
+// expireLeases requeues tasks whose workers went silent. Caller holds m.mu.
+func (m *Master) expireLeasesLocked() {
+	now := time.Now()
+	for id, rec := range m.outstanding {
+		if now.After(rec.deadline) {
+			delete(m.outstanding, id)
+			m.queue = append(m.queue, rec.task)
+		}
+	}
+}
+
+type fetchReq struct {
+	WorkerID string `json:"worker_id"`
+}
+
+type fetchResp struct {
+	Task    *Task           `json:"task,omitempty"`
+	Shared  json.RawMessage `json:"shared,omitempty"`
+	AllDone bool            `json:"all_done"`
+}
+
+func (m *Master) handleFetch(_ string, body json.RawMessage) (any, error) {
+	var req fetchReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLeasesLocked()
+	resp := fetchResp{Shared: m.shared}
+	if len(m.queue) == 0 {
+		resp.AllDone = len(m.outstanding) == 0 && m.total == len(m.done)
+		return resp, nil
+	}
+	task := m.queue[0]
+	m.queue = m.queue[1:]
+	m.outstanding[task.ID] = &leaseRec{task: task, worker: req.WorkerID, deadline: time.Now().Add(m.lease)}
+	resp.Task = &task
+	return resp, nil
+}
+
+type resultReq struct {
+	Result TaskResult      `json:"result"`
+	Shared json.RawMessage `json:"shared,omitempty"` // optional worker update
+}
+
+type resultResp struct {
+	Shared json.RawMessage `json:"shared,omitempty"`
+}
+
+func (m *Master) handleResult(_ string, body json.RawMessage) (any, error) {
+	var req resultReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := req.Result.TaskID
+	if _, already := m.done[id]; !already {
+		if _, leased := m.outstanding[id]; !leased {
+			// Result for a task we re-dispatched after its lease
+			// expired, or a duplicate: first result wins; this one is
+			// recorded only if the task is not yet done.
+			// Remove any requeued copy so it does not run again.
+			for i, t := range m.queue {
+				if t.ID == id {
+					m.queue = append(m.queue[:i], m.queue[i+1:]...)
+					break
+				}
+			}
+		}
+		delete(m.outstanding, id)
+		m.done[id] = req.Result
+		m.workers[req.Result.WorkerID]++
+		if len(m.done) == m.total {
+			close(m.allDone)
+		}
+	}
+	if req.Shared != nil {
+		// Worker-proposed shared update (e.g. a better incumbent);
+		// accepted via the application's reducer on the master side is
+		// modeled simply: last write wins, masters needing smarter
+		// merges call SetShared from the Results loop.
+		m.shared = req.Shared
+		m.sharedRev++
+	}
+	return resultResp{Shared: m.shared}, nil
+}
+
+func (m *Master) handleShared(_ string, _ json.RawMessage) (any, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return resultResp{Shared: m.shared}, nil
+}
+
+// Wait blocks until every task has a result or ctx expires.
+func (m *Master) Wait(ctx context.Context) error {
+	m.mu.Lock()
+	if m.total == 0 {
+		m.mu.Unlock()
+		return nil
+	}
+	ch := m.allDone
+	m.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Results returns completed results keyed by task ID.
+func (m *Master) Results() map[int]TaskResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]TaskResult, len(m.done))
+	for k, v := range m.done {
+		out[k] = v
+	}
+	return out
+}
+
+// WorkerStats returns tasks completed per worker.
+func (m *Master) WorkerStats() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.workers))
+	for k, v := range m.workers {
+		out[k] = v
+	}
+	return out
+}
+
+// Progress returns (done, total).
+func (m *Master) Progress() (int, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.done), m.total
+}
+
+// WorkerFunc processes one task. shared is the broadcast state at fetch
+// time (nil if unset); the returned sharedUpdate (if non-nil) is pushed
+// back with the result.
+type WorkerFunc func(ctx context.Context, task Task, shared json.RawMessage) (result any, sharedUpdate any, err error)
+
+// RunWorker loops fetch→process→report against the master at addr until
+// the master reports all work done or ctx is cancelled. It returns the
+// number of tasks completed.
+func RunWorker(ctx context.Context, addr, workerID string, fn WorkerFunc) (int, error) {
+	wc := wire.Dial(addr, wire.ClientConfig{
+		ServerName: MasterService,
+		Timeout:    2 * time.Second,
+		Retries:    2,
+	})
+	defer wc.Close()
+	completed := 0
+	for {
+		if ctx.Err() != nil {
+			return completed, ctx.Err()
+		}
+		var resp fetchResp
+		if err := wc.Call("mw.fetch", fetchReq{WorkerID: workerID}, &resp); err != nil {
+			return completed, fmt.Errorf("mw: fetch: %w", err)
+		}
+		if resp.Task == nil {
+			if resp.AllDone {
+				return completed, nil
+			}
+			// Outstanding leases elsewhere: back off briefly.
+			select {
+			case <-ctx.Done():
+				return completed, ctx.Err()
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		result, sharedUpdate, err := fn(ctx, *resp.Task, resp.Shared)
+		if err != nil {
+			// Worker-side task failure: drop the lease (it will
+			// expire and be retried, possibly elsewhere).
+			continue
+		}
+		resData, err := json.Marshal(result)
+		if err != nil {
+			return completed, err
+		}
+		req := resultReq{Result: TaskResult{TaskID: resp.Task.ID, WorkerID: workerID, Payload: resData}}
+		if sharedUpdate != nil {
+			if data, err := json.Marshal(sharedUpdate); err == nil {
+				req.Shared = data
+			}
+		}
+		if err := wc.Call("mw.result", req, nil); err != nil {
+			return completed, fmt.Errorf("mw: report: %w", err)
+		}
+		completed++
+	}
+}

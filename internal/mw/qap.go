@@ -1,0 +1,257 @@
+package mw
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// QAP is a Quadratic Assignment Problem instance: assign n facilities to n
+// locations minimizing sum_{i,j} Flow[i][j] * Dist[perm[i]][perm[j]].
+type QAP struct {
+	Flow [][]float64 `json:"flow"`
+	Dist [][]float64 `json:"dist"`
+}
+
+// N returns the instance size.
+func (q *QAP) N() int { return len(q.Flow) }
+
+// Validate checks the instance shape.
+func (q *QAP) Validate() error {
+	n := len(q.Flow)
+	if n == 0 || len(q.Dist) != n {
+		return fmt.Errorf("mw: QAP needs square Flow and Dist of equal size")
+	}
+	for i := 0; i < n; i++ {
+		if len(q.Flow[i]) != n || len(q.Dist[i]) != n {
+			return fmt.Errorf("mw: QAP row %d malformed", i)
+		}
+	}
+	return nil
+}
+
+// Objective evaluates a complete permutation.
+func (q *QAP) Objective(perm []int) float64 {
+	total := 0.0
+	for i := range perm {
+		for j := range perm {
+			total += q.Flow[i][j] * q.Dist[perm[i]][perm[j]]
+		}
+	}
+	return total
+}
+
+// QAPSolution is the result of a (sub)tree search.
+type QAPSolution struct {
+	Perm       []int   `json:"perm"`
+	Cost       float64 `json:"cost"`
+	NodesSeen  int64   `json:"nodes_seen"`
+	LAPsSolved int64   `json:"laps_solved"`
+}
+
+// glBound computes a Gilmore-Lawler-style lower bound for the partial
+// assignment prefix (facility i -> prefix[i]): the fixed-fixed interaction
+// cost plus a LAP over composite costs of assigning each remaining facility
+// to each remaining location. laps counts LAP solves (the paper's headline
+// statistic).
+func (q *QAP) glBound(prefix []int, laps *int64) float64 {
+	n := q.N()
+	k := len(prefix)
+	usedLoc := make([]bool, n)
+	for _, loc := range prefix {
+		usedLoc[loc] = true
+	}
+	// Fixed-fixed cost.
+	fixed := 0.0
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			fixed += q.Flow[i][j] * q.Dist[prefix[i]][prefix[j]]
+		}
+	}
+	if k == n {
+		return fixed
+	}
+	// Remaining facilities and locations.
+	var remFac, remLoc []int
+	for f := k; f < n; f++ {
+		remFac = append(remFac, f)
+	}
+	for l := 0; l < n; l++ {
+		if !usedLoc[l] {
+			remLoc = append(remLoc, l)
+		}
+	}
+	m := len(remFac)
+	costM := make([][]float64, m)
+	for a, f := range remFac {
+		costM[a] = make([]float64, m)
+		for b, l := range remLoc {
+			// Interaction with fixed facilities.
+			cc := 0.0
+			for i := 0; i < k; i++ {
+				cc += q.Flow[f][i]*q.Dist[l][prefix[i]] + q.Flow[i][f]*q.Dist[prefix[i]][l]
+			}
+			// Lower bound on interaction with other free facilities:
+			// match the sorted off-diagonal flows of f against the
+			// sorted off-diagonal distances of l in opposite order
+			// (the classical GL inner product bound).
+			cc += minDotProduct(q.flowRow(f, remFac), q.distRow(l, remLoc))
+			// Self interaction.
+			cc += q.Flow[f][f] * q.Dist[l][l]
+			costM[a][b] = cc
+		}
+	}
+	res, err := SolveLAP(costM)
+	if err != nil {
+		return fixed
+	}
+	atomic.AddInt64(laps, 1)
+	return fixed + res.Cost
+}
+
+// flowRow returns facility f's flows to the other free facilities, sorted
+// descending.
+func (q *QAP) flowRow(f int, remFac []int) []float64 {
+	var out []float64
+	for _, g := range remFac {
+		if g != f {
+			out = append(out, q.Flow[f][g])
+		}
+	}
+	sortDesc(out)
+	return out
+}
+
+// distRow returns location l's distances to the other free locations,
+// sorted ascending.
+func (q *QAP) distRow(l int, remLoc []int) []float64 {
+	var out []float64
+	for _, m := range remLoc {
+		if m != l {
+			out = append(out, q.Dist[l][m])
+		}
+	}
+	sortAsc(out)
+	return out
+}
+
+func sortAsc(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func sortDesc(a []float64) {
+	sortAsc(a)
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+// minDotProduct pairs descending a with ascending b — the minimum possible
+// inner product over permutations (rearrangement inequality).
+func minDotProduct(aDesc, bAsc []float64) float64 {
+	n := len(aDesc)
+	if len(bAsc) < n {
+		n = len(bAsc)
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += aDesc[i] * bAsc[i]
+	}
+	return total
+}
+
+// SolveSubtree runs branch and bound below the given prefix. incumbent is
+// the best known objective on entry (math.Inf(1) if none); the returned
+// solution carries the best complete permutation found in this subtree (nil
+// Perm when the subtree cannot beat the incumbent).
+func (q *QAP) SolveSubtree(prefix []int, incumbent float64) QAPSolution {
+	n := q.N()
+	sol := QAPSolution{Cost: incumbent}
+	var laps, nodes int64
+	usedLoc := make([]bool, n)
+	for _, l := range prefix {
+		usedLoc[l] = true
+	}
+	cur := append([]int(nil), prefix...)
+	var dfs func()
+	dfs = func() {
+		nodes++
+		k := len(cur)
+		if k == n {
+			c := q.Objective(cur)
+			if c < sol.Cost {
+				sol.Cost = c
+				sol.Perm = append([]int(nil), cur...)
+			}
+			return
+		}
+		if bound := q.glBound(cur, &laps); bound >= sol.Cost {
+			return // prune
+		}
+		for l := 0; l < n; l++ {
+			if usedLoc[l] {
+				continue
+			}
+			usedLoc[l] = true
+			cur = append(cur, l)
+			dfs()
+			cur = cur[:k]
+			usedLoc[l] = false
+		}
+	}
+	dfs()
+	sol.NodesSeen = nodes
+	sol.LAPsSolved = laps
+	return sol
+}
+
+// Solve runs exact branch and bound from the root.
+func (q *QAP) Solve() (QAPSolution, error) {
+	if err := q.Validate(); err != nil {
+		return QAPSolution{}, err
+	}
+	return q.SolveSubtree(nil, math.Inf(1)), nil
+}
+
+// RootTasks splits the search tree into per-first-location subtrees — the
+// decomposition the Master hands to Workers.
+func (q *QAP) RootTasks() [][]int {
+	n := q.N()
+	tasks := make([][]int, n)
+	for l := 0; l < n; l++ {
+		tasks[l] = []int{l}
+	}
+	return tasks
+}
+
+// qapBruteForce is the oracle for tests.
+func qapBruteForce(q *QAP) float64 {
+	n := q.N()
+	perm := make([]int, 0, n)
+	used := make([]bool, n)
+	best := math.Inf(1)
+	var rec func()
+	rec = func() {
+		if len(perm) == n {
+			if c := q.Objective(perm); c < best {
+				best = c
+			}
+			return
+		}
+		for l := 0; l < n; l++ {
+			if !used[l] {
+				used[l] = true
+				perm = append(perm, l)
+				rec()
+				perm = perm[:len(perm)-1]
+				used[l] = false
+			}
+		}
+	}
+	rec()
+	return best
+}

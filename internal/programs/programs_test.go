@@ -1,0 +1,102 @@
+package programs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"condorg/internal/gram"
+)
+
+func run(t *testing.T, name string, args []string, stdin []byte, env map[string]string) (string, string, error) {
+	t.Helper()
+	rt := NewRuntime()
+	var stdout, stderr bytes.Buffer
+	err := rt.Run(context.Background(), gram.Program(name), args, stdin, &stdout, &stderr, env)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestEcho(t *testing.T) {
+	out, _, err := run(t, "echo", []string{"hello", "grid"}, nil, nil)
+	if err != nil || out != "hello grid\n" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+}
+
+func TestCat(t *testing.T) {
+	out, _, err := run(t, "cat", nil, []byte("stdin data"), nil)
+	if err != nil || out != "stdin data" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+}
+
+func TestSleep(t *testing.T) {
+	start := time.Now()
+	out, _, err := run(t, "sleep", []string{"20ms"}, nil, nil)
+	if err != nil || !strings.Contains(out, "slept") {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("sleep returned early")
+	}
+	if _, _, err := run(t, "sleep", []string{"not-a-duration"}, nil, nil); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}
+
+func TestSleepCancellation(t *testing.T) {
+	rt := NewRuntime()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	var stdout, stderr bytes.Buffer
+	err := rt.Run(ctx, gram.Program("sleep"), []string{"10s"}, nil, &stdout, &stderr, nil)
+	if err == nil {
+		t.Fatal("cancelled sleep returned nil")
+	}
+}
+
+func TestEnv(t *testing.T) {
+	out, _, err := run(t, "env", nil, nil, map[string]string{"B": "2", "A": "1"})
+	if err != nil || out != "A=1\nB=2\n" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+}
+
+func TestFail(t *testing.T) {
+	_, stderr, err := run(t, "fail", []string{"custom", "reason"}, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "custom reason") {
+		t.Fatalf("err=%v", err)
+	}
+	if !strings.Contains(stderr, "custom reason") {
+		t.Fatalf("stderr=%q", stderr)
+	}
+}
+
+func TestPi(t *testing.T) {
+	out, _, err := run(t, "pi", []string{"200000"}, nil, nil)
+	if err != nil || !strings.Contains(out, "3.1415") {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+	if _, _, err := run(t, "pi", []string{"-3"}, nil, nil); err == nil {
+		t.Fatal("negative terms accepted")
+	}
+}
+
+func TestWordcount(t *testing.T) {
+	out, _, err := run(t, "wordcount", nil, []byte("one two\nthree\n"), nil)
+	if err != nil || out != "2 3 14\n" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+}
+
+func TestBurn(t *testing.T) {
+	out, _, err := run(t, "burn", []string{"10ms"}, nil, nil)
+	if err != nil || !strings.Contains(out, "burned") {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+	if _, _, err := run(t, "burn", []string{"bogus"}, nil, nil); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}

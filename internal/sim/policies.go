@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"condorg/internal/events"
+)
+
+// SiteChooser picks a site for each job — the simulated counterparts of the
+// §4.4 brokering strategies.
+type SiteChooser interface {
+	Choose(sites []*Site) *Site
+}
+
+// FirstSite always uses sites[0]: the "user-supplied list" of one.
+type FirstSite struct{}
+
+// Choose implements SiteChooser.
+func (FirstSite) Choose(sites []*Site) *Site { return sites[0] }
+
+// RoundRobin rotates through the list.
+type RoundRobin struct{ next int }
+
+// Choose implements SiteChooser.
+func (r *RoundRobin) Choose(sites []*Site) *Site {
+	s := sites[r.next%len(sites)]
+	r.next++
+	return s
+}
+
+// ShortestQueue picks the site with the fewest waiting jobs (an MDS-informed
+// broker: queue depth is exactly what the Reporter publishes).
+type ShortestQueue struct{}
+
+// Choose implements SiteChooser.
+func (ShortestQueue) Choose(sites []*Site) *Site {
+	best := sites[0]
+	for _, s := range sites[1:] {
+		if s.QueueDepth() < best.QueueDepth() ||
+			(s.QueueDepth() == best.QueueDepth() && s.FreeCpus() > best.FreeCpus()) {
+			best = s
+		}
+	}
+	return best
+}
+
+// AdaptiveWait learns per-site queue waits from observations (the §4.4
+// high-throughput strategy: "monitoring of actual queuing and execution
+// times allows for the tuning of where to submit subsequent jobs").
+type AdaptiveWait struct {
+	stats map[string]*waitStats
+}
+
+type waitStats struct {
+	samples  int
+	total    time.Duration
+	inFlight int
+}
+
+// NewAdaptiveWait creates the learner.
+func NewAdaptiveWait() *AdaptiveWait {
+	return &AdaptiveWait{stats: make(map[string]*waitStats)}
+}
+
+func (a *AdaptiveWait) stat(name string) *waitStats {
+	st, ok := a.stats[name]
+	if !ok {
+		st = &waitStats{}
+		a.stats[name] = st
+	}
+	return st
+}
+
+// Choose implements SiteChooser.
+func (a *AdaptiveWait) Choose(sites []*Site) *Site {
+	var best *Site
+	bestScore := 0.0
+	for _, s := range sites {
+		st := a.stat(s.Name)
+		avg := float64(time.Second)
+		if st.samples > 0 {
+			avg += float64(st.total) / float64(st.samples)
+		}
+		score := avg * float64(1+st.inFlight)
+		if best == nil || score < bestScore {
+			best, bestScore = s, score
+		}
+	}
+	a.stat(best.Name).inFlight++
+	return best
+}
+
+// Observe feeds back an observed queue wait.
+func (a *AdaptiveWait) Observe(site string, wait time.Duration) {
+	st := a.stat(site)
+	if st.inFlight > 0 {
+		st.inFlight--
+	}
+	st.samples++
+	st.total += wait
+}
+
+// DirectSubmit runs a workload by committing each job to one site's queue
+// at submission time — early binding. Completed-job stats flow into m.
+func DirectSubmit(eng *events.Engine, sites []*Site, chooser SiteChooser, jobs []JobSpec, m *Metrics) {
+	adaptive, _ := chooser.(*AdaptiveWait)
+	for _, spec := range jobs {
+		spec := spec
+		site := chooser.Choose(sites)
+		site.Submit(spec,
+			func(st JobStats) {
+				m.OnStart(st)
+				if adaptive != nil {
+					adaptive.Observe(st.Site, st.QueueWait())
+				}
+			},
+			m.OnDone)
+	}
+}
+
+// GlideinPool models §5's delayed binding: pilots are submitted to sites;
+// when a pilot starts it becomes a slot in the user's personal pool; user
+// jobs bind to whichever slot frees up first. Slots retire at lease expiry
+// or after an idle timeout — the runaway-daemon guard.
+type GlideinPool struct {
+	eng   *events.Engine
+	queue []*poolJob
+	m     *Metrics
+
+	PilotsStarted int
+	PilotsRetired int
+	Migrations    int                      // checkpointed cross-slot moves
+	SlotBusy      map[string]time.Duration // per-slot busy time
+	SlotAlive     map[string]time.Duration // per-slot lifetime
+}
+
+type poolJob struct {
+	spec   JobSpec
+	submit time.Duration
+	// started records the FIRST slice's start, so queue-wait statistics
+	// measure submission-to-first-execution even when the job migrates
+	// across slots via checkpoints.
+	started  time.Duration
+	everRan  bool
+	migrated int
+}
+
+// NewGlideinPool creates an empty personal pool.
+func NewGlideinPool(eng *events.Engine, m *Metrics) *GlideinPool {
+	return &GlideinPool{
+		eng:       eng,
+		m:         m,
+		SlotBusy:  make(map[string]time.Duration),
+		SlotAlive: make(map[string]time.Duration),
+	}
+}
+
+// AddJob queues a user job in the personal pool.
+func (p *GlideinPool) AddJob(spec JobSpec) {
+	p.queue = append(p.queue, &poolJob{spec: spec, submit: p.eng.Now()})
+}
+
+// QueueLen returns waiting user jobs.
+func (p *GlideinPool) QueueLen() int { return len(p.queue) }
+
+// SubmitPilots floods n single-CPU pilots to each site with the given lease
+// and idle timeout. Pilot queue wait is governed by the site's own policy
+// and background load — exactly like any other site job.
+func (p *GlideinPool) SubmitPilots(site *Site, n int, lease, idleTimeout time.Duration) {
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("pilot-%s-%d-%d", site.Name, p.eng.Now()/time.Second, i)
+		p.submitPilot(site, name, lease, idleTimeout)
+	}
+}
+
+func (p *GlideinPool) submitPilot(site *Site, name string, lease, idleTimeout time.Duration) {
+	site.Submit(JobSpec{
+		ID:       name,
+		Owner:    "glidein",
+		Cpus:     1,
+		Duration: lease, // the site sees a job that holds a CPU for the lease
+		Estimate: lease,
+	}, func(st JobStats) {
+		// Pilot started: a slot joins the personal pool.
+		p.PilotsStarted++
+		p.runSlot(site, name, st.Start, lease, idleTimeout)
+	}, nil)
+}
+
+// runSlot executes queued user jobs on the slot until the lease ends or the
+// slot idles out.
+func (p *GlideinPool) runSlot(site *Site, name string, startedAt time.Duration, lease, idleTimeout time.Duration) {
+	leaseEnd := startedAt + lease
+	var next func()
+	var idleSince time.Duration
+	next = func() {
+		now := p.eng.Now()
+		if now >= leaseEnd {
+			p.retire(site, name, startedAt, now)
+			return
+		}
+		if len(p.queue) == 0 {
+			if idleTimeout > 0 && now-idleSince >= idleTimeout {
+				p.retire(site, name, startedAt, now)
+				return
+			}
+			wake := now + 10*time.Second
+			if wake > leaseEnd {
+				wake = leaseEnd
+			}
+			p.eng.At(wake, next)
+			return
+		}
+		job := p.queue[0]
+		p.queue = p.queue[1:]
+		remaining := leaseEnd - now
+		if !job.everRan {
+			job.everRan = true
+			job.started = now
+		}
+		if job.spec.Duration > remaining {
+			// Not enough lease left for the whole job: run a
+			// checkpointed slice to the lease boundary, then requeue
+			// the remainder for another slot — §5's "periodically
+			// checkpoints the job ... and migrates the job to another
+			// location ... when the remote allocation expires".
+			if remaining <= 0 {
+				p.queue = append(p.queue, job)
+				p.retire(site, name, startedAt, now)
+				return
+			}
+			p.m.OnSliceStart(1)
+			p.eng.After(remaining, func() {
+				p.m.OnSliceEnd(1, remaining)
+				p.SlotBusy[name] += remaining
+				job.spec.Duration -= remaining
+				job.migrated++
+				p.Migrations++
+				p.queue = append(p.queue, job)
+				p.retire(site, name, startedAt, p.eng.Now())
+			})
+			return
+		}
+		if job.migrated > 0 {
+			// Final slice of a migrated job: account the execution as
+			// a slice (only the remaining duration is CPU time) and
+			// record the job's lifecycle separately.
+			dur := job.spec.Duration
+			p.m.OnSliceStart(1)
+			p.eng.After(dur, func() {
+				p.m.OnSliceEnd(1, dur)
+				p.m.RecordJob(JobStats{
+					ID: job.spec.ID, Owner: job.spec.Owner, Site: name, Cpus: 1,
+					Submit: job.submit, Start: job.started, End: p.eng.Now(),
+				})
+				p.SlotBusy[name] += dur
+				idleSince = p.eng.Now()
+				next()
+			})
+			return
+		}
+		stats := JobStats{
+			ID: job.spec.ID, Owner: job.spec.Owner, Site: name, Cpus: 1,
+			Submit: job.submit, Start: job.started,
+		}
+		p.m.OnStart(stats)
+		p.eng.After(job.spec.Duration, func() {
+			stats.End = p.eng.Now()
+			p.m.OnDone(stats)
+			p.SlotBusy[name] += job.spec.Duration
+			idleSince = p.eng.Now()
+			next()
+		})
+	}
+	idleSince = startedAt
+	next()
+}
+
+// retire shuts the daemon down gracefully: the slot leaves the personal
+// pool AND its pilot job completes at the site, releasing the CPU (early
+// when before lease expiry).
+func (p *GlideinPool) retire(site *Site, name string, startedAt, now time.Duration) {
+	p.PilotsRetired++
+	p.SlotAlive[name] = now - startedAt
+	site.FinishEarly(name)
+}
+
+// WastedCPUSeconds totals slot-alive time not spent on user jobs — the
+// overhead the idle-timeout guard bounds (ablation A3).
+func (p *GlideinPool) WastedCPUSeconds() float64 {
+	var wasted float64
+	for name, alive := range p.SlotAlive {
+		wasted += (alive - p.SlotBusy[name]).Seconds()
+	}
+	return wasted
+}

@@ -1,0 +1,405 @@
+// Package sim is the discrete-event grid simulator behind the large-scale
+// reproductions of the paper's Section 6: a simulated week on ten sites and
+// 2,500 CPUs runs in milliseconds of wall time, deterministically from a
+// seed. Sites reuse the real scheduling policies from internal/lrm, so the
+// queueing behaviour under study is computed by the same code the live
+// Gatekeepers run.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"condorg/internal/events"
+	"condorg/internal/lrm"
+)
+
+// JobSpec describes a simulated job.
+type JobSpec struct {
+	ID       string
+	Owner    string
+	Cpus     int
+	Duration time.Duration // actual runtime
+	Estimate time.Duration // user estimate (for backfill)
+}
+
+// JobStats records one job's life in virtual time.
+type JobStats struct {
+	ID     string
+	Owner  string
+	Site   string
+	Cpus   int
+	Submit time.Duration
+	Start  time.Duration
+	End    time.Duration
+}
+
+// QueueWait is time spent waiting in the site queue.
+func (s JobStats) QueueWait() time.Duration { return s.Start - s.Submit }
+
+// RunTime is the execution time.
+func (s JobStats) RunTime() time.Duration { return s.End - s.Start }
+
+// Site is a simulated execution site with a fixed CPU count and a real LRM
+// policy.
+type Site struct {
+	Name   string
+	eng    *events.Engine
+	cpus   int
+	free   int
+	policy lrm.Policy
+
+	queue   []*lrm.QueuedJob
+	pending map[string]*simJob
+	running map[string]*simJob
+	owners  []string
+
+	busyIntegral float64       // cpu-seconds consumed
+	lastChange   time.Duration // for the utilization integral
+	serial       int
+	inSchedule   bool // guards against re-entrant scheduling
+	schedDirty   bool
+}
+
+type simJob struct {
+	spec     JobSpec
+	submit   time.Duration
+	onStart  func(stats JobStats)
+	onDone   func(stats JobStats)
+	stats    JobStats
+	finishEv *events.Event // pending completion, for early termination
+}
+
+// NewSite creates a site on the engine.
+func NewSite(eng *events.Engine, name string, cpus int, policy lrm.Policy) *Site {
+	if policy == nil {
+		policy = lrm.FIFO{}
+	}
+	return &Site{
+		Name:    name,
+		eng:     eng,
+		cpus:    cpus,
+		free:    cpus,
+		policy:  policy,
+		pending: make(map[string]*simJob),
+		running: make(map[string]*simJob),
+	}
+}
+
+// Cpus returns capacity; FreeCpus the idle count; QueueDepth waiting jobs.
+func (s *Site) Cpus() int       { return s.cpus }
+func (s *Site) FreeCpus() int   { return s.free }
+func (s *Site) QueueDepth() int { return len(s.queue) }
+
+// Utilization returns consumed CPU time / available CPU time up to now.
+func (s *Site) Utilization() float64 {
+	s.accrue()
+	elapsed := float64(s.eng.Now())
+	if elapsed == 0 {
+		return 0
+	}
+	return s.busyIntegral / (elapsed * float64(s.cpus))
+}
+
+func (s *Site) accrue() {
+	now := s.eng.Now()
+	busy := s.cpus - s.free
+	s.busyIntegral += float64(now-s.lastChange) * float64(busy)
+	s.lastChange = now
+}
+
+// Submit enqueues a job; callbacks fire at (virtual) start and end.
+func (s *Site) Submit(spec JobSpec, onStart, onDone func(JobStats)) {
+	if spec.Cpus <= 0 {
+		spec.Cpus = 1
+	}
+	if spec.Cpus > s.cpus {
+		panic(fmt.Sprintf("sim: job %s wants %d CPUs, site %s has %d", spec.ID, spec.Cpus, s.Name, s.cpus))
+	}
+	if spec.ID == "" {
+		s.serial++
+		spec.ID = fmt.Sprintf("%s.%d", s.Name, s.serial)
+	}
+	if spec.Estimate == 0 {
+		spec.Estimate = spec.Duration
+	}
+	job := &simJob{
+		spec:    spec,
+		submit:  s.eng.Now(),
+		onStart: onStart,
+		onDone:  onDone,
+		stats: JobStats{
+			ID: spec.ID, Owner: spec.Owner, Site: s.Name, Cpus: spec.Cpus, Submit: s.eng.Now(),
+		},
+	}
+	s.pending[spec.ID] = job
+	s.queue = append(s.queue, &lrm.QueuedJob{
+		ID: spec.ID, Owner: spec.Owner, Cpus: spec.Cpus, Estimate: spec.Estimate,
+	})
+	s.schedule()
+}
+
+// CancelQueued drops a still-queued job (used by migrating brokers);
+// it reports whether the job was found waiting.
+func (s *Site) CancelQueued(id string) bool {
+	for i, q := range s.queue {
+		if q.ID == id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			delete(s.pending, id)
+			return true
+		}
+	}
+	return false
+}
+
+// schedule starts policy-selected jobs. Job callbacks run synchronously and
+// may submit or finish other jobs on this site (GlideIn retirement does),
+// so re-entrant calls are deferred and replayed.
+func (s *Site) schedule() {
+	if s.inSchedule {
+		s.schedDirty = true
+		return
+	}
+	s.inSchedule = true
+	defer func() { s.inSchedule = false }()
+	for {
+		s.schedDirty = false
+		picks := s.policy.Select(s.queue, s.free, s.owners)
+		if len(picks) > 0 {
+			picked := make(map[string]bool, len(picks))
+			for _, p := range picks {
+				picked[p.ID] = true
+			}
+			// Detach the picked jobs from the queue BEFORE running any
+			// callbacks: a callback may submit new jobs to this queue.
+			var started []*simJob
+			var keep []*lrm.QueuedJob
+			for _, q := range s.queue {
+				if !picked[q.ID] {
+					keep = append(keep, q)
+					continue
+				}
+				started = append(started, s.pending[q.ID])
+				delete(s.pending, q.ID)
+			}
+			s.queue = keep
+			for _, job := range started {
+				s.start(job)
+			}
+		}
+		if !s.schedDirty {
+			return
+		}
+	}
+}
+
+func (s *Site) start(job *simJob) {
+	s.accrue()
+	s.free -= job.spec.Cpus
+	s.owners = append(s.owners, job.spec.Owner)
+	s.running[job.spec.ID] = job
+	now := s.eng.Now()
+	job.stats.Start = now
+	if job.onStart != nil {
+		job.onStart(job.stats)
+	}
+	job.finishEv = s.eng.After(job.spec.Duration, func() { s.finish(job) })
+}
+
+// FinishEarly completes a running job now — a GlideIn pilot retiring before
+// its lease expires releases its CPU back to the site. It reports whether
+// the job was running.
+func (s *Site) FinishEarly(id string) bool {
+	job, ok := s.running[id]
+	if !ok {
+		return false
+	}
+	if job.finishEv != nil {
+		job.finishEv.Cancel()
+	}
+	s.finish(job)
+	return true
+}
+
+func (s *Site) finish(job *simJob) {
+	s.accrue()
+	s.free += job.spec.Cpus
+	delete(s.running, job.spec.ID)
+	for i, o := range s.owners {
+		if o == job.spec.Owner {
+			s.owners = append(s.owners[:i], s.owners[i+1:]...)
+			break
+		}
+	}
+	job.stats.End = s.eng.Now()
+	if job.onDone != nil {
+		job.onDone(job.stats)
+	}
+	s.schedule()
+}
+
+// BackgroundLoad injects competing jobs from other users: a Poisson-ish
+// arrival process with exponential interarrivals and durations drawn from
+// the engine's deterministic RNG.
+type BackgroundLoad struct {
+	// MeanInterarrival between background submissions.
+	MeanInterarrival time.Duration
+	// MeanDuration of each background job.
+	MeanDuration time.Duration
+	// MaxCpus per background job (uniform 1..MaxCpus).
+	MaxCpus int
+	// Until stops the generator (0 = forever).
+	Until time.Duration
+}
+
+// Start begins injecting load into site.
+func (b BackgroundLoad) Start(eng *events.Engine, site *Site) {
+	if b.MaxCpus <= 0 {
+		b.MaxCpus = 1
+	}
+	var next func()
+	n := 0
+	next = func() {
+		if b.Until > 0 && eng.Now() >= b.Until {
+			return
+		}
+		n++
+		cpus := 1 + eng.Rand().Intn(b.MaxCpus)
+		if cpus > site.Cpus() {
+			cpus = site.Cpus()
+		}
+		dur := expDuration(eng, b.MeanDuration)
+		site.Submit(JobSpec{
+			ID:       fmt.Sprintf("%s.bg%d", site.Name, n),
+			Owner:    "background",
+			Cpus:     cpus,
+			Duration: dur,
+		}, nil, nil)
+		eng.After(expDuration(eng, b.MeanInterarrival), next)
+	}
+	eng.After(expDuration(eng, b.MeanInterarrival), next)
+}
+
+func expDuration(eng *events.Engine, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	d := time.Duration(eng.Rand().ExpFloat64() * float64(mean))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// Metrics aggregates statistics for one user's jobs across the grid.
+type Metrics struct {
+	eng  *events.Engine
+	Jobs []JobStats
+
+	active         int // currently running CPUs
+	peak           int
+	activeIntegral float64 // cpu-seconds
+	lastChange     time.Duration
+	cpuSeconds     float64
+}
+
+// NewMetrics creates a collector.
+func NewMetrics(eng *events.Engine) *Metrics { return &Metrics{eng: eng} }
+
+// OnStart and OnDone are the callbacks to pass to Site.Submit.
+func (m *Metrics) OnStart(st JobStats) {
+	m.accrue()
+	m.active += st.Cpus
+	if m.active > m.peak {
+		m.peak = m.active
+	}
+}
+
+// OnDone records a completed job.
+func (m *Metrics) OnDone(st JobStats) {
+	m.accrue()
+	m.active -= st.Cpus
+	m.Jobs = append(m.Jobs, st)
+	m.cpuSeconds += st.RunTime().Seconds() * float64(st.Cpus)
+}
+
+func (m *Metrics) accrue() {
+	now := m.eng.Now()
+	m.activeIntegral += (now - m.lastChange).Seconds() * float64(m.active)
+	m.lastChange = now
+}
+
+// CPUHours returns total CPU time consumed by completed jobs, in hours.
+func (m *Metrics) CPUHours() float64 { return m.cpuSeconds / 3600 }
+
+// PeakCpus returns the maximum concurrent CPUs.
+func (m *Metrics) PeakCpus() int { return m.peak }
+
+// ActiveCpus returns the instantaneous concurrent CPUs.
+func (m *Metrics) ActiveCpus() int { return m.active }
+
+// AvgCpus returns the time-averaged concurrent CPUs over [0, now].
+func (m *Metrics) AvgCpus() float64 {
+	m.accrue()
+	elapsed := m.eng.Now().Seconds()
+	if elapsed == 0 {
+		return 0
+	}
+	return m.activeIntegral / elapsed
+}
+
+// OnSliceStart accounts a partial execution (a checkpointed slice of a
+// migrating job) toward concurrency without registering a completed job.
+func (m *Metrics) OnSliceStart(cpus int) {
+	m.accrue()
+	m.active += cpus
+	if m.active > m.peak {
+		m.peak = m.active
+	}
+}
+
+// OnSliceEnd closes a partial execution, crediting its CPU time.
+func (m *Metrics) OnSliceEnd(cpus int, ran time.Duration) {
+	m.accrue()
+	m.active -= cpus
+	m.cpuSeconds += ran.Seconds() * float64(cpus)
+}
+
+// RecordJob registers a completed job's lifecycle statistics without
+// touching the concurrency or CPU-time accounting — used for jobs whose
+// execution was accounted slice by slice across migrations.
+func (m *Metrics) RecordJob(st JobStats) { m.Jobs = append(m.Jobs, st) }
+
+// MeanQueueWait averages queue waits over completed jobs.
+func (m *Metrics) MeanQueueWait() time.Duration {
+	if len(m.Jobs) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, j := range m.Jobs {
+		total += j.QueueWait()
+	}
+	return total / time.Duration(len(m.Jobs))
+}
+
+// MaxQueueWait returns the worst queue wait.
+func (m *Metrics) MaxQueueWait() time.Duration {
+	var max time.Duration
+	for _, j := range m.Jobs {
+		if w := j.QueueWait(); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// Makespan is the completion time of the last job.
+func (m *Metrics) Makespan() time.Duration {
+	var max time.Duration
+	for _, j := range m.Jobs {
+		if j.End > max {
+			max = j.End
+		}
+	}
+	return max
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"condorg/internal/events"
+	"condorg/internal/lrm"
+)
+
+func TestSiteRunsJobImmediatelyWhenFree(t *testing.T) {
+	eng := events.NewEngine(1)
+	site := NewSite(eng, "s", 4, nil)
+	m := NewMetrics(eng)
+	site.Submit(JobSpec{ID: "j1", Owner: "u", Duration: time.Hour}, m.OnStart, m.OnDone)
+	eng.Run()
+	if len(m.Jobs) != 1 {
+		t.Fatalf("jobs = %d", len(m.Jobs))
+	}
+	j := m.Jobs[0]
+	if j.QueueWait() != 0 || j.RunTime() != time.Hour {
+		t.Fatalf("wait=%v run=%v", j.QueueWait(), j.RunTime())
+	}
+}
+
+func TestSiteQueuesWhenFull(t *testing.T) {
+	eng := events.NewEngine(1)
+	site := NewSite(eng, "s", 1, nil)
+	m := NewMetrics(eng)
+	site.Submit(JobSpec{ID: "a", Owner: "u", Duration: time.Hour}, m.OnStart, m.OnDone)
+	site.Submit(JobSpec{ID: "b", Owner: "u", Duration: time.Hour}, m.OnStart, m.OnDone)
+	if site.QueueDepth() != 1 {
+		t.Fatalf("queue = %d", site.QueueDepth())
+	}
+	eng.Run()
+	var bWait time.Duration
+	for _, j := range m.Jobs {
+		if j.ID == "b" {
+			bWait = j.QueueWait()
+		}
+	}
+	if bWait != time.Hour {
+		t.Fatalf("b waited %v, want 1h", bWait)
+	}
+	if m.Makespan() != 2*time.Hour {
+		t.Fatalf("makespan = %v", m.Makespan())
+	}
+}
+
+func TestBackfillPolicyInSim(t *testing.T) {
+	eng := events.NewEngine(1)
+	site := NewSite(eng, "s", 2, lrm.Backfill{})
+	m := NewMetrics(eng)
+	// Occupy 1 CPU for 2h; a 2-CPU job blocks at head; a small job can
+	// backfill on the free CPU.
+	site.Submit(JobSpec{ID: "long", Owner: "u", Duration: 2 * time.Hour}, m.OnStart, m.OnDone)
+	site.Submit(JobSpec{ID: "wide", Owner: "u", Cpus: 2, Duration: time.Hour}, m.OnStart, m.OnDone)
+	site.Submit(JobSpec{ID: "small", Owner: "u", Duration: 30 * time.Minute}, m.OnStart, m.OnDone)
+	eng.Run()
+	waits := map[string]time.Duration{}
+	for _, j := range m.Jobs {
+		waits[j.ID] = j.QueueWait()
+	}
+	if waits["small"] != 0 {
+		t.Fatalf("backfill: small waited %v, want 0", waits["small"])
+	}
+	if waits["wide"] != 2*time.Hour {
+		t.Fatalf("wide waited %v, want 2h", waits["wide"])
+	}
+}
+
+func TestUtilizationAndCPUHours(t *testing.T) {
+	eng := events.NewEngine(1)
+	site := NewSite(eng, "s", 2, nil)
+	m := NewMetrics(eng)
+	site.Submit(JobSpec{ID: "a", Owner: "u", Cpus: 2, Duration: time.Hour}, m.OnStart, m.OnDone)
+	eng.Run()
+	if got := m.CPUHours(); got != 2 {
+		t.Fatalf("cpu-hours = %v, want 2", got)
+	}
+	if u := site.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization = %v, want ~1", u)
+	}
+	if m.PeakCpus() != 2 {
+		t.Fatalf("peak = %d", m.PeakCpus())
+	}
+	if avg := m.AvgCpus(); avg < 1.99 || avg > 2.01 {
+		t.Fatalf("avg cpus = %v", avg)
+	}
+}
+
+func TestBackgroundLoadOccupiesSite(t *testing.T) {
+	eng := events.NewEngine(7)
+	site := NewSite(eng, "s", 16, nil)
+	BackgroundLoad{
+		MeanInterarrival: 2 * time.Minute,
+		MeanDuration:     30 * time.Minute,
+		MaxCpus:          4,
+		Until:            8 * time.Hour,
+	}.Start(eng, site)
+	eng.RunUntil(12 * time.Hour)
+	if u := site.Utilization(); u < 0.2 {
+		t.Fatalf("background produced utilization %v, want busy site", u)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, int) {
+		eng := events.NewEngine(99)
+		site := NewSite(eng, "s", 8, nil)
+		BackgroundLoad{MeanInterarrival: time.Minute, MeanDuration: 10 * time.Minute, MaxCpus: 2, Until: 4 * time.Hour}.Start(eng, site)
+		m := NewMetrics(eng)
+		for i := 0; i < 20; i++ {
+			site.Submit(JobSpec{ID: fmt.Sprintf("u%d", i), Owner: "u", Duration: 15 * time.Minute}, m.OnStart, m.OnDone)
+		}
+		eng.RunUntil(24 * time.Hour)
+		return m.MeanQueueWait().Seconds(), len(m.Jobs)
+	}
+	w1, n1 := run()
+	w2, n2 := run()
+	if w1 != w2 || n1 != n2 {
+		t.Fatalf("nondeterministic: (%v,%d) vs (%v,%d)", w1, n1, w2, n2)
+	}
+}
+
+func TestChoosers(t *testing.T) {
+	eng := events.NewEngine(1)
+	a := NewSite(eng, "a", 1, nil)
+	b := NewSite(eng, "b", 1, nil)
+	sites := []*Site{a, b}
+	if (FirstSite{}).Choose(sites) != a {
+		t.Fatal("FirstSite")
+	}
+	rr := &RoundRobin{}
+	if rr.Choose(sites) != a || rr.Choose(sites) != b || rr.Choose(sites) != a {
+		t.Fatal("RoundRobin")
+	}
+	// Make a busier: one running + one queued.
+	a.Submit(JobSpec{ID: "x", Owner: "u", Duration: time.Hour}, nil, nil)
+	a.Submit(JobSpec{ID: "y", Owner: "u", Duration: time.Hour}, nil, nil)
+	if (ShortestQueue{}).Choose(sites) != b {
+		t.Fatal("ShortestQueue should avoid the loaded site")
+	}
+}
+
+func TestAdaptiveWaitLearns(t *testing.T) {
+	eng := events.NewEngine(1)
+	slow := NewSite(eng, "slow", 1, nil)
+	fast := NewSite(eng, "fast", 1, nil)
+	a := NewAdaptiveWait()
+	a.Observe("slow", time.Hour)
+	a.Observe("fast", time.Minute)
+	for i := 0; i < 5; i++ {
+		if got := a.Choose([]*Site{slow, fast}); got != fast {
+			t.Fatalf("pick %d went to %s", i, got.Name)
+		}
+		a.Observe("fast", time.Minute)
+	}
+}
+
+func TestGlideinDelayedBinding(t *testing.T) {
+	// Two sites: one empty, one jammed with a long background job. Direct
+	// submission to the jammed site waits hours; glideins flooded to both
+	// bind the job to the free site almost immediately.
+	mkSites := func(eng *events.Engine) (*Site, *Site) {
+		busy := NewSite(eng, "busy", 1, nil)
+		free := NewSite(eng, "free", 1, nil)
+		busy.Submit(JobSpec{ID: "hog", Owner: "background", Duration: 10 * time.Hour}, nil, nil)
+		return busy, free
+	}
+
+	// Early binding to the busy site.
+	engD := events.NewEngine(1)
+	busyD, _ := mkSites(engD)
+	mD := NewMetrics(engD)
+	busyD.Submit(JobSpec{ID: "job", Owner: "u", Duration: time.Hour}, mD.OnStart, mD.OnDone)
+	engD.Run()
+	directWait := mD.Jobs[0].QueueWait()
+
+	// Delayed binding via glideins to both sites.
+	engG := events.NewEngine(1)
+	busyG, freeG := mkSites(engG)
+	mG := NewMetrics(engG)
+	pool := NewGlideinPool(engG, mG)
+	pool.AddJob(JobSpec{ID: "job", Owner: "u", Duration: time.Hour})
+	pool.SubmitPilots(busyG, 1, 4*time.Hour, 30*time.Minute)
+	pool.SubmitPilots(freeG, 1, 4*time.Hour, 30*time.Minute)
+	engG.Run()
+	if len(mG.Jobs) != 1 {
+		t.Fatalf("glidein pool completed %d jobs", len(mG.Jobs))
+	}
+	glideinWait := mG.Jobs[0].QueueWait()
+
+	if directWait != 10*time.Hour {
+		t.Fatalf("direct wait = %v, want 10h", directWait)
+	}
+	if glideinWait > time.Minute {
+		t.Fatalf("glidein wait = %v, want ~0 (bound to the free site)", glideinWait)
+	}
+}
+
+func TestGlideinIdleRetirementBoundsWaste(t *testing.T) {
+	eng := events.NewEngine(1)
+	site := NewSite(eng, "s", 4, nil)
+	m := NewMetrics(eng)
+	pool := NewGlideinPool(eng, m)
+	// One short job, four pilots with a long lease but short idle
+	// timeout: the unused pilots retire early.
+	pool.AddJob(JobSpec{ID: "only", Owner: "u", Duration: 10 * time.Minute})
+	pool.SubmitPilots(site, 4, 8*time.Hour, 15*time.Minute)
+	eng.Run()
+	if pool.PilotsStarted != 4 || pool.PilotsRetired != 4 {
+		t.Fatalf("pilots started=%d retired=%d", pool.PilotsStarted, pool.PilotsRetired)
+	}
+	// Each idle pilot wasted at most ~the idle timeout, not the lease.
+	if wasted := pool.WastedCPUSeconds(); wasted > (4 * 20 * time.Minute).Seconds() {
+		t.Fatalf("wasted %v cpu-seconds, idle guard failed", wasted)
+	}
+	if len(m.Jobs) != 1 {
+		t.Fatalf("completed %d jobs", len(m.Jobs))
+	}
+}
+
+func TestGlideinLeaseTooShortMigratesViaCheckpoint(t *testing.T) {
+	eng := events.NewEngine(1)
+	site := NewSite(eng, "s", 1, nil)
+	m := NewMetrics(eng)
+	pool := NewGlideinPool(eng, m)
+	pool.AddJob(JobSpec{ID: "long", Owner: "u", Duration: 2 * time.Hour})
+	// First pilot's lease is too short for the whole job: a 1h slice
+	// runs, checkpoints at lease end, and the remainder migrates to the
+	// second, longer pilot.
+	pool.SubmitPilots(site, 1, time.Hour, 10*time.Minute)
+	eng.After(90*time.Minute, func() {
+		pool.SubmitPilots(site, 1, 4*time.Hour, 10*time.Minute)
+	})
+	eng.Run()
+	if len(m.Jobs) != 1 {
+		t.Fatalf("completed %d jobs (queue=%d)", len(m.Jobs), pool.QueueLen())
+	}
+	if pool.Migrations != 1 {
+		t.Fatalf("migrations = %d, want 1", pool.Migrations)
+	}
+	// CPU time equals the job's true duration: the checkpoint preserved
+	// the first slice's progress (no re-execution).
+	if got := m.CPUHours(); got < 1.99 || got > 2.01 {
+		t.Fatalf("cpu-hours = %v, want 2 (checkpointed migration, no rework)", got)
+	}
+	// Queue wait measures submission to FIRST execution.
+	if w := m.Jobs[0].QueueWait(); w != 0 {
+		t.Fatalf("queue wait = %v, want 0 (started immediately on pilot 1)", w)
+	}
+	// The job finished at ~2.5h: 1h slice + 30m gap + 1h remainder.
+	if end := m.Jobs[0].End; end < 2*time.Hour || end > 3*time.Hour {
+		t.Fatalf("completion at %v", end)
+	}
+}
+
+func TestOversizedSimJobPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized job accepted")
+		}
+	}()
+	eng := events.NewEngine(1)
+	site := NewSite(eng, "s", 1, nil)
+	site.Submit(JobSpec{ID: "big", Cpus: 2, Duration: time.Hour}, nil, nil)
+}

@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"condorg/internal/gsi"
+)
+
+// TestAuthFailureNotCachedAcrossRefresh: a request refused for an expired
+// credential must NOT poison the reply cache — after the client refreshes
+// its proxy, retrying the SAME sequence number re-evaluates authentication
+// and the request executes (exactly once).
+func TestAuthFailureNotCachedAcrossRefresh(t *testing.T) {
+	now := time.Now()
+	ca, err := gsi.NewCA("/O=Grid/CN=CA", now, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, _ := ca.IssueUser("/O=Grid/CN=u", now.Add(-3*time.Hour), 24*time.Hour)
+	expired, _ := gsi.NewProxy(user, now.Add(-2*time.Hour), time.Hour)
+
+	var count atomic.Int64
+	s, err := NewServer(ServerConfig{Name: "auth", Anchor: ca.Certificate()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Handle("work", func(string, json.RawMessage) (any, error) {
+		count.Add(1)
+		return struct{}{}, nil
+	})
+
+	c := Dial(s.Addr(), ClientConfig{
+		ServerName: "auth", Credential: expired,
+		Timeout: 500 * time.Millisecond, Retries: -1,
+	})
+	defer c.Close()
+	seq := c.NextSeq()
+	if err := c.CallSeq(seq, "work", struct{}{}, nil); err == nil {
+		t.Fatal("expired proxy accepted")
+	}
+	if count.Load() != 0 {
+		t.Fatal("handler ran despite auth failure")
+	}
+	// Refresh and retry the same sequence number.
+	fresh, _ := gsi.NewProxy(user, now, time.Hour)
+	c.SetCredential(fresh)
+	if err := c.CallSeq(seq, "work", struct{}{}, nil); err != nil {
+		t.Fatalf("refreshed retry failed: %v", err)
+	}
+	if count.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1", count.Load())
+	}
+	// And the successful reply IS cached from here on.
+	if err := c.CallSeq(seq, "work", struct{}{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 1 {
+		t.Fatalf("cached retry re-executed: %d", count.Load())
+	}
+}

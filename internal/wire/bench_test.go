@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"condorg/internal/gsi"
+)
+
+func benchServer(b *testing.B, anchor *gsi.Certificate) *Server {
+	b.Helper()
+	s, err := NewServer(ServerConfig{Name: "bench", Anchor: anchor})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	s.Handle("echo", func(_ string, body json.RawMessage) (any, error) {
+		return json.RawMessage(body), nil
+	})
+	return s
+}
+
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	s := benchServer(b, nil)
+	c := Dial(s.Addr(), ClientConfig{ServerName: "bench", Timeout: 5 * time.Second})
+	defer c.Close()
+	req := map[string]string{"k": "v"}
+	var resp map[string]string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Call("echo", req, &resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRPCRoundTripAuthenticated(b *testing.B) {
+	now := time.Now()
+	ca, err := gsi.NewCA("/O=Grid/CN=CA", now, 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	user, _ := ca.IssueUser("/O=Grid/CN=bench", now, time.Hour)
+	s := benchServer(b, ca.Certificate())
+	c := Dial(s.Addr(), ClientConfig{ServerName: "bench", Credential: user, Timeout: 5 * time.Second})
+	defer c.Close()
+	req := map[string]string{"k": "v"}
+	var resp map[string]string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Call("echo", req, &resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRPCConcurrent(b *testing.B) {
+	s := benchServer(b, nil)
+	c := Dial(s.Addr(), ClientConfig{ServerName: "bench", Timeout: 5 * time.Second})
+	defer c.Close()
+	b.RunParallel(func(pb *testing.PB) {
+		req := map[string]int{"n": 1}
+		var resp map[string]int
+		for pb.Next() {
+			if err := c.Call("echo", req, &resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,264 @@
+package wire
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"condorg/internal/gsi"
+)
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// ServerName must match the server's configured Name; it binds auth
+	// tokens to this service.
+	ServerName string
+	// Credential signs per-request auth tokens; nil sends no token.
+	Credential *gsi.Credential
+	// Clock for token issuance; defaults to wall time.
+	Clock gsi.Clock
+	// Timeout is the per-attempt wait for a response (default 2s).
+	Timeout time.Duration
+	// Retries is how many times a timed-out request is re-sent with the
+	// SAME sequence number (default 3; -1 disables retries entirely).
+	// Retries are what make the reply cache load-bearing.
+	Retries int
+	// RetryBackoff separates attempts (default 50ms).
+	RetryBackoff time.Duration
+}
+
+// Client is a connection-caching RPC client. Concurrent Calls multiplex
+// over one TCP connection; a broken connection is redialed transparently on
+// the next attempt, which is exactly the "client repeats the request"
+// behaviour of the GRAM two-phase commit protocol.
+type Client struct {
+	cfg      ClientConfig
+	addr     string
+	clientID string
+	seq      atomic.Uint64
+
+	mu      sync.Mutex
+	conn    net.Conn
+	pending map[uint64]chan *Message
+	closed  bool
+}
+
+// Dial creates a client for the server at addr. No connection is made
+// until the first Call.
+func Dial(addr string, cfg ClientConfig) *Client {
+	if cfg.Clock == nil {
+		cfg.Clock = gsi.WallClock
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	} else if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	idBytes := make([]byte, 8)
+	rand.Read(idBytes)
+	return &Client{
+		cfg:      cfg,
+		addr:     addr,
+		clientID: hex.EncodeToString(idBytes),
+		pending:  make(map[uint64]chan *Message),
+	}
+}
+
+// ClientID returns the identifier that keys this client's sequence space.
+func (c *Client) ClientID() string { return c.clientID }
+
+// SetCredential replaces the signing credential (used after proxy refresh).
+func (c *Client) SetCredential(cred *gsi.Credential) {
+	c.mu.Lock()
+	c.cfg.Credential = cred
+	c.mu.Unlock()
+}
+
+// NextSeq reserves a fresh sequence number. CallSeq with the same number is
+// idempotent on the server, which is how the GRAM client achieves
+// exactly-once submission across crashes: it journals the sequence number
+// before first use and replays it during recovery.
+func (c *Client) NextSeq() uint64 { return c.seq.Add(1) }
+
+// Call performs an RPC with a fresh sequence number.
+func (c *Client) Call(method string, req, resp any) error {
+	return c.CallSeq(c.NextSeq(), method, req, resp)
+}
+
+// CallSeq performs an RPC with a caller-chosen sequence number, retrying on
+// timeout with the same number.
+func (c *Client) CallSeq(seq uint64, method string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("wire: marshal request: %w", err)
+	}
+	var lastErr error = ErrTimeout
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.RetryBackoff)
+		}
+		msg, err := c.attempt(seq, method, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if msg.Error != "" {
+			return &RemoteError{Msg: msg.Error}
+		}
+		if resp != nil && len(msg.Body) > 0 {
+			if err := json.Unmarshal(msg.Body, resp); err != nil {
+				return fmt.Errorf("wire: unmarshal response: %w", err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %s (%v)", ErrTimeout, method, lastErr)
+}
+
+func (c *Client) attempt(seq uint64, method string, body json.RawMessage) (*Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cred := c.cfg.Credential
+	c.mu.Unlock()
+
+	msg := &Message{
+		ClientID: c.clientID,
+		Seq:      seq,
+		Kind:     "req",
+		Method:   method,
+		Body:     body,
+	}
+	if cred != nil {
+		tok, err := gsi.NewAuthToken(cred, authContext(c.cfg.ServerName, method), c.cfg.Clock())
+		if err != nil {
+			return nil, err
+		}
+		msg.Token = tok
+	}
+
+	ch := make(chan *Message, 1)
+	c.mu.Lock()
+	c.pending[seq] = ch
+	conn, err := c.connLocked()
+	if err != nil {
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	err = WriteFrame(conn, msg)
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+	}()
+	if err != nil {
+		c.dropConn(conn)
+		return nil, err
+	}
+	select {
+	case m := <-ch:
+		if m == nil {
+			return nil, fmt.Errorf("wire: connection lost")
+		}
+		return m, nil
+	case <-time.After(c.cfg.Timeout):
+		return nil, ErrTimeout
+	}
+}
+
+// connLocked returns the live connection, dialing if necessary. c.mu held.
+func (c *Client) connLocked() (net.Conn, error) {
+	if c.conn != nil {
+		return c.conn, nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.conn = conn
+	go c.readLoop(conn)
+	return conn, nil
+}
+
+func (c *Client) readLoop(conn net.Conn) {
+	for {
+		msg, err := ReadFrame(conn)
+		if err != nil {
+			c.dropConn(conn)
+			return
+		}
+		if msg.Kind != "resp" {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[msg.Seq]
+		c.mu.Unlock()
+		if ok {
+			select {
+			case ch <- msg:
+			default:
+			}
+		}
+	}
+}
+
+// dropConn discards conn and wakes all waiters so they can retry on a fresh
+// connection.
+func (c *Client) dropConn(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	for seq, ch := range c.pending {
+		select {
+		case ch <- nil:
+		default:
+		}
+		_ = seq
+	}
+	c.mu.Unlock()
+}
+
+// Ping checks liveness with a tiny RPC round-trip using a single attempt
+// (no retries — a probe wants a fast verdict, and mutating the shared retry
+// budget would race concurrent Calls).
+func (c *Client) Ping(method string) error {
+	msg, err := c.attempt(c.NextSeq(), method, []byte("{}"))
+	if err != nil {
+		return err
+	}
+	if msg.Error != "" {
+		return &RemoteError{Msg: msg.Error}
+	}
+	return nil
+}
+
+// Close releases the connection. In-flight calls fail with ErrClosed or a
+// transport error.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestReplyCacheAcrossReconnect: the client's connection dies between the
+// original request and its retry; the retry arrives on a NEW connection but
+// with the same sequence number, and the server's (global, not
+// per-connection) reply cache still deduplicates it.
+func TestReplyCacheAcrossReconnect(t *testing.T) {
+	var count atomic.Int64
+	s, err := NewServer(ServerConfig{Name: "rc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Handle("incr", func(string, json.RawMessage) (any, error) {
+		return map[string]int64{"n": count.Add(1)}, nil
+	})
+	c := Dial(s.Addr(), ClientConfig{ServerName: "rc", Timeout: time.Second, Retries: -1})
+	defer c.Close()
+
+	seq := c.NextSeq()
+	var resp map[string]int64
+	if err := c.CallSeq(seq, "incr", struct{}{}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["n"] != 1 {
+		t.Fatalf("first call n=%d", resp["n"])
+	}
+	// Sever the connection; the next CallSeq redials.
+	s.Pause()
+	s.Resume()
+	time.Sleep(20 * time.Millisecond)
+	if err := c.CallSeq(seq, "incr", struct{}{}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["n"] != 1 {
+		t.Fatalf("replayed seq executed again: n=%d", resp["n"])
+	}
+	if count.Load() != 1 {
+		t.Fatalf("handler ran %d times", count.Load())
+	}
+}
+
+// TestPipeliningOrderIndependence: slow and fast requests interleave on one
+// connection; each response reaches its own caller.
+func TestPipeliningOrderIndependence(t *testing.T) {
+	s, err := NewServer(ServerConfig{Name: "pipe", Faults: &Faults{
+		Delay: func(method string) time.Duration {
+			if method == "slow" {
+				return 100 * time.Millisecond
+			}
+			return 0
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Handle("slow", func(string, json.RawMessage) (any, error) {
+		return map[string]string{"who": "slow"}, nil
+	})
+	s.Handle("fast", func(string, json.RawMessage) (any, error) {
+		return map[string]string{"who": "fast"}, nil
+	})
+	c := Dial(s.Addr(), ClientConfig{ServerName: "pipe", Timeout: 2 * time.Second})
+	defer c.Close()
+
+	slowDone := make(chan string, 1)
+	go func() {
+		var resp map[string]string
+		c.Call("slow", struct{}{}, &resp)
+		slowDone <- resp["who"]
+	}()
+	time.Sleep(10 * time.Millisecond)
+	var fastResp map[string]string
+	start := time.Now()
+	if err := c.Call("fast", struct{}{}, &fastResp); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 80*time.Millisecond {
+		t.Fatalf("fast call blocked behind slow one: %v", d)
+	}
+	if fastResp["who"] != "fast" {
+		t.Fatalf("fast got %q", fastResp["who"])
+	}
+	if who := <-slowDone; who != "slow" {
+		t.Fatalf("slow got %q", who)
+	}
+}
+
+// TestManyClientsOneServer: connection churn and concurrency.
+func TestManyClientsOneServer(t *testing.T) {
+	var count atomic.Int64
+	s, err := NewServer(ServerConfig{Name: "many"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Handle("hit", func(string, json.RawMessage) (any, error) {
+		count.Add(1)
+		return struct{}{}, nil
+	})
+	done := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		go func() {
+			c := Dial(s.Addr(), ClientConfig{ServerName: "many", Timeout: 2 * time.Second})
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				if err := c.Call("hit", struct{}{}, nil); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count.Load() != 200 {
+		t.Fatalf("hits = %d, want 200", count.Load())
+	}
+}

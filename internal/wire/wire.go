@@ -1,0 +1,404 @@
+// Package wire is the transport substrate for every Grid protocol in this
+// repository (GRAM, GASS, MDS, GridFTP, MyProxy, and the Condor daemons).
+// It provides length-prefixed JSON frames over TCP, request/response RPC
+// with client-chosen sequence numbers, per-request GSI authentication, a
+// server-side reply cache that makes retries idempotent (the mechanism
+// behind the paper's two-phase commit: "the repeated sequence number allows
+// the resource to distinguish between a lost request and a lost response",
+// §3.2), and fault-injection hooks used by the failure experiments.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"condorg/internal/gsi"
+)
+
+// MaxFrame bounds a single message; larger frames indicate corruption.
+const MaxFrame = 16 << 20
+
+// Message is the on-wire unit.
+type Message struct {
+	ClientID string          `json:"client_id"`
+	Seq      uint64          `json:"seq"`
+	Kind     string          `json:"kind"` // "req" or "resp"
+	Method   string          `json:"method,omitempty"`
+	Token    *gsi.AuthToken  `json:"token,omitempty"`
+	Body     json.RawMessage `json:"body,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// WriteFrame writes one framed message to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if len(data) > MaxFrame {
+		return fmt.Errorf("wire: frame too large: %d", len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadFrame reads one framed message from r.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > MaxFrame {
+		return nil, fmt.Errorf("wire: oversized frame: %d", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Handler serves one RPC method. peer is the authenticated grid subject
+// ("" when the server runs unauthenticated). The returned value is
+// marshalled into the response body.
+type Handler func(peer string, body json.RawMessage) (any, error)
+
+// Faults lets tests and experiments inject the failure modes of §3.2/§4.2.
+// Each hook is consulted per request; nil hooks never fire.
+type Faults struct {
+	mu sync.Mutex
+	// DropRequest: pretend the request never arrived (no processing).
+	DropRequest func(method string) bool
+	// DropResponse: process the request but lose the reply.
+	DropResponse func(method string) bool
+	// Delay: artificial processing delay.
+	Delay func(method string) time.Duration
+}
+
+func (f *Faults) dropRequest(m string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	hook := f.DropRequest
+	f.mu.Unlock()
+	return hook != nil && hook(m)
+}
+
+func (f *Faults) dropResponse(m string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	hook := f.DropResponse
+	f.mu.Unlock()
+	return hook != nil && hook(m)
+}
+
+func (f *Faults) delay(m string) time.Duration {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	hook := f.Delay
+	f.mu.Unlock()
+	if hook == nil {
+		return 0
+	}
+	return hook(m)
+}
+
+// Set atomically replaces the hooks.
+func (f *Faults) Set(dropReq, dropResp func(string) bool) {
+	f.mu.Lock()
+	f.DropRequest = dropReq
+	f.DropResponse = dropResp
+	f.mu.Unlock()
+}
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// Name is used in log lines and as part of the auth context.
+	Name string
+	// Anchor, when set, requires every request to carry a token that
+	// verifies against this trust anchor.
+	Anchor *gsi.Certificate
+	// Clock for token freshness; defaults to wall time.
+	Clock gsi.Clock
+	// Faults is the injection point for failure experiments.
+	Faults *Faults
+}
+
+// Server is a TCP RPC server.
+type Server struct {
+	cfg      ServerConfig
+	lis      net.Listener
+	mu       sync.Mutex
+	handlers map[string]Handler
+	conns    map[net.Conn]struct{}
+	cache    *replyCache
+	paused   bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server listening on 127.0.0.1 with an OS-chosen port.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	return NewServerAddr("127.0.0.1:0", cfg)
+}
+
+// NewServerAddr creates a server on an explicit address. The crash-restart
+// experiments use it to bring a Gatekeeper back on its published port.
+func NewServerAddr(addr string, cfg ServerConfig) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = gsi.WallClock
+	}
+	s := &Server{
+		cfg:      cfg,
+		lis:      lis,
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+		cache:    newReplyCache(4096),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address ("host:port").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Handle registers a handler for method. It panics on duplicates: a
+// misrouted protocol is a programming error.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic("wire: duplicate handler for " + method)
+	}
+	s.handlers[method] = h
+}
+
+// Pause simulates a network partition or machine freeze: existing
+// connections are severed and new ones are refused until Resume.
+func (s *Server) Pause() {
+	s.mu.Lock()
+	s.paused = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// Resume ends a Pause.
+func (s *Server) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.mu.Unlock()
+}
+
+// Close shuts the server down, severing all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed || s.paused {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var wmu sync.Mutex // serialize frame writes from concurrent handlers
+	for {
+		msg, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if msg.Kind != "req" {
+			continue
+		}
+		s.wg.Add(1)
+		go func(msg *Message) {
+			defer s.wg.Done()
+			resp := s.dispatch(msg)
+			if resp == nil {
+				return // injected request/response loss
+			}
+			wmu.Lock()
+			err := WriteFrame(conn, resp)
+			wmu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+		}(msg)
+	}
+}
+
+// dispatch runs one request through fault injection, the reply cache,
+// authentication, and the handler. A nil return means "say nothing".
+func (s *Server) dispatch(msg *Message) *Message {
+	if d := s.cfg.Faults.delay(msg.Method); d > 0 {
+		time.Sleep(d)
+	}
+	if s.cfg.Faults.dropRequest(msg.Method) {
+		return nil
+	}
+	key := cacheKey{client: msg.ClientID, seq: msg.Seq}
+	if cached, ok := s.cache.get(key); ok {
+		if s.cfg.Faults.dropResponse(msg.Method) {
+			return nil
+		}
+		return cached
+	}
+	resp := &Message{ClientID: msg.ClientID, Seq: msg.Seq, Kind: "resp"}
+	peer := ""
+	if s.cfg.Anchor != nil {
+		subject, err := msg.Token.Verify(s.cfg.Anchor, authContext(s.cfg.Name, msg.Method), s.cfg.Clock())
+		if err != nil {
+			resp.Error = "auth: " + err.Error()
+			// Auth failures are not cached: a refreshed credential
+			// retrying the same sequence number must be re-evaluated.
+			if s.cfg.Faults.dropResponse(msg.Method) {
+				return nil
+			}
+			return resp
+		}
+		peer = subject
+	}
+	s.mu.Lock()
+	h, ok := s.handlers[msg.Method]
+	s.mu.Unlock()
+	if !ok {
+		resp.Error = "wire: no such method " + msg.Method
+	} else {
+		result, err := h(peer, msg.Body)
+		if err != nil {
+			resp.Error = err.Error()
+		} else if result != nil {
+			body, err := json.Marshal(result)
+			if err != nil {
+				resp.Error = "wire: marshal response: " + err.Error()
+			} else {
+				resp.Body = body
+			}
+		}
+	}
+	s.cache.put(key, resp)
+	if s.cfg.Faults.dropResponse(msg.Method) {
+		return nil // the work happened; the reply is lost
+	}
+	return resp
+}
+
+func authContext(server, method string) string { return server + ":" + method }
+
+type cacheKey struct {
+	client string
+	seq    uint64
+}
+
+// replyCache is a bounded FIFO map of completed responses, the server half
+// of exactly-once semantics.
+type replyCache struct {
+	mu    sync.Mutex
+	max   int
+	order []cacheKey
+	m     map[cacheKey]*Message
+}
+
+func newReplyCache(max int) *replyCache {
+	return &replyCache{max: max, m: make(map[cacheKey]*Message)}
+}
+
+func (c *replyCache) get(k cacheKey) (*Message, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[k]
+	return v, ok
+}
+
+func (c *replyCache) put(k cacheKey, v *Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.m[k]; exists {
+		return
+	}
+	c.m[k] = v
+	c.order = append(c.order, k)
+	for len(c.order) > c.max {
+		delete(c.m, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// Errors surfaced by the client.
+var (
+	ErrTimeout = errors.New("wire: request timed out after retries")
+	ErrClosed  = errors.New("wire: client closed")
+)
+
+// RemoteError wraps an error string returned by a handler.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// IsRemote reports whether err is an application error from the server (as
+// opposed to a transport failure).
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}

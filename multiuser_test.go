@@ -1,0 +1,110 @@
+package benchmarks
+
+// Multi-user stress: three users' agents share three sites, with a
+// concurrent mix of successes, failures, cancellations, and holds. The
+// invariant under all of it: every submission resolves to exactly the
+// right terminal state and programs execute exactly once.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"condorg/internal/condorg"
+	"condorg/internal/gram"
+	"condorg/internal/lrm"
+)
+
+func TestThreeUsersSharedGrid(t *testing.T) {
+	var runs atomic.Int64
+	rt := gram.NewFuncRuntime()
+	rt.Register("ok", func(_ context.Context, _ []string, _ []byte, stdout, _ io.Writer, _ map[string]string) error {
+		runs.Add(1)
+		fmt.Fprintln(stdout, "ok")
+		return nil
+	})
+	rt.Register("bad", func(context.Context, []string, []byte, io.Writer, io.Writer, map[string]string) error {
+		runs.Add(1)
+		return errors.New("deliberate failure")
+	})
+
+	var gks []string
+	for i := 0; i < 3; i++ {
+		cluster, err := lrm.NewCluster(lrm.Config{Name: fmt.Sprintf("s%d", i), Cpus: 4, Policy: lrm.FairShare{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		site, err := gram.NewSite(gram.SiteConfig{
+			Name: fmt.Sprintf("s%d", i), Cluster: cluster, Runtime: rt, StateDir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer site.Close()
+		gks = append(gks, site.GatekeeperAddr())
+	}
+
+	// One agent per user, as deployed in practice (a personal agent).
+	type submission struct {
+		agent *condorg.Agent
+		id    string
+		want  condorg.JobState
+	}
+	var mu sync.Mutex
+	var subs []submission
+	var wg sync.WaitGroup
+	for u := 0; u < 3; u++ {
+		u := u
+		agent, err := condorg.NewAgent(condorg.AgentConfig{
+			StateDir:      t.TempDir(),
+			Selector:      &condorg.RoundRobinSelector{Sites: gks},
+			ProbeInterval: 40 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer agent.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			owner := fmt.Sprintf("user%d", u)
+			for j := 0; j < 8; j++ {
+				prog, want := "ok", condorg.Completed
+				if j%4 == 3 {
+					prog, want = "bad", condorg.Failed
+				}
+				id, err := agent.Submit(condorg.SubmitRequest{
+					Owner: owner, Executable: gram.Program(prog),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				subs = append(subs, submission{agent, id, want})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, s := range subs {
+		info, err := s.agent.Wait(ctx, s.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State != s.want {
+			t.Fatalf("job %s: %v, want %v (%s)", s.id, info.State, s.want, info.Error)
+		}
+	}
+	if got := runs.Load(); got != 24 {
+		t.Fatalf("executions = %d, want exactly 24", got)
+	}
+}
