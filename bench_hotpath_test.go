@@ -1,0 +1,129 @@
+package benchmarks
+
+// Agent hot-path benchmarks: submit-burst throughput through the
+// persistent-queue persist path, and the completion-event -> Wait-return
+// notification latency. See EXPERIMENTS.md for recorded numbers.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"condorg/internal/condorg"
+	"condorg/internal/gram"
+	"condorg/internal/journal"
+)
+
+func benchAgentJournal(b *testing.B, site *gram.Site, opts journal.StoreOptions) *condorg.Agent {
+	b.Helper()
+	agent, err := condorg.NewAgent(condorg.AgentConfig{
+		StateDir:      mustTempDir(b, "agent"),
+		Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
+		ProbeInterval: 30 * time.Millisecond,
+		Journal:       opts,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(agent.Close)
+	return agent
+}
+
+// BenchmarkSubmitBurst measures agent submit throughput under concurrency:
+// 8 workers submit jobs to a fast site as quickly as they can. Submit
+// returns once the job is journaled in the persistent queue, so this is
+// the §4.2 "stable storage" persist hot path. Sub-benchmarks cover the
+// journaling modes: async (the default), sync with one fsync per delta
+// (the historical durable path), and sync with group commit.
+func BenchmarkSubmitBurst(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts journal.StoreOptions
+	}{
+		{"async", journal.StoreOptions{}},
+		{"sync-nogroup", journal.StoreOptions{Sync: true, NoGroupCommit: true}},
+		{"sync-group", journal.StoreOptions{Sync: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchSubmitBurst(b, mode.opts)
+		})
+	}
+}
+
+func benchSubmitBurst(b *testing.B, opts journal.StoreOptions) {
+	var runs atomic.Int64
+	site := benchSite(b, "burst", &runs, "", "")
+	agent := benchAgentJournal(b, site, opts)
+	const workers = 8
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				if _, err := agent.Submit(condorg.SubmitRequest{
+					Owner: "bench", Executable: gram.Program("noop"),
+				}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := agent.WaitAll(ctx); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWaitLatency measures the latency from a job's terminal state
+// change to a blocked Wait returning. The terminal transition is driven
+// locally (Remove) so the number isolates the agent's notification path
+// rather than site round-trips.
+func BenchmarkWaitLatency(b *testing.B) {
+	var runs atomic.Int64
+	site := benchSite(b, "waitlat", &runs, "", "")
+	agent := benchAgent(b, site)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		id, err := agent.Submit(condorg.SubmitRequest{
+			Owner: "bench", Executable: gram.Program("linger"), Args: []string{"10m"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		ready := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			close(ready)
+			_, err := agent.Wait(ctx, id)
+			done <- err
+		}()
+		<-ready
+		time.Sleep(2 * time.Millisecond) // let the waiter block
+		b.StartTimer()
+		if err := agent.Remove(id); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		cancel()
+		b.StartTimer()
+	}
+}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir]
+//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync]
 //	condorg submit -agent 127.0.0.1:7100 [-owner u] [-site addr] program [args...]
 //	condorg q      -agent 127.0.0.1:7100
 //	condorg status -agent 127.0.0.1:7100 <job-id>
@@ -31,6 +31,7 @@ import (
 
 	"condorg/internal/broker"
 	"condorg/internal/condorg"
+	"condorg/internal/journal"
 	"condorg/internal/mds"
 )
 
@@ -95,6 +96,7 @@ func serve(args []string) {
 	sites := fs.String("sites", "", "comma-separated gatekeeper addresses (round-robin)")
 	mdsAddr := fs.String("mds", "", "MDS directory for brokered site selection")
 	state := fs.String("state", "", "agent state directory (default: temp)")
+	sync := fs.Bool("sync", false, "fsync the job queue journal before acknowledging submits (group commit)")
 	fs.Parse(args)
 
 	var selector condorg.Selector
@@ -123,6 +125,7 @@ func serve(args []string) {
 	agent, err := condorg.NewAgent(condorg.AgentConfig{
 		StateDir: stateDir,
 		Selector: selector,
+		Journal:  journal.StoreOptions{Sync: *sync},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -45,7 +46,18 @@ type AgentConfig struct {
 	MigrateAfter time.Duration
 	// MaxMigrations bounds queue migrations per job (default 5).
 	MaxMigrations int
+	// Journal configures the persistent queue's durability (the §4.2
+	// "stable storage"). The zero value journals asynchronously — fast,
+	// survives an agent crash, but a host power failure may lose the last
+	// events. Set Journal.Sync to make every job-state transition durable
+	// before it is acknowledged; concurrent jobs share fsyncs through
+	// group commit, so the cost amortizes under load.
+	Journal journal.StoreOptions
 }
+
+// maxOpenUserLogs bounds the persistent user-log file handles kept open for
+// non-terminal jobs; excess handles are closed and reopened on demand.
+const maxOpenUserLogs = 128
 
 // Agent is the Condor-G Scheduler: persistent queue plus per-user
 // GridManagers.
@@ -54,11 +66,20 @@ type Agent struct {
 	store *journal.Store
 	gassS *gass.Server
 	cbSrv *wire.Server
+	stage *gass.Client // shared loopback staging client (safe concurrently)
 
-	logMu     sync.Mutex // serializes on-disk user-log appends
+	logMu    sync.Mutex // guards logFiles and on-disk user-log appends
+	logFiles map[string]*os.File
+
+	// changed wakes WaitAll and other whole-queue watchers on any
+	// job-state change; its lock is a leaf taken under no other.
+	changed stateBroadcast
+
 	mu        sync.Mutex
 	jobs      map[string]*jobRecord
-	bySiteJob map[string]string // site job ID -> agent job ID
+	byOwner   map[string]map[string]*jobRecord // owner -> all jobs
+	active    map[string]map[string]*jobRecord // owner -> non-terminal jobs
+	bySiteJob map[string]string                // site job ID -> agent job ID
 	managers  map[string]*GridManager
 	serial    int
 	closed    bool
@@ -88,8 +109,11 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	a := &Agent{
 		cfg:       cfg,
 		jobs:      make(map[string]*jobRecord),
+		byOwner:   make(map[string]map[string]*jobRecord),
+		active:    make(map[string]map[string]*jobRecord),
 		bySiteJob: make(map[string]string),
 		managers:  make(map[string]*GridManager),
+		logFiles:  make(map[string]*os.File),
 	}
 	if cfg.Notifier == nil {
 		a.mailbox = NewMailbox()
@@ -98,7 +122,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "logs"), 0o700); err != nil {
 		return nil, err
 	}
-	store, err := journal.OpenStore(filepath.Join(cfg.StateDir, "queue"))
+	store, err := journal.OpenStoreOptions(filepath.Join(cfg.StateDir, "queue"), cfg.Journal)
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +133,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		return nil, err
 	}
 	a.gassS = gassS
+	a.stage = gass.NewClient(nil, cfg.Clock)
 	cbSrv, err := wire.NewServer(wire.ServerConfig{Name: gram.CallbackService})
 	if err != nil {
 		gassS.Close()
@@ -152,14 +177,17 @@ func (a *Agent) recover() error {
 		rec.SubmissionID = full.SubmissionID
 		rec.Spec = full.Spec
 		rec.Remote = full.Remote
+		a.mu.Lock()
 		a.jobs[rec.ID] = &rec
+		a.indexJobLocked(&rec)
 		if rec.Contact.JobID != "" {
 			a.bySiteJob[rec.Contact.JobID] = rec.ID
 		}
 		if n := parseAgentSerial(rec.ID); n > a.serial {
 			a.serial = n
 		}
-		if !rec.State.Terminal() && rec.State != Held {
+		a.mu.Unlock()
+		if !rec.State.Terminal() {
 			recovered = append(recovered, &rec)
 		}
 		return nil
@@ -169,14 +197,81 @@ func (a *Agent) recover() error {
 	}
 	for _, rec := range recovered {
 		// The GASS server restarted on a new port: rewrite the job's
-		// staging and output URLs before the GridManager touches it.
+		// staging and output URLs before the GridManager touches it. Held
+		// jobs get the rewrite too — a later Release resubmits from this
+		// spec, and the old address is gone for them just the same.
 		rec.mu.Lock()
 		a.rewriteSpecURLs(&rec.Spec)
+		held := rec.State == Held
 		rec.mu.Unlock()
 		a.persist(rec)
-		a.managerFor(rec.Owner).enqueueRecovery(rec)
+		if !held {
+			a.managerFor(rec.Owner).enqueueRecovery(rec)
+		}
 	}
 	return nil
+}
+
+// indexJobLocked adds rec to the per-owner and non-terminal indexes.
+// Caller holds a.mu; rec is not yet visible to other goroutines.
+func (a *Agent) indexJobLocked(rec *jobRecord) {
+	owner := rec.Owner
+	if a.byOwner[owner] == nil {
+		a.byOwner[owner] = make(map[string]*jobRecord)
+	}
+	a.byOwner[owner][rec.ID] = rec
+	if !rec.State.Terminal() {
+		if a.active[owner] == nil {
+			a.active[owner] = make(map[string]*jobRecord)
+		}
+		a.active[owner][rec.ID] = rec
+	}
+}
+
+// finishJob retires a job that reached a terminal state: it leaves the
+// non-terminal index and its user-log handle is released. Call after the
+// final state is set and logged.
+func (a *Agent) finishJob(rec *jobRecord) {
+	a.mu.Lock()
+	if jobs := a.active[rec.Owner]; jobs != nil {
+		delete(jobs, rec.ID)
+		if len(jobs) == 0 {
+			delete(a.active, rec.Owner)
+		}
+	}
+	a.mu.Unlock()
+	a.closeUserLog(rec.ID)
+}
+
+// noteJobChange wakes whole-queue watchers (WaitAll) and the owner's
+// GridManager after a job-state change. Per-job waiters are woken by
+// bumpLocked at the mutation site.
+func (a *Agent) noteJobChange(owner string) {
+	a.changed.Notify()
+	a.mu.Lock()
+	gm := a.managers[owner]
+	a.mu.Unlock()
+	if gm != nil {
+		gm.poke()
+	}
+}
+
+// activeJobs returns the owner's non-terminal jobs (unordered).
+func (a *Agent) activeJobs(owner string) []*jobRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*jobRecord, 0, len(a.active[owner]))
+	for _, rec := range a.active[owner] {
+		out = append(out, rec)
+	}
+	return out
+}
+
+// activeJobsSorted returns the owner's non-terminal jobs in queue order.
+func (a *Agent) activeJobsSorted(owner string) []*jobRecord {
+	recs := a.activeJobs(owner)
+	sort.Slice(recs, func(i, j int) bool { return lessJobID(recs[i].ID, recs[j].ID) })
+	return recs
 }
 
 func parseAgentSerial(id string) int {
@@ -185,6 +280,17 @@ func parseAgentSerial(id string) int {
 		return 0
 	}
 	return n
+}
+
+// lessJobID orders job IDs by agent serial, falling back to lexicographic
+// order for IDs that carry no gjN serial (e.g. future sharded IDs) so the
+// sort stays deterministic.
+func lessJobID(a, b string) bool {
+	na, nb := parseAgentSerial(a), parseAgentSerial(b)
+	if na != nb {
+		return na < nb
+	}
+	return a < b
 }
 
 // rewriteSpecURLs repoints every gass:// URL in the spec at the agent's
@@ -234,11 +340,38 @@ func (a *Agent) log(rec *jobRecord, code, format string, args ...any) {
 	// Mirror to the on-disk user log (§4.1: "obtain access to detailed
 	// logs, providing a complete history of their jobs' execution") so
 	// the history is greppable without the agent API.
+	a.appendUserLog(id, ev)
+}
+
+// appendUserLog writes one event line through a persistent per-job handle,
+// avoiding an open/close syscall pair per event.
+func (a *Agent) appendUserLog(id string, ev LogEvent) {
 	a.logMu.Lock()
-	f, err := os.OpenFile(a.UserLogPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
-	if err == nil {
-		fmt.Fprintf(f, "%s %-16s %s\n", ev.Time.Format(time.RFC3339Nano), ev.Code, ev.Text)
+	defer a.logMu.Unlock()
+	f := a.logFiles[id]
+	if f == nil {
+		var err error
+		f, err = os.OpenFile(a.UserLogPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+		if err != nil {
+			return
+		}
+		if len(a.logFiles) >= maxOpenUserLogs {
+			for victim, vf := range a.logFiles {
+				vf.Close()
+				delete(a.logFiles, victim)
+				break
+			}
+		}
+		a.logFiles[id] = f
+	}
+	fmt.Fprintf(f, "%s %-16s %s\n", ev.Time.Format(time.RFC3339Nano), ev.Code, ev.Text)
+}
+
+func (a *Agent) closeUserLog(id string) {
+	a.logMu.Lock()
+	if f := a.logFiles[id]; f != nil {
 		f.Close()
+		delete(a.logFiles, id)
 	}
 	a.logMu.Unlock()
 }
@@ -302,10 +435,8 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 		}
 	}
 
-	gc := gass.NewClient(nil, a.cfg.Clock) // local loopback staging
-	defer gc.Close()
 	execURL := a.gassS.URLFor(filepath.Join("jobs", id, "executable"))
-	if err := gc.WriteFile(execURL, req.Executable); err != nil {
+	if err := a.stage.WriteFile(execURL, req.Executable); err != nil {
 		return "", fmt.Errorf("condorg: stage executable: %w", err)
 	}
 	spec := gram.JobSpec{
@@ -320,7 +451,7 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 	}
 	if req.Stdin != nil {
 		stdinURL := a.gassS.URLFor(filepath.Join("jobs", id, "stdin"))
-		if err := gc.WriteFile(stdinURL, req.Stdin); err != nil {
+		if err := a.stage.WriteFile(stdinURL, req.Stdin); err != nil {
 			return "", fmt.Errorf("condorg: stage stdin: %w", err)
 		}
 		spec.Stdin = stdinURL.String()
@@ -335,13 +466,15 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 	}
 	a.mu.Lock()
 	a.jobs[id] = rec
+	a.indexJobLocked(rec)
 	a.mu.Unlock()
 	// Journal BEFORE the network submission: if we crash between the
 	// journal write and the site's reply, recovery resubmits with the
-	// same SubmissionID and the site deduplicates — exactly-once.
-	a.persist(rec)
+	// same SubmissionID and the site deduplicates — exactly-once. log()
+	// persists the record (SUBMIT event included) in a single delta.
 	a.log(rec, "SUBMIT", "job submitted to agent, destined for %s", site)
 	a.managerFor(req.Owner).enqueueSubmit(rec)
+	a.changed.Notify()
 	return id, nil
 }
 
@@ -365,7 +498,7 @@ func (a *Agent) Jobs() []JobInfo {
 	}
 	a.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
-		return parseAgentSerial(out[i].ID) < parseAgentSerial(out[j].ID)
+		return lessJobID(out[i].ID, out[j].ID)
 	})
 	return out
 }
@@ -392,8 +525,10 @@ func (a *Agent) Hold(id, reason string) error {
 	rec.State = Held
 	rec.HoldReason = reason
 	contact := rec.Contact
+	rec.bumpLocked()
 	rec.mu.Unlock()
 	a.log(rec, "HELD", "job held: %s", reason)
+	a.noteJobChange(rec.Owner)
 	if contact.JobID != "" {
 		gm := a.managerFor(rec.Owner)
 		go gm.gram.Cancel(contact) // best effort; the site may be down
@@ -421,9 +556,11 @@ func (a *Agent) Release(id string) error {
 	rec.SubmissionID = gram.NewSubmissionID()
 	rec.Contact = gram.JobContact{}
 	rec.Remote = gram.StateUnsubmitted
+	rec.bumpLocked()
 	rec.mu.Unlock()
 	a.log(rec, "RELEASED", "job released from hold")
 	a.managerFor(rec.Owner).enqueueSubmit(rec)
+	a.changed.Notify()
 	return nil
 }
 
@@ -443,8 +580,11 @@ func (a *Agent) Remove(id string) error {
 	rec.State = Removed
 	rec.FinishedAt = time.Now()
 	contact := rec.Contact
+	rec.bumpLocked()
 	rec.mu.Unlock()
 	a.log(rec, "REMOVED", "job removed by user")
+	a.finishJob(rec)
+	a.noteJobChange(rec.Owner)
 	if contact.JobID != "" {
 		gm := a.managerFor(rec.Owner)
 		go gm.gram.Cancel(contact)
@@ -452,20 +592,28 @@ func (a *Agent) Remove(id string) error {
 	return nil
 }
 
-// Wait blocks until the job is terminal or ctx expires.
+// Wait blocks until the job is terminal or ctx expires. It wakes on the
+// job's state-change broadcast, so completion latency is bounded by the
+// event, not by a poll interval.
 func (a *Agent) Wait(ctx context.Context, id string) (JobInfo, error) {
+	a.mu.Lock()
+	rec, ok := a.jobs[id]
+	a.mu.Unlock()
+	if !ok {
+		return JobInfo{}, fmt.Errorf("condorg: no such job %q", id)
+	}
 	for {
-		info, err := a.Status(id)
-		if err != nil {
-			return JobInfo{}, err
-		}
+		rec.mu.Lock()
+		info := rec.snapshotLocked()
+		ch := rec.changedLocked()
+		rec.mu.Unlock()
 		if info.State.Terminal() {
 			return info, nil
 		}
 		select {
 		case <-ctx.Done():
 			return info, ctx.Err()
-		case <-time.After(5 * time.Millisecond):
+		case <-ch:
 		}
 	}
 }
@@ -473,22 +621,35 @@ func (a *Agent) Wait(ctx context.Context, id string) (JobInfo, error) {
 // WaitAll blocks until every job is terminal or held, or ctx expires.
 func (a *Agent) WaitAll(ctx context.Context) error {
 	for {
-		pending := false
-		for _, info := range a.Jobs() {
-			if !info.State.Terminal() && info.State != Held {
-				pending = true
-				break
-			}
-		}
-		if !pending {
+		// Grab the broadcast channel BEFORE scanning so a change that
+		// lands between the scan and the wait is not missed.
+		ch := a.changed.C()
+		if !a.hasRunnableJobs() {
 			return nil
 		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(5 * time.Millisecond):
+		case <-ch:
 		}
 	}
+}
+
+// hasRunnableJobs reports whether any job is neither terminal nor held.
+func (a *Agent) hasRunnableJobs() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, recs := range a.active {
+		for _, rec := range recs {
+			rec.mu.Lock()
+			runnable := !rec.State.Terminal() && rec.State != Held
+			rec.mu.Unlock()
+			if runnable {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Stdout returns the job's streamed standard output so far (empty when
@@ -497,7 +658,7 @@ func (a *Agent) Stdout(id string) ([]byte, error) {
 	return a.readStream(id, "stdout")
 }
 
-// Stderr returns the job's streamed standard error so far.
+// Stderr returns the job's streamed standard error.
 func (a *Agent) Stderr(id string) ([]byte, error) {
 	return a.readStream(id, "stderr")
 }
@@ -506,15 +667,13 @@ func (a *Agent) readStream(id, stream string) ([]byte, error) {
 	if _, err := a.Status(id); err != nil {
 		return nil, err
 	}
-	gc := gass.NewClient(nil, a.cfg.Clock)
-	defer gc.Close()
 	u := a.gassS.URLFor(filepath.Join("jobs", id, stream))
-	if _, exists, err := gc.Stat(u); err != nil {
+	if _, exists, err := a.stage.Stat(u); err != nil {
 		return nil, err
 	} else if !exists {
 		return nil, nil // no output streamed yet
 	}
-	return gc.ReadAll(u)
+	return a.stage.ReadAll(u)
 }
 
 // UserLog returns the job's event history.
@@ -580,14 +739,23 @@ func (a *Agent) applyRemoteStatus(rec *jobRecord, st gram.StatusInfo) {
 		rec.mu.Unlock()
 		return // a previous incarnation's status
 	}
+	if st.JobManagerAddr != "" && st.JobManagerAddr != rec.Contact.JobManagerAddr {
+		// Job IDs are only site-unique: a late callback from a cancelled
+		// incarnation at another site can collide with the live job ID.
+		rec.mu.Unlock()
+		return
+	}
 	if remoteRank(st.State) < remoteRank(rec.Remote) {
 		rec.mu.Unlock()
 		return // stale out-of-order delivery
 	}
-	prev := rec.Remote
+	transitioned := rec.Remote != st.State
+	if !transitioned && !rec.Disconnected {
+		rec.mu.Unlock()
+		return // no observable change: skip the redundant persist
+	}
 	rec.Remote = st.State
 	rec.Disconnected = false
-	transitioned := prev != st.State
 	var code, text string
 	switch st.State {
 	case gram.StatePending:
@@ -612,6 +780,7 @@ func (a *Agent) applyRemoteStatus(rec *jobRecord, st gram.StatusInfo) {
 	default:
 		rec.State = Idle
 	}
+	rec.bumpLocked()
 	owner := rec.Owner
 	rec.mu.Unlock()
 	if transitioned && code != "" {
@@ -620,9 +789,11 @@ func (a *Agent) applyRemoteStatus(rec *jobRecord, st gram.StatusInfo) {
 		a.persist(rec)
 	}
 	if st.State == gram.StateDone {
+		a.finishJob(rec)
 		a.cfg.Notifier.Notify(owner, "job "+rec.ID+" completed",
 			fmt.Sprintf("Your job %s finished successfully on %s.", rec.ID, rec.Site))
 	}
+	a.noteJobChange(owner)
 }
 
 // Credential returns the agent's current user proxy.
@@ -644,6 +815,12 @@ func (a *Agent) SetCredential(cred *gsi.Credential) map[string]error {
 	for _, gm := range a.managers {
 		managers = append(managers, gm)
 	}
+	var recs []*jobRecord
+	for _, jobs := range a.active {
+		for _, rec := range jobs {
+			recs = append(recs, rec)
+		}
+	}
 	a.mu.Unlock()
 	for _, gm := range managers {
 		gm.gram.SetCredential(cred)
@@ -653,13 +830,18 @@ func (a *Agent) SetCredential(cred *gsi.Credential) map[string]error {
 	if delegate == 0 {
 		delegate = 12 * time.Hour
 	}
-	for _, info := range a.Jobs() {
-		if info.State.Terminal() || info.Contact.JobID == "" {
+	for _, rec := range recs {
+		rec.mu.Lock()
+		contact := rec.Contact
+		skip := rec.State.Terminal() || contact.JobID == ""
+		owner := rec.Owner
+		rec.mu.Unlock()
+		if skip {
 			continue
 		}
-		gm := a.managerFor(info.Owner)
-		if err := gm.gram.RefreshCredential(info.Contact, delegate); err != nil {
-			errs[info.ID] = err
+		gm := a.managerFor(owner)
+		if err := gm.gram.RefreshCredential(contact, delegate); err != nil {
+			errs[rec.ID] = err
 		}
 	}
 	return errs
@@ -669,12 +851,15 @@ func (a *Agent) SetCredential(cred *gsi.Credential) map[string]error {
 // returns the held job IDs — the credential monitor's bulk action.
 func (a *Agent) HoldAll(owner, reason string) []string {
 	var held []string
-	for _, info := range a.Jobs() {
-		if info.Owner != owner || info.State.Terminal() || info.State == Held {
+	for _, rec := range a.activeJobsSorted(owner) {
+		rec.mu.Lock()
+		skip := rec.State.Terminal() || rec.State == Held
+		rec.mu.Unlock()
+		if skip {
 			continue
 		}
-		if err := a.Hold(info.ID, reason); err == nil {
-			held = append(held, info.ID)
+		if err := a.Hold(rec.ID, reason); err == nil {
+			held = append(held, rec.ID)
 		}
 	}
 	return held
@@ -684,42 +869,41 @@ func (a *Agent) HoldAll(owner, reason string) []string {
 // reasonPrefix ("" = all held jobs of that owner).
 func (a *Agent) ReleaseAll(owner, reasonPrefix string) []string {
 	var released []string
-	for _, info := range a.Jobs() {
-		if info.Owner != owner || info.State != Held {
+	for _, rec := range a.activeJobsSorted(owner) {
+		rec.mu.Lock()
+		match := rec.State == Held &&
+			(reasonPrefix == "" || strings.HasPrefix(rec.HoldReason, reasonPrefix))
+		rec.mu.Unlock()
+		if !match {
 			continue
 		}
-		if reasonPrefix != "" && !hasPrefix(info.HoldReason, reasonPrefix) {
-			continue
-		}
-		if err := a.Release(info.ID); err == nil {
-			released = append(released, info.ID)
+		if err := a.Release(rec.ID); err == nil {
+			released = append(released, rec.ID)
 		}
 	}
 	return released
 }
 
-func hasPrefix(s, prefix string) bool {
-	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
-}
-
 // Owners returns users with at least one job in the queue.
 func (a *Agent) Owners() []string {
-	seen := map[string]bool{}
-	var out []string
-	for _, info := range a.Jobs() {
-		if !seen[info.Owner] {
-			seen[info.Owner] = true
-			out = append(out, info.Owner)
-		}
+	a.mu.Lock()
+	out := make([]string, 0, len(a.byOwner))
+	for owner := range a.byOwner {
+		out = append(out, owner)
 	}
+	a.mu.Unlock()
+	sort.Strings(out)
 	return out
 }
 
 // HasPendingJobs reports whether owner has non-terminal jobs (the
 // credential monitor only analyzes "users with currently queued jobs").
 func (a *Agent) HasPendingJobs(owner string) bool {
-	for _, info := range a.Jobs() {
-		if info.Owner == owner && !info.State.Terminal() {
+	for _, rec := range a.activeJobs(owner) {
+		rec.mu.Lock()
+		pending := !rec.State.Terminal()
+		rec.mu.Unlock()
+		if pending {
 			return true
 		}
 	}
@@ -751,6 +935,13 @@ func (a *Agent) Close() {
 		gm.stop()
 	}
 	a.cbSrv.Close()
+	a.stage.Close()
 	a.gassS.Close()
 	a.store.Close()
+	a.logMu.Lock()
+	for id, f := range a.logFiles {
+		f.Close()
+		delete(a.logFiles, id)
+	}
+	a.logMu.Unlock()
 }

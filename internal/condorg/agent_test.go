@@ -507,3 +507,119 @@ func TestWaitAllAndWait(t *testing.T) {
 	}
 	w.agent.Remove(id2)
 }
+
+func TestWaitWakesOnStateEvents(t *testing.T) {
+	// Wait and WaitAll are event-driven: they must wake on the state
+	// change itself, without an agent poll loop. Use a job that would
+	// linger for minutes so only the event can end the wait.
+	w := newWorld(t, 1)
+	id, err := w.agent.Submit(SubmitRequest{
+		Owner: "u", Executable: gram.Program("task"), Args: []string{"10m"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAgentState(t, w.agent, id, Running)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
+	defer cancel()
+	done := make(chan JobInfo, 1)
+	go func() {
+		info, err := w.agent.Wait(ctx, id)
+		if err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		done <- info
+	}()
+	time.Sleep(50 * time.Millisecond) // let the waiter block
+	if err := w.agent.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case info := <-done:
+		if info.State != Removed {
+			t.Fatalf("woke with state %v, want removed", info.State)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not wake on Remove")
+	}
+
+	// WaitAll treats held jobs as settled: holding the only live job must
+	// wake a blocked WaitAll.
+	id2, err := w.agent.Submit(SubmitRequest{
+		Owner: "u", Executable: gram.Program("task"), Args: []string{"10m"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAgentState(t, w.agent, id2, Running)
+	allDone := make(chan error, 1)
+	go func() { allDone <- w.agent.WaitAll(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	if err := w.agent.Hold(id2, "parked by test"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-allDone:
+		if err != nil {
+			t.Fatalf("waitall: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitAll did not wake on Hold")
+	}
+	w.agent.Remove(id2)
+}
+
+func TestHeldJobReleasedAfterRestart(t *testing.T) {
+	// A job held across an agent restart keeps its spec in the queue; its
+	// gass:// staging URLs must be rewritten to the new agent's address at
+	// recovery, or a later Release resubmits against the dead old port.
+	runs := &atomic.Int64{}
+	site := newSite(t, "s", runs, t.TempDir(), "")
+	defer site.Close()
+	dir := t.TempDir()
+	a1, err := NewAgent(AgentConfig{
+		StateDir:      dir,
+		Selector:      StaticSelector(site.GatekeeperAddr()),
+		ProbeInterval: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := a1.Submit(SubmitRequest{
+		Owner: "u", Executable: gram.Program("task"), Args: []string{"10m", "held"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Hold(id, "held before crash"); err != nil {
+		t.Fatal(err)
+	}
+	a1.Close() // CRASH: the new agent's GASS server comes up on a new port
+
+	a2, err := NewAgent(AgentConfig{
+		StateDir:      dir,
+		Selector:      StaticSelector(site.GatekeeperAddr()),
+		ProbeInterval: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	info, err := a2.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != Held {
+		t.Fatalf("recovered state = %v, want Held", info.State)
+	}
+	if err := a2.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	// The released job must stage in from the restarted agent and run; the
+	// 10m task reaching Running proves stage-in used the rewritten URLs.
+	waitAgentState(t, a2, id, Running)
+	if err := a2.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,9 @@
 package condorg
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -182,19 +184,20 @@ func (c *ControlServer) handleWait(_ string, body json.RawMessage) (any, error) 
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err
 	}
-	// Wait briefly server-side; the client polls for long waits so a
-	// single RPC never outlives the wire timeout.
-	deadline := time.Now().Add(time.Duration(req.TimeoutSec) * time.Second)
-	for {
-		info, err := c.agent.Status(req.ID)
-		if err != nil {
-			return nil, err
-		}
-		if info.State.Terminal() || time.Now().After(deadline) {
-			return info, nil
-		}
-		time.Sleep(10 * time.Millisecond)
+	// Wait briefly server-side; the client re-calls for long waits so a
+	// single RPC never outlives the wire timeout. The wait itself is
+	// event-driven — it returns the moment the job turns terminal.
+	ctx, cancel := context.WithTimeout(context.Background(),
+		time.Duration(req.TimeoutSec)*time.Second)
+	defer cancel()
+	info, err := c.agent.Wait(ctx, req.ID)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return info, nil // not terminal yet; the client decides to re-call
 	}
+	if err != nil {
+		return nil, err
+	}
+	return info, nil
 }
 
 // ControlClient is the CLI side of the control protocol.

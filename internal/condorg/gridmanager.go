@@ -2,6 +2,7 @@ package condorg
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,6 +23,7 @@ type GridManager struct {
 	recovery []*jobRecord // recovered with a live contact to re-verify
 	finished bool
 	stopCh   chan struct{}
+	wake     chan struct{} // buffered nudge: new work or a state change
 	wg       sync.WaitGroup
 }
 
@@ -31,6 +33,7 @@ func newGridManager(a *Agent, owner string) *GridManager {
 		owner:  owner,
 		gram:   gram.NewClient(a.cfg.Credential, a.cfg.Clock),
 		stopCh: make(chan struct{}),
+		wake:   make(chan struct{}, 1),
 	}
 	gm.gram.SetTimeouts(300*time.Millisecond, 2)
 	gm.wg.Add(1)
@@ -57,11 +60,21 @@ func (gm *GridManager) stop() {
 	gm.gram.Close()
 }
 
+// poke nudges the run loop so new work is picked up immediately instead of
+// waiting out the probe tick. Non-blocking: a pending nudge is enough.
+func (gm *GridManager) poke() {
+	select {
+	case gm.wake <- struct{}{}:
+	default:
+	}
+}
+
 // enqueueSubmit hands a new or released job to the manager.
 func (gm *GridManager) enqueueSubmit(rec *jobRecord) {
 	gm.mu.Lock()
 	gm.pending = append(gm.pending, rec)
 	gm.mu.Unlock()
+	gm.poke()
 }
 
 // enqueueRecovery hands a job recovered from the persistent queue: it may
@@ -79,9 +92,13 @@ func (gm *GridManager) enqueueRecovery(rec *jobRecord) {
 		gm.pending = append(gm.pending, rec)
 	}
 	gm.mu.Unlock()
+	gm.poke()
 }
 
-// run is the manager's main loop.
+// run is the manager's main loop. New-work and retirement passes are
+// event-driven (the wake channel fires on enqueue and on job-state
+// changes); the §4.2 failure probe stays strictly ticker-paced so a burst
+// of events never turns into a probe storm against remote sites.
 func (gm *GridManager) run() {
 	defer gm.wg.Done()
 	ticker := time.NewTicker(gm.agent.cfg.ProbeInterval)
@@ -89,7 +106,6 @@ func (gm *GridManager) run() {
 	for {
 		gm.drainPending()
 		gm.drainRecovery()
-		gm.probeAll()
 		if gm.tryRetire() {
 			return
 		}
@@ -97,6 +113,8 @@ func (gm *GridManager) run() {
 		case <-gm.stopCh:
 			return
 		case <-ticker.C:
+			gm.probeAll()
+		case <-gm.wake:
 		}
 	}
 }
@@ -111,11 +129,11 @@ func (gm *GridManager) tryRetire() bool {
 		return false
 	}
 	gm.mu.Unlock()
-	for _, info := range gm.agent.Jobs() {
-		if info.Owner != gm.owner {
-			continue
-		}
-		if !info.State.Terminal() && info.State != Held {
+	for _, rec := range gm.agent.activeJobs(gm.owner) {
+		rec.mu.Lock()
+		runnable := !rec.State.Terminal() && rec.State != Held
+		rec.mu.Unlock()
+		if runnable {
 			return false
 		}
 	}
@@ -222,17 +240,11 @@ func (gm *GridManager) drainRecovery() {
 // failures by periodically probing the JobManagers of all the jobs it
 // manages."
 func (gm *GridManager) probeAll() {
-	for _, info := range gm.agent.Jobs() {
-		if info.Owner != gm.owner || info.State.Terminal() || info.State == Held {
-			continue
-		}
-		if info.Contact.JobID == "" {
-			continue // not submitted yet
-		}
-		gm.agent.mu.Lock()
-		rec := gm.agent.jobs[info.ID]
-		gm.agent.mu.Unlock()
-		if rec == nil {
+	for _, rec := range gm.agent.activeJobs(gm.owner) {
+		rec.mu.Lock()
+		skip := rec.State.Terminal() || rec.State == Held || rec.Contact.JobID == ""
+		rec.mu.Unlock()
+		if skip {
 			continue
 		}
 		gm.probeJob(rec)
@@ -261,6 +273,9 @@ func (gm *GridManager) probeJob(rec *jobRecord) {
 		rec.mu.Lock()
 		already := rec.Disconnected
 		rec.Disconnected = true
+		if !already {
+			rec.bumpLocked()
+		}
 		rec.mu.Unlock()
 		if !already {
 			gm.agent.log(rec, "DISCONNECTED", "lost contact with %s; waiting to reconnect", contact.GatekeeperAddr)
@@ -280,6 +295,9 @@ func (gm *GridManager) probeJob(rec *jobRecord) {
 	rec.Contact = newContact
 	wasDisconnected := rec.Disconnected
 	rec.Disconnected = false
+	if wasDisconnected {
+		rec.bumpLocked()
+	}
 	rec.mu.Unlock()
 	gm.agent.persist(rec)
 	if wasDisconnected {
@@ -326,6 +344,7 @@ func (gm *GridManager) maybeMigrate(rec *jobRecord, st gram.StatusInfo) {
 	rec.SubmissionID = gram.NewSubmissionID()
 	rec.PendingSince = time.Time{}
 	n := rec.Migrations
+	rec.bumpLocked()
 	rec.mu.Unlock()
 	gm.agent.mu.Lock()
 	delete(gm.agent.bySiteJob, oldContact.JobID)
@@ -350,15 +369,24 @@ func (gm *GridManager) maybeResubmit(rec *jobRecord, st gram.StatusInfo) {
 		rec.mu.Unlock()
 		return
 	}
-	siteLost := st.Error == "lost by site restart" || st.Error == "commit timeout: two-phase commit never completed"
+	// Stage-in failures count as site-lost too: the program never started
+	// (so retrying cannot double-execute), and the usual cause is this
+	// agent's own GASS server having moved across a crash — the recovered
+	// spec already carries the rewritten URLs for the retry.
+	siteLost := st.Error == "lost by site restart" ||
+		st.Error == "commit timeout: two-phase commit never completed" ||
+		strings.HasPrefix(st.Error, "stage-in ")
 	if !siteLost || rec.Resubmits >= gm.agent.cfg.MaxResubmits {
 		rec.State = Failed
 		rec.Error = st.Error
 		rec.FinishedAt = time.Now()
 		owner := rec.Owner
 		id := rec.ID
+		rec.bumpLocked()
 		rec.mu.Unlock()
 		gm.agent.log(rec, "FAILED", "job failed: %s", st.Error)
+		gm.agent.finishJob(rec)
+		gm.agent.noteJobChange(owner)
 		gm.agent.cfg.Notifier.Notify(owner, "job "+id+" failed",
 			fmt.Sprintf("Your job %s failed: %s", id, st.Error))
 		return
@@ -376,6 +404,7 @@ func (gm *GridManager) maybeResubmit(rec *jobRecord, st gram.StatusInfo) {
 		}
 	}
 	n := rec.Resubmits
+	rec.bumpLocked()
 	rec.mu.Unlock()
 	gm.agent.mu.Lock()
 	delete(gm.agent.bySiteJob, oldContact.JobID)

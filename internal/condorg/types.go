@@ -115,14 +115,79 @@ type jobRecord struct {
 	Spec         gram.JobSpec `json:"spec"`
 	// remote mirrors the last GRAM state seen, to detect transitions.
 	Remote gram.JobState `json:"remote"`
+
+	// gen counts observable state changes; waitCh (lazily created) is
+	// closed at each one so waiters block on events instead of polling.
+	gen    uint64
+	waitCh chan struct{}
 }
 
 func (j *jobRecord) snapshot() JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+func (j *jobRecord) snapshotLocked() JobInfo {
 	info := j.JobInfo
 	info.Log = append([]LogEvent(nil), j.Log...)
 	return info
+}
+
+// bumpLocked marks an observable state change: the generation advances and
+// every goroutine blocked on the current wait channel wakes. Caller holds mu.
+func (j *jobRecord) bumpLocked() {
+	j.gen++
+	if j.waitCh != nil {
+		close(j.waitCh)
+		j.waitCh = nil
+	}
+}
+
+// changedLocked returns a channel that closes at the next state change.
+// Caller holds mu.
+func (j *jobRecord) changedLocked() <-chan struct{} {
+	if j.waitCh == nil {
+		j.waitCh = make(chan struct{})
+	}
+	return j.waitCh
+}
+
+// stateBroadcast is an agent-wide, generation-counted change signal: any
+// job-state change closes the current channel. Its mutex is a leaf — safe
+// to take under any other agent lock.
+type stateBroadcast struct {
+	mu  sync.Mutex
+	gen uint64
+	ch  chan struct{}
+}
+
+// C returns a channel that closes at the next change.
+func (b *stateBroadcast) C() <-chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ch == nil {
+		b.ch = make(chan struct{})
+	}
+	return b.ch
+}
+
+// Notify wakes every waiter and advances the generation.
+func (b *stateBroadcast) Notify() {
+	b.mu.Lock()
+	b.gen++
+	if b.ch != nil {
+		close(b.ch)
+		b.ch = nil
+	}
+	b.mu.Unlock()
+}
+
+// Gen returns the current change generation.
+func (b *stateBroadcast) Gen() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.gen
 }
 
 // Notifier delivers the user-facing notifications of §4.3 (the paper uses

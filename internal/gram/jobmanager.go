@@ -257,6 +257,7 @@ func (jm *JobManager) sendCallback(st StatusInfo) {
 	if cb == nil || closed {
 		return
 	}
+	st.JobManagerAddr = jm.Addr() // identify the incarnation for the receiver
 	go cb.Call("gram.callback", st, nil)
 }
 

@@ -100,7 +100,12 @@ func (c JobContact) String() string {
 
 // StatusInfo is a status report for a job.
 type StatusInfo struct {
-	JobID      string   `json:"job_id"`
+	JobID string `json:"job_id"`
+	// JobManagerAddr is set on pushed callbacks so the receiver can match
+	// the report to the job's current remote incarnation: job IDs are only
+	// unique per site, so a late callback from a cancelled incarnation at
+	// one site could otherwise masquerade as the live one at another.
+	JobManagerAddr string `json:"jobmanager_addr,omitempty"`
 	State      JobState `json:"state"`
 	Error      string   `json:"error,omitempty"`
 	ExitOK     bool     `json:"exit_ok"`

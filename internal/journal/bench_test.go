@@ -3,6 +3,7 @@ package journal
 import (
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 )
 
@@ -63,5 +64,39 @@ func BenchmarkStorePut(b *testing.B) {
 		if err := s.Put(fmt.Sprintf("k%d", i%64), i); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStorePutDurableParallel isolates the group-commit win: many
+// goroutines issue durable (fsynced) Puts concurrently. With group commit
+// the batch shares one fsync; without it every delta pays its own.
+func BenchmarkStorePutDurableParallel(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts StoreOptions
+	}{
+		{"nogroup", StoreOptions{Sync: true, NoGroupCommit: true}},
+		{"group", StoreOptions{Sync: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, err := OpenStoreOptions(b.TempDir(), mode.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			var ctr atomic.Int64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := ctr.Add(1)
+					if err := s.Put(fmt.Sprintf("k%d", i%64), i); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "puts/s")
+		})
 	}
 }

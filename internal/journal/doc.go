@@ -1,0 +1,46 @@
+// Package journal provides the "stable storage" that the Condor-G paper
+// leans on for fault tolerance: the Schedd's persistent job queue, the
+// GridManager's recovery state, and the GRAM client-side job log are all
+// journaled through this package.
+//
+// A Journal is an append-only log of JSON records, each protected by a
+// CRC32 so a torn final write (the classic crash signature) is detected
+// and discarded on replay rather than corrupting recovery. A Store is a
+// crash-safe persistent map built from a snapshot file plus a journal of
+// deltas; snapshot compaction runs off the writers' lock so a large
+// compact never stalls concurrent Puts.
+//
+// # Durability contract
+//
+// What is guaranteed once an append call (Journal.Append, Journal.AppendRaw,
+// Journal.Commit, Store.Put, Store.Delete) has returned nil depends on the
+// configured mode:
+//
+//   - Sync (Options.Sync / StoreOptions.Sync set): the record has been
+//     written AND fsynced before the call returns. It survives both a
+//     process crash and a host power failure. This holds in group-commit
+//     mode too — group commit changes how many records share one fsync,
+//     never whether an acknowledged record was covered by one.
+//
+//   - Async (the default): the record has been handed to the operating
+//     system (write(2) completed) before the call returns. It survives a
+//     process crash but may be lost in a host crash or power failure.
+//
+//   - Group commit (the default append path): concurrent appenders
+//     coalesce. Each caller's record is framed and sequenced immediately
+//     under the journal lock; the first caller to need durability becomes
+//     the commit leader and writes (and, in Sync mode, fsyncs) every
+//     record enqueued so far in a single batch, while later callers wait
+//     for the leader to cover their sequence number. Options.GroupWindow
+//     optionally makes the leader linger to admit more followers; the
+//     natural batching window (the previous batch's write+fsync time) is
+//     usually enough. Options.NoGroupCommit restores the historical
+//     one-write-one-fsync-per-append behavior for comparison.
+//
+// In every mode, a record is either replayed intact or — when the crash
+// tore it — discarded along with everything after it. Records never
+// replay out of order, and an unacknowledged record may or may not
+// survive (the classic write-ahead-log tail ambiguity); callers that need
+// exactly-once semantics pair the journal with idempotent replay, as the
+// agent does with submission IDs.
+package journal

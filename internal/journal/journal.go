@@ -1,12 +1,3 @@
-// Package journal provides the "stable storage" that the Condor-G paper
-// leans on for fault tolerance: the Schedd's persistent job queue, the
-// GridManager's recovery state, and the GRAM client-side job log are all
-// journaled through this package.
-//
-// A Journal is an append-only log of JSON records, each protected by a CRC32
-// so a torn final write (the classic crash signature) is detected and
-// discarded on replay rather than corrupting recovery. Compact writes a
-// snapshot atomically (write-temp + rename) and truncates the log.
 package journal
 
 import (
@@ -20,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Record is one journal entry: an opaque type tag plus a JSON payload.
@@ -28,22 +20,42 @@ type Record struct {
 	Data json.RawMessage `json:"data"`
 }
 
-// Journal is an append-only crash-safe log. It is safe for concurrent use.
+// Journal is an append-only crash-safe log. It is safe for concurrent use;
+// concurrent appenders coalesce into group commits (see the package
+// documentation for the durability contract).
 type Journal struct {
-	mu      sync.Mutex
-	path    string
-	f       *os.File
-	w       *bufio.Writer
-	sync    bool // fsync after every append
+	mu   sync.Mutex
+	cond *sync.Cond
+	path string
+	f    *os.File
+
+	sync    bool
+	window  time.Duration
+	noGroup bool
+
+	buf     []byte // framed records enqueued but not yet written
+	pendSeq uint64 // sequence of the last enqueued record
+	durSeq  uint64 // sequence of the last written (and, if sync, fsynced) record
+	leading bool   // a commit leader is writing outside the lock
+	err     error  // latched fatal write error
 	appends int
 }
 
 // Options configures a Journal.
 type Options struct {
-	// Sync forces an fsync after every append. Tests that simulate
-	// crashes at arbitrary points leave this off for speed; the agent
-	// turns it on.
+	// Sync makes every append durable (fsynced) before it returns. Tests
+	// that simulate crashes at arbitrary points leave this off for speed;
+	// the agent turns it on for its persistent queue.
 	Sync bool
+	// GroupWindow, when positive, makes the commit leader linger that long
+	// before flushing so more concurrent appenders join the batch. Zero
+	// relies on natural batching (appenders that arrive while the previous
+	// batch is being written share the next one), which is usually best.
+	GroupWindow time.Duration
+	// NoGroupCommit restores the historical behavior of one write (and,
+	// with Sync, one fsync) per append, performed under the journal lock.
+	// It exists so benchmarks can compare against the ungrouped path.
+	NoGroupCommit bool
 }
 
 // Open opens (creating if needed) the journal at path.
@@ -52,43 +64,142 @@ func Open(path string, opts Options) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: open: %w", err)
 	}
-	return &Journal{path: path, f: f, w: bufio.NewWriter(f), sync: opts.Sync}, nil
+	j := &Journal{
+		path:    path,
+		f:       f,
+		sync:    opts.Sync,
+		window:  opts.GroupWindow,
+		noGroup: opts.NoGroupCommit,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j, nil
 }
 
-// Append writes one record. The payload v is marshalled to JSON.
+// frameRecord builds the length+CRC framed wire form of one record. The
+// payload is spliced in directly — the Record envelope is produced without
+// re-marshalling the already-marshalled data.
+func frameRecord(recType string, data []byte) []byte {
+	tag, _ := json.Marshal(recType) // a string never fails to marshal
+	if len(data) == 0 {
+		data = []byte("null")
+	}
+	rec := make([]byte, 8, 8+len(tag)+len(data)+17)
+	rec = append(rec, `{"type":`...)
+	rec = append(rec, tag...)
+	rec = append(rec, `,"data":`...)
+	rec = append(rec, data...)
+	rec = append(rec, '}')
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(rec)-8))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(rec[8:]))
+	return rec
+}
+
+// Append writes one record. The payload v is marshalled to JSON. The call
+// returns once the record is covered by the configured durability mode.
 func (j *Journal) Append(recType string, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("journal: marshal %s: %w", recType, err)
 	}
-	rec, err := json.Marshal(Record{Type: recType, Data: data})
+	return j.AppendRaw(recType, data)
+}
+
+// AppendRaw writes one record whose payload is already-marshalled JSON,
+// framing it directly without a second marshal. data must be a valid JSON
+// document (empty is treated as null).
+func (j *Journal) AppendRaw(recType string, data json.RawMessage) error {
+	seq, err := j.Enqueue(recType, data)
 	if err != nil {
 		return err
 	}
+	return j.Commit(seq)
+}
+
+// Enqueue stages one record (payload must be valid JSON) and returns its
+// sequence number without waiting for it to reach disk. Callers that need
+// to order the enqueue against their own state under an external lock use
+// Enqueue there and call Commit after releasing it, so the durability wait
+// does not serialize them.
+func (j *Journal) Enqueue(recType string, data json.RawMessage) (uint64, error) {
+	frame := frameRecord(recType, data)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
-		return errors.New("journal: closed")
+		return 0, errors.New("journal: closed")
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(rec)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(rec))
-	if _, err := j.w.Write(hdr[:]); err != nil {
-		return err
+	if j.err != nil {
+		return 0, j.err
 	}
-	if _, err := j.w.Write(rec); err != nil {
-		return err
-	}
-	if err := j.w.Flush(); err != nil {
-		return err
-	}
-	if j.sync {
-		if err := j.f.Sync(); err != nil {
-			return err
+	if j.noGroup {
+		// Historical path: write (and fsync) inline under the lock.
+		if _, err := j.f.Write(frame); err != nil {
+			j.err = err
+			return 0, err
 		}
+		if j.sync {
+			if err := j.f.Sync(); err != nil {
+				j.err = err
+				return 0, err
+			}
+		}
+		j.pendSeq++
+		j.durSeq = j.pendSeq
+		j.appends++
+		return j.pendSeq, nil
 	}
+	j.buf = append(j.buf, frame...)
+	j.pendSeq++
 	j.appends++
-	return nil
+	return j.pendSeq, nil
+}
+
+// Commit blocks until the record with the given sequence number is covered
+// by the configured durability mode. Concurrent committers elect a leader
+// that writes (and fsyncs) everything enqueued so far in one batch.
+func (j *Journal) Commit(seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if j.durSeq >= seq {
+			return nil
+		}
+		if j.err != nil {
+			return j.err
+		}
+		if j.f == nil {
+			return errors.New("journal: closed")
+		}
+		if j.leading {
+			j.cond.Wait()
+			continue
+		}
+		j.leading = true
+		if j.window > 0 {
+			j.mu.Unlock()
+			time.Sleep(j.window)
+			j.mu.Lock()
+		}
+		buf := j.buf
+		upTo := j.pendSeq
+		j.buf = nil
+		f := j.f
+		j.mu.Unlock()
+		var werr error
+		if len(buf) > 0 {
+			_, werr = f.Write(buf)
+		}
+		if werr == nil && j.sync {
+			werr = f.Sync()
+		}
+		j.mu.Lock()
+		j.leading = false
+		if werr != nil {
+			j.err = werr
+		} else {
+			j.durSeq = upTo
+		}
+		j.cond.Broadcast()
+	}
 }
 
 // Appends returns the number of records appended through this handle.
@@ -98,16 +209,40 @@ func (j *Journal) Appends() int {
 	return j.appends
 }
 
-// Close flushes and closes the journal.
+// flushLocked writes any batched records. Callers hold j.mu and have
+// ensured no commit leader is in flight.
+func (j *Journal) flushLocked() error {
+	if len(j.buf) == 0 {
+		j.durSeq = j.pendSeq
+		return nil
+	}
+	_, err := j.f.Write(j.buf)
+	if err == nil && j.sync {
+		err = j.f.Sync()
+	}
+	j.buf = nil
+	if err != nil {
+		j.err = err
+		return err
+	}
+	j.durSeq = j.pendSeq
+	return nil
+}
+
+// Close flushes and closes the journal. Blocked committers are released.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	for j.leading {
+		j.cond.Wait()
+	}
 	if j.f == nil {
 		return nil
 	}
-	flushErr := j.w.Flush()
+	flushErr := j.flushLocked()
 	closeErr := j.f.Close()
 	j.f = nil
+	j.cond.Broadcast()
 	if flushErr != nil {
 		return flushErr
 	}
@@ -157,23 +292,26 @@ func Replay(path string, fn func(rec Record) error) (int, error) {
 	}
 }
 
-// Truncate empties the journal (used after a successful Compact).
+// Truncate empties the journal (used after a successful Compact). Any
+// batched-but-unwritten records are dropped along with the rest of the log.
 func (j *Journal) Truncate() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	for j.leading {
+		j.cond.Wait()
+	}
 	if j.f == nil {
 		return errors.New("journal: closed")
 	}
-	if err := j.w.Flush(); err != nil {
-		return err
-	}
+	j.buf = nil
+	j.durSeq = j.pendSeq
 	if err := j.f.Truncate(0); err != nil {
 		return err
 	}
 	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	j.w.Reset(j.f)
+	j.cond.Broadcast()
 	return nil
 }
 

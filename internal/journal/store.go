@@ -5,20 +5,47 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Store is a crash-safe persistent map built from a snapshot file plus a
 // journal of deltas — the shape of the Schedd job queue ("all relevant state
 // for each submitted job is stored persistently in the scheduler's job
 // queue", §4.2). Keys are strings; values are JSON documents.
+//
+// Writers only ever pay for framing their own delta: the durability wait
+// happens outside the store lock (so concurrent Puts group-commit), and
+// compaction rotates the delta journal aside and folds it into the
+// snapshot in the background instead of stalling the queue.
 type Store struct {
 	mu       sync.Mutex
+	cond     *sync.Cond // compaction state changes
 	dir      string
+	opts     StoreOptions
 	jn       *Journal
 	data     map[string]json.RawMessage
 	deltas   int
-	maxDelta int // Compact automatically after this many deltas
+	maxDelta int // rotate + compact automatically after this many deltas
+
+	olds       []int // rotated journal segments awaiting the compactor
+	oldSeq     int   // next rotation segment number
+	compacting bool  // a background compactor goroutine is running
+	compactErr error // latched background compaction failure
+}
+
+// StoreOptions configures the store's delta journal; see Options and the
+// package documentation for the durability contract.
+type StoreOptions struct {
+	// Sync makes Put/Delete durable (fsynced) before they return.
+	Sync bool
+	// GroupWindow is the optional commit-leader linger; see Options.
+	GroupWindow time.Duration
+	// NoGroupCommit restores one write+fsync per delta; see Options.
+	NoGroupCommit bool
 }
 
 type storeDelta struct {
@@ -31,17 +58,26 @@ const (
 	recDelete = "del"
 )
 
-// OpenStore opens (or recovers) a store rooted at dir. Recovery loads the
-// snapshot and replays the delta journal, so state survives any crash.
+// OpenStore opens (or recovers) a store rooted at dir with the default
+// (async) journaling options.
 func OpenStore(dir string) (*Store, error) {
+	return OpenStoreOptions(dir, StoreOptions{})
+}
+
+// OpenStoreOptions opens (or recovers) a store rooted at dir. Recovery
+// loads the snapshot and replays any rotated segments plus the live delta
+// journal, so state survives a crash at any point — including mid-compact.
+func OpenStoreOptions(dir string, opts StoreOptions) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, err
 	}
 	s := &Store{
 		dir:      dir,
+		opts:     opts,
 		data:     make(map[string]json.RawMessage),
 		maxDelta: 1000,
 	}
+	s.cond = sync.NewCond(&s.mu)
 	var snap map[string]json.RawMessage
 	err := LoadJSON(s.snapshotPath(), &snap)
 	switch {
@@ -54,7 +90,7 @@ func OpenStore(dir string) (*Store, error) {
 	default:
 		return nil, fmt.Errorf("journal: load snapshot: %w", err)
 	}
-	_, err = Replay(s.journalPath(), func(rec Record) error {
+	apply := func(rec Record) error {
 		var d storeDelta
 		if err := json.Unmarshal(rec.Data, &d); err != nil {
 			return err
@@ -66,56 +102,133 @@ func OpenStore(dir string) (*Store, error) {
 			delete(s.data, d.Key)
 		}
 		return nil
-	})
+	}
+	// Rotated segments left by a compaction the crash interrupted: they
+	// hold deltas the snapshot may or may not include, so replay them (in
+	// rotation order, before the live journal). Replaying a delta the
+	// snapshot already folded in is a no-op.
+	olds := s.listOldSegments()
+	for _, n := range olds {
+		if _, err := Replay(s.oldPath(n), apply); err != nil {
+			return nil, err
+		}
+	}
+	replayed, err := Replay(s.journalPath(), apply)
 	if err != nil {
 		return nil, err
 	}
-	jn, err := Open(s.journalPath(), Options{Sync: false})
+	s.deltas = replayed
+	jn, err := Open(s.journalPath(), s.journalOpts())
 	if err != nil {
 		return nil, err
 	}
 	s.jn = jn
+	if len(olds) > 0 {
+		// Finish the interrupted compaction now so segments don't pile up.
+		if err := SaveJSONAtomic(s.snapshotPath(), s.data); err != nil {
+			jn.Close()
+			return nil, fmt.Errorf("journal: fold rotated segments: %w", err)
+		}
+		for _, n := range olds {
+			os.Remove(s.oldPath(n))
+		}
+	}
 	return s, nil
 }
 
 func (s *Store) snapshotPath() string { return s.dir + "/snapshot.json" }
 func (s *Store) journalPath() string  { return s.dir + "/journal.log" }
+func (s *Store) oldPath(n int) string { return fmt.Sprintf("%s/journal.old.%d", s.dir, n) }
 
-// Put stores v under key.
+func (s *Store) journalOpts() Options {
+	return Options{
+		Sync:          s.opts.Sync,
+		GroupWindow:   s.opts.GroupWindow,
+		NoGroupCommit: s.opts.NoGroupCommit,
+	}
+}
+
+// listOldSegments returns rotated segment numbers in rotation order and
+// advances oldSeq past them.
+func (s *Store) listOldSegments() []int {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var olds []int
+	for _, e := range entries {
+		rest, ok := strings.CutPrefix(e.Name(), "journal.old.")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		olds = append(olds, n)
+		if n >= s.oldSeq {
+			s.oldSeq = n + 1
+		}
+	}
+	sort.Ints(olds)
+	return olds
+}
+
+// Put stores v under key. With Sync journaling the call returns once the
+// delta is fsynced; concurrent writers share fsyncs through group commit.
 func (s *Store) Put(key string, v any) error {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
+	delta, err := json.Marshal(storeDelta{Key: key, Value: raw})
+	if err != nil {
+		return err
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.jn == nil {
+		s.mu.Unlock()
 		return errors.New("journal: store closed")
 	}
-	if err := s.jn.Append(recSet, storeDelta{Key: key, Value: raw}); err != nil {
+	jn := s.jn
+	seq, err := jn.Enqueue(recSet, delta)
+	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	s.data[key] = raw
 	s.deltas++
-	return s.maybeCompactLocked()
+	s.maybeRotateLocked()
+	s.mu.Unlock()
+	return jn.Commit(seq)
 }
 
 // Delete removes key.
 func (s *Store) Delete(key string) error {
+	delta, err := json.Marshal(storeDelta{Key: key})
+	if err != nil {
+		return err
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.jn == nil {
+		s.mu.Unlock()
 		return errors.New("journal: store closed")
 	}
 	if _, ok := s.data[key]; !ok {
+		s.mu.Unlock()
 		return nil
 	}
-	if err := s.jn.Append(recDelete, storeDelta{Key: key}); err != nil {
+	jn := s.jn
+	seq, err := jn.Enqueue(recDelete, delta)
+	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	delete(s.data, key)
 	s.deltas++
-	return s.maybeCompactLocked()
+	s.maybeRotateLocked()
+	s.mu.Unlock()
+	return jn.Commit(seq)
 }
 
 // Get unmarshals the value at key into v; found is false when absent.
@@ -163,39 +276,120 @@ func (s *Store) ForEach(fn func(key string, raw json.RawMessage) error) error {
 	return nil
 }
 
-// Compact writes a snapshot and truncates the journal.
+// Compact synchronously folds the journal into the snapshot: it rotates
+// the live journal and waits for the background compactor to finish.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.compactLocked()
+	if s.jn == nil {
+		return errors.New("journal: store closed")
+	}
+	if err := s.rotateLocked(); err != nil {
+		return err
+	}
+	for s.compacting {
+		s.cond.Wait()
+	}
+	return s.compactErr
 }
 
-func (s *Store) maybeCompactLocked() error {
+func (s *Store) maybeRotateLocked() {
 	if s.deltas < s.maxDelta {
-		return nil
+		return
 	}
-	return s.compactLocked()
+	_ = s.rotateLocked() // a failed rotation latches compactErr; writers keep going
 }
 
-func (s *Store) compactLocked() error {
-	if err := SaveJSONAtomic(s.snapshotPath(), s.data); err != nil {
+// rotateLocked moves the live journal aside as a numbered segment, opens a
+// fresh one, and kicks the background compactor. The heavy part of a
+// compact — marshalling and writing the snapshot — happens off this lock,
+// so a large compact never stalls concurrent Puts.
+func (s *Store) rotateLocked() error {
+	if s.compactErr != nil {
+		return s.compactErr
+	}
+	if err := s.jn.Close(); err != nil {
+		// The tail of the journal could not be made durable; renaming it
+		// aside would launder the loss into the snapshot. Reopen in place
+		// and latch the failure.
+		s.compactErr = err
+		if jn, oerr := Open(s.journalPath(), s.journalOpts()); oerr == nil {
+			s.jn = jn
+		}
 		return err
 	}
-	if err := s.jn.Truncate(); err != nil {
+	n := s.oldSeq
+	s.oldSeq++
+	if err := os.Rename(s.journalPath(), s.oldPath(n)); err != nil {
+		s.compactErr = err
+		if jn, oerr := Open(s.journalPath(), s.journalOpts()); oerr == nil {
+			s.jn = jn
+		}
 		return err
 	}
+	jn, err := Open(s.journalPath(), s.journalOpts())
+	if err != nil {
+		s.compactErr = err
+		return err
+	}
+	s.jn = jn
 	s.deltas = 0
+	s.olds = append(s.olds, n)
+	if !s.compacting {
+		s.compacting = true
+		go s.compactor()
+	}
 	return nil
 }
 
-// Close flushes and closes the store.
+// compactor folds rotated segments into the snapshot until none remain.
+// It clones the map under the lock but marshals and writes outside it.
+func (s *Store) compactor() {
+	for {
+		s.mu.Lock()
+		if len(s.olds) == 0 || s.compactErr != nil {
+			s.compacting = false
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		olds := append([]int(nil), s.olds...)
+		snap := make(map[string]json.RawMessage, len(s.data))
+		for k, v := range s.data {
+			snap[k] = v
+		}
+		s.mu.Unlock()
+		err := SaveJSONAtomic(s.snapshotPath(), snap)
+		s.mu.Lock()
+		if err != nil {
+			s.compactErr = err
+			s.compacting = false
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		// The snapshot covered every delta enqueued before the clone, so
+		// the rotated segments it subsumes can go.
+		s.olds = s.olds[len(olds):]
+		s.mu.Unlock()
+		for _, n := range olds {
+			os.Remove(s.oldPath(n))
+		}
+	}
+}
+
+// Close flushes and closes the store, waiting out any in-flight compaction.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.jn == nil {
+		s.mu.Unlock()
 		return nil
 	}
-	err := s.jn.Close()
+	for s.compacting {
+		s.cond.Wait()
+	}
+	jn := s.jn
 	s.jn = nil
-	return err
+	s.mu.Unlock()
+	return jn.Close()
 }
