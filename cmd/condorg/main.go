@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync]
+//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-max-submit-retries n]
 //	condorg submit -agent 127.0.0.1:7100 [-owner u] [-site addr] program [args...]
 //	condorg q      -agent 127.0.0.1:7100
 //	condorg status -agent 127.0.0.1:7100 <job-id>
@@ -97,6 +97,7 @@ func serve(args []string) {
 	mdsAddr := fs.String("mds", "", "MDS directory for brokered site selection")
 	state := fs.String("state", "", "agent state directory (default: temp)")
 	sync := fs.Bool("sync", false, "fsync the job queue journal before acknowledging submits (group commit)")
+	maxSubmitRetries := fs.Int("max-submit-retries", 0, "hold a job after this many failed submission attempts (0 = default)")
 	fs.Parse(args)
 
 	var selector condorg.Selector
@@ -123,9 +124,10 @@ func serve(args []string) {
 		}
 	}
 	agent, err := condorg.NewAgent(condorg.AgentConfig{
-		StateDir: stateDir,
-		Selector: selector,
-		Journal:  journal.StoreOptions{Sync: *sync},
+		StateDir:         stateDir,
+		Selector:         selector,
+		Journal:          journal.StoreOptions{Sync: *sync},
+		MaxSubmitRetries: *maxSubmitRetries,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -207,7 +209,14 @@ func jobOp(cmd string, args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s: %s (site %s, resubmits %d)\n", info.ID, info.State, info.Site, info.Resubmits)
+		fmt.Printf("%s: %s (site %s, resubmits %d, submit retries %d)\n",
+			info.ID, info.State, info.Site, info.Resubmits, info.SubmitRetries)
+		if info.State == condorg.Held && info.HoldReason != "" {
+			fmt.Printf("  hold reason: %s\n", info.HoldReason)
+		}
+		if len(info.CancelPending) > 0 {
+			fmt.Printf("  unacknowledged cancels: %d\n", len(info.CancelPending))
+		}
 		if info.Error != "" {
 			fmt.Printf("  error: %s\n", info.Error)
 		}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"condorg/internal/faultclass"
 	"condorg/internal/gass"
 	"condorg/internal/gram"
 	"condorg/internal/gsi"
@@ -38,6 +39,17 @@ type AgentConfig struct {
 	ReconnectInterval time.Duration
 	// MaxResubmits bounds automatic resubmission of site-lost jobs.
 	MaxResubmits int
+	// MaxSubmitRetries bounds failed submission attempts before the job
+	// is held with a notification (default 50). Breaker fast-fails do
+	// not count: only attempts that actually reached the network burn
+	// the budget.
+	MaxSubmitRetries int
+	// Breaker tunes the per-site circuit breakers inside each
+	// GridManager's GRAM client (zero value = faultclass defaults).
+	Breaker faultclass.BreakerConfig
+	// CallbackFaults injects failures into the agent's callback server
+	// (lost or delayed JobManager status callbacks — §4.2 experiments).
+	CallbackFaults *wire.Faults
 	// Delegate forwards a proxy of this lifetime with each submission.
 	Delegate time.Duration
 	// MigrateAfter, when positive, moves a job that has sat in a remote
@@ -75,15 +87,16 @@ type Agent struct {
 	// job-state change; its lock is a leaf taken under no other.
 	changed stateBroadcast
 
-	mu        sync.Mutex
-	jobs      map[string]*jobRecord
-	byOwner   map[string]map[string]*jobRecord // owner -> all jobs
-	active    map[string]map[string]*jobRecord // owner -> non-terminal jobs
-	bySiteJob map[string]string                // site job ID -> agent job ID
-	managers  map[string]*GridManager
-	serial    int
-	closed    bool
-	mailbox   *Mailbox
+	mu         sync.Mutex
+	jobs       map[string]*jobRecord
+	byOwner    map[string]map[string]*jobRecord // owner -> all jobs
+	active     map[string]map[string]*jobRecord // owner -> non-terminal jobs
+	bySiteJob  map[string]string                // site job ID -> agent job ID
+	tombstoned map[string]*jobRecord            // jobs with unacked cancels
+	managers   map[string]*GridManager
+	serial     int
+	closed     bool
+	mailbox    *Mailbox
 }
 
 // NewAgent opens (or recovers) an agent rooted at cfg.StateDir.
@@ -106,14 +119,18 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.MaxMigrations == 0 {
 		cfg.MaxMigrations = 5
 	}
+	if cfg.MaxSubmitRetries == 0 {
+		cfg.MaxSubmitRetries = 50
+	}
 	a := &Agent{
-		cfg:       cfg,
-		jobs:      make(map[string]*jobRecord),
-		byOwner:   make(map[string]map[string]*jobRecord),
-		active:    make(map[string]map[string]*jobRecord),
-		bySiteJob: make(map[string]string),
-		managers:  make(map[string]*GridManager),
-		logFiles:  make(map[string]*os.File),
+		cfg:        cfg,
+		jobs:       make(map[string]*jobRecord),
+		byOwner:    make(map[string]map[string]*jobRecord),
+		active:     make(map[string]map[string]*jobRecord),
+		bySiteJob:  make(map[string]string),
+		tombstoned: make(map[string]*jobRecord),
+		managers:   make(map[string]*GridManager),
+		logFiles:   make(map[string]*os.File),
 	}
 	if cfg.Notifier == nil {
 		a.mailbox = NewMailbox()
@@ -134,7 +151,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	a.gassS = gassS
 	a.stage = gass.NewClient(nil, cfg.Clock)
-	cbSrv, err := wire.NewServer(wire.ServerConfig{Name: gram.CallbackService})
+	cbSrv, err := wire.NewServer(wire.ServerConfig{Name: gram.CallbackService, Faults: cfg.CallbackFaults})
 	if err != nil {
 		gassS.Close()
 		store.Close()
@@ -161,6 +178,7 @@ func (a *Agent) GassAddr() string { return a.gassS.Addr() }
 // are rewritten and pushed to the JobManagers — the §4.2 restart path.
 func (a *Agent) recover() error {
 	var recovered []*jobRecord
+	tombOwners := make(map[string]bool)
 	err := a.store.ForEach(func(key string, raw json.RawMessage) error {
 		var rec jobRecord
 		if err := json.Unmarshal(raw, &rec.JobInfo); err != nil {
@@ -182,6 +200,13 @@ func (a *Agent) recover() error {
 		a.indexJobLocked(&rec)
 		if rec.Contact.JobID != "" {
 			a.bySiteJob[rec.Contact.JobID] = rec.ID
+		}
+		if len(rec.CancelPending) > 0 {
+			// An old incarnation's cancel never got acknowledged; a
+			// GridManager must keep chasing it even if this job is
+			// otherwise finished.
+			a.tombstoned[rec.ID] = &rec
+			tombOwners[rec.Owner] = true
 		}
 		if n := parseAgentSerial(rec.ID); n > a.serial {
 			a.serial = n
@@ -209,7 +234,78 @@ func (a *Agent) recover() error {
 			a.managerFor(rec.Owner).enqueueRecovery(rec)
 		}
 	}
+	// Owners whose only remaining business is unacknowledged cancels
+	// (terminal or held jobs with tombstones) still need a manager.
+	for owner := range tombOwners {
+		a.managerFor(owner)
+	}
 	return nil
+}
+
+// addCancelTombstone records that the remote copy at contact must be
+// cancelled before this job's story is over. Persisted, so the
+// obligation survives agent restarts; the owner's GridManager retries
+// until cancelAcknowledged.
+func (a *Agent) addCancelTombstone(rec *jobRecord, contact gram.JobContact) {
+	if contact.JobID == "" {
+		return
+	}
+	rec.mu.Lock()
+	rec.CancelPending = append(rec.CancelPending, contact)
+	rec.mu.Unlock()
+	a.mu.Lock()
+	a.tombstoned[rec.ID] = rec
+	a.mu.Unlock()
+	a.persist(rec)
+}
+
+// ackCancelTombstone drops an acknowledged cancel obligation.
+func (a *Agent) ackCancelTombstone(rec *jobRecord, contact gram.JobContact) {
+	rec.mu.Lock()
+	kept := make([]gram.JobContact, 0, len(rec.CancelPending))
+	for _, c := range rec.CancelPending {
+		if c != contact {
+			kept = append(kept, c)
+		}
+	}
+	rec.CancelPending = kept
+	empty := len(kept) == 0
+	rec.mu.Unlock()
+	if empty {
+		a.mu.Lock()
+		delete(a.tombstoned, rec.ID)
+		a.mu.Unlock()
+	}
+	a.persist(rec)
+}
+
+// pendingCancels returns owner's jobs that still carry cancel
+// tombstones (Owner is immutable, so reading it without rec.mu is safe).
+func (a *Agent) pendingCancels(owner string) []*jobRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []*jobRecord
+	for _, rec := range a.tombstoned {
+		if rec.Owner == owner {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// unindexSiteJob removes the site-job-ID mapping for a dead incarnation —
+// but only if it still points at this job. A restarted site may have
+// re-issued the same ID to this job's (or another job's) newer
+// incarnation, and a stale delete would orphan that live mapping.
+func (a *Agent) unindexSiteJob(siteJobID, jobID string) {
+	if siteJobID == "" {
+		return
+	}
+	a.mu.Lock()
+	if a.bySiteJob[siteJobID] == jobID {
+		delete(a.bySiteJob, siteJobID)
+	}
+	a.mu.Unlock()
 }
 
 // indexJobLocked adds rec to the per-owner and non-terminal indexes.
@@ -395,6 +491,19 @@ func (a *Agent) managerFor(owner string) *GridManager {
 	return gm
 }
 
+// SiteHealth reports the circuit-breaker state of one remote address as
+// seen by the owner's GridManager. Closed (healthy) is returned when the
+// owner has no live manager.
+func (a *Agent) SiteHealth(owner, addr string) faultclass.BreakerState {
+	a.mu.Lock()
+	gm := a.managers[owner]
+	a.mu.Unlock()
+	if gm == nil {
+		return faultclass.Closed
+	}
+	return gm.gram.SiteHealth(addr)
+}
+
 // ActiveGridManagers counts live per-user managers (they terminate when
 // their user has no unfinished jobs).
 func (a *Agent) ActiveGridManagers() int {
@@ -530,8 +639,11 @@ func (a *Agent) Hold(id, reason string) error {
 	a.log(rec, "HELD", "job held: %s", reason)
 	a.noteJobChange(rec.Owner)
 	if contact.JobID != "" {
+		// Tombstoned, not best-effort: a lost cancel here would let the
+		// old copy run after a later Release resubmits the job.
+		a.addCancelTombstone(rec, contact)
 		gm := a.managerFor(rec.Owner)
-		go gm.gram.Cancel(contact) // best effort; the site may be down
+		go gm.retryCancels()
 	}
 	return nil
 }
@@ -552,10 +664,12 @@ func (a *Agent) Release(id string) error {
 	rec.State = Idle
 	rec.HoldReason = ""
 	// A fresh submission identity: the old remote job (if any) was
-	// cancelled at hold time.
+	// tombstone-cancelled at hold time. The submit-retry budget starts
+	// over — the release is an explicit user decision to try again.
 	rec.SubmissionID = gram.NewSubmissionID()
 	rec.Contact = gram.JobContact{}
 	rec.Remote = gram.StateUnsubmitted
+	rec.SubmitRetries = 0
 	rec.bumpLocked()
 	rec.mu.Unlock()
 	a.log(rec, "RELEASED", "job released from hold")
@@ -586,8 +700,9 @@ func (a *Agent) Remove(id string) error {
 	a.finishJob(rec)
 	a.noteJobChange(rec.Owner)
 	if contact.JobID != "" {
+		a.addCancelTombstone(rec, contact)
 		gm := a.managerFor(rec.Owner)
-		go gm.gram.Cancel(contact)
+		go gm.retryCancels()
 	}
 	return nil
 }

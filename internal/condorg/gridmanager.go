@@ -1,12 +1,14 @@
 package condorg
 
 import (
+	"errors"
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
+	"condorg/internal/faultclass"
 	"condorg/internal/gram"
+	"condorg/internal/wire"
 )
 
 // GridManager is the per-user daemon of Figure 1: it submits the user's
@@ -36,6 +38,7 @@ func newGridManager(a *Agent, owner string) *GridManager {
 		wake:   make(chan struct{}, 1),
 	}
 	gm.gram.SetTimeouts(300*time.Millisecond, 2)
+	gm.gram.SetBreakerConfig(a.cfg.Breaker)
 	gm.wg.Add(1)
 	go gm.run()
 	return gm
@@ -129,6 +132,11 @@ func (gm *GridManager) tryRetire() bool {
 		return false
 	}
 	gm.mu.Unlock()
+	// Unacknowledged cancels are unfinished work: an old copy may still
+	// be runnable at a partitioned site.
+	if len(gm.agent.pendingCancels(gm.owner)) > 0 {
+		return false
+	}
 	for _, rec := range gm.agent.activeJobs(gm.owner) {
 		rec.mu.Lock()
 		runnable := !rec.State.Terminal() && rec.State != Held
@@ -180,12 +188,7 @@ func (gm *GridManager) submit(rec *jobRecord) {
 		Delegate:     gm.agent.cfg.Delegate,
 	})
 	if err != nil {
-		// Site unreachable or refused: leave the job Idle and retry on
-		// the next loop pass.
-		gm.agent.log(rec, "SUBMIT_RETRY", "submission to %s failed (%v); will retry", site, err)
-		gm.mu.Lock()
-		gm.pendingLater(rec)
-		gm.mu.Unlock()
+		gm.submitFailed(rec, site, err)
 		return
 	}
 	rec.mu.Lock()
@@ -210,6 +213,61 @@ func (gm *GridManager) submit(rec *jobRecord) {
 // pendingLater re-queues a job for the next loop pass. Caller holds gm.mu.
 func (gm *GridManager) pendingLater(rec *jobRecord) {
 	gm.pending = append(gm.pending, rec)
+}
+
+// submitFailed classifies a failed submission attempt. Breaker fast-fails
+// never reached the network and do not burn the retry budget; expired
+// credentials hold the job immediately (§4.3); everything else counts
+// toward MaxSubmitRetries, after which the job is held and the owner
+// notified rather than retrying forever against a site that keeps
+// refusing.
+func (gm *GridManager) submitFailed(rec *jobRecord, site string, err error) {
+	if errors.Is(err, faultclass.ErrBreakerOpen) {
+		gm.mu.Lock()
+		gm.pendingLater(rec)
+		gm.mu.Unlock()
+		return
+	}
+	if faultclass.ClassOf(err) == faultclass.AuthExpired {
+		gm.holdJob(rec, "credential rejected by "+site+": "+err.Error())
+		return
+	}
+	rec.mu.Lock()
+	rec.SubmitRetries++
+	n := rec.SubmitRetries
+	max := gm.agent.cfg.MaxSubmitRetries
+	rec.mu.Unlock()
+	if n >= max {
+		gm.holdJob(rec, fmt.Sprintf("submission failed %d times (last: %v)", n, err))
+		return
+	}
+	gm.agent.log(rec, "SUBMIT_RETRY", "submission to %s failed (%d/%d: %v); will retry", site, n, max, err)
+	gm.agent.persist(rec)
+	gm.mu.Lock()
+	gm.pendingLater(rec)
+	gm.mu.Unlock()
+}
+
+// holdJob parks a job Held with the given reason and notifies the owner —
+// the paper's hold-and-notify response to conditions that need a human
+// (§4.3). Held is not terminal: the user can fix the cause and release.
+func (gm *GridManager) holdJob(rec *jobRecord, reason string) {
+	rec.mu.Lock()
+	if rec.State.Terminal() || rec.State == Held {
+		rec.mu.Unlock()
+		return
+	}
+	rec.State = Held
+	rec.HoldReason = reason
+	owner := rec.Owner
+	id := rec.ID
+	rec.bumpLocked()
+	rec.mu.Unlock()
+	gm.agent.log(rec, "HELD", "job held: %s", reason)
+	gm.agent.persist(rec)
+	gm.agent.noteJobChange(owner)
+	gm.agent.cfg.Notifier.Notify(owner, "job "+id+" held",
+		fmt.Sprintf("Your job %s was held: %s", id, reason))
 }
 
 // drainRecovery re-verifies jobs recovered with a contact: re-commit
@@ -240,6 +298,7 @@ func (gm *GridManager) drainRecovery() {
 // failures by periodically probing the JobManagers of all the jobs it
 // manages."
 func (gm *GridManager) probeAll() {
+	gm.retryCancels()
 	for _, rec := range gm.agent.activeJobs(gm.owner) {
 		rec.mu.Lock()
 		skip := rec.State.Terminal() || rec.State == Held || rec.Contact.JobID == ""
@@ -288,6 +347,17 @@ func (gm *GridManager) probeJob(rec *jobRecord) {
 	// GridManager that the job has completed."
 	newContact, err := gm.gram.RestartJobManager(contact)
 	if err != nil {
+		if wire.IsRemote(err) && faultclass.ClassOf(err) == faultclass.SiteLost {
+			// The site is alive but has no record of the job — it can
+			// never finish there. Resubmit instead of probing forever.
+			gm.agent.log(rec, "JM_RESTART_FAILED", "site no longer knows the job: %v", err)
+			gm.maybeResubmit(rec, gram.StatusInfo{
+				State: gram.StateFailed,
+				Error: err.Error(),
+				Fault: faultclass.SiteLost,
+			})
+			return
+		}
 		gm.agent.log(rec, "JM_RESTART_FAILED", "jobmanager restart failed: %v", err)
 		return
 	}
@@ -346,12 +416,13 @@ func (gm *GridManager) maybeMigrate(rec *jobRecord, st gram.StatusInfo) {
 	n := rec.Migrations
 	rec.bumpLocked()
 	rec.mu.Unlock()
-	gm.agent.mu.Lock()
-	delete(gm.agent.bySiteJob, oldContact.JobID)
-	gm.agent.mu.Unlock()
+	gm.agent.unindexSiteJob(oldContact.JobID, rec.ID)
 	gm.agent.log(rec, "MIGRATED", "queued too long at %s; migrating to %s (migration %d)", currentSite, newSite, n)
-	// Best effort: withdraw the old queued copy so it does not also run.
-	gm.gram.Cancel(oldContact)
+	// The old queued copy must be withdrawn or the job could run twice. A
+	// tombstone makes the cancel durable: it is retried from the probe
+	// loop until the site acknowledges, even across agent restarts.
+	gm.agent.addCancelTombstone(rec, oldContact)
+	gm.cancelOldCopy(rec, oldContact)
 	gm.mu.Lock()
 	gm.pendingLater(rec)
 	gm.mu.Unlock()
@@ -369,13 +440,18 @@ func (gm *GridManager) maybeResubmit(rec *jobRecord, st gram.StatusInfo) {
 		rec.mu.Unlock()
 		return
 	}
-	// Stage-in failures count as site-lost too: the program never started
-	// (so retrying cannot double-execute), and the usual cause is this
-	// agent's own GASS server having moved across a crash — the recovered
-	// spec already carries the rewritten URLs for the retry.
-	siteLost := st.Error == "lost by site restart" ||
-		st.Error == "commit timeout: two-phase commit never completed" ||
-		strings.HasPrefix(st.Error, "stage-in ")
+	// Branch on the typed fault class the site reported, not on the prose
+	// of st.Error. SiteLost means the program provably never ran to
+	// completion there (lost by restart, commit never finished, stage-in
+	// failed before the LRM accepted it), so retrying cannot
+	// double-execute. AuthExpired needs the user (§4.3). Everything else
+	// — including application exit codes — is final.
+	if st.Fault == faultclass.AuthExpired {
+		rec.mu.Unlock()
+		gm.holdJob(rec, "credential rejected by site: "+st.Error)
+		return
+	}
+	siteLost := st.Fault == faultclass.SiteLost
 	if !siteLost || rec.Resubmits >= gm.agent.cfg.MaxResubmits {
 		rec.State = Failed
 		rec.Error = st.Error
@@ -406,11 +482,64 @@ func (gm *GridManager) maybeResubmit(rec *jobRecord, st gram.StatusInfo) {
 	n := rec.Resubmits
 	rec.bumpLocked()
 	rec.mu.Unlock()
-	gm.agent.mu.Lock()
-	delete(gm.agent.bySiteJob, oldContact.JobID)
-	gm.agent.mu.Unlock()
+	gm.agent.unindexSiteJob(oldContact.JobID, rec.ID)
 	gm.agent.log(rec, "RESUBMIT", "site lost the job (%s); resubmission %d", st.Error, n)
 	gm.mu.Lock()
 	gm.pendingLater(rec)
 	gm.mu.Unlock()
+}
+
+// retryCancels re-attempts every unacknowledged cancel of an old remote
+// incarnation (from migration, hold, or remove). It runs from the probe
+// loop, so a cancel lost to a partition is retried at probe pace until the
+// site confirms the old copy cannot run — only then is the tombstone
+// cleared and (if nothing else is outstanding) the manager allowed to
+// retire.
+func (gm *GridManager) retryCancels() {
+	for _, rec := range gm.agent.pendingCancels(gm.owner) {
+		rec.mu.Lock()
+		contacts := append([]gram.JobContact(nil), rec.CancelPending...)
+		rec.mu.Unlock()
+		for _, contact := range contacts {
+			gm.cancelOldCopy(rec, contact)
+		}
+	}
+}
+
+// cancelOldCopy tries once to get the site to acknowledge the cancel of an
+// old incarnation, clearing the tombstone on success.
+func (gm *GridManager) cancelOldCopy(rec *jobRecord, contact gram.JobContact) {
+	if gm.cancelAcknowledged(contact) {
+		gm.agent.ackCancelTombstone(rec, contact)
+		gm.agent.log(rec, "CANCEL_ACKED", "old copy %s confirmed cancelled", contact.JobID)
+	}
+}
+
+// cancelAcknowledged reports whether the site has confirmed that the old
+// incarnation can no longer run. Any remote answer — success or an
+// application-level error such as "no such job" — counts: the site is
+// alive and either cancelled the job or never knew it. The exceptions are
+// transport failures (the site never heard us; retry later) and
+// AuthExpired (a refreshed credential might let the old copy proceed, so
+// the cancel must land for real).
+func (gm *GridManager) cancelAcknowledged(contact gram.JobContact) bool {
+	acked := func(err error) bool {
+		return err == nil ||
+			(wire.IsRemote(err) && faultclass.ClassOf(err) != faultclass.AuthExpired)
+	}
+	err := gm.gram.Cancel(contact)
+	if err == nil || wire.IsRemote(err) {
+		return acked(err)
+	}
+	// The old JobManager is unreachable; ask its Gatekeeper to restart it
+	// so the cancel has a live endpoint to land on.
+	newContact, rerr := gm.gram.RestartJobManager(contact)
+	if rerr != nil {
+		if wire.IsRemote(rerr) {
+			// Site answered "cannot restart" — the job is gone there.
+			return acked(rerr)
+		}
+		return false // site unreachable: keep the tombstone
+	}
+	return acked(gm.gram.Cancel(newContact))
 }

@@ -19,23 +19,34 @@ import (
 // completion (callbacks are an optimization, not a correctness mechanism).
 func TestCompletionSurvivesLostCallbacks(t *testing.T) {
 	runs := &atomic.Int64{}
-	jmFaults := &wire.Faults{}
+	dropped := &atomic.Int64{}
+	// Drop every status callback at the agent's own callback server: the
+	// JobManager's pushes all vanish, so only the probe loop can learn of
+	// the completion.
+	cbFaults := &wire.Faults{}
+	cbFaults.DropRequest = func(method string) bool {
+		if method == "gram.callback" {
+			dropped.Add(1)
+			return true
+		}
+		return false
+	}
 	cluster, _ := lrm.NewCluster(lrm.Config{Name: "cb", Cpus: 2})
 	site, err := gram.NewSite(gram.SiteConfig{
-		Name:             "cb",
-		Cluster:          cluster,
-		Runtime:          buildRuntime(runs),
-		StateDir:         t.TempDir(),
-		JobManagerFaults: jmFaults,
+		Name:     "cb",
+		Cluster:  cluster,
+		Runtime:  buildRuntime(runs),
+		StateDir: t.TempDir(),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer site.Close()
 	agent, err := NewAgent(AgentConfig{
-		StateDir:      t.TempDir(),
-		Selector:      StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval: 40 * time.Millisecond,
+		StateDir:       t.TempDir(),
+		Selector:       StaticSelector(site.GatekeeperAddr()),
+		ProbeInterval:  40 * time.Millisecond,
+		CallbackFaults: cbFaults,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -43,8 +54,12 @@ func TestCompletionSurvivesLostCallbacks(t *testing.T) {
 	defer agent.Close()
 	id, _ := agent.Submit(SubmitRequest{Owner: "u", Executable: gram.Program("task"), Args: []string{"50ms"}})
 	waitAgentState(t, agent, id, Completed)
-	_ = jmFaults // (callbacks ride the agent's own callback server, not the JM's;
-	// the probe path is what this test exercises by observing completion)
+	if dropped.Load() == 0 {
+		t.Fatal("no callbacks were dropped; the fault was not wired through")
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("program ran %d times, want exactly once", runs.Load())
+	}
 }
 
 // TestWalltimeExceededIsFinalFailure: a job that blows its walltime is

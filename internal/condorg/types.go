@@ -90,21 +90,31 @@ type LogEvent struct {
 
 // JobInfo is the externally visible job record.
 type JobInfo struct {
-	ID           string          `json:"id"`
-	Owner        string          `json:"owner"`
-	State        JobState        `json:"state"`
-	Site         string          `json:"site"`
-	HoldReason   string          `json:"hold_reason,omitempty"`
-	Error        string          `json:"error,omitempty"`
-	ExitOK       bool            `json:"exit_ok"`
-	Resubmits    int             `json:"resubmits"`
-	Disconnected bool            `json:"disconnected"` // waiting out a partition
-	Migrations   int             `json:"migrations"`
-	SubmittedAt  time.Time       `json:"submitted_at"`
-	FinishedAt   time.Time       `json:"finished_at,omitempty"`
-	PendingSince time.Time       `json:"pending_since,omitempty"`
-	Contact      gram.JobContact `json:"contact"`
-	Log          []LogEvent      `json:"log"`
+	ID           string   `json:"id"`
+	Owner        string   `json:"owner"`
+	State        JobState `json:"state"`
+	Site         string   `json:"site"`
+	HoldReason   string   `json:"hold_reason,omitempty"`
+	Error        string   `json:"error,omitempty"`
+	ExitOK       bool     `json:"exit_ok"`
+	Resubmits    int      `json:"resubmits"`
+	Disconnected bool     `json:"disconnected"` // waiting out a partition
+	Migrations   int      `json:"migrations"`
+	// SubmitRetries counts failed submission attempts (SUBMIT_RETRY in
+	// the log) since the job was last enqueued; once it reaches
+	// MaxSubmitRetries the job is held and the owner notified.
+	SubmitRetries int `json:"submit_retries,omitempty"`
+	// CancelPending lists old remote incarnations (from migration,
+	// hold, or remove) whose cancel has not yet been acknowledged by
+	// the site. The GridManager retries these until each old copy is
+	// provably unable to run — closing the double-execution window a
+	// partition would otherwise open.
+	CancelPending []gram.JobContact `json:"cancel_pending,omitempty"`
+	SubmittedAt   time.Time         `json:"submitted_at"`
+	FinishedAt    time.Time         `json:"finished_at,omitempty"`
+	PendingSince  time.Time         `json:"pending_since,omitempty"`
+	Contact       gram.JobContact   `json:"contact"`
+	Log           []LogEvent        `json:"log"`
 }
 
 // jobRecord is the internal, persisted job state.

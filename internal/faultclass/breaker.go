@@ -1,0 +1,205 @@
+package faultclass
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned (wrapped, class Transient) when a call is
+// refused because the endpoint's circuit breaker is open.
+var ErrBreakerOpen = errors.New("circuit breaker open")
+
+// BreakerState is the classic three-state circuit breaker state.
+type BreakerState int
+
+const (
+	// Closed: calls flow normally; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: calls fast-fail without touching the network until the
+	// retry deadline passes.
+	Open
+	// HalfOpen: one probe call has been let through; its outcome
+	// decides whether the breaker closes or re-opens.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerConfig tunes a BreakerSet. The zero value picks defaults
+// suitable for the agent's probe cadence.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens the
+	// breaker. Default 3.
+	Threshold int
+	// BaseDelay is the first open interval; it doubles on every failed
+	// half-open probe. Default 250ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Default 15s.
+	MaxDelay time.Duration
+	// Jitter spreads reopen deadlines by up to this fraction of the
+	// delay so a fleet of agents does not stampede a recovering site.
+	// 0 means the default (0.2); negative disables jitter entirely
+	// (deterministic, for tests).
+	Jitter float64
+	// Now is the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+	// Seed seeds the jitter source; 0 means a time-derived seed.
+	Seed int64
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 250 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 15 * time.Second
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+type breaker struct {
+	state   BreakerState
+	fails   int           // consecutive failures while Closed
+	delay   time.Duration // current open interval
+	retryAt time.Time     // when Open may transition to HalfOpen
+}
+
+// BreakerSet holds one circuit breaker per endpoint key (an address).
+// All methods are safe for concurrent use.
+type BreakerSet struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	rng *rand.Rand
+	m   map[string]*breaker
+}
+
+// NewBreakerSet builds a set with cfg (zero fields take defaults).
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &BreakerSet{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(seed)),
+		m:   make(map[string]*breaker),
+	}
+}
+
+// Allow reports whether a call to key may proceed. When an open
+// breaker's retry deadline has passed it admits exactly one probe
+// (transitioning to HalfOpen); the probe's Success/Failure decides
+// what happens next. A probe that never reports back (caller died)
+// re-arms after another delay interval rather than wedging the key.
+func (s *BreakerSet) Allow(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[key]
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if s.cfg.Now().Before(b.retryAt) {
+			return false
+		}
+		b.state = HalfOpen
+		// Re-arm so a lost probe cannot hold the breaker half-open
+		// forever: if nobody reports back, the next Allow after
+		// another delay becomes the new probe.
+		b.retryAt = s.cfg.Now().Add(s.jittered(b.delay))
+		return true
+	case HalfOpen:
+		// One probe is already in flight; admit another only if it
+		// appears lost.
+		if s.cfg.Now().Before(b.retryAt) {
+			return false
+		}
+		b.retryAt = s.cfg.Now().Add(s.jittered(b.delay))
+		return true
+	}
+	return true
+}
+
+// Success records a successful call: the breaker (if any) closes and
+// the failure count resets.
+func (s *BreakerSet) Success(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.m[key]; b != nil {
+		delete(s.m, key)
+	}
+}
+
+// Failure records a failed call. While Closed it counts toward the
+// threshold; a HalfOpen probe failure re-opens with doubled delay.
+func (s *BreakerSet) Failure(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[key]
+	if b == nil {
+		b = &breaker{}
+		s.m[key] = b
+	}
+	switch b.state {
+	case Closed:
+		b.fails++
+		if b.fails >= s.cfg.Threshold {
+			b.state = Open
+			b.delay = s.cfg.BaseDelay
+			b.retryAt = s.cfg.Now().Add(s.jittered(b.delay))
+		}
+	case HalfOpen:
+		b.state = Open
+		b.delay *= 2
+		if b.delay > s.cfg.MaxDelay {
+			b.delay = s.cfg.MaxDelay
+		}
+		b.retryAt = s.cfg.Now().Add(s.jittered(b.delay))
+	case Open:
+		// A straggler from before the breaker opened; nothing to do.
+	}
+}
+
+// State reports the breaker state for key (Closed if never tripped).
+func (s *BreakerSet) State(key string) BreakerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.m[key]; b != nil {
+		return b.state
+	}
+	return Closed
+}
+
+// jittered widens d by up to cfg.Jitter of itself. Callers hold s.mu.
+func (s *BreakerSet) jittered(d time.Duration) time.Duration {
+	if s.cfg.Jitter <= 0 {
+		return d
+	}
+	return d + time.Duration(s.rng.Float64()*s.cfg.Jitter*float64(d))
+}

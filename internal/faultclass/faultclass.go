@@ -1,0 +1,118 @@
+// Package faultclass defines the typed fault taxonomy used across the
+// wire, gram, and condorg layers, plus the per-endpoint circuit
+// breaker that keeps one dead site from stalling the rest of the grid.
+//
+// The taxonomy replaces string-matched error classification: a failure
+// is tagged with a Class where it is first understood (the site knows
+// it lost a job across a restart; the wire client knows a timeout is
+// transient), the class rides along on StatusInfo and wrapped errors,
+// and recovery code branches on the class — never on error prose.
+package faultclass
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Class partitions failures by the recovery action they demand.
+type Class int
+
+const (
+	// Unknown is the zero value: the failure has not been classified.
+	// Recovery code must treat it conservatively (as permanent for
+	// remote job verdicts, as transient for transport errors).
+	Unknown Class = iota
+	// Transient covers failures expected to clear on their own:
+	// timeouts, connection resets, partitions, open circuit breakers.
+	// The right response is backoff and retry against the same site.
+	Transient
+	// SiteLost means the remote site accepted responsibility for the
+	// job but then lost it (site restart wiped the LRM, two-phase
+	// commit expired, stage-in could not complete). The job never ran
+	// to completion there; resubmission is safe and required.
+	SiteLost
+	// Permanent covers verdicts retrying cannot change: the job itself
+	// failed (bad executable, non-zero exit, cancelled). The right
+	// response is to surface the failure to the user.
+	Permanent
+	// AuthExpired means the credential was rejected. Retrying without
+	// user action is pointless; hold the job and notify (§4.3).
+	AuthExpired
+)
+
+var classNames = map[Class]string{
+	Unknown:     "",
+	Transient:   "transient",
+	SiteLost:    "site-lost",
+	Permanent:   "permanent",
+	AuthExpired: "auth-expired",
+}
+
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("faultclass(%d)", int(c))
+}
+
+// Parse maps a wire name back to a Class. Unrecognised names (from a
+// newer peer) degrade to Unknown rather than failing.
+func Parse(s string) Class {
+	for c, name := range classNames {
+		if name == s && c != Unknown {
+			return c
+		}
+	}
+	return Unknown
+}
+
+// MarshalJSON encodes the class as its wire name so frames stay
+// readable and forward-compatible across versions.
+func (c Class) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.String())
+}
+
+func (c *Class) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	*c = Parse(s)
+	return nil
+}
+
+// Fault wraps an error with its Class. It preserves the underlying
+// error text and chain: errors.Is/As see straight through it.
+type Fault struct {
+	Class Class
+	Err   error
+}
+
+// New tags err with class c. A nil err yields a generic error so the
+// class is never silently lost.
+func New(c Class, err error) *Fault {
+	if err == nil {
+		err = fmt.Errorf("%s fault", c)
+	}
+	return &Fault{Class: c, Err: err}
+}
+
+func (f *Fault) Error() string { return f.Err.Error() }
+func (f *Fault) Unwrap() error { return f.Err }
+
+// FaultClass implements the carrier interface ClassOf walks for.
+func (f *Fault) FaultClass() Class { return f.Class }
+
+// ClassOf extracts the Class carried anywhere in err's chain, or
+// Unknown if the error is nil or untagged.
+func ClassOf(err error) Class {
+	if err == nil {
+		return Unknown
+	}
+	var carrier interface{ FaultClass() Class }
+	if errors.As(err, &carrier) {
+		return carrier.FaultClass()
+	}
+	return Unknown
+}

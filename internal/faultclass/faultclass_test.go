@@ -1,0 +1,154 @@
+package faultclass
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestClassOfWalksChain(t *testing.T) {
+	base := errors.New("boom")
+	tagged := New(SiteLost, base)
+	wrapped := fmt.Errorf("probe: %w", tagged)
+	if got := ClassOf(wrapped); got != SiteLost {
+		t.Fatalf("ClassOf = %v, want SiteLost", got)
+	}
+	if !errors.Is(wrapped, base) {
+		t.Fatal("wrapping broke errors.Is")
+	}
+	if tagged.Error() != "boom" {
+		t.Fatalf("Fault changed error text: %q", tagged.Error())
+	}
+	if ClassOf(nil) != Unknown || ClassOf(base) != Unknown {
+		t.Fatal("nil/untagged errors must classify as Unknown")
+	}
+}
+
+func TestClassJSONRoundTrip(t *testing.T) {
+	for _, c := range []Class{Unknown, Transient, SiteLost, Permanent, AuthExpired} {
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Class
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != c {
+			t.Fatalf("round trip %v -> %s -> %v", c, data, back)
+		}
+	}
+	// Forward compat: an unknown name from a newer peer degrades.
+	var c Class
+	if err := json.Unmarshal([]byte(`"from-the-future"`), &c); err != nil || c != Unknown {
+		t.Fatalf("unknown name: class=%v err=%v", c, err)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	set := NewBreakerSet(BreakerConfig{
+		Threshold: 3,
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  400 * time.Millisecond,
+		Jitter:    -1, // deterministic
+		Now:       func() time.Time { return now },
+	})
+	const key = "site-a"
+
+	// Closed: failures below the threshold keep the breaker closed.
+	set.Failure(key)
+	set.Failure(key)
+	if !set.Allow(key) || set.State(key) != Closed {
+		t.Fatal("breaker opened below threshold")
+	}
+	// Third consecutive failure opens it.
+	set.Failure(key)
+	if set.State(key) != Open {
+		t.Fatalf("state = %v, want Open", set.State(key))
+	}
+	if set.Allow(key) {
+		t.Fatal("open breaker allowed a call")
+	}
+
+	// After the delay one probe is admitted (half-open), others refused.
+	now = now.Add(101 * time.Millisecond)
+	if !set.Allow(key) {
+		t.Fatal("half-open probe refused")
+	}
+	if set.State(key) != HalfOpen {
+		t.Fatalf("state = %v, want HalfOpen", set.State(key))
+	}
+	if set.Allow(key) {
+		t.Fatal("second call admitted during half-open probe")
+	}
+
+	// Probe failure re-opens with doubled delay.
+	set.Failure(key)
+	if set.State(key) != Open {
+		t.Fatal("failed probe did not re-open")
+	}
+	now = now.Add(150 * time.Millisecond) // 150 < 200 (doubled)
+	if set.Allow(key) {
+		t.Fatal("allowed before doubled delay elapsed")
+	}
+	now = now.Add(51 * time.Millisecond)
+	if !set.Allow(key) {
+		t.Fatal("probe refused after doubled delay")
+	}
+
+	// Probe success closes and resets.
+	set.Success(key)
+	if set.State(key) != Closed || !set.Allow(key) {
+		t.Fatal("success did not close the breaker")
+	}
+	// The failure count also reset: two failures stay closed.
+	set.Failure(key)
+	set.Failure(key)
+	if set.State(key) != Closed {
+		t.Fatal("failure count not reset by success")
+	}
+}
+
+func TestBreakerDelayCapAndLostProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	set := NewBreakerSet(BreakerConfig{
+		Threshold: 1,
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  200 * time.Millisecond,
+		Jitter:    -1,
+		Now:       func() time.Time { return now },
+	})
+	const key = "site-b"
+	set.Failure(key)
+	for i := 0; i < 5; i++ { // repeatedly fail probes; delay caps at 200ms
+		now = now.Add(201 * time.Millisecond)
+		if !set.Allow(key) {
+			t.Fatalf("probe %d refused after max delay", i)
+		}
+		set.Failure(key)
+	}
+	// A lost probe (no Success/Failure report) re-arms instead of
+	// wedging the key forever.
+	now = now.Add(201 * time.Millisecond)
+	if !set.Allow(key) {
+		t.Fatal("probe refused")
+	}
+	now = now.Add(201 * time.Millisecond)
+	if !set.Allow(key) {
+		t.Fatal("lost probe wedged the breaker")
+	}
+}
+
+func TestBreakerKeysIndependent(t *testing.T) {
+	set := NewBreakerSet(BreakerConfig{Threshold: 1, Jitter: -1})
+	set.Failure("dead")
+	if set.State("dead") != Open {
+		t.Fatal("dead key not open")
+	}
+	if !set.Allow("healthy") || set.State("healthy") != Closed {
+		t.Fatal("healthy key affected by dead key")
+	}
+}

@@ -7,18 +7,22 @@ import (
 	"sync"
 	"time"
 
+	"condorg/internal/faultclass"
 	"condorg/internal/gsi"
 	"condorg/internal/wire"
 )
 
 // Client is the submit-side GRAM library used by the GridManager. One
 // client serves one user credential; connections to Gatekeepers and
-// JobManagers are cached per address.
+// JobManagers are cached per address. Every network operation passes
+// through a per-endpoint circuit breaker, so a dead site fast-fails
+// instead of making each caller wait out the full timeout ladder.
 type Client struct {
 	clock gsi.Clock
 
 	mu     sync.Mutex
 	cred   *gsi.Credential
+	health *faultclass.BreakerSet
 	gkConn map[string]*wire.Client
 	jmConn map[string]*wire.Client
 	// timeouts are shortened by tests.
@@ -34,11 +38,50 @@ func NewClient(cred *gsi.Credential, clock gsi.Clock) *Client {
 	return &Client{
 		clock:   clock,
 		cred:    cred,
+		health:  faultclass.NewBreakerSet(faultclass.BreakerConfig{}),
 		gkConn:  make(map[string]*wire.Client),
 		jmConn:  make(map[string]*wire.Client),
 		timeout: 2 * time.Second,
 		retries: 3,
 	}
+}
+
+// SetBreakerConfig replaces the per-endpoint circuit breakers (dropping
+// any accumulated failure state).
+func (c *Client) SetBreakerConfig(cfg faultclass.BreakerConfig) {
+	c.mu.Lock()
+	c.health = faultclass.NewBreakerSet(cfg)
+	c.mu.Unlock()
+}
+
+// SiteHealth reports the circuit breaker state for an endpoint address
+// (a gatekeeper or jobmanager).
+func (c *Client) SiteHealth(addr string) faultclass.BreakerState {
+	c.mu.Lock()
+	h := c.health
+	c.mu.Unlock()
+	return h.State(addr)
+}
+
+// guard runs op under addr's circuit breaker. An open breaker
+// fast-fails with a Transient error before any network I/O; transport
+// failures (not remote application errors — those prove the endpoint
+// alive) count against the breaker.
+func (c *Client) guard(addr string, op func() error) error {
+	c.mu.Lock()
+	h := c.health
+	c.mu.Unlock()
+	if !h.Allow(addr) {
+		return faultclass.New(faultclass.Transient,
+			fmt.Errorf("gram: %s: %w", addr, faultclass.ErrBreakerOpen))
+	}
+	err := op()
+	if err != nil && !wire.IsRemote(err) {
+		h.Failure(addr)
+	} else {
+		h.Success(addr)
+	}
+	return err
 }
 
 // SetTimeouts adjusts per-attempt timeout and retry count (tests shorten
@@ -177,7 +220,9 @@ func (c *Client) Submit(gkAddr string, spec JobSpec, opts SubmitOptions) (JobCon
 		req.Delegated = data
 	}
 	var resp submitResp
-	if err := c.gatekeeper(gkAddr).Call("gram.submit", req, &resp); err != nil {
+	if err := c.guard(gkAddr, func() error {
+		return c.gatekeeper(gkAddr).Call("gram.submit", req, &resp)
+	}); err != nil {
 		return JobContact{}, err
 	}
 	return JobContact{
@@ -189,37 +234,49 @@ func (c *Client) Submit(gkAddr string, spec JobSpec, opts SubmitOptions) (JobCon
 
 // Commit runs phase two: "job execution can commence". Idempotent.
 func (c *Client) Commit(contact JobContact) error {
-	return c.gatekeeper(contact.GatekeeperAddr).Call("gram.commit", commitReq{JobID: contact.JobID}, nil)
+	return c.guard(contact.GatekeeperAddr, func() error {
+		return c.gatekeeper(contact.GatekeeperAddr).Call("gram.commit", commitReq{JobID: contact.JobID}, nil)
+	})
 }
 
 // Status queries the JobManager for the job's current state.
 func (c *Client) Status(contact JobContact) (StatusInfo, error) {
 	var st StatusInfo
-	err := c.jobmanager(contact.JobManagerAddr).Call("jm.status", struct{}{}, &st)
+	err := c.guard(contact.JobManagerAddr, func() error {
+		return c.jobmanager(contact.JobManagerAddr).Call("jm.status", struct{}{}, &st)
+	})
 	return st, err
 }
 
 // Cancel asks the JobManager to kill the job.
 func (c *Client) Cancel(contact JobContact) error {
-	return c.jobmanager(contact.JobManagerAddr).Call("jm.cancel", struct{}{}, nil)
+	return c.guard(contact.JobManagerAddr, func() error {
+		return c.jobmanager(contact.JobManagerAddr).Call("jm.cancel", struct{}{}, nil)
+	})
 }
 
 // PingJobManager probes the per-job daemon (single attempt, no retries):
 // the GridManager's liveness check.
 func (c *Client) PingJobManager(contact JobContact) error {
-	return c.jobmanager(contact.JobManagerAddr).Ping("jm.ping")
+	return c.guard(contact.JobManagerAddr, func() error {
+		return c.jobmanager(contact.JobManagerAddr).Ping("jm.ping")
+	})
 }
 
 // PingGatekeeper probes the site's interface machine.
 func (c *Client) PingGatekeeper(addr string) error {
-	return c.gatekeeper(addr).Ping("gram.ping")
+	return c.guard(addr, func() error {
+		return c.gatekeeper(addr).Ping("gram.ping")
+	})
 }
 
 // RestartJobManager asks the Gatekeeper to start a replacement JobManager
 // for a job whose daemon died. The returned contact has the new address.
 func (c *Client) RestartJobManager(contact JobContact) (JobContact, error) {
 	var resp jmRestartResp
-	err := c.gatekeeper(contact.GatekeeperAddr).Call("gram.jm-restart", jmRestartReq{JobID: contact.JobID}, &resp)
+	err := c.guard(contact.GatekeeperAddr, func() error {
+		return c.gatekeeper(contact.GatekeeperAddr).Call("gram.jm-restart", jmRestartReq{JobID: contact.JobID}, &resp)
+	})
 	if err != nil {
 		return contact, err
 	}
@@ -250,10 +307,14 @@ func (c *Client) RefreshCredential(contact JobContact, lifetime time.Duration) e
 	if err != nil {
 		return err
 	}
-	return c.jobmanager(contact.JobManagerAddr).Call("jm.refresh-credential", refreshCredReq{Delegated: data}, nil)
+	return c.guard(contact.JobManagerAddr, func() error {
+		return c.jobmanager(contact.JobManagerAddr).Call("jm.refresh-credential", refreshCredReq{Delegated: data}, nil)
+	})
 }
 
 // UpdateURLFile tells the JobManager the client's GASS server moved.
 func (c *Client) UpdateURLFile(contact JobContact, newAddr string) error {
-	return c.jobmanager(contact.JobManagerAddr).Call("jm.update-urlfile", updateURLFileReq{Addr: newAddr}, nil)
+	return c.guard(contact.JobManagerAddr, func() error {
+		return c.jobmanager(contact.JobManagerAddr).Call("jm.update-urlfile", updateURLFileReq{Addr: newAddr}, nil)
+	})
 }

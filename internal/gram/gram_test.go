@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"condorg/internal/faultclass"
 	"condorg/internal/gass"
 	"condorg/internal/gsi"
 	"condorg/internal/lrm"
@@ -582,5 +583,31 @@ func TestRuntimeUnknownProgram(t *testing.T) {
 	st := waitGramState(t, g.client, contact, StateFailed)
 	if !strings.Contains(st.Error, "no such program") {
 		t.Fatalf("error = %q", st.Error)
+	}
+}
+
+// TestFaultClassTravelsOverWire: the typed fault taxonomy must survive the
+// wire round trip so callers can branch on StatusInfo.Fault (or the class
+// attached to a remote error) instead of matching error prose. A program
+// failure is Permanent; asking a site about a job it has never heard of is
+// SiteLost.
+func TestFaultClassTravelsOverWire(t *testing.T) {
+	g := newTestGrid(t)
+	contact := g.submitAndCommit(t, JobSpec{
+		Executable: g.stageProgram(t, "fail"),
+	})
+	st := waitGramState(t, g.client, contact, StateFailed)
+	if st.Fault != faultclass.Permanent {
+		t.Fatalf("fault = %v, want %v", st.Fault, faultclass.Permanent)
+	}
+
+	ghost := contact
+	ghost.JobID = "wisc-job999"
+	if _, err := g.client.RestartJobManager(ghost); err == nil {
+		t.Fatal("restart of an unknown job succeeded")
+	} else if !wire.IsRemote(err) {
+		t.Fatalf("err = %v, want a remote error", err)
+	} else if got := faultclass.ClassOf(err); got != faultclass.SiteLost {
+		t.Fatalf("fault class = %v, want %v", got, faultclass.SiteLost)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"condorg/internal/faultclass"
 	"condorg/internal/gass"
 	"condorg/internal/gsi"
 	"condorg/internal/wire"
@@ -117,10 +118,12 @@ func (jm *JobManager) handleCancel(peer string, _ json.RawMessage) (any, error) 
 		return struct{}{}, nil
 	}
 	if lrmID == "" {
-		// Not yet in the LRM: mark failed directly.
+		// Not yet in the LRM: mark failed directly. A cancellation is
+		// the user's own verdict — never retried.
 		jm.job.mu.Lock()
 		jm.job.status.State = StateFailed
 		jm.job.status.Error = "cancelled before submission"
+		jm.job.status.Fault = faultclass.Permanent
 		jm.job.mu.Unlock()
 		jm.site.persist(jm.job)
 		return struct{}{}, nil

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"condorg/internal/faultclass"
 	"condorg/internal/gass"
 	"condorg/internal/gsi"
 	"condorg/internal/journal"
@@ -76,6 +77,13 @@ type Site struct {
 	jobs    map[string]*siteJob
 	serial  int
 	crashed bool
+	closing bool // Close in progress: LRM kills are site-lost, not failures
+}
+
+func (s *Site) isClosing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closing
 }
 
 // siteJob is the server-side job record. Its persistent core (persistJob)
@@ -99,16 +107,17 @@ type siteJob struct {
 }
 
 type persistJob struct {
-	ID           string   `json:"id"`
-	SubmissionID string   `json:"submission_id"`
-	Owner        string   `json:"owner"`
-	LocalUser    string   `json:"local_user"`
-	Spec         JobSpec  `json:"spec"`
-	Committed    bool     `json:"committed"`
-	LrmID        string   `json:"lrm_id"`
-	Callback     string   `json:"callback"`
-	State        JobState `json:"state"`
-	Error        string   `json:"error,omitempty"`
+	ID           string           `json:"id"`
+	SubmissionID string           `json:"submission_id"`
+	Owner        string           `json:"owner"`
+	LocalUser    string           `json:"local_user"`
+	Spec         JobSpec          `json:"spec"`
+	Committed    bool             `json:"committed"`
+	LrmID        string           `json:"lrm_id"`
+	Callback     string           `json:"callback"`
+	State        JobState         `json:"state"`
+	Error        string           `json:"error,omitempty"`
+	Fault        faultclass.Class `json:"fault_class,omitempty"`
 }
 
 // outBuffer accumulates a job output stream and tracks how much has been
@@ -195,22 +204,57 @@ func (s *Site) recover() error {
 			lrmID:        p.LrmID,
 			callback:     p.Callback,
 			status: StatusInfo{
-				JobID: p.ID, State: p.State, Error: p.Error, LocalUser: p.LocalUser,
+				JobID: p.ID, State: p.State, Error: p.Error, Fault: p.Fault, LocalUser: p.LocalUser,
 			},
 		}
 		s.jobs[p.ID] = job
-		if p.Committed && !p.State.Terminal() && p.LrmID != "" {
-			// The LRM outlived the Gatekeeper crash only within one
-			// process lifetime; across a true process restart the
-			// cluster is fresh and the job is gone. Reconcile.
-			if _, err := s.cfg.Cluster.Status(p.LrmID); err != nil {
+		// Restore the ID counter past every recovered job: a restarted
+		// site must never re-issue an ID, or the new submission would
+		// overwrite the recovered record and clients probing the old
+		// incarnation would silently read another job's status.
+		if n := parseJobSerial(p.ID, s.cfg.Name); n > s.serial {
+			s.serial = n
+		}
+		if p.Committed && !p.State.Terminal() {
+			// A job that died mid-staging (no LRM handle yet) is gone:
+			// the staging goroutine did not survive the restart, so it
+			// would sit in stage-in forever. One that did reach the LRM
+			// outlived the Gatekeeper crash only within one process
+			// lifetime; across a true restart the cluster is fresh and
+			// the job is gone. Reconcile both as site-lost — neither
+			// ran to completion, so resubmission cannot double-execute.
+			lost := p.LrmID == ""
+			if !lost {
+				if _, err := s.cfg.Cluster.Status(p.LrmID); err != nil {
+					lost = true
+				}
+			}
+			if lost {
 				job.status.State = StateFailed
 				job.status.Error = "lost by site restart"
+				job.status.Fault = faultclass.SiteLost
 				s.persist(job)
 			}
 		}
 		return nil
 	})
+}
+
+// parseJobSerial extracts N from a "<name>-jobN" identifier (0 when the ID
+// has a different shape).
+func parseJobSerial(id, name string) int {
+	prefix := name + "-job"
+	if len(id) <= len(prefix) || id[:len(prefix)] != prefix {
+		return 0
+	}
+	n := 0
+	for _, c := range id[len(prefix):] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
 }
 
 func (s *Site) persist(job *siteJob) {
@@ -227,6 +271,7 @@ func (s *Site) persist(job *siteJob) {
 		Callback:     job.callback,
 		State:        job.status.State,
 		Error:        job.status.Error,
+		Fault:        job.status.Fault,
 	}
 	// A put can fail benignly when the site is shutting down (the store
 	// closes while an LRM watcher delivers a final transition); that
@@ -397,6 +442,7 @@ func (s *Site) expireUncommitted(id string) {
 	}
 	job.status.State = StateFailed
 	job.status.Error = "commit timeout: two-phase commit never completed"
+	job.status.Fault = faultclass.SiteLost
 	jm := job.jm
 	job.jm = nil
 	job.mu.Unlock()
@@ -419,7 +465,10 @@ func (s *Site) handleCommit(peer string, body json.RawMessage) (any, error) {
 	job, ok := s.jobs[req.JobID]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("gram: commit for unknown job %q", req.JobID)
+		// The site has no record of the job (e.g. it died before the
+		// submission was persisted): it can never run here.
+		return nil, faultclass.New(faultclass.SiteLost,
+			fmt.Errorf("gram: commit for unknown job %q", req.JobID))
 	}
 	if s.cfg.Anchor != nil && job.owner != peer {
 		return nil, fmt.Errorf("gram: job %s belongs to %s", req.JobID, job.owner)
@@ -462,7 +511,10 @@ func (s *Site) handleJMRestart(peer string, body json.RawMessage) (any, error) {
 	job, ok := s.jobs[req.JobID]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("gram: restart for unknown job %q", req.JobID)
+		// No record of the job survived on this site; tell the client it
+		// is definitively lost here so it can resubmit.
+		return nil, faultclass.New(faultclass.SiteLost,
+			fmt.Errorf("gram: restart for unknown job %q", req.JobID))
 	}
 	if s.cfg.Anchor != nil && job.owner != peer {
 		return nil, fmt.Errorf("gram: job %s belongs to %s", req.JobID, job.owner)
@@ -492,10 +544,13 @@ func (s *Site) stageAndSubmit(job *siteJob) {
 	gc := gass.NewClient(cred, s.cfg.Clock)
 	defer gc.Close()
 
+	// Failures before the LRM accepts the job mean it never ran here:
+	// SiteLost, so the submitter may safely run it elsewhere.
 	fail := func(err error) {
 		job.mu.Lock()
 		job.status.State = StateFailed
 		job.status.Error = err.Error()
+		job.status.Fault = faultclass.SiteLost
 		job.mu.Unlock()
 		s.persist(job)
 		s.notifyStatus(job)
@@ -573,10 +628,25 @@ func (s *Site) watchLRM(job *siteJob, lrmID string) {
 			newState = StateDone
 		default: // Failed, Cancelled, TimedOut
 			newState = StateFailed
-			if job.status.Error == "" {
-				job.status.Error = st.State.String()
-				if st.Error != "" {
-					job.status.Error = st.Error
+			if st.State == lrm.Cancelled && s.isClosing() {
+				// The site is going down, not the job: whatever the
+				// LRM kills during shutdown is lost with the site and
+				// safe to run elsewhere.
+				if job.status.Error == "" {
+					job.status.Error = "lost by site restart"
+				}
+				job.status.Fault = faultclass.SiteLost
+			} else {
+				if job.status.Error == "" {
+					job.status.Error = st.State.String()
+					if st.Error != "" {
+						job.status.Error = st.Error
+					}
+				}
+				// The job itself failed at a healthy site: retrying
+				// elsewhere cannot change the verdict.
+				if job.status.Fault == faultclass.Unknown {
+					job.status.Fault = faultclass.Permanent
 				}
 			}
 		}
@@ -718,6 +788,7 @@ func (s *Site) Heal() {
 // Close shuts the whole site down.
 func (s *Site) Close() {
 	s.mu.Lock()
+	s.closing = true
 	gk := s.gk
 	s.gk = nil
 	jobs := make([]*siteJob, 0, len(s.jobs))

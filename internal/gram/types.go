@@ -15,6 +15,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"condorg/internal/faultclass"
 )
 
 // JobState is the GRAM-visible state of a job.
@@ -105,13 +107,16 @@ type StatusInfo struct {
 	// the report to the job's current remote incarnation: job IDs are only
 	// unique per site, so a late callback from a cancelled incarnation at
 	// one site could otherwise masquerade as the live one at another.
-	JobManagerAddr string `json:"jobmanager_addr,omitempty"`
-	State      JobState `json:"state"`
-	Error      string   `json:"error,omitempty"`
-	ExitOK     bool     `json:"exit_ok"`
-	StdoutSent int64    `json:"stdout_sent"` // bytes streamed so far
-	StderrSent int64    `json:"stderr_sent"`
-	LocalUser  string   `json:"local_user"`
+	JobManagerAddr string   `json:"jobmanager_addr,omitempty"`
+	State          JobState `json:"state"`
+	Error          string   `json:"error,omitempty"`
+	// Fault classifies Error so the GridManager can choose a recovery
+	// action (resubmit / retry / surface / hold) without parsing prose.
+	Fault      faultclass.Class `json:"fault_class,omitempty"`
+	ExitOK     bool             `json:"exit_ok"`
+	StdoutSent int64            `json:"stdout_sent"` // bytes streamed so far
+	StderrSent int64            `json:"stderr_sent"`
+	LocalUser  string           `json:"local_user"`
 }
 
 // Runtime executes a staged job payload on the site. The live system uses

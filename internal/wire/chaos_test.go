@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"condorg/internal/faultclass"
+)
+
+func chaosServer(t *testing.T, faults *Faults) (*Server, *atomic.Int64) {
+	t.Helper()
+	var count atomic.Int64
+	s, err := NewServer(ServerConfig{Name: "chaos", Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	s.Handle("incr", func(string, json.RawMessage) (any, error) {
+		return map[string]int64{"n": count.Add(1)}, nil
+	})
+	return s, &count
+}
+
+// TestRefuseConnPartition: with RefuseConn active the dial succeeds (the
+// listener accepts) but every connection is severed before a frame flows
+// — a bidirectional partition. Calls fail transient; healing restores
+// service on the same address.
+func TestRefuseConnPartition(t *testing.T) {
+	faults := &Faults{}
+	s, _ := chaosServer(t, faults)
+	var partitioned atomic.Bool
+	partitioned.Store(true)
+	faults.SetConn(func() bool { return partitioned.Load() }, nil, nil)
+
+	c := Dial(s.Addr(), ClientConfig{ServerName: "chaos", Timeout: 100 * time.Millisecond, Retries: 1, RetryBackoff: 10 * time.Millisecond})
+	defer c.Close()
+	err := c.Call("incr", struct{}{}, nil)
+	if err == nil {
+		t.Fatal("call succeeded across partition")
+	}
+	if faultclass.ClassOf(err) != faultclass.Transient {
+		t.Fatalf("partition error class = %v, want Transient", faultclass.ClassOf(err))
+	}
+	partitioned.Store(false)
+	var resp map[string]int64
+	if err := c.Call("incr", struct{}{}, &resp); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+	if resp["n"] != 1 {
+		t.Fatalf("n = %d, want 1 (no execution during partition)", resp["n"])
+	}
+}
+
+// TestBlackholeConnOneWay: requests reach the server's TCP stack but are
+// discarded unread — the one-way partition where the client cannot tell
+// a slow server from a dead link. Nothing executes; heal restores flow.
+func TestBlackholeConnOneWay(t *testing.T) {
+	faults := &Faults{}
+	s, count := chaosServer(t, faults)
+	var holed atomic.Bool
+	holed.Store(true)
+	faults.SetConn(nil, func() bool { return holed.Load() }, nil)
+
+	c := Dial(s.Addr(), ClientConfig{ServerName: "chaos", Timeout: 100 * time.Millisecond, Retries: 1, RetryBackoff: 10 * time.Millisecond})
+	defer c.Close()
+	err := c.Call("incr", struct{}{}, nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("blackholed call: %v, want timeout", err)
+	}
+	if count.Load() != 0 {
+		t.Fatalf("handler ran %d times through a blackhole", count.Load())
+	}
+	holed.Store(false)
+	if err := c.Call("incr", struct{}{}, nil); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+}
+
+// TestResetMidFrameExactlyOnce: the response frame is torn mid-write and
+// the connection reset. The retry (same seq) must hit the reply cache:
+// the handler runs exactly once.
+func TestResetMidFrameExactlyOnce(t *testing.T) {
+	faults := &Faults{}
+	s, count := chaosServer(t, faults)
+	var resets atomic.Int64
+	faults.SetConn(nil, nil, func(method string) bool {
+		return method == "incr" && resets.Add(1) <= 2
+	})
+
+	c := Dial(s.Addr(), ClientConfig{ServerName: "chaos", Timeout: 200 * time.Millisecond, Retries: 4, RetryBackoff: 10 * time.Millisecond})
+	defer c.Close()
+	var resp map[string]int64
+	if err := c.CallSeq(c.NextSeq(), "incr", struct{}{}, &resp); err != nil {
+		t.Fatalf("call across torn frames: %v", err)
+	}
+	if resp["n"] != 1 || count.Load() != 1 {
+		t.Fatalf("n=%d handler ran %d times, want exactly once", resp["n"], count.Load())
+	}
+	if resets.Load() < 2 {
+		t.Fatalf("reset hook fired %d times, want >= 2", resets.Load())
+	}
+}
+
+// TestFaultCarriedOnRemoteError: a handler error tagged with a fault
+// class crosses the wire and is recoverable via faultclass.ClassOf.
+func TestFaultCarriedOnRemoteError(t *testing.T) {
+	s, err := NewServer(ServerConfig{Name: "cls"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Handle("lost", func(string, json.RawMessage) (any, error) {
+		return nil, faultclass.New(faultclass.SiteLost, errors.New("lost by site restart"))
+	})
+	s.Handle("plain", func(string, json.RawMessage) (any, error) {
+		return nil, errors.New("untagged")
+	})
+	c := Dial(s.Addr(), ClientConfig{ServerName: "cls", Timeout: time.Second})
+	defer c.Close()
+
+	err = c.Call("lost", struct{}{}, nil)
+	if !IsRemote(err) || err.Error() != "lost by site restart" {
+		t.Fatalf("remote error mangled: %v", err)
+	}
+	if faultclass.ClassOf(err) != faultclass.SiteLost {
+		t.Fatalf("class = %v, want SiteLost", faultclass.ClassOf(err))
+	}
+	err = c.Call("plain", struct{}{}, nil)
+	if !IsRemote(err) || faultclass.ClassOf(err) != faultclass.Unknown {
+		t.Fatalf("untagged error: %v class %v", err, faultclass.ClassOf(err))
+	}
+}

@@ -5,11 +5,13 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	mrand "math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"condorg/internal/faultclass"
 	"condorg/internal/gsi"
 )
 
@@ -28,8 +30,13 @@ type ClientConfig struct {
 	// SAME sequence number (default 3; -1 disables retries entirely).
 	// Retries are what make the reply cache load-bearing.
 	Retries int
-	// RetryBackoff separates attempts (default 50ms).
+	// RetryBackoff is the base delay before the first retry; it doubles
+	// on each subsequent attempt (default 50ms).
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential growth (default 1s). Up to
+	// 50% random jitter is added on top of each delay so simultaneous
+	// retries against a recovering server spread out.
+	RetryBackoffMax time.Duration
 }
 
 // Client is a connection-caching RPC client. Concurrent Calls multiplex
@@ -64,6 +71,12 @@ func Dial(addr string, cfg ClientConfig) *Client {
 	}
 	if cfg.RetryBackoff == 0 {
 		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.RetryBackoffMax == 0 {
+		cfg.RetryBackoffMax = time.Second
+	}
+	if cfg.RetryBackoffMax < cfg.RetryBackoff {
+		cfg.RetryBackoffMax = cfg.RetryBackoff
 	}
 	idBytes := make([]byte, 8)
 	rand.Read(idBytes)
@@ -106,7 +119,7 @@ func (c *Client) CallSeq(seq uint64, method string, req, resp any) error {
 	var lastErr error = ErrTimeout
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.cfg.RetryBackoff)
+			time.Sleep(c.backoff(attempt))
 		}
 		msg, err := c.attempt(seq, method, body)
 		if err != nil {
@@ -114,7 +127,7 @@ func (c *Client) CallSeq(seq uint64, method string, req, resp any) error {
 			continue
 		}
 		if msg.Error != "" {
-			return &RemoteError{Msg: msg.Error}
+			return &RemoteError{Msg: msg.Error, Class: faultclass.Parse(msg.Fault)}
 		}
 		if resp != nil && len(msg.Body) > 0 {
 			if err := json.Unmarshal(msg.Body, resp); err != nil {
@@ -123,7 +136,24 @@ func (c *Client) CallSeq(seq uint64, method string, req, resp any) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("%w: %s (%v)", ErrTimeout, method, lastErr)
+	// Transport failures are transient by definition: the verdict on
+	// the job (if any) lives at the site, unreached.
+	return faultclass.New(faultclass.Transient,
+		fmt.Errorf("%w: %s (%v)", ErrTimeout, method, lastErr))
+}
+
+// backoff computes the delay before retry attempt n (1-based):
+// exponential from RetryBackoff, capped at RetryBackoffMax, with up to
+// 50% random jitter.
+func (c *Client) backoff(n int) time.Duration {
+	d := c.cfg.RetryBackoff
+	for i := 1; i < n && d < c.cfg.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.RetryBackoffMax {
+		d = c.cfg.RetryBackoffMax
+	}
+	return d + time.Duration(mrand.Int63n(int64(d)/2+1))
 }
 
 func (c *Client) attempt(seq uint64, method string, body json.RawMessage) (*Message, error) {
@@ -241,10 +271,10 @@ func (c *Client) dropConn(conn net.Conn) {
 func (c *Client) Ping(method string) error {
 	msg, err := c.attempt(c.NextSeq(), method, []byte("{}"))
 	if err != nil {
-		return err
+		return faultclass.New(faultclass.Transient, err)
 	}
 	if msg.Error != "" {
-		return &RemoteError{Msg: msg.Error}
+		return &RemoteError{Msg: msg.Error, Class: faultclass.Parse(msg.Fault)}
 	}
 	return nil
 }

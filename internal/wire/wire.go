@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"condorg/internal/faultclass"
 	"condorg/internal/gsi"
 )
 
@@ -33,6 +34,9 @@ type Message struct {
 	Token    *gsi.AuthToken  `json:"token,omitempty"`
 	Body     json.RawMessage `json:"body,omitempty"`
 	Error    string          `json:"error,omitempty"`
+	// Fault carries the faultclass name for Error, so clients can
+	// branch on a typed class instead of the error prose.
+	Fault string `json:"fault,omitempty"`
 }
 
 // WriteFrame writes one framed message to w.
@@ -80,15 +84,28 @@ func ReadFrame(r io.Reader) (*Message, error) {
 type Handler func(peer string, body json.RawMessage) (any, error)
 
 // Faults lets tests and experiments inject the failure modes of §3.2/§4.2.
-// Each hook is consulted per request; nil hooks never fire.
+// Each hook is consulted per request (or per connection for the
+// connection-level hooks); nil hooks never fire.
 type Faults struct {
 	mu sync.Mutex
 	// DropRequest: pretend the request never arrived (no processing).
 	DropRequest func(method string) bool
 	// DropResponse: process the request but lose the reply.
 	DropResponse func(method string) bool
-	// Delay: artificial processing delay.
+	// Delay: artificial processing delay (latency/jitter injection).
 	Delay func(method string) time.Duration
+	// RefuseConn: bidirectional partition at the connection level —
+	// new connections are accepted and immediately severed, so dials
+	// appear to succeed but nothing ever flows.
+	RefuseConn func() bool
+	// BlackholeConn: one-way partition — request frames are read off
+	// the wire and silently discarded without processing, so the
+	// client sees its sends succeed but never hears back.
+	BlackholeConn func() bool
+	// ResetMidFrame: the connection is reset midway through writing
+	// the response frame for this method (the work already happened
+	// and is in the reply cache; only the frame is torn).
+	ResetMidFrame func(method string) bool
 }
 
 func (f *Faults) dropRequest(m string) bool {
@@ -124,11 +141,69 @@ func (f *Faults) delay(m string) time.Duration {
 	return hook(m)
 }
 
-// Set atomically replaces the hooks.
+func (f *Faults) refuseConn() bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	hook := f.RefuseConn
+	f.mu.Unlock()
+	return hook != nil && hook()
+}
+
+func (f *Faults) blackholeConn() bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	hook := f.BlackholeConn
+	f.mu.Unlock()
+	return hook != nil && hook()
+}
+
+func (f *Faults) resetMidFrame(m string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	hook := f.ResetMidFrame
+	f.mu.Unlock()
+	return hook != nil && hook(m)
+}
+
+// Set atomically replaces the message-drop hooks.
 func (f *Faults) Set(dropReq, dropResp func(string) bool) {
 	f.mu.Lock()
 	f.DropRequest = dropReq
 	f.DropResponse = dropResp
+	f.mu.Unlock()
+}
+
+// SetDelay atomically replaces the latency hook.
+func (f *Faults) SetDelay(delay func(string) time.Duration) {
+	f.mu.Lock()
+	f.Delay = delay
+	f.mu.Unlock()
+}
+
+// SetConn atomically replaces the connection-level chaos hooks.
+func (f *Faults) SetConn(refuse, blackhole func() bool, reset func(string) bool) {
+	f.mu.Lock()
+	f.RefuseConn = refuse
+	f.BlackholeConn = blackhole
+	f.ResetMidFrame = reset
+	f.mu.Unlock()
+}
+
+// Clear removes every hook.
+func (f *Faults) Clear() {
+	f.mu.Lock()
+	f.DropRequest = nil
+	f.DropResponse = nil
+	f.Delay = nil
+	f.RefuseConn = nil
+	f.BlackholeConn = nil
+	f.ResetMidFrame = nil
 	f.mu.Unlock()
 }
 
@@ -241,6 +316,10 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if s.cfg.Faults.refuseConn() {
+			conn.Close() // bidirectional partition: sever on arrival
+			continue
+		}
 		s.mu.Lock()
 		if s.closed || s.paused {
 			s.mu.Unlock()
@@ -271,12 +350,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		if msg.Kind != "req" {
 			continue
 		}
+		if s.cfg.Faults.blackholeConn() {
+			continue // one-way partition: the frame arrived, then vanished
+		}
 		s.wg.Add(1)
 		go func(msg *Message) {
 			defer s.wg.Done()
 			resp := s.dispatch(msg)
 			if resp == nil {
 				return // injected request/response loss
+			}
+			if s.cfg.Faults.resetMidFrame(msg.Method) {
+				writeTornFrame(conn, &wmu, resp)
+				return
 			}
 			wmu.Lock()
 			err := WriteFrame(conn, resp)
@@ -286,6 +372,25 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}(msg)
 	}
+}
+
+// writeTornFrame writes the frame header and only part of the payload,
+// then resets the connection — the mid-frame connection loss of §4.2.
+// The response stays in the reply cache, so a client retry of the same
+// sequence number still gets exactly-once semantics.
+func writeTornFrame(conn net.Conn, wmu *sync.Mutex, m *Message) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	wmu.Lock()
+	conn.Write(hdr[:])
+	conn.Write(data[:len(data)/2])
+	wmu.Unlock()
+	conn.Close()
 }
 
 // dispatch runs one request through fault injection, the reply cache,
@@ -310,6 +415,7 @@ func (s *Server) dispatch(msg *Message) *Message {
 		subject, err := msg.Token.Verify(s.cfg.Anchor, authContext(s.cfg.Name, msg.Method), s.cfg.Clock())
 		if err != nil {
 			resp.Error = "auth: " + err.Error()
+			resp.Fault = faultclass.AuthExpired.String()
 			// Auth failures are not cached: a refreshed credential
 			// retrying the same sequence number must be re-evaluated.
 			if s.cfg.Faults.dropResponse(msg.Method) {
@@ -328,6 +434,9 @@ func (s *Server) dispatch(msg *Message) *Message {
 		result, err := h(peer, msg.Body)
 		if err != nil {
 			resp.Error = err.Error()
+			if cls := faultclass.ClassOf(err); cls != faultclass.Unknown {
+				resp.Fault = cls.String()
+			}
 		} else if result != nil {
 			body, err := json.Marshal(result)
 			if err != nil {
@@ -391,10 +500,17 @@ var (
 	ErrClosed  = errors.New("wire: client closed")
 )
 
-// RemoteError wraps an error string returned by a handler.
-type RemoteError struct{ Msg string }
+// RemoteError wraps an error string returned by a handler, along with
+// the fault class the server attached to it (Unknown when untagged).
+type RemoteError struct {
+	Msg   string
+	Class faultclass.Class
+}
 
 func (e *RemoteError) Error() string { return e.Msg }
+
+// FaultClass exposes the server-assigned class to faultclass.ClassOf.
+func (e *RemoteError) FaultClass() faultclass.Class { return e.Class }
 
 // IsRemote reports whether err is an application error from the server (as
 // opposed to a transport failure).
