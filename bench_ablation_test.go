@@ -129,9 +129,9 @@ func BenchmarkA2_StableLog(b *testing.B) {
 		site := benchSite(b, "a2", &runs, "", "")
 		stateDir := mustTempDir(b, "a2agent")
 		a1, err := condorg.NewAgent(condorg.AgentConfig{
-			StateDir:      stateDir,
-			Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
-			ProbeInterval: 30 * time.Millisecond,
+			StateDir: stateDir,
+			Selector: condorg.StaticSelector(site.GatekeeperAddr()),
+			Probe:    condorg.ProbeOptions{Interval: 30 * time.Millisecond},
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -152,9 +152,9 @@ func BenchmarkA2_StableLog(b *testing.B) {
 			os.MkdirAll(stateDir, 0o700)
 		}
 		a2, err := condorg.NewAgent(condorg.AgentConfig{
-			StateDir:      stateDir,
-			Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
-			ProbeInterval: 30 * time.Millisecond,
+			StateDir: stateDir,
+			Selector: condorg.StaticSelector(site.GatekeeperAddr()),
+			Probe:    condorg.ProbeOptions{Interval: 30 * time.Millisecond},
 		})
 		if err != nil {
 			b.Fatal(err)

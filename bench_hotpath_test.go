@@ -19,10 +19,10 @@ import (
 func benchAgentJournal(b *testing.B, site *gram.Site, opts journal.StoreOptions) *condorg.Agent {
 	b.Helper()
 	agent, err := condorg.NewAgent(condorg.AgentConfig{
-		StateDir:      mustTempDir(b, "agent"),
-		Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval: 30 * time.Millisecond,
-		Journal:       opts,
+		StateDir: mustTempDir(b, "agent"),
+		Selector: condorg.StaticSelector(site.GatekeeperAddr()),
+		Probe:    condorg.ProbeOptions{Interval: 30 * time.Millisecond},
+		Journal:  opts,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -87,9 +87,9 @@ func benchSite(b *testing.B, name string, runs *atomic.Int64, addr string, state
 func benchAgent(b *testing.B, site *gram.Site) *condorg.Agent {
 	b.Helper()
 	agent, err := condorg.NewAgent(condorg.AgentConfig{
-		StateDir:      mustTempDir(b, "agent"),
-		Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval: 30 * time.Millisecond,
+		StateDir: mustTempDir(b, "agent"),
+		Selector: condorg.StaticSelector(site.GatekeeperAddr()),
+		Probe:    condorg.ProbeOptions{Interval: 30 * time.Millisecond},
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -267,9 +267,9 @@ func BenchmarkE3_FaultTolerance(b *testing.B) {
 			stateDir := agentStateDirs[agent]
 			agent.Close()
 			a2, err := condorg.NewAgent(condorg.AgentConfig{
-				StateDir:      stateDir,
-				Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
-				ProbeInterval: 30 * time.Millisecond,
+				StateDir: stateDir,
+				Selector: condorg.StaticSelector(site.GatekeeperAddr()),
+				Probe:    condorg.ProbeOptions{Interval: 30 * time.Millisecond},
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -288,9 +288,9 @@ func BenchmarkE3_FaultTolerance(b *testing.B) {
 				site := benchSite(b, "e3", &runsShared, "", "")
 				stateDir := mustTempDir(b, "e3agent")
 				agent, err := condorg.NewAgent(condorg.AgentConfig{
-					StateDir:      stateDir,
-					Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
-					ProbeInterval: 30 * time.Millisecond,
+					StateDir: stateDir,
+					Selector: condorg.StaticSelector(site.GatekeeperAddr()),
+					Probe:    condorg.ProbeOptions{Interval: 30 * time.Millisecond},
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -1,15 +1,19 @@
 // Command condorg is the user-facing Condor-G tool: `condorg serve` runs
 // the personal computation-management agent, and the remaining subcommands
-// (submit, q, status, wait, rm, hold, release, log, stdout) talk to a
-// running agent — the §4.1 "API and command line tools that allow the user
-// to perform job management operations" with the look and feel of a local
-// resource manager.
+// (submit, q, status, wait, rm, hold, release, log, stdout, trace,
+// metrics) talk to a running agent — the §4.1 "API and command line tools
+// that allow the user to perform job management operations" with the look
+// and feel of a local resource manager.
+//
+// Job-op failures map the control plane's fault classes onto exit codes:
+// transient failures (agent restarting, site unreachable) exit 75
+// (EX_TEMPFAIL, "retry me"), everything else exits 1.
 //
 // Usage:
 //
-//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-max-submit-retries n]
+//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-max-submit-retries n] [-no-metrics]
 //	condorg submit -agent 127.0.0.1:7100 [-owner u] [-site addr] program [args...]
-//	condorg q      -agent 127.0.0.1:7100
+//	condorg q      -agent 127.0.0.1:7100 [-owner u] [-state idle,running] [-limit n] [-after job-id]
 //	condorg status -agent 127.0.0.1:7100 <job-id>
 //	condorg wait   -agent 127.0.0.1:7100 <job-id>
 //	condorg rm     -agent 127.0.0.1:7100 <job-id>
@@ -17,6 +21,8 @@
 //	condorg release -agent 127.0.0.1:7100 <job-id>
 //	condorg log    -agent 127.0.0.1:7100 <job-id>
 //	condorg stdout -agent 127.0.0.1:7100 <job-id>
+//	condorg trace  -agent 127.0.0.1:7100 <job-id>
+//	condorg metrics -agent 127.0.0.1:7100
 package main
 
 import (
@@ -31,8 +37,9 @@ import (
 
 	"condorg/internal/broker"
 	"condorg/internal/condorg"
-	"condorg/internal/journal"
+	"condorg/internal/faultclass"
 	"condorg/internal/mds"
+	"condorg/internal/obs"
 )
 
 func main() {
@@ -48,7 +55,11 @@ func main() {
 		submit(args)
 	case "sites":
 		listSites(args)
-	case "q", "status", "wait", "rm", "hold", "release", "log", "stdout":
+	case "q":
+		queue(args)
+	case "metrics":
+		metrics(args)
+	case "status", "wait", "rm", "hold", "release", "log", "stdout", "trace":
 		jobOp(cmd, args)
 	default:
 		usage()
@@ -56,8 +67,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: condorg <serve|submit|q|status|wait|rm|hold|release|log|stdout|sites> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: condorg <serve|submit|q|status|wait|rm|hold|release|log|stdout|trace|metrics|sites> [flags]")
 	os.Exit(2)
+}
+
+// die reports a job-op failure and exits with a class-aware code: 75
+// (EX_TEMPFAIL) for transient faults a wrapper script should retry, 1
+// for everything else.
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "condorg:", err)
+	if faultclass.ClassOf(err) == faultclass.Transient {
+		os.Exit(75)
+	}
+	os.Exit(1)
 }
 
 // listSites queries an MDS directory for advertised resources — what the
@@ -98,6 +120,7 @@ func serve(args []string) {
 	state := fs.String("state", "", "agent state directory (default: temp)")
 	sync := fs.Bool("sync", false, "fsync the job queue journal before acknowledging submits (group commit)")
 	maxSubmitRetries := fs.Int("max-submit-retries", 0, "hold a job after this many failed submission attempts (0 = default)")
+	noMetrics := fs.Bool("no-metrics", false, "disable the metric registry (tracing stays on)")
 	fs.Parse(args)
 
 	var selector condorg.Selector
@@ -123,12 +146,13 @@ func serve(args []string) {
 			log.Fatal(err)
 		}
 	}
-	agent, err := condorg.NewAgent(condorg.AgentConfig{
-		StateDir:         stateDir,
-		Selector:         selector,
-		Journal:          journal.StoreOptions{Sync: *sync},
-		MaxSubmitRetries: *maxSubmitRetries,
-	})
+	cfg := condorg.DefaultAgentConfig()
+	cfg.StateDir = stateDir
+	cfg.Selector = selector
+	cfg.Journal.Sync = *sync
+	cfg.Retry.MaxSubmitRetries = *maxSubmitRetries
+	cfg.Obs.Disabled = *noMetrics
+	agent, err := condorg.NewAgent(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -174,31 +198,78 @@ func submit(args []string) {
 		Site:    submitSite,
 	})
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	fmt.Println(id)
+}
+
+// queue lists jobs with the v1 filter: by owner, by state, paginated.
+func queue(args []string) {
+	fs := flag.NewFlagSet("q", flag.ExitOnError)
+	agent := fs.String("agent", "127.0.0.1:7100", "agent control address")
+	owner := fs.String("owner", "", "only this owner's jobs")
+	stateNames := fs.String("state", "", "comma-separated states (idle,running,completed,failed,held,removed)")
+	limit := fs.Int("limit", 0, "page size (0 = everything)")
+	after := fs.String("after", "", "resume after this job id (cursor from the previous page)")
+	fs.Parse(args)
+
+	var states []condorg.JobState
+	if *stateNames != "" {
+		for _, name := range strings.Split(*stateNames, ",") {
+			st, err := condorg.ParseJobState(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatalf("condorg q: %v", err)
+			}
+			states = append(states, st)
+		}
+	}
+	cli := condorg.NewControlClient(*agent)
+	defer cli.Close()
+	jobs, next, err := cli.QueueFiltered(condorg.CtlQueueReq{
+		Owner:  *owner,
+		States: states,
+		Limit:  *limit,
+		After:  *after,
+	})
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("%-8s %-10s %-10s %-22s %s\n", "ID", "OWNER", "STATE", "SITE", "DETAIL")
+	for _, j := range jobs {
+		detail := j.Error
+		if j.State == condorg.Held {
+			detail = j.HoldReason
+		}
+		fmt.Printf("%-8s %-10s %-10s %-22s %s\n", j.ID, j.Owner, j.State, j.Site, detail)
+	}
+	if next != "" {
+		fmt.Printf("more: condorg q -after %s\n", next)
+	}
+}
+
+// metrics dumps the agent's metric registry.
+func metrics(args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	agent := fs.String("agent", "127.0.0.1:7100", "agent control address")
+	asJSON := fs.Bool("json", false, "emit JSON instead of text")
+	fs.Parse(args)
+	cli := condorg.NewControlClient(*agent)
+	defer cli.Close()
+	ms, err := cli.Metrics()
+	if err != nil {
+		die(err)
+	}
+	if *asJSON {
+		fmt.Println(obs.DumpJSON(ms))
+		return
+	}
+	fmt.Print(obs.DumpText(ms))
 }
 
 func jobOp(cmd string, args []string) {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	cli, rest := client(fs, args)
 	defer cli.Close()
-	switch cmd {
-	case "q":
-		jobs, err := cli.Queue()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-8s %-10s %-10s %-22s %s\n", "ID", "OWNER", "STATE", "SITE", "DETAIL")
-		for _, j := range jobs {
-			detail := j.Error
-			if j.State == condorg.Held {
-				detail = j.HoldReason
-			}
-			fmt.Printf("%-8s %-10s %-10s %-22s %s\n", j.ID, j.Owner, j.State, j.Site, detail)
-		}
-		return
-	}
 	if len(rest) < 1 {
 		log.Fatalf("condorg %s: need a job id", cmd)
 	}
@@ -207,7 +278,7 @@ func jobOp(cmd string, args []string) {
 	case "status":
 		info, err := cli.Status(id)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Printf("%s: %s (site %s, resubmits %d, submit retries %d)\n",
 			info.ID, info.State, info.Site, info.Resubmits, info.SubmitRetries)
@@ -223,7 +294,7 @@ func jobOp(cmd string, args []string) {
 	case "wait":
 		info, err := cli.Wait(id, time.Hour)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Printf("%s: %s\n", info.ID, info.State)
 		if info.State != condorg.Completed {
@@ -231,7 +302,7 @@ func jobOp(cmd string, args []string) {
 		}
 	case "rm":
 		if err := cli.Remove(id); err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 	case "hold":
 		reason := "held by user"
@@ -239,16 +310,16 @@ func jobOp(cmd string, args []string) {
 			reason = strings.Join(rest[1:], " ")
 		}
 		if err := cli.Hold(id, reason); err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 	case "release":
 		if err := cli.Release(id); err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 	case "log":
 		events, err := cli.Log(id)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		for _, e := range events {
 			fmt.Printf("%s %-16s %s\n", e.Time.Format("15:04:05.000"), e.Code, e.Text)
@@ -256,8 +327,29 @@ func jobOp(cmd string, args []string) {
 	case "stdout":
 		data, err := cli.Stdout(id)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		os.Stdout.Write(data)
+	case "trace":
+		tl, err := cli.Trace(id)
+		if err != nil {
+			die(err)
+		}
+		if tl.Dropped > 0 {
+			fmt.Printf("(%d earlier events dropped; ring capacity %d)\n", tl.Dropped, tl.Cap)
+		}
+		for _, ev := range tl.Events {
+			line := fmt.Sprintf("%4d %s %-14s", ev.Seq, ev.Wall.Format("15:04:05.000"), ev.Phase)
+			if ev.Site != "" {
+				line += " site=" + ev.Site
+			}
+			if ev.Class != "" {
+				line += " class=" + ev.Class
+			}
+			if ev.Detail != "" {
+				line += "  " + ev.Detail
+			}
+			fmt.Println(line)
+		}
 	}
 }

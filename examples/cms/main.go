@@ -105,9 +105,9 @@ func main() {
 
 	// --- The Caltech agent. ---
 	agent, err := condorg.NewAgent(condorg.AgentConfig{
-		StateDir:      mustTemp("agent"),
-		Selector:      condorg.StaticSelector(wisc.GatekeeperAddr()),
-		ProbeInterval: 100 * time.Millisecond,
+		StateDir: mustTemp("agent"),
+		Selector: condorg.StaticSelector(wisc.GatekeeperAddr()),
+		Probe:    condorg.ProbeOptions{Interval: 100 * time.Millisecond},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -36,9 +36,9 @@ func main() {
 	defer site.Close()
 
 	agent, err := condorg.NewAgent(condorg.AgentConfig{
-		StateDir:      mustTemp("agent"),
-		Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval: 50 * time.Millisecond,
+		StateDir: mustTemp("agent"),
+		Selector: condorg.StaticSelector(site.GatekeeperAddr()),
+		Probe:    condorg.ProbeOptions{Interval: 50 * time.Millisecond},
 	})
 	if err != nil {
 		log.Fatal(err)

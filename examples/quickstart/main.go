@@ -53,9 +53,9 @@ func main() {
 
 	// --- The personal agent (Figure 1's left half). ---
 	agent, err := condorg.NewAgent(condorg.AgentConfig{
-		StateDir:      mustTemp("agent"),
-		Selector:      &condorg.RoundRobinSelector{Sites: gks},
-		ProbeInterval: 100 * time.Millisecond,
+		StateDir: mustTemp("agent"),
+		Selector: &condorg.RoundRobinSelector{Sites: gks},
+		Probe:    condorg.ProbeOptions{Interval: 100 * time.Millisecond},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -93,11 +93,11 @@ func TestSecureGridEndToEnd(t *testing.T) {
 	}
 	defer b.Close()
 	agent, err := condorg.NewAgent(condorg.AgentConfig{
-		StateDir:      tempDir(t),
-		Credential:    proxy,
-		Selector:      b,
-		ProbeInterval: 40 * time.Millisecond,
-		Delegate:      6 * time.Hour,
+		StateDir:   tempDir(t),
+		Credential: proxy,
+		Selector:   b,
+		Probe:      condorg.ProbeOptions{Interval: 40 * time.Millisecond},
+		Delegate:   6 * time.Hour,
 	})
 	if err != nil {
 		t.Fatal(err)

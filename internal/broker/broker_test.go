@@ -218,9 +218,9 @@ func TestEndToEndMDSBrokeredExecution(t *testing.T) {
 	}
 	defer b.Close()
 	agent, err := condorg.NewAgent(condorg.AgentConfig{
-		StateDir:      t.TempDir(),
-		Selector:      b,
-		ProbeInterval: 40 * time.Millisecond,
+		StateDir: t.TempDir(),
+		Selector: b,
+		Probe:    condorg.ProbeOptions{Interval: 40 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)

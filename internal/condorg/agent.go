@@ -17,10 +17,69 @@ import (
 	"condorg/internal/gram"
 	"condorg/internal/gsi"
 	"condorg/internal/journal"
+	"condorg/internal/obs"
 	"condorg/internal/wire"
 )
 
-// AgentConfig configures the agent.
+// Sentinel errors for control-plane and API callers; wrap sites add the
+// job ID and state prose. The control server maps these to stable typed
+// error codes (see CtlError).
+var (
+	// ErrNoSuchJob reports an unknown job ID.
+	ErrNoSuchJob = errors.New("no such job")
+	// ErrBadJobState reports an operation invalid in the job's state
+	// (e.g. releasing a job that is not held).
+	ErrBadJobState = errors.New("wrong job state")
+	// ErrAgentClosed reports an operation on a closed agent.
+	ErrAgentClosed = errors.New("agent closed")
+)
+
+// ProbeOptions paces the GridManager's §4.2 failure detector.
+type ProbeOptions struct {
+	// Interval is the JobManager liveness probe period (default 500ms).
+	Interval time.Duration
+	// Reconnect paces reconnection attempts during partitions
+	// (default: Interval).
+	Reconnect time.Duration
+}
+
+// RetryOptions bounds the agent's automatic retry machinery.
+type RetryOptions struct {
+	// MaxResubmits bounds automatic resubmission of site-lost jobs
+	// (default 3).
+	MaxResubmits int
+	// MaxSubmitRetries bounds failed submission attempts before the job
+	// is held with a notification (default 50). Breaker fast-fails do
+	// not count: only attempts that actually reached the network burn
+	// the budget.
+	MaxSubmitRetries int
+	// MigrateAfter, when positive, moves a job that has sat in a remote
+	// site's queue for that long to a different site chosen by the
+	// Selector — §4.4's "migrate queued jobs". Zero disables migration.
+	MigrateAfter time.Duration
+	// MaxMigrations bounds queue migrations per job (default 5).
+	MaxMigrations int
+}
+
+// FaultOptions injects failures for tests and chaos runs.
+type FaultOptions struct {
+	// Callback injects failures into the agent's callback server (lost
+	// or delayed JobManager status callbacks — §4.2 experiments).
+	Callback *wire.Faults
+}
+
+// ObsOptions configures the observability layer.
+type ObsOptions struct {
+	// Disabled turns the metrics registry off: every instrument becomes
+	// a nil-handle no-op. Trace timelines are controlled by TraceCap.
+	Disabled bool
+	// TraceCap bounds each job's trace timeline ring (0 = the default,
+	// obs.DefaultTraceCap; negative disables tracing entirely).
+	TraceCap int
+}
+
+// AgentConfig configures the agent. The zero value (plus StateDir) works;
+// DefaultAgentConfig spells out the defaults for flag wiring.
 type AgentConfig struct {
 	// StateDir holds the persistent queue, the GASS spool, and user logs.
 	// Reopening an agent on the same StateDir recovers every job.
@@ -33,31 +92,17 @@ type AgentConfig struct {
 	Selector Selector
 	// Notifier receives user notifications; defaults to a Mailbox.
 	Notifier Notifier
-	// ProbeInterval is the JobManager liveness probe period (§4.2).
-	ProbeInterval time.Duration
-	// ReconnectInterval paces reconnection attempts during partitions.
-	ReconnectInterval time.Duration
-	// MaxResubmits bounds automatic resubmission of site-lost jobs.
-	MaxResubmits int
-	// MaxSubmitRetries bounds failed submission attempts before the job
-	// is held with a notification (default 50). Breaker fast-fails do
-	// not count: only attempts that actually reached the network burn
-	// the budget.
-	MaxSubmitRetries int
+	// Delegate forwards a proxy of this lifetime with each submission.
+	Delegate time.Duration
+	// Probe paces the failure detector.
+	Probe ProbeOptions
+	// Retry bounds resubmission, submit retries, and migration.
+	Retry RetryOptions
 	// Breaker tunes the per-site circuit breakers inside each
 	// GridManager's GRAM client (zero value = faultclass defaults).
 	Breaker faultclass.BreakerConfig
-	// CallbackFaults injects failures into the agent's callback server
-	// (lost or delayed JobManager status callbacks — §4.2 experiments).
-	CallbackFaults *wire.Faults
-	// Delegate forwards a proxy of this lifetime with each submission.
-	Delegate time.Duration
-	// MigrateAfter, when positive, moves a job that has sat in a remote
-	// site's queue for that long to a different site chosen by the
-	// Selector — §4.4's "migrate queued jobs". Zero disables migration.
-	MigrateAfter time.Duration
-	// MaxMigrations bounds queue migrations per job (default 5).
-	MaxMigrations int
+	// Faults injects failures for chaos tests.
+	Faults FaultOptions
 	// Journal configures the persistent queue's durability (the §4.2
 	// "stable storage"). The zero value journals asynchronously — fast,
 	// survives an agent crash, but a host power failure may lose the last
@@ -65,6 +110,26 @@ type AgentConfig struct {
 	// before it is acknowledged; concurrent jobs share fsyncs through
 	// group commit, so the cost amortizes under load.
 	Journal journal.StoreOptions
+	// Obs configures metrics and tracing.
+	Obs ObsOptions
+}
+
+// DefaultAgentConfig returns a config with every tunable at its default,
+// ready for flag wiring to override. StateDir, Selector, and Credential
+// must still be supplied by the caller.
+func DefaultAgentConfig() AgentConfig {
+	return AgentConfig{
+		Clock: gsi.WallClock,
+		Probe: ProbeOptions{
+			Interval:  500 * time.Millisecond,
+			Reconnect: 500 * time.Millisecond,
+		},
+		Retry: RetryOptions{
+			MaxResubmits:     3,
+			MaxSubmitRetries: 50,
+			MaxMigrations:    5,
+		},
+	}
 }
 
 // maxOpenUserLogs bounds the persistent user-log file handles kept open for
@@ -97,6 +162,14 @@ type Agent struct {
 	serial     int
 	closed     bool
 	mailbox    *Mailbox
+
+	// obs is nil when metrics are disabled (every handle below is then a
+	// nil no-op). traceCap < 0 disables per-job timelines.
+	obs      *obs.Registry
+	traceCap int
+	mSubmit  *obs.Histogram // agent_submit_seconds
+	mWait    *obs.Histogram // agent_wait_seconds
+	mPersist *obs.Histogram // agent_persist_seconds
 }
 
 // NewAgent opens (or recovers) an agent rooted at cfg.StateDir.
@@ -107,20 +180,20 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = gsi.WallClock
 	}
-	if cfg.ProbeInterval == 0 {
-		cfg.ProbeInterval = 500 * time.Millisecond
+	if cfg.Probe.Interval == 0 {
+		cfg.Probe.Interval = 500 * time.Millisecond
 	}
-	if cfg.ReconnectInterval == 0 {
-		cfg.ReconnectInterval = cfg.ProbeInterval
+	if cfg.Probe.Reconnect == 0 {
+		cfg.Probe.Reconnect = cfg.Probe.Interval
 	}
-	if cfg.MaxResubmits == 0 {
-		cfg.MaxResubmits = 3
+	if cfg.Retry.MaxResubmits == 0 {
+		cfg.Retry.MaxResubmits = 3
 	}
-	if cfg.MaxMigrations == 0 {
-		cfg.MaxMigrations = 5
+	if cfg.Retry.MaxMigrations == 0 {
+		cfg.Retry.MaxMigrations = 5
 	}
-	if cfg.MaxSubmitRetries == 0 {
-		cfg.MaxSubmitRetries = 50
+	if cfg.Retry.MaxSubmitRetries == 0 {
+		cfg.Retry.MaxSubmitRetries = 50
 	}
 	a := &Agent{
 		cfg:        cfg,
@@ -131,6 +204,14 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		tombstoned: make(map[string]*jobRecord),
 		managers:   make(map[string]*GridManager),
 		logFiles:   make(map[string]*os.File),
+		traceCap:   cfg.Obs.TraceCap,
+	}
+	if !cfg.Obs.Disabled {
+		a.obs = obs.NewRegistry()
+		a.mSubmit = a.obs.Histogram("agent_submit_seconds")
+		a.mWait = a.obs.Histogram("agent_wait_seconds")
+		a.mPersist = a.obs.Histogram("agent_persist_seconds")
+		a.obs.AddCollector(a.collectGauges)
 	}
 	if cfg.Notifier == nil {
 		a.mailbox = NewMailbox()
@@ -139,7 +220,9 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "logs"), 0o700); err != nil {
 		return nil, err
 	}
-	store, err := journal.OpenStoreOptions(filepath.Join(cfg.StateDir, "queue"), cfg.Journal)
+	jopts := cfg.Journal
+	jopts.Obs = a.obs
+	store, err := journal.OpenStoreOptions(filepath.Join(cfg.StateDir, "queue"), jopts)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +234,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	a.gassS = gassS
 	a.stage = gass.NewClient(nil, cfg.Clock)
-	cbSrv, err := wire.NewServer(wire.ServerConfig{Name: gram.CallbackService, Faults: cfg.CallbackFaults})
+	cbSrv, err := wire.NewServer(wire.ServerConfig{Name: gram.CallbackService, Faults: cfg.Faults.Callback})
 	if err != nil {
 		gassS.Close()
 		store.Close()
@@ -173,6 +256,98 @@ func (a *Agent) Mailbox() *Mailbox { return a.mailbox }
 // GassAddr returns the agent's GASS server address.
 func (a *Agent) GassAddr() string { return a.gassS.Addr() }
 
+// collectGauges is the registry collector: queue and site gauges computed
+// from live structures at snapshot time. Breaker gauges exist only while
+// the owner has a live GridManager (managers retire when their user's
+// work drains).
+func (a *Agent) collectGauges(set func(name string, v float64)) {
+	a.mu.Lock()
+	activeTotal := 0
+	bySite := make(map[string]int)
+	for _, recs := range a.active {
+		for _, rec := range recs {
+			activeTotal++
+			rec.mu.Lock()
+			site := rec.Site
+			rec.mu.Unlock()
+			if site != "" {
+				bySite[site]++
+			}
+		}
+	}
+	tombs := 0
+	for _, rec := range a.tombstoned {
+		rec.mu.Lock()
+		tombs += len(rec.CancelPending)
+		rec.mu.Unlock()
+	}
+	type mgr struct {
+		owner string
+		gm    *GridManager
+	}
+	var managers []mgr
+	for owner, gm := range a.managers {
+		if !gm.done() {
+			managers = append(managers, mgr{owner, gm})
+		}
+	}
+	a.mu.Unlock()
+	set("agent_jobs_active", float64(activeTotal))
+	set("agent_cancel_tombstones_pending", float64(tombs))
+	set("agent_gridmanagers_active", float64(len(managers)))
+	for site, n := range bySite {
+		set(obs.Key("site_active_jobs", "site", site), float64(n))
+	}
+	for _, m := range managers {
+		for addr, bi := range m.gm.gram.HealthSnapshot() {
+			set(obs.Key("site_breaker_state", "owner", m.owner, "site", addr), float64(bi.State))
+			set(obs.Key("site_breaker_fails", "owner", m.owner, "site", addr), float64(bi.Fails))
+			set(obs.Key("site_breaker_backoff_seconds", "owner", m.owner, "site", addr), bi.Delay.Seconds())
+		}
+	}
+}
+
+// MetricsSnapshot returns the agent's metric registry snapshot (nil when
+// metrics are disabled).
+func (a *Agent) MetricsSnapshot() []obs.Metric { return a.obs.Snapshot() }
+
+// Obs exposes the agent's metric registry (nil when disabled) so
+// companion services can register their own instruments.
+func (a *Agent) Obs() *obs.Registry { return a.obs }
+
+// traceLocked appends one event to the job's timeline; the caller holds
+// rec.mu and is responsible for the following persist, which makes the
+// event crash-durable together with the state change it describes.
+func (a *Agent) traceLocked(rec *jobRecord, phase, class, detail string) {
+	if a.traceCap < 0 {
+		return
+	}
+	rec.Trace.Cap = a.traceCap
+	rec.Trace.Append(time.Now(), phase, rec.Site, class, detail)
+}
+
+// trace is traceLocked plus the locking, for call sites that hold no lock.
+func (a *Agent) trace(rec *jobRecord, phase, class, detail string) {
+	rec.mu.Lock()
+	a.traceLocked(rec, phase, class, detail)
+	rec.mu.Unlock()
+}
+
+// Trace returns the job's lifecycle timeline. The timeline is persisted
+// with the job record, so it survives agent crash and recovery.
+func (a *Agent) Trace(id string) (obs.Timeline, error) {
+	a.mu.Lock()
+	rec, ok := a.jobs[id]
+	a.mu.Unlock()
+	if !ok {
+		return obs.Timeline{}, fmt.Errorf("condorg: %w: %q", ErrNoSuchJob, id)
+	}
+	rec.mu.Lock()
+	tl := rec.Trace.Clone()
+	rec.mu.Unlock()
+	return tl, nil
+}
+
 // recover reloads the queue and restarts GridManagers for unfinished work.
 // For jobs whose GASS URLs reference the agent's previous address, the URLs
 // are rewritten and pushed to the JobManagers — the §4.2 restart path.
@@ -188,6 +363,7 @@ func (a *Agent) recover() error {
 			SubmissionID string        `json:"submission_id"`
 			Spec         gram.JobSpec  `json:"spec"`
 			Remote       gram.JobState `json:"remote"`
+			Trace        obs.Timeline  `json:"trace"`
 		}
 		if err := json.Unmarshal(raw, &full); err != nil {
 			return err
@@ -195,6 +371,7 @@ func (a *Agent) recover() error {
 		rec.SubmissionID = full.SubmissionID
 		rec.Spec = full.Spec
 		rec.Remote = full.Remote
+		rec.Trace = full.Trace
 		a.mu.Lock()
 		a.jobs[rec.ID] = &rec
 		a.indexJobLocked(&rec)
@@ -228,6 +405,7 @@ func (a *Agent) recover() error {
 		rec.mu.Lock()
 		a.rewriteSpecURLs(&rec.Spec)
 		held := rec.State == Held
+		a.traceLocked(rec, obs.PhaseRecover, "", "agent restarted; job reloaded from the queue")
 		rec.mu.Unlock()
 		a.persist(rec)
 		if !held {
@@ -421,9 +599,12 @@ func (a *Agent) persist(rec *jobRecord) {
 		SubmissionID string        `json:"submission_id"`
 		Spec         gram.JobSpec  `json:"spec"`
 		Remote       gram.JobState `json:"remote"`
-	}{rec.JobInfo, rec.SubmissionID, rec.Spec, rec.Remote}
+		Trace        obs.Timeline  `json:"trace"`
+	}{rec.JobInfo, rec.SubmissionID, rec.Spec, rec.Remote, rec.Trace}
 	rec.mu.Unlock()
+	start := time.Now()
 	_ = a.store.Put(doc.ID, doc)
+	a.mPersist.Observe(time.Since(start).Seconds())
 }
 
 func (a *Agent) log(rec *jobRecord, code, format string, args ...any) {
@@ -521,10 +702,11 @@ func (a *Agent) ActiveGridManagers() int {
 // Submit stages the executable into the agent's GASS spool and enqueues the
 // job; the owner's GridManager drives it from there.
 func (a *Agent) Submit(req SubmitRequest) (string, error) {
+	start := time.Now()
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
-		return "", errors.New("condorg: agent closed")
+		return "", fmt.Errorf("condorg: %w", ErrAgentClosed)
 	}
 	a.serial++
 	id := fmt.Sprintf("gj%d", a.serial)
@@ -577,6 +759,7 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 	a.jobs[id] = rec
 	a.indexJobLocked(rec)
 	a.mu.Unlock()
+	a.trace(rec, obs.PhaseSubmit, "", "accepted into the agent queue")
 	// Journal BEFORE the network submission: if we crash between the
 	// journal write and the site's reply, recovery resubmits with the
 	// same SubmissionID and the site deduplicates — exactly-once. log()
@@ -584,6 +767,8 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 	a.log(rec, "SUBMIT", "job submitted to agent, destined for %s", site)
 	a.managerFor(req.Owner).enqueueSubmit(rec)
 	a.changed.Notify()
+	a.obs.Counter("agent_jobs_submitted_total").Inc()
+	a.mSubmit.Observe(time.Since(start).Seconds())
 	return id, nil
 }
 
@@ -593,7 +778,7 @@ func (a *Agent) Status(id string) (JobInfo, error) {
 	rec, ok := a.jobs[id]
 	a.mu.Unlock()
 	if !ok {
-		return JobInfo{}, fmt.Errorf("condorg: no such job %q", id)
+		return JobInfo{}, fmt.Errorf("condorg: %w: %q", ErrNoSuchJob, id)
 	}
 	return rec.snapshot(), nil
 }
@@ -612,6 +797,64 @@ func (a *Agent) Jobs() []JobInfo {
 	return out
 }
 
+// JobFilter selects and pages Jobs output. The zero value matches
+// everything in one page.
+type JobFilter struct {
+	// Owner restricts to one user's jobs ("" = all owners).
+	Owner string
+	// States restricts to the listed states (empty = all states).
+	States []JobState
+	// Limit caps the page size (0 = unlimited).
+	Limit int
+	// After is an exclusive cursor: the last job ID of the previous page.
+	After string
+}
+
+// JobsFiltered lists jobs matching f in queue order. When Limit truncates
+// the result, next is the cursor for the following page ("" otherwise).
+func (a *Agent) JobsFiltered(f JobFilter) (jobs []JobInfo, next string) {
+	a.mu.Lock()
+	var recs []*jobRecord
+	if f.Owner != "" {
+		recs = make([]*jobRecord, 0, len(a.byOwner[f.Owner]))
+		for _, rec := range a.byOwner[f.Owner] {
+			recs = append(recs, rec)
+		}
+	} else {
+		recs = make([]*jobRecord, 0, len(a.jobs))
+		for _, rec := range a.jobs {
+			recs = append(recs, rec)
+		}
+	}
+	a.mu.Unlock()
+	// IDs are immutable, so sorting without rec.mu is safe.
+	sort.Slice(recs, func(i, j int) bool { return lessJobID(recs[i].ID, recs[j].ID) })
+	for _, rec := range recs {
+		if f.After != "" && !lessJobID(f.After, rec.ID) {
+			continue // at or before the cursor
+		}
+		info := rec.snapshot()
+		if len(f.States) > 0 {
+			match := false
+			for _, s := range f.States {
+				if info.State == s {
+					match = true
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+		}
+		if f.Limit > 0 && len(jobs) >= f.Limit {
+			next = jobs[len(jobs)-1].ID
+			break
+		}
+		jobs = append(jobs, info)
+	}
+	return jobs, next
+}
+
 // Hold parks a job: a held job is cancelled remotely (if running) and will
 // not run again until Release. The credential monitor uses this for
 // expired proxies (§4.3).
@@ -620,12 +863,12 @@ func (a *Agent) Hold(id, reason string) error {
 	rec, ok := a.jobs[id]
 	a.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("condorg: no such job %q", id)
+		return fmt.Errorf("condorg: %w: %q", ErrNoSuchJob, id)
 	}
 	rec.mu.Lock()
 	if rec.State.Terminal() {
 		rec.mu.Unlock()
-		return fmt.Errorf("condorg: job %s is %v", id, rec.State)
+		return fmt.Errorf("condorg: %w: job %s is %v", ErrBadJobState, id, rec.State)
 	}
 	if rec.State == Held {
 		rec.mu.Unlock()
@@ -634,8 +877,10 @@ func (a *Agent) Hold(id, reason string) error {
 	rec.State = Held
 	rec.HoldReason = reason
 	contact := rec.Contact
+	a.traceLocked(rec, obs.PhaseHold, "", reason)
 	rec.bumpLocked()
 	rec.mu.Unlock()
+	a.obs.Counter("agent_jobs_held_total").Inc()
 	a.log(rec, "HELD", "job held: %s", reason)
 	a.noteJobChange(rec.Owner)
 	if contact.JobID != "" {
@@ -654,12 +899,12 @@ func (a *Agent) Release(id string) error {
 	rec, ok := a.jobs[id]
 	a.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("condorg: no such job %q", id)
+		return fmt.Errorf("condorg: %w: %q", ErrNoSuchJob, id)
 	}
 	rec.mu.Lock()
 	if rec.State != Held {
 		rec.mu.Unlock()
-		return fmt.Errorf("condorg: job %s is %v, not held", id, rec.State)
+		return fmt.Errorf("condorg: %w: job %s is %v, not held", ErrBadJobState, id, rec.State)
 	}
 	rec.State = Idle
 	rec.HoldReason = ""
@@ -670,6 +915,7 @@ func (a *Agent) Release(id string) error {
 	rec.Contact = gram.JobContact{}
 	rec.Remote = gram.StateUnsubmitted
 	rec.SubmitRetries = 0
+	a.traceLocked(rec, obs.PhaseRelease, "", "released from hold")
 	rec.bumpLocked()
 	rec.mu.Unlock()
 	a.log(rec, "RELEASED", "job released from hold")
@@ -684,7 +930,7 @@ func (a *Agent) Remove(id string) error {
 	rec, ok := a.jobs[id]
 	a.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("condorg: no such job %q", id)
+		return fmt.Errorf("condorg: %w: %q", ErrNoSuchJob, id)
 	}
 	rec.mu.Lock()
 	if rec.State.Terminal() {
@@ -694,8 +940,10 @@ func (a *Agent) Remove(id string) error {
 	rec.State = Removed
 	rec.FinishedAt = time.Now()
 	contact := rec.Contact
+	a.traceLocked(rec, obs.PhaseRemove, "", "removed by user")
 	rec.bumpLocked()
 	rec.mu.Unlock()
+	a.obs.Counter("agent_jobs_removed_total").Inc()
 	a.log(rec, "REMOVED", "job removed by user")
 	a.finishJob(rec)
 	a.noteJobChange(rec.Owner)
@@ -711,11 +959,12 @@ func (a *Agent) Remove(id string) error {
 // job's state-change broadcast, so completion latency is bounded by the
 // event, not by a poll interval.
 func (a *Agent) Wait(ctx context.Context, id string) (JobInfo, error) {
+	start := time.Now()
 	a.mu.Lock()
 	rec, ok := a.jobs[id]
 	a.mu.Unlock()
 	if !ok {
-		return JobInfo{}, fmt.Errorf("condorg: no such job %q", id)
+		return JobInfo{}, fmt.Errorf("condorg: %w: %q", ErrNoSuchJob, id)
 	}
 	for {
 		rec.mu.Lock()
@@ -723,6 +972,7 @@ func (a *Agent) Wait(ctx context.Context, id string) (JobInfo, error) {
 		ch := rec.changedLocked()
 		rec.mu.Unlock()
 		if info.State.Terminal() {
+			a.mWait.Observe(time.Since(start).Seconds())
 			return info, nil
 		}
 		select {
@@ -813,8 +1063,11 @@ func (a *Agent) handleCallback(_ string, body json.RawMessage) (any, error) {
 		rec = a.jobs[agentID]
 	}
 	a.mu.Unlock()
+	a.obs.Counter("agent_callbacks_total").Inc()
 	if rec != nil {
 		a.applyRemoteStatus(rec, st)
+	} else {
+		a.obs.Counter("agent_callbacks_unmatched_total").Inc()
 	}
 	return struct{}{}, nil
 }
@@ -878,18 +1131,26 @@ func (a *Agent) applyRemoteStatus(rec *jobRecord, st gram.StatusInfo) {
 		if rec.PendingSince.IsZero() {
 			rec.PendingSince = time.Now()
 		}
+		if transitioned {
+			a.traceLocked(rec, obs.PhasePending, "", "queued in the site's local resource manager")
+		}
 	case gram.StateActive:
 		rec.State = Running
 		rec.PendingSince = time.Time{}
 		code, text = "EXECUTE", "job began executing at "+rec.Site
+		if transitioned {
+			a.traceLocked(rec, obs.PhaseActive, "", "")
+		}
 	case gram.StateDone:
 		rec.State = Completed
 		rec.ExitOK = true
 		rec.FinishedAt = time.Now()
 		code, text = "TERMINATED", "job completed successfully"
+		a.traceLocked(rec, obs.PhaseDone, "", "")
 	case gram.StateFailed:
 		// Site-lost jobs are the GridManager's to resubmit; it
-		// decides in its loop. Mark the remote error for it.
+		// decides in its loop (maybeResubmit records the fault event
+		// with its class). Mark the remote error for it.
 		rec.Error = st.Error
 		code, text = "REMOTE_FAILURE", "remote failure: "+st.Error
 	default:
@@ -898,6 +1159,9 @@ func (a *Agent) applyRemoteStatus(rec *jobRecord, st gram.StatusInfo) {
 	rec.bumpLocked()
 	owner := rec.Owner
 	rec.mu.Unlock()
+	if st.State == gram.StateDone {
+		a.obs.Counter("agent_jobs_completed_total").Inc()
+	}
 	if transitioned && code != "" {
 		a.log(rec, code, "%s", text)
 	} else {

@@ -78,9 +78,9 @@ func newWorld(t *testing.T, numSites int) *testWorld {
 		gks = append(gks, site.GatekeeperAddr())
 	}
 	agent, err := NewAgent(AgentConfig{
-		StateDir:      w.dir,
-		Selector:      &RoundRobinSelector{Sites: gks},
-		ProbeInterval: 40 * time.Millisecond,
+		StateDir: w.dir,
+		Selector: &RoundRobinSelector{Sites: gks},
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -345,9 +345,9 @@ func TestAgentCrashRecovery(t *testing.T) {
 	defer site.Close()
 	dir := t.TempDir()
 	a1, err := NewAgent(AgentConfig{
-		StateDir:      dir,
-		Selector:      StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval: 40 * time.Millisecond,
+		StateDir: dir,
+		Selector: StaticSelector(site.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -366,9 +366,9 @@ func TestAgentCrashRecovery(t *testing.T) {
 	a1.Close() // CRASH of the submit machine
 
 	a2, err := NewAgent(AgentConfig{
-		StateDir:      dir,
-		Selector:      StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval: 40 * time.Millisecond,
+		StateDir: dir,
+		Selector: StaticSelector(site.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -408,10 +408,10 @@ func TestResubmissionAfterSiteLosesJob(t *testing.T) {
 	addr := site.GatekeeperAddr()
 
 	agent, err := NewAgent(AgentConfig{
-		StateDir:      t.TempDir(),
-		Selector:      StaticSelector(addr),
-		ProbeInterval: 40 * time.Millisecond,
-		MaxResubmits:  3,
+		StateDir: t.TempDir(),
+		Selector: StaticSelector(addr),
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
+		Retry:    RetryOptions{MaxResubmits: 3},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -579,9 +579,9 @@ func TestHeldJobReleasedAfterRestart(t *testing.T) {
 	defer site.Close()
 	dir := t.TempDir()
 	a1, err := NewAgent(AgentConfig{
-		StateDir:      dir,
-		Selector:      StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval: 40 * time.Millisecond,
+		StateDir: dir,
+		Selector: StaticSelector(site.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -598,9 +598,9 @@ func TestHeldJobReleasedAfterRestart(t *testing.T) {
 	a1.Close() // CRASH: the new agent's GASS server comes up on a new port
 
 	a2, err := NewAgent(AgentConfig{
-		StateDir:      dir,
-		Selector:      StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval: 40 * time.Millisecond,
+		StateDir: dir,
+		Selector: StaticSelector(site.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -14,6 +14,7 @@ import (
 	"condorg/internal/faultclass"
 	"condorg/internal/gram"
 	"condorg/internal/lrm"
+	"condorg/internal/obs"
 )
 
 // chaosRuntime counts COMPLETED executions per job key (args[0]): a run
@@ -100,10 +101,10 @@ func runChaosSeed(t *testing.T, seed int64) {
 	dir := t.TempDir()
 	openAgent := func() *Agent {
 		a, err := NewAgent(AgentConfig{
-			StateDir:      dir,
-			Selector:      &RoundRobinSelector{Sites: gks},
-			ProbeInterval: 25 * time.Millisecond,
-			MaxResubmits:  50,
+			StateDir: dir,
+			Selector: &RoundRobinSelector{Sites: gks},
+			Probe:    ProbeOptions{Interval: 25 * time.Millisecond},
+			Retry:    RetryOptions{MaxResubmits: 50},
 			Breaker: faultclass.BreakerConfig{
 				Threshold: 3,
 				BaseDelay: 30 * time.Millisecond,
@@ -234,6 +235,33 @@ func runChaosSeed(t *testing.T, seed int64) {
 		}
 		if len(info.CancelPending) != 0 {
 			t.Fatalf("job %s left unacknowledged cancels: %v", id, info.CancelPending)
+		}
+		// The trace timeline must have survived every agent kill in the
+		// schedule: consistent sequence numbers, a completion event, and
+		// one resubmit event per recorded resubmission.
+		tl, err := agent.Trace(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSeqs(t, tl)
+		iDone := firstPhase(tl, obs.PhaseDone)
+		if iDone < 0 {
+			t.Fatalf("job %s completed without a %s trace event:\n%+v", id, obs.PhaseDone, tl.Events)
+		}
+		// After completion the only legitimate events are tombstone
+		// acknowledgements and connectivity noise from probes racing the
+		// terminal transition — never another lifecycle change.
+		for _, ev := range tl.Events[iDone+1:] {
+			switch ev.Phase {
+			case obs.PhaseCancelAck, obs.PhaseDone, obs.PhaseDisconnect,
+				obs.PhaseReconnect, obs.PhaseJMRestart, obs.PhaseRecover:
+			default:
+				t.Fatalf("job %s has %q trace event after completion:\n%+v", id, ev.Phase, tl.Events)
+			}
+		}
+		if tl.Dropped == 0 && countPhase(tl, obs.PhaseResubmit) != info.Resubmits {
+			t.Fatalf("job %s: %d resubmit trace events vs %d recorded resubmits:\n%+v",
+				id, countPhase(tl, obs.PhaseResubmit), info.Resubmits, tl.Events)
 		}
 	}
 }

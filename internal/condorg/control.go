@@ -1,13 +1,10 @@
 package condorg
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"time"
 
-	"condorg/internal/gram"
 	"condorg/internal/wire"
 )
 
@@ -18,9 +15,13 @@ const ControlService = "condorg-control"
 
 // ControlServer exposes an Agent over the wire protocol so the condorg CLI
 // (and tests) can submit, query, and manage jobs from another process.
+// All commands travel through the versioned "ctl.v1" envelope (see
+// controlv1.go); the per-method ctl.* handlers are the v0 compatibility
+// shim, kept for one release.
 type ControlServer struct {
 	agent *Agent
 	srv   *wire.Server
+	ops   map[string]ctlOp
 }
 
 // NewControlServer starts the command endpoint for agent on a fresh port.
@@ -35,16 +36,34 @@ func NewControlServerAddr(agent *Agent, addr string) (*ControlServer, error) {
 		return nil, err
 	}
 	c := &ControlServer{agent: agent, srv: srv}
-	srv.Handle("ctl.submit", c.handleSubmit)
+	c.registerOps()
+	srv.Handle("ctl.v1", c.handleV1)
+	// v0 shim: the pre-envelope per-method protocol, one release of
+	// grace for old CLIs. Each handler is the v1 op minus the envelope —
+	// errors travel as wire-level strings instead of typed CtlErrors.
+	srv.Handle("ctl.submit", shim(c.opSubmit))
 	srv.Handle("ctl.q", c.handleQ)
-	srv.Handle("ctl.status", c.handleStatus)
-	srv.Handle("ctl.rm", c.handleRm)
-	srv.Handle("ctl.hold", c.handleHold)
-	srv.Handle("ctl.release", c.handleRelease)
-	srv.Handle("ctl.log", c.handleLog)
-	srv.Handle("ctl.stdout", c.handleStdout)
-	srv.Handle("ctl.wait", c.handleWait)
+	srv.Handle("ctl.status", shim(c.opStatus))
+	srv.Handle("ctl.rm", shim(c.opRemove))
+	srv.Handle("ctl.hold", shim(c.opHold))
+	srv.Handle("ctl.release", shim(c.opRelease))
+	srv.Handle("ctl.log", shim(c.opLog))
+	srv.Handle("ctl.stdout", shim(c.opStdout))
+	srv.Handle("ctl.wait", shim(c.opWait))
 	return c, nil
+}
+
+// shim adapts a v1 op to the v0 wire.Handler signature.
+func shim(op ctlOp) wire.Handler {
+	return func(_ string, body json.RawMessage) (any, error) {
+		return op(body)
+	}
+}
+
+// handleQ is the v0 queue listing: no filter, no pagination. The v1 "q"
+// op (opQueue) supersedes it.
+func (c *ControlServer) handleQ(_ string, _ json.RawMessage) (any, error) {
+	return ctlJobs{Jobs: c.agent.Jobs()}, nil
 }
 
 // Addr returns the control endpoint address.
@@ -70,52 +89,8 @@ type ctlID struct {
 	ID string `json:"id"`
 }
 
-func (c *ControlServer) handleSubmit(_ string, body json.RawMessage) (any, error) {
-	var req CtlSubmit
-	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, err
-	}
-	if req.Program == "" {
-		return nil, fmt.Errorf("condorg: submit needs a program name")
-	}
-	id, err := c.agent.Submit(SubmitRequest{
-		Owner:      req.Owner,
-		Executable: gram.Program(req.Program),
-		Args:       req.Args,
-		Stdin:      req.Stdin,
-		Site:       req.Site,
-		Cpus:       req.Cpus,
-		WallLimit:  req.WallLimit,
-		Env:        req.Env,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return ctlID{ID: id}, nil
-}
-
 type ctlJobs struct {
 	Jobs []JobInfo `json:"jobs"`
-}
-
-func (c *ControlServer) handleQ(_ string, _ json.RawMessage) (any, error) {
-	return ctlJobs{Jobs: c.agent.Jobs()}, nil
-}
-
-func (c *ControlServer) handleStatus(_ string, body json.RawMessage) (any, error) {
-	var req ctlID
-	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, err
-	}
-	return c.agent.Status(req.ID)
-}
-
-func (c *ControlServer) handleRm(_ string, body json.RawMessage) (any, error) {
-	var req ctlID
-	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, err
-	}
-	return struct{}{}, c.agent.Remove(req.ID)
 }
 
 type ctlHold struct {
@@ -123,55 +98,12 @@ type ctlHold struct {
 	Reason string `json:"reason"`
 }
 
-func (c *ControlServer) handleHold(_ string, body json.RawMessage) (any, error) {
-	var req ctlHold
-	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, err
-	}
-	if req.Reason == "" {
-		req.Reason = "held by user"
-	}
-	return struct{}{}, c.agent.Hold(req.ID, req.Reason)
-}
-
-func (c *ControlServer) handleRelease(_ string, body json.RawMessage) (any, error) {
-	var req ctlID
-	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, err
-	}
-	return struct{}{}, c.agent.Release(req.ID)
-}
-
 type ctlLog struct {
 	Events []LogEvent `json:"events"`
 }
 
-func (c *ControlServer) handleLog(_ string, body json.RawMessage) (any, error) {
-	var req ctlID
-	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, err
-	}
-	events, err := c.agent.UserLog(req.ID)
-	if err != nil {
-		return nil, err
-	}
-	return ctlLog{Events: events}, nil
-}
-
 type ctlData struct {
 	Data []byte `json:"data"`
-}
-
-func (c *ControlServer) handleStdout(_ string, body json.RawMessage) (any, error) {
-	var req ctlID
-	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, err
-	}
-	data, err := c.agent.Stdout(req.ID)
-	if err != nil {
-		return nil, err
-	}
-	return ctlData{Data: data}, nil
 }
 
 type ctlWait struct {
@@ -179,28 +111,9 @@ type ctlWait struct {
 	TimeoutSec int    `json:"timeout_sec"`
 }
 
-func (c *ControlServer) handleWait(_ string, body json.RawMessage) (any, error) {
-	var req ctlWait
-	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, err
-	}
-	// Wait briefly server-side; the client re-calls for long waits so a
-	// single RPC never outlives the wire timeout. The wait itself is
-	// event-driven — it returns the moment the job turns terminal.
-	ctx, cancel := context.WithTimeout(context.Background(),
-		time.Duration(req.TimeoutSec)*time.Second)
-	defer cancel()
-	info, err := c.agent.Wait(ctx, req.ID)
-	if errors.Is(err, context.DeadlineExceeded) {
-		return info, nil // not terminal yet; the client decides to re-call
-	}
-	if err != nil {
-		return nil, err
-	}
-	return info, nil
-}
-
-// ControlClient is the CLI side of the control protocol.
+// ControlClient is the CLI side of the control protocol. It speaks v1:
+// failures from the agent come back as *CtlError, so callers can branch
+// on the stable Code or on faultclass.ClassOf(err).
 type ControlClient struct {
 	wc *wire.Client
 }
@@ -219,47 +132,44 @@ func (c *ControlClient) Close() error { return c.wc.Close() }
 // Submit submits a job and returns its ID.
 func (c *ControlClient) Submit(req CtlSubmit) (string, error) {
 	var resp ctlID
-	if err := c.wc.Call("ctl.submit", req, &resp); err != nil {
+	if err := c.call("submit", req, &resp); err != nil {
 		return "", err
 	}
 	return resp.ID, nil
 }
 
-// Queue lists all jobs.
+// Queue lists all jobs. Use QueueFiltered for filtering and pagination.
 func (c *ControlClient) Queue() ([]JobInfo, error) {
-	var resp ctlJobs
-	if err := c.wc.Call("ctl.q", struct{}{}, &resp); err != nil {
-		return nil, err
-	}
-	return resp.Jobs, nil
+	jobs, _, err := c.QueueFiltered(CtlQueueReq{})
+	return jobs, err
 }
 
 // Status fetches one job.
 func (c *ControlClient) Status(id string) (JobInfo, error) {
 	var info JobInfo
-	err := c.wc.Call("ctl.status", ctlID{ID: id}, &info)
+	err := c.call("status", ctlID{ID: id}, &info)
 	return info, err
 }
 
 // Remove cancels a job.
 func (c *ControlClient) Remove(id string) error {
-	return c.wc.Call("ctl.rm", ctlID{ID: id}, nil)
+	return c.call("rm", ctlID{ID: id}, nil)
 }
 
 // Hold parks a job.
 func (c *ControlClient) Hold(id, reason string) error {
-	return c.wc.Call("ctl.hold", ctlHold{ID: id, Reason: reason}, nil)
+	return c.call("hold", ctlHold{ID: id, Reason: reason}, nil)
 }
 
 // Release releases a held job.
 func (c *ControlClient) Release(id string) error {
-	return c.wc.Call("ctl.release", ctlID{ID: id}, nil)
+	return c.call("release", ctlID{ID: id}, nil)
 }
 
 // Log fetches the user log.
 func (c *ControlClient) Log(id string) ([]LogEvent, error) {
 	var resp ctlLog
-	if err := c.wc.Call("ctl.log", ctlID{ID: id}, &resp); err != nil {
+	if err := c.call("log", ctlID{ID: id}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Events, nil
@@ -268,7 +178,7 @@ func (c *ControlClient) Log(id string) ([]LogEvent, error) {
 // Stdout fetches streamed standard output.
 func (c *ControlClient) Stdout(id string) ([]byte, error) {
 	var resp ctlData
-	if err := c.wc.Call("ctl.stdout", ctlID{ID: id}, &resp); err != nil {
+	if err := c.call("stdout", ctlID{ID: id}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Data, nil
@@ -279,7 +189,7 @@ func (c *ControlClient) Wait(id string, timeout time.Duration) (JobInfo, error) 
 	deadline := time.Now().Add(timeout)
 	for {
 		var info JobInfo
-		if err := c.wc.Call("ctl.wait", ctlWait{ID: id, TimeoutSec: 1}, &info); err != nil {
+		if err := c.call("wait", ctlWait{ID: id, TimeoutSec: 1}, &info); err != nil {
 			return JobInfo{}, err
 		}
 		if info.State.Terminal() {

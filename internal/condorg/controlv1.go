@@ -1,0 +1,379 @@
+package condorg
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"condorg/internal/faultclass"
+	"condorg/internal/gram"
+	"condorg/internal/obs"
+)
+
+// Control protocol v1: every command travels through one wire method
+// ("ctl.v1") inside a versioned envelope, and every application failure
+// comes back as a *CtlError carrying a stable machine code plus the
+// faultclass taxonomy — so a CLI or script can decide to retry
+// (Transient), resubmit elsewhere (SiteLost), or give up (Permanent)
+// without parsing error prose. The per-method ctl.* handlers in
+// control.go remain registered as the v0 compatibility shim for one
+// release; new clients should speak only v1.
+
+// CtlVersion is the control envelope version this build speaks.
+const CtlVersion = 1
+
+// CtlRequest is the v1 request envelope.
+type CtlRequest struct {
+	Ver  int             `json:"ver"`
+	Op   string          `json:"op"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// CtlResponse is the v1 response envelope. Exactly one of Err and Body
+// is meaningful: a nil Err means the op succeeded and Body holds its
+// result.
+type CtlResponse struct {
+	Err  *CtlError       `json:"err,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Stable machine codes carried by CtlError. These are API: they never
+// change meaning across releases, so exit-code and retry policy can key
+// off them.
+const (
+	CtlCodeBadRequest         = "bad-request"         // malformed or invalid request body
+	CtlCodeNoSuchJob          = "no-such-job"         // unknown job ID
+	CtlCodeBadState           = "bad-state"           // op not valid in the job's current state
+	CtlCodeSubmitFailed       = "submit-failed"       // the agent rejected the submission
+	CtlCodeUnsupportedVersion = "unsupported-version" // envelope Ver not spoken by this server
+	CtlCodeUnknownOp          = "unknown-op"          // envelope Op not known to this server
+	CtlCodeInternal           = "internal"            // anything else
+)
+
+// CtlError is the typed control-plane error: a stable Code for machine
+// dispatch, human prose in Msg, and the fault class so clients can
+// branch Transient vs Permanent through faultclass.ClassOf.
+type CtlError struct {
+	Code  string           `json:"code"`
+	Msg   string           `json:"msg"`
+	Class faultclass.Class `json:"class"`
+}
+
+// Error implements error.
+func (e *CtlError) Error() string { return e.Msg }
+
+// FaultClass exposes Class to faultclass.ClassOf.
+func (e *CtlError) FaultClass() faultclass.Class { return e.Class }
+
+// ctlBadRequest builds the validation-failure error (always Permanent:
+// resending the same request cannot succeed).
+func ctlBadRequest(format string, args ...any) *CtlError {
+	return &CtlError{Code: CtlCodeBadRequest, Msg: fmt.Sprintf(format, args...), Class: faultclass.Permanent}
+}
+
+// ctlErrorFrom maps an agent error onto the typed taxonomy. Typed
+// errors pass through; known sentinels get their stable codes; anything
+// else keeps whatever fault class its chain carries.
+func ctlErrorFrom(err error) *CtlError {
+	var ce *CtlError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	switch {
+	case errors.Is(err, ErrNoSuchJob):
+		return &CtlError{Code: CtlCodeNoSuchJob, Msg: err.Error(), Class: faultclass.Permanent}
+	case errors.Is(err, ErrBadJobState):
+		return &CtlError{Code: CtlCodeBadState, Msg: err.Error(), Class: faultclass.Permanent}
+	case errors.Is(err, ErrAgentClosed):
+		return &CtlError{Code: CtlCodeInternal, Msg: err.Error(), Class: faultclass.Transient}
+	}
+	return &CtlError{Code: CtlCodeInternal, Msg: err.Error(), Class: faultclass.ClassOf(err)}
+}
+
+// CtlQueueReq filters and paginates the queue listing. Zero values mean
+// "no constraint"; After is the cursor returned by the previous page.
+type CtlQueueReq struct {
+	Owner  string     `json:"owner,omitempty"`
+	States []JobState `json:"states,omitempty"`
+	Limit  int        `json:"limit,omitempty"`
+	After  string     `json:"after,omitempty"`
+}
+
+// CtlQueueResp is one page of jobs; a non-empty Next is the cursor for
+// the following page.
+type CtlQueueResp struct {
+	Jobs []JobInfo `json:"jobs"`
+	Next string    `json:"next,omitempty"`
+}
+
+// CtlTraceResp is a job's lifecycle timeline.
+type CtlTraceResp struct {
+	ID       string       `json:"id"`
+	Timeline obs.Timeline `json:"timeline"`
+}
+
+// CtlMetricsResp is a point-in-time dump of the agent's metric registry.
+type CtlMetricsResp struct {
+	Metrics []obs.Metric `json:"metrics"`
+}
+
+// handleV1 is the single wire handler behind every v1 op. Application
+// failures ride the envelope as *CtlError — the wire-level error path is
+// reserved for transport and envelope problems.
+func (c *ControlServer) handleV1(_ string, body json.RawMessage) (any, error) {
+	var req CtlRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return CtlResponse{Err: ctlBadRequest("condorg: bad control envelope: %v", err)}, nil
+	}
+	if req.Ver != CtlVersion {
+		return CtlResponse{Err: &CtlError{
+			Code:  CtlCodeUnsupportedVersion,
+			Msg:   fmt.Sprintf("condorg: control version %d not supported (server speaks %d)", req.Ver, CtlVersion),
+			Class: faultclass.Permanent,
+		}}, nil
+	}
+	op, ok := c.ops[req.Op]
+	if !ok {
+		return CtlResponse{Err: &CtlError{
+			Code:  CtlCodeUnknownOp,
+			Msg:   fmt.Sprintf("condorg: unknown control op %q", req.Op),
+			Class: faultclass.Permanent,
+		}}, nil
+	}
+	result, err := op(req.Body)
+	if err != nil {
+		return CtlResponse{Err: ctlErrorFrom(err)}, nil
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return CtlResponse{Err: &CtlError{
+			Code:  CtlCodeInternal,
+			Msg:   fmt.Sprintf("condorg: encode %s result: %v", req.Op, err),
+			Class: faultclass.Permanent,
+		}}, nil
+	}
+	return CtlResponse{Body: raw}, nil
+}
+
+// ctlOp is one typed control operation: body in, result out.
+type ctlOp func(body json.RawMessage) (any, error)
+
+// registerOps builds the v1 dispatch table.
+func (c *ControlServer) registerOps() {
+	c.ops = map[string]ctlOp{
+		"submit":  c.opSubmit,
+		"q":       c.opQueue,
+		"status":  c.opStatus,
+		"rm":      c.opRemove,
+		"hold":    c.opHold,
+		"release": c.opRelease,
+		"log":     c.opLog,
+		"stdout":  c.opStdout,
+		"wait":    c.opWait,
+		"trace":   c.opTrace,
+		"metrics": c.opMetrics,
+	}
+}
+
+func (c *ControlServer) opSubmit(body json.RawMessage) (any, error) {
+	var req CtlSubmit
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, ctlBadRequest("condorg: bad submit body: %v", err)
+	}
+	if req.Program == "" {
+		return nil, ctlBadRequest("condorg: submit needs a program name")
+	}
+	id, err := c.agent.Submit(SubmitRequest{
+		Owner:      req.Owner,
+		Executable: gram.Program(req.Program),
+		Args:       req.Args,
+		Stdin:      req.Stdin,
+		Site:       req.Site,
+		Cpus:       req.Cpus,
+		WallLimit:  req.WallLimit,
+		Env:        req.Env,
+	})
+	if err != nil {
+		return nil, &CtlError{Code: CtlCodeSubmitFailed, Msg: err.Error(), Class: submitFailClass(err)}
+	}
+	return ctlID{ID: id}, nil
+}
+
+// submitFailClass keeps a tagged class when the submission error carries
+// one and otherwise defaults to Transient: with a durable queue the
+// natural reaction to a failed hand-off is to try again.
+func submitFailClass(err error) faultclass.Class {
+	if cl := faultclass.ClassOf(err); cl != faultclass.Unknown {
+		return cl
+	}
+	if errors.Is(err, ErrAgentClosed) {
+		return faultclass.Transient
+	}
+	return faultclass.Permanent
+}
+
+func (c *ControlServer) opQueue(body json.RawMessage) (any, error) {
+	var req CtlQueueReq
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, ctlBadRequest("condorg: bad queue body: %v", err)
+		}
+	}
+	jobs, next := c.agent.JobsFiltered(JobFilter{
+		Owner:  req.Owner,
+		States: req.States,
+		Limit:  req.Limit,
+		After:  req.After,
+	})
+	return CtlQueueResp{Jobs: jobs, Next: next}, nil
+}
+
+func (c *ControlServer) opStatus(body json.RawMessage) (any, error) {
+	var req ctlID
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, ctlBadRequest("condorg: bad status body: %v", err)
+	}
+	return c.agent.Status(req.ID)
+}
+
+func (c *ControlServer) opRemove(body json.RawMessage) (any, error) {
+	var req ctlID
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, ctlBadRequest("condorg: bad rm body: %v", err)
+	}
+	return struct{}{}, c.agent.Remove(req.ID)
+}
+
+func (c *ControlServer) opHold(body json.RawMessage) (any, error) {
+	var req ctlHold
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, ctlBadRequest("condorg: bad hold body: %v", err)
+	}
+	if req.Reason == "" {
+		req.Reason = "held by user"
+	}
+	return struct{}{}, c.agent.Hold(req.ID, req.Reason)
+}
+
+func (c *ControlServer) opRelease(body json.RawMessage) (any, error) {
+	var req ctlID
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, ctlBadRequest("condorg: bad release body: %v", err)
+	}
+	return struct{}{}, c.agent.Release(req.ID)
+}
+
+func (c *ControlServer) opLog(body json.RawMessage) (any, error) {
+	var req ctlID
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, ctlBadRequest("condorg: bad log body: %v", err)
+	}
+	events, err := c.agent.UserLog(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	return ctlLog{Events: events}, nil
+}
+
+func (c *ControlServer) opStdout(body json.RawMessage) (any, error) {
+	var req ctlID
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, ctlBadRequest("condorg: bad stdout body: %v", err)
+	}
+	data, err := c.agent.Stdout(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	return ctlData{Data: data}, nil
+}
+
+func (c *ControlServer) opWait(body json.RawMessage) (any, error) {
+	var req ctlWait
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, ctlBadRequest("condorg: bad wait body: %v", err)
+	}
+	// Wait briefly server-side; the client re-calls for long waits so a
+	// single RPC never outlives the wire timeout. The wait itself is
+	// event-driven — it returns the moment the job turns terminal.
+	ctx, cancel := context.WithTimeout(context.Background(),
+		time.Duration(req.TimeoutSec)*time.Second)
+	defer cancel()
+	info, err := c.agent.Wait(ctx, req.ID)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return info, nil // not terminal yet; the client decides to re-call
+	}
+	if err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+func (c *ControlServer) opTrace(body json.RawMessage) (any, error) {
+	var req ctlID
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, ctlBadRequest("condorg: bad trace body: %v", err)
+	}
+	tl, err := c.agent.Trace(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	return CtlTraceResp{ID: req.ID, Timeline: tl}, nil
+}
+
+func (c *ControlServer) opMetrics(json.RawMessage) (any, error) {
+	return CtlMetricsResp{Metrics: c.agent.MetricsSnapshot()}, nil
+}
+
+// call runs one v1 op round-trip: envelope out, envelope back, typed
+// error surfaced as *CtlError (so faultclass.ClassOf works on it).
+func (c *ControlClient) call(op string, req, resp any) error {
+	var body json.RawMessage
+	if req != nil {
+		raw, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		body = raw
+	}
+	var env CtlResponse
+	if err := c.wc.Call("ctl.v1", CtlRequest{Ver: CtlVersion, Op: op, Body: body}, &env); err != nil {
+		return err
+	}
+	if env.Err != nil {
+		return env.Err
+	}
+	if resp != nil && len(env.Body) > 0 {
+		return json.Unmarshal(env.Body, resp)
+	}
+	return nil
+}
+
+// QueueFiltered lists one page of jobs matching the filter; next is the
+// cursor for the following page ("" when this page is the last).
+func (c *ControlClient) QueueFiltered(req CtlQueueReq) (jobs []JobInfo, next string, err error) {
+	var resp CtlQueueResp
+	if err := c.call("q", req, &resp); err != nil {
+		return nil, "", err
+	}
+	return resp.Jobs, resp.Next, nil
+}
+
+// Trace fetches the job's lifecycle timeline.
+func (c *ControlClient) Trace(id string) (obs.Timeline, error) {
+	var resp CtlTraceResp
+	if err := c.call("trace", ctlID{ID: id}, &resp); err != nil {
+		return obs.Timeline{}, err
+	}
+	return resp.Timeline, nil
+}
+
+// Metrics fetches a point-in-time dump of the agent's metric registry.
+func (c *ControlClient) Metrics() ([]obs.Metric, error) {
+	var resp CtlMetricsResp
+	if err := c.call("metrics", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Metrics, nil
+}

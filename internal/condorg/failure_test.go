@@ -28,9 +28,9 @@ func TestBreakerIsolatesDeadSite(t *testing.T) {
 	dead.Partition() // dead from the very first dial
 
 	agent, err := NewAgent(AgentConfig{
-		StateDir:      t.TempDir(),
-		Selector:      StaticSelector(healthy.GatekeeperAddr()),
-		ProbeInterval: 40 * time.Millisecond,
+		StateDir: t.TempDir(),
+		Selector: StaticSelector(healthy.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
 		Breaker: faultclass.BreakerConfig{
 			Threshold: 2,
 			BaseDelay: 50 * time.Millisecond,
@@ -106,9 +106,9 @@ func TestRecoveryReconnectsAcrossPartition(t *testing.T) {
 	defer site.Close()
 	dir := t.TempDir()
 	a1, err := NewAgent(AgentConfig{
-		StateDir:      dir,
-		Selector:      StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval: 40 * time.Millisecond,
+		StateDir: dir,
+		Selector: StaticSelector(site.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -124,9 +124,9 @@ func TestRecoveryReconnectsAcrossPartition(t *testing.T) {
 	a1.Close() // CRASH while the site is unreachable
 
 	a2, err := NewAgent(AgentConfig{
-		StateDir:      dir,
-		Selector:      StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval: 40 * time.Millisecond,
+		StateDir: dir,
+		Selector: StaticSelector(site.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
 		// Short breaker delays so the post-heal reconnect probe is not
 		// pushed out by the failures accumulated during the partition.
 		Breaker: faultclass.BreakerConfig{
@@ -215,10 +215,10 @@ func TestMigrationCancelRetriedUntilAcked(t *testing.T) {
 
 	sel := &switchSelector{busy: busy.GatekeeperAddr(), free: free.GatekeeperAddr()}
 	agent, err := NewAgent(AgentConfig{
-		StateDir:      t.TempDir(),
-		Selector:      sel,
-		ProbeInterval: 30 * time.Millisecond,
-		MigrateAfter:  120 * time.Millisecond,
+		StateDir: t.TempDir(),
+		Selector: sel,
+		Probe:    ProbeOptions{Interval: 30 * time.Millisecond},
+		Retry:    RetryOptions{MigrateAfter: 120 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -283,10 +283,10 @@ func TestSubmitRetriesAreCapped(t *testing.T) {
 	site.Close() // nothing listens: every submission attempt fails
 
 	agent, err := NewAgent(AgentConfig{
-		StateDir:         t.TempDir(),
-		Selector:         StaticSelector(addr),
-		ProbeInterval:    20 * time.Millisecond,
-		MaxSubmitRetries: 3,
+		StateDir: t.TempDir(),
+		Selector: StaticSelector(addr),
+		Probe:    ProbeOptions{Interval: 20 * time.Millisecond},
+		Retry:    RetryOptions{MaxSubmitRetries: 3},
 		// Disable breaker fast-fails for determinism: every attempt
 		// reaches the network and burns retry budget.
 		Breaker: faultclass.BreakerConfig{Threshold: 1000},

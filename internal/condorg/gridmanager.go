@@ -8,6 +8,7 @@ import (
 
 	"condorg/internal/faultclass"
 	"condorg/internal/gram"
+	"condorg/internal/obs"
 	"condorg/internal/wire"
 )
 
@@ -39,6 +40,7 @@ func newGridManager(a *Agent, owner string) *GridManager {
 	}
 	gm.gram.SetTimeouts(300*time.Millisecond, 2)
 	gm.gram.SetBreakerConfig(a.cfg.Breaker)
+	gm.gram.SetObs(a.obs)
 	gm.wg.Add(1)
 	go gm.run()
 	return gm
@@ -104,8 +106,11 @@ func (gm *GridManager) enqueueRecovery(rec *jobRecord) {
 // of events never turns into a probe storm against remote sites.
 func (gm *GridManager) run() {
 	defer gm.wg.Done()
-	ticker := time.NewTicker(gm.agent.cfg.ProbeInterval)
+	interval := gm.agent.cfg.Probe.Interval
+	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	lag := gm.agent.obs.Histogram("gm_probe_lag_seconds")
+	var lastTick time.Time
 	for {
 		gm.drainPending()
 		gm.drainRecovery()
@@ -116,6 +121,15 @@ func (gm *GridManager) run() {
 		case <-gm.stopCh:
 			return
 		case <-ticker.C:
+			// Probe lag: how far behind schedule the detector is running
+			// (a slow probe pass delays the next tick delivery).
+			now := time.Now()
+			if !lastTick.IsZero() {
+				if d := now.Sub(lastTick) - interval; d > 0 {
+					lag.Observe(d.Seconds())
+				}
+			}
+			lastTick = now
 			gm.probeAll()
 		case <-gm.wake:
 		}
@@ -182,6 +196,7 @@ func (gm *GridManager) submit(rec *jobRecord) {
 	subID := rec.SubmissionID
 	rec.mu.Unlock()
 
+	start := time.Now()
 	contact, err := gm.gram.Submit(site, spec, gram.SubmitOptions{
 		SubmissionID: subID,
 		Callback:     gm.agent.cbSrv.Addr(),
@@ -193,6 +208,7 @@ func (gm *GridManager) submit(rec *jobRecord) {
 	}
 	rec.mu.Lock()
 	rec.Contact = contact
+	gm.agent.traceLocked(rec, obs.PhaseGridSubmit, "", "site issued "+contact.JobID)
 	rec.mu.Unlock()
 	gm.agent.mu.Lock()
 	gm.agent.bySiteJob[contact.JobID] = rec.ID
@@ -201,12 +217,15 @@ func (gm *GridManager) submit(rec *jobRecord) {
 	// reconnects rather than resubmits.
 	gm.agent.persist(rec)
 	if err := gm.gram.Commit(contact); err != nil {
+		gm.agent.trace(rec, obs.PhaseCommitRetry, faultclass.ClassOf(err).String(), err.Error())
 		gm.agent.log(rec, "COMMIT_RETRY", "commit failed (%v); will re-verify", err)
 		gm.mu.Lock()
 		gm.recovery = append(gm.recovery, rec)
 		gm.mu.Unlock()
 		return
 	}
+	gm.agent.obs.Histogram("gm_two_phase_seconds").Observe(time.Since(start).Seconds())
+	gm.agent.trace(rec, obs.PhaseCommit, "", "two-phase commit complete")
 	gm.agent.log(rec, "GRID_SUBMIT", "job submitted to %s as %s", site, contact.JobID)
 }
 
@@ -235,7 +254,8 @@ func (gm *GridManager) submitFailed(rec *jobRecord, site string, err error) {
 	rec.mu.Lock()
 	rec.SubmitRetries++
 	n := rec.SubmitRetries
-	max := gm.agent.cfg.MaxSubmitRetries
+	max := gm.agent.cfg.Retry.MaxSubmitRetries
+	gm.agent.traceLocked(rec, obs.PhaseSubmitRetry, faultclass.ClassOf(err).String(), err.Error())
 	rec.mu.Unlock()
 	if n >= max {
 		gm.holdJob(rec, fmt.Sprintf("submission failed %d times (last: %v)", n, err))
@@ -261,8 +281,10 @@ func (gm *GridManager) holdJob(rec *jobRecord, reason string) {
 	rec.HoldReason = reason
 	owner := rec.Owner
 	id := rec.ID
+	gm.agent.traceLocked(rec, obs.PhaseHold, "", reason)
 	rec.bumpLocked()
 	rec.mu.Unlock()
+	gm.agent.obs.Counter("agent_jobs_held_total").Inc()
 	gm.agent.log(rec, "HELD", "job held: %s", reason)
 	gm.agent.persist(rec)
 	gm.agent.noteJobChange(owner)
@@ -333,6 +355,8 @@ func (gm *GridManager) probeJob(rec *jobRecord) {
 		already := rec.Disconnected
 		rec.Disconnected = true
 		if !already {
+			gm.agent.traceLocked(rec, obs.PhaseDisconnect, "",
+				"lost contact with "+contact.GatekeeperAddr)
 			rec.bumpLocked()
 		}
 		rec.mu.Unlock()
@@ -366,7 +390,12 @@ func (gm *GridManager) probeJob(rec *jobRecord) {
 	wasDisconnected := rec.Disconnected
 	rec.Disconnected = false
 	if wasDisconnected {
+		gm.agent.traceLocked(rec, obs.PhaseReconnect, "",
+			"reestablished contact with "+contact.GatekeeperAddr)
 		rec.bumpLocked()
+	} else {
+		gm.agent.traceLocked(rec, obs.PhaseJMRestart, "",
+			"replacement jobmanager at "+newContact.JobManagerAddr)
 	}
 	rec.mu.Unlock()
 	gm.agent.persist(rec)
@@ -387,13 +416,13 @@ func (gm *GridManager) probeJob(rec *jobRecord) {
 // jobs and to migrate queued jobs" (§4.4).
 func (gm *GridManager) maybeMigrate(rec *jobRecord, st gram.StatusInfo) {
 	cfg := gm.agent.cfg
-	if cfg.MigrateAfter <= 0 || cfg.Selector == nil || st.State != gram.StatePending {
+	if cfg.Retry.MigrateAfter <= 0 || cfg.Selector == nil || st.State != gram.StatePending {
 		return
 	}
 	rec.mu.Lock()
 	if rec.State.Terminal() || rec.State == Held ||
-		rec.PendingSince.IsZero() || time.Since(rec.PendingSince) < cfg.MigrateAfter ||
-		rec.Migrations >= cfg.MaxMigrations {
+		rec.PendingSince.IsZero() || time.Since(rec.PendingSince) < cfg.Retry.MigrateAfter ||
+		rec.Migrations >= cfg.Retry.MaxMigrations {
 		rec.mu.Unlock()
 		return
 	}
@@ -414,8 +443,11 @@ func (gm *GridManager) maybeMigrate(rec *jobRecord, st gram.StatusInfo) {
 	rec.SubmissionID = gram.NewSubmissionID()
 	rec.PendingSince = time.Time{}
 	n := rec.Migrations
+	gm.agent.traceLocked(rec, obs.PhaseMigrate, "",
+		fmt.Sprintf("queued too long at %s; migration %d", currentSite, n))
 	rec.bumpLocked()
 	rec.mu.Unlock()
+	gm.agent.obs.Counter("agent_migrations_total").Inc()
 	gm.agent.unindexSiteJob(oldContact.JobID, rec.ID)
 	gm.agent.log(rec, "MIGRATED", "queued too long at %s; migrating to %s (migration %d)", currentSite, newSite, n)
 	// The old queued copy must be withdrawn or the job could run twice. A
@@ -451,15 +483,20 @@ func (gm *GridManager) maybeResubmit(rec *jobRecord, st gram.StatusInfo) {
 		gm.holdJob(rec, "credential rejected by site: "+st.Error)
 		return
 	}
+	// The fault event precedes whatever we decide to do about it, so a
+	// timeline always reads fault → (resubmit | failed).
+	gm.agent.traceLocked(rec, obs.PhaseFault, st.Fault.String(), st.Error)
 	siteLost := st.Fault == faultclass.SiteLost
-	if !siteLost || rec.Resubmits >= gm.agent.cfg.MaxResubmits {
+	if !siteLost || rec.Resubmits >= gm.agent.cfg.Retry.MaxResubmits {
 		rec.State = Failed
 		rec.Error = st.Error
 		rec.FinishedAt = time.Now()
 		owner := rec.Owner
 		id := rec.ID
+		gm.agent.traceLocked(rec, obs.PhaseFailed, st.Fault.String(), st.Error)
 		rec.bumpLocked()
 		rec.mu.Unlock()
+		gm.agent.obs.Counter("agent_jobs_failed_total").Inc()
 		gm.agent.log(rec, "FAILED", "job failed: %s", st.Error)
 		gm.agent.finishJob(rec)
 		gm.agent.noteJobChange(owner)
@@ -480,8 +517,11 @@ func (gm *GridManager) maybeResubmit(rec *jobRecord, st gram.StatusInfo) {
 		}
 	}
 	n := rec.Resubmits
+	gm.agent.traceLocked(rec, obs.PhaseResubmit, st.Fault.String(),
+		fmt.Sprintf("resubmission %d", n))
 	rec.bumpLocked()
 	rec.mu.Unlock()
+	gm.agent.obs.Counter(obs.Key("agent_resubmits_total", "class", st.Fault.String())).Inc()
 	gm.agent.unindexSiteJob(oldContact.JobID, rec.ID)
 	gm.agent.log(rec, "RESUBMIT", "site lost the job (%s); resubmission %d", st.Error, n)
 	gm.mu.Lock()
@@ -510,6 +550,7 @@ func (gm *GridManager) retryCancels() {
 // old incarnation, clearing the tombstone on success.
 func (gm *GridManager) cancelOldCopy(rec *jobRecord, contact gram.JobContact) {
 	if gm.cancelAcknowledged(contact) {
+		gm.agent.trace(rec, obs.PhaseCancelAck, "", "old copy "+contact.JobID+" confirmed cancelled")
 		gm.agent.ackCancelTombstone(rec, contact)
 		gm.agent.log(rec, "CANCEL_ACKED", "old copy %s confirmed cancelled", contact.JobID)
 	}

@@ -57,10 +57,10 @@ func TestQueuedJobMigratesToFreeSite(t *testing.T) {
 
 	sel := &switchSelector{busy: busy.GatekeeperAddr(), free: free.GatekeeperAddr()}
 	agent, err := NewAgent(AgentConfig{
-		StateDir:      t.TempDir(),
-		Selector:      sel,
-		ProbeInterval: 30 * time.Millisecond,
-		MigrateAfter:  120 * time.Millisecond,
+		StateDir: t.TempDir(),
+		Selector: sel,
+		Probe:    ProbeOptions{Interval: 30 * time.Millisecond},
+		Retry:    RetryOptions{MigrateAfter: 120 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -103,9 +103,9 @@ func TestMigrationDisabledByDefault(t *testing.T) {
 	runs := &atomic.Int64{}
 	busy := blockedSite(t, runs)
 	agent, err := NewAgent(AgentConfig{
-		StateDir:      t.TempDir(),
-		Selector:      StaticSelector(busy.GatekeeperAddr()),
-		ProbeInterval: 30 * time.Millisecond,
+		StateDir: t.TempDir(),
+		Selector: StaticSelector(busy.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 30 * time.Millisecond},
 		// MigrateAfter unset: the job stays queued at the busy site.
 	})
 	if err != nil {
@@ -128,11 +128,10 @@ func TestMigrationRespectsCap(t *testing.T) {
 	busyB := blockedSite(t, runs)
 	sel := &RoundRobinSelector{Sites: []string{busyA.GatekeeperAddr(), busyB.GatekeeperAddr()}}
 	agent, err := NewAgent(AgentConfig{
-		StateDir:      t.TempDir(),
-		Selector:      sel,
-		ProbeInterval: 20 * time.Millisecond,
-		MigrateAfter:  40 * time.Millisecond,
-		MaxMigrations: 2,
+		StateDir: t.TempDir(),
+		Selector: sel,
+		Probe:    ProbeOptions{Interval: 20 * time.Millisecond},
+		Retry:    RetryOptions{MigrateAfter: 40 * time.Millisecond, MaxMigrations: 2},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -43,10 +43,10 @@ func TestCompletionSurvivesLostCallbacks(t *testing.T) {
 	}
 	defer site.Close()
 	agent, err := NewAgent(AgentConfig{
-		StateDir:       t.TempDir(),
-		Selector:       StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval:  40 * time.Millisecond,
-		CallbackFaults: cbFaults,
+		StateDir: t.TempDir(),
+		Selector: StaticSelector(site.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
+		Faults:   FaultOptions{Callback: cbFaults},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -104,9 +104,9 @@ func TestEnvAndStdinFlowThroughAgent(t *testing.T) {
 	}
 	defer site.Close()
 	agent, err := NewAgent(AgentConfig{
-		StateDir:      t.TempDir(),
-		Selector:      StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval: 40 * time.Millisecond,
+		StateDir: t.TempDir(),
+		Selector: StaticSelector(site.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"condorg/internal/gram"
+	"condorg/internal/obs"
 )
 
 // JobState is the queue state shown to the user (condor_q vocabulary).
@@ -56,6 +57,25 @@ func (s JobState) String() string {
 // Terminal reports whether no further transitions can occur.
 func (s JobState) Terminal() bool {
 	return s == Completed || s == Failed || s == Removed
+}
+
+// ParseJobState parses a state name as printed by JobState.String.
+func ParseJobState(s string) (JobState, error) {
+	switch s {
+	case "idle":
+		return Idle, nil
+	case "running":
+		return Running, nil
+	case "completed":
+		return Completed, nil
+	case "failed":
+		return Failed, nil
+	case "held":
+		return Held, nil
+	case "removed":
+		return Removed, nil
+	}
+	return 0, fmt.Errorf("condorg: unknown job state %q", s)
 }
 
 // SubmitRequest describes a job handed to the agent.
@@ -125,6 +145,9 @@ type jobRecord struct {
 	Spec         gram.JobSpec `json:"spec"`
 	// remote mirrors the last GRAM state seen, to detect transitions.
 	Remote gram.JobState `json:"remote"`
+	// Trace is the job's lifecycle timeline, persisted with the record
+	// (guarded by mu like the rest; the Timeline itself is not locked).
+	Trace obs.Timeline `json:"trace"`
 
 	// gen counts observable state changes; waitCh (lazily created) is
 	// closed at each one so waiters block on events instead of polling.

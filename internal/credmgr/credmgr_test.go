@@ -82,11 +82,11 @@ func newWorld(t *testing.T) *world {
 		t.Fatal(err)
 	}
 	agent, err := condorg.NewAgent(condorg.AgentConfig{
-		StateDir:      t.TempDir(),
-		Credential:    proxy,
-		Clock:         clk.Now,
-		Selector:      condorg.StaticSelector(site.GatekeeperAddr()),
-		ProbeInterval: 40 * time.Millisecond,
+		StateDir:   t.TempDir(),
+		Credential: proxy,
+		Clock:      clk.Now,
+		Selector:   condorg.StaticSelector(site.GatekeeperAddr()),
+		Probe:      condorg.ProbeOptions{Interval: 40 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -186,6 +186,28 @@ func (s *BreakerSet) Failure(key string) {
 	}
 }
 
+// BreakerInfo is a point-in-time view of one endpoint's breaker, exported
+// for observability (per-site gauges, `condorg metrics`).
+type BreakerInfo struct {
+	State   BreakerState  `json:"state"`
+	Fails   int           `json:"fails"`              // consecutive failures while Closed
+	Delay   time.Duration `json:"delay,omitempty"`    // current open interval
+	RetryAt time.Time     `json:"retry_at,omitempty"` // when an Open breaker admits a probe
+}
+
+// Snapshot returns the state of every tracked breaker. Endpoints whose
+// breaker has closed (Success deletes the entry) do not appear; callers
+// wanting a complete site list merge in their own known endpoints.
+func (s *BreakerSet) Snapshot() map[string]BreakerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]BreakerInfo, len(s.m))
+	for key, b := range s.m {
+		out[key] = BreakerInfo{State: b.state, Fails: b.fails, Delay: b.delay, RetryAt: b.retryAt}
+	}
+	return out
+}
+
 // State reports the breaker state for key (Closed if never tripped).
 func (s *BreakerSet) State(key string) BreakerState {
 	s.mu.Lock()

@@ -9,6 +9,7 @@ import (
 
 	"condorg/internal/faultclass"
 	"condorg/internal/gsi"
+	"condorg/internal/obs"
 	"condorg/internal/wire"
 )
 
@@ -25,6 +26,7 @@ type Client struct {
 	health *faultclass.BreakerSet
 	gkConn map[string]*wire.Client
 	jmConn map[string]*wire.Client
+	obs    *obs.Registry
 	// timeouts are shortened by tests.
 	timeout time.Duration
 	retries int
@@ -63,19 +65,62 @@ func (c *Client) SiteHealth(addr string) faultclass.BreakerState {
 	return h.State(addr)
 }
 
+// SetObs attaches a metrics registry: per-verb round-trip histograms
+// (gram_rtt_seconds{verb=...}), error counters by fault class, and
+// breaker fast-fail counters. Nil detaches.
+func (c *Client) SetObs(r *obs.Registry) {
+	c.mu.Lock()
+	c.obs = r
+	c.mu.Unlock()
+}
+
+// HealthSnapshot reports breaker state for every endpoint this client has
+// dialed. Endpoints whose breaker never tripped (or closed again) appear
+// as Closed, so the site list is complete, not just the sick ones.
+func (c *Client) HealthSnapshot() map[string]faultclass.BreakerInfo {
+	c.mu.Lock()
+	h := c.health
+	addrs := make([]string, 0, len(c.gkConn)+len(c.jmConn))
+	for addr := range c.gkConn {
+		addrs = append(addrs, addr)
+	}
+	for addr := range c.jmConn {
+		addrs = append(addrs, addr)
+	}
+	c.mu.Unlock()
+	out := h.Snapshot()
+	for _, addr := range addrs {
+		if _, ok := out[addr]; !ok {
+			out[addr] = faultclass.BreakerInfo{State: faultclass.Closed}
+		}
+	}
+	return out
+}
+
 // guard runs op under addr's circuit breaker. An open breaker
 // fast-fails with a Transient error before any network I/O; transport
 // failures (not remote application errors — those prove the endpoint
-// alive) count against the breaker.
-func (c *Client) guard(addr string, op func() error) error {
+// alive) count against the breaker. verb labels the metrics this call
+// feeds (gram_rtt_seconds, gram_errors_total, gram_breaker_open_total).
+func (c *Client) guard(addr, verb string, op func() error) error {
 	c.mu.Lock()
 	h := c.health
+	reg := c.obs
 	c.mu.Unlock()
 	if !h.Allow(addr) {
+		reg.Counter(obs.Key("gram_breaker_open_total", "verb", verb)).Inc()
 		return faultclass.New(faultclass.Transient,
 			fmt.Errorf("gram: %s: %w", addr, faultclass.ErrBreakerOpen))
 	}
+	start := time.Now()
 	err := op()
+	if reg != nil {
+		reg.Histogram(obs.Key("gram_rtt_seconds", "verb", verb)).Observe(time.Since(start).Seconds())
+		if err != nil {
+			reg.Counter(obs.Key("gram_errors_total",
+				"verb", verb, "class", faultclass.ClassOf(err).String())).Inc()
+		}
+	}
 	if err != nil && !wire.IsRemote(err) {
 		h.Failure(addr)
 	} else {
@@ -220,7 +265,7 @@ func (c *Client) Submit(gkAddr string, spec JobSpec, opts SubmitOptions) (JobCon
 		req.Delegated = data
 	}
 	var resp submitResp
-	if err := c.guard(gkAddr, func() error {
+	if err := c.guard(gkAddr, "submit", func() error {
 		return c.gatekeeper(gkAddr).Call("gram.submit", req, &resp)
 	}); err != nil {
 		return JobContact{}, err
@@ -234,7 +279,7 @@ func (c *Client) Submit(gkAddr string, spec JobSpec, opts SubmitOptions) (JobCon
 
 // Commit runs phase two: "job execution can commence". Idempotent.
 func (c *Client) Commit(contact JobContact) error {
-	return c.guard(contact.GatekeeperAddr, func() error {
+	return c.guard(contact.GatekeeperAddr, "commit", func() error {
 		return c.gatekeeper(contact.GatekeeperAddr).Call("gram.commit", commitReq{JobID: contact.JobID}, nil)
 	})
 }
@@ -242,7 +287,7 @@ func (c *Client) Commit(contact JobContact) error {
 // Status queries the JobManager for the job's current state.
 func (c *Client) Status(contact JobContact) (StatusInfo, error) {
 	var st StatusInfo
-	err := c.guard(contact.JobManagerAddr, func() error {
+	err := c.guard(contact.JobManagerAddr, "status", func() error {
 		return c.jobmanager(contact.JobManagerAddr).Call("jm.status", struct{}{}, &st)
 	})
 	return st, err
@@ -250,7 +295,7 @@ func (c *Client) Status(contact JobContact) (StatusInfo, error) {
 
 // Cancel asks the JobManager to kill the job.
 func (c *Client) Cancel(contact JobContact) error {
-	return c.guard(contact.JobManagerAddr, func() error {
+	return c.guard(contact.JobManagerAddr, "cancel", func() error {
 		return c.jobmanager(contact.JobManagerAddr).Call("jm.cancel", struct{}{}, nil)
 	})
 }
@@ -258,14 +303,14 @@ func (c *Client) Cancel(contact JobContact) error {
 // PingJobManager probes the per-job daemon (single attempt, no retries):
 // the GridManager's liveness check.
 func (c *Client) PingJobManager(contact JobContact) error {
-	return c.guard(contact.JobManagerAddr, func() error {
+	return c.guard(contact.JobManagerAddr, "ping-jm", func() error {
 		return c.jobmanager(contact.JobManagerAddr).Ping("jm.ping")
 	})
 }
 
 // PingGatekeeper probes the site's interface machine.
 func (c *Client) PingGatekeeper(addr string) error {
-	return c.guard(addr, func() error {
+	return c.guard(addr, "ping-gk", func() error {
 		return c.gatekeeper(addr).Ping("gram.ping")
 	})
 }
@@ -274,7 +319,7 @@ func (c *Client) PingGatekeeper(addr string) error {
 // for a job whose daemon died. The returned contact has the new address.
 func (c *Client) RestartJobManager(contact JobContact) (JobContact, error) {
 	var resp jmRestartResp
-	err := c.guard(contact.GatekeeperAddr, func() error {
+	err := c.guard(contact.GatekeeperAddr, "jm-restart", func() error {
 		return c.gatekeeper(contact.GatekeeperAddr).Call("gram.jm-restart", jmRestartReq{JobID: contact.JobID}, &resp)
 	})
 	if err != nil {
@@ -307,14 +352,14 @@ func (c *Client) RefreshCredential(contact JobContact, lifetime time.Duration) e
 	if err != nil {
 		return err
 	}
-	return c.guard(contact.JobManagerAddr, func() error {
+	return c.guard(contact.JobManagerAddr, "refresh-credential", func() error {
 		return c.jobmanager(contact.JobManagerAddr).Call("jm.refresh-credential", refreshCredReq{Delegated: data}, nil)
 	})
 }
 
 // UpdateURLFile tells the JobManager the client's GASS server moved.
 func (c *Client) UpdateURLFile(contact JobContact, newAddr string) error {
-	return c.guard(contact.JobManagerAddr, func() error {
+	return c.guard(contact.JobManagerAddr, "update-urlfile", func() error {
 		return c.jobmanager(contact.JobManagerAddr).Call("jm.update-urlfile", updateURLFileReq{Addr: newAddr}, nil)
 	})
 }

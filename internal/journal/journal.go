@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"condorg/internal/obs"
 )
 
 // Record is one journal entry: an opaque type tag plus a JSON payload.
@@ -39,6 +41,10 @@ type Journal struct {
 	leading bool   // a commit leader is writing outside the lock
 	err     error  // latched fatal write error
 	appends int
+
+	hFlush   *obs.Histogram // journal_flush_seconds: write+fsync latency per flush
+	hBatch   *obs.Histogram // journal_batch_records: records per group commit
+	cAppends *obs.Counter   // journal_appends_total
 }
 
 // Options configures a Journal.
@@ -56,6 +62,9 @@ type Options struct {
 	// with Sync, one fsync) per append, performed under the journal lock.
 	// It exists so benchmarks can compare against the ungrouped path.
 	NoGroupCommit bool
+	// Obs, when non-nil, receives flush latency, batch size, and append
+	// counters. Nil disables instrumentation (nil-safe handles).
+	Obs *obs.Registry
 }
 
 // Open opens (creating if needed) the journal at path.
@@ -65,11 +74,14 @@ func Open(path string, opts Options) (*Journal, error) {
 		return nil, fmt.Errorf("journal: open: %w", err)
 	}
 	j := &Journal{
-		path:    path,
-		f:       f,
-		sync:    opts.Sync,
-		window:  opts.GroupWindow,
-		noGroup: opts.NoGroupCommit,
+		path:     path,
+		f:        f,
+		sync:     opts.Sync,
+		window:   opts.GroupWindow,
+		noGroup:  opts.NoGroupCommit,
+		hFlush:   opts.Obs.Histogram("journal_flush_seconds"),
+		hBatch:   opts.Obs.Histogram("journal_batch_records"),
+		cAppends: opts.Obs.Counter("journal_appends_total"),
 	}
 	j.cond = sync.NewCond(&j.mu)
 	return j, nil
@@ -132,6 +144,7 @@ func (j *Journal) Enqueue(recType string, data json.RawMessage) (uint64, error) 
 	}
 	if j.noGroup {
 		// Historical path: write (and fsync) inline under the lock.
+		start := time.Now()
 		if _, err := j.f.Write(frame); err != nil {
 			j.err = err
 			return 0, err
@@ -142,6 +155,9 @@ func (j *Journal) Enqueue(recType string, data json.RawMessage) (uint64, error) 
 				return 0, err
 			}
 		}
+		j.hFlush.Observe(time.Since(start).Seconds())
+		j.hBatch.Observe(1)
+		j.cAppends.Inc()
 		j.pendSeq++
 		j.durSeq = j.pendSeq
 		j.appends++
@@ -150,6 +166,7 @@ func (j *Journal) Enqueue(recType string, data json.RawMessage) (uint64, error) 
 	j.buf = append(j.buf, frame...)
 	j.pendSeq++
 	j.appends++
+	j.cAppends.Inc()
 	return j.pendSeq, nil
 }
 
@@ -181,15 +198,21 @@ func (j *Journal) Commit(seq uint64) error {
 		}
 		buf := j.buf
 		upTo := j.pendSeq
+		batch := upTo - j.durSeq
 		j.buf = nil
 		f := j.f
 		j.mu.Unlock()
 		var werr error
+		start := time.Now()
 		if len(buf) > 0 {
 			_, werr = f.Write(buf)
 		}
 		if werr == nil && j.sync {
 			werr = f.Sync()
+		}
+		if werr == nil && len(buf) > 0 {
+			j.hFlush.Observe(time.Since(start).Seconds())
+			j.hBatch.Observe(float64(batch))
 		}
 		j.mu.Lock()
 		j.leading = false

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"condorg/internal/obs"
 )
 
 // Store is a crash-safe persistent map built from a snapshot file plus a
@@ -46,6 +48,8 @@ type StoreOptions struct {
 	GroupWindow time.Duration
 	// NoGroupCommit restores one write+fsync per delta; see Options.
 	NoGroupCommit bool
+	// Obs, when non-nil, instruments the delta journal; see Options.Obs.
+	Obs *obs.Registry
 }
 
 type storeDelta struct {
@@ -145,6 +149,7 @@ func (s *Store) journalOpts() Options {
 		Sync:          s.opts.Sync,
 		GroupWindow:   s.opts.GroupWindow,
 		NoGroupCommit: s.opts.NoGroupCommit,
+		Obs:           s.opts.Obs,
 	}
 }
 

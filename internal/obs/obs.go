@@ -1,0 +1,337 @@
+// Package obs is the agent's observability substrate: a dependency-free
+// metrics core (atomic counters, gauges, sliding-window histograms with
+// p50/p95/p99) behind a named registry with a deterministic dump, plus the
+// per-job trace timeline that records every lifecycle transition and fault
+// a job passes through on its way from Unsubmitted to Done (§5's
+// operational story, made inspectable).
+//
+// The package imports nothing but the standard library, so every layer —
+// the journal, the GRAM client, the agent — can instrument itself without
+// dependency cycles. All handle types are nil-safe: a nil *Registry hands
+// out nil *Counter/*Gauge/*Histogram handles whose methods are no-ops,
+// which is how metrics are disabled without branching at call sites.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value. No-op on a nil handle.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// HistogramWindow is the number of most-recent observations a histogram
+// retains for quantile estimation. Count and Sum cover the full lifetime.
+const HistogramWindow = 1024
+
+// Histogram records observations and reports quantiles over a sliding
+// window of the most recent HistogramWindow samples.
+type Histogram struct {
+	mu     sync.Mutex
+	window []float64 // ring buffer of recent samples
+	next   int       // ring write position
+	count  uint64    // lifetime observation count
+	sum    float64   // lifetime sum
+}
+
+// Observe records one sample. No-op on a nil handle.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if len(h.window) < HistogramWindow {
+		h.window = append(h.window, v)
+	} else {
+		h.window[h.next] = v
+		h.next = (h.next + 1) % HistogramWindow
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the lifetime number of observations (0 on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the lifetime sum of observations (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantiles returns the requested quantiles (each in [0,1]) over the
+// sliding window, using nearest-rank on the sorted window. With no samples
+// every quantile is 0; on a nil handle the result is all zeros.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if h == nil {
+		return out
+	}
+	h.mu.Lock()
+	sorted := append([]float64(nil), h.window...)
+	h.mu.Unlock()
+	if len(sorted) == 0 {
+		return out
+	}
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		rank := int(math.Ceil(q * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
+}
+
+// Metric is one named entry of a registry snapshot.
+type Metric struct {
+	Name  string  `json:"name"`
+	Type  string  `json:"type"` // "counter", "gauge", or "histogram"
+	Value float64 `json:"value"`
+	// Histogram-only fields.
+	Count uint64  `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// Collector emits computed gauges at snapshot time (breaker states, queue
+// depths — values derived from live structures rather than pushed).
+type Collector func(set func(name string, v float64))
+
+// Registry is a named metric registry. A nil *Registry is the disabled
+// mode: every getter returns a nil handle and Snapshot returns nil.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	collectors []Collector
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// AddCollector registers a snapshot-time gauge source. Collectors run in
+// registration order; a collector-set name shadows a registered metric of
+// the same name in the snapshot.
+func (r *Registry) AddCollector(fn Collector) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Snapshot returns every metric (registered and collected), sorted by name
+// so the dump is deterministic. Nil on a disabled (nil) registry.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+
+	byName := make(map[string]Metric)
+	for name, c := range counters {
+		byName[name] = Metric{Name: name, Type: "counter", Value: float64(c.Value())}
+	}
+	for name, g := range gauges {
+		byName[name] = Metric{Name: name, Type: "gauge", Value: g.Value()}
+	}
+	for name, h := range hists {
+		q := h.Quantiles(0.5, 0.95, 0.99)
+		byName[name] = Metric{
+			Name: name, Type: "histogram",
+			Count: h.Count(), Sum: h.Sum(),
+			P50: q[0], P95: q[1], P99: q[2],
+		}
+	}
+	for _, fn := range collectors {
+		fn(func(name string, v float64) {
+			byName[name] = Metric{Name: name, Type: "gauge", Value: v}
+		})
+	}
+	out := make([]Metric, 0, len(byName))
+	for _, m := range byName {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DumpText renders a snapshot as aligned human-readable lines, one metric
+// per line, sorted by name.
+func DumpText(metrics []Metric) string {
+	var b strings.Builder
+	for _, m := range metrics {
+		switch m.Type {
+		case "histogram":
+			fmt.Fprintf(&b, "%-52s count=%d sum=%.6f p50=%.6f p95=%.6f p99=%.6f\n",
+				m.Name, m.Count, m.Sum, m.P50, m.P95, m.P99)
+		default:
+			fmt.Fprintf(&b, "%-52s %g\n", m.Name, m.Value)
+		}
+	}
+	return b.String()
+}
+
+// DumpJSON renders a snapshot as indented JSON (an array of Metric).
+func DumpJSON(metrics []Metric) string {
+	data, err := json.MarshalIndent(metrics, "", "  ")
+	if err != nil {
+		return "[]" // Metric has no unmarshalable fields; unreachable
+	}
+	return string(data)
+}
+
+// Key renders a labelled metric name as name{k1=v1,k2=v2}. Label order is
+// the caller's; use a fixed order per call site so names stay stable.
+func Key(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 2 + 16*len(kv))
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

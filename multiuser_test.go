@@ -61,9 +61,9 @@ func TestThreeUsersSharedGrid(t *testing.T) {
 	for u := 0; u < 3; u++ {
 		u := u
 		agent, err := condorg.NewAgent(condorg.AgentConfig{
-			StateDir:      t.TempDir(),
-			Selector:      &condorg.RoundRobinSelector{Sites: gks},
-			ProbeInterval: 40 * time.Millisecond,
+			StateDir: t.TempDir(),
+			Selector: &condorg.RoundRobinSelector{Sites: gks},
+			Probe:    condorg.ProbeOptions{Interval: 40 * time.Millisecond},
 		})
 		if err != nil {
 			t.Fatal(err)
