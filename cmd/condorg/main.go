@@ -1,9 +1,9 @@
 // Command condorg is the user-facing Condor-G tool: `condorg serve` runs
 // the personal computation-management agent, and the remaining subcommands
 // (submit, q, status, wait, rm, hold, release, log, stdout, trace,
-// metrics) talk to a running agent — the §4.1 "API and command line tools
-// that allow the user to perform job management operations" with the look
-// and feel of a local resource manager.
+// metrics, health) talk to a running agent — the §4.1 "API and command
+// line tools that allow the user to perform job management operations"
+// with the look and feel of a local resource manager.
 //
 // Job-op failures map the control plane's fault classes onto exit codes:
 // transient failures (agent restarting, site unreachable) exit 75
@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-max-submit-retries n] [-no-metrics]
+//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-max-submit-retries n] [-per-site-inflight n] [-max-inflight n] [-no-metrics]
 //	condorg submit -agent 127.0.0.1:7100 [-owner u] [-site addr] program [args...]
 //	condorg q      -agent 127.0.0.1:7100 [-owner u] [-state idle,running] [-limit n] [-after job-id]
 //	condorg status -agent 127.0.0.1:7100 <job-id>
@@ -23,6 +23,7 @@
 //	condorg stdout -agent 127.0.0.1:7100 <job-id>
 //	condorg trace  -agent 127.0.0.1:7100 <job-id>
 //	condorg metrics -agent 127.0.0.1:7100
+//	condorg health  -agent 127.0.0.1:7100
 package main
 
 import (
@@ -59,6 +60,8 @@ func main() {
 		queue(args)
 	case "metrics":
 		metrics(args)
+	case "health":
+		health(args)
 	case "status", "wait", "rm", "hold", "release", "log", "stdout", "trace":
 		jobOp(cmd, args)
 	default:
@@ -67,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: condorg <serve|submit|q|status|wait|rm|hold|release|log|stdout|trace|metrics|sites> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: condorg <serve|submit|q|status|wait|rm|hold|release|log|stdout|trace|metrics|health|sites> [flags]")
 	os.Exit(2)
 }
 
@@ -120,6 +123,8 @@ func serve(args []string) {
 	state := fs.String("state", "", "agent state directory (default: temp)")
 	sync := fs.Bool("sync", false, "fsync the job queue journal before acknowledging submits (group commit)")
 	maxSubmitRetries := fs.Int("max-submit-retries", 0, "hold a job after this many failed submission attempts (0 = default)")
+	perSiteInFlight := fs.Int("per-site-inflight", 0, "concurrent remote ops per gatekeeper pipeline (0 = default 4)")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrent remote ops agent-wide across all sites (0 = default 64)")
 	noMetrics := fs.Bool("no-metrics", false, "disable the metric registry (tracing stays on)")
 	fs.Parse(args)
 
@@ -151,6 +156,8 @@ func serve(args []string) {
 	cfg.Selector = selector
 	cfg.Journal.Sync = *sync
 	cfg.Retry.MaxSubmitRetries = *maxSubmitRetries
+	cfg.Pipeline.PerSiteInFlight = *perSiteInFlight
+	cfg.Pipeline.MaxInFlight = *maxInFlight
 	cfg.Obs.Disabled = *noMetrics
 	agent, err := condorg.NewAgent(cfg)
 	if err != nil {
@@ -264,6 +271,23 @@ func metrics(args []string) {
 		return
 	}
 	fmt.Print(obs.DumpText(ms))
+}
+
+// health prints the agent's per-owner, per-site breaker and pipeline view.
+func health(args []string) {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	agent := fs.String("agent", "127.0.0.1:7100", "agent control address")
+	fs.Parse(args)
+	cli := condorg.NewControlClient(*agent)
+	defer cli.Close()
+	sites, err := cli.Health()
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("%-10s %-22s %-10s %6s %8s %9s\n", "OWNER", "SITE", "BREAKER", "FAILS", "QUEUED", "INFLIGHT")
+	for _, s := range sites {
+		fmt.Printf("%-10s %-22s %-10s %6d %8d %9d\n", s.Owner, s.Site, s.Breaker, s.Fails, s.Queued, s.InFlight)
+	}
 }
 
 func jobOp(cmd string, args []string) {

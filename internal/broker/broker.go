@@ -172,6 +172,14 @@ func (b *MDSBroker) Candidates(req condorg.SubmitRequest) ([]classad.Candidate, 
 
 // Select implements condorg.Selector: the best-ranked acceptable resource.
 func (b *MDSBroker) Select(req condorg.SubmitRequest) (string, error) {
+	return b.SelectHealthy(req, nil)
+}
+
+// SelectHealthy implements condorg.HealthAwareSelector: the best-ranked
+// acceptable resource the health view does not veto. MDS soft state lags
+// reality by a registration period, so breaker state — measured by the
+// agent's own failed calls — overrides a stale "looks fine" ad.
+func (b *MDSBroker) SelectHealthy(req condorg.SubmitRequest, healthy condorg.HealthView) (string, error) {
 	list, err := b.Candidates(req)
 	if err != nil {
 		return "", err
@@ -179,11 +187,21 @@ func (b *MDSBroker) Select(req condorg.SubmitRequest) (string, error) {
 	if len(list) == 0 {
 		return "", fmt.Errorf("broker: no resource satisfies the job requirements")
 	}
-	addr := list[0].Ad.EvalString("GatekeeperAddr", "")
-	if addr == "" {
+	contactable := 0
+	for _, cand := range list {
+		addr := cand.Ad.EvalString("GatekeeperAddr", "")
+		if addr == "" {
+			continue
+		}
+		contactable++
+		if healthy == nil || healthy(addr) {
+			return addr, nil
+		}
+	}
+	if contactable == 0 {
 		return "", fmt.Errorf("broker: matched resource %q has no contact", list[0].Ad.EvalString("Name", ""))
 	}
-	return addr, nil
+	return "", fmt.Errorf("broker: %w (%d candidates)", condorg.ErrAllSitesUnhealthy, contactable)
 }
 
 // Adaptive is the high-throughput strategy: it observes actual queuing
@@ -211,7 +229,15 @@ func NewAdaptive(sites []string) *Adaptive {
 }
 
 // Select implements condorg.Selector.
-func (a *Adaptive) Select(condorg.SubmitRequest) (string, error) {
+func (a *Adaptive) Select(req condorg.SubmitRequest) (string, error) {
+	return a.SelectHealthy(req, nil)
+}
+
+// SelectHealthy implements condorg.HealthAwareSelector: the lowest
+// estimated wait among sites the health view does not veto. Observed
+// waits say nothing about a site that stopped answering — the breaker
+// does, so vetoed sites are excluded from the score race entirely.
+func (a *Adaptive) SelectHealthy(_ condorg.SubmitRequest, healthy condorg.HealthView) (string, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if len(a.sites) == 0 {
@@ -220,6 +246,9 @@ func (a *Adaptive) Select(condorg.SubmitRequest) (string, error) {
 	best := ""
 	bestScore := 0.0
 	for _, site := range a.sites {
+		if healthy != nil && !healthy(site) {
+			continue
+		}
 		st := a.stats[site]
 		// Unprobed sites get explored first; the epsilon makes backlog
 		// break ties so equal-wait sites alternate instead of piling
@@ -232,6 +261,9 @@ func (a *Adaptive) Select(condorg.SubmitRequest) (string, error) {
 		if best == "" || score < bestScore {
 			best, bestScore = site, score
 		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("broker: %w (%d candidates)", condorg.ErrAllSitesUnhealthy, len(a.sites))
 	}
 	a.stats[best].inFlight++
 	return best, nil

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"testing"
@@ -238,5 +239,47 @@ func TestEndToEndMDSBrokeredExecution(t *testing.T) {
 	}
 	if info.Site != s1.GatekeeperAddr() {
 		t.Fatalf("brokered to %s, want the larger siteA", info.Site)
+	}
+}
+
+func TestMDSBrokerSelectHealthySkipsVetoed(t *testing.T) {
+	dir := newMDS(t)
+	big := quickSite(t, "big", 64)
+	small := quickSite(t, "small", 2)
+	NewReporterPublish(t, big, dir.Addr(), 1.0)
+	NewReporterPublish(t, small, dir.Addr(), 1.0)
+	b, err := NewMDSBroker(dir.Addr(), "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// The best-ranked site is vetoed (breaker open): the broker must fall
+	// through to the runner-up instead of handing out a dead address.
+	healthy := func(addr string) bool { return addr != big.GatekeeperAddr() }
+	addr, err := b.SelectHealthy(condorg.SubmitRequest{Owner: "u"}, healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != small.GatekeeperAddr() {
+		t.Fatalf("selected %s, want the healthy runner-up %s", addr, small.GatekeeperAddr())
+	}
+	// Everything vetoed: the typed sentinel lets the agent fall back to a
+	// blind pick rather than failing the submit.
+	if _, err := b.SelectHealthy(condorg.SubmitRequest{Owner: "u"}, func(string) bool { return false }); !errors.Is(err, condorg.ErrAllSitesUnhealthy) {
+		t.Fatalf("want ErrAllSitesUnhealthy, got %v", err)
+	}
+}
+
+func TestAdaptiveSelectHealthySkipsVetoed(t *testing.T) {
+	a := NewAdaptive([]string{"gk:1", "gk:2"})
+	// gk:1 has the better observed wait but is vetoed.
+	a.ObserveStart("gk:1", 10*time.Millisecond)
+	a.ObserveStart("gk:2", 500*time.Millisecond)
+	site, err := a.SelectHealthy(condorg.SubmitRequest{}, func(addr string) bool { return addr != "gk:1" })
+	if err != nil || site != "gk:2" {
+		t.Fatalf("SelectHealthy = %q, %v; want gk:2", site, err)
+	}
+	if _, err := a.SelectHealthy(condorg.SubmitRequest{}, func(string) bool { return false }); !errors.Is(err, condorg.ErrAllSitesUnhealthy) {
+		t.Fatalf("want ErrAllSitesUnhealthy, got %v", err)
 	}
 }

@@ -61,6 +61,20 @@ type RetryOptions struct {
 	MaxMigrations int
 }
 
+// PipelineOptions sizes the GridManager's per-site submission pipelines.
+// Remote operations (submits, probes, recovery re-verifications, cancel
+// retries) run on per-gatekeeper workers instead of one serial loop, so a
+// slow or partitioned site only stalls its own pipeline.
+type PipelineOptions struct {
+	// PerSiteInFlight caps concurrent remote operations per gatekeeper
+	// address within one owner's GridManager (default 4).
+	PerSiteInFlight int
+	// MaxInFlight caps concurrent remote operations agent-wide, across
+	// all owners and sites (default 64). Workers blocked on this cap are
+	// counted in gm_worker_stalls_total.
+	MaxInFlight int
+}
+
 // FaultOptions injects failures for tests and chaos runs.
 type FaultOptions struct {
 	// Callback injects failures into the agent's callback server (lost
@@ -98,6 +112,8 @@ type AgentConfig struct {
 	Probe ProbeOptions
 	// Retry bounds resubmission, submit retries, and migration.
 	Retry RetryOptions
+	// Pipeline sizes the per-site submission pipelines.
+	Pipeline PipelineOptions
 	// Breaker tunes the per-site circuit breakers inside each
 	// GridManager's GRAM client (zero value = faultclass defaults).
 	Breaker faultclass.BreakerConfig
@@ -129,6 +145,10 @@ func DefaultAgentConfig() AgentConfig {
 			MaxSubmitRetries: 50,
 			MaxMigrations:    5,
 		},
+		Pipeline: PipelineOptions{
+			PerSiteInFlight: 4,
+			MaxInFlight:     64,
+		},
 	}
 }
 
@@ -151,6 +171,10 @@ type Agent struct {
 	// changed wakes WaitAll and other whole-queue watchers on any
 	// job-state change; its lock is a leaf taken under no other.
 	changed stateBroadcast
+
+	// pipeSem is the agent-wide remote-operation cap shared by every
+	// GridManager's site workers (AgentConfig.Pipeline.MaxInFlight).
+	pipeSem chan struct{}
 
 	mu         sync.Mutex
 	jobs       map[string]*jobRecord
@@ -195,6 +219,12 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Retry.MaxSubmitRetries == 0 {
 		cfg.Retry.MaxSubmitRetries = 50
 	}
+	if cfg.Pipeline.PerSiteInFlight <= 0 {
+		cfg.Pipeline.PerSiteInFlight = 4
+	}
+	if cfg.Pipeline.MaxInFlight <= 0 {
+		cfg.Pipeline.MaxInFlight = 64
+	}
 	a := &Agent{
 		cfg:        cfg,
 		jobs:       make(map[string]*jobRecord),
@@ -204,6 +234,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		tombstoned: make(map[string]*jobRecord),
 		managers:   make(map[string]*GridManager),
 		logFiles:   make(map[string]*os.File),
+		pipeSem:    make(chan struct{}, cfg.Pipeline.MaxInFlight),
 		traceCap:   cfg.Obs.TraceCap,
 	}
 	if !cfg.Obs.Disabled {
@@ -303,6 +334,12 @@ func (a *Agent) collectGauges(set func(name string, v float64)) {
 			set(obs.Key("site_breaker_state", "owner", m.owner, "site", addr), float64(bi.State))
 			set(obs.Key("site_breaker_fails", "owner", m.owner, "site", addr), float64(bi.Fails))
 			set(obs.Key("site_breaker_backoff_seconds", "owner", m.owner, "site", addr), bi.Delay.Seconds())
+		}
+		queued, inflight, backlog := m.gm.pipelineStats()
+		set(obs.Key("gm_dispatch_queue_depth", "owner", m.owner), float64(backlog))
+		for addr, n := range queued {
+			set(obs.Key("gm_site_queue_depth", "owner", m.owner, "site", addr), float64(n))
+			set(obs.Key("gm_site_inflight", "owner", m.owner, "site", addr), float64(inflight[addr]))
 		}
 	}
 }
@@ -593,6 +630,11 @@ func (a *Agent) rewriteSpecURLs(spec *gram.JobSpec) {
 }
 
 func (a *Agent) persist(rec *jobRecord) {
+	// persistMu orders snapshot+Put pairs per record: with per-site
+	// workers, two goroutines can persist the same job back-to-back, and
+	// without this lock the older snapshot could reach the journal last.
+	rec.persistMu.Lock()
+	defer rec.persistMu.Unlock()
 	rec.mu.Lock()
 	doc := struct {
 		JobInfo
@@ -685,6 +727,55 @@ func (a *Agent) SiteHealth(owner, addr string) faultclass.BreakerState {
 	return gm.gram.SiteHealth(addr)
 }
 
+// PipelineHealth reports the per-owner, per-site pipeline and breaker
+// view: breaker state, queued tasks, and in-flight tasks for every site a
+// live GridManager is talking to. Sorted by owner then site.
+func (a *Agent) PipelineHealth() []CtlSiteHealth {
+	a.mu.Lock()
+	type mgr struct {
+		owner string
+		gm    *GridManager
+	}
+	var managers []mgr
+	for owner, gm := range a.managers {
+		if !gm.done() {
+			managers = append(managers, mgr{owner, gm})
+		}
+	}
+	a.mu.Unlock()
+	var out []CtlSiteHealth
+	for _, m := range managers {
+		queued, inflight, _ := m.gm.pipelineStats()
+		for addr, bi := range m.gm.gram.HealthSnapshot() {
+			out = append(out, CtlSiteHealth{
+				Owner:    m.owner,
+				Site:     addr,
+				Breaker:  bi.State.String(),
+				Fails:    bi.Fails,
+				Queued:   queued[addr],
+				InFlight: inflight[addr],
+			})
+			delete(queued, addr)
+		}
+		// Sites with queued work the client has never successfully
+		// dialed (e.g. parked behind an open JM breaker) still show up.
+		for addr, n := range queued {
+			out = append(out, CtlSiteHealth{
+				Owner: m.owner, Site: addr,
+				Breaker: m.gm.gram.SiteHealth(addr).String(),
+				Queued:  n, InFlight: inflight[addr],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Owner != out[j].Owner {
+			return out[i].Owner < out[j].Owner
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
 // ActiveGridManagers counts live per-user managers (they terminate when
 // their user has no unfinished jobs).
 func (a *Agent) ActiveGridManagers() int {
@@ -719,8 +810,19 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 		if a.cfg.Selector == nil {
 			return "", errors.New("condorg: no Site given and no Selector configured")
 		}
+		// Health-aware selection: skip breaker-open sites so a dead site
+		// in the rotation does not absorb jobs whose submissions are
+		// guaranteed to fail. When EVERY candidate is open, fall back to a
+		// blind choice — the job queues and the breaker paces attempts,
+		// which preserves submit-during-total-outage semantics.
+		healthy := func(addr string) bool {
+			return a.SiteHealth(req.Owner, addr) != faultclass.Open
+		}
 		var err error
-		site, err = a.cfg.Selector.Select(req)
+		site, err = selectSite(a.cfg.Selector, req, healthy)
+		if errors.Is(err, ErrAllSitesUnhealthy) {
+			site, err = a.cfg.Selector.Select(req)
+		}
 		if err != nil {
 			return "", fmt.Errorf("condorg: selector: %w", err)
 		}
@@ -887,8 +989,7 @@ func (a *Agent) Hold(id, reason string) error {
 		// Tombstoned, not best-effort: a lost cancel here would let the
 		// old copy run after a later Release resubmits the job.
 		a.addCancelTombstone(rec, contact)
-		gm := a.managerFor(rec.Owner)
-		go gm.retryCancels()
+		a.managerFor(rec.Owner).dispatchCancelsFor(rec)
 	}
 	return nil
 }
@@ -949,8 +1050,7 @@ func (a *Agent) Remove(id string) error {
 	a.noteJobChange(rec.Owner)
 	if contact.JobID != "" {
 		a.addCancelTombstone(rec, contact)
-		gm := a.managerFor(rec.Owner)
-		go gm.retryCancels()
+		a.managerFor(rec.Owner).dispatchCancelsFor(rec)
 	}
 	return nil
 }

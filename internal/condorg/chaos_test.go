@@ -105,6 +105,9 @@ func runChaosSeed(t *testing.T, seed int64) {
 			Selector: &RoundRobinSelector{Sites: gks},
 			Probe:    ProbeOptions{Interval: 25 * time.Millisecond},
 			Retry:    RetryOptions{MaxResubmits: 50},
+			// Non-default pipeline shape so the soak exercises the per-site
+			// workers with real concurrency rather than the serial fallback.
+			Pipeline: PipelineOptions{PerSiteInFlight: 3, MaxInFlight: 8},
 			Breaker: faultclass.BreakerConfig{
 				Threshold: 3,
 				BaseDelay: 30 * time.Millisecond,

@@ -119,6 +119,23 @@ type CtlMetricsResp struct {
 	Metrics []obs.Metric `json:"metrics"`
 }
 
+// CtlSiteHealth is one owner×site row of the agent's pipeline/breaker
+// view: circuit-breaker state plus the site pipeline's queue depth and
+// in-flight task count.
+type CtlSiteHealth struct {
+	Owner    string `json:"owner"`
+	Site     string `json:"site"`
+	Breaker  string `json:"breaker"`
+	Fails    int    `json:"fails,omitempty"`
+	Queued   int    `json:"queued"`
+	InFlight int    `json:"in_flight"`
+}
+
+// CtlHealthResp is the per-site health listing.
+type CtlHealthResp struct {
+	Sites []CtlSiteHealth `json:"sites"`
+}
+
 // handleV1 is the single wire handler behind every v1 op. Application
 // failures ride the envelope as *CtlError — the wire-level error path is
 // reserved for transport and envelope problems.
@@ -174,6 +191,7 @@ func (c *ControlServer) registerOps() {
 		"wait":    c.opWait,
 		"trace":   c.opTrace,
 		"metrics": c.opMetrics,
+		"health":  c.opHealth,
 	}
 }
 
@@ -326,6 +344,10 @@ func (c *ControlServer) opMetrics(json.RawMessage) (any, error) {
 	return CtlMetricsResp{Metrics: c.agent.MetricsSnapshot()}, nil
 }
 
+func (c *ControlServer) opHealth(json.RawMessage) (any, error) {
+	return CtlHealthResp{Sites: c.agent.PipelineHealth()}, nil
+}
+
 // call runs one v1 op round-trip: envelope out, envelope back, typed
 // error surfaced as *CtlError (so faultclass.ClassOf works on it).
 func (c *ControlClient) call(op string, req, resp any) error {
@@ -376,4 +398,13 @@ func (c *ControlClient) Metrics() ([]obs.Metric, error) {
 		return nil, err
 	}
 	return resp.Metrics, nil
+}
+
+// Health fetches the per-owner, per-site breaker and pipeline view.
+func (c *ControlClient) Health() ([]CtlSiteHealth, error) {
+	var resp CtlHealthResp
+	if err := c.call("health", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Sites, nil
 }

@@ -15,28 +15,38 @@ import (
 // GridManager is the per-user daemon of Figure 1: it submits the user's
 // jobs through GRAM's two-phase commit, probes their JobManagers, restarts
 // dead ones through the Gatekeeper, waits out partitions, resubmits jobs
-// the site lost, and exits when the user has no unfinished work.
+// the site lost, and exits when the user has no unfinished work. The run
+// loop is a dispatcher: remote operations execute on per-site worker
+// pipelines (pipeline.go), so one slow site never stalls the others.
 type GridManager struct {
-	agent *Agent
-	owner string
-	gram  *gram.Client
+	agent   *Agent
+	owner   string
+	gram    *gram.Client
+	perSite int // per-gatekeeper in-flight cap (AgentConfig.Pipeline)
 
-	mu       sync.Mutex
-	pending  []*jobRecord // awaiting first submission (or resubmission)
-	recovery []*jobRecord // recovered with a live contact to re-verify
-	finished bool
-	stopCh   chan struct{}
-	wake     chan struct{} // buffered nudge: new work or a state change
-	wg       sync.WaitGroup
+	mu          sync.Mutex
+	pending     []*jobRecord // awaiting first submission (or resubmission)
+	recovery    []*jobRecord // recovered with a live contact to re-verify
+	workers     map[string]*siteWorker
+	cancelBusy  map[string]bool // tombstone retries queued or running
+	outstanding int             // tasks queued + executing across all sites
+	finished    bool
+	stopCh      chan struct{}
+	wake        chan struct{} // buffered nudge: new work or a state change
+	wg          sync.WaitGroup
+	workerWG    sync.WaitGroup
 }
 
 func newGridManager(a *Agent, owner string) *GridManager {
 	gm := &GridManager{
-		agent:  a,
-		owner:  owner,
-		gram:   gram.NewClient(a.cfg.Credential, a.cfg.Clock),
-		stopCh: make(chan struct{}),
-		wake:   make(chan struct{}, 1),
+		agent:      a,
+		owner:      owner,
+		gram:       gram.NewClient(a.cfg.Credential, a.cfg.Clock),
+		perSite:    a.cfg.Pipeline.PerSiteInFlight,
+		workers:    make(map[string]*siteWorker),
+		cancelBusy: make(map[string]bool),
+		stopCh:     make(chan struct{}),
+		wake:       make(chan struct{}, 1),
 	}
 	gm.gram.SetTimeouts(300*time.Millisecond, 2)
 	gm.gram.SetBreakerConfig(a.cfg.Breaker)
@@ -62,6 +72,7 @@ func (gm *GridManager) stop() {
 	close(gm.stopCh)
 	gm.mu.Unlock()
 	gm.wg.Wait()
+	gm.workerWG.Wait()
 	gm.gram.Close()
 }
 
@@ -100,10 +111,14 @@ func (gm *GridManager) enqueueRecovery(rec *jobRecord) {
 	gm.poke()
 }
 
-// run is the manager's main loop. New-work and retirement passes are
-// event-driven (the wake channel fires on enqueue and on job-state
-// changes); the §4.2 failure probe stays strictly ticker-paced so a burst
-// of events never turns into a probe storm against remote sites.
+// run is the manager's dispatch loop. New-work and retirement passes are
+// event-driven (the wake channel fires on enqueue, on job-state changes,
+// and when a worker finishes a task); the §4.2 failure probe stays
+// strictly ticker-paced so a burst of events never turns into a probe
+// storm against remote sites. No remote I/O happens on this goroutine —
+// every pass only partitions work onto the per-site pipelines, so the
+// tick cadence (and the probe-lag metric) stays flat even when a site is
+// blackholed.
 func (gm *GridManager) run() {
 	defer gm.wg.Done()
 	interval := gm.agent.cfg.Probe.Interval
@@ -112,8 +127,8 @@ func (gm *GridManager) run() {
 	lag := gm.agent.obs.Histogram("gm_probe_lag_seconds")
 	var lastTick time.Time
 	for {
-		gm.drainPending()
-		gm.drainRecovery()
+		gm.dispatchPending()
+		gm.dispatchRecovery()
 		if gm.tryRetire() {
 			return
 		}
@@ -122,7 +137,7 @@ func (gm *GridManager) run() {
 			return
 		case <-ticker.C:
 			// Probe lag: how far behind schedule the detector is running
-			// (a slow probe pass delays the next tick delivery).
+			// (a starved dispatcher delays the next tick delivery).
 			now := time.Now()
 			if !lastTick.IsZero() {
 				if d := now.Sub(lastTick) - interval; d > 0 {
@@ -130,7 +145,8 @@ func (gm *GridManager) run() {
 				}
 			}
 			lastTick = now
-			gm.probeAll()
+			gm.dispatchCancels()
+			gm.dispatchProbes()
 		case <-gm.wake:
 		}
 	}
@@ -141,7 +157,10 @@ func (gm *GridManager) run() {
 // terminates once all jobs are complete".
 func (gm *GridManager) tryRetire() bool {
 	gm.mu.Lock()
-	if len(gm.pending) > 0 || len(gm.recovery) > 0 {
+	// Outstanding pipeline tasks are live remote operations (a submit may
+	// be mid-two-phase-commit); retirement must wait for the ledger to
+	// drain or gram.Close would yank connections out from under them.
+	if len(gm.pending) > 0 || len(gm.recovery) > 0 || gm.outstanding > 0 {
 		gm.mu.Unlock()
 		return false
 	}
@@ -171,20 +190,7 @@ func (gm *GridManager) tryRetire() bool {
 	return true
 }
 
-// drainPending submits the current batch. Jobs whose submission fails are
-// re-queued for the NEXT pass (paced by the probe ticker), not retried in a
-// hot loop.
-func (gm *GridManager) drainPending() {
-	gm.mu.Lock()
-	batch := gm.pending
-	gm.pending = nil
-	gm.mu.Unlock()
-	for _, rec := range batch {
-		gm.submit(rec)
-	}
-}
-
-// submit runs the two-phase commit for one job.
+// submit runs the two-phase commit for one job (a taskSubmit body).
 func (gm *GridManager) submit(rec *jobRecord) {
 	rec.mu.Lock()
 	if rec.State.Terminal() || rec.State == Held {
@@ -225,6 +231,7 @@ func (gm *GridManager) submit(rec *jobRecord) {
 		return
 	}
 	gm.agent.obs.Histogram("gm_two_phase_seconds").Observe(time.Since(start).Seconds())
+	gm.agent.obs.Counter(obs.Key("gm_site_submits_total", "site", site)).Inc()
 	gm.agent.trace(rec, obs.PhaseCommit, "", "two-phase commit complete")
 	gm.agent.log(rec, "GRID_SUBMIT", "job submitted to %s as %s", site, contact.JobID)
 }
@@ -292,46 +299,27 @@ func (gm *GridManager) holdJob(rec *jobRecord, reason string) {
 		fmt.Sprintf("Your job %s was held: %s", id, reason))
 }
 
-// drainRecovery re-verifies jobs recovered with a contact: re-commit
-// (idempotent) and refresh status; dead JobManagers go through the probe
-// path.
-func (gm *GridManager) drainRecovery() {
-	gm.mu.Lock()
-	recs := gm.recovery
-	gm.recovery = nil
-	gm.mu.Unlock()
-	for _, rec := range recs {
-		rec.mu.Lock()
-		contact := rec.Contact
-		rec.mu.Unlock()
-		if err := gm.gram.Commit(contact); err != nil {
-			// Gatekeeper down or job unknown; probeAll will sort it out.
-			continue
-		}
-		if st, err := gm.gram.Status(contact); err == nil {
-			gm.agent.applyRemoteStatus(rec, st)
-		}
-		// Tell the JobManager where our GASS server lives now.
-		gm.gram.UpdateURLFile(contact, gm.agent.gassS.Addr())
+// recoverJob re-verifies one job recovered with a contact (a taskRecover
+// body): re-commit (idempotent) and refresh status; dead JobManagers go
+// through the probe path.
+func (gm *GridManager) recoverJob(rec *jobRecord) {
+	rec.mu.Lock()
+	contact := rec.Contact
+	rec.mu.Unlock()
+	if err := gm.gram.Commit(contact); err != nil {
+		// Gatekeeper down or job unknown; the probe path will sort it out.
+		return
 	}
+	if st, err := gm.gram.Status(contact); err == nil {
+		gm.agent.applyRemoteStatus(rec, st)
+	}
+	// Tell the JobManager where our GASS server lives now.
+	gm.gram.UpdateURLFile(contact, gm.agent.gassS.Addr())
 }
 
-// probeAll is the §4.2 failure detector: "The GridManager detects remote
-// failures by periodically probing the JobManagers of all the jobs it
-// manages."
-func (gm *GridManager) probeAll() {
-	gm.retryCancels()
-	for _, rec := range gm.agent.activeJobs(gm.owner) {
-		rec.mu.Lock()
-		skip := rec.State.Terminal() || rec.State == Held || rec.Contact.JobID == ""
-		rec.mu.Unlock()
-		if skip {
-			continue
-		}
-		gm.probeJob(rec)
-	}
-}
-
+// probeJob is the per-job §4.2 failure detector (a taskProbe body): "The
+// GridManager detects remote failures by periodically probing the
+// JobManagers of all the jobs it manages."
 func (gm *GridManager) probeJob(rec *jobRecord) {
 	rec.mu.Lock()
 	contact := rec.Contact
@@ -429,7 +417,7 @@ func (gm *GridManager) maybeMigrate(rec *jobRecord, st gram.StatusInfo) {
 	currentSite := rec.Site
 	owner := rec.Owner
 	rec.mu.Unlock()
-	newSite, err := cfg.Selector.Select(SubmitRequest{Owner: owner})
+	newSite, err := selectSite(cfg.Selector, SubmitRequest{Owner: owner}, gm.healthView())
 	if err != nil || newSite == currentSite {
 		return // nowhere better to go right now
 	}
@@ -451,10 +439,11 @@ func (gm *GridManager) maybeMigrate(rec *jobRecord, st gram.StatusInfo) {
 	gm.agent.unindexSiteJob(oldContact.JobID, rec.ID)
 	gm.agent.log(rec, "MIGRATED", "queued too long at %s; migrating to %s (migration %d)", currentSite, newSite, n)
 	// The old queued copy must be withdrawn or the job could run twice. A
-	// tombstone makes the cancel durable: it is retried from the probe
-	// loop until the site acknowledges, even across agent restarts.
+	// tombstone makes the cancel durable: the dispatcher retries it on the
+	// old site's pipeline until the site acknowledges, even across agent
+	// restarts.
 	gm.agent.addCancelTombstone(rec, oldContact)
-	gm.cancelOldCopy(rec, oldContact)
+	gm.dispatchCancelsFor(rec)
 	gm.mu.Lock()
 	gm.pendingLater(rec)
 	gm.mu.Unlock()
@@ -512,7 +501,7 @@ func (gm *GridManager) maybeResubmit(rec *jobRecord, st gram.StatusInfo) {
 	rec.Contact = gram.JobContact{}
 	rec.SubmissionID = gram.NewSubmissionID()
 	if gm.agent.cfg.Selector != nil {
-		if site, err := gm.agent.cfg.Selector.Select(SubmitRequest{Owner: rec.Owner}); err == nil {
+		if site, err := selectSite(gm.agent.cfg.Selector, SubmitRequest{Owner: rec.Owner}, gm.healthView()); err == nil {
 			rec.Site = site
 		}
 	}
@@ -529,25 +518,20 @@ func (gm *GridManager) maybeResubmit(rec *jobRecord, st gram.StatusInfo) {
 	gm.mu.Unlock()
 }
 
-// retryCancels re-attempts every unacknowledged cancel of an old remote
-// incarnation (from migration, hold, or remove). It runs from the probe
-// loop, so a cancel lost to a partition is retried at probe pace until the
-// site confirms the old copy cannot run — only then is the tombstone
-// cleared and (if nothing else is outstanding) the manager allowed to
-// retire.
-func (gm *GridManager) retryCancels() {
-	for _, rec := range gm.agent.pendingCancels(gm.owner) {
-		rec.mu.Lock()
-		contacts := append([]gram.JobContact(nil), rec.CancelPending...)
-		rec.mu.Unlock()
-		for _, contact := range contacts {
-			gm.cancelOldCopy(rec, contact)
-		}
+// healthView adapts this manager's breaker state to the selector
+// interface: a site is worth submitting to unless its breaker is open.
+func (gm *GridManager) healthView() HealthView {
+	return func(addr string) bool {
+		return gm.gram.SiteHealth(addr) != faultclass.Open
 	}
 }
 
 // cancelOldCopy tries once to get the site to acknowledge the cancel of an
-// old incarnation, clearing the tombstone on success.
+// old incarnation (a taskCancel body), clearing the tombstone on success.
+// Retries are dispatched at probe pace on the old site's pipeline, so a
+// cancel lost to a partition keeps being retried until the site confirms
+// the old copy cannot run — only then is the tombstone cleared and (if
+// nothing else is outstanding) the manager allowed to retire.
 func (gm *GridManager) cancelOldCopy(rec *jobRecord, contact gram.JobContact) {
 	if gm.cancelAcknowledged(contact) {
 		gm.agent.trace(rec, obs.PhaseCancelAck, "", "old copy "+contact.JobID+" confirmed cancelled")

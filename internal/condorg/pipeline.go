@@ -1,0 +1,320 @@
+package condorg
+
+import (
+	"condorg/internal/faultclass"
+	"condorg/internal/gram"
+	"condorg/internal/obs"
+)
+
+// Per-site submission pipelines. The GridManager's run loop is a pure
+// dispatcher: it partitions pending submits, recovery re-verifications,
+// probes, and cancel tombstones by gatekeeper address and feeds them to
+// per-site workers, so one slow or partitioned site burns only its own
+// worker while every other site proceeds at full rate. Two caps bound the
+// parallelism: PerSiteInFlight workers per gatekeeper address within one
+// owner's manager, and MaxInFlight remote operations agent-wide (a shared
+// semaphore across all owners). Ordering guarantees under the
+// parallelism:
+//
+//   - Per job, at most one submit/recover/probe task runs at a time
+//     (jobRecord.opBusy), so two-phase commit, status application, and
+//     resubmission never interleave for the same job.
+//   - Cancels of old incarnations are keyed by (job, old contact) and
+//     may run concurrently with the new incarnation's tasks — they touch
+//     disjoint remote jobs, and applyRemoteStatus drops cross-incarnation
+//     callbacks by contact identity.
+//   - Retirement waits for the task ledger to drain (gm.outstanding), so
+//     tryRetire cannot close the GRAM client under a live worker.
+
+// taskKind enumerates the work a site worker executes.
+type taskKind int
+
+const (
+	taskSubmit  taskKind = iota // two-phase commit of a new/resubmitted job
+	taskRecover                 // re-verify a job recovered with a contact
+	taskProbe                   // §4.2 liveness probe of one job
+	taskCancel                  // retry one cancel tombstone
+)
+
+func (k taskKind) String() string {
+	switch k {
+	case taskSubmit:
+		return "submit"
+	case taskRecover:
+		return "recover"
+	case taskProbe:
+		return "probe"
+	case taskCancel:
+		return "cancel"
+	}
+	return "unknown"
+}
+
+// gmTask is one unit of per-site work. contact is set only for cancels
+// (the OLD incarnation's contact; the record's own contact may have moved
+// on).
+type gmTask struct {
+	kind    taskKind
+	rec     *jobRecord
+	contact gram.JobContact
+}
+
+// siteWorker is the per-gatekeeper pipeline: a FIFO of tasks drained by
+// up to PerSiteInFlight goroutines. All fields are guarded by gm.mu.
+type siteWorker struct {
+	addr     string
+	queue    []gmTask
+	running  int // worker goroutines alive for this site
+	inflight int // tasks currently executing (≤ running)
+}
+
+// cancelTaskKey identifies one tombstone so the dispatcher queues at most
+// one retry of it at a time.
+func cancelTaskKey(rec *jobRecord, contact gram.JobContact) string {
+	return rec.ID + "\x00" + contact.JobManagerAddr + "\x00" + contact.JobID
+}
+
+// enqueueTask queues t on addr's worker, spawning a goroutine when the
+// site is below its in-flight cap. Tasks enqueued on a stopping manager
+// are dropped — shutdown and retirement both mean no more remote work.
+func (gm *GridManager) enqueueTask(addr string, t gmTask) {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	if gm.finished {
+		return
+	}
+	w := gm.workers[addr]
+	if w == nil {
+		w = &siteWorker{addr: addr}
+		gm.workers[addr] = w
+	}
+	w.queue = append(w.queue, t)
+	gm.outstanding++
+	if w.running < gm.perSite {
+		w.running++
+		// Add under gm.mu with finished==false: stop() sets finished
+		// under the same lock before waiting, so Add cannot race Wait.
+		gm.workerWG.Add(1)
+		go gm.workerLoop(w)
+	}
+}
+
+// workerLoop drains one site's queue. The goroutine exits when the queue
+// empties or the manager stops; enqueueTask spawns a fresh one on demand.
+func (gm *GridManager) workerLoop(w *siteWorker) {
+	defer gm.workerWG.Done()
+	for {
+		gm.mu.Lock()
+		if gm.finished || len(w.queue) == 0 {
+			w.running--
+			gm.mu.Unlock()
+			return
+		}
+		t := w.queue[0]
+		w.queue = w.queue[1:]
+		w.inflight++
+		gm.mu.Unlock()
+
+		gm.runTask(t)
+
+		gm.mu.Lock()
+		w.inflight--
+		gm.outstanding--
+		gm.mu.Unlock()
+		gm.endTask(t)
+		// The task may have requeued its job (pending/recovery) or freed
+		// the last obstacle to retirement; let the dispatcher look.
+		gm.poke()
+	}
+}
+
+// runTask executes one task body under the agent-wide in-flight cap.
+func (gm *GridManager) runTask(t gmTask) {
+	sem := gm.agent.pipeSem
+	select {
+	case sem <- struct{}{}:
+	default:
+		// The agent-wide cap is saturated: count the stall, then wait.
+		gm.agent.obs.Counter("gm_worker_stalls_total").Inc()
+		select {
+		case sem <- struct{}{}:
+		case <-gm.stopCh:
+			return
+		}
+	}
+	defer func() { <-sem }()
+	gm.agent.obs.Counter(obs.Key("gm_tasks_total", "kind", t.kind.String())).Inc()
+	switch t.kind {
+	case taskSubmit:
+		gm.submit(t.rec)
+	case taskRecover:
+		gm.recoverJob(t.rec)
+	case taskProbe:
+		gm.probeJob(t.rec)
+	case taskCancel:
+		gm.cancelOldCopy(t.rec, t.contact)
+	}
+}
+
+// endTask releases the task's exclusivity marker after the ledger entry
+// is closed, so the next dispatch pass may pick the job up again.
+func (gm *GridManager) endTask(t gmTask) {
+	if t.kind == taskCancel {
+		gm.mu.Lock()
+		delete(gm.cancelBusy, cancelTaskKey(t.rec, t.contact))
+		gm.mu.Unlock()
+		return
+	}
+	t.rec.mu.Lock()
+	t.rec.opBusy = false
+	t.rec.mu.Unlock()
+}
+
+// dispatchPending partitions the submit queue by destination site and
+// feeds the site workers. Jobs bound for a breaker-open site park here —
+// requeued without a task — until the breaker's retry deadline passes;
+// a site due for its half-open probe gets exactly one job through per
+// pass so a recovering gatekeeper is not stampeded.
+func (gm *GridManager) dispatchPending() {
+	gm.mu.Lock()
+	batch := gm.pending
+	gm.pending = nil
+	gm.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	var parked []*jobRecord
+	probed := make(map[string]bool) // non-closed sites already given their probe job
+	for _, rec := range batch {
+		rec.mu.Lock()
+		if rec.State.Terminal() || rec.State == Held {
+			// Held jobs leave the queue; Release re-enqueues them.
+			rec.mu.Unlock()
+			continue
+		}
+		if rec.opBusy {
+			rec.mu.Unlock()
+			parked = append(parked, rec)
+			continue
+		}
+		site := rec.Site
+		if gm.gram.SiteHealth(site) != faultclass.Closed {
+			if probed[site] || !gm.gram.SiteReady(site) {
+				rec.mu.Unlock()
+				parked = append(parked, rec)
+				continue
+			}
+			probed[site] = true
+		}
+		rec.opBusy = true
+		gm.agent.traceLocked(rec, obs.PhaseDispatch, "", "queued on the "+site+" pipeline")
+		rec.mu.Unlock()
+		gm.enqueueTask(site, gmTask{kind: taskSubmit, rec: rec})
+	}
+	if len(parked) > 0 {
+		gm.mu.Lock()
+		gm.pending = append(gm.pending, parked...)
+		gm.mu.Unlock()
+	}
+}
+
+// dispatchRecovery feeds recovered-with-contact jobs to their site's
+// worker for re-verification.
+func (gm *GridManager) dispatchRecovery() {
+	gm.mu.Lock()
+	batch := gm.recovery
+	gm.recovery = nil
+	gm.mu.Unlock()
+	var parked []*jobRecord
+	for _, rec := range batch {
+		rec.mu.Lock()
+		if rec.State.Terminal() || rec.State == Held {
+			rec.mu.Unlock()
+			continue
+		}
+		if rec.opBusy {
+			rec.mu.Unlock()
+			parked = append(parked, rec)
+			continue
+		}
+		rec.opBusy = true
+		addr := rec.Contact.GatekeeperAddr
+		rec.mu.Unlock()
+		gm.enqueueTask(addr, gmTask{kind: taskRecover, rec: rec})
+	}
+	if len(parked) > 0 {
+		gm.mu.Lock()
+		gm.recovery = append(gm.recovery, parked...)
+		gm.mu.Unlock()
+	}
+}
+
+// dispatchProbes queues one liveness probe per active job with a remote
+// contact. Probes to a breaker-open site fast-fail inside the worker (the
+// guard refuses them before any I/O), which is what keeps the job's
+// Disconnected flag honest at probe pace.
+func (gm *GridManager) dispatchProbes() {
+	for _, rec := range gm.agent.activeJobs(gm.owner) {
+		rec.mu.Lock()
+		skip := rec.State.Terminal() || rec.State == Held ||
+			rec.Contact.JobID == "" || rec.opBusy
+		if !skip {
+			rec.opBusy = true
+		}
+		addr := rec.Contact.GatekeeperAddr
+		rec.mu.Unlock()
+		if skip {
+			continue
+		}
+		gm.enqueueTask(addr, gmTask{kind: taskProbe, rec: rec})
+	}
+}
+
+// dispatchCancels queues a retry for every unacknowledged cancel
+// tombstone of the owner. Each tombstone is keyed to the OLD contact's
+// gatekeeper, so a dead old site delays only its own worker — never the
+// probe tick.
+func (gm *GridManager) dispatchCancels() {
+	for _, rec := range gm.agent.pendingCancels(gm.owner) {
+		gm.dispatchCancelsFor(rec)
+	}
+}
+
+// dispatchCancelsFor queues one cancel task per unacknowledged tombstone
+// of rec, skipping tombstones whose retry is already queued or running.
+func (gm *GridManager) dispatchCancelsFor(rec *jobRecord) {
+	rec.mu.Lock()
+	contacts := append([]gram.JobContact(nil), rec.CancelPending...)
+	rec.mu.Unlock()
+	for _, contact := range contacts {
+		key := cancelTaskKey(rec, contact)
+		gm.mu.Lock()
+		if gm.finished || gm.cancelBusy[key] {
+			gm.mu.Unlock()
+			continue
+		}
+		gm.cancelBusy[key] = true
+		gm.mu.Unlock()
+		gm.enqueueTask(contact.GatekeeperAddr, gmTask{kind: taskCancel, rec: rec, contact: contact})
+	}
+}
+
+// pipelineStats reports per-site queue depth and in-flight task counts
+// plus the manager-wide backlog, for the metrics collector and the
+// control plane's health op.
+func (gm *GridManager) pipelineStats() (queued, inflight map[string]int, backlog int) {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	queued = make(map[string]int, len(gm.workers))
+	inflight = make(map[string]int, len(gm.workers))
+	for addr, w := range gm.workers {
+		if len(w.queue) == 0 && w.inflight == 0 {
+			continue
+		}
+		queued[addr] = len(w.queue)
+		inflight[addr] = w.inflight
+		backlog += len(w.queue)
+	}
+	backlog += len(gm.pending) + len(gm.recovery)
+	return queued, inflight, backlog
+}

@@ -153,6 +153,16 @@ type jobRecord struct {
 	// closed at each one so waiters block on events instead of polling.
 	gen    uint64
 	waitCh chan struct{}
+
+	// opBusy marks a pipeline task (submit/recover/probe) in flight for
+	// this job, so per-site workers never run two operations on the same
+	// job concurrently. Guarded by mu; cancels of OLD incarnations are
+	// tracked separately (they touch disjoint remote state).
+	opBusy bool
+	// persistMu serializes snapshot+journal-write pairs for this record:
+	// without it two workers could persist the same record with the older
+	// snapshot landing after the newer one. Taken around mu, never inside.
+	persistMu sync.Mutex
 }
 
 func (j *jobRecord) snapshot() JobInfo {
@@ -273,6 +283,34 @@ type Selector interface {
 	Select(req SubmitRequest) (string, error)
 }
 
+// HealthView answers "is this gatekeeper address currently worth
+// submitting to?" — false for breaker-open sites. Selectors consult it
+// so a dead site in the rotation stops receiving jobs whose submissions
+// are guaranteed to fail.
+type HealthView func(addr string) bool
+
+// ErrAllSitesUnhealthy reports that every candidate site a selector
+// considered is breaker-open. Callers usually fall back to a health-blind
+// choice: the job queues and the breaker paces the attempts.
+var ErrAllSitesUnhealthy = fmt.Errorf("all candidate sites are breaker-open")
+
+// HealthAwareSelector is an optional Selector extension: SelectHealthy
+// skips sites the view reports unhealthy, returning ErrAllSitesUnhealthy
+// (wrapped) when no candidate passes.
+type HealthAwareSelector interface {
+	Selector
+	SelectHealthy(req SubmitRequest, healthy HealthView) (string, error)
+}
+
+// selectSite routes through SelectHealthy when the selector supports it
+// and a view is available, falling back to plain Select.
+func selectSite(sel Selector, req SubmitRequest, healthy HealthView) (string, error) {
+	if ha, ok := sel.(HealthAwareSelector); ok && healthy != nil {
+		return ha.SelectHealthy(req, healthy)
+	}
+	return sel.Select(req)
+}
+
 // StaticSelector always routes to one site (the paper's "user-supplied
 // list of GRAM servers" starting point, with a list of one).
 type StaticSelector string
@@ -293,13 +331,25 @@ type RoundRobinSelector struct {
 }
 
 // Select implements Selector.
-func (r *RoundRobinSelector) Select(SubmitRequest) (string, error) {
+func (r *RoundRobinSelector) Select(req SubmitRequest) (string, error) {
+	return r.SelectHealthy(req, nil)
+}
+
+// SelectHealthy implements HealthAwareSelector: the rotation advances
+// past breaker-open sites, wrapping ErrAllSitesUnhealthy when a full turn
+// finds no healthy candidate.
+func (r *RoundRobinSelector) SelectHealthy(_ SubmitRequest, healthy HealthView) (string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.Sites) == 0 {
 		return "", fmt.Errorf("condorg: empty site list")
 	}
-	site := r.Sites[r.next%len(r.Sites)]
-	r.next++
-	return site, nil
+	for i := 0; i < len(r.Sites); i++ {
+		site := r.Sites[r.next%len(r.Sites)]
+		r.next++
+		if healthy == nil || healthy(site) {
+			return site, nil
+		}
+	}
+	return "", fmt.Errorf("condorg: %w (%d candidates)", ErrAllSitesUnhealthy, len(r.Sites))
 }

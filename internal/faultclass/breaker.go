@@ -208,6 +208,21 @@ func (s *BreakerSet) Snapshot() map[string]BreakerInfo {
 	return out
 }
 
+// Ready reports whether a call to key would currently be admitted: the
+// breaker is closed, or its retry deadline has passed and a half-open
+// probe would be let through. Unlike Allow it never transitions state and
+// never consumes the probe slot, so dispatchers can use it to decide
+// whether to park work without racing the probe itself.
+func (s *BreakerSet) Ready(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[key]
+	if b == nil || b.state == Closed {
+		return true
+	}
+	return !s.cfg.Now().Before(b.retryAt)
+}
+
 // State reports the breaker state for key (Closed if never tripped).
 func (s *BreakerSet) State(key string) BreakerState {
 	s.mu.Lock()

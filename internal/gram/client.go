@@ -65,6 +65,17 @@ func (c *Client) SiteHealth(addr string) faultclass.BreakerState {
 	return h.State(addr)
 }
 
+// SiteReady reports whether a call to addr would currently be admitted by
+// its circuit breaker: closed, or open but due for its half-open probe.
+// It does not consume the probe slot, so dispatchers can poll it to
+// decide when a parked site queue may attempt the probe call.
+func (c *Client) SiteReady(addr string) bool {
+	c.mu.Lock()
+	h := c.health
+	c.mu.Unlock()
+	return h.Ready(addr)
+}
+
 // SetObs attaches a metrics registry: per-verb round-trip histograms
 // (gram_rtt_seconds{verb=...}), error counters by fault class, and
 // breaker fast-fail counters. Nil detaches.

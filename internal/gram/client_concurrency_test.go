@@ -1,0 +1,55 @@
+package gram
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestClientConcurrentCalls drives one shared Client from many goroutines
+// against a single site — the access pattern of the agent's per-site
+// pipeline workers, which all funnel through the owner's one Client and
+// its cached gatekeeper/jobmanager connections. Run under -race this
+// pins down the connection-cache and breaker locking.
+func TestClientConcurrentCalls(t *testing.T) {
+	g := newTestGrid(t)
+	exe := g.stageProgram(t, "echo")
+	const n = 8
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			contact, err := g.client.Submit(g.site.GatekeeperAddr(),
+				JobSpec{Executable: exe}, SubmitOptions{SubmissionID: NewSubmissionID()})
+			if err != nil {
+				errCh <- fmt.Errorf("submit: %w", err)
+				return
+			}
+			if err := g.client.Commit(contact); err != nil {
+				errCh <- fmt.Errorf("commit: %w", err)
+				return
+			}
+			deadline := time.Now().Add(8 * time.Second)
+			for {
+				st, err := g.client.Status(contact)
+				if err == nil && st.State == StateDone {
+					errCh <- nil
+					return
+				}
+				if err == nil && st.State.Terminal() {
+					errCh <- fmt.Errorf("job %s ended %v: %s", contact.JobID, st.State, st.Error)
+					return
+				}
+				if time.Now().After(deadline) {
+					errCh <- fmt.Errorf("job %s never finished (last err: %v)", contact.JobID, err)
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

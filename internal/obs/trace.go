@@ -6,6 +6,7 @@ import "time"
 // names one kind of lifecycle transition; DESIGN.md §6 is the catalogue.
 const (
 	PhaseSubmit      = "submit"       // accepted into the agent queue
+	PhaseDispatch    = "dispatch"     // handed to a per-site pipeline worker
 	PhaseGridSubmit  = "grid-submit"  // GRAM submit RPC returned a contact
 	PhaseCommit      = "commit"       // GRAM two-phase commit completed
 	PhaseCommitRetry = "commit-retry" // commit failed; job requeued for recovery
