@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-max-submit-retries n] [-per-site-inflight n] [-max-inflight n] [-no-metrics]
+//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-max-submit-retries n] [-per-site-inflight n] [-max-inflight n] [-stage-chunk-size n] [-stage-streams n] [-no-stage] [-no-metrics]
 //	condorg submit -agent 127.0.0.1:7100 [-owner u] [-site addr] program [args...]
 //	condorg q      -agent 127.0.0.1:7100 [-owner u] [-state idle,running] [-limit n] [-after job-id]
 //	condorg status -agent 127.0.0.1:7100 <job-id>
@@ -125,6 +125,9 @@ func serve(args []string) {
 	maxSubmitRetries := fs.Int("max-submit-retries", 0, "hold a job after this many failed submission attempts (0 = default)")
 	perSiteInFlight := fs.Int("per-site-inflight", 0, "concurrent remote ops per gatekeeper pipeline (0 = default 4)")
 	maxInFlight := fs.Int("max-inflight", 0, "concurrent remote ops agent-wide across all sites (0 = default 64)")
+	stageChunkSize := fs.Int("stage-chunk-size", 0, "staging transfer chunk size in bytes (0 = default 65536)")
+	stageStreams := fs.Int("stage-streams", 0, "parallel chunk streams per site during staging (0 = default 4)")
+	noStage := fs.Bool("no-stage", false, "disable executable pre-staging; sites pull executables over GASS")
 	noMetrics := fs.Bool("no-metrics", false, "disable the metric registry (tracing stays on)")
 	fs.Parse(args)
 
@@ -158,6 +161,9 @@ func serve(args []string) {
 	cfg.Retry.MaxSubmitRetries = *maxSubmitRetries
 	cfg.Pipeline.PerSiteInFlight = *perSiteInFlight
 	cfg.Pipeline.MaxInFlight = *maxInFlight
+	cfg.Stage.ChunkSize = *stageChunkSize
+	cfg.Stage.Streams = *stageStreams
+	cfg.Stage.Disabled = *noStage
 	cfg.Obs.Disabled = *noMetrics
 	agent, err := condorg.NewAgent(cfg)
 	if err != nil {
@@ -284,9 +290,11 @@ func health(args []string) {
 	if err != nil {
 		die(err)
 	}
-	fmt.Printf("%-10s %-22s %-10s %6s %8s %9s\n", "OWNER", "SITE", "BREAKER", "FAILS", "QUEUED", "INFLIGHT")
+	fmt.Printf("%-10s %-22s %-10s %6s %8s %9s %10s %11s\n",
+		"OWNER", "SITE", "BREAKER", "FAILS", "QUEUED", "INFLIGHT", "STAGE-HIT", "STAGE-MISS")
 	for _, s := range sites {
-		fmt.Printf("%-10s %-22s %-10s %6d %8d %9d\n", s.Owner, s.Site, s.Breaker, s.Fails, s.Queued, s.InFlight)
+		fmt.Printf("%-10s %-22s %-10s %6d %8d %9d %10d %11d\n",
+			s.Owner, s.Site, s.Breaker, s.Fails, s.Queued, s.InFlight, s.StageHits, s.StageMisses)
 	}
 }
 

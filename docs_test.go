@@ -1,0 +1,71 @@
+package benchmarks
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestOperationsDocMatchesCLI guards docs/OPERATIONS.md against flag
+// drift: every `-flag` the operator guide documents must actually be
+// registered in cmd/condorg/main.go. Go-tool flags mentioned in repro
+// commands (go test -race, -bench, ...) are exempt.
+func TestOperationsDocMatchesCLI(t *testing.T) {
+	doc, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile("cmd/condorg/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	goToolFlags := map[string]bool{
+		"race": true, "v": true, "run": true, "bench": true,
+		"benchtime": true, "o": true,
+	}
+
+	flags := map[string]bool{}
+	// Inline and table mentions: `-stage-streams`
+	for _, m := range regexp.MustCompile("`-([a-z][a-z0-9-]*)`").FindAllStringSubmatch(string(doc), -1) {
+		flags[m[1]] = true
+	}
+	// Command lines in fenced blocks: bin/condorg q -agent ... -limit 20
+	argRe := regexp.MustCompile(`\s-([a-z][a-z0-9-]*)`)
+	for _, line := range strings.Split(string(doc), "\n") {
+		if !strings.Contains(line, "condorg ") {
+			continue
+		}
+		for _, m := range argRe.FindAllStringSubmatch(line, -1) {
+			flags[m[1]] = true
+		}
+	}
+	if len(flags) < 12 {
+		t.Fatalf("only found %d documented flags — did the doc format change?", len(flags))
+	}
+
+	for name := range flags {
+		if goToolFlags[name] {
+			continue
+		}
+		// Flag registrations look like fs.String("listen", ...).
+		reg := fmt.Sprintf("(%q,", name)
+		if !strings.Contains(string(src), reg) {
+			t.Errorf("docs/OPERATIONS.md documents -%s but cmd/condorg/main.go does not register it", name)
+		}
+	}
+}
+
+// TestReadmeLinksOperationsDoc: the operator guide is reachable from the
+// front page.
+func TestReadmeLinksOperationsDoc(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readme), "docs/OPERATIONS.md") {
+		t.Fatal("README.md does not link docs/OPERATIONS.md")
+	}
+}

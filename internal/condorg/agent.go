@@ -80,6 +80,29 @@ type FaultOptions struct {
 	// Callback injects failures into the agent's callback server (lost
 	// or delayed JobManager status callbacks — §4.2 experiments).
 	Callback *wire.Faults
+	// GASS injects failures into the agent's spool server, which sites
+	// pull staging data from — mid-transfer resets and WAN delay for the
+	// staging experiments.
+	GASS *wire.Faults
+}
+
+// StageOptions tunes the chunked executable pre-staging data plane. When
+// enabled (the default), the GridManager pushes each job's executable to
+// its site through the gatekeeper's content-addressed cache before the
+// GRAM submit: shared binaries transfer once per site, and interrupted
+// transfers resume from the last site-acked offset journaled in the job
+// record.
+type StageOptions struct {
+	// ChunkSize is the transfer unit in bytes (default 64 KiB).
+	ChunkSize int
+	// Streams caps concurrent chunk RPCs per site, across all of the
+	// owner's staging jobs. It composes with Pipeline.PerSiteInFlight: a
+	// staging task occupies one pipeline slot while its chunk streams
+	// share this cap (default 4).
+	Streams int
+	// Disabled turns pre-staging off: sites pull the whole executable
+	// through GASS at commit time, serially, as before.
+	Disabled bool
 }
 
 // ObsOptions configures the observability layer.
@@ -114,6 +137,8 @@ type AgentConfig struct {
 	Retry RetryOptions
 	// Pipeline sizes the per-site submission pipelines.
 	Pipeline PipelineOptions
+	// Stage tunes chunked executable pre-staging.
+	Stage StageOptions
 	// Breaker tunes the per-site circuit breakers inside each
 	// GridManager's GRAM client (zero value = faultclass defaults).
 	Breaker faultclass.BreakerConfig
@@ -148,6 +173,10 @@ func DefaultAgentConfig() AgentConfig {
 		Pipeline: PipelineOptions{
 			PerSiteInFlight: 4,
 			MaxInFlight:     64,
+		},
+		Stage: StageOptions{
+			ChunkSize: 64 << 10,
+			Streams:   4,
 		},
 	}
 }
@@ -225,6 +254,12 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Pipeline.MaxInFlight <= 0 {
 		cfg.Pipeline.MaxInFlight = 64
 	}
+	if cfg.Stage.ChunkSize <= 0 {
+		cfg.Stage.ChunkSize = 64 << 10
+	}
+	if cfg.Stage.Streams <= 0 {
+		cfg.Stage.Streams = 4
+	}
 	a := &Agent{
 		cfg:        cfg,
 		jobs:       make(map[string]*jobRecord),
@@ -258,7 +293,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		return nil, err
 	}
 	a.store = store
-	gassS, err := gass.NewServer(filepath.Join(cfg.StateDir, "spool"), gass.ServerOptions{})
+	gassS, err := gass.NewServer(filepath.Join(cfg.StateDir, "spool"), gass.ServerOptions{Faults: cfg.Faults.GASS})
 	if err != nil {
 		store.Close()
 		return nil, err
@@ -746,14 +781,17 @@ func (a *Agent) PipelineHealth() []CtlSiteHealth {
 	var out []CtlSiteHealth
 	for _, m := range managers {
 		queued, inflight, _ := m.gm.pipelineStats()
+		stageHits, stageMisses := m.gm.stageStats()
 		for addr, bi := range m.gm.gram.HealthSnapshot() {
 			out = append(out, CtlSiteHealth{
-				Owner:    m.owner,
-				Site:     addr,
-				Breaker:  bi.State.String(),
-				Fails:    bi.Fails,
-				Queued:   queued[addr],
-				InFlight: inflight[addr],
+				Owner:       m.owner,
+				Site:        addr,
+				Breaker:     bi.State.String(),
+				Fails:       bi.Fails,
+				Queued:      queued[addr],
+				InFlight:    inflight[addr],
+				StageHits:   stageHits[addr],
+				StageMisses: stageMisses[addr],
 			})
 			delete(queued, addr)
 		}
@@ -764,6 +802,7 @@ func (a *Agent) PipelineHealth() []CtlSiteHealth {
 				Owner: m.owner, Site: addr,
 				Breaker: m.gm.gram.SiteHealth(addr).String(),
 				Queued:  n, InFlight: inflight[addr],
+				StageHits: stageHits[addr], StageMisses: stageMisses[addr],
 			})
 		}
 	}
@@ -830,7 +869,10 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 
 	execURL := a.gassS.URLFor(filepath.Join("jobs", id, "executable"))
 	if err := a.stage.WriteFile(execURL, req.Executable); err != nil {
-		return "", fmt.Errorf("condorg: stage executable: %w", err)
+		// A loopback spool write failing is a local hiccup, not a verdict
+		// on the job: classify Transient so callers retry instead of
+		// surfacing an unclassified error.
+		return "", faultclass.New(faultclass.Transient, fmt.Errorf("condorg: stage executable: %w", err))
 	}
 	spec := gram.JobSpec{
 		Executable: execURL.String(),
@@ -845,7 +887,7 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 	if req.Stdin != nil {
 		stdinURL := a.gassS.URLFor(filepath.Join("jobs", id, "stdin"))
 		if err := a.stage.WriteFile(stdinURL, req.Stdin); err != nil {
-			return "", fmt.Errorf("condorg: stage stdin: %w", err)
+			return "", faultclass.New(faultclass.Transient, fmt.Errorf("condorg: stage stdin: %w", err))
 		}
 		spec.Stdin = stdinURL.String()
 	}
@@ -856,6 +898,12 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 		},
 		SubmissionID: gram.NewSubmissionID(),
 		Spec:         spec,
+	}
+	if !a.cfg.Stage.Disabled {
+		// Content-address the executable: the hash keys the per-site cache
+		// and drives the pre-stage task (resume offsets journal in Stage).
+		rec.Spec.ExecutableHash = gram.HashExecutable(req.Executable)
+		rec.Stage = StageInfo{Hash: rec.Spec.ExecutableHash, Total: int64(len(req.Executable))}
 	}
 	a.mu.Lock()
 	a.jobs[id] = rec

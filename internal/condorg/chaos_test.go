@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"condorg/internal/gram"
 	"condorg/internal/lrm"
 	"condorg/internal/obs"
+	"condorg/internal/wire"
 )
 
 // chaosRuntime counts COMPLETED executions per job key (args[0]): a run
@@ -43,19 +45,20 @@ func chaosRuntime(mu *sync.Mutex, completions map[string]int) *gram.FuncRuntime 
 	return rt
 }
 
-func newChaosSite(t *testing.T, name string, rt *gram.FuncRuntime, stateDir, addr string) *gram.Site {
+func newChaosSite(t *testing.T, name string, rt *gram.FuncRuntime, stateDir, addr string, faults *wire.Faults) *gram.Site {
 	t.Helper()
 	cluster, err := lrm.NewCluster(lrm.Config{Name: name, Cpus: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	site, err := gram.NewSite(gram.SiteConfig{
-		Name:           name,
-		Cluster:        cluster,
-		Runtime:        rt,
-		StateDir:       stateDir,
-		CommitTimeout:  2 * time.Second,
-		GatekeeperAddr: addr,
+		Name:             name,
+		Cluster:          cluster,
+		Runtime:          rt,
+		StateDir:         stateDir,
+		CommitTimeout:    2 * time.Second,
+		GatekeeperAddr:   addr,
+		GatekeeperFaults: faults,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -67,6 +70,7 @@ func newChaosSite(t *testing.T, name string, rt *gram.FuncRuntime, stateDir, add
 type chaosSite struct {
 	name, addr, dir string
 	site            *gram.Site
+	faults          *wire.Faults
 	partitioned     bool
 	gkDown          bool
 }
@@ -85,9 +89,16 @@ func runChaosSeed(t *testing.T, seed int64) {
 	const nSites = 2
 	sites := make([]*chaosSite, nSites)
 	var gks []string
+	// Tear every fifth stage-chunk RESPONSE mid-frame: the site keeps the
+	// bytes, the agent sees a transport error, and the resume protocol has
+	// to reconcile — exactly the torn-ack hazard of a real WAN.
+	var stageResets atomic.Int64
 	for i := range sites {
-		s := &chaosSite{name: fmt.Sprintf("chaos%d", i), dir: t.TempDir()}
-		s.site = newChaosSite(t, s.name, rt, s.dir, "")
+		s := &chaosSite{name: fmt.Sprintf("chaos%d", i), dir: t.TempDir(), faults: &wire.Faults{}}
+		s.faults.SetConn(nil, nil, func(m string) bool {
+			return m == "gram.stage-chunk" && stageResets.Add(1)%5 == 0
+		})
+		s.site = newChaosSite(t, s.name, rt, s.dir, "", s.faults)
 		s.addr = s.site.GatekeeperAddr()
 		sites[i] = s
 		gks = append(gks, s.addr)
@@ -108,6 +119,9 @@ func runChaosSeed(t *testing.T, seed int64) {
 			// Non-default pipeline shape so the soak exercises the per-site
 			// workers with real concurrency rather than the serial fallback.
 			Pipeline: PipelineOptions{PerSiteInFlight: 3, MaxInFlight: 8},
+			// Small chunks so every staging transfer spans several
+			// stage-chunk RPCs and meets the mid-frame resets above.
+			Stage: StageOptions{ChunkSize: 4 << 10, Streams: 2},
 			Breaker: faultclass.BreakerConfig{
 				Threshold: 3,
 				BaseDelay: 30 * time.Millisecond,
@@ -128,8 +142,11 @@ func runChaosSeed(t *testing.T, seed int64) {
 	for i := range ids {
 		d := time.Duration(20+rng.Intn(120)) * time.Millisecond
 		id, err := agent.Submit(SubmitRequest{
-			Owner:      "u",
-			Executable: gram.Program("chaos"),
+			Owner: "u",
+			// Each job carries a unique multi-chunk executable, so the
+			// staging plane (check/chunk/commit, resume, per-site cache)
+			// rides through every event in the schedule.
+			Executable: paddedProgram("chaos", 24<<10, byte('a'+i)),
 			Args:       []string{fmt.Sprintf("j%d", i), d.String()},
 		})
 		if err != nil {
@@ -170,7 +187,7 @@ func runChaosSeed(t *testing.T, seed int64) {
 			}
 		case 3: // full site power cycle: running jobs are lost
 			s.site.Close()
-			s.site = newChaosSite(t, s.name, rt, s.dir, s.addr)
+			s.site = newChaosSite(t, s.name, rt, s.dir, s.addr, s.faults)
 			s.partitioned, s.gkDown = false, false
 		case 4: // agent (submit machine) crash + recovery
 			if agentKills < 2 {
@@ -239,6 +256,12 @@ func runChaosSeed(t *testing.T, seed int64) {
 		if len(info.CancelPending) != 0 {
 			t.Fatalf("job %s left unacknowledged cancels: %v", id, info.CancelPending)
 		}
+		// The staging plane settled: either the push completed (possibly
+		// resuming through torn chunks) or it fell back to the pull path —
+		// never a job stuck mid-transfer.
+		if !info.Stage.Done {
+			t.Fatalf("job %s completed with staging unsettled: %+v", id, info.Stage)
+		}
 		// The trace timeline must have survived every agent kill in the
 		// schedule: consistent sequence numbers, a completion event, and
 		// one resubmit event per recorded resubmission.
@@ -252,12 +275,15 @@ func runChaosSeed(t *testing.T, seed int64) {
 			t.Fatalf("job %s completed without a %s trace event:\n%+v", id, obs.PhaseDone, tl.Events)
 		}
 		// After completion the only legitimate events are tombstone
-		// acknowledgements and connectivity noise from probes racing the
-		// terminal transition — never another lifecycle change.
+		// acknowledgements, connectivity noise from probes racing the
+		// terminal transition, and the 2PC commit ack when a very short
+		// job's completion callback outruns the submit worker's trace —
+		// never another lifecycle change.
 		for _, ev := range tl.Events[iDone+1:] {
 			switch ev.Phase {
 			case obs.PhaseCancelAck, obs.PhaseDone, obs.PhaseDisconnect,
-				obs.PhaseReconnect, obs.PhaseJMRestart, obs.PhaseRecover:
+				obs.PhaseReconnect, obs.PhaseJMRestart, obs.PhaseRecover,
+				obs.PhaseCommit:
 			default:
 				t.Fatalf("job %s has %q trace event after completion:\n%+v", id, ev.Phase, tl.Events)
 			}

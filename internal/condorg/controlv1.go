@@ -129,6 +129,10 @@ type CtlSiteHealth struct {
 	Fails    int    `json:"fails,omitempty"`
 	Queued   int    `json:"queued"`
 	InFlight int    `json:"in_flight"`
+	// StageHits and StageMisses count the site's executable-cache
+	// outcomes as seen by this owner's staging tasks.
+	StageHits   int `json:"stage_hits,omitempty"`
+	StageMisses int `json:"stage_misses,omitempty"`
 }
 
 // CtlHealthResp is the per-site health listing.

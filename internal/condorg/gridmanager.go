@@ -30,6 +30,12 @@ type GridManager struct {
 	workers     map[string]*siteWorker
 	cancelBusy  map[string]bool // tombstone retries queued or running
 	outstanding int             // tasks queued + executing across all sites
+	// stageSem caps concurrent stage-chunk streams per site across all of
+	// this owner's staging tasks (AgentConfig.Stage.Streams); stageHits and
+	// stageMisses count executable-cache outcomes per site for health.
+	stageSem    map[string]chan struct{}
+	stageHits   map[string]int
+	stageMisses map[string]int
 	finished    bool
 	stopCh      chan struct{}
 	wake        chan struct{} // buffered nudge: new work or a state change
@@ -43,8 +49,11 @@ func newGridManager(a *Agent, owner string) *GridManager {
 		owner:      owner,
 		gram:       gram.NewClient(a.cfg.Credential, a.cfg.Clock),
 		perSite:    a.cfg.Pipeline.PerSiteInFlight,
-		workers:    make(map[string]*siteWorker),
-		cancelBusy: make(map[string]bool),
+		workers:     make(map[string]*siteWorker),
+		cancelBusy:  make(map[string]bool),
+		stageSem:    make(map[string]chan struct{}),
+		stageHits:   make(map[string]int),
+		stageMisses: make(map[string]int),
 		stopCh:     make(chan struct{}),
 		wake:       make(chan struct{}, 1),
 	}
@@ -430,6 +439,9 @@ func (gm *GridManager) maybeMigrate(rec *jobRecord, st gram.StatusInfo) {
 	rec.Contact = gram.JobContact{}
 	rec.SubmissionID = gram.NewSubmissionID()
 	rec.PendingSince = time.Time{}
+	// The new site has none of our bytes: restart staging from zero (the
+	// destination's cache may still short-circuit the transfer).
+	rec.Stage = StageInfo{Hash: rec.Stage.Hash, Total: rec.Stage.Total}
 	n := rec.Migrations
 	gm.agent.traceLocked(rec, obs.PhaseMigrate, "",
 		fmt.Sprintf("queued too long at %s; migration %d", currentSite, n))
@@ -500,6 +512,7 @@ func (gm *GridManager) maybeResubmit(rec *jobRecord, st gram.StatusInfo) {
 	oldContact := rec.Contact
 	rec.Contact = gram.JobContact{}
 	rec.SubmissionID = gram.NewSubmissionID()
+	rec.Stage = StageInfo{Hash: rec.Stage.Hash, Total: rec.Stage.Total}
 	if gm.agent.cfg.Selector != nil {
 		if site, err := selectSite(gm.agent.cfg.Selector, SubmitRequest{Owner: rec.Owner}, gm.healthView()); err == nil {
 			rec.Site = site

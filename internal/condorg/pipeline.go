@@ -34,6 +34,7 @@ const (
 	taskRecover                 // re-verify a job recovered with a contact
 	taskProbe                   // §4.2 liveness probe of one job
 	taskCancel                  // retry one cancel tombstone
+	taskStage                   // chunked executable pre-stage to the site
 )
 
 func (k taskKind) String() string {
@@ -46,6 +47,8 @@ func (k taskKind) String() string {
 		return "probe"
 	case taskCancel:
 		return "cancel"
+	case taskStage:
+		return "stage"
 	}
 	return "unknown"
 }
@@ -153,6 +156,8 @@ func (gm *GridManager) runTask(t gmTask) {
 		gm.probeJob(t.rec)
 	case taskCancel:
 		gm.cancelOldCopy(t.rec, t.contact)
+	case taskStage:
+		gm.stageJob(t.rec)
 	}
 }
 
@@ -206,10 +211,17 @@ func (gm *GridManager) dispatchPending() {
 			}
 			probed[site] = true
 		}
+		// A job whose executable has not reached the site yet stages first:
+		// staging is a first-class task, so breaker parking and half-open
+		// probe gating above apply to transfers exactly as to submits.
+		kind := taskSubmit
+		if !gm.agent.cfg.Stage.Disabled && rec.Stage.Hash != "" && !rec.Stage.Done {
+			kind = taskStage
+		}
 		rec.opBusy = true
-		gm.agent.traceLocked(rec, obs.PhaseDispatch, "", "queued on the "+site+" pipeline")
+		gm.agent.traceLocked(rec, obs.PhaseDispatch, "", "queued on the "+site+" pipeline ("+kind.String()+")")
 		rec.mu.Unlock()
-		gm.enqueueTask(site, gmTask{kind: taskSubmit, rec: rec})
+		gm.enqueueTask(site, gmTask{kind: kind, rec: rec})
 	}
 	if len(parked) > 0 {
 		gm.mu.Lock()

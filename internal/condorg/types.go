@@ -134,7 +134,31 @@ type JobInfo struct {
 	FinishedAt    time.Time         `json:"finished_at,omitempty"`
 	PendingSince  time.Time         `json:"pending_since,omitempty"`
 	Contact       gram.JobContact   `json:"contact"`
-	Log           []LogEvent        `json:"log"`
+	// Stage is the executable pre-staging progress for the job's current
+	// remote incarnation. Journaled with the record, so an agent crash
+	// mid-transfer resumes from the last acked offset instead of byte zero.
+	Stage StageInfo  `json:"stage,omitempty"`
+	Log   []LogEvent `json:"log"`
+}
+
+// StageInfo tracks chunked executable pre-staging to the job's site.
+type StageInfo struct {
+	// Hash is the executable's sha256 content address (also in
+	// Spec.ExecutableHash); empty when pre-staging is disabled.
+	Hash string `json:"hash,omitempty"`
+	// Total is the executable size in bytes.
+	Total int64 `json:"total,omitempty"`
+	// Offset is the site-acked contiguous prefix already transferred.
+	Offset int64 `json:"offset,omitempty"`
+	// Attempts counts staging tasks that failed before pushing the whole
+	// file; once it reaches the budget, pre-staging is abandoned and the
+	// job proceeds to submit (the site pulls the executable itself).
+	Attempts int `json:"attempts,omitempty"`
+	// Done means the site has the verified bytes (pushed or cache hit).
+	Done bool `json:"done,omitempty"`
+	// CacheHit records that the site already held the bytes, so no
+	// transfer happened for this incarnation.
+	CacheHit bool `json:"cache_hit,omitempty"`
 }
 
 // jobRecord is the internal, persisted job state.

@@ -97,8 +97,14 @@ func (c *Client) ReadAt(u URL, offset int64, maxLen int) (data []byte, eof bool,
 
 // ReadAll fetches the whole file at u.
 func (c *Client) ReadAll(u URL) ([]byte, error) {
+	return c.ReadAllFrom(u, 0)
+}
+
+// ReadAllFrom fetches the file at u starting at byte off — the resume
+// primitive: a caller that already holds the first off bytes (from an
+// interrupted ReadAll) asks only for the tail.
+func (c *Client) ReadAllFrom(u URL, off int64) ([]byte, error) {
 	var out []byte
-	var off int64
 	for {
 		data, eof, err := c.ReadAt(u, off, ChunkSize)
 		if err != nil {

@@ -1,9 +1,28 @@
 // Package gass implements the Global Access to Secondary Storage service of
 // §3.4: a small authenticated file service that Condor-G uses to stage
 // executables and stdin to remote sites and to stream stdout/stderr back to
-// the submission machine in real time. Reads are offset-based, so after a
-// crash a client can ask for "everything after byte N" — the paper's
-// "permitting a client to request resending of this data after a crash".
+// the submission machine in real time.
+//
+// # Wire framing
+//
+// The service speaks the length-prefixed JSON RPC of package wire, under
+// five operations: gass.stat, gass.read, gass.write, gass.append, and
+// gass.ping. Every payload carries a server-relative path; the server
+// confines all paths to its root directory (".." escapes are rejected).
+// Reads and writes move at most ChunkSize bytes per call, so a single RPC
+// is always small enough for the wire layer's framing and timeouts.
+//
+// # Resume contract
+//
+// Reads are offset-based: gass.read takes (path, offset, maxLen) and
+// returns (data, eof). After a crash or connection reset the client asks
+// for "everything after byte N" via ReadAllFrom — the paper's "permitting
+// a client to request resending of this data after a crash". Writes are
+// positional too (gass.write carries offset and a truncate flag on the
+// first chunk), so an interrupted upload can be re-driven idempotently.
+// GASS itself keeps no transfer state; the caller owns the offset. The
+// push-model staging plane in package gram layers journaled offsets and
+// content hashes on top of this primitive.
 //
 // A GASS URL has the form gass://host:port/relative/path.
 package gass

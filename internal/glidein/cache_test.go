@@ -1,0 +1,48 @@
+package glidein
+
+import (
+	"bytes"
+	"testing"
+
+	"condorg/internal/gridftp"
+)
+
+// TestStartdFetchCache: the second pilot on a machine reuses the cached
+// daemon payload, and publishing a new payload (different content
+// identity) busts the cache rather than resurrecting the old daemon.
+func TestStartdFetchCache(t *testing.T) {
+	repo, err := gridftp.NewServer(t.TempDir(), gridftp.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	ftp := gridftp.NewClient(nil, nil, 2)
+	defer ftp.Close()
+
+	v1 := []byte("condor_startd v6.3 payload")
+	if err := ftp.Put(repo.Addr(), StartdBlob, v1); err != nil {
+		t.Fatal(err)
+	}
+	blob, cached, err := fetchStartd(ftp, repo.Addr())
+	if err != nil || cached || !bytes.Equal(blob, v1) {
+		t.Fatalf("first fetch: cached=%v err=%v blob=%q", cached, err, blob)
+	}
+	blob, cached, err = fetchStartd(ftp, repo.Addr())
+	if err != nil || !cached || !bytes.Equal(blob, v1) {
+		t.Fatalf("second fetch: cached=%v err=%v", cached, err)
+	}
+
+	// New payload, new identity: the cache must miss.
+	v2 := []byte("condor_startd v6.4 payload with fixes")
+	if err := ftp.Put(repo.Addr(), StartdBlob, v2); err != nil {
+		t.Fatal(err)
+	}
+	blob, cached, err = fetchStartd(ftp, repo.Addr())
+	if err != nil || cached || !bytes.Equal(blob, v2) {
+		t.Fatalf("fetch after publish: cached=%v err=%v blob=%q", cached, err, blob)
+	}
+	// And the new identity is itself cached now.
+	if _, cached, _ := fetchStartd(ftp, repo.Addr()); !cached {
+		t.Fatal("new payload was not cached")
+	}
+}

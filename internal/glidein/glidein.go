@@ -6,6 +6,15 @@
 // GridFTP and then runs a Startd that registers with the user's Collector.
 // Pilots shut themselves down when their lease expires or when idle too
 // long, "guarding against runaway daemons".
+//
+// # Payload caching
+//
+// Every pilot on a machine wants the same daemon payload, so fetches are
+// cached per process, keyed by the repository's content identity
+// (addr|size|crc from ftp.Stat). The key carries the content identity,
+// not just the path: when the repository publishes a new payload the
+// stat changes, the key misses, and the next pilot fetches fresh bytes —
+// a stale cache can never resurrect an old daemon.
 package glidein
 
 import (
@@ -32,6 +41,32 @@ const BootstrapProgram = "glidein-bootstrap"
 // verification) is the point.
 const StartdBlob = "bin/condor_startd"
 
+// startdCache memoizes daemon payload fetches per process, keyed by the
+// repository's content identity ("addr|size|crc"). See the package doc.
+var startdCache sync.Map
+
+// fetchStartd returns the daemon payload from repoAddr, consulting the
+// process-wide cache first. It reports whether the bytes came from cache.
+func fetchStartd(ftp *gridftp.Client, repoAddr string) (blob []byte, cached bool, err error) {
+	size, crc, exists, err := ftp.Stat(repoAddr, StartdBlob)
+	if err != nil {
+		return nil, false, err
+	}
+	if !exists {
+		return nil, false, fmt.Errorf("glidein: %s not found on %s", StartdBlob, repoAddr)
+	}
+	key := fmt.Sprintf("%s|%d|%d", repoAddr, size, crc)
+	if v, ok := startdCache.Load(key); ok {
+		return v.([]byte), true, nil
+	}
+	blob, err = ftp.Get(repoAddr, StartdBlob)
+	if err != nil {
+		return nil, false, err
+	}
+	startdCache.Store(key, blob)
+	return blob, false, nil
+}
+
 // InstallBootstrap registers the pilot program on a site's GRAM runtime.
 // jobRuntime is the job registry glided-in slots execute from — the
 // stand-in for the executables Condor's Shadow would transfer at
@@ -47,12 +82,16 @@ func InstallBootstrap(siteRuntime *gram.FuncRuntime, jobRuntime *condor.Runtime,
 		// repository (GSI-authenticated GridFTP).
 		ftp := gridftp.NewClient(cred, clock, 2)
 		defer ftp.Close()
-		blob, err := ftp.Get(cfg.repoAddr, StartdBlob)
+		blob, cached, err := fetchStartd(ftp, cfg.repoAddr)
 		if err != nil {
 			fmt.Fprintf(stderr, "glidein: fetch binaries: %v\n", err)
 			return fmt.Errorf("glidein: fetch binaries: %w", err)
 		}
-		fmt.Fprintf(stdout, "glidein: fetched %d-byte startd payload\n", len(blob))
+		if cached {
+			fmt.Fprintf(stdout, "glidein: reused cached %d-byte startd payload\n", len(blob))
+		} else {
+			fmt.Fprintf(stdout, "glidein: fetched %d-byte startd payload\n", len(blob))
+		}
 
 		// Step 2: start the daemon and join the user's personal pool.
 		shutdown := make(chan string, 1)

@@ -326,6 +326,37 @@ func (c *Client) PingGatekeeper(addr string) error {
 	})
 }
 
+// StageCheck asks a site whether the executable with this content hash is
+// already cached, and if not, from which offset an interrupted pre-stage
+// should resume. Runs under the gatekeeper's circuit breaker like every
+// other verb, so staging work fast-fails against a dead site.
+func (c *Client) StageCheck(gkAddr, hash string) (present bool, offset int64, err error) {
+	var resp stageCheckResp
+	err = c.guard(gkAddr, "stage-check", func() error {
+		return c.gatekeeper(gkAddr).Call("gram.stage-check", stageCheckReq{Hash: hash}, &resp)
+	})
+	return resp.Present, resp.Offset, err
+}
+
+// StageChunk pushes one chunk of executable bytes at offset. The returned
+// ack is the contiguous prefix the site has on stable storage — the resume
+// point a client journals.
+func (c *Client) StageChunk(gkAddr, hash string, offset int64, data []byte) (acked int64, err error) {
+	var resp stageChunkResp
+	err = c.guard(gkAddr, "stage-chunk", func() error {
+		return c.gatekeeper(gkAddr).Call("gram.stage-chunk", stageChunkReq{Hash: hash, Offset: offset, Data: data}, &resp)
+	})
+	return resp.Acked, err
+}
+
+// StageCommit asks the site to verify the assembled bytes (size + sha256)
+// and promote them into its executable cache. Idempotent.
+func (c *Client) StageCommit(gkAddr, hash string, total int64) error {
+	return c.guard(gkAddr, "stage-commit", func() error {
+		return c.gatekeeper(gkAddr).Call("gram.stage-commit", stageCommitReq{Hash: hash, Total: total}, nil)
+	})
+}
+
 // RestartJobManager asks the Gatekeeper to start a replacement JobManager
 // for a job whose daemon died. The returned contact has the new address.
 func (c *Client) RestartJobManager(contact JobContact) (JobContact, error) {

@@ -70,6 +70,7 @@ type SiteConfig struct {
 type Site struct {
 	cfg   SiteConfig
 	store *journal.Store
+	stage *stageCache
 
 	mu      sync.Mutex
 	gk      *wire.Server
@@ -172,7 +173,12 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Site{cfg: cfg, store: store, jobs: make(map[string]*siteJob)}
+	stage, err := newStageCache(filepath.Join(cfg.StateDir, "stage-cache"))
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	s := &Site{cfg: cfg, store: store, stage: stage, jobs: make(map[string]*siteJob)}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
@@ -293,6 +299,9 @@ func (s *Site) startGatekeeper(addr string) error {
 	gk.Handle("gram.submit", s.handleSubmit)
 	gk.Handle("gram.commit", s.handleCommit)
 	gk.Handle("gram.jm-restart", s.handleJMRestart)
+	gk.Handle("gram.stage-check", s.handleStageCheck)
+	gk.Handle("gram.stage-chunk", s.handleStageChunk)
+	gk.Handle("gram.stage-commit", s.handleStageCommit)
 	s.mu.Lock()
 	s.gk = gk
 	s.gkAddr = gk.Addr()
@@ -544,26 +553,28 @@ func (s *Site) stageAndSubmit(job *siteJob) {
 	gc := gass.NewClient(cred, s.cfg.Clock)
 	defer gc.Close()
 
-	// Failures before the LRM accepts the job mean it never ran here:
-	// SiteLost, so the submitter may safely run it elsewhere.
+	// Failures before the LRM accepts the job mean it never ran here, so
+	// the submitter may safely run it elsewhere (SiteLost) — except an
+	// expired credential, which must surface as AuthExpired so the agent
+	// holds the job for a refresh instead of burning resubmissions.
 	fail := func(err error) {
 		job.mu.Lock()
 		job.status.State = StateFailed
 		job.status.Error = err.Error()
-		job.status.Fault = faultclass.SiteLost
+		job.status.Fault = stageFaultClass(err)
 		job.mu.Unlock()
 		s.persist(job)
 		s.notifyStatus(job)
 	}
 
-	execData, err := s.stageFile(gc, spec.Executable)
+	execData, err := s.stageIn(gc, spec.Executable, spec.ExecutableHash)
 	if err != nil {
 		fail(fmt.Errorf("stage-in executable: %w", err))
 		return
 	}
 	var stdin []byte
 	if spec.Stdin != "" {
-		stdin, err = s.stageFile(gc, spec.Stdin)
+		stdin, err = s.stageIn(gc, spec.Stdin, "")
 		if err != nil {
 			fail(fmt.Errorf("stage-in stdin: %w", err))
 			return
@@ -599,13 +610,81 @@ func (s *Site) stageAndSubmit(job *siteJob) {
 	go s.watchLRM(job, lrmID)
 }
 
-// stageFile fetches a GASS URL, or treats the string as inline program text
-// when it has no URL scheme (used by tests and GlideIn bootstrap).
-func (s *Site) stageFile(gc *gass.Client, ref string) ([]byte, error) {
-	if u, err := gass.ParseURL(ref); err == nil {
-		return gc.ReadAll(u)
+// stageFaultClass classifies a stage-in failure. AuthExpired passes
+// through (the client must refresh its proxy — resubmitting elsewhere with
+// the same dead credential cannot help); everything else is SiteLost, since
+// the job never reached this site's LRM.
+func stageFaultClass(err error) faultclass.Class {
+	if faultclass.ClassOf(err) == faultclass.AuthExpired {
+		return faultclass.AuthExpired
 	}
-	return []byte(ref), nil
+	return faultclass.SiteLost
+}
+
+// stageIn fetches a GASS URL through the site's content-addressed
+// executable cache, or treats the string as inline program text when it has
+// no URL scheme (used by tests and GlideIn bootstrap). A non-empty hash is
+// the sha256 content address: a cache hit skips the transfer entirely, and
+// a miss verifies the pulled bytes against the hash before caching them, so
+// a job can never poison the cache entry of another program that shares its
+// name.
+func (s *Site) stageIn(gc *gass.Client, ref, hash string) ([]byte, error) {
+	u, err := gass.ParseURL(ref)
+	if err != nil {
+		return []byte(ref), nil
+	}
+	if hash != "" {
+		if data, ok := s.stage.get(hash); ok {
+			s.stage.hits.Add(1)
+			return data, nil
+		}
+		s.stage.misses.Add(1)
+	}
+	data, err := s.pullResumable(gc, u)
+	if err != nil {
+		return nil, err
+	}
+	if hash != "" {
+		if got := HashExecutable(data); got != hash {
+			return nil, fmt.Errorf("gram: staged bytes hash %s, client claimed %s", got[:12], hash[:12])
+		}
+		// Best-effort: a full cache disk never fails the job.
+		_ = s.stage.put(hash, data)
+	}
+	return data, nil
+}
+
+// pullResumable reads a whole GASS file, preserving the byte offset across
+// transport errors: a connection reset mid-transfer resumes from the last
+// received chunk instead of restarting from zero. Remote application errors
+// (the server answered; retrying cannot change the answer) return
+// immediately.
+func (s *Site) pullResumable(gc *gass.Client, u gass.URL) ([]byte, error) {
+	const maxAttempts = 8
+	var out []byte
+	var off int64
+	attempts := 0
+	for {
+		data, eof, err := gc.ReadAt(u, off, gass.ChunkSize)
+		if err != nil {
+			if wire.IsRemote(err) {
+				return nil, err
+			}
+			attempts++
+			if attempts >= maxAttempts {
+				return nil, err
+			}
+			gc.Forget(u.Addr)
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		attempts = 0
+		out = append(out, data...)
+		off += int64(len(data))
+		if eof || len(data) == 0 {
+			return out, nil
+		}
+	}
 }
 
 // watchLRM polls the LRM for terminal state and mirrors transitions into

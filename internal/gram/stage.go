@@ -1,0 +1,336 @@
+package gram
+
+// The staging data plane's site half: a content-addressed executable cache
+// plus the chunked, resumable pre-stage protocol the GridManager pushes
+// through (gram.stage-check / stage-chunk / stage-commit).
+//
+// Cache layout under StateDir/stage-cache:
+//
+//	objects/<sha256>       completed files, verified before rename
+//	partial/<sha256>.part  in-flight upload, chunks written at any offset
+//	partial/<sha256>.off   persisted contiguous acked offset
+//
+// Resume contract: stage-chunk is idempotent and accepts chunks at any
+// offset; the server acknowledges the longest contiguous prefix written
+// from zero. The .off sidecar persists that ack, so a client that crashed
+// (or whose connection was reset mid-chunk) asks stage-check where to
+// resume and re-sends only the unacked tail. A crash can forget
+// out-of-order chunks beyond the ack — re-sending them is safe, and the
+// final sha256 verification at stage-commit is the authority on content.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// HashExecutable returns the content address (sha256, lowercase hex) of an
+// executable blob — the key of the per-site stage cache.
+func HashExecutable(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// validHash guards the cache against path traversal: hashes are exactly 64
+// lowercase hex characters and nothing else reaches the filesystem.
+func validHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// stagePart tracks one in-flight partial upload: the written byte ranges
+// (merged intervals) and the contiguous acked prefix.
+type stagePart struct {
+	acked  int64
+	ranges [][2]int64 // sorted, disjoint written ranges beyond acked
+}
+
+// advance folds a newly written [off, end) range in and returns the new
+// contiguous ack.
+func (p *stagePart) advance(off, end int64) int64 {
+	p.ranges = append(p.ranges, [2]int64{off, end})
+	sort.Slice(p.ranges, func(i, j int) bool { return p.ranges[i][0] < p.ranges[j][0] })
+	merged := p.ranges[:0]
+	for _, r := range p.ranges {
+		if n := len(merged); n > 0 && r[0] <= merged[n-1][1] {
+			if r[1] > merged[n-1][1] {
+				merged[n-1][1] = r[1]
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	p.ranges = merged
+	for len(p.ranges) > 0 && p.ranges[0][0] <= p.acked {
+		if p.ranges[0][1] > p.acked {
+			p.acked = p.ranges[0][1]
+		}
+		p.ranges = p.ranges[1:]
+	}
+	return p.acked
+}
+
+// stageCache is the site's content-addressed executable store.
+type stageCache struct {
+	root string
+
+	mu    sync.Mutex
+	parts map[string]*stagePart
+
+	bytesReceived atomic.Int64 // chunk payload bytes accepted over the wire
+	hits          atomic.Int64 // committed jobs served from the cache
+	misses        atomic.Int64 // committed jobs that had to pull
+}
+
+func newStageCache(root string) (*stageCache, error) {
+	for _, d := range []string{filepath.Join(root, "objects"), filepath.Join(root, "partial")} {
+		if err := os.MkdirAll(d, 0o700); err != nil {
+			return nil, err
+		}
+	}
+	return &stageCache{root: root, parts: make(map[string]*stagePart)}, nil
+}
+
+func (c *stageCache) objectPath(hash string) string {
+	return filepath.Join(c.root, "objects", hash)
+}
+
+func (c *stageCache) partPath(hash string) string {
+	return filepath.Join(c.root, "partial", hash+".part")
+}
+
+func (c *stageCache) offPath(hash string) string {
+	return filepath.Join(c.root, "partial", hash+".off")
+}
+
+// get returns the cached bytes for hash, if complete.
+func (c *stageCache) get(hash string) ([]byte, bool) {
+	if !validHash(hash) {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.objectPath(hash))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// put stores verified bytes under their hash (atomic via temp + rename).
+func (c *stageCache) put(hash string, data []byte) error {
+	if !validHash(hash) {
+		return fmt.Errorf("gram: bad stage hash %q", hash)
+	}
+	dst := c.objectPath(hash)
+	if _, err := os.Stat(dst); err == nil {
+		return nil // already cached
+	}
+	tmp := dst + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o700); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// part returns (loading persisted state if needed) the in-flight partial
+// for hash. Caller holds c.mu.
+func (c *stageCache) partLocked(hash string) *stagePart {
+	if p, ok := c.parts[hash]; ok {
+		return p
+	}
+	p := &stagePart{}
+	// A .off sidecar from a previous incarnation resumes the ack; the
+	// bytes beyond it in the .part file are untrusted and re-sent.
+	if raw, err := os.ReadFile(c.offPath(hash)); err == nil {
+		if off, err := strconv.ParseInt(strings.TrimSpace(string(raw)), 10, 64); err == nil && off > 0 {
+			if fi, err := os.Stat(c.partPath(hash)); err == nil && off <= fi.Size() {
+				p.acked = off
+			}
+		}
+	}
+	c.parts[hash] = p
+	return p
+}
+
+// check reports whether hash is complete, and otherwise where to resume.
+func (c *stageCache) check(hash string) (present bool, offset int64) {
+	if _, err := os.Stat(c.objectPath(hash)); err == nil {
+		return true, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return false, c.partLocked(hash).acked
+}
+
+// write lands one chunk at off and returns the new contiguous ack.
+func (c *stageCache) write(hash string, off int64, data []byte) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := os.Stat(c.objectPath(hash)); err == nil {
+		// Already complete (a second client raced the same binary in):
+		// acknowledge everything so the sender stops.
+		return off + int64(len(data)), nil
+	}
+	p := c.partLocked(hash)
+	f, err := os.OpenFile(c.partPath(hash), os.O_CREATE|os.O_WRONLY, 0o600)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.WriteAt(data, off); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	c.bytesReceived.Add(int64(len(data)))
+	prev := p.acked
+	acked := p.advance(off, off+int64(len(data)))
+	if acked != prev {
+		// Persist the ack so a site restart resumes instead of restarting.
+		_ = os.WriteFile(c.offPath(hash), []byte(strconv.FormatInt(acked, 10)), 0o600)
+	}
+	return acked, nil
+}
+
+// commit verifies the assembled partial (size + sha256) and promotes it to
+// objects/. Idempotent; a failed verification discards the partial so the
+// next attempt restarts clean.
+func (c *stageCache) commit(hash string, total int64) error {
+	if _, err := os.Stat(c.objectPath(hash)); err == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	part := c.partPath(hash)
+	data, err := os.ReadFile(part)
+	if err != nil {
+		return fmt.Errorf("gram: stage commit %s: %w", hash[:12], err)
+	}
+	if int64(len(data)) > total {
+		data = data[:total]
+	}
+	discard := func() {
+		os.Remove(part)
+		os.Remove(c.offPath(hash))
+		delete(c.parts, hash)
+	}
+	if int64(len(data)) != total {
+		discard()
+		return fmt.Errorf("gram: stage commit %s: assembled %d bytes, expected %d", hash[:12], len(data), total)
+	}
+	if got := HashExecutable(data); got != hash {
+		discard()
+		return fmt.Errorf("gram: stage commit: content hash %s does not match claimed %s", got[:12], hash[:12])
+	}
+	if err := os.WriteFile(c.objectPath(hash)+".tmp", data, 0o700); err != nil {
+		return err
+	}
+	if err := os.Rename(c.objectPath(hash)+".tmp", c.objectPath(hash)); err != nil {
+		return err
+	}
+	discard()
+	return nil
+}
+
+// --- gatekeeper wire ops ---
+
+type stageCheckReq struct {
+	Hash string `json:"hash"`
+}
+
+type stageCheckResp struct {
+	Present bool  `json:"present"`
+	Offset  int64 `json:"offset"` // resume point when not present
+}
+
+type stageChunkReq struct {
+	Hash   string `json:"hash"`
+	Offset int64  `json:"offset"`
+	Data   []byte `json:"data"`
+}
+
+type stageChunkResp struct {
+	Acked int64 `json:"acked"` // contiguous prefix now on stable storage
+}
+
+type stageCommitReq struct {
+	Hash  string `json:"hash"`
+	Total int64  `json:"total"`
+}
+
+func (s *Site) stageAuthorize(peer, hash string) error {
+	if _, err := s.authorize(peer); err != nil {
+		return err
+	}
+	if !validHash(hash) {
+		return fmt.Errorf("gram: bad stage hash %q", hash)
+	}
+	return nil
+}
+
+func (s *Site) handleStageCheck(peer string, body json.RawMessage) (any, error) {
+	var req stageCheckReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := s.stageAuthorize(peer, req.Hash); err != nil {
+		return nil, err
+	}
+	present, off := s.stage.check(req.Hash)
+	return stageCheckResp{Present: present, Offset: off}, nil
+}
+
+func (s *Site) handleStageChunk(peer string, body json.RawMessage) (any, error) {
+	var req stageChunkReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := s.stageAuthorize(peer, req.Hash); err != nil {
+		return nil, err
+	}
+	acked, err := s.stage.write(req.Hash, req.Offset, req.Data)
+	if err != nil {
+		return nil, err
+	}
+	return stageChunkResp{Acked: acked}, nil
+}
+
+func (s *Site) handleStageCommit(peer string, body json.RawMessage) (any, error) {
+	var req stageCommitReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := s.stageAuthorize(peer, req.Hash); err != nil {
+		return nil, err
+	}
+	if err := s.stage.commit(req.Hash, req.Total); err != nil {
+		return nil, err
+	}
+	return struct{}{}, nil
+}
+
+// StageBytesReceived reports the chunk payload bytes this site has accepted
+// through the stage plane — the regression tests' re-sent-byte meter.
+func (s *Site) StageBytesReceived() int64 { return s.stage.bytesReceived.Load() }
+
+// StageCacheStats reports executable-cache hits and misses for committed
+// jobs at this site.
+func (s *Site) StageCacheStats() (hits, misses int64) {
+	return s.stage.hits.Load(), s.stage.misses.Load()
+}

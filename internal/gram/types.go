@@ -85,6 +85,12 @@ type JobSpec struct {
 	// GassURLFile is the site-relative path of the URL file that tells a
 	// running job where the client's GASS server lives (§4.2).
 	GassURLFile string `json:"gass_url_file,omitempty"`
+	// ExecutableHash is the sha256 (lowercase hex) of the staged executable
+	// bytes. When set it keys the site's content-addressed executable
+	// cache: a committed job whose hash is already cached skips the GASS
+	// pull entirely, and a client may pre-stage the bytes through the
+	// stage.check/chunk/commit gatekeeper ops before submitting.
+	ExecutableHash string `json:"executable_hash,omitempty"`
 }
 
 // JobContact identifies a submitted job: the JobManager's address plus the

@@ -1,0 +1,140 @@
+package gridftp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"condorg/internal/wire"
+)
+
+// TestDownloadFresh: a clean resumable download equals the remote bytes
+// and leaves no journal files behind.
+func TestDownloadFresh(t *testing.T) {
+	s, c := newPair(t)
+	payload := randBytes(2*ChunkSize + 100)
+	if err := c.Put(s.Addr(), "repo/blob", payload); err != nil {
+		t.Fatal(err)
+	}
+	local := filepath.Join(t.TempDir(), "dl", "blob")
+	resumed, err := c.Download(s.Addr(), "repo/blob", local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 0 {
+		t.Fatalf("fresh download resumed from %d", resumed)
+	}
+	got, err := os.ReadFile(local)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("downloaded %d bytes, err=%v", len(got), err)
+	}
+	for _, leftover := range []string{local + ".part", local + ".meta"} {
+		if _, err := os.Stat(leftover); err == nil {
+			t.Fatalf("%s left behind after a completed download", leftover)
+		}
+	}
+}
+
+// TestDownloadResumesAfterFailure: an interrupted download leaves its
+// journal; the retry continues from the acknowledged byte and fetches only
+// the missing tail.
+func TestDownloadResumesAfterFailure(t *testing.T) {
+	var faults wire.Faults
+	s, err := NewServer(t.TempDir(), ServerOptions{Faults: &faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(nil, nil, 2)
+	defer c.Close()
+	payload := randBytes(3 * ChunkSize)
+	if err := c.Put(s.Addr(), "repo/big", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let two chunks through, then reset every ftp.get until healed. The
+	// hook keeps counting after the heal so the retry's reads are metered.
+	var gets atomic.Int64
+	var healed atomic.Bool
+	faults.SetConn(nil, nil, func(m string) bool {
+		if m != "ftp.get" {
+			return false
+		}
+		n := gets.Add(1)
+		return !healed.Load() && n > 2
+	})
+	local := filepath.Join(t.TempDir(), "big")
+	if _, err := c.Download(s.Addr(), "repo/big", local); err == nil {
+		t.Fatal("download succeeded despite resets")
+	}
+	if _, err := os.Stat(local + ".meta"); err != nil {
+		t.Fatalf("no journal after interrupted download: %v", err)
+	}
+
+	healed.Store(true)
+	getsBefore := gets.Load()
+	resumed, err := c.Download(s.Addr(), "repo/big", local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 2*ChunkSize {
+		t.Fatalf("resumed from %d, want %d", resumed, 2*ChunkSize)
+	}
+	// Only the missing chunk moved.
+	if moved := gets.Load() - getsBefore; moved != 1 {
+		t.Fatalf("retry fetched %d chunks, want 1", moved)
+	}
+	got, err := os.ReadFile(local)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("resumed download corrupted (%d bytes, err=%v)", len(got), err)
+	}
+}
+
+// TestDownloadInvalidatesStaleJournal: partial progress against an old
+// version of the remote file is discarded when the remote changes — the
+// sidecar's (size, CRC) identity no longer matches, so the copy restarts
+// and yields the new content.
+func TestDownloadInvalidatesStaleJournal(t *testing.T) {
+	var faults wire.Faults
+	s, err := NewServer(t.TempDir(), ServerOptions{Faults: &faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(nil, nil, 2)
+	defer c.Close()
+	v1 := randBytes(3 * ChunkSize)
+	if err := c.Put(s.Addr(), "repo/rolling", v1); err != nil {
+		t.Fatal(err)
+	}
+
+	var gets atomic.Int64
+	faults.SetConn(nil, nil, func(m string) bool {
+		return m == "ftp.get" && gets.Add(1) > 1
+	})
+	local := filepath.Join(t.TempDir(), "rolling")
+	if _, err := c.Download(s.Addr(), "repo/rolling", local); err == nil {
+		t.Fatal("download succeeded despite resets")
+	}
+	faults.Clear()
+
+	// The repository publishes a new version; the journaled v1 progress
+	// must not leak into the v2 file.
+	v2 := append(randBytes(2*ChunkSize), []byte("v2")...)
+	if err := c.Put(s.Addr(), "repo/rolling", v2); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := c.Download(s.Addr(), "repo/rolling", local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 0 {
+		t.Fatalf("stale journal was honored: resumed from %d", resumed)
+	}
+	got, err := os.ReadFile(local)
+	if err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("download after version change corrupted (%d bytes, err=%v)", len(got), err)
+	}
+}

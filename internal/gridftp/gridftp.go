@@ -5,6 +5,25 @@
 // transferred via GridFTP to a data repository at NCSA", §6). Unlike GASS
 // (random access, streaming appends), GridFTP moves whole files with
 // parallel streams and end-to-end checksums.
+//
+// # Wire framing
+//
+// The service speaks the length-prefixed JSON RPC of package wire under
+// four operations: ftp.stat (size + CRC-32), ftp.get (ranged read of at
+// most ChunkSize bytes), ftp.put (positional write into a .part staging
+// file; the final chunk carries Commit with the expected total and CRC,
+// and the server verifies both before renaming the file into place), and
+// ftp.list. Paths are confined to the server root.
+//
+// # Resume contract
+//
+// Get and Put re-drive whole files. Download is the resumable variant:
+// it journals progress in a .part file plus a JSON sidecar recording the
+// remote file's identity (size, CRC-32) and the contiguous byte count
+// already on disk, so an interrupted copy continues from the last
+// acknowledged byte. The coherence rule: a sidecar whose identity no
+// longer matches the remote file is discarded and the copy restarts —
+// partial progress is only valid against the exact bytes it came from.
 package gridftp
 
 import (
@@ -357,6 +376,90 @@ func (c *Client) Get(addr, path string) ([]byte, error) {
 		return nil, errors.New("gridftp: download checksum mismatch")
 	}
 	return data, nil
+}
+
+// downloadMeta is the sidecar journal of a resumable Download: the remote
+// file's identity (size, CRC-32) and the count of contiguous bytes already
+// written to the .part file.
+type downloadMeta struct {
+	Size  int64  `json:"size"`
+	CRC   uint32 `json:"crc"`
+	Acked int64  `json:"acked"`
+}
+
+// Download copies the remote file at addr:path to localPath, journaling
+// progress in localPath+".part" and a ".meta" sidecar so an interrupted
+// copy resumes from the last acknowledged byte instead of zero. A sidecar
+// recorded against a different remote (size, CRC) is discarded and the
+// copy restarts clean. Returns the offset the transfer resumed from
+// (0 for a fresh download).
+func (c *Client) Download(addr, path, localPath string) (resumedFrom int64, err error) {
+	size, wantCRC, exists, err := c.Stat(addr, path)
+	if err != nil {
+		return 0, err
+	}
+	if !exists {
+		return 0, fmt.Errorf("gridftp: %s not found on %s", path, addr)
+	}
+	if err := os.MkdirAll(filepath.Dir(localPath), 0o700); err != nil {
+		return 0, err
+	}
+	part, meta := localPath+".part", localPath+".meta"
+	var off int64
+	if raw, rerr := os.ReadFile(meta); rerr == nil {
+		var m downloadMeta
+		if json.Unmarshal(raw, &m) == nil && m.Size == size && m.CRC == wantCRC && m.Acked > 0 {
+			if st, serr := os.Stat(part); serr == nil && st.Size() >= m.Acked {
+				off = m.Acked
+			}
+		}
+	}
+	resumedFrom = off
+	f, err := os.OpenFile(part, os.O_CREATE|os.O_WRONLY, 0o700)
+	if err != nil {
+		return resumedFrom, err
+	}
+	defer f.Close()
+	if off == 0 {
+		if err := f.Truncate(0); err != nil {
+			return resumedFrom, err
+		}
+	}
+	for off < size {
+		n := ChunkSize
+		if rem := size - off; rem < int64(n) {
+			n = int(rem)
+		}
+		var resp getResp
+		if err := c.conn(addr).Call("ftp.get", getReq{Path: path, Offset: off, Len: n}, &resp); err != nil {
+			return resumedFrom, err
+		}
+		if len(resp.Data) == 0 {
+			return resumedFrom, fmt.Errorf("gridftp: short read at offset %d of %s", off, path)
+		}
+		if _, err := f.WriteAt(resp.Data, off); err != nil {
+			return resumedFrom, err
+		}
+		off += int64(len(resp.Data))
+		m, _ := json.Marshal(downloadMeta{Size: size, CRC: wantCRC, Acked: off})
+		if err := os.WriteFile(meta, m, 0o600); err != nil {
+			return resumedFrom, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return resumedFrom, err
+	}
+	data, err := os.ReadFile(part)
+	if err != nil {
+		return resumedFrom, err
+	}
+	if int64(len(data)) != size || crc32.ChecksumIEEE(data) != wantCRC {
+		os.Remove(part)
+		os.Remove(meta)
+		return resumedFrom, errors.New("gridftp: download checksum mismatch")
+	}
+	os.Remove(meta)
+	return resumedFrom, os.Rename(part, localPath)
 }
 
 // Put uploads data to a remote path with parallel streams; the server

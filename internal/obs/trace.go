@@ -26,6 +26,7 @@ const (
 	PhaseJMRestart   = "jm-restart"   // gatekeeper restarted the job manager
 	PhaseRecover     = "recover"      // agent restart reloaded this job
 	PhaseCancelAck   = "cancel-ack"   // site acknowledged a cancel tombstone
+	PhaseStage       = "stage"        // executable pre-staging progress (resume offsets in Detail)
 )
 
 // TraceEvent is one entry of a job's lifecycle timeline.
