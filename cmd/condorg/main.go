@@ -129,6 +129,9 @@ func serve(args []string) {
 	stageStreams := fs.Int("stage-streams", 0, "parallel chunk streams per site during staging (0 = default 4)")
 	noStage := fs.Bool("no-stage", false, "disable executable pre-staging; sites pull executables over GASS")
 	noMetrics := fs.Bool("no-metrics", false, "disable the metric registry (tracing stays on)")
+	batchMaxJobs := fs.Int("batch-max-jobs", 0, "max jobs coalesced into one batch wire frame; 1 disables batching (0 = default 32)")
+	batchMaxDelay := fs.Duration("batch-max-delay", 0, "linger after the first drained submit so trailing jobs join the batch (0 = send immediately)")
+	wireCodec := fs.String("wire-codec", "", "wire frame codec offered at handshake: binary or json (default binary)")
 	fs.Parse(args)
 
 	var selector condorg.Selector
@@ -165,6 +168,9 @@ func serve(args []string) {
 	cfg.Stage.Streams = *stageStreams
 	cfg.Stage.Disabled = *noStage
 	cfg.Obs.Disabled = *noMetrics
+	cfg.Batch.MaxJobs = *batchMaxJobs
+	cfg.Batch.MaxDelay = *batchMaxDelay
+	cfg.Wire.Codec = *wireCodec
 	agent, err := condorg.NewAgent(cfg)
 	if err != nil {
 		log.Fatal(err)

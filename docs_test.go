@@ -58,6 +58,36 @@ func TestOperationsDocMatchesCLI(t *testing.T) {
 	}
 }
 
+// TestWireFlagsDocumented guards the reverse direction for the wire-v2
+// serve flags: each must be registered by the CLI *and* documented in the
+// operator guide (the generic test above only catches doc→CLI drift).
+func TestWireFlagsDocumented(t *testing.T) {
+	doc, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile("cmd/condorg/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"batch-max-jobs", "batch-max-delay", "wire-codec"} {
+		if !strings.Contains(string(src), fmt.Sprintf("(%q,", name)) {
+			t.Errorf("cmd/condorg/main.go does not register -%s", name)
+		}
+		if !strings.Contains(string(doc), "`-"+name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document -%s", name)
+		}
+	}
+	// And the design doc must keep describing the protocol they configure.
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(design), "Wire protocol v2") {
+		t.Error("DESIGN.md lost its Wire protocol v2 section")
+	}
+}
+
 // TestReadmeLinksOperationsDoc: the operator guide is reachable from the
 // front page.
 func TestReadmeLinksOperationsDoc(t *testing.T) {

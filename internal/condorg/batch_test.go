@@ -1,0 +1,256 @@
+package condorg
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"condorg/internal/faultclass"
+	"condorg/internal/gram"
+	"condorg/internal/wire"
+)
+
+// methodCounter counts dispatched RPCs per method through the wire fault
+// Delay hook (zero delay, so it observes without perturbing).
+type methodCounter struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func newMethodCounter(faults *wire.Faults) *methodCounter {
+	mc := &methodCounter{counts: map[string]int{}}
+	faults.SetDelay(func(method string) time.Duration {
+		mc.mu.Lock()
+		mc.counts[method]++
+		mc.mu.Unlock()
+		return 0
+	})
+	return mc
+}
+
+func (mc *methodCounter) get(method string) int {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.counts[method]
+}
+
+func (mc *methodCounter) reset() {
+	mc.mu.Lock()
+	mc.counts = map[string]int{}
+	mc.mu.Unlock()
+}
+
+// The acceptance criterion for batched probing: N jobs at one site cost
+// at most ceil(N/Batch.MaxJobs) status RPCs per probe tick, all addressed
+// to the gatekeeper, with ZERO per-JobManager jm.status traffic.
+func TestBatchedProbeSweepCoalescesRPCs(t *testing.T) {
+	runs := &atomic.Int64{}
+	faults := &wire.Faults{}
+	site := newFaultySite(t, "wisc", runs, faults) // gk + jm share the hook set
+	mc := newMethodCounter(faults)
+
+	const interval = 30 * time.Millisecond
+	agent, err := NewAgent(AgentConfig{
+		StateDir: t.TempDir(),
+		Selector: StaticSelector(site.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: interval},
+		Batch:    BatchOptions{MaxJobs: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Close)
+
+	const n = 12
+	ids := make([]string, n)
+	for i := range ids {
+		id, err := agent.Submit(SubmitRequest{
+			Owner: "u", Executable: gram.Program("task"), Args: []string{"10s"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// Wait until every job holds a site contact, so each is probe-eligible.
+	deadline := time.Now().Add(8 * time.Second)
+	for {
+		have := 0
+		for _, id := range ids {
+			info, err := agent.Status(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Contact.JobID != "" {
+				have++
+			}
+		}
+		if have == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d jobs obtained contacts", have, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	mc.reset()
+	const window = 12 * interval
+	time.Sleep(window)
+
+	perJob := mc.get("jm.status")
+	batched := mc.get("jm.batch-status")
+	if perJob != 0 {
+		t.Fatalf("probe sweep issued %d per-JobManager jm.status RPCs; want 0 (all batched)", perJob)
+	}
+	if batched == 0 {
+		t.Fatal("no jm.batch-status traffic during the probe window")
+	}
+	// ceil(12/4) = 3 frames per tick; allow two ticks of scheduling slack.
+	maxTicks := int(window/interval) + 2
+	if limit := maxTicks * 3; batched > limit {
+		t.Fatalf("probe window issued %d batch-status RPCs, want <= %d (%d ticks x 3 chunks)",
+			batched, limit, maxTicks)
+	}
+}
+
+// A burst of same-site submissions must coalesce into batch frames: the
+// submit phase crosses the wire in strictly fewer frames than jobs.
+func TestSubmitBurstCoalesces(t *testing.T) {
+	runs := &atomic.Int64{}
+	faults := &wire.Faults{}
+	site := newFaultySite(t, "wisc", runs, faults)
+	mc := newMethodCounter(faults)
+
+	agent, err := NewAgent(AgentConfig{
+		StateDir: t.TempDir(),
+		Selector: StaticSelector(site.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
+		Batch:    BatchOptions{MaxJobs: 8, MaxDelay: 25 * time.Millisecond},
+		Stage:    StageOptions{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Close)
+
+	const n = 12
+	ids := make([]string, n)
+	for i := range ids {
+		id, err := agent.Submit(SubmitRequest{
+			Owner: "u", Executable: gram.Program("task"), Args: []string{"5ms"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for _, id := range ids {
+		waitAgentState(t, agent, id, Completed)
+	}
+	if runs.Load() != n {
+		t.Fatalf("%d executions for %d jobs", runs.Load(), n)
+	}
+	singles := mc.get("gram.submit")
+	batches := mc.get("gram.batch-submit")
+	if batches == 0 {
+		t.Fatalf("burst of %d jobs produced no batch-submit frames (%d singles)", n, singles)
+	}
+	if frames := singles + batches; frames >= n {
+		t.Fatalf("submit phase used %d frames for %d jobs (%d single + %d batch) — no coalescing",
+			frames, n, singles, batches)
+	}
+}
+
+// A connection reset in the middle of a batch-submit response must settle
+// exactly-once: the site already created the jobs, the client saw a
+// transport error, and the retried batch must dedup on SubmissionID
+// instead of running anything twice.
+func TestMidBatchResetSettlesExactlyOnce(t *testing.T) {
+	runs := &atomic.Int64{}
+	faults := &wire.Faults{}
+	site := newFaultySite(t, "wisc", runs, faults)
+	var torn atomic.Bool
+	faults.SetConn(nil, nil, func(method string) bool {
+		// Tear exactly the first batch-submit response mid-frame.
+		return method == "gram.batch-submit" && torn.CompareAndSwap(false, true)
+	})
+
+	agent, err := NewAgent(AgentConfig{
+		StateDir: t.TempDir(),
+		Selector: StaticSelector(site.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 25 * time.Millisecond},
+		Batch:    BatchOptions{MaxJobs: 8, MaxDelay: 25 * time.Millisecond},
+		Stage:    StageOptions{Disabled: true},
+		Breaker: faultclass.BreakerConfig{
+			Threshold: 1000,
+			BaseDelay: 10 * time.Millisecond,
+			MaxDelay:  20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Close)
+
+	const n = 6
+	ids := make([]string, n)
+	for i := range ids {
+		id, err := agent.Submit(SubmitRequest{
+			Owner: "u", Executable: gram.Program("task"), Args: []string{"10ms"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for _, id := range ids {
+		waitAgentState(t, agent, id, Completed)
+	}
+	if !torn.Load() {
+		t.Fatal("schedule never tore a batch-submit frame; test proved nothing")
+	}
+	if runs.Load() != n {
+		t.Fatalf("%d executions for %d jobs after a mid-batch reset — exactly-once violated", runs.Load(), n)
+	}
+}
+
+// MaxJobs=1 must disable batching outright: the wire sees only the v1
+// per-job verbs.
+func TestBatchDisabledUsesPerJobVerbs(t *testing.T) {
+	runs := &atomic.Int64{}
+	faults := &wire.Faults{}
+	site := newFaultySite(t, "wisc", runs, faults)
+	mc := newMethodCounter(faults)
+
+	agent, err := NewAgent(AgentConfig{
+		StateDir: t.TempDir(),
+		Selector: StaticSelector(site.GatekeeperAddr()),
+		Probe:    ProbeOptions{Interval: 25 * time.Millisecond},
+		Batch:    BatchOptions{MaxJobs: 1},
+		Stage:    StageOptions{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Close)
+
+	for i := 0; i < 4; i++ {
+		id, err := agent.Submit(SubmitRequest{
+			Owner: "u", Executable: gram.Program("task"), Args: []string{"60ms"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitAgentState(t, agent, id, Completed)
+	}
+	for _, m := range []string{"gram.batch-submit", "gram.batch-commit", "jm.batch-status", "jm.batch-cancel"} {
+		if c := mc.get(m); c != 0 {
+			t.Fatalf("MaxJobs=1 still issued %d %s frames", c, m)
+		}
+	}
+	if mc.get("gram.submit") != 4 {
+		t.Fatalf("expected 4 per-job submits, got %d", mc.get("gram.submit"))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -91,12 +92,22 @@ func runChaosSeed(t *testing.T, seed int64) {
 	var gks []string
 	// Tear every fifth stage-chunk RESPONSE mid-frame: the site keeps the
 	// bytes, the agent sees a transport error, and the resume protocol has
-	// to reconcile — exactly the torn-ack hazard of a real WAN.
-	var stageResets atomic.Int64
+	// to reconcile — exactly the torn-ack hazard of a real WAN. Batch-verb
+	// responses get the same treatment every fourth frame: a torn
+	// batch-submit leaves N jobs created at the site with the client
+	// unaware, so the retried batch must settle through SubmissionID dedup
+	// (and a torn batch-commit through the idempotent recovery re-commit).
+	var stageResets, batchResets atomic.Int64
 	for i := range sites {
 		s := &chaosSite{name: fmt.Sprintf("chaos%d", i), dir: t.TempDir(), faults: &wire.Faults{}}
 		s.faults.SetConn(nil, nil, func(m string) bool {
-			return m == "gram.stage-chunk" && stageResets.Add(1)%5 == 0
+			switch {
+			case m == "gram.stage-chunk":
+				return stageResets.Add(1)%5 == 0
+			case strings.HasPrefix(m, "gram.batch-") || strings.HasPrefix(m, "jm.batch-"):
+				return batchResets.Add(1)%4 == 0
+			}
+			return false
 		})
 		s.site = newChaosSite(t, s.name, rt, s.dir, "", s.faults)
 		s.addr = s.site.GatekeeperAddr()

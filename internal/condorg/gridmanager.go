@@ -22,7 +22,8 @@ type GridManager struct {
 	agent   *Agent
 	owner   string
 	gram    *gram.Client
-	perSite int // per-gatekeeper in-flight cap (AgentConfig.Pipeline)
+	perSite int          // per-gatekeeper in-flight cap (AgentConfig.Pipeline)
+	batch   BatchOptions // wire-layer verb coalescing (AgentConfig.Batch)
 
 	mu          sync.Mutex
 	pending     []*jobRecord // awaiting first submission (or resubmission)
@@ -45,18 +46,20 @@ type GridManager struct {
 
 func newGridManager(a *Agent, owner string) *GridManager {
 	gm := &GridManager{
-		agent:      a,
-		owner:      owner,
-		gram:       gram.NewClient(a.cfg.Credential, a.cfg.Clock),
-		perSite:    a.cfg.Pipeline.PerSiteInFlight,
+		agent:       a,
+		owner:       owner,
+		gram:        gram.NewClient(a.cfg.Credential, a.cfg.Clock),
+		perSite:     a.cfg.Pipeline.PerSiteInFlight,
+		batch:       a.cfg.Batch,
 		workers:     make(map[string]*siteWorker),
 		cancelBusy:  make(map[string]bool),
 		stageSem:    make(map[string]chan struct{}),
 		stageHits:   make(map[string]int),
 		stageMisses: make(map[string]int),
-		stopCh:     make(chan struct{}),
-		wake:       make(chan struct{}, 1),
+		stopCh:      make(chan struct{}),
+		wake:        make(chan struct{}, 1),
 	}
+	gm.gram.SetWire(a.cfg.Wire.Codec, a.cfg.Wire.NoSession)
 	gm.gram.SetTimeouts(300*time.Millisecond, 2)
 	gm.gram.SetBreakerConfig(a.cfg.Breaker)
 	gm.gram.SetObs(a.obs)
@@ -232,11 +235,7 @@ func (gm *GridManager) submit(rec *jobRecord) {
 	// reconnects rather than resubmits.
 	gm.agent.persist(rec)
 	if err := gm.gram.Commit(contact); err != nil {
-		gm.agent.trace(rec, obs.PhaseCommitRetry, faultclass.ClassOf(err).String(), err.Error())
-		gm.agent.log(rec, "COMMIT_RETRY", "commit failed (%v); will re-verify", err)
-		gm.mu.Lock()
-		gm.recovery = append(gm.recovery, rec)
-		gm.mu.Unlock()
+		gm.commitRetry(rec, err)
 		return
 	}
 	gm.agent.obs.Histogram("gm_two_phase_seconds").Observe(time.Since(start).Seconds())
@@ -314,7 +313,14 @@ func (gm *GridManager) holdJob(rec *jobRecord, reason string) {
 func (gm *GridManager) recoverJob(rec *jobRecord) {
 	rec.mu.Lock()
 	contact := rec.Contact
+	terminal := rec.State.Terminal()
 	rec.mu.Unlock()
+	if terminal {
+		// The job finished while this task waited its turn (e.g. a commit
+		// whose response was torn but whose job ran to completion); there
+		// is nothing left to re-verify.
+		return
+	}
 	if err := gm.gram.Commit(contact); err != nil {
 		// Gatekeeper down or job unknown; the probe path will sort it out.
 		return
@@ -344,28 +350,39 @@ func (gm *GridManager) probeJob(rec *jobRecord) {
 	// "If a JobManager fails to respond, the GridManager then probes the
 	// GateKeeper for that machine."
 	if gkErr := gm.gram.PingGatekeeper(contact.GatekeeperAddr); gkErr != nil {
-		// "Either the whole resource management machine crashed or
-		// there is a network failure (the GridManager cannot
-		// distinguish these two cases) ... the GridManager waits until
-		// it can reestablish contact."
-		rec.mu.Lock()
-		already := rec.Disconnected
-		rec.Disconnected = true
-		if !already {
-			gm.agent.traceLocked(rec, obs.PhaseDisconnect, "",
-				"lost contact with "+contact.GatekeeperAddr)
-			rec.bumpLocked()
-		}
-		rec.mu.Unlock()
-		if !already {
-			gm.agent.log(rec, "DISCONNECTED", "lost contact with %s; waiting to reconnect", contact.GatekeeperAddr)
-		}
+		gm.markDisconnected(rec, contact.GatekeeperAddr)
 		return
 	}
 	// Gatekeeper lives: the JobManager alone crashed (or exited after the
-	// job completed during a partition). "The GridManager starts a new
-	// JobManager, which will resume watching the job or tell the
-	// GridManager that the job has completed."
+	// job completed during a partition).
+	gm.restartJobManagerFor(rec, contact)
+}
+
+// markDisconnected records that a job's site is unreachable. "Either the
+// whole resource management machine crashed or there is a network failure
+// (the GridManager cannot distinguish these two cases) ... the
+// GridManager waits until it can reestablish contact."
+func (gm *GridManager) markDisconnected(rec *jobRecord, gkAddr string) {
+	rec.mu.Lock()
+	already := rec.Disconnected
+	rec.Disconnected = true
+	if !already {
+		gm.agent.traceLocked(rec, obs.PhaseDisconnect, "",
+			"lost contact with "+gkAddr)
+		rec.bumpLocked()
+	}
+	rec.mu.Unlock()
+	if !already {
+		gm.agent.log(rec, "DISCONNECTED", "lost contact with %s; waiting to reconnect", gkAddr)
+	}
+}
+
+// restartJobManagerFor runs the tail of the §4.2 ladder for a job whose
+// JobManager is dead but whose Gatekeeper answers: "The GridManager
+// starts a new JobManager, which will resume watching the job or tell the
+// GridManager that the job has completed." Shared by the per-job probe
+// and the batched probe (whose JMAlive=false entries land here).
+func (gm *GridManager) restartJobManagerFor(rec *jobRecord, contact gram.JobContact) {
 	newContact, err := gm.gram.RestartJobManager(contact)
 	if err != nil {
 		if wire.IsRemote(err) && faultclass.ClassOf(err) == faultclass.SiteLost {

@@ -1,6 +1,8 @@
 package condorg
 
 import (
+	"time"
+
 	"condorg/internal/faultclass"
 	"condorg/internal/gram"
 	"condorg/internal/obs"
@@ -30,11 +32,13 @@ import (
 type taskKind int
 
 const (
-	taskSubmit  taskKind = iota // two-phase commit of a new/resubmitted job
-	taskRecover                 // re-verify a job recovered with a contact
-	taskProbe                   // §4.2 liveness probe of one job
-	taskCancel                  // retry one cancel tombstone
-	taskStage                   // chunked executable pre-stage to the site
+	taskSubmit      taskKind = iota // two-phase commit of a new/resubmitted job
+	taskRecover                     // re-verify a job recovered with a contact
+	taskProbe                       // §4.2 liveness probe of one job
+	taskCancel                      // retry one cancel tombstone
+	taskStage                       // chunked executable pre-stage to the site
+	taskBatchProbe                  // coalesced §4.2 probe of several jobs at one site
+	taskBatchCancel                 // coalesced cancel of several tombstones at one site
 )
 
 func (k taskKind) String() string {
@@ -49,17 +53,30 @@ func (k taskKind) String() string {
 		return "cancel"
 	case taskStage:
 		return "stage"
+	case taskBatchProbe:
+		return "batch-probe"
+	case taskBatchCancel:
+		return "batch-cancel"
 	}
 	return "unknown"
 }
 
+// cancelPair is one tombstone: the record plus the OLD incarnation's
+// contact the cancel must reach.
+type cancelPair struct {
+	rec     *jobRecord
+	contact gram.JobContact
+}
+
 // gmTask is one unit of per-site work. contact is set only for cancels
 // (the OLD incarnation's contact; the record's own contact may have moved
-// on).
+// on); recs/pairs carry the members of a batched task.
 type gmTask struct {
 	kind    taskKind
 	rec     *jobRecord
 	contact gram.JobContact
+	recs    []*jobRecord // taskBatchProbe members
+	pairs   []cancelPair // taskBatchCancel members
 }
 
 // siteWorker is the per-gatekeeper pipeline: a FIFO of tasks drained by
@@ -115,8 +132,43 @@ func (gm *GridManager) workerLoop(w *siteWorker) {
 		}
 		t := w.queue[0]
 		w.queue = w.queue[1:]
-		w.inflight++
+		// Opportunistic batch drain: a submit at the head of the queue
+		// pulls the other queued submits with it (up to Batch.MaxJobs)
+		// so a burst aimed at one gatekeeper goes out as one frame
+		// instead of one two-phase commit per worker pass.
+		var batch []gmTask
+		if t.kind == taskSubmit && gm.batch.MaxJobs > 1 && gm.gram.BatchSupported(w.addr) {
+			batch = gm.drainSubmitsLocked(w, []gmTask{t})
+		}
+		n := 1
+		if batch != nil {
+			n = len(batch)
+		}
+		w.inflight += n
 		gm.mu.Unlock()
+
+		if batch != nil {
+			if gm.batch.MaxDelay > 0 && len(batch) < gm.batch.MaxJobs {
+				// Hold the frame open briefly so the rest of a burst
+				// still in dispatch can join it.
+				sleepOrStop(gm.stopCh, gm.batch.MaxDelay)
+				gm.mu.Lock()
+				batch = gm.drainSubmitsLocked(w, batch)
+				w.inflight += len(batch) - n
+				n = len(batch)
+				gm.mu.Unlock()
+			}
+			gm.runBatchSubmit(batch)
+			gm.mu.Lock()
+			w.inflight -= n
+			gm.outstanding -= n
+			gm.mu.Unlock()
+			for _, bt := range batch {
+				gm.endTask(bt)
+			}
+			gm.poke()
+			continue
+		}
 
 		gm.runTask(t)
 
@@ -129,6 +181,49 @@ func (gm *GridManager) workerLoop(w *siteWorker) {
 		// the last obstacle to retirement; let the dispatcher look.
 		gm.poke()
 	}
+}
+
+// drainSubmitsLocked moves queued submit tasks into batch, preserving the
+// queue order of everything else, until batch reaches Batch.MaxJobs.
+// gm.mu held.
+func (gm *GridManager) drainSubmitsLocked(w *siteWorker, batch []gmTask) []gmTask {
+	if len(batch) >= gm.batch.MaxJobs {
+		return batch
+	}
+	rest := w.queue[:0]
+	for _, qt := range w.queue {
+		if qt.kind == taskSubmit && len(batch) < gm.batch.MaxJobs {
+			batch = append(batch, qt)
+		} else {
+			rest = append(rest, qt)
+		}
+	}
+	w.queue = rest
+	return batch
+}
+
+// runBatchSubmit executes a coalesced submit batch. The batch holds one
+// slot of the agent-wide cap (it is one RPC stream), while the per-task
+// ledger entries (outstanding, opBusy) stay per job.
+func (gm *GridManager) runBatchSubmit(batch []gmTask) {
+	sem := gm.agent.pipeSem
+	select {
+	case sem <- struct{}{}:
+	default:
+		gm.agent.obs.Counter("gm_worker_stalls_total").Inc()
+		select {
+		case sem <- struct{}{}:
+		case <-gm.stopCh:
+			return
+		}
+	}
+	defer func() { <-sem }()
+	gm.agent.obs.Counter(obs.Key("gm_tasks_total", "kind", "batch-submit")).Inc()
+	recs := make([]*jobRecord, len(batch))
+	for i, t := range batch {
+		recs[i] = t.rec
+	}
+	gm.submitBatch(recs)
 }
 
 // runTask executes one task body under the agent-wide in-flight cap.
@@ -158,21 +253,48 @@ func (gm *GridManager) runTask(t gmTask) {
 		gm.cancelOldCopy(t.rec, t.contact)
 	case taskStage:
 		gm.stageJob(t.rec)
+	case taskBatchProbe:
+		gm.probeBatch(t.recs)
+	case taskBatchCancel:
+		gm.cancelBatch(t.pairs)
+	}
+}
+
+// sleepOrStop waits for d unless stop closes first.
+func sleepOrStop(stop <-chan struct{}, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-stop:
 	}
 }
 
 // endTask releases the task's exclusivity marker after the ledger entry
 // is closed, so the next dispatch pass may pick the job up again.
 func (gm *GridManager) endTask(t gmTask) {
-	if t.kind == taskCancel {
+	switch t.kind {
+	case taskCancel:
 		gm.mu.Lock()
 		delete(gm.cancelBusy, cancelTaskKey(t.rec, t.contact))
 		gm.mu.Unlock()
-		return
+	case taskBatchCancel:
+		gm.mu.Lock()
+		for _, p := range t.pairs {
+			delete(gm.cancelBusy, cancelTaskKey(p.rec, p.contact))
+		}
+		gm.mu.Unlock()
+	case taskBatchProbe:
+		for _, rec := range t.recs {
+			rec.mu.Lock()
+			rec.opBusy = false
+			rec.mu.Unlock()
+		}
+	default:
+		t.rec.mu.Lock()
+		t.rec.opBusy = false
+		t.rec.mu.Unlock()
 	}
-	t.rec.mu.Lock()
-	t.rec.opBusy = false
-	t.rec.mu.Unlock()
 }
 
 // dispatchPending partitions the submit queue by destination site and
@@ -266,6 +388,7 @@ func (gm *GridManager) dispatchRecovery() {
 // guard refuses them before any I/O), which is what keeps the job's
 // Disconnected flag honest at probe pace.
 func (gm *GridManager) dispatchProbes() {
+	groups := make(map[string][]*jobRecord)
 	for _, rec := range gm.agent.activeJobs(gm.owner) {
 		rec.mu.Lock()
 		skip := rec.State.Terminal() || rec.State == Held ||
@@ -278,7 +401,28 @@ func (gm *GridManager) dispatchProbes() {
 		if skip {
 			continue
 		}
-		gm.enqueueTask(addr, gmTask{kind: taskProbe, rec: rec})
+		if gm.batch.MaxJobs <= 1 || !gm.gram.BatchSupported(addr) {
+			gm.enqueueTask(addr, gmTask{kind: taskProbe, rec: rec})
+			continue
+		}
+		groups[addr] = append(groups[addr], rec)
+	}
+	// Coalesce each site's probes into ceil(N/MaxJobs) batch-status
+	// frames addressed to the gatekeeper, instead of N jm.status RPCs.
+	for addr, recs := range groups {
+		for len(recs) > 0 {
+			n := gm.batch.MaxJobs
+			if n > len(recs) {
+				n = len(recs)
+			}
+			chunk := recs[:n]
+			recs = recs[n:]
+			if len(chunk) == 1 {
+				gm.enqueueTask(addr, gmTask{kind: taskProbe, rec: chunk[0]})
+				continue
+			}
+			gm.enqueueTask(addr, gmTask{kind: taskBatchProbe, recs: chunk})
+		}
 	}
 }
 
@@ -287,8 +431,42 @@ func (gm *GridManager) dispatchProbes() {
 // gatekeeper, so a dead old site delays only its own worker — never the
 // probe tick.
 func (gm *GridManager) dispatchCancels() {
+	groups := make(map[string][]cancelPair)
 	for _, rec := range gm.agent.pendingCancels(gm.owner) {
-		gm.dispatchCancelsFor(rec)
+		rec.mu.Lock()
+		contacts := append([]gram.JobContact(nil), rec.CancelPending...)
+		rec.mu.Unlock()
+		for _, contact := range contacts {
+			key := cancelTaskKey(rec, contact)
+			gm.mu.Lock()
+			if gm.finished || gm.cancelBusy[key] {
+				gm.mu.Unlock()
+				continue
+			}
+			gm.cancelBusy[key] = true
+			gm.mu.Unlock()
+			addr := contact.GatekeeperAddr
+			if gm.batch.MaxJobs <= 1 || !gm.gram.BatchSupported(addr) {
+				gm.enqueueTask(addr, gmTask{kind: taskCancel, rec: rec, contact: contact})
+				continue
+			}
+			groups[addr] = append(groups[addr], cancelPair{rec: rec, contact: contact})
+		}
+	}
+	for addr, pairs := range groups {
+		for len(pairs) > 0 {
+			n := gm.batch.MaxJobs
+			if n > len(pairs) {
+				n = len(pairs)
+			}
+			chunk := pairs[:n]
+			pairs = pairs[n:]
+			if len(chunk) == 1 {
+				gm.enqueueTask(addr, gmTask{kind: taskCancel, rec: chunk[0].rec, contact: chunk[0].contact})
+				continue
+			}
+			gm.enqueueTask(addr, gmTask{kind: taskBatchCancel, pairs: chunk})
+		}
 	}
 }
 

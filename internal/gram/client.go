@@ -30,6 +30,13 @@ type Client struct {
 	// timeouts are shortened by tests.
 	timeout time.Duration
 	retries int
+	// codec/noSession select wire protocol v2 features for new
+	// connections (SetWire).
+	codec     string
+	noSession bool
+	// noBatch remembers gatekeepers that answered a batch verb with "no
+	// such method": protocol capability, so it survives reconnects.
+	noBatch map[string]bool
 }
 
 // NewClient creates a GRAM client authenticating as cred.
@@ -45,7 +52,26 @@ func NewClient(cred *gsi.Credential, clock gsi.Clock) *Client {
 		jmConn:  make(map[string]*wire.Client),
 		timeout: 2 * time.Second,
 		retries: 3,
+		noBatch: make(map[string]bool),
 	}
+}
+
+// SetWire selects the frame codec (wire.CodecJSON or wire.CodecBinary)
+// and whether session auth is disabled for future connections. Existing
+// connections are dropped so the change takes effect immediately.
+func (c *Client) SetWire(codec string, disableSession bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.codec = codec
+	c.noSession = disableSession
+	for _, wc := range c.gkConn {
+		wc.Close()
+	}
+	for _, wc := range c.jmConn {
+		wc.Close()
+	}
+	c.gkConn = make(map[string]*wire.Client)
+	c.jmConn = make(map[string]*wire.Client)
 }
 
 // SetBreakerConfig replaces the per-endpoint circuit breakers (dropping
@@ -191,11 +217,13 @@ func (c *Client) conn(jm bool, addr, service string) *wire.Client {
 		return wc
 	}
 	wc := wire.Dial(addr, wire.ClientConfig{
-		ServerName: service,
-		Credential: c.cred,
-		Clock:      c.clock,
-		Timeout:    c.timeout,
-		Retries:    c.retries,
+		ServerName:     service,
+		Credential:     c.cred,
+		Clock:          c.clock,
+		Timeout:        c.timeout,
+		Retries:        c.retries,
+		Codec:          c.codec,
+		DisableSession: c.noSession,
 	})
 	m[addr] = wc
 	return wc

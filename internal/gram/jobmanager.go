@@ -6,7 +6,6 @@ import (
 	"sync"
 	"time"
 
-	"condorg/internal/faultclass"
 	"condorg/internal/gass"
 	"condorg/internal/gsi"
 	"condorg/internal/wire"
@@ -110,25 +109,7 @@ func (jm *JobManager) handleCancel(peer string, _ json.RawMessage) (any, error) 
 	if err := jm.authorized(peer); err != nil {
 		return nil, err
 	}
-	jm.job.mu.Lock()
-	lrmID := jm.job.lrmID
-	state := jm.job.status.State
-	jm.job.mu.Unlock()
-	if state.Terminal() {
-		return struct{}{}, nil
-	}
-	if lrmID == "" {
-		// Not yet in the LRM: mark failed directly. A cancellation is
-		// the user's own verdict — never retried.
-		jm.job.mu.Lock()
-		jm.job.status.State = StateFailed
-		jm.job.status.Error = "cancelled before submission"
-		jm.job.status.Fault = faultclass.Permanent
-		jm.job.mu.Unlock()
-		jm.site.persist(jm.job)
-		return struct{}{}, nil
-	}
-	if err := jm.site.cfg.Cluster.Cancel(lrmID); err != nil {
+	if err := jm.site.cancelJob(jm.job); err != nil {
 		return nil, err
 	}
 	return struct{}{}, nil

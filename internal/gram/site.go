@@ -302,6 +302,13 @@ func (s *Site) startGatekeeper(addr string) error {
 	gk.Handle("gram.stage-check", s.handleStageCheck)
 	gk.Handle("gram.stage-chunk", s.handleStageChunk)
 	gk.Handle("gram.stage-commit", s.handleStageCommit)
+	gk.Handle("gram.batch-submit", s.handleBatchSubmit)
+	gk.Handle("gram.batch-commit", s.handleBatchCommit)
+	// The batched JobManager verbs live on the Gatekeeper because it is
+	// the interface machine every JobManager of the site runs on: one
+	// frame reaches all of them.
+	gk.Handle("jm.batch-status", s.handleBatchStatus)
+	gk.Handle("jm.batch-cancel", s.handleBatchCancel)
 	s.mu.Lock()
 	s.gk = gk
 	s.gkAddr = gk.Addr()
@@ -355,30 +362,37 @@ func (s *Site) handleSubmit(peer string, body json.RawMessage) (any, error) {
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err
 	}
+	return s.submitOne(peer, req)
+}
+
+// submitOne runs a single submission through authorization, SubmissionID
+// dedup, and JobManager startup. It is the shared core of gram.submit and
+// each entry of gram.batch-submit.
+func (s *Site) submitOne(peer string, req submitReq) (submitResp, error) {
 	localUser, err := s.authorize(peer)
 	if err != nil {
 		// Gridmap refused: a capability signed by the site
 		// administrator may still authorize this request.
 		if s.cfg.CapabilityIssuer == nil || len(req.Capability) == 0 {
-			return nil, err
+			return submitResp{}, err
 		}
 		cap, decErr := gsi.DecodeCapability(req.Capability)
 		if decErr != nil {
-			return nil, fmt.Errorf("gram: bad capability: %w", decErr)
+			return submitResp{}, fmt.Errorf("gram: bad capability: %w", decErr)
 		}
 		localUser, err = cap.Verify(s.cfg.CapabilityIssuer, peer, "gram:submit", s.cfg.Clock())
 		if err != nil {
-			return nil, fmt.Errorf("gram: capability: %w", err)
+			return submitResp{}, fmt.Errorf("gram: capability: %w", err)
 		}
 	}
 	var cred *gsi.Credential
 	if len(req.Delegated) > 0 {
 		cred, err = gsi.DecodeCredential(req.Delegated)
 		if err != nil {
-			return nil, fmt.Errorf("gram: bad delegated credential: %w", err)
+			return submitResp{}, fmt.Errorf("gram: bad delegated credential: %w", err)
 		}
 		if _, err := gsi.VerifyChain(cred.Chain, s.cfg.Anchor, s.cfg.Clock()); s.cfg.Anchor != nil && err != nil {
-			return nil, fmt.Errorf("gram: delegated credential: %w", err)
+			return submitResp{}, fmt.Errorf("gram: delegated credential: %w", err)
 		}
 	}
 
@@ -417,7 +431,7 @@ func (s *Site) handleSubmit(peer string, body json.RawMessage) (any, error) {
 
 	jm, err := s.startJobManager(job)
 	if err != nil {
-		return nil, err
+		return submitResp{}, err
 	}
 	if s.cfg.AutoCommit {
 		// Ablation A1: no second phase — execution commences now.
@@ -470,27 +484,36 @@ func (s *Site) handleCommit(peer string, body json.RawMessage) (any, error) {
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err
 	}
+	if err := s.commitOne(peer, req.JobID); err != nil {
+		return nil, err
+	}
+	return struct{}{}, nil
+}
+
+// commitOne completes phase two for one job. Shared core of gram.commit
+// and each entry of gram.batch-commit.
+func (s *Site) commitOne(peer, jobID string) error {
 	s.mu.Lock()
-	job, ok := s.jobs[req.JobID]
+	job, ok := s.jobs[jobID]
 	s.mu.Unlock()
 	if !ok {
 		// The site has no record of the job (e.g. it died before the
 		// submission was persisted): it can never run here.
-		return nil, faultclass.New(faultclass.SiteLost,
-			fmt.Errorf("gram: commit for unknown job %q", req.JobID))
+		return faultclass.New(faultclass.SiteLost,
+			fmt.Errorf("gram: commit for unknown job %q", jobID))
 	}
 	if s.cfg.Anchor != nil && job.owner != peer {
-		return nil, fmt.Errorf("gram: job %s belongs to %s", req.JobID, job.owner)
+		return fmt.Errorf("gram: job %s belongs to %s", jobID, job.owner)
 	}
 	job.mu.Lock()
 	if job.committed {
 		job.mu.Unlock()
-		return struct{}{}, nil // idempotent
+		return nil // idempotent
 	}
 	if job.status.State == StateFailed {
 		err := job.status.Error
 		job.mu.Unlock()
-		return nil, fmt.Errorf("gram: job %s already failed: %s", req.JobID, err)
+		return fmt.Errorf("gram: job %s already failed: %s", jobID, err)
 	}
 	job.committed = true
 	if job.commitTimer != nil {
@@ -500,7 +523,7 @@ func (s *Site) handleCommit(peer string, body json.RawMessage) (any, error) {
 	job.mu.Unlock()
 	s.persist(job)
 	go s.stageAndSubmit(job)
-	return struct{}{}, nil
+	return nil
 }
 
 type jmRestartReq struct {

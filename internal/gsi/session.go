@@ -1,0 +1,20 @@
+package gsi
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// NewSessionID mints an unguessable identifier for a wire-layer
+// authenticated session. The ID is the whole secret: it is only ever
+// issued over the connection whose handshake token verified, and it is
+// only accepted back on that same connection, so 128 bits of entropy
+// (rather than a signed structure) is sufficient — exactly the trade the
+// handshake makes to amortize the per-message signature cost.
+func NewSessionID() string {
+	b := make([]byte, 16)
+	if _, err := rand.Read(b); err != nil {
+		panic("gsi: entropy source failed: " + err.Error())
+	}
+	return hex.EncodeToString(b)
+}

@@ -20,7 +20,10 @@ type ClientConfig struct {
 	// ServerName must match the server's configured Name; it binds auth
 	// tokens to this service.
 	ServerName string
-	// Credential signs per-request auth tokens; nil sends no token.
+	// Credential authenticates this client. With a credential set the
+	// client establishes a per-connection session at connect (one token
+	// signed for the wire.hello handshake) and subsequent requests carry
+	// only the session ID; nil sends no authentication at all.
 	Credential *gsi.Credential
 	// Clock for token issuance; defaults to wall time.
 	Clock gsi.Clock
@@ -37,6 +40,41 @@ type ClientConfig struct {
 	// 50% random jitter is added on top of each delay so simultaneous
 	// retries against a recovering server spread out.
 	RetryBackoffMax time.Duration
+	// Codec requests a frame encoding: CodecJSON (the default) or
+	// CodecBinary. Binary is negotiated by the wire.hello handshake and
+	// falls back to JSON transparently against servers that predate it.
+	Codec string
+	// DisableSession keeps per-message auth tokens even when a
+	// credential is set (no session handshake) — the protocol v1
+	// behaviour, kept for ablation and compatibility testing.
+	DisableSession bool
+}
+
+// clientConn is one dialed connection plus everything negotiated on it.
+// The ready channel closes once dial+handshake settle (err says how);
+// fields other than err are immutable after that, so post-ready readers
+// need no lock.
+type clientConn struct {
+	ready chan struct{}
+	err   error // terminal dial/handshake error, set before ready closes
+
+	conn    net.Conn
+	wmu     sync.Mutex // serializes frame writes; never held across c.mu
+	codec   string     // negotiated write codec ("" = JSON)
+	session string     // authenticated session ID ("" = per-message tokens)
+}
+
+func (cc *clientConn) write(m *Message) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	return writeFrameCodec(cc.conn, m, cc.codec)
+}
+
+// pendingCall tags each waiter with the connection its request went out
+// on, so tearing down one connection wakes exactly its own waiters.
+type pendingCall struct {
+	ch chan *Message
+	cc *clientConn
 }
 
 // Client is a connection-caching RPC client. Concurrent Calls multiplex
@@ -50,8 +88,9 @@ type Client struct {
 	seq      atomic.Uint64
 
 	mu      sync.Mutex
-	conn    net.Conn
-	pending map[uint64]chan *Message
+	cc      *clientConn
+	pending map[uint64]pendingCall
+	legacy  bool // server predates wire.hello; skip future handshakes
 	closed  bool
 }
 
@@ -84,18 +123,25 @@ func Dial(addr string, cfg ClientConfig) *Client {
 		cfg:      cfg,
 		addr:     addr,
 		clientID: hex.EncodeToString(idBytes),
-		pending:  make(map[uint64]chan *Message),
+		pending:  make(map[uint64]pendingCall),
 	}
 }
 
 // ClientID returns the identifier that keys this client's sequence space.
 func (c *Client) ClientID() string { return c.clientID }
 
-// SetCredential replaces the signing credential (used after proxy refresh).
+// SetCredential replaces the signing credential (used after proxy
+// refresh) and drops the current connection, forcing the next attempt to
+// re-handshake — a session minted under the old credential must not
+// outlive it.
 func (c *Client) SetCredential(cred *gsi.Credential) {
 	c.mu.Lock()
 	c.cfg.Credential = cred
+	cc := c.cc
 	c.mu.Unlock()
+	if cc != nil {
+		c.drop(cc)
+	}
 }
 
 // NextSeq reserves a fresh sequence number. CallSeq with the same number is
@@ -123,6 +169,12 @@ func (c *Client) CallSeq(seq uint64, method string, req, resp any) error {
 		}
 		msg, err := c.attempt(seq, method, body)
 		if err != nil {
+			if IsRemote(err) {
+				// A handshake rejection (e.g. AuthExpired) is the
+				// server's verdict, not a transport loss: surface it
+				// with its class instead of retrying into it.
+				return err
+			}
 			lastErr = err
 			continue
 		}
@@ -157,14 +209,10 @@ func (c *Client) backoff(n int) time.Duration {
 }
 
 func (c *Client) attempt(seq uint64, method string, body json.RawMessage) (*Message, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
+	cc, err := c.conn()
+	if err != nil {
+		return nil, err
 	}
-	cred := c.cfg.Credential
-	c.mu.Unlock()
-
 	msg := &Message{
 		ClientID: c.clientID,
 		Seq:      seq,
@@ -172,32 +220,43 @@ func (c *Client) attempt(seq uint64, method string, body json.RawMessage) (*Mess
 		Method:   method,
 		Body:     body,
 	}
-	if cred != nil {
-		tok, err := gsi.NewAuthToken(cred, authContext(c.cfg.ServerName, method), c.cfg.Clock())
-		if err != nil {
-			return nil, err
+	if cc.session != "" {
+		msg.Session = cc.session
+	} else {
+		c.mu.Lock()
+		cred := c.cfg.Credential
+		c.mu.Unlock()
+		if cred != nil {
+			tok, err := gsi.NewAuthToken(cred, authContext(c.cfg.ServerName, method), c.cfg.Clock())
+			if err != nil {
+				return nil, err
+			}
+			msg.Token = tok
 		}
-		msg.Token = tok
 	}
 
 	ch := make(chan *Message, 1)
 	c.mu.Lock()
-	c.pending[seq] = ch
-	conn, err := c.connLocked()
-	if err != nil {
-		delete(c.pending, seq)
+	if c.closed {
 		c.mu.Unlock()
-		return nil, err
+		return nil, ErrClosed
 	}
-	err = WriteFrame(conn, msg)
+	c.pending[seq] = pendingCall{ch: ch, cc: cc}
 	c.mu.Unlock()
 	defer func() {
 		c.mu.Lock()
-		delete(c.pending, seq)
+		// Only remove our own registration: a concurrent drop may have
+		// already cleared it, and a retry may have re-registered seq.
+		if p, ok := c.pending[seq]; ok && p.ch == ch {
+			delete(c.pending, seq)
+		}
 		c.mu.Unlock()
 	}()
-	if err != nil {
-		c.dropConn(conn)
+	// The frame goes out under the connection's own write mutex, never
+	// under c.mu: a blocked TCP write must not stall unrelated callers
+	// (or the teardown path that would unblock it).
+	if err := cc.write(msg); err != nil {
+		c.drop(cc)
 		return nil, err
 	}
 	select {
@@ -211,58 +270,196 @@ func (c *Client) attempt(seq uint64, method string, body json.RawMessage) (*Mess
 	}
 }
 
-// connLocked returns the live connection, dialing if necessary. c.mu held.
-func (c *Client) connLocked() (net.Conn, error) {
-	if c.conn != nil {
-		return c.conn, nil
+// conn returns the live connection, dialing and handshaking if necessary.
+// Concurrent callers share one dial: the first caller establishes, the
+// rest wait on ready.
+func (c *Client) conn() (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.Timeout)
-	if err != nil {
+	if cc := c.cc; cc != nil {
+		c.mu.Unlock()
+		<-cc.ready
+		if cc.err != nil {
+			return nil, cc.err
+		}
+		return cc, nil
+	}
+	cc := &clientConn{ready: make(chan struct{})}
+	c.cc = cc
+	cred := c.cfg.Credential
+	legacy := c.legacy
+	c.mu.Unlock()
+
+	if err := c.establish(cc, cred, legacy); err != nil {
+		cc.err = err
+		close(cc.ready)
+		c.drop(cc)
 		return nil, err
 	}
-	c.conn = conn
-	go c.readLoop(conn)
-	return conn, nil
+	c.mu.Lock()
+	superseded := c.cc != cc || c.closed
+	c.mu.Unlock()
+	if superseded {
+		// SetCredential or Close raced the handshake; this connection's
+		// session may be stale, so discard it rather than hand it out.
+		cc.err = fmt.Errorf("wire: connection superseded")
+		close(cc.ready)
+		c.drop(cc)
+		return nil, cc.err
+	}
+	close(cc.ready)
+	return cc, nil
 }
 
-func (c *Client) readLoop(conn net.Conn) {
-	for {
-		msg, err := ReadFrame(conn)
+// establish dials and, when warranted, runs the wire.hello handshake on cc.
+func (c *Client) establish(cc *clientConn, cred *gsi.Credential, legacy bool) error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.Timeout)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	cc.conn = conn
+	c.mu.Unlock()
+	go c.readLoop(cc)
+	wantSession := cred != nil && !c.cfg.DisableSession
+	wantBinary := c.cfg.Codec == CodecBinary
+	if legacy || (!wantSession && !wantBinary) {
+		return nil // plain v1 connection; nothing to negotiate
+	}
+	return c.handshake(cc, cred, wantSession)
+}
+
+// handshake sends wire.hello and applies the negotiated session and codec
+// to cc. Against a server that predates the handshake it marks the client
+// legacy and returns successfully with v1 semantics.
+func (c *Client) handshake(cc *clientConn, cred *gsi.Credential, wantSession bool) error {
+	body, err := json.Marshal(helloReq{Codecs: []string{c.cfg.Codec}})
+	if err != nil {
+		return err
+	}
+	seq := c.NextSeq()
+	msg := &Message{
+		ClientID: c.clientID,
+		Seq:      seq,
+		Kind:     "req",
+		Method:   HelloMethod,
+		Body:     body,
+	}
+	if cred != nil {
+		tok, err := gsi.NewAuthToken(cred, authContext(c.cfg.ServerName, HelloMethod), c.cfg.Clock())
 		if err != nil {
-			c.dropConn(conn)
+			return err
+		}
+		msg.Token = tok
+	}
+	ch := make(chan *Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.pending[seq] = pendingCall{ch: ch, cc: cc}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		if p, ok := c.pending[seq]; ok && p.ch == ch {
+			delete(c.pending, seq)
+		}
+		c.mu.Unlock()
+	}()
+	if err := cc.write(msg); err != nil {
+		return err
+	}
+	select {
+	case m := <-ch:
+		if m == nil {
+			return fmt.Errorf("wire: connection lost during handshake")
+		}
+		if m.Error != "" {
+			rerr := &RemoteError{Msg: m.Error, Class: faultclass.Parse(m.Fault)}
+			if IsNoSuchMethod(rerr) {
+				// v1 server: remember so future dials skip the probe,
+				// and continue with per-message tokens + JSON frames.
+				c.mu.Lock()
+				c.legacy = true
+				c.mu.Unlock()
+				return nil
+			}
+			return rerr
+		}
+		var resp helloResp
+		if err := json.Unmarshal(m.Body, &resp); err != nil {
+			return fmt.Errorf("wire: bad hello response: %w", err)
+		}
+		if wantSession {
+			cc.session = resp.Session
+		}
+		if resp.Codec == CodecBinary && c.cfg.Codec == CodecBinary {
+			cc.wmu.Lock()
+			cc.codec = CodecBinary
+			cc.wmu.Unlock()
+		}
+		return nil
+	case <-time.After(c.cfg.Timeout):
+		return ErrTimeout
+	}
+}
+
+func (c *Client) readLoop(cc *clientConn) {
+	for {
+		msg, err := ReadFrame(cc.conn)
+		if err != nil {
+			c.drop(cc)
 			return
 		}
 		if msg.Kind != "resp" {
 			continue
 		}
 		c.mu.Lock()
-		ch, ok := c.pending[msg.Seq]
+		p, ok := c.pending[msg.Seq]
 		c.mu.Unlock()
-		if ok {
+		if ok && p.cc == cc {
 			select {
-			case ch <- msg:
+			case p.ch <- msg:
 			default:
 			}
 		}
 	}
 }
 
-// dropConn discards conn and wakes all waiters so they can retry on a fresh
-// connection.
-func (c *Client) dropConn(conn net.Conn) {
-	conn.Close()
+// drop discards cc and wakes the waiters whose requests went out on it so
+// they can retry on a fresh connection. Each entry is deleted as it is
+// signalled: a retry that re-registers the same seq must never receive
+// this dead connection's stale nil, and waiters on other connections are
+// left alone entirely.
+func (c *Client) drop(cc *clientConn) {
 	c.mu.Lock()
-	if c.conn == conn {
-		c.conn = nil
+	if c.cc == cc {
+		c.cc = nil
 	}
-	for seq, ch := range c.pending {
+	conn := cc.conn
+	for seq, p := range c.pending {
+		if p.cc != cc {
+			continue
+		}
 		select {
-		case ch <- nil:
+		case p.ch <- nil:
 		default:
 		}
-		_ = seq
+		delete(c.pending, seq)
 	}
 	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
 }
 
 // Ping checks liveness with a tiny RPC round-trip using a single attempt
@@ -271,6 +468,9 @@ func (c *Client) dropConn(conn net.Conn) {
 func (c *Client) Ping(method string) error {
 	msg, err := c.attempt(c.NextSeq(), method, []byte("{}"))
 	if err != nil {
+		if IsRemote(err) {
+			return err
+		}
 		return faultclass.New(faultclass.Transient, err)
 	}
 	if msg.Error != "" {
@@ -283,9 +483,17 @@ func (c *Client) Ping(method string) error {
 // transport error.
 func (c *Client) Close() error {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
-	conn := c.conn
-	c.conn = nil
+	cc := c.cc
+	c.cc = nil
+	var conn net.Conn
+	if cc != nil {
+		conn = cc.conn
+	}
 	c.mu.Unlock()
 	if conn != nil {
 		return conn.Close()

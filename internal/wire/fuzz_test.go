@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+)
+
+// fuzzSeedMessages covers every field combination the two codecs carry.
+func fuzzSeedMessages() []*Message {
+	return []*Message{
+		{Kind: "req", Method: "echo", ClientID: "c1", Seq: 1},
+		{Kind: "req", Method: "gram.batch-submit", ClientID: "c2", Seq: 1 << 40,
+			Session: "abcdef0123456789", Body: json.RawMessage(`{"entries":[{"a":1},{"a":2}]}`)},
+		{Kind: "resp", ClientID: "c3", Seq: 7, Error: "auth: unknown or expired session", Fault: "AuthExpired"},
+		{Kind: "resp", ClientID: "c4", Seq: 0, Body: json.RawMessage(`{}`)},
+	}
+}
+
+// FuzzDecodeMessage asserts the frame decoder never panics: arbitrary
+// bytes either decode to a message or return an error. Both codecs share
+// the entry point (binary frames self-identify by the leading byte).
+func FuzzDecodeMessage(f *testing.F) {
+	for _, m := range fuzzSeedMessages() {
+		for _, codec := range []string{CodecJSON, CodecBinary} {
+			if data, err := encodeMessage(m, codec); err == nil {
+				f.Add(data)
+				// Truncations and corruptions of valid frames are the
+				// interesting seeds.
+				f.Add(data[:len(data)/2])
+				if len(data) > 4 {
+					mut := append([]byte(nil), data...)
+					mut[3] ^= 0xFF
+					f.Add(mut)
+				}
+			}
+		}
+	}
+	f.Add([]byte{binaryMagic})
+	f.Add([]byte{binaryMagic, binaryVersion})
+	f.Add([]byte{binaryMagic, binaryVersion, binKindReq, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeMessage(data)
+		if err == nil && m == nil {
+			t.Fatal("nil message with nil error")
+		}
+		if err == nil && m.Kind != "req" && m.Kind != "resp" && m.Kind != "" {
+			// JSON tolerates arbitrary kinds; binary must not invent one.
+			if len(data) > 0 && data[0] == binaryMagic {
+				t.Fatalf("binary decode produced kind %q", m.Kind)
+			}
+		}
+	})
+}
+
+// Every message must survive encode→decode unchanged in both codecs.
+func TestCodecRoundTrip(t *testing.T) {
+	for _, codec := range []string{CodecJSON, CodecBinary} {
+		for _, in := range fuzzSeedMessages() {
+			data, err := encodeMessage(in, codec)
+			if err != nil {
+				t.Fatalf("%s encode: %v", codec, err)
+			}
+			out, err := decodeMessage(data)
+			if err != nil {
+				t.Fatalf("%s decode: %v", codec, err)
+			}
+			if out.Kind != in.Kind || out.Method != in.Method || out.ClientID != in.ClientID ||
+				out.Seq != in.Seq || out.Session != in.Session || out.Error != in.Error ||
+				out.Fault != in.Fault || !bytes.Equal(out.Body, in.Body) {
+				t.Fatalf("%s round trip:\n in  %+v\n out %+v", codec, in, out)
+			}
+		}
+	}
+}
+
+// Every proper prefix of a valid binary frame must decode to an error,
+// never a panic and never a silently short message.
+func TestBinaryDecodeTruncations(t *testing.T) {
+	m := fuzzSeedMessages()[1]
+	data, err := encodeMessage(m, CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n < len(data); n++ {
+		if _, err := decodeMessage(data[:n]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded cleanly", n, len(data))
+		}
+	}
+	// Trailing garbage must be rejected too (a frame is exactly one message).
+	if _, err := decodeMessage(append(append([]byte(nil), data...), 0x00)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// An oversized encoded frame must be refused at write time, not sent.
+func TestWriteFrameCodecOversized(t *testing.T) {
+	big := &Message{Kind: "req", Method: "m", Body: bytes.Repeat([]byte("a"), MaxFrame)}
+	big.Body = json.RawMessage(`"` + string(bytes.Repeat([]byte("a"), MaxFrame)) + `"`)
+	var buf bytes.Buffer
+	if err := writeFrameCodec(&buf, big, CodecBinary); err == nil {
+		t.Fatal("oversized binary frame written")
+	}
+	if buf.Len() > 4 {
+		t.Fatal("partial oversized frame leaked to the wire")
+	}
+}
+
+// The reader must reject an announced length beyond MaxFrame without
+// allocating it.
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(MaxFrame+1))
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized announced length accepted")
+	}
+}

@@ -27,37 +27,30 @@ const MaxFrame = 16 << 20
 
 // Message is the on-wire unit.
 type Message struct {
-	ClientID string          `json:"client_id"`
-	Seq      uint64          `json:"seq"`
-	Kind     string          `json:"kind"` // "req" or "resp"
-	Method   string          `json:"method,omitempty"`
-	Token    *gsi.AuthToken  `json:"token,omitempty"`
-	Body     json.RawMessage `json:"body,omitempty"`
-	Error    string          `json:"error,omitempty"`
+	ClientID string         `json:"client_id"`
+	Seq      uint64         `json:"seq"`
+	Kind     string         `json:"kind"` // "req" or "resp"
+	Method   string         `json:"method,omitempty"`
+	Token    *gsi.AuthToken `json:"token,omitempty"`
+	// Session identifies an authenticated per-connection session
+	// established by the wire.hello handshake; requests carrying a valid
+	// session ID skip per-message token verification (protocol v2).
+	Session string          `json:"session,omitempty"`
+	Body    json.RawMessage `json:"body,omitempty"`
+	Error   string          `json:"error,omitempty"`
 	// Fault carries the faultclass name for Error, so clients can
 	// branch on a typed class instead of the error prose.
 	Fault string `json:"fault,omitempty"`
 }
 
-// WriteFrame writes one framed message to w.
+// WriteFrame writes one framed message to w in the v1 JSON codec.
 func WriteFrame(w io.Writer, m *Message) error {
-	data, err := json.Marshal(m)
-	if err != nil {
-		return err
-	}
-	if len(data) > MaxFrame {
-		return fmt.Errorf("wire: frame too large: %d", len(data))
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(data)
-	return err
+	return writeFrameCodec(w, m, CodecJSON)
 }
 
-// ReadFrame reads one framed message from r.
+// ReadFrame reads one framed message from r. The payload codec is
+// detected per frame, so a reader accepts JSON and binary frames
+// regardless of what was negotiated for the write direction.
 func ReadFrame(r io.Reader) (*Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -71,11 +64,7 @@ func ReadFrame(r io.Reader) (*Message, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
-	var m Message
-	if err := json.Unmarshal(buf, &m); err != nil {
-		return nil, err
-	}
-	return &m, nil
+	return decodeMessage(buf)
 }
 
 // Handler serves one RPC method. peer is the authenticated grid subject
@@ -341,7 +330,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	var wmu sync.Mutex // serialize frame writes from concurrent handlers
+	sc := &srvConn{conn: conn}
 	for {
 		msg, err := ReadFrame(conn)
 		if err != nil {
@@ -353,21 +342,26 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.cfg.Faults.blackholeConn() {
 			continue // one-way partition: the frame arrived, then vanished
 		}
+		if msg.Method == HelloMethod {
+			// Handled inline on the read loop: no further frames are
+			// read until the hello response is written, so the codec
+			// switch and session state need no ordering games against
+			// concurrently dispatched requests.
+			s.handleHello(sc, msg)
+			continue
+		}
 		s.wg.Add(1)
 		go func(msg *Message) {
 			defer s.wg.Done()
-			resp := s.dispatch(msg)
+			resp := s.dispatch(msg, sc)
 			if resp == nil {
 				return // injected request/response loss
 			}
 			if s.cfg.Faults.resetMidFrame(msg.Method) {
-				writeTornFrame(conn, &wmu, resp)
+				writeTornFrame(sc, resp)
 				return
 			}
-			wmu.Lock()
-			err := WriteFrame(conn, resp)
-			wmu.Unlock()
-			if err != nil {
+			if err := sc.write(resp); err != nil {
 				conn.Close()
 			}
 		}(msg)
@@ -378,24 +372,25 @@ func (s *Server) serveConn(conn net.Conn) {
 // then resets the connection — the mid-frame connection loss of §4.2.
 // The response stays in the reply cache, so a client retry of the same
 // sequence number still gets exactly-once semantics.
-func writeTornFrame(conn net.Conn, wmu *sync.Mutex, m *Message) {
-	data, err := json.Marshal(m)
+func writeTornFrame(sc *srvConn, m *Message) {
+	sc.wmu.Lock()
+	data, err := encodeMessage(m, sc.codec)
 	if err != nil {
-		conn.Close()
+		sc.wmu.Unlock()
+		sc.conn.Close()
 		return
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	wmu.Lock()
-	conn.Write(hdr[:])
-	conn.Write(data[:len(data)/2])
-	wmu.Unlock()
-	conn.Close()
+	sc.conn.Write(hdr[:])
+	sc.conn.Write(data[:len(data)/2])
+	sc.wmu.Unlock()
+	sc.conn.Close()
 }
 
 // dispatch runs one request through fault injection, the reply cache,
 // authentication, and the handler. A nil return means "say nothing".
-func (s *Server) dispatch(msg *Message) *Message {
+func (s *Server) dispatch(msg *Message, sc *srvConn) *Message {
 	if d := s.cfg.Faults.delay(msg.Method); d > 0 {
 		time.Sleep(d)
 	}
@@ -412,18 +407,37 @@ func (s *Server) dispatch(msg *Message) *Message {
 	resp := &Message{ClientID: msg.ClientID, Seq: msg.Seq, Kind: "resp"}
 	peer := ""
 	if s.cfg.Anchor != nil {
-		subject, err := msg.Token.Verify(s.cfg.Anchor, authContext(s.cfg.Name, msg.Method), s.cfg.Clock())
-		if err != nil {
-			resp.Error = "auth: " + err.Error()
-			resp.Fault = faultclass.AuthExpired.String()
-			// Auth failures are not cached: a refreshed credential
-			// retrying the same sequence number must be re-evaluated.
-			if s.cfg.Faults.dropResponse(msg.Method) {
-				return nil
+		if msg.Session != "" {
+			// Session auth (protocol v2): the token was verified once at
+			// handshake; the request only needs to name the session that
+			// this very connection established. A stale or foreign ID
+			// gets the same AuthExpired classification as a bad token,
+			// which sends the client back through the handshake.
+			subject, ok := sc.sessionPeer(msg.Session)
+			if !ok {
+				resp.Error = "auth: unknown or expired session"
+				resp.Fault = faultclass.AuthExpired.String()
+				// Not cached, same as token failures below.
+				if s.cfg.Faults.dropResponse(msg.Method) {
+					return nil
+				}
+				return resp
 			}
-			return resp
+			peer = subject
+		} else {
+			subject, err := msg.Token.Verify(s.cfg.Anchor, authContext(s.cfg.Name, msg.Method), s.cfg.Clock())
+			if err != nil {
+				resp.Error = "auth: " + err.Error()
+				resp.Fault = faultclass.AuthExpired.String()
+				// Auth failures are not cached: a refreshed credential
+				// retrying the same sequence number must be re-evaluated.
+				if s.cfg.Faults.dropResponse(msg.Method) {
+					return nil
+				}
+				return resp
+			}
+			peer = subject
 		}
-		peer = subject
 	}
 	s.mu.Lock()
 	h, ok := s.handlers[msg.Method]

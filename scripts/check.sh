@@ -1,0 +1,16 @@
+#!/bin/sh
+# Static hygiene gate: formatting and vet, run from the repo root.
+# Used by the verify recipe and safe to run standalone; exits non-zero
+# (with the offending files on stdout) on any violation.
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted"
+    exit 1
+fi
+
+go vet ./...
+echo "check.sh: gofmt + go vet clean"
