@@ -5,13 +5,20 @@
 // line tools that allow the user to perform job management operations"
 // with the look and feel of a local resource manager.
 //
+// `condorg serve -standby ADDR` runs the same binary as a hot standby: it
+// tails the primary's hash-chained journal stream into its own state
+// directory and promotes itself to a full agent when the primary's lease
+// expires. `condorg audit verify -state DIR` proves a state directory's
+// journal history offline, exiting non-zero (naming the damaged segment
+// and chain sequence) on any corruption.
+//
 // Job-op failures map the control plane's fault classes onto exit codes:
 // transient failures (agent restarting, site unreachable) exit 75
 // (EX_TEMPFAIL, "retry me"), everything else exits 1.
 //
 // Usage:
 //
-//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-max-submit-retries n] [-per-site-inflight n] [-max-inflight n] [-stage-chunk-size n] [-stage-streams n] [-no-stage] [-no-metrics]
+//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-ha] [-standby addr] [-lease-ttl d] [-standby-poll d] [-max-submit-retries n] [-per-site-inflight n] [-max-inflight n] [-stage-chunk-size n] [-stage-streams n] [-no-stage] [-no-metrics]
 //	condorg submit -agent 127.0.0.1:7100 [-owner u] [-site addr] program [args...]
 //	condorg q      -agent 127.0.0.1:7100 [-owner u] [-state idle,running] [-limit n] [-after job-id]
 //	condorg status -agent 127.0.0.1:7100 <job-id>
@@ -24,14 +31,17 @@
 //	condorg trace  -agent 127.0.0.1:7100 <job-id>
 //	condorg metrics -agent 127.0.0.1:7100
 //	condorg health  -agent 127.0.0.1:7100
+//	condorg audit verify -state dir [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -39,6 +49,7 @@ import (
 	"condorg/internal/broker"
 	"condorg/internal/condorg"
 	"condorg/internal/faultclass"
+	"condorg/internal/journal"
 	"condorg/internal/mds"
 	"condorg/internal/obs"
 )
@@ -62,6 +73,8 @@ func main() {
 		metrics(args)
 	case "health":
 		health(args)
+	case "audit":
+		audit(args)
 	case "status", "wait", "rm", "hold", "release", "log", "stdout", "trace":
 		jobOp(cmd, args)
 	default:
@@ -70,8 +83,64 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: condorg <serve|submit|q|status|wait|rm|hold|release|log|stdout|trace|metrics|health|sites> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: condorg <serve|submit|q|status|wait|rm|hold|release|log|stdout|trace|metrics|health|audit|sites> [flags]")
 	os.Exit(2)
+}
+
+// audit verifies a state directory's journal history offline: every frame
+// CRC, every hash-chain link, every segment boundary, and the snapshot
+// anchor. Exits 1 — naming the damaged segment and chain sequence — on any
+// corruption or leftover quarantine evidence.
+func audit(args []string) {
+	if len(args) < 1 || args[0] != "verify" {
+		fmt.Fprintln(os.Stderr, "usage: condorg audit verify -state dir [-json]")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("audit verify", flag.ExitOnError)
+	state := fs.String("state", "", "agent state directory (or a queue store directory)")
+	asJSON := fs.Bool("json", false, "emit the full report as JSON")
+	fs.Parse(args[1:])
+	if *state == "" {
+		log.Fatal("condorg audit verify: need -state")
+	}
+	dir := *state
+	// Accept either the agent StateDir or its queue store directly.
+	if st, err := os.Stat(filepath.Join(dir, "queue")); err == nil && st.IsDir() {
+		dir = filepath.Join(dir, "queue")
+	}
+	rep, verr := journal.VerifyDir(dir)
+	if *asJSON {
+		out, _ := json.MarshalIndent(rep, "", "  ")
+		fmt.Println(string(out))
+	} else {
+		if rep.Anchored {
+			fmt.Printf("snapshot: %d keys, chain anchor seq %d\n", rep.Keys, rep.Snapshot.Seq)
+		} else {
+			fmt.Printf("snapshot: %d keys, legacy (no chain anchor)\n", rep.Keys)
+		}
+		for _, seg := range rep.Segments {
+			status := "ok"
+			if seg.Err != "" {
+				status = "CORRUPT: " + seg.Err
+			} else if seg.Legacy {
+				status = "ok (contains unchained records)"
+			}
+			fmt.Printf("%-40s %7d records  seq %d..%d  %s\n", seg.Path, seg.Records, seg.First, seg.Last, status)
+		}
+		for _, q := range rep.Quarantined {
+			fmt.Printf("%-40s QUARANTINED (inspect and remove to reopen)\n", q)
+		}
+		fmt.Printf("verified chain head: seq %d\n", rep.Head.Seq)
+	}
+	if verr != nil {
+		fmt.Fprintln(os.Stderr, "condorg audit:", verr)
+		os.Exit(1)
+	}
+	if !rep.OK() {
+		fmt.Fprintln(os.Stderr, "condorg audit: history not clean (quarantined segments present)")
+		os.Exit(1)
+	}
+	fmt.Println("history verified: every record extends the hash chain")
 }
 
 // die reports a job-op failure and exits with a class-aware code: 75
@@ -132,6 +201,10 @@ func serve(args []string) {
 	batchMaxJobs := fs.Int("batch-max-jobs", 0, "max jobs coalesced into one batch wire frame; 1 disables batching (0 = default 32)")
 	batchMaxDelay := fs.Duration("batch-max-delay", 0, "linger after the first drained submit so trailing jobs join the batch (0 = send immediately)")
 	wireCodec := fs.String("wire-codec", "", "wire frame codec offered at handshake: binary or json (default binary)")
+	ha := fs.Bool("ha", false, "hot-standby support: replicate job payloads through the journal and wait for the follower's ack on submits")
+	standby := fs.String("standby", "", "run as a hot standby tailing the primary at this control address; take over when its lease expires")
+	leaseTTL := fs.Duration("lease-ttl", 0, "standby: declare the primary dead after this long without contact (0 = default 3s)")
+	standbyPoll := fs.Duration("standby-poll", 0, "standby: journal stream long-poll bound (0 = default 1s)")
 	fs.Parse(args)
 
 	var selector condorg.Selector
@@ -171,6 +244,47 @@ func serve(args []string) {
 	cfg.Batch.MaxJobs = *batchMaxJobs
 	cfg.Batch.MaxDelay = *batchMaxDelay
 	cfg.Wire.Codec = *wireCodec
+	cfg.HA.Enabled = *ha
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *standby != "" {
+		sb, err := condorg.NewStandby(condorg.StandbyConfig{
+			Primary:  *standby,
+			StateDir: stateDir,
+			LeaseTTL: *leaseTTL,
+			Poll:     *standbyPoll,
+			Journal:  cfg.Journal,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("condorg standby: tailing %s (state %s)\n", *standby, stateDir)
+		select {
+		case <-sig:
+			fmt.Println("condorg standby: shutting down")
+			sb.Close()
+			return
+		case <-sb.TakeoverCh():
+			fmt.Printf("condorg standby: primary lease expired at replicated seq %d; taking over\n", sb.Head().Seq)
+		}
+		agent, err := sb.Takeover(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer agent.Close()
+		ctl, err := condorg.NewControlServerAddr(agent, *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ctl.Close()
+		fmt.Printf("condorg agent (promoted): control endpoint %s (state %s)\n", ctl.Addr(), stateDir)
+		<-sig
+		fmt.Println("condorg agent: shutting down")
+		return
+	}
+
 	agent, err := condorg.NewAgent(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -182,9 +296,6 @@ func serve(args []string) {
 	}
 	defer ctl.Close()
 	fmt.Printf("condorg agent: control endpoint %s (state %s)\n", ctl.Addr(), stateDir)
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("condorg agent: shutting down")
 }
@@ -292,13 +403,20 @@ func health(args []string) {
 	fs.Parse(args)
 	cli := condorg.NewControlClient(*agent)
 	defer cli.Close()
-	sites, err := cli.Health()
+	resp, err := cli.HealthFull()
 	if err != nil {
 		die(err)
 	}
+	if ha := resp.HA; ha != nil && ha.Enabled {
+		armed := "follower not yet acked"
+		if ha.SyncArmed {
+			armed = "sync replication armed"
+		}
+		fmt.Printf("HA: chain seq %d, follower acked %d (%s)\n", ha.ChainSeq, ha.FollowerAcked, armed)
+	}
 	fmt.Printf("%-10s %-22s %-10s %6s %8s %9s %10s %11s\n",
 		"OWNER", "SITE", "BREAKER", "FAILS", "QUEUED", "INFLIGHT", "STAGE-HIT", "STAGE-MISS")
-	for _, s := range sites {
+	for _, s := range resp.Sites {
 		fmt.Printf("%-10s %-22s %-10s %6d %8d %9d %10d %11d\n",
 			s.Owner, s.Site, s.Breaker, s.Fails, s.Queued, s.InFlight, s.StageHits, s.StageMisses)
 	}

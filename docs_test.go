@@ -88,6 +88,42 @@ func TestWireFlagsDocumented(t *testing.T) {
 	}
 }
 
+// TestHAFlagsDocumented guards the HA/standby surface the same way: the
+// serve flags and the audit subcommand must be registered by the CLI and
+// documented in the operator guide, and the design doc must keep the
+// section describing the journal chain they rely on.
+func TestHAFlagsDocumented(t *testing.T) {
+	doc, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile("cmd/condorg/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ha", "standby", "lease-ttl", "standby-poll"} {
+		if !strings.Contains(string(src), fmt.Sprintf("(%q,", name)) {
+			t.Errorf("cmd/condorg/main.go does not register -%s", name)
+		}
+		if !strings.Contains(string(doc), "`-"+name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document -%s", name)
+		}
+	}
+	if !strings.Contains(string(src), `case "audit":`) {
+		t.Error("cmd/condorg/main.go lost the audit subcommand")
+	}
+	if !strings.Contains(string(doc), "condorg audit verify") {
+		t.Error("docs/OPERATIONS.md does not document `condorg audit verify`")
+	}
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(design), "Verifiable journal & hot-standby failover") {
+		t.Error("DESIGN.md lost its verifiable journal / failover section")
+	}
+}
+
 // TestReadmeLinksOperationsDoc: the operator guide is reachable from the
 // front page.
 func TestReadmeLinksOperationsDoc(t *testing.T) {

@@ -184,6 +184,8 @@ type AgentConfig struct {
 	// before it is acknowledged; concurrent jobs share fsyncs through
 	// group commit, so the cost amortizes under load.
 	Journal journal.StoreOptions
+	// HA configures hot-standby failover (see Standby).
+	HA HAOptions
 	// Obs configures metrics and tracing.
 	Obs ObsOptions
 }
@@ -219,6 +221,26 @@ func DefaultAgentConfig() AgentConfig {
 		},
 	}
 }
+
+// HAOptions configures hot-standby support on the primary agent.
+type HAOptions struct {
+	// Enabled journals job payloads (executable, stdin) into the queue
+	// store alongside the job record — so a standby tailing the journal
+	// stream can re-stage them after takeover — and turns on synchronous
+	// replication: once a standby has acknowledged progress, acknowledged
+	// submissions additionally wait (after local durability) until the
+	// standby holds them.
+	Enabled bool
+	// SyncTimeout bounds how long an acknowledged write waits for a
+	// lagging standby before disarming the sync wait (default 1s;
+	// availability beats replication — the wait re-arms on the standby's
+	// next acknowledgement).
+	SyncTimeout time.Duration
+}
+
+// spoolKeyPrefix namespaces replicated job payloads inside the queue
+// store, apart from the job records keyed by bare job ID.
+const spoolKeyPrefix = "spool/"
 
 // maxOpenUserLogs bounds the persistent user-log file handles kept open for
 // non-terminal jobs; excess handles are closed and reopened on demand.
@@ -338,6 +360,9 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		return nil, err
 	}
 	a.store = store
+	if cfg.HA.Enabled {
+		store.SyncReplication(cfg.HA.SyncTimeout)
+	}
 	gassS, err := gass.NewServer(filepath.Join(cfg.StateDir, "spool"), gass.ServerOptions{Faults: cfg.Faults.GASS})
 	if err != nil {
 		store.Close()
@@ -471,7 +496,19 @@ func (a *Agent) Trace(id string) (obs.Timeline, error) {
 func (a *Agent) recover() error {
 	var recovered []*jobRecord
 	tombOwners := make(map[string]bool)
+	spool := make(map[string][]byte)
 	err := a.store.ForEach(func(key string, raw json.RawMessage) error {
+		if rel, ok := strings.CutPrefix(key, spoolKeyPrefix); ok {
+			// A replicated job payload, not a job record: collect it for
+			// materialization into the GASS spool below (the standby's disk
+			// has the journal but not the staged files).
+			var data []byte
+			if err := json.Unmarshal(raw, &data); err != nil {
+				return fmt.Errorf("condorg: spool entry %s: %w", key, err)
+			}
+			spool[rel] = data
+			return nil
+		}
 		var rec jobRecord
 		if err := json.Unmarshal(raw, &rec.JobInfo); err != nil {
 			return err
@@ -513,6 +550,13 @@ func (a *Agent) recover() error {
 	})
 	if err != nil {
 		return err
+	}
+	// Re-stage replicated payloads before any job restarts: a recovered
+	// submission's JobManager will fetch the executable from these URLs.
+	for rel, data := range spool {
+		if err := a.stage.WriteFile(a.gassS.URLFor(rel), data); err != nil {
+			return fmt.Errorf("condorg: re-stage %s: %w", rel, err)
+		}
 	}
 	for _, rec := range recovered {
 		// The GASS server restarted on a new port: rewrite the job's
@@ -632,6 +676,12 @@ func (a *Agent) finishJob(rec *jobRecord) {
 	}
 	a.mu.Unlock()
 	a.closeUserLog(rec.ID)
+	if a.cfg.HA.Enabled {
+		// The replicated payload has served its purpose; drop it so the
+		// journal stream and snapshots don't carry finished jobs' bytes.
+		_ = a.store.Delete(spoolKeyPrefix + filepath.Join("jobs", rec.ID, "executable"))
+		_ = a.store.Delete(spoolKeyPrefix + filepath.Join("jobs", rec.ID, "stdin"))
+	}
 }
 
 // noteJobChange wakes whole-queue watchers (WaitAll) and the owner's
@@ -919,6 +969,14 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 		// surfacing an unclassified error.
 		return "", faultclass.New(faultclass.Transient, fmt.Errorf("condorg: stage executable: %w", err))
 	}
+	if a.cfg.HA.Enabled {
+		// Replicate the payload through the journal stream BEFORE the job
+		// record: a standby that holds the record also holds the bytes it
+		// must re-stage after takeover.
+		if err := a.store.Put(spoolKeyPrefix+filepath.Join("jobs", id, "executable"), req.Executable); err != nil {
+			return "", faultclass.New(faultclass.Transient, fmt.Errorf("condorg: journal executable: %w", err))
+		}
+	}
 	spec := gram.JobSpec{
 		Executable: execURL.String(),
 		Args:       req.Args,
@@ -933,6 +991,11 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 		stdinURL := a.gassS.URLFor(filepath.Join("jobs", id, "stdin"))
 		if err := a.stage.WriteFile(stdinURL, req.Stdin); err != nil {
 			return "", faultclass.New(faultclass.Transient, fmt.Errorf("condorg: stage stdin: %w", err))
+		}
+		if a.cfg.HA.Enabled {
+			if err := a.store.Put(spoolKeyPrefix+filepath.Join("jobs", id, "stdin"), req.Stdin); err != nil {
+				return "", faultclass.New(faultclass.Transient, fmt.Errorf("condorg: journal stdin: %w", err))
+			}
 		}
 		spec.Stdin = stdinURL.String()
 	}

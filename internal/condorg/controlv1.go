@@ -135,9 +135,21 @@ type CtlSiteHealth struct {
 	StageMisses int `json:"stage_misses,omitempty"`
 }
 
-// CtlHealthResp is the per-site health listing.
+// CtlHAStatus summarizes the primary's replication state: the queue's
+// chain head, how far the standby has acknowledged, and whether the
+// synchronous-replication wait is currently armed.
+type CtlHAStatus struct {
+	Enabled       bool   `json:"enabled"`
+	ChainSeq      uint64 `json:"chain_seq"`
+	FollowerAcked uint64 `json:"follower_acked"`
+	SyncArmed     bool   `json:"sync_armed"`
+}
+
+// CtlHealthResp is the per-site health listing, plus the agent's HA
+// replication status when hot-standby support is enabled.
 type CtlHealthResp struct {
 	Sites []CtlSiteHealth `json:"sites"`
+	HA    *CtlHAStatus    `json:"ha,omitempty"`
 }
 
 // handleV1 is the single wire handler behind every v1 op. Application
@@ -196,6 +208,9 @@ func (c *ControlServer) registerOps() {
 		"trace":   c.opTrace,
 		"metrics": c.opMetrics,
 		"health":  c.opHealth,
+		// Journal replication (see hastream.go): standby bootstrap + tail.
+		"journal.snapshot": c.opJournalSnapshot,
+		"journal.stream":   c.opJournalStream,
 	}
 }
 
@@ -349,7 +364,17 @@ func (c *ControlServer) opMetrics(json.RawMessage) (any, error) {
 }
 
 func (c *ControlServer) opHealth(json.RawMessage) (any, error) {
-	return CtlHealthResp{Sites: c.agent.PipelineHealth()}, nil
+	resp := CtlHealthResp{Sites: c.agent.PipelineHealth()}
+	if c.agent.cfg.HA.Enabled {
+		acked, armed := c.agent.store.FollowerAckedSeq()
+		resp.HA = &CtlHAStatus{
+			Enabled:       true,
+			ChainSeq:      c.agent.store.ChainHead().Seq,
+			FollowerAcked: acked,
+			SyncArmed:     armed,
+		}
+	}
+	return resp, nil
 }
 
 // call runs one v1 op round-trip: envelope out, envelope back, typed
@@ -406,9 +431,17 @@ func (c *ControlClient) Metrics() ([]obs.Metric, error) {
 
 // Health fetches the per-owner, per-site breaker and pipeline view.
 func (c *ControlClient) Health() ([]CtlSiteHealth, error) {
-	var resp CtlHealthResp
-	if err := c.call("health", nil, &resp); err != nil {
+	resp, err := c.HealthFull()
+	if err != nil {
 		return nil, err
 	}
 	return resp.Sites, nil
+}
+
+// HealthFull fetches the health listing including the HA replication
+// status (nil unless the agent runs with HAOptions.Enabled).
+func (c *ControlClient) HealthFull() (CtlHealthResp, error) {
+	var resp CtlHealthResp
+	err := c.call("health", nil, &resp)
+	return resp, err
 }

@@ -1,0 +1,206 @@
+package condorg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"condorg/internal/gram"
+)
+
+// runFailoverSeed drives one deterministic primary-kill schedule: a standby
+// tails the primary while a burst of jobs is submitted, the primary is
+// killed mid-burst at a seeded moment, the standby's lease expires, and the
+// promoted agent must finish every acknowledged job — exactly once.
+//
+// The killing-flag protocol resolves the inherent submit/kill race: the
+// killer raises `killing` BEFORE closing the primary, and each submitter
+// samples it AFTER Submit returns. A submission acknowledged while the flag
+// was down happened strictly before the kill began; synchronous replication
+// (armed, with a generous timeout and a healthy standby) then guarantees
+// the standby holds it, so losing it is a failover bug. Submissions that
+// raced the kill are ambiguous — they may or may not have replicated — but
+// even those must never execute twice.
+func runFailoverSeed(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	completions := map[string]int{}
+	rt := chaosRuntime(&mu, completions)
+
+	const nSites = 2
+	var gks []string
+	for i := 0; i < nSites; i++ {
+		site := newChaosSite(t, fmt.Sprintf("fo%d", i), rt, t.TempDir(), "", nil)
+		t.Cleanup(site.Close)
+		gks = append(gks, site.GatekeeperAddr())
+	}
+
+	primary, err := NewAgent(AgentConfig{
+		StateDir: t.TempDir(),
+		Selector: &RoundRobinSelector{Sites: gks},
+		Probe:    ProbeOptions{Interval: 25 * time.Millisecond},
+		Retry:    RetryOptions{MaxResubmits: 50},
+		HA:       HAOptions{Enabled: true, SyncTimeout: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewControlServer(primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewStandby(StandbyConfig{
+		Primary:  ctl.Addr(),
+		StateDir: t.TempDir(),
+		Poll:     50 * time.Millisecond,
+		LeaseTTL: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm sync replication before the burst: one replicated write, then
+	// wait until the standby has acknowledged it.
+	warmID, err := primary.Submit(SubmitRequest{
+		Owner: "u", Executable: gram.Program("chaos"),
+		Args: []string{fmt.Sprintf("s%dwarm", seed), "10ms"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if acked, armed := primary.store.FollowerAckedSeq(); armed && acked > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sync replication never armed (standby err=%v)", sb.LastErr())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The burst, racing the killer.
+	type submission struct {
+		id  string
+		key string
+		amb bool // raced the kill; replication not guaranteed
+	}
+	var (
+		subMu   sync.Mutex
+		subs    []submission
+		killing bool
+	)
+	const nJobs = 8
+	var wg sync.WaitGroup
+	killDelay := time.Duration(5+rng.Intn(80)) * time.Millisecond
+	// Draw every duration before spawning: rand.Rand is not goroutine-safe.
+	durations := make([]time.Duration, nJobs)
+	for i := range durations {
+		durations[i] = time.Duration(30+rng.Intn(120)) * time.Millisecond
+	}
+	for i := 0; i < nJobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("s%dj%d", seed, i)
+			d := durations[i]
+			id, err := primary.Submit(SubmitRequest{
+				Owner:      "u",
+				Executable: gram.Program("chaos"),
+				Args:       []string{key, d.String()},
+			})
+			if err != nil {
+				return // never acknowledged; the job does not exist
+			}
+			subMu.Lock()
+			subs = append(subs, submission{id: id, key: key, amb: killing})
+			subMu.Unlock()
+		}(i)
+	}
+	time.Sleep(killDelay)
+	subMu.Lock()
+	killing = true
+	subMu.Unlock()
+	ctl.Close()
+	primary.Close()
+	wg.Wait()
+
+	select {
+	case <-sb.TakeoverCh():
+	case <-time.After(10 * time.Second):
+		t.Fatal("standby never declared the primary dead")
+	}
+	promoted, err := sb.Takeover(AgentConfig{
+		Selector: &RoundRobinSelector{Sites: gks},
+		Probe:    ProbeOptions{Interval: 25 * time.Millisecond},
+		Retry:    RetryOptions{MaxResubmits: 50},
+	})
+	if err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+	defer promoted.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := promoted.WaitAll(ctx); err != nil {
+		t.Fatalf("promoted agent never drained: %v", err)
+	}
+
+	subs = append(subs, submission{id: warmID, key: fmt.Sprintf("s%dwarm", seed)})
+	for _, s := range subs {
+		info, err := promoted.Status(s.id)
+		if errors.Is(err, ErrNoSuchJob) {
+			if !s.amb {
+				t.Fatalf("job %s (%s) was acknowledged before the kill began but is lost", s.id, s.key)
+			}
+			// Ambiguous and unreplicated: tolerated, but its one possible
+			// site incarnation must not have run more than once.
+			mu.Lock()
+			n := completions[s.key]
+			mu.Unlock()
+			if n > 1 {
+				t.Fatalf("orphaned job %s executed %d times", s.key, n)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State != Completed {
+			t.Fatalf("job %s (%s) finished as %v (err=%q)", s.id, s.key, info.State, info.Error)
+		}
+		mu.Lock()
+		n := completions[s.key]
+		mu.Unlock()
+		if n < 1 {
+			t.Fatalf("job %s (%s) reported Completed but never ran (lost work)", s.id, s.key)
+		}
+		if n > info.Resubmits+info.Migrations+1 {
+			t.Fatalf("job %s (%s) ran to completion %d times with %d resubmits/%d migrations — double execution",
+				s.id, s.key, n, info.Resubmits, info.Migrations)
+		}
+		if info.Resubmits == 0 && info.Migrations == 0 && n != 1 {
+			t.Fatalf("job %s (%s) was never resubmitted yet completed %d times", s.id, s.key, n)
+		}
+	}
+}
+
+// TestFailoverChaos is the seeded primary-kill harness. Reproduce one
+// schedule with
+//
+//	go test -run 'TestFailoverChaos/seed=7' ./internal/condorg/
+func TestFailoverChaos(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		if !t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { runFailoverSeed(t, seed) }) {
+			t.Fatalf("failover chaos failed at seed %d; reproduce with: go test -run 'TestFailoverChaos/seed=%d' ./internal/condorg/", seed, seed)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package condorg
+
+import (
+	"encoding/json"
+	"time"
+
+	"condorg/internal/journal"
+)
+
+// Journal replication over the control plane: a standby bootstraps from
+// journal.snapshot, then long-polls journal.stream for hash-chained deltas
+// (see Standby in standby.go). Each stream request piggybacks the
+// follower's durable position as an acknowledgement, which is what arms
+// the primary's synchronous-replication wait (HAOptions.Enabled).
+
+// CtlJournalSnapshotResp is the full queue-store key space plus the chain
+// head it is valid at — a follower installs it verbatim and tails the
+// stream from Head.
+type CtlJournalSnapshotResp struct {
+	Data map[string]json.RawMessage `json:"data"`
+	Head journal.ChainState         `json:"head"`
+}
+
+// CtlJournalStreamReq asks for chained deltas after a position. WaitMS
+// long-polls server-side until the head advances (bounded so one RPC never
+// outlives the wire timeout); Ack reports the follower's durable position.
+type CtlJournalStreamReq struct {
+	After  uint64 `json:"after"`
+	Max    int    `json:"max,omitempty"`
+	WaitMS int    `json:"wait_ms,omitempty"`
+	Ack    uint64 `json:"ack,omitempty"`
+}
+
+// CtlJournalStreamResp carries the deltas. Reset tells a follower it has
+// fallen behind the primary's stream ring (or diverged) and must
+// re-bootstrap from a snapshot.
+type CtlJournalStreamResp struct {
+	Records []journal.StreamRecord `json:"records,omitempty"`
+	Head    journal.ChainState     `json:"head"`
+	Reset   bool                   `json:"reset,omitempty"`
+}
+
+func (c *ControlServer) opJournalSnapshot(json.RawMessage) (any, error) {
+	data, head := c.agent.store.SnapshotDump()
+	return CtlJournalSnapshotResp{Data: data, Head: head}, nil
+}
+
+func (c *ControlServer) opJournalStream(body json.RawMessage) (any, error) {
+	var req CtlJournalStreamReq
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, ctlBadRequest("condorg: bad journal.stream body: %v", err)
+		}
+	}
+	if req.Ack > 0 {
+		c.agent.store.FollowerAck(req.Ack)
+	}
+	if req.WaitMS > 0 {
+		c.agent.store.WaitStream(req.After, time.Duration(req.WaitMS)*time.Millisecond)
+	}
+	recs, head, reset := c.agent.store.StreamSince(req.After, req.Max)
+	return CtlJournalStreamResp{Records: recs, Head: head, Reset: reset}, nil
+}
+
+// JournalSnapshot fetches the primary's full queue snapshot for follower
+// bootstrap.
+func (c *ControlClient) JournalSnapshot() (CtlJournalSnapshotResp, error) {
+	var resp CtlJournalSnapshotResp
+	err := c.call("journal.snapshot", nil, &resp)
+	return resp, err
+}
+
+// JournalStream fetches (long-polling) the next chained deltas.
+func (c *ControlClient) JournalStream(req CtlJournalStreamReq) (CtlJournalStreamResp, error) {
+	var resp CtlJournalStreamResp
+	err := c.call("journal.stream", req, &resp)
+	return resp, err
+}

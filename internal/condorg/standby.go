@@ -1,0 +1,218 @@
+package condorg
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"condorg/internal/journal"
+	"condorg/internal/wire"
+)
+
+// StandbyConfig configures a hot-standby follower.
+type StandbyConfig struct {
+	// Primary is the primary agent's control endpoint address.
+	Primary string
+	// StateDir is the standby's own state root; the replicated queue
+	// lands in StateDir/queue, and a takeover starts the new agent here.
+	StateDir string
+	// LeaseTTL is how long the primary may be unreachable before the
+	// standby declares it dead and signals TakeoverCh (default 3s).
+	LeaseTTL time.Duration
+	// Poll bounds one long-poll stream round trip (default 1s).
+	Poll time.Duration
+	// Journal configures the replicated store's own durability.
+	Journal journal.StoreOptions
+}
+
+// Standby is the hot half of agent failover: it tails the primary's
+// hash-chained journal stream over the control plane into its own queue
+// store — verifying every record extends the chain — keeping a warm copy
+// of the job table. Each poll acknowledges the standby's durable position,
+// which arms the primary's synchronous-replication wait. When the primary
+// stays unreachable past LeaseTTL, TakeoverCh closes; the operator (or
+// serve loop) then calls Takeover to start a full Agent on the replicated
+// state. Recovery resubmits in-flight jobs under their original
+// SubmissionIDs, and the sites' submission dedup keeps execution
+// exactly-once across the switch.
+type Standby struct {
+	cfg   StandbyConfig
+	store *journal.Store
+	cc    *ControlClient
+
+	stop     chan struct{}
+	done     chan struct{}
+	takeover chan struct{}
+
+	mu          sync.Mutex
+	lastContact time.Time
+	lastErr     error
+	halted      bool
+}
+
+// NewStandby opens the standby's local store and starts tailing the
+// primary.
+func NewStandby(cfg StandbyConfig) (*Standby, error) {
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("condorg: standby needs the primary's control address")
+	}
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("condorg: standby needs a StateDir")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 3 * time.Second
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = time.Second
+	}
+	store, err := journal.OpenStoreOptions(filepath.Join(cfg.StateDir, "queue"), cfg.Journal)
+	if err != nil {
+		return nil, err
+	}
+	s := &Standby{
+		cfg:   cfg,
+		store: store,
+		// Retries are the client's job here, not the wire layer's: the
+		// lease clock must see every failure promptly.
+		cc: &ControlClient{wc: wire.Dial(cfg.Primary, wire.ClientConfig{
+			ServerName: ControlService,
+			Timeout:    cfg.Poll + 2*time.Second,
+			Retries:    -1,
+		})},
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		takeover:    make(chan struct{}),
+		lastContact: time.Now(),
+	}
+	go s.run()
+	return s, nil
+}
+
+// TakeoverCh is closed once the primary's lease has expired: the standby
+// holds the freshest replicated state it will ever get, and the caller
+// should decide whether to Takeover.
+func (s *Standby) TakeoverCh() <-chan struct{} { return s.takeover }
+
+// Head returns the replicated chain head — how far this standby's copy of
+// the primary's history reaches.
+func (s *Standby) Head() journal.ChainState { return s.store.ChainHead() }
+
+// LastErr returns the most recent replication error (nil while healthy).
+func (s *Standby) LastErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+func (s *Standby) noteContact() {
+	s.mu.Lock()
+	s.lastContact = time.Now()
+	s.lastErr = nil
+	s.mu.Unlock()
+}
+
+func (s *Standby) noteErr(err error) (leaseExpired bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastErr = err
+	return time.Since(s.lastContact) > s.cfg.LeaseTTL
+}
+
+func (s *Standby) run() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if err := s.tailOnce(); err != nil {
+			if s.noteErr(err) {
+				close(s.takeover)
+				return
+			}
+			// Brief backoff so a down primary isn't hammered while the
+			// lease runs out.
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(s.cfg.Poll / 10):
+			}
+			continue
+		}
+		s.noteContact()
+	}
+}
+
+// tailOnce runs one replication round trip: long-poll for deltas after the
+// local head (acknowledging it), apply them, re-bootstrapping from a full
+// snapshot when the primary says the stream cannot continue.
+func (s *Standby) tailOnce() error {
+	after := s.store.ChainHead().Seq
+	resp, err := s.cc.JournalStream(CtlJournalStreamReq{
+		After:  after,
+		Max:    256,
+		WaitMS: int(s.cfg.Poll / time.Millisecond),
+		Ack:    after,
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Reset {
+		return s.rebootstrap()
+	}
+	for _, r := range resp.Records {
+		if err := s.store.ApplyReplica(r); err != nil {
+			// A discontinuity means this copy's history no longer extends
+			// the stream (e.g. the primary was itself restored); start
+			// over from a snapshot rather than replicate a divergence.
+			return s.rebootstrap()
+		}
+	}
+	return nil
+}
+
+func (s *Standby) rebootstrap() error {
+	boot, err := s.cc.JournalSnapshot()
+	if err != nil {
+		return err
+	}
+	return s.store.InstallSnapshot(boot.Data, boot.Head)
+}
+
+// halt stops the tail loop and waits it out.
+func (s *Standby) halt() {
+	s.mu.Lock()
+	if s.halted {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.halted = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+}
+
+// Takeover promotes the replicated state: the tail loop stops, the local
+// store closes (recovery will re-verify its chain), and a full Agent
+// starts on the standby's StateDir. cfg.StateDir is overridden; everything
+// else (selector, credential, retry policy, HA mode for the NEXT standby)
+// is the caller's.
+func (s *Standby) Takeover(cfg AgentConfig) (*Agent, error) {
+	s.halt()
+	s.cc.Close()
+	if err := s.store.Close(); err != nil {
+		return nil, err
+	}
+	cfg.StateDir = s.cfg.StateDir
+	return NewAgent(cfg)
+}
+
+// Close stops replication without taking over.
+func (s *Standby) Close() error {
+	s.halt()
+	s.cc.Close()
+	return s.store.Close()
+}

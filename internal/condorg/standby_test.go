@@ -1,0 +1,217 @@
+package condorg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"condorg/internal/faultclass"
+	"condorg/internal/gram"
+	"condorg/internal/journal"
+)
+
+// TestStandbyFailover is the HA happy path end to end: a standby tails the
+// primary's journal stream, the primary dies mid-flight, the lease expires,
+// and the promoted agent finishes every job without a single re-execution.
+func TestStandbyFailover(t *testing.T) {
+	runs := &atomic.Int64{}
+	var gks []string
+	for i := 0; i < 2; i++ {
+		site := newSite(t, fmt.Sprintf("ha-site%d", i), runs, t.TempDir(), "")
+		t.Cleanup(site.Close)
+		gks = append(gks, site.GatekeeperAddr())
+	}
+	primary, err := NewAgent(AgentConfig{
+		StateDir: t.TempDir(),
+		Selector: &RoundRobinSelector{Sites: gks},
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
+		HA:       HAOptions{Enabled: true, SyncTimeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewControlServer(primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewStandby(StandbyConfig{
+		Primary:  ctl.Addr(),
+		StateDir: t.TempDir(),
+		Poll:     100 * time.Millisecond,
+		LeaseTTL: 600 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 6
+	var ids []string
+	for i := 0; i < jobs; i++ {
+		id, err := primary.Submit(SubmitRequest{
+			Owner:      "ha-user",
+			Executable: gram.Program("task"),
+			Args:       []string{"250ms", fmt.Sprintf("job%d", i)},
+			Stdin:      []byte("replicate me"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	// The standby must catch up to (at least) the post-submit chain head,
+	// at which point the primary's sync-replication wait is armed.
+	want := primary.store.ChainHead().Seq
+	deadline := time.Now().Add(5 * time.Second)
+	for sb.Head().Seq < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("standby stuck at %d, want >= %d (lastErr=%v)", sb.Head().Seq, want, sb.LastErr())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cli := NewControlClient(ctl.Addr())
+	health, err := cli.HealthFull()
+	cli.Close()
+	if err != nil || health.HA == nil {
+		t.Fatalf("health lacks HA status: %+v err=%v", health, err)
+	}
+	if !health.HA.Enabled || health.HA.FollowerAcked == 0 {
+		t.Fatalf("HA status not tracking the follower: %+v", health.HA)
+	}
+
+	// Primary dies with jobs still executing at the sites.
+	ctl.Close()
+	primary.Close()
+
+	select {
+	case <-sb.TakeoverCh():
+	case <-time.After(10 * time.Second):
+		t.Fatal("standby never declared the primary dead")
+	}
+	promoted, err := sb.Takeover(AgentConfig{
+		Selector: &RoundRobinSelector{Sites: gks},
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+	defer promoted.Close()
+
+	for _, id := range ids {
+		info := waitAgentState(t, promoted, id, Completed)
+		if !info.ExitOK {
+			t.Fatalf("job %s finished without ExitOK", id)
+		}
+	}
+	// Exactly-once across the failover: the sites deduplicated the
+	// promoted agent's resubmissions by SubmissionID.
+	if got := runs.Load(); got != jobs {
+		t.Fatalf("task executed %d times for %d jobs", got, jobs)
+	}
+}
+
+// TestStandbyTracksLivePrimary: without a failure the standby just mirrors —
+// including deletes of replicated payloads as jobs finish.
+func TestStandbyTracksLivePrimary(t *testing.T) {
+	runs := &atomic.Int64{}
+	site := newSite(t, "track-site", runs, t.TempDir(), "")
+	t.Cleanup(site.Close)
+	primary, err := NewAgent(AgentConfig{
+		StateDir: t.TempDir(),
+		Selector: &RoundRobinSelector{Sites: []string{site.GatekeeperAddr()}},
+		Probe:    ProbeOptions{Interval: 40 * time.Millisecond},
+		HA:       HAOptions{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	ctl, err := NewControlServer(primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	sb, err := NewStandby(StandbyConfig{
+		Primary:  ctl.Addr(),
+		StateDir: t.TempDir(),
+		Poll:     100 * time.Millisecond,
+		LeaseTTL: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+
+	id, err := primary.Submit(SubmitRequest{
+		Owner: "u", Executable: gram.Program("task"), Args: []string{"20ms"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAgentState(t, primary, id, Completed)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for sb.Head() != primary.store.ChainHead() {
+		if time.Now().After(deadline) {
+			t.Fatalf("standby head %+v never matched primary %+v (lastErr=%v)",
+				sb.Head(), primary.store.ChainHead(), sb.LastErr())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if sb.LastErr() != nil {
+		t.Fatalf("replication errored: %v", sb.LastErr())
+	}
+}
+
+// TestAgentRefusesCorruptQueue: mid-chain damage in the persisted queue
+// must surface from NewAgent as a typed, Permanent *journal.CorruptionError
+// — never a silent partial recovery.
+func TestAgentRefusesCorruptQueue(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewAgent(AgentConfig{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := newSite(t, "corrupt-site", &atomic.Int64{}, t.TempDir(), "")
+	t.Cleanup(site.Close)
+	for i := 0; i < 4; i++ {
+		if _, err := a.Submit(SubmitRequest{
+			Owner: "u", Executable: gram.Program("task"), Site: site.GatekeeperAddr(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+
+	// Flip one bit in the first journal record (several intact follow).
+	jpath := filepath.Join(dir, "queue", "journal.log")
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := binary.LittleEndian.Uint32(raw[0:4])
+	if int(8+size) >= len(raw) {
+		t.Fatalf("journal too short to corrupt mid-file (%d bytes)", len(raw))
+	}
+	raw[8+size/2] ^= 0x10
+	if err := os.WriteFile(jpath, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = NewAgent(AgentConfig{StateDir: dir})
+	var ce *journal.CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("NewAgent on corrupt queue = %v, want *journal.CorruptionError", err)
+	}
+	if faultclass.ClassOf(err) != faultclass.Permanent {
+		t.Fatalf("corruption classified %v, want Permanent", faultclass.ClassOf(err))
+	}
+	if _, err := os.Stat(jpath + ".quarantine"); err != nil {
+		t.Fatalf("corrupt queue segment not quarantined: %v", err)
+	}
+}

@@ -43,4 +43,34 @@
 // survive (the classic write-ahead-log tail ambiguity); callers that need
 // exactly-once semantics pair the journal with idempotent replay, as the
 // agent does with submission IDs.
+//
+// # Hash chain and corruption semantics
+//
+// Chained records (the Store's only write path, and any Journal opened
+// without Options.NoChain) carry a sequence number and the SHA-256 of the
+// previous record's framed body, making the whole history a verifiable
+// hash chain anchored in the snapshot. Recovery distinguishes two kinds
+// of damage:
+//
+//   - A torn tail — damage with no intact record after it — is the
+//     expected crash signature: the tail is silently discarded, exactly
+//     as in the unchained contract above.
+//
+//   - Mid-chain damage — a bad CRC with intact records after it, a
+//     spliced or rewritten body (hash mismatch), a sequence gap, or an
+//     unchained record following chained ones — is evidence, not a crash
+//     artifact. Replay stops with a *CorruptionError (faultclass
+//     Permanent) naming the segment, sequence, and offset; the Store
+//     renames the damaged segment to *.quarantine and refuses to open —
+//     including on every subsequent attempt until the operator removes
+//     the quarantined file. There is no silent partial replay.
+//
+// The Store bounds segment size (StoreOptions.SegmentMaxRecords /
+// SegmentMaxBytes), rotating the live journal and folding sealed
+// segments into the snapshot in the background; the chain threads
+// unbroken through rotation, and the snapshot records the chain head it
+// is valid at. VerifyDir proves a store directory's entire history
+// offline (`condorg audit verify`), and the chain head is what the
+// hot-standby replication stream (Store.StreamSince / ApplyReplica)
+// uses to guarantee a follower's copy extends the primary's history.
 package journal

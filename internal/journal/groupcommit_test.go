@@ -82,6 +82,7 @@ func TestGroupCommitTornTailRecovery(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
+			head := j.ChainHead()
 			if err := j.Close(); err != nil {
 				t.Fatal(err)
 			}
@@ -89,7 +90,7 @@ func TestGroupCommitTornTailRecovery(t *testing.T) {
 			// way the journal would, then append only a prefix of it — the
 			// leader died mid-write, after acknowledging the first seven.
 			data, _ := json.Marshal(payload{N: 99, S: "torn"})
-			frame := frameRecord("p", data)
+			frame := frameRecord("p", data, head.Seq+1, head.Hash)
 			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
 			if err != nil {
 				t.Fatal(err)
@@ -174,9 +175,11 @@ func TestStoreRecoversLeftoverSegments(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Two orphaned segments with conflicting writes to the same key: the
-	// later segment must win.
+	// later segment must win. Segments continue one hash chain, exactly as
+	// rotation produces them.
+	var chain ChainState
 	writeSegment := func(n int, deltas ...storeDelta) {
-		j, err := Open(filepath.Join(dir, fmt.Sprintf("journal.old.%d", n)), Options{})
+		j, err := Open(filepath.Join(dir, fmt.Sprintf("journal.old.%d", n)), Options{Chain: &chain})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,6 +188,7 @@ func TestStoreRecoversLeftoverSegments(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		chain = j.ChainHead()
 		if err := j.Close(); err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +199,7 @@ func TestStoreRecoversLeftoverSegments(t *testing.T) {
 	writeSegment(4,
 		storeDelta{Key: "a", Value: json.RawMessage(`{"n":10}`)})
 	// Plus a live journal on top of both.
-	j, err := Open(filepath.Join(dir, "journal.log"), Options{})
+	j, err := Open(filepath.Join(dir, "journal.log"), Options{Chain: &chain})
 	if err != nil {
 		t.Fatal(err)
 	}

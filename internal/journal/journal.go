@@ -2,7 +2,9 @@ package journal
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,9 +19,31 @@ import (
 )
 
 // Record is one journal entry: an opaque type tag plus a JSON payload.
+// Chained records additionally carry their chain sequence number and the
+// SHA-256 (hex) of their predecessor's framed body; legacy records written
+// before chaining have Seq 0 and no Prev.
 type Record struct {
 	Type string          `json:"type"`
+	Seq  uint64          `json:"seq,omitempty"`
+	Prev string          `json:"prev,omitempty"`
 	Data json.RawMessage `json:"data"`
+}
+
+// ChainState identifies a position in the hash chain: the sequence number
+// of the last record and the SHA-256 (hex) of its framed body. The zero
+// value is the genesis state (an empty history).
+type ChainState struct {
+	Seq  uint64 `json:"seq"`
+	Hash string `json:"hash,omitempty"`
+}
+
+// Link describes one appended chained record: its chain sequence, the hash
+// of its predecessor, and its own hash. It is what a replication stream
+// ships so a follower can verify continuity end to end.
+type Link struct {
+	Seq  uint64
+	Prev string
+	Hash string
 }
 
 // Journal is an append-only crash-safe log. It is safe for concurrent use;
@@ -41,6 +65,10 @@ type Journal struct {
 	leading bool   // a commit leader is writing outside the lock
 	err     error  // latched fatal write error
 	appends int
+
+	chain   ChainState // hash-chain head after the last enqueued record
+	noChain bool       // write legacy (unchained) frames
+	size    int64      // bytes in the file plus bytes enqueued (rotation sizing)
 
 	hFlush   *obs.Histogram // journal_flush_seconds: write+fsync latency per flush
 	hBatch   *obs.Histogram // journal_batch_records: records per group commit
@@ -65,6 +93,15 @@ type Options struct {
 	// Obs, when non-nil, receives flush latency, batch size, and append
 	// counters. Nil disables instrumentation (nil-safe handles).
 	Obs *obs.Registry
+	// Chain, when non-nil, is the hash-chain head this journal continues
+	// from (the last record already on disk, or the snapshot head). Nil
+	// starts a fresh chain at the genesis state — correct only for an
+	// empty file.
+	Chain *ChainState
+	// NoChain writes legacy unchained frames (no seq/prev, no SHA-256).
+	// It exists so benchmarks can quantify the chain's cost; durable
+	// stores never set it.
+	NoChain bool
 }
 
 // Open opens (creating if needed) the journal at path.
@@ -79,9 +116,16 @@ func Open(path string, opts Options) (*Journal, error) {
 		sync:     opts.Sync,
 		window:   opts.GroupWindow,
 		noGroup:  opts.NoGroupCommit,
+		noChain:  opts.NoChain,
 		hFlush:   opts.Obs.Histogram("journal_flush_seconds"),
 		hBatch:   opts.Obs.Histogram("journal_batch_records"),
 		cAppends: opts.Obs.Counter("journal_appends_total"),
+	}
+	if opts.Chain != nil {
+		j.chain = *opts.Chain
+	}
+	if st, err := f.Stat(); err == nil {
+		j.size = st.Size()
 	}
 	j.cond = sync.NewCond(&j.mu)
 	return j, nil
@@ -89,21 +133,52 @@ func Open(path string, opts Options) (*Journal, error) {
 
 // frameRecord builds the length+CRC framed wire form of one record. The
 // payload is spliced in directly — the Record envelope is produced without
-// re-marshalling the already-marshalled data.
-func frameRecord(recType string, data []byte) []byte {
+// re-marshalling the already-marshalled data. seq 0 produces the legacy
+// unchained frame; otherwise the record carries its chain sequence and the
+// predecessor hash.
+func frameRecord(recType string, data []byte, seq uint64, prev string) []byte {
 	tag, _ := json.Marshal(recType) // a string never fails to marshal
 	if len(data) == 0 {
 		data = []byte("null")
 	}
-	rec := make([]byte, 8, 8+len(tag)+len(data)+17)
+	rec := make([]byte, 8, 8+len(tag)+len(data)+len(prev)+64)
 	rec = append(rec, `{"type":`...)
 	rec = append(rec, tag...)
+	if seq > 0 {
+		rec = append(rec, `,"seq":`...)
+		rec = appendUint(rec, seq)
+		rec = append(rec, `,"prev":"`...)
+		rec = append(rec, prev...) // hex, never needs escaping
+		rec = append(rec, '"')
+	}
 	rec = append(rec, `,"data":`...)
 	rec = append(rec, data...)
 	rec = append(rec, '}')
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(rec)-8))
 	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(rec[8:]))
 	return rec
+}
+
+// appendUint appends the decimal form of v.
+func appendUint(b []byte, v uint64) []byte {
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}
+
+// hashBody returns the hex SHA-256 of one record's framed JSON body (the
+// bytes after the 8-byte length+CRC header).
+func hashBody(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
 }
 
 // Append writes one record. The payload v is marshalled to JSON. The call
@@ -133,26 +208,44 @@ func (j *Journal) AppendRaw(recType string, data json.RawMessage) error {
 // Enqueue there and call Commit after releasing it, so the durability wait
 // does not serialize them.
 func (j *Journal) Enqueue(recType string, data json.RawMessage) (uint64, error) {
-	frame := frameRecord(recType, data)
+	seq, _, err := j.EnqueueChained(recType, data)
+	return seq, err
+}
+
+// EnqueueChained is Enqueue plus the appended record's chain Link, so a
+// caller mirroring records to a follower can ship seq/prev/hash without
+// re-deriving them. In NoChain mode the Link is zero.
+func (j *Journal) EnqueueChained(recType string, data json.RawMessage) (uint64, Link, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
-		return 0, errors.New("journal: closed")
+		return 0, Link{}, errors.New("journal: closed")
 	}
 	if j.err != nil {
-		return 0, j.err
+		return 0, Link{}, j.err
 	}
+	var frame []byte
+	var link Link
+	if j.noChain {
+		frame = frameRecord(recType, data, 0, "")
+	} else {
+		link = Link{Seq: j.chain.Seq + 1, Prev: j.chain.Hash}
+		frame = frameRecord(recType, data, link.Seq, link.Prev)
+		link.Hash = hashBody(frame[8:])
+		j.chain = ChainState{Seq: link.Seq, Hash: link.Hash}
+	}
+	j.size += int64(len(frame))
 	if j.noGroup {
 		// Historical path: write (and fsync) inline under the lock.
 		start := time.Now()
 		if _, err := j.f.Write(frame); err != nil {
 			j.err = err
-			return 0, err
+			return 0, Link{}, err
 		}
 		if j.sync {
 			if err := j.f.Sync(); err != nil {
 				j.err = err
-				return 0, err
+				return 0, Link{}, err
 			}
 		}
 		j.hFlush.Observe(time.Since(start).Seconds())
@@ -161,13 +254,28 @@ func (j *Journal) Enqueue(recType string, data json.RawMessage) (uint64, error) 
 		j.pendSeq++
 		j.durSeq = j.pendSeq
 		j.appends++
-		return j.pendSeq, nil
+		return j.pendSeq, link, nil
 	}
 	j.buf = append(j.buf, frame...)
 	j.pendSeq++
 	j.appends++
 	j.cAppends.Inc()
-	return j.pendSeq, nil
+	return j.pendSeq, link, nil
+}
+
+// ChainHead returns the hash-chain state after the last enqueued record.
+func (j *Journal) ChainHead() ChainState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.chain
+}
+
+// Size returns the journal's size in bytes, counting enqueued-but-unflushed
+// records, for rotation decisions.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
 }
 
 // Commit blocks until the record with the given sequence number is covered
@@ -361,7 +469,28 @@ func WriteFileAtomic(path string, data []byte) error {
 		os.Remove(tmpName)
 		return err
 	}
-	return os.Rename(tmpName, path)
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// The rename is atomic, but on ext4/xfs the new directory entry is not
+	// durable until the directory itself is fsynced — without this a crash
+	// shortly after "successfully" saving could lose the whole file.
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and unlinks inside it survive a
+// crash. Filesystems that cannot fsync a directory are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return nil
 }
 
 // SaveJSONAtomic marshals v and writes it atomically to path.

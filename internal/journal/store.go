@@ -1,10 +1,12 @@
 package journal
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -12,6 +14,14 @@ import (
 	"time"
 
 	"condorg/internal/obs"
+)
+
+// Store file layout inside the directory.
+const (
+	storeSnapshotFile = "snapshot.json"
+	storeJournalFile  = "journal.log"
+	storeOldPrefix    = "journal.old."
+	quarantineSuffix  = ".quarantine"
 )
 
 // Store is a crash-safe persistent map built from a snapshot file plus a
@@ -31,12 +41,31 @@ type Store struct {
 	jn       *Journal
 	data     map[string]json.RawMessage
 	deltas   int
-	maxDelta int // rotate + compact automatically after this many deltas
+	maxDelta int   // rotate + compact automatically after this many deltas
+	maxBytes int64 // ... or once the live segment reaches this many bytes
 
 	olds       []int // rotated journal segments awaiting the compactor
 	oldSeq     int   // next rotation segment number
 	compacting bool  // a background compactor goroutine is running
 	compactErr error // latched background compaction failure
+
+	// Replication tap (see stream.go): a bounded ring of recent chained
+	// deltas a follower tails, plus the follower-ack state that sync
+	// replication blocks acked writers on.
+	ring     []StreamRecord
+	ringCap  int
+	streamCh chan struct{} // closed+renewed whenever the ring grows
+
+	ackMu      sync.Mutex
+	ackSeq     uint64        // highest chain seq the follower acknowledged
+	ackCh      chan struct{} // closed+renewed on each ack
+	syncRepl   bool          // sync replication enabled (SyncReplication called)
+	syncArmed  bool          // a follower is current enough to wait on
+	syncWait   time.Duration // how long an acked write waits for the follower
+	ackClosed  bool          // store closed: release all waiters
+	cDisarms   *obs.Counter  // journal_sync_repl_disarms_total
+	cRotations *obs.Counter  // journal_segments_rotated_total
+	cSnapshots *obs.Counter  // journal_snapshots_total
 }
 
 // StoreOptions configures the store's delta journal; see Options and the
@@ -50,6 +79,18 @@ type StoreOptions struct {
 	NoGroupCommit bool
 	// Obs, when non-nil, instruments the delta journal; see Options.Obs.
 	Obs *obs.Registry
+	// SegmentMaxRecords bounds the live journal segment by delta count
+	// before it is rotated aside and folded into the snapshot in the
+	// background (default 1000).
+	SegmentMaxRecords int
+	// SegmentMaxBytes additionally bounds the live segment by size
+	// (default 8 MiB), so replay cost after a crash stays bounded even
+	// when individual records are large.
+	SegmentMaxBytes int64
+	// StreamRing bounds the in-memory replication ring a follower tails
+	// (default 4096 records). A follower that falls further behind is
+	// told to re-bootstrap from a snapshot.
+	StreamRing int
 }
 
 type storeDelta struct {
@@ -70,7 +111,11 @@ func OpenStore(dir string) (*Store, error) {
 
 // OpenStoreOptions opens (or recovers) a store rooted at dir. Recovery
 // loads the snapshot and replays any rotated segments plus the live delta
-// journal, so state survives a crash at any point — including mid-compact.
+// journal, verifying the hash chain end to end: a torn tail is truncated
+// away (a crash loses only the suffix that was never acknowledged), but
+// mid-chain corruption — damage with intact history after it, a spliced
+// record, a sequence gap — quarantines the damaged segment and refuses to
+// open, returning a *CorruptionError (faultclass Permanent).
 func OpenStoreOptions(dir string, opts StoreOptions) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, err
@@ -80,10 +125,30 @@ func OpenStoreOptions(dir string, opts StoreOptions) (*Store, error) {
 		opts:     opts,
 		data:     make(map[string]json.RawMessage),
 		maxDelta: 1000,
+		maxBytes: 8 << 20,
+		ringCap:  4096,
 	}
+	if opts.SegmentMaxRecords > 0 {
+		s.maxDelta = opts.SegmentMaxRecords
+	}
+	if opts.SegmentMaxBytes > 0 {
+		s.maxBytes = opts.SegmentMaxBytes
+	}
+	if opts.StreamRing > 0 {
+		s.ringCap = opts.StreamRing
+	}
+	s.cDisarms = opts.Obs.Counter("journal_sync_repl_disarms_total")
+	s.cRotations = opts.Obs.Counter("journal_segments_rotated_total")
+	s.cSnapshots = opts.Obs.Counter("journal_snapshots_total")
 	s.cond = sync.NewCond(&s.mu)
-	var snap map[string]json.RawMessage
-	err := LoadJSON(s.snapshotPath(), &snap)
+	// A quarantined segment is evidence from an earlier corrupted recovery.
+	// Opening over it would silently accept whatever survived; refuse until
+	// the operator has inspected and removed it (see `condorg audit verify`).
+	if q := quarantinedFiles(dir); len(q) > 0 {
+		return nil, &CorruptionError{Path: q[0],
+			Reason: "quarantined segment from an earlier corrupted recovery is still present; inspect and remove it before reopening"}
+	}
+	chain, anchored, snap, err := loadSnapshotFile(s.snapshotPath())
 	switch {
 	case err == nil:
 		s.data = snap
@@ -91,6 +156,7 @@ func OpenStoreOptions(dir string, opts StoreOptions) (*Store, error) {
 			s.data = make(map[string]json.RawMessage)
 		}
 	case errors.Is(err, os.ErrNotExist):
+		anchored = true // fresh store: the chain starts at genesis
 	default:
 		return nil, fmt.Errorf("journal: load snapshot: %w", err)
 	}
@@ -107,42 +173,82 @@ func OpenStoreOptions(dir string, opts StoreOptions) (*Store, error) {
 		}
 		return nil
 	}
+	verifier := &chainVerifier{anchor: chain, anchored: anchored}
+	verifyStart := time.Now()
 	// Rotated segments left by a compaction the crash interrupted: they
 	// hold deltas the snapshot may or may not include, so replay them (in
 	// rotation order, before the live journal). Replaying a delta the
 	// snapshot already folded in is a no-op.
 	olds := s.listOldSegments()
 	for _, n := range olds {
-		if _, err := Replay(s.oldPath(n), apply); err != nil {
-			return nil, err
+		if _, err := replayVerified(s.oldPath(n), verifier, apply); err != nil {
+			return nil, s.quarantineOnCorruption(err)
 		}
 	}
-	replayed, err := Replay(s.journalPath(), apply)
+	stats, err := replayVerified(s.journalPath(), verifier, apply)
 	if err != nil {
-		return nil, err
+		return nil, s.quarantineOnCorruption(err)
 	}
-	s.deltas = replayed
-	jn, err := Open(s.journalPath(), s.journalOpts())
+	opts.Obs.Histogram("journal_chain_verify_seconds").Observe(time.Since(verifyStart).Seconds())
+	s.deltas = stats.Records
+	head := verifier.head()
+	jopts := s.journalOpts()
+	jopts.Chain = &head
+	jn, err := Open(s.journalPath(), jopts)
 	if err != nil {
 		return nil, err
 	}
 	s.jn = jn
 	if len(olds) > 0 {
 		// Finish the interrupted compaction now so segments don't pile up.
-		if err := SaveJSONAtomic(s.snapshotPath(), s.data); err != nil {
+		if err := writeSnapshotAtomic(s.snapshotPath(), head, s.data); err != nil {
 			jn.Close()
 			return nil, fmt.Errorf("journal: fold rotated segments: %w", err)
 		}
+		s.cSnapshots.Inc()
 		for _, n := range olds {
 			os.Remove(s.oldPath(n))
 		}
+		syncDir(s.dir)
 	}
 	return s, nil
 }
 
-func (s *Store) snapshotPath() string { return s.dir + "/snapshot.json" }
-func (s *Store) journalPath() string  { return s.dir + "/journal.log" }
-func (s *Store) oldPath(n int) string { return fmt.Sprintf("%s/journal.old.%d", s.dir, n) }
+// quarantineOnCorruption renames the segment a *CorruptionError points at
+// to <name>.quarantine so the evidence survives and subsequent opens
+// refuse fast, then returns err unchanged.
+func (s *Store) quarantineOnCorruption(err error) error {
+	var ce *CorruptionError
+	if !errors.As(err, &ce) || ce.Path == "" {
+		return err
+	}
+	if renameErr := os.Rename(ce.Path, ce.Path+quarantineSuffix); renameErr == nil {
+		syncDir(s.dir)
+		s.opts.Obs.Counter("journal_quarantines_total").Inc()
+	}
+	return err
+}
+
+// quarantinedFiles lists *.quarantine files in dir.
+func quarantinedFiles(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), quarantineSuffix) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}
+
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, storeSnapshotFile) }
+func (s *Store) journalPath() string  { return filepath.Join(s.dir, storeJournalFile) }
+func (s *Store) oldPath(n int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%d", storeOldPrefix, n))
+}
 
 func (s *Store) journalOpts() Options {
 	return Options{
@@ -151,6 +257,20 @@ func (s *Store) journalOpts() Options {
 		NoGroupCommit: s.opts.NoGroupCommit,
 		Obs:           s.opts.Obs,
 	}
+}
+
+// oldSegmentNumber parses "journal.old.N" names, rejecting quarantined or
+// otherwise decorated files.
+func oldSegmentNumber(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, storeOldPrefix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 // listOldSegments returns rotated segment numbers in rotation order and
@@ -162,12 +282,8 @@ func (s *Store) listOldSegments() []int {
 	}
 	var olds []int
 	for _, e := range entries {
-		rest, ok := strings.CutPrefix(e.Name(), "journal.old.")
+		n, ok := oldSegmentNumber(e.Name())
 		if !ok {
-			continue
-		}
-		n, err := strconv.Atoi(rest)
-		if err != nil {
 			continue
 		}
 		olds = append(olds, n)
@@ -177,6 +293,98 @@ func (s *Store) listOldSegments() []int {
 	}
 	sort.Ints(olds)
 	return olds
+}
+
+// storeSnapshotV2 is the on-disk snapshot wrapper: format version, the
+// chain head the data was captured at, and the folded key space. Legacy
+// snapshots are a bare JSON object of keys (no chain anchor).
+type storeSnapshotV2 struct {
+	V     int                        `json:"v"`
+	Chain ChainState                 `json:"chain"`
+	Data  map[string]json.RawMessage `json:"data"`
+}
+
+// loadSnapshotFile reads a snapshot in either format. anchored reports
+// whether the file carried a chain anchor (v2); legacy snapshots return
+// a zero chain with anchored false, which relaxes chain verification to
+// whatever the journal files themselves can prove.
+func loadSnapshotFile(path string) (chain ChainState, anchored bool, data map[string]json.RawMessage, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return ChainState{}, false, nil, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return ChainState{}, false, nil, fmt.Errorf("snapshot does not parse: %w", err)
+	}
+	if string(probe["v"]) == "2" && probe["data"] != nil {
+		var snap storeSnapshotV2
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return ChainState{}, false, nil, fmt.Errorf("v2 snapshot does not parse: %w", err)
+		}
+		return snap.Chain, true, snap.Data, nil
+	}
+	return ChainState{}, false, probe, nil
+}
+
+// writeSnapshotAtomic streams a v2 snapshot to a temp file entry by entry
+// (never materializing one giant JSON blob — a 1M-job fold would otherwise
+// double its memory), fsyncs, renames into place, and fsyncs the directory.
+func writeSnapshotAtomic(path string, chain ChainState, data map[string]json.RawMessage) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	head, err := json.Marshal(chain)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(w, `{"v":2,"chain":%s,"data":{`, head)
+	first := true
+	for k, v := range data {
+		if !first {
+			w.WriteByte(',')
+		}
+		first = false
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return fail(err)
+		}
+		w.Write(kb)
+		w.WriteByte(':')
+		if len(v) == 0 {
+			v = json.RawMessage("null")
+		}
+		if _, err := w.Write(v); err != nil {
+			return fail(err)
+		}
+	}
+	if _, err := w.WriteString("}}"); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
 }
 
 // Put stores v under key. With Sync journaling the call returns once the
@@ -196,16 +404,21 @@ func (s *Store) Put(key string, v any) error {
 		return errors.New("journal: store closed")
 	}
 	jn := s.jn
-	seq, err := jn.Enqueue(recSet, delta)
+	seq, link, err := jn.EnqueueChained(recSet, delta)
 	if err != nil {
 		s.mu.Unlock()
 		return err
 	}
 	s.data[key] = raw
 	s.deltas++
+	s.appendRingLocked(StreamRecord{Seq: link.Seq, Prev: link.Prev, Hash: link.Hash, Type: recSet, Data: delta})
 	s.maybeRotateLocked()
 	s.mu.Unlock()
-	return jn.Commit(seq)
+	if err := jn.Commit(seq); err != nil {
+		return err
+	}
+	s.waitFollower(link.Seq)
+	return nil
 }
 
 // Delete removes key.
@@ -224,16 +437,21 @@ func (s *Store) Delete(key string) error {
 		return nil
 	}
 	jn := s.jn
-	seq, err := jn.Enqueue(recDelete, delta)
+	seq, link, err := jn.EnqueueChained(recDelete, delta)
 	if err != nil {
 		s.mu.Unlock()
 		return err
 	}
 	delete(s.data, key)
 	s.deltas++
+	s.appendRingLocked(StreamRecord{Seq: link.Seq, Prev: link.Prev, Hash: link.Hash, Type: recDelete, Data: delta})
 	s.maybeRotateLocked()
 	s.mu.Unlock()
-	return jn.Commit(seq)
+	if err := jn.Commit(seq); err != nil {
+		return err
+	}
+	s.waitFollower(link.Seq)
+	return nil
 }
 
 // Get unmarshals the value at key into v; found is false when absent.
@@ -299,7 +517,7 @@ func (s *Store) Compact() error {
 }
 
 func (s *Store) maybeRotateLocked() {
-	if s.deltas < s.maxDelta {
+	if s.deltas < s.maxDelta && s.jn.Size() < s.maxBytes {
 		return
 	}
 	_ = s.rotateLocked() // a failed rotation latches compactErr; writers keep going
@@ -313,12 +531,17 @@ func (s *Store) rotateLocked() error {
 	if s.compactErr != nil {
 		return s.compactErr
 	}
+	// The fresh segment continues the chain exactly where this one ends,
+	// so cross-segment continuity is verifiable at recovery.
+	head := s.jn.ChainHead()
+	jopts := s.journalOpts()
+	jopts.Chain = &head
 	if err := s.jn.Close(); err != nil {
 		// The tail of the journal could not be made durable; renaming it
 		// aside would launder the loss into the snapshot. Reopen in place
 		// and latch the failure.
 		s.compactErr = err
-		if jn, oerr := Open(s.journalPath(), s.journalOpts()); oerr == nil {
+		if jn, oerr := Open(s.journalPath(), jopts); oerr == nil {
 			s.jn = jn
 		}
 		return err
@@ -327,12 +550,19 @@ func (s *Store) rotateLocked() error {
 	s.oldSeq++
 	if err := os.Rename(s.journalPath(), s.oldPath(n)); err != nil {
 		s.compactErr = err
-		if jn, oerr := Open(s.journalPath(), s.journalOpts()); oerr == nil {
+		if jn, oerr := Open(s.journalPath(), jopts); oerr == nil {
 			s.jn = jn
 		}
 		return err
 	}
-	jn, err := Open(s.journalPath(), s.journalOpts())
+	// Make the rename durable: without the directory fsync a crash could
+	// forget the segment (and with it every delta it holds) even though
+	// each record inside was fsynced.
+	if err := syncDir(s.dir); err != nil {
+		s.compactErr = err
+		return err
+	}
+	jn, err := Open(s.journalPath(), jopts)
 	if err != nil {
 		s.compactErr = err
 		return err
@@ -340,6 +570,7 @@ func (s *Store) rotateLocked() error {
 	s.jn = jn
 	s.deltas = 0
 	s.olds = append(s.olds, n)
+	s.cRotations.Inc()
 	if !s.compacting {
 		s.compacting = true
 		go s.compactor()
@@ -363,8 +594,13 @@ func (s *Store) compactor() {
 		for k, v := range s.data {
 			snap[k] = v
 		}
+		// The chain head at clone time anchors the snapshot: every delta it
+		// folds in is ≤ head, so recovery can verify the surviving segments
+		// extend (or are subsumed by) exactly this state.
+		head := s.jn.ChainHead()
 		s.mu.Unlock()
-		err := SaveJSONAtomic(s.snapshotPath(), snap)
+		err := writeSnapshotAtomic(s.snapshotPath(), head, snap)
+		s.cSnapshots.Inc()
 		s.mu.Lock()
 		if err != nil {
 			s.compactErr = err
@@ -384,8 +620,20 @@ func (s *Store) compactor() {
 }
 
 // Close flushes and closes the store, waiting out any in-flight compaction.
+// Blocked stream long-polls and sync-replication waiters are released.
 func (s *Store) Close() error {
+	s.ackMu.Lock()
+	s.ackClosed = true
+	if s.ackCh != nil {
+		close(s.ackCh)
+		s.ackCh = nil
+	}
+	s.ackMu.Unlock()
 	s.mu.Lock()
+	if s.streamCh != nil {
+		close(s.streamCh)
+		s.streamCh = nil
+	}
 	if s.jn == nil {
 		s.mu.Unlock()
 		return nil

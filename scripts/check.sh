@@ -1,7 +1,11 @@
 #!/bin/sh
-# Static hygiene gate: formatting and vet, run from the repo root.
-# Used by the verify recipe and safe to run standalone; exits non-zero
-# (with the offending files on stdout) on any violation.
+# Static hygiene gate: formatting, vet, and the journal corruption fuzz
+# corpus, run from the repo root. Used by the verify recipe and safe to
+# run standalone; exits non-zero (with the offending files on stdout) on
+# any violation.
+#
+# Set CHECK_FUZZ_TIME (e.g. "30s") to also run a bounded randomized fuzz
+# pass on top of the checked-in/seed corpus.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,4 +17,13 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
-echo "check.sh: gofmt + go vet clean"
+
+# Replay the FuzzStoreReplay seed corpus: every mutation of a chained
+# journal must either verify+open or be refused+quarantined — never a
+# silent partial replay.
+go test -run FuzzStoreReplay -count=1 ./internal/journal/
+if [ -n "${CHECK_FUZZ_TIME:-}" ]; then
+    go test -run FuzzStoreReplay -fuzz FuzzStoreReplay -fuzztime "$CHECK_FUZZ_TIME" ./internal/journal/
+fi
+
+echo "check.sh: gofmt + go vet + fuzz corpus clean"
