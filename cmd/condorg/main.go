@@ -1,16 +1,23 @@
 // Command condorg is the user-facing Condor-G tool: `condorg serve` runs
-// the personal computation-management agent, and the remaining subcommands
+// the computation-management agent, and the remaining subcommands
 // (submit, q, status, wait, rm, hold, release, log, stdout, trace,
 // metrics, health) talk to a running agent — the §4.1 "API and command
 // line tools that allow the user to perform job management operations"
 // with the look and feel of a local resource manager.
 //
+// The agent is multi-tenant: jobs are owner-sharded across journal
+// partitions (-journal-partitions), admission is governed by per-owner
+// quotas (-max-queued-per-owner, -max-active-per-owner) and a token
+// bucket (-submit-rate, -submit-burst), and `condorg gateway` fronts the
+// control endpoint with an HTTP API that maps bearer tokens to owners.
+//
 // `condorg serve -standby ADDR` runs the same binary as a hot standby: it
 // tails the primary's hash-chained journal stream into its own state
 // directory and promotes itself to a full agent when the primary's lease
 // expires. `condorg audit verify -state DIR` proves a state directory's
-// journal history offline, exiting non-zero (naming the damaged segment
-// and chain sequence) on any corruption.
+// journal history offline — the root store and every owner partition —
+// exiting non-zero (naming the damaged segment and chain sequence) on
+// any corruption.
 //
 // Job-op failures map the control plane's fault classes onto exit codes:
 // transient failures (agent restarting, site unreachable) exit 75
@@ -18,7 +25,8 @@
 //
 // Usage:
 //
-//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-ha] [-standby addr] [-lease-ttl d] [-standby-poll d] [-max-submit-retries n] [-per-site-inflight n] [-max-inflight n] [-stage-chunk-size n] [-stage-streams n] [-no-stage] [-no-metrics]
+//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-ha] [-standby addr] [-lease-ttl d] [-standby-poll d] [-max-submit-retries n] [-per-site-inflight n] [-max-inflight n] [-stage-chunk-size n] [-stage-streams n] [-no-stage] [-no-metrics] [-journal-partitions n] [-max-queued-per-owner n] [-max-active-per-owner n] [-submit-rate r] [-submit-burst n]
+//	condorg gateway -listen 127.0.0.1:8080 -agent 127.0.0.1:7100 -users file
 //	condorg submit -agent 127.0.0.1:7100 [-owner u] [-site addr] program [args...]
 //	condorg q      -agent 127.0.0.1:7100 [-owner u] [-state idle,running] [-limit n] [-after job-id]
 //	condorg status -agent 127.0.0.1:7100 <job-id>
@@ -39,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -49,6 +58,7 @@ import (
 	"condorg/internal/broker"
 	"condorg/internal/condorg"
 	"condorg/internal/faultclass"
+	"condorg/internal/gateway"
 	"condorg/internal/journal"
 	"condorg/internal/mds"
 	"condorg/internal/obs"
@@ -63,6 +73,8 @@ func main() {
 	switch cmd {
 	case "serve":
 		serve(args)
+	case "gateway":
+		gatewayCmd(args)
 	case "submit":
 		submit(args)
 	case "sites":
@@ -83,7 +95,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: condorg <serve|submit|q|status|wait|rm|hold|release|log|stdout|trace|metrics|health|audit|sites> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: condorg <serve|gateway|submit|q|status|wait|rm|hold|release|log|stdout|trace|metrics|health|audit|sites> [flags]")
 	os.Exit(2)
 }
 
@@ -108,39 +120,98 @@ func audit(args []string) {
 	if st, err := os.Stat(filepath.Join(dir, "queue")); err == nil && st.IsDir() {
 		dir = filepath.Join(dir, "queue")
 	}
-	rep, verr := journal.VerifyDir(dir)
-	if *asJSON {
-		out, _ := json.MarshalIndent(rep, "", "  ")
-		fmt.Println(string(out))
-	} else {
-		if rep.Anchored {
-			fmt.Printf("snapshot: %d keys, chain anchor seq %d\n", rep.Keys, rep.Snapshot.Seq)
+	// A partitioned queue is many independent stores: the root (spool
+	// keys, pre-partition history) plus one store per owner bucket. Each
+	// carries its own snapshot anchor and hash chain; all must verify.
+	dirs := append([]string{dir}, journal.PartitionDirs(filepath.Join(dir, "parts"))...)
+	failed := false
+	for _, d := range dirs {
+		rep, verr := journal.VerifyDir(d)
+		if *asJSON {
+			out, _ := json.MarshalIndent(rep, "", "  ")
+			fmt.Println(string(out))
 		} else {
-			fmt.Printf("snapshot: %d keys, legacy (no chain anchor)\n", rep.Keys)
-		}
-		for _, seg := range rep.Segments {
-			status := "ok"
-			if seg.Err != "" {
-				status = "CORRUPT: " + seg.Err
-			} else if seg.Legacy {
-				status = "ok (contains unchained records)"
+			if len(dirs) > 1 {
+				fmt.Printf("== %s ==\n", d)
 			}
-			fmt.Printf("%-40s %7d records  seq %d..%d  %s\n", seg.Path, seg.Records, seg.First, seg.Last, status)
+			if rep.Anchored {
+				fmt.Printf("snapshot: %d keys, chain anchor seq %d\n", rep.Keys, rep.Snapshot.Seq)
+			} else {
+				fmt.Printf("snapshot: %d keys, legacy (no chain anchor)\n", rep.Keys)
+			}
+			for _, seg := range rep.Segments {
+				status := "ok"
+				if seg.Err != "" {
+					status = "CORRUPT: " + seg.Err
+				} else if seg.Legacy {
+					status = "ok (contains unchained records)"
+				}
+				fmt.Printf("%-40s %7d records  seq %d..%d  %s\n", seg.Path, seg.Records, seg.First, seg.Last, status)
+			}
+			for _, q := range rep.Quarantined {
+				fmt.Printf("%-40s QUARANTINED (inspect and remove to reopen)\n", q)
+			}
+			fmt.Printf("verified chain head: seq %d\n", rep.Head.Seq)
 		}
-		for _, q := range rep.Quarantined {
-			fmt.Printf("%-40s QUARANTINED (inspect and remove to reopen)\n", q)
+		if verr != nil {
+			fmt.Fprintln(os.Stderr, "condorg audit:", verr)
+			failed = true
+		} else if !rep.OK() {
+			fmt.Fprintln(os.Stderr, "condorg audit: history not clean (quarantined segments present)")
+			failed = true
 		}
-		fmt.Printf("verified chain head: seq %d\n", rep.Head.Seq)
 	}
-	if verr != nil {
-		fmt.Fprintln(os.Stderr, "condorg audit:", verr)
-		os.Exit(1)
-	}
-	if !rep.OK() {
-		fmt.Fprintln(os.Stderr, "condorg audit: history not clean (quarantined segments present)")
+	if failed {
 		os.Exit(1)
 	}
 	fmt.Println("history verified: every record extends the hash chain")
+}
+
+// gatewayCmd runs the HTTP gateway: bearer-token users multiplexed onto
+// one agent's control endpoint. The users file holds one "token owner"
+// pair per line (blank lines and #-comments ignored). This mode fronts
+// an open (trusted) control endpoint; embedding gateway.New with
+// per-user GSI credentials gives the fully authenticated posture.
+func gatewayCmd(args []string) {
+	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "HTTP listen address")
+	agent := fs.String("agent", "127.0.0.1:7100", "agent control address")
+	usersFile := fs.String("users", "", "path to the token→owner users file")
+	fs.Parse(args)
+	if *usersFile == "" {
+		log.Fatal("condorg gateway: need -users")
+	}
+	raw, err := os.ReadFile(*usersFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	users := make(map[string]gateway.User)
+	for i, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			log.Fatalf("condorg gateway: %s:%d: want \"token owner\", got %q", *usersFile, i+1, line)
+		}
+		users[fields[0]] = gateway.User{Owner: fields[1]}
+	}
+	gw, err := gateway.New(*listen, gateway.Config{Agent: *agent, Users: users})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("condorg gateway: %d users, HTTP %s -> agent %s\n", len(users), gw.Addr(), *agent)
+	go func() {
+		<-sig
+		fmt.Println("condorg gateway: shutting down")
+		gw.Close()
+	}()
+	if err := gw.Serve(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
 }
 
 // die reports a job-op failure and exits with a class-aware code: 75
@@ -205,6 +276,12 @@ func serve(args []string) {
 	standby := fs.String("standby", "", "run as a hot standby tailing the primary at this control address; take over when its lease expires")
 	leaseTTL := fs.Duration("lease-ttl", 0, "standby: declare the primary dead after this long without contact (0 = default 3s)")
 	standbyPoll := fs.Duration("standby-poll", 0, "standby: journal stream long-poll bound (0 = default 1s)")
+	journalPartitions := fs.Int("journal-partitions", 0, "owner hash buckets the job journal is sharded across (0 = default 16, -1 = single store; pinned at first start, ignored with -ha)")
+	maxQueuedPerOwner := fs.Int("max-queued-per-owner", 0, "reject a submit once the owner has this many non-terminal jobs (0 = unlimited)")
+	maxActivePerOwner := fs.Int("max-active-per-owner", 0, "reject a submit once the owner has this many non-held active jobs (0 = unlimited)")
+	submitRate := fs.Float64("submit-rate", 0, "per-owner submit token-bucket refill rate in submits/second (0 = unlimited)")
+	submitBurst := fs.Int("submit-burst", 0, "per-owner submit token-bucket depth (min 1 when -submit-rate is set)")
+	maxPayloadBytes := fs.Int("max-payload-bytes", 0, "reject a submit whose executable+stdin exceed this many bytes; oversized control envelopes are refused before decode (0 = unlimited)")
 	fs.Parse(args)
 
 	var selector condorg.Selector
@@ -245,6 +322,12 @@ func serve(args []string) {
 	cfg.Batch.MaxDelay = *batchMaxDelay
 	cfg.Wire.Codec = *wireCodec
 	cfg.HA.Enabled = *ha
+	cfg.Tenancy.Partitions = *journalPartitions
+	cfg.Tenancy.MaxQueuedPerOwner = *maxQueuedPerOwner
+	cfg.Tenancy.MaxActivePerOwner = *maxActivePerOwner
+	cfg.Tenancy.SubmitRate = *submitRate
+	cfg.Tenancy.SubmitBurst = *submitBurst
+	cfg.Tenancy.MaxPayloadBytes = *maxPayloadBytes
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

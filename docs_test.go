@@ -124,6 +124,45 @@ func TestHAFlagsDocumented(t *testing.T) {
 	}
 }
 
+// TestTenancyFlagsDocumented guards the multi-tenant surface: the serve
+// tenancy flags and the gateway subcommand must be registered by the CLI
+// and documented in the operator guide, and the design doc must keep the
+// tenancy-model section describing the semantics they configure.
+func TestTenancyFlagsDocumented(t *testing.T) {
+	doc, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile("cmd/condorg/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"journal-partitions", "max-queued-per-owner", "max-active-per-owner",
+		"submit-rate", "submit-burst", "max-payload-bytes", "users",
+	} {
+		if !strings.Contains(string(src), fmt.Sprintf("(%q,", name)) {
+			t.Errorf("cmd/condorg/main.go does not register -%s", name)
+		}
+		if !strings.Contains(string(doc), "`-"+name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document -%s", name)
+		}
+	}
+	if !strings.Contains(string(src), `case "gateway":`) {
+		t.Error("cmd/condorg/main.go lost the gateway subcommand")
+	}
+	if !strings.Contains(string(doc), "condorg gateway") {
+		t.Error("docs/OPERATIONS.md does not document `condorg gateway`")
+	}
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(design), "Tenancy model") {
+		t.Error("DESIGN.md lost its tenancy-model section")
+	}
+}
+
 // TestReadmeLinksOperationsDoc: the operator guide is reachable from the
 // front page.
 func TestReadmeLinksOperationsDoc(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"condorg/internal/faultclass"
@@ -175,6 +176,10 @@ type AgentConfig struct {
 	// Breaker tunes the per-site circuit breakers inside each
 	// GridManager's GRAM client (zero value = faultclass defaults).
 	Breaker faultclass.BreakerConfig
+	// Tenancy configures owner sharding and fair-share admission: how
+	// many journal partitions the queue is striped across, per-owner
+	// quotas, and the per-owner submit rate limit (see tenancy.go).
+	Tenancy TenancyOptions
 	// Faults injects failures for chaos tests.
 	Faults FaultOptions
 	// Journal configures the persistent queue's durability (the §4.2
@@ -263,17 +268,30 @@ type Agent struct {
 	changed stateBroadcast
 
 	// pipeSem is the agent-wide remote-operation cap shared by every
-	// GridManager's site workers (AgentConfig.Pipeline.MaxInFlight).
-	pipeSem chan struct{}
+	// GridManager's site workers (AgentConfig.Pipeline.MaxInFlight),
+	// granted round-robin across owners when saturated (fairsem.go).
+	pipeSem *fairSem
+
+	// parts is the owner-partitioned journal (nil when HA is enabled:
+	// synchronous replication streams the single root store's chain).
+	parts *journal.PartitionSet
+
+	// shards stripes the job table per owner; each shard has its own
+	// lock, so one owner's burst never contends on another's.
+	shardMu sync.RWMutex
+	shards  map[string]*ownerShard
+
+	// ids is the global job-ID index (reads take only the RLock).
+	idMu sync.RWMutex
+	ids  map[string]*jobRecord
+
+	// serial mints job IDs; atomic so submits don't serialize on a.mu.
+	serial atomic.Int64
 
 	mu         sync.Mutex
-	jobs       map[string]*jobRecord
-	byOwner    map[string]map[string]*jobRecord // owner -> all jobs
-	active     map[string]map[string]*jobRecord // owner -> non-terminal jobs
-	bySiteJob  map[string]string                // site job ID -> agent job ID
-	tombstoned map[string]*jobRecord            // jobs with unacked cancels
+	bySiteJob  map[string]string     // site job ID -> agent job ID
+	tombstoned map[string]*jobRecord // jobs with unacked cancels
 	managers   map[string]*GridManager
-	serial     int
 	closed     bool
 	mailbox    *Mailbox
 
@@ -329,14 +347,13 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	a := &Agent{
 		cfg:        cfg,
-		jobs:       make(map[string]*jobRecord),
-		byOwner:    make(map[string]map[string]*jobRecord),
-		active:     make(map[string]map[string]*jobRecord),
+		shards:     make(map[string]*ownerShard),
+		ids:        make(map[string]*jobRecord),
 		bySiteJob:  make(map[string]string),
 		tombstoned: make(map[string]*jobRecord),
 		managers:   make(map[string]*GridManager),
 		logFiles:   make(map[string]*os.File),
-		pipeSem:    make(chan struct{}, cfg.Pipeline.MaxInFlight),
+		pipeSem:    newFairSem(cfg.Pipeline.MaxInFlight),
 		traceCap:   cfg.Obs.TraceCap,
 	}
 	if !cfg.Obs.Disabled {
@@ -362,6 +379,18 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	a.store = store
 	if cfg.HA.Enabled {
 		store.SyncReplication(cfg.HA.SyncTimeout)
+	} else if cfg.Tenancy.Partitions >= 0 {
+		// Owner-partitioned journaling (DESIGN.md §11): each owner's
+		// records live in a hash bucket with its own chain, snapshot,
+		// and group-commit window, so one owner's fsync burst never
+		// stalls another's. The HA primary keeps the single root store
+		// instead — its replication stream carries one chain.
+		parts, err := journal.OpenPartitionSet(filepath.Join(cfg.StateDir, "queue", "parts"), cfg.Tenancy.Partitions, jopts)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		a.parts = parts
 	}
 	gassS, err := gass.NewServer(filepath.Join(cfg.StateDir, "spool"), gass.ServerOptions{Faults: cfg.Faults.GASS})
 	if err != nil {
@@ -397,10 +426,15 @@ func (a *Agent) GassAddr() string { return a.gassS.Addr() }
 // the owner has a live GridManager (managers retire when their user's
 // work drains).
 func (a *Agent) collectGauges(set func(name string, v float64)) {
-	a.mu.Lock()
 	activeTotal := 0
 	bySite := make(map[string]int)
-	for _, recs := range a.active {
+	for _, sh := range a.allShards() {
+		sh.mu.Lock()
+		recs := make([]*jobRecord, 0, len(sh.active))
+		for _, rec := range sh.active {
+			recs = append(recs, rec)
+		}
+		sh.mu.Unlock()
 		for _, rec := range recs {
 			activeTotal++
 			rec.mu.Lock()
@@ -410,7 +444,11 @@ func (a *Agent) collectGauges(set func(name string, v float64)) {
 				bySite[site]++
 			}
 		}
+		if len(recs) > 0 {
+			set(obs.Key("owner_active_jobs", "owner", sh.owner), float64(len(recs)))
+		}
 	}
+	a.mu.Lock()
 	tombs := 0
 	for _, rec := range a.tombstoned {
 		rec.mu.Lock()
@@ -478,9 +516,7 @@ func (a *Agent) trace(rec *jobRecord, phase, class, detail string) {
 // Trace returns the job's lifecycle timeline. The timeline is persisted
 // with the job record, so it survives agent crash and recovery.
 func (a *Agent) Trace(id string) (obs.Timeline, error) {
-	a.mu.Lock()
-	rec, ok := a.jobs[id]
-	a.mu.Unlock()
+	rec, ok := a.job(id)
 	if !ok {
 		return obs.Timeline{}, fmt.Errorf("condorg: %w: %q", ErrNoSuchJob, id)
 	}
@@ -493,62 +529,88 @@ func (a *Agent) Trace(id string) (obs.Timeline, error) {
 // recover reloads the queue and restarts GridManagers for unfinished work.
 // For jobs whose GASS URLs reference the agent's previous address, the URLs
 // are rewritten and pushed to the JobManagers — the §4.2 restart path.
+// Partitions are read first (they are authoritative for their owners);
+// job records still sitting in the root store — a legacy single-store
+// state dir, an HA-replicated queue reopened without HA, or a crash
+// mid-migration — are loaded too and migrated into their owner's
+// partition afterwards.
 func (a *Agent) recover() error {
 	var recovered []*jobRecord
 	tombOwners := make(map[string]bool)
 	spool := make(map[string][]byte)
-	err := a.store.ForEach(func(key string, raw json.RawMessage) error {
-		if rel, ok := strings.CutPrefix(key, spoolKeyPrefix); ok {
-			// A replicated job payload, not a job record: collect it for
-			// materialization into the GASS spool below (the standby's disk
-			// has the journal but not the staged files).
-			var data []byte
-			if err := json.Unmarshal(raw, &data); err != nil {
-				return fmt.Errorf("condorg: spool entry %s: %w", key, err)
+	var migrate []*jobRecord // root-store records to move into partitions
+	var stale []string       // root-store duplicates of partition records
+	load := func(fromRoot bool) func(key string, raw json.RawMessage) error {
+		return func(key string, raw json.RawMessage) error {
+			if rel, ok := strings.CutPrefix(key, spoolKeyPrefix); ok {
+				// A replicated job payload, not a job record: collect it for
+				// materialization into the GASS spool below (the standby's disk
+				// has the journal but not the staged files).
+				var data []byte
+				if err := json.Unmarshal(raw, &data); err != nil {
+					return fmt.Errorf("condorg: spool entry %s: %w", key, err)
+				}
+				spool[rel] = data
+				return nil
 			}
-			spool[rel] = data
+			var rec jobRecord
+			if err := json.Unmarshal(raw, &rec.JobInfo); err != nil {
+				return err
+			}
+			if _, dup := a.job(rec.ID); dup {
+				// Already loaded from a partition: this root copy is a
+				// leftover from an interrupted migration. Drop it.
+				stale = append(stale, rec.ID)
+				return nil
+			}
+			var full struct {
+				SubmissionID string        `json:"submission_id"`
+				Spec         gram.JobSpec  `json:"spec"`
+				Remote       gram.JobState `json:"remote"`
+				Trace        obs.Timeline  `json:"trace"`
+			}
+			if err := json.Unmarshal(raw, &full); err != nil {
+				return err
+			}
+			rec.SubmissionID = full.SubmissionID
+			rec.Spec = full.Spec
+			rec.Remote = full.Remote
+			rec.Trace = full.Trace
+			sh, err := a.shard(rec.Owner)
+			if err != nil {
+				return err
+			}
+			a.indexJob(sh, &rec)
+			a.mu.Lock()
+			if rec.Contact.JobID != "" {
+				a.bySiteJob[rec.Contact.JobID] = rec.ID
+			}
+			if len(rec.CancelPending) > 0 {
+				// An old incarnation's cancel never got acknowledged; a
+				// GridManager must keep chasing it even if this job is
+				// otherwise finished.
+				a.tombstoned[rec.ID] = &rec
+				tombOwners[rec.Owner] = true
+			}
+			a.mu.Unlock()
+			if n := int64(parseAgentSerial(rec.ID)); n > a.serial.Load() {
+				a.serial.Store(n)
+			}
+			if !rec.State.Terminal() {
+				recovered = append(recovered, &rec)
+			}
+			if fromRoot && a.parts != nil {
+				migrate = append(migrate, &rec)
+			}
 			return nil
 		}
-		var rec jobRecord
-		if err := json.Unmarshal(raw, &rec.JobInfo); err != nil {
+	}
+	if a.parts != nil {
+		if err := a.parts.ForEach(load(false)); err != nil {
 			return err
 		}
-		var full struct {
-			SubmissionID string        `json:"submission_id"`
-			Spec         gram.JobSpec  `json:"spec"`
-			Remote       gram.JobState `json:"remote"`
-			Trace        obs.Timeline  `json:"trace"`
-		}
-		if err := json.Unmarshal(raw, &full); err != nil {
-			return err
-		}
-		rec.SubmissionID = full.SubmissionID
-		rec.Spec = full.Spec
-		rec.Remote = full.Remote
-		rec.Trace = full.Trace
-		a.mu.Lock()
-		a.jobs[rec.ID] = &rec
-		a.indexJobLocked(&rec)
-		if rec.Contact.JobID != "" {
-			a.bySiteJob[rec.Contact.JobID] = rec.ID
-		}
-		if len(rec.CancelPending) > 0 {
-			// An old incarnation's cancel never got acknowledged; a
-			// GridManager must keep chasing it even if this job is
-			// otherwise finished.
-			a.tombstoned[rec.ID] = &rec
-			tombOwners[rec.Owner] = true
-		}
-		if n := parseAgentSerial(rec.ID); n > a.serial {
-			a.serial = n
-		}
-		a.mu.Unlock()
-		if !rec.State.Terminal() {
-			recovered = append(recovered, &rec)
-		}
-		return nil
-	})
-	if err != nil {
+	}
+	if err := a.store.ForEach(load(true)); err != nil {
 		return err
 	}
 	// Re-stage replicated payloads before any job restarts: a recovered
@@ -572,6 +634,16 @@ func (a *Agent) recover() error {
 		if !held {
 			a.managerFor(rec.Owner).enqueueRecovery(rec)
 		}
+	}
+	// Migrate legacy root-store records into their owner partitions so
+	// the next recovery reads each owner from one place (persist routes
+	// to the partition; the root copy then retires).
+	for _, rec := range migrate {
+		a.persist(rec)
+		_ = a.store.Delete(rec.ID)
+	}
+	for _, id := range stale {
+		_ = a.store.Delete(id)
 	}
 	// Owners whose only remaining business is unacknowledged cancels
 	// (terminal or held jobs with tombstones) still need a manager.
@@ -647,34 +719,15 @@ func (a *Agent) unindexSiteJob(siteJobID, jobID string) {
 	a.mu.Unlock()
 }
 
-// indexJobLocked adds rec to the per-owner and non-terminal indexes.
-// Caller holds a.mu; rec is not yet visible to other goroutines.
-func (a *Agent) indexJobLocked(rec *jobRecord) {
-	owner := rec.Owner
-	if a.byOwner[owner] == nil {
-		a.byOwner[owner] = make(map[string]*jobRecord)
-	}
-	a.byOwner[owner][rec.ID] = rec
-	if !rec.State.Terminal() {
-		if a.active[owner] == nil {
-			a.active[owner] = make(map[string]*jobRecord)
-		}
-		a.active[owner][rec.ID] = rec
-	}
-}
-
 // finishJob retires a job that reached a terminal state: it leaves the
 // non-terminal index and its user-log handle is released. Call after the
 // final state is set and logged.
 func (a *Agent) finishJob(rec *jobRecord) {
-	a.mu.Lock()
-	if jobs := a.active[rec.Owner]; jobs != nil {
-		delete(jobs, rec.ID)
-		if len(jobs) == 0 {
-			delete(a.active, rec.Owner)
-		}
+	if sh := a.shardIfPresent(rec.Owner); sh != nil {
+		sh.mu.Lock()
+		delete(sh.active, rec.ID)
+		sh.mu.Unlock()
 	}
-	a.mu.Unlock()
 	a.closeUserLog(rec.ID)
 	if a.cfg.HA.Enabled {
 		// The replicated payload has served its purpose; drop it so the
@@ -699,10 +752,14 @@ func (a *Agent) noteJobChange(owner string) {
 
 // activeJobs returns the owner's non-terminal jobs (unordered).
 func (a *Agent) activeJobs(owner string) []*jobRecord {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]*jobRecord, 0, len(a.active[owner]))
-	for _, rec := range a.active[owner] {
+	sh := a.shardIfPresent(owner)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]*jobRecord, 0, len(sh.active))
+	for _, rec := range sh.active {
 		out = append(out, rec)
 	}
 	return out
@@ -775,7 +832,7 @@ func (a *Agent) persist(rec *jobRecord) {
 	}{rec.JobInfo, rec.SubmissionID, rec.Spec, rec.Remote, rec.Trace}
 	rec.mu.Unlock()
 	start := time.Now()
-	_ = a.store.Put(doc.ID, doc)
+	_ = a.storeFor(doc.Owner).Put(doc.ID, doc)
 	a.mPersist.Observe(time.Since(start).Seconds())
 }
 
@@ -933,12 +990,21 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 		a.mu.Unlock()
 		return "", fmt.Errorf("condorg: %w", ErrAgentClosed)
 	}
-	a.serial++
-	id := fmt.Sprintf("gj%d", a.serial)
 	a.mu.Unlock()
 	if req.Owner == "" {
 		req.Owner = "user"
 	}
+	// Admission before any work: quotas and the token bucket gate the
+	// queue itself, so an over-quota owner costs neither journal writes
+	// nor pipeline slots.
+	sh, err := a.shard(req.Owner)
+	if err != nil {
+		return "", faultclass.New(faultclass.Transient, fmt.Errorf("condorg: open journal partition: %w", err))
+	}
+	if err := a.admit(sh, len(req.Executable)+len(req.Stdin)); err != nil {
+		return "", err
+	}
+	id := fmt.Sprintf("gj%d", a.serial.Add(1))
 	site := req.Site
 	if site == "" {
 		if a.cfg.Selector == nil {
@@ -1013,10 +1079,7 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 		rec.Spec.ExecutableHash = gram.HashExecutable(req.Executable)
 		rec.Stage = StageInfo{Hash: rec.Spec.ExecutableHash, Total: int64(len(req.Executable))}
 	}
-	a.mu.Lock()
-	a.jobs[id] = rec
-	a.indexJobLocked(rec)
-	a.mu.Unlock()
+	a.indexJob(sh, rec)
 	a.trace(rec, obs.PhaseSubmit, "", "accepted into the agent queue")
 	// Journal BEFORE the network submission: if we crash between the
 	// journal write and the site's reply, recovery resubmits with the
@@ -1026,15 +1089,15 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 	a.managerFor(req.Owner).enqueueSubmit(rec)
 	a.changed.Notify()
 	a.obs.Counter("agent_jobs_submitted_total").Inc()
-	a.mSubmit.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start).Seconds()
+	a.mSubmit.Observe(elapsed)
+	a.obs.Histogram(obs.Key("agent_owner_submit_seconds", "owner", req.Owner)).Observe(elapsed)
 	return id, nil
 }
 
 // Status returns a job snapshot.
 func (a *Agent) Status(id string) (JobInfo, error) {
-	a.mu.Lock()
-	rec, ok := a.jobs[id]
-	a.mu.Unlock()
+	rec, ok := a.job(id)
 	if !ok {
 		return JobInfo{}, fmt.Errorf("condorg: %w: %q", ErrNoSuchJob, id)
 	}
@@ -1043,12 +1106,12 @@ func (a *Agent) Status(id string) (JobInfo, error) {
 
 // Jobs lists all jobs sorted by ID.
 func (a *Agent) Jobs() []JobInfo {
-	a.mu.Lock()
-	out := make([]JobInfo, 0, len(a.jobs))
-	for _, rec := range a.jobs {
+	a.idMu.RLock()
+	out := make([]JobInfo, 0, len(a.ids))
+	for _, rec := range a.ids {
 		out = append(out, rec.snapshot())
 	}
-	a.mu.Unlock()
+	a.idMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		return lessJobID(out[i].ID, out[j].ID)
 	})
@@ -1071,20 +1134,24 @@ type JobFilter struct {
 // JobsFiltered lists jobs matching f in queue order. When Limit truncates
 // the result, next is the cursor for the following page ("" otherwise).
 func (a *Agent) JobsFiltered(f JobFilter) (jobs []JobInfo, next string) {
-	a.mu.Lock()
 	var recs []*jobRecord
 	if f.Owner != "" {
-		recs = make([]*jobRecord, 0, len(a.byOwner[f.Owner]))
-		for _, rec := range a.byOwner[f.Owner] {
-			recs = append(recs, rec)
+		if sh := a.shardIfPresent(f.Owner); sh != nil {
+			sh.mu.Lock()
+			recs = make([]*jobRecord, 0, len(sh.jobs))
+			for _, rec := range sh.jobs {
+				recs = append(recs, rec)
+			}
+			sh.mu.Unlock()
 		}
 	} else {
-		recs = make([]*jobRecord, 0, len(a.jobs))
-		for _, rec := range a.jobs {
+		a.idMu.RLock()
+		recs = make([]*jobRecord, 0, len(a.ids))
+		for _, rec := range a.ids {
 			recs = append(recs, rec)
 		}
+		a.idMu.RUnlock()
 	}
-	a.mu.Unlock()
 	// IDs are immutable, so sorting without rec.mu is safe.
 	sort.Slice(recs, func(i, j int) bool { return lessJobID(recs[i].ID, recs[j].ID) })
 	for _, rec := range recs {
@@ -1117,9 +1184,7 @@ func (a *Agent) JobsFiltered(f JobFilter) (jobs []JobInfo, next string) {
 // not run again until Release. The credential monitor uses this for
 // expired proxies (§4.3).
 func (a *Agent) Hold(id, reason string) error {
-	a.mu.Lock()
-	rec, ok := a.jobs[id]
-	a.mu.Unlock()
+	rec, ok := a.job(id)
 	if !ok {
 		return fmt.Errorf("condorg: %w: %q", ErrNoSuchJob, id)
 	}
@@ -1152,9 +1217,7 @@ func (a *Agent) Hold(id, reason string) error {
 
 // Release returns a held job to Idle; it will be (re)submitted.
 func (a *Agent) Release(id string) error {
-	a.mu.Lock()
-	rec, ok := a.jobs[id]
-	a.mu.Unlock()
+	rec, ok := a.job(id)
 	if !ok {
 		return fmt.Errorf("condorg: %w: %q", ErrNoSuchJob, id)
 	}
@@ -1183,9 +1246,7 @@ func (a *Agent) Release(id string) error {
 
 // Remove cancels a job.
 func (a *Agent) Remove(id string) error {
-	a.mu.Lock()
-	rec, ok := a.jobs[id]
-	a.mu.Unlock()
+	rec, ok := a.job(id)
 	if !ok {
 		return fmt.Errorf("condorg: %w: %q", ErrNoSuchJob, id)
 	}
@@ -1216,9 +1277,7 @@ func (a *Agent) Remove(id string) error {
 // event, not by a poll interval.
 func (a *Agent) Wait(ctx context.Context, id string) (JobInfo, error) {
 	start := time.Now()
-	a.mu.Lock()
-	rec, ok := a.jobs[id]
-	a.mu.Unlock()
+	rec, ok := a.job(id)
 	if !ok {
 		return JobInfo{}, fmt.Errorf("condorg: %w: %q", ErrNoSuchJob, id)
 	}
@@ -1258,9 +1317,13 @@ func (a *Agent) WaitAll(ctx context.Context) error {
 
 // hasRunnableJobs reports whether any job is neither terminal nor held.
 func (a *Agent) hasRunnableJobs() bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	for _, recs := range a.active {
+	for _, sh := range a.allShards() {
+		sh.mu.Lock()
+		recs := make([]*jobRecord, 0, len(sh.active))
+		for _, rec := range sh.active {
+			recs = append(recs, rec)
+		}
+		sh.mu.Unlock()
 		for _, rec := range recs {
 			rec.mu.Lock()
 			runnable := !rec.State.Terminal() && rec.State != Held
@@ -1314,11 +1377,11 @@ func (a *Agent) handleCallback(_ string, body json.RawMessage) (any, error) {
 	}
 	a.mu.Lock()
 	agentID, ok := a.bySiteJob[st.JobID]
+	a.mu.Unlock()
 	var rec *jobRecord
 	if ok {
-		rec = a.jobs[agentID]
+		rec, _ = a.job(agentID)
 	}
-	a.mu.Unlock()
 	a.obs.Counter("agent_callbacks_total").Inc()
 	if rec != nil {
 		a.applyRemoteStatus(rec, st)
@@ -1450,13 +1513,15 @@ func (a *Agent) SetCredential(cred *gsi.Credential) map[string]error {
 	for _, gm := range a.managers {
 		managers = append(managers, gm)
 	}
+	a.mu.Unlock()
 	var recs []*jobRecord
-	for _, jobs := range a.active {
-		for _, rec := range jobs {
+	for _, sh := range a.allShards() {
+		sh.mu.Lock()
+		for _, rec := range sh.active {
 			recs = append(recs, rec)
 		}
+		sh.mu.Unlock()
 	}
-	a.mu.Unlock()
 	for _, gm := range managers {
 		gm.gram.SetCredential(cred)
 	}
@@ -1521,12 +1586,16 @@ func (a *Agent) ReleaseAll(owner, reasonPrefix string) []string {
 
 // Owners returns users with at least one job in the queue.
 func (a *Agent) Owners() []string {
-	a.mu.Lock()
-	out := make([]string, 0, len(a.byOwner))
-	for owner := range a.byOwner {
-		out = append(out, owner)
+	shards := a.allShards()
+	out := make([]string, 0, len(shards))
+	for _, sh := range shards {
+		sh.mu.Lock()
+		n := len(sh.jobs)
+		sh.mu.Unlock()
+		if n > 0 {
+			out = append(out, sh.owner)
+		}
 	}
-	a.mu.Unlock()
 	sort.Strings(out)
 	return out
 }
@@ -1572,6 +1641,9 @@ func (a *Agent) Close() {
 	a.cbSrv.Close()
 	a.stage.Close()
 	a.gassS.Close()
+	if a.parts != nil {
+		a.parts.Close()
+	}
 	a.store.Close()
 	a.logMu.Lock()
 	for id, f := range a.logFiles {

@@ -2,9 +2,13 @@ package condorg
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
+	"condorg/internal/faultclass"
+	"condorg/internal/gsi"
 	"condorg/internal/wire"
 )
 
@@ -13,57 +17,89 @@ import (
 // look and feel of a local resource manager.
 const ControlService = "condorg-control"
 
+// ControlConfig configures the tenancy posture of a control endpoint.
+//
+// With a nil Anchor the endpoint runs in open (single-tenant) mode:
+// requests are unauthenticated and the client-asserted Owner fields are
+// trusted, exactly as a personal per-user agent trusts its local CLI.
+// With an Anchor set, the wire layer demands a GSI session handshake on
+// every connection and the owner of every ctl.v1 op is derived from the
+// authenticated subject — request-body Owner fields are only ever
+// cross-checked, never trusted. See DESIGN.md §11.
+type ControlConfig struct {
+	// Anchor is the trust anchor client credentials must chain to.
+	// nil = open mode.
+	Anchor *gsi.Certificate
+	// OwnerOf maps an authenticated grid subject to a local owner name
+	// (the gridmap role). nil = the subject is the owner. Returning ""
+	// rejects the subject as unmapped.
+	OwnerOf func(subject string) string
+	// Admins names owners allowed agent-wide ops (unscoped queue
+	// listings, metrics, health, journal replication) in authenticated
+	// mode. In open mode everything is implicitly admin.
+	Admins map[string]bool
+}
+
 // ControlServer exposes an Agent over the wire protocol so the condorg CLI
 // (and tests) can submit, query, and manage jobs from another process.
 // All commands travel through the versioned "ctl.v1" envelope (see
-// controlv1.go); the per-method ctl.* handlers are the v0 compatibility
-// shim, kept for one release.
+// controlv1.go); the pre-envelope per-method ctl.* protocol is retired —
+// its method names answer only with a typed upgrade error (IsV0Retired).
 type ControlServer struct {
 	agent *Agent
 	srv   *wire.Server
+	cfg   ControlConfig
 	ops   map[string]ctlOp
 }
 
-// NewControlServer starts the command endpoint for agent on a fresh port.
+// NewControlServer starts an open-mode command endpoint for agent on a
+// fresh port.
 func NewControlServer(agent *Agent) (*ControlServer, error) {
 	return NewControlServerAddr(agent, "127.0.0.1:0")
 }
 
-// NewControlServerAddr starts the command endpoint on an explicit address.
+// NewControlServerAddr starts an open-mode command endpoint on an
+// explicit address.
 func NewControlServerAddr(agent *Agent, addr string) (*ControlServer, error) {
-	srv, err := wire.NewServerAddr(addr, wire.ServerConfig{Name: ControlService})
+	return NewControlServerConfig(agent, addr, ControlConfig{})
+}
+
+// NewControlServerConfig starts a command endpoint with an explicit
+// tenancy posture (see ControlConfig).
+func NewControlServerConfig(agent *Agent, addr string, cfg ControlConfig) (*ControlServer, error) {
+	srv, err := wire.NewServerAddr(addr, wire.ServerConfig{Name: ControlService, Anchor: cfg.Anchor})
 	if err != nil {
 		return nil, err
 	}
-	c := &ControlServer{agent: agent, srv: srv}
+	c := &ControlServer{agent: agent, srv: srv, cfg: cfg}
 	c.registerOps()
 	srv.Handle("ctl.v1", c.handleV1)
-	// v0 shim: the pre-envelope per-method protocol, one release of
-	// grace for old CLIs. Each handler is the v1 op minus the envelope —
-	// errors travel as wire-level strings instead of typed CtlErrors.
-	srv.Handle("ctl.submit", shim(c.opSubmit))
-	srv.Handle("ctl.q", c.handleQ)
-	srv.Handle("ctl.status", shim(c.opStatus))
-	srv.Handle("ctl.rm", shim(c.opRemove))
-	srv.Handle("ctl.hold", shim(c.opHold))
-	srv.Handle("ctl.release", shim(c.opRelease))
-	srv.Handle("ctl.log", shim(c.opLog))
-	srv.Handle("ctl.stdout", shim(c.opStdout))
-	srv.Handle("ctl.wait", shim(c.opWait))
+	// The v0 per-method protocol (PR 4, kept "for one release") is
+	// retired: the old method names remain routable only so outdated
+	// CLIs get a deliberate upgrade message instead of the generic
+	// "no such method".
+	for _, m := range []string{
+		"ctl.submit", "ctl.q", "ctl.status", "ctl.rm", "ctl.hold",
+		"ctl.release", "ctl.log", "ctl.stdout", "ctl.wait",
+	} {
+		srv.Handle(m, v0Retired)
+	}
 	return c, nil
 }
 
-// shim adapts a v1 op to the v0 wire.Handler signature.
-func shim(op ctlOp) wire.Handler {
-	return func(_ string, body json.RawMessage) (any, error) {
-		return op(body)
-	}
+// v0RetiredMsg is the stable marker carried by every retired-protocol
+// rejection; IsV0Retired matches it after the error crosses the wire.
+const v0RetiredMsg = "condorg: the per-method ctl.* protocol (v0) is retired; upgrade the CLI to speak the ctl.v1 envelope"
+
+// v0Retired answers every retired v0 method with the typed upgrade error.
+func v0Retired(_ string, _ json.RawMessage) (any, error) {
+	return nil, faultclass.New(faultclass.Permanent, errors.New(v0RetiredMsg))
 }
 
-// handleQ is the v0 queue listing: no filter, no pagination. The v1 "q"
-// op (opQueue) supersedes it.
-func (c *ControlServer) handleQ(_ string, _ json.RawMessage) (any, error) {
-	return ctlJobs{Jobs: c.agent.Jobs()}, nil
+// IsV0Retired reports whether err is the server telling an old CLI that
+// the v0 ctl.* protocol is gone (locally or as a wire.RemoteError).
+func IsV0Retired(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "ctl.* protocol (v0) is retired")
 }
 
 // Addr returns the control endpoint address.
@@ -73,9 +109,11 @@ func (c *ControlServer) Addr() string { return c.srv.Addr() }
 func (c *ControlServer) Close() error { return c.srv.Close() }
 
 // CtlSubmit is the submit request: Program names a site-registered program
-// (staged as a "#!condor" stub through GASS).
+// (staged as a "#!condor" stub through GASS). Owner is optional and only
+// cross-checked on authenticated endpoints — the effective owner comes
+// from the session (CtlCodeOwnerMismatch when they disagree).
 type CtlSubmit struct {
-	Owner     string            `json:"owner"`
+	Owner     string            `json:"owner,omitempty"`
 	Program   string            `json:"program"`
 	Args      []string          `json:"args,omitempty"`
 	Stdin     []byte            `json:"stdin,omitempty"`
@@ -87,10 +125,6 @@ type CtlSubmit struct {
 
 type ctlID struct {
 	ID string `json:"id"`
-}
-
-type ctlJobs struct {
-	Jobs []JobInfo `json:"jobs"`
 }
 
 type ctlHold struct {
@@ -118,10 +152,20 @@ type ControlClient struct {
 	wc *wire.Client
 }
 
-// NewControlClient connects to a control endpoint.
+// NewControlClient connects to a control endpoint without credentials
+// (open-mode endpoints only).
 func NewControlClient(addr string) *ControlClient {
+	return NewControlClientAuth(addr, nil)
+}
+
+// NewControlClientAuth connects to a control endpoint authenticating as
+// cred: the wire session handshake binds the connection to cred's
+// subject, and the server derives the owner of every op from it. A nil
+// cred sends no authentication.
+func NewControlClientAuth(addr string, cred *gsi.Credential) *ControlClient {
 	return &ControlClient{wc: wire.Dial(addr, wire.ClientConfig{
 		ServerName: ControlService,
+		Credential: cred,
 		Timeout:    3 * time.Second,
 	})}
 }
@@ -138,7 +182,8 @@ func (c *ControlClient) Submit(req CtlSubmit) (string, error) {
 	return resp.ID, nil
 }
 
-// Queue lists all jobs. Use QueueFiltered for filtering and pagination.
+// Queue lists all jobs visible to the caller. Use QueueFiltered for
+// filtering and pagination.
 func (c *ControlClient) Queue() ([]JobInfo, error) {
 	jobs, _, err := c.QueueFiltered(CtlQueueReq{})
 	return jobs, err

@@ -2,9 +2,11 @@ package condorg
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"condorg/internal/faultclass"
@@ -17,9 +19,14 @@ import (
 // comes back as a *CtlError carrying a stable machine code plus the
 // faultclass taxonomy — so a CLI or script can decide to retry
 // (Transient), resubmit elsewhere (SiteLost), or give up (Permanent)
-// without parsing error prose. The per-method ctl.* handlers in
-// control.go remain registered as the v0 compatibility shim for one
-// release; new clients should speak only v1.
+// without parsing error prose.
+//
+// Tenancy: on an authenticated endpoint (ControlConfig.Anchor set) the
+// owner of every op is the wire session's authenticated subject mapped
+// through ControlConfig.OwnerOf — request bodies never confer identity.
+// Every op is owner-scoped by construction; job lookups outside the
+// caller's scope answer no-such-job (never confirming the ID exists),
+// and agent-wide ops are reserved for ControlConfig.Admins.
 
 // CtlVersion is the control envelope version this build speaks.
 const CtlVersion = 1
@@ -44,12 +51,16 @@ type CtlResponse struct {
 // off them.
 const (
 	CtlCodeBadRequest         = "bad-request"         // malformed or invalid request body
-	CtlCodeNoSuchJob          = "no-such-job"         // unknown job ID
+	CtlCodeNoSuchJob          = "no-such-job"         // unknown job ID (or outside the caller's owner scope)
 	CtlCodeBadState           = "bad-state"           // op not valid in the job's current state
 	CtlCodeSubmitFailed       = "submit-failed"       // the agent rejected the submission
 	CtlCodeUnsupportedVersion = "unsupported-version" // envelope Ver not spoken by this server
 	CtlCodeUnknownOp          = "unknown-op"          // envelope Op not known to this server
 	CtlCodeInternal           = "internal"            // anything else
+	CtlCodeQuotaExceeded      = "quota-exceeded"      // a per-owner quota rejected the submit
+	CtlCodeRateLimited        = "rate-limited"        // the per-owner token bucket rejected the submit
+	CtlCodeOwnerMismatch      = "owner-mismatch"      // body Owner contradicts the authenticated session owner
+	CtlCodeForbidden          = "forbidden"           // op reserved for admins on this endpoint
 )
 
 // CtlError is the typed control-plane error: a stable Code for machine
@@ -73,6 +84,26 @@ func ctlBadRequest(format string, args ...any) *CtlError {
 	return &CtlError{Code: CtlCodeBadRequest, Msg: fmt.Sprintf(format, args...), Class: faultclass.Permanent}
 }
 
+// ctlNoSuchJob is the uniform answer for an unknown job ID and for a job
+// outside the caller's owner scope — deliberately indistinguishable, so
+// a tenant cannot probe which IDs exist.
+func ctlNoSuchJob(id string) *CtlError {
+	return &CtlError{
+		Code:  CtlCodeNoSuchJob,
+		Msg:   fmt.Sprintf("condorg: no such job %s", id),
+		Class: faultclass.Permanent,
+	}
+}
+
+// ctlForbidden rejects an agent-wide op from a non-admin session.
+func ctlForbidden(owner, op string) *CtlError {
+	return &CtlError{
+		Code:  CtlCodeForbidden,
+		Msg:   fmt.Sprintf("condorg: op %q requires admin (owner %q is not)", op, owner),
+		Class: faultclass.Permanent,
+	}
+}
+
 // ctlErrorFrom maps an agent error onto the typed taxonomy. Typed
 // errors pass through; known sentinels get their stable codes; anything
 // else keeps whatever fault class its chain carries.
@@ -88,12 +119,18 @@ func ctlErrorFrom(err error) *CtlError {
 		return &CtlError{Code: CtlCodeBadState, Msg: err.Error(), Class: faultclass.Permanent}
 	case errors.Is(err, ErrAgentClosed):
 		return &CtlError{Code: CtlCodeInternal, Msg: err.Error(), Class: faultclass.Transient}
+	case errors.Is(err, ErrQuotaExceeded):
+		return &CtlError{Code: CtlCodeQuotaExceeded, Msg: err.Error(), Class: faultclass.Permanent}
+	case errors.Is(err, ErrRateLimited):
+		return &CtlError{Code: CtlCodeRateLimited, Msg: err.Error(), Class: faultclass.Permanent}
 	}
 	return &CtlError{Code: CtlCodeInternal, Msg: err.Error(), Class: faultclass.ClassOf(err)}
 }
 
 // CtlQueueReq filters and paginates the queue listing. Zero values mean
-// "no constraint"; After is the cursor returned by the previous page.
+// "no constraint"; After is the opaque cursor returned by the previous
+// page. On authenticated endpoints the listing is always scoped to the
+// session owner (admins may set Owner, or leave it empty for all).
 type CtlQueueReq struct {
 	Owner  string     `json:"owner,omitempty"`
 	States []JobState `json:"states,omitempty"`
@@ -101,11 +138,40 @@ type CtlQueueReq struct {
 	After  string     `json:"after,omitempty"`
 }
 
-// CtlQueueResp is one page of jobs; a non-empty Next is the cursor for
-// the following page.
+// CtlQueueResp is one page of jobs; a non-empty Next is the opaque
+// cursor for the following page.
 type CtlQueueResp struct {
 	Jobs []JobInfo `json:"jobs"`
 	Next string    `json:"next,omitempty"`
+}
+
+// ctlCursorPrefix versions the opaque queue cursor. The payload after
+// the prefix is an implementation detail (today: base64url of the last
+// job ID of the page) — clients must treat the whole cursor as opaque.
+const ctlCursorPrefix = "c1."
+
+// encodeCursor wraps a position in the versioned opaque format.
+func encodeCursor(id string) string {
+	if id == "" {
+		return ""
+	}
+	return ctlCursorPrefix + base64.RawURLEncoding.EncodeToString([]byte(id))
+}
+
+// decodeCursor unwraps a cursor; bare legacy cursors (pre-v1.1 raw job
+// IDs) are still accepted so in-flight paginations survive an upgrade.
+func decodeCursor(s string) (string, error) {
+	if s == "" {
+		return "", nil
+	}
+	if rest, ok := strings.CutPrefix(s, ctlCursorPrefix); ok {
+		raw, err := base64.RawURLEncoding.DecodeString(rest)
+		if err != nil {
+			return "", fmt.Errorf("condorg: bad queue cursor: %v", err)
+		}
+		return string(raw), nil
+	}
+	return s, nil
 }
 
 // CtlTraceResp is a job's lifecycle timeline.
@@ -152,10 +218,66 @@ type CtlHealthResp struct {
 	HA    *CtlHAStatus    `json:"ha,omitempty"`
 }
 
+// ownerFor resolves the wire peer into the op owner. Open mode has no
+// peer and yields "" — the trusted single-tenant posture. Authenticated
+// mode maps the subject through OwnerOf (identity when nil); an unmapped
+// subject is rejected.
+func (c *ControlServer) ownerFor(peer string) (string, *CtlError) {
+	if peer == "" {
+		return "", nil
+	}
+	owner := peer
+	if c.cfg.OwnerOf != nil {
+		owner = c.cfg.OwnerOf(peer)
+	}
+	if owner == "" {
+		return "", &CtlError{
+			Code:  CtlCodeForbidden,
+			Msg:   fmt.Sprintf("condorg: subject %q is not mapped to an owner", peer),
+			Class: faultclass.Permanent,
+		}
+	}
+	return owner, nil
+}
+
+// isAdmin reports whether owner may run agent-wide ops. Open mode ("")
+// is implicitly admin.
+func (c *ControlServer) isAdmin(owner string) bool {
+	return owner == "" || c.cfg.Admins[owner]
+}
+
+// authorizeJob scopes a per-job op: admins and open mode see every job;
+// a tenant sees only its own, and any other ID — present or not —
+// answers no-such-job.
+func (c *ControlServer) authorizeJob(owner, id string) *CtlError {
+	if c.isAdmin(owner) {
+		return nil
+	}
+	rec, ok := c.agent.job(id)
+	if !ok || rec.Owner != owner {
+		return ctlNoSuchJob(id)
+	}
+	return nil
+}
+
 // handleV1 is the single wire handler behind every v1 op. Application
 // failures ride the envelope as *CtlError — the wire-level error path is
 // reserved for transport and envelope problems.
-func (c *ControlServer) handleV1(_ string, body json.RawMessage) (any, error) {
+func (c *ControlServer) handleV1(peer string, body json.RawMessage) (any, error) {
+	// Size-gate the envelope before decoding it: when a payload cap is
+	// configured, no legitimate request body comes anywhere near twice
+	// the cap (base64 inflates stdin 4/3), so an oversized frame is
+	// rejected for the cost of one length check — JSON-scanning a
+	// multi-megabyte body just to refuse it would hand a hostile owner
+	// a CPU amplifier.
+	if cap := c.agent.cfg.Tenancy.MaxPayloadBytes; cap > 0 && len(body) > 2*cap+4096 {
+		c.agent.obs.Counter("ctl_oversized_rejected_total").Inc()
+		return CtlResponse{Err: &CtlError{
+			Code:  CtlCodeQuotaExceeded,
+			Msg:   fmt.Sprintf("condorg: %v: request body %d bytes exceeds the %d-byte payload cap", ErrQuotaExceeded, len(body), cap),
+			Class: faultclass.Permanent,
+		}}, nil
+	}
 	var req CtlRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return CtlResponse{Err: ctlBadRequest("condorg: bad control envelope: %v", err)}, nil
@@ -175,7 +297,11 @@ func (c *ControlServer) handleV1(_ string, body json.RawMessage) (any, error) {
 			Class: faultclass.Permanent,
 		}}, nil
 	}
-	result, err := op(req.Body)
+	owner, cerr := c.ownerFor(peer)
+	if cerr != nil {
+		return CtlResponse{Err: cerr}, nil
+	}
+	result, err := op(owner, req.Body)
 	if err != nil {
 		return CtlResponse{Err: ctlErrorFrom(err)}, nil
 	}
@@ -190,8 +316,9 @@ func (c *ControlServer) handleV1(_ string, body json.RawMessage) (any, error) {
 	return CtlResponse{Body: raw}, nil
 }
 
-// ctlOp is one typed control operation: body in, result out.
-type ctlOp func(body json.RawMessage) (any, error)
+// ctlOp is one typed control operation: session owner ("" in open mode)
+// and body in, result out.
+type ctlOp func(owner string, body json.RawMessage) (any, error)
 
 // registerOps builds the v1 dispatch table.
 func (c *ControlServer) registerOps() {
@@ -214,7 +341,24 @@ func (c *ControlServer) registerOps() {
 	}
 }
 
-func (c *ControlServer) opSubmit(body json.RawMessage) (any, error) {
+// effectiveOwner reconciles the session owner with a request-body Owner
+// field: open mode trusts the body; authenticated mode uses the session
+// and rejects a contradicting body with CtlCodeOwnerMismatch.
+func effectiveOwner(session, asserted string) (string, *CtlError) {
+	if session == "" {
+		return asserted, nil
+	}
+	if asserted != "" && asserted != session {
+		return "", &CtlError{
+			Code:  CtlCodeOwnerMismatch,
+			Msg:   fmt.Sprintf("condorg: request owner %q contradicts session owner %q", asserted, session),
+			Class: faultclass.Permanent,
+		}
+	}
+	return session, nil
+}
+
+func (c *ControlServer) opSubmit(owner string, body json.RawMessage) (any, error) {
 	var req CtlSubmit
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, ctlBadRequest("condorg: bad submit body: %v", err)
@@ -222,8 +366,12 @@ func (c *ControlServer) opSubmit(body json.RawMessage) (any, error) {
 	if req.Program == "" {
 		return nil, ctlBadRequest("condorg: submit needs a program name")
 	}
+	eff, cerr := effectiveOwner(owner, req.Owner)
+	if cerr != nil {
+		return nil, cerr
+	}
 	id, err := c.agent.Submit(SubmitRequest{
-		Owner:      req.Owner,
+		Owner:      eff,
 		Executable: gram.Program(req.Program),
 		Args:       req.Args,
 		Stdin:      req.Stdin,
@@ -233,6 +381,9 @@ func (c *ControlServer) opSubmit(body json.RawMessage) (any, error) {
 		Env:        req.Env,
 	})
 	if err != nil {
+		if ce := ctlErrorFrom(err); ce.Code != CtlCodeInternal {
+			return nil, ce
+		}
 		return nil, &CtlError{Code: CtlCodeSubmitFailed, Msg: err.Error(), Class: submitFailClass(err)}
 	}
 	return ctlID{ID: id}, nil
@@ -251,39 +402,59 @@ func submitFailClass(err error) faultclass.Class {
 	return faultclass.Permanent
 }
 
-func (c *ControlServer) opQueue(body json.RawMessage) (any, error) {
+func (c *ControlServer) opQueue(owner string, body json.RawMessage) (any, error) {
 	var req CtlQueueReq
 	if len(body) > 0 {
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nil, ctlBadRequest("condorg: bad queue body: %v", err)
 		}
 	}
+	filterOwner := req.Owner
+	if owner != "" && !c.isAdmin(owner) {
+		// A tenant's listing is always scoped to itself, whatever the
+		// body says; a contradicting Owner is a typed error.
+		eff, cerr := effectiveOwner(owner, req.Owner)
+		if cerr != nil {
+			return nil, cerr
+		}
+		filterOwner = eff
+	}
+	after, err := decodeCursor(req.After)
+	if err != nil {
+		return nil, ctlBadRequest("%v", err)
+	}
 	jobs, next := c.agent.JobsFiltered(JobFilter{
-		Owner:  req.Owner,
+		Owner:  filterOwner,
 		States: req.States,
 		Limit:  req.Limit,
-		After:  req.After,
+		After:  after,
 	})
-	return CtlQueueResp{Jobs: jobs, Next: next}, nil
+	return CtlQueueResp{Jobs: jobs, Next: encodeCursor(next)}, nil
 }
 
-func (c *ControlServer) opStatus(body json.RawMessage) (any, error) {
+func (c *ControlServer) opStatus(owner string, body json.RawMessage) (any, error) {
 	var req ctlID
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, ctlBadRequest("condorg: bad status body: %v", err)
 	}
+	if cerr := c.authorizeJob(owner, req.ID); cerr != nil {
+		return nil, cerr
+	}
 	return c.agent.Status(req.ID)
 }
 
-func (c *ControlServer) opRemove(body json.RawMessage) (any, error) {
+func (c *ControlServer) opRemove(owner string, body json.RawMessage) (any, error) {
 	var req ctlID
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, ctlBadRequest("condorg: bad rm body: %v", err)
 	}
+	if cerr := c.authorizeJob(owner, req.ID); cerr != nil {
+		return nil, cerr
+	}
 	return struct{}{}, c.agent.Remove(req.ID)
 }
 
-func (c *ControlServer) opHold(body json.RawMessage) (any, error) {
+func (c *ControlServer) opHold(owner string, body json.RawMessage) (any, error) {
 	var req ctlHold
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, ctlBadRequest("condorg: bad hold body: %v", err)
@@ -291,21 +462,30 @@ func (c *ControlServer) opHold(body json.RawMessage) (any, error) {
 	if req.Reason == "" {
 		req.Reason = "held by user"
 	}
+	if cerr := c.authorizeJob(owner, req.ID); cerr != nil {
+		return nil, cerr
+	}
 	return struct{}{}, c.agent.Hold(req.ID, req.Reason)
 }
 
-func (c *ControlServer) opRelease(body json.RawMessage) (any, error) {
+func (c *ControlServer) opRelease(owner string, body json.RawMessage) (any, error) {
 	var req ctlID
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, ctlBadRequest("condorg: bad release body: %v", err)
 	}
+	if cerr := c.authorizeJob(owner, req.ID); cerr != nil {
+		return nil, cerr
+	}
 	return struct{}{}, c.agent.Release(req.ID)
 }
 
-func (c *ControlServer) opLog(body json.RawMessage) (any, error) {
+func (c *ControlServer) opLog(owner string, body json.RawMessage) (any, error) {
 	var req ctlID
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, ctlBadRequest("condorg: bad log body: %v", err)
+	}
+	if cerr := c.authorizeJob(owner, req.ID); cerr != nil {
+		return nil, cerr
 	}
 	events, err := c.agent.UserLog(req.ID)
 	if err != nil {
@@ -314,10 +494,13 @@ func (c *ControlServer) opLog(body json.RawMessage) (any, error) {
 	return ctlLog{Events: events}, nil
 }
 
-func (c *ControlServer) opStdout(body json.RawMessage) (any, error) {
+func (c *ControlServer) opStdout(owner string, body json.RawMessage) (any, error) {
 	var req ctlID
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, ctlBadRequest("condorg: bad stdout body: %v", err)
+	}
+	if cerr := c.authorizeJob(owner, req.ID); cerr != nil {
+		return nil, cerr
 	}
 	data, err := c.agent.Stdout(req.ID)
 	if err != nil {
@@ -326,10 +509,13 @@ func (c *ControlServer) opStdout(body json.RawMessage) (any, error) {
 	return ctlData{Data: data}, nil
 }
 
-func (c *ControlServer) opWait(body json.RawMessage) (any, error) {
+func (c *ControlServer) opWait(owner string, body json.RawMessage) (any, error) {
 	var req ctlWait
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, ctlBadRequest("condorg: bad wait body: %v", err)
+	}
+	if cerr := c.authorizeJob(owner, req.ID); cerr != nil {
+		return nil, cerr
 	}
 	// Wait briefly server-side; the client re-calls for long waits so a
 	// single RPC never outlives the wire timeout. The wait itself is
@@ -347,10 +533,13 @@ func (c *ControlServer) opWait(body json.RawMessage) (any, error) {
 	return info, nil
 }
 
-func (c *ControlServer) opTrace(body json.RawMessage) (any, error) {
+func (c *ControlServer) opTrace(owner string, body json.RawMessage) (any, error) {
 	var req ctlID
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, ctlBadRequest("condorg: bad trace body: %v", err)
+	}
+	if cerr := c.authorizeJob(owner, req.ID); cerr != nil {
+		return nil, cerr
 	}
 	tl, err := c.agent.Trace(req.ID)
 	if err != nil {
@@ -359,11 +548,18 @@ func (c *ControlServer) opTrace(body json.RawMessage) (any, error) {
 	return CtlTraceResp{ID: req.ID, Timeline: tl}, nil
 }
 
-func (c *ControlServer) opMetrics(json.RawMessage) (any, error) {
+func (c *ControlServer) opMetrics(owner string, _ json.RawMessage) (any, error) {
+	if !c.isAdmin(owner) {
+		// The registry carries per-owner labels — cross-tenant data.
+		return nil, ctlForbidden(owner, "metrics")
+	}
 	return CtlMetricsResp{Metrics: c.agent.MetricsSnapshot()}, nil
 }
 
-func (c *ControlServer) opHealth(json.RawMessage) (any, error) {
+func (c *ControlServer) opHealth(owner string, _ json.RawMessage) (any, error) {
+	if !c.isAdmin(owner) {
+		return nil, ctlForbidden(owner, "health")
+	}
 	resp := CtlHealthResp{Sites: c.agent.PipelineHealth()}
 	if c.agent.cfg.HA.Enabled {
 		acked, armed := c.agent.store.FollowerAckedSeq()
@@ -402,7 +598,7 @@ func (c *ControlClient) call(op string, req, resp any) error {
 }
 
 // QueueFiltered lists one page of jobs matching the filter; next is the
-// cursor for the following page ("" when this page is the last).
+// opaque cursor for the following page ("" when this page is the last).
 func (c *ControlClient) QueueFiltered(req CtlQueueReq) (jobs []JobInfo, next string, err error) {
 	var resp CtlQueueResp
 	if err := c.call("q", req, &resp); err != nil {

@@ -1,0 +1,128 @@
+package condorg
+
+import "sync"
+
+// fairSem is the agent-wide remote-operation cap
+// (Pipeline.MaxInFlight) with fair-share dispatch across owners: when
+// the cap is saturated, freed slots are granted round-robin over the
+// owners with queued work instead of in global FIFO order — the same
+// policy lrm.FairShare applies inside a cluster, applied at the agent's
+// dispatch boundary. One hostile owner with a deep backlog therefore
+// gets at most one grant per rotation turn, and a well-behaved owner's
+// tasks keep flowing.
+type fairSem struct {
+	mu    sync.Mutex
+	free  int
+	q     map[string][]chan struct{} // owner -> waiters, FIFO
+	order []string                   // owners with waiters, rotation order
+	next  int                        // rotation cursor into order
+}
+
+func newFairSem(n int) *fairSem {
+	return &fairSem{free: n, q: make(map[string][]chan struct{})}
+}
+
+// tryAcquire takes a slot without blocking. It refuses while any owner
+// is queued, so a late arrival cannot barge past the rotation.
+func (s *fairSem) tryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.free > 0 && len(s.order) == 0 {
+		s.free--
+		return true
+	}
+	return false
+}
+
+// acquire blocks until a slot is granted to owner's queue or stop
+// closes; it reports whether the slot was acquired.
+func (s *fairSem) acquire(owner string, stop <-chan struct{}) bool {
+	s.mu.Lock()
+	if s.free > 0 && len(s.order) == 0 {
+		s.free--
+		s.mu.Unlock()
+		return true
+	}
+	ch := make(chan struct{}, 1)
+	if len(s.q[owner]) == 0 {
+		s.order = append(s.order, owner)
+	}
+	s.q[owner] = append(s.q[owner], ch)
+	s.mu.Unlock()
+	select {
+	case <-ch:
+		return true
+	case <-stop:
+		s.mu.Lock()
+		if s.withdrawLocked(owner, ch) {
+			s.mu.Unlock()
+			return false
+		}
+		s.mu.Unlock()
+		// The grant raced the stop: a release already dequeued this
+		// waiter and its token is in (or headed for) ch. Consume it and
+		// pass the slot on.
+		<-ch
+		s.release()
+		return false
+	}
+}
+
+// withdrawLocked removes a still-queued waiter; false means the waiter
+// was already granted. s.mu held.
+func (s *fairSem) withdrawLocked(owner string, ch chan struct{}) bool {
+	waiters := s.q[owner]
+	for i, w := range waiters {
+		if w == ch {
+			s.q[owner] = append(waiters[:i], waiters[i+1:]...)
+			if len(s.q[owner]) == 0 {
+				s.dropOwnerLocked(owner)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// dropOwnerLocked removes owner from the rotation, keeping the cursor
+// pointing at the same next owner. s.mu held.
+func (s *fairSem) dropOwnerLocked(owner string) {
+	delete(s.q, owner)
+	for i, o := range s.order {
+		if o == owner {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			if s.next > i {
+				s.next--
+			}
+			if s.next >= len(s.order) {
+				s.next = 0
+			}
+			return
+		}
+	}
+}
+
+// release frees a slot: the next owner in the rotation with queued work
+// gets it; with no waiters the slot returns to the free pool.
+func (s *fairSem) release() {
+	s.mu.Lock()
+	if len(s.order) == 0 {
+		s.free++
+		s.mu.Unlock()
+		return
+	}
+	if s.next >= len(s.order) {
+		s.next = 0
+	}
+	owner := s.order[s.next]
+	waiters := s.q[owner]
+	ch := waiters[0]
+	s.q[owner] = waiters[1:]
+	if len(s.q[owner]) == 0 {
+		s.dropOwnerLocked(owner)
+	} else {
+		s.next++
+	}
+	s.mu.Unlock()
+	ch <- struct{}{}
+}

@@ -40,12 +40,20 @@ type CtlJournalStreamResp struct {
 	Reset   bool                   `json:"reset,omitempty"`
 }
 
-func (c *ControlServer) opJournalSnapshot(json.RawMessage) (any, error) {
+func (c *ControlServer) opJournalSnapshot(owner string, _ json.RawMessage) (any, error) {
+	if !c.isAdmin(owner) {
+		// The snapshot is the whole multi-tenant queue — replication
+		// peers are admins, tenants are not.
+		return nil, ctlForbidden(owner, "journal.snapshot")
+	}
 	data, head := c.agent.store.SnapshotDump()
 	return CtlJournalSnapshotResp{Data: data, Head: head}, nil
 }
 
-func (c *ControlServer) opJournalStream(body json.RawMessage) (any, error) {
+func (c *ControlServer) opJournalStream(owner string, body json.RawMessage) (any, error) {
+	if !c.isAdmin(owner) {
+		return nil, ctlForbidden(owner, "journal.stream")
+	}
 	var req CtlJournalStreamReq
 	if len(body) > 0 {
 		if err := json.Unmarshal(body, &req); err != nil {

@@ -195,10 +195,11 @@ func TestControlV1TypedErrors(t *testing.T) {
 	}
 }
 
-// TestControlV0ShimStillSpeaks: one release of grace for pre-envelope
-// clients — the per-method ctl.* handlers must keep answering raw wire
-// calls with the old request/response bodies.
-func TestControlV0ShimStillSpeaks(t *testing.T) {
+// TestControlV0Retired: the pre-envelope per-method ctl.* protocol is
+// gone — every old method name must answer with the typed upgrade error
+// (IsV0Retired), tagged Permanent so old CLIs fail fast instead of
+// retrying.
+func TestControlV0Retired(t *testing.T) {
 	w := newWorld(t, 1)
 	ctl, err := NewControlServer(w.agent)
 	if err != nil {
@@ -208,25 +209,24 @@ func TestControlV0ShimStillSpeaks(t *testing.T) {
 	wc := wire.Dial(ctl.Addr(), wire.ClientConfig{ServerName: ControlService, Timeout: 3 * time.Second})
 	defer wc.Close()
 
-	var idResp ctlID
-	err = wc.Call("ctl.submit", CtlSubmit{Owner: "u", Program: "task", Args: []string{"10ms"}}, &idResp)
-	if err != nil || idResp.ID == "" {
-		t.Fatalf("v0 submit: id=%q err=%v", idResp.ID, err)
+	for _, m := range []string{"ctl.submit", "ctl.q", "ctl.status", "ctl.rm",
+		"ctl.hold", "ctl.release", "ctl.log", "ctl.stdout", "ctl.wait"} {
+		err := wc.Call(m, struct{}{}, nil)
+		if !wire.IsRemote(err) {
+			t.Fatalf("%s: err=%v, want a remote error", m, err)
+		}
+		if !IsV0Retired(err) {
+			t.Fatalf("%s: err=%v, want IsV0Retired", m, err)
+		}
+		if faultclass.ClassOf(err) != faultclass.Permanent {
+			t.Fatalf("%s classified %v, want Permanent", m, faultclass.ClassOf(err))
+		}
 	}
-	waitAgentState(t, w.agent, idResp.ID, Completed)
-	var jobs ctlJobs
-	if err := wc.Call("ctl.q", struct{}{}, &jobs); err != nil || len(jobs.Jobs) != 1 {
-		t.Fatalf("v0 q: %+v err=%v", jobs, err)
-	}
-	var info JobInfo
-	if err := wc.Call("ctl.status", ctlID{ID: idResp.ID}, &info); err != nil || info.State != Completed {
-		t.Fatalf("v0 status: %+v err=%v", info, err)
-	}
-	// v0 errors stay wire-level strings (RemoteError), tagged with the
-	// fault class the server attached.
-	err = wc.Call("ctl.status", ctlID{ID: "ghost"}, &info)
-	if !wire.IsRemote(err) {
-		t.Fatalf("v0 status of unknown job: err=%v, want a remote error", err)
+	// The v1 envelope still answers on the same endpoint.
+	cli := NewControlClient(ctl.Addr())
+	defer cli.Close()
+	if _, err := cli.Queue(); err != nil {
+		t.Fatalf("ctl.v1 q after v0 retirement: %v", err)
 	}
 }
 

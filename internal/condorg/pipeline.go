@@ -207,17 +207,13 @@ func (gm *GridManager) drainSubmitsLocked(w *siteWorker, batch []gmTask) []gmTas
 // ledger entries (outstanding, opBusy) stay per job.
 func (gm *GridManager) runBatchSubmit(batch []gmTask) {
 	sem := gm.agent.pipeSem
-	select {
-	case sem <- struct{}{}:
-	default:
+	if !sem.tryAcquire() {
 		gm.agent.obs.Counter("gm_worker_stalls_total").Inc()
-		select {
-		case sem <- struct{}{}:
-		case <-gm.stopCh:
+		if !sem.acquire(gm.owner, gm.stopCh) {
 			return
 		}
 	}
-	defer func() { <-sem }()
+	defer sem.release()
 	gm.agent.obs.Counter(obs.Key("gm_tasks_total", "kind", "batch-submit")).Inc()
 	recs := make([]*jobRecord, len(batch))
 	for i, t := range batch {
@@ -229,18 +225,15 @@ func (gm *GridManager) runBatchSubmit(batch []gmTask) {
 // runTask executes one task body under the agent-wide in-flight cap.
 func (gm *GridManager) runTask(t gmTask) {
 	sem := gm.agent.pipeSem
-	select {
-	case sem <- struct{}{}:
-	default:
-		// The agent-wide cap is saturated: count the stall, then wait.
+	if !sem.tryAcquire() {
+		// The agent-wide cap is saturated: count the stall, then wait for
+		// a fair-share grant in this owner's rotation turn.
 		gm.agent.obs.Counter("gm_worker_stalls_total").Inc()
-		select {
-		case sem <- struct{}{}:
-		case <-gm.stopCh:
+		if !sem.acquire(gm.owner, gm.stopCh) {
 			return
 		}
 	}
-	defer func() { <-sem }()
+	defer sem.release()
 	gm.agent.obs.Counter(obs.Key("gm_tasks_total", "kind", t.kind.String())).Inc()
 	switch t.kind {
 	case taskSubmit:

@@ -189,7 +189,18 @@ func TestAgentRefusesCorruptQueue(t *testing.T) {
 	a.Close()
 
 	// Flip one bit in the first journal record (several intact follow).
-	jpath := filepath.Join(dir, "queue", "journal.log")
+	// Jobs live in owner "u"'s journal partition under queue/parts.
+	var jpath string
+	for _, pdir := range journal.PartitionDirs(filepath.Join(dir, "queue", "parts")) {
+		p := filepath.Join(pdir, "journal.log")
+		if st, err := os.Stat(p); err == nil && st.Size() > 0 {
+			jpath = p
+			break
+		}
+	}
+	if jpath == "" {
+		t.Fatal("no non-empty partition journal found")
+	}
 	raw, err := os.ReadFile(jpath)
 	if err != nil {
 		t.Fatal(err)

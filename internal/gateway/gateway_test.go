@@ -1,0 +1,176 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"condorg/internal/condorg"
+	"condorg/internal/gram"
+	"condorg/internal/lrm"
+	"condorg/internal/obs"
+)
+
+// startWorld runs one site + one open-mode agent + a gateway with two
+// trusted users, returning the gateway base URL.
+func startWorld(t *testing.T) string {
+	t.Helper()
+	rt := gram.NewFuncRuntime()
+	rt.Register("ok", func(_ context.Context, _ []string, _ []byte, stdout, _ io.Writer, _ map[string]string) error {
+		fmt.Fprintln(stdout, "ran")
+		return nil
+	})
+	cluster, err := lrm.NewCluster(lrm.Config{Name: "gw", Cpus: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := gram.NewSite(gram.SiteConfig{Name: "gw", Cluster: cluster, Runtime: rt, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+	agent, err := condorg.NewAgent(condorg.AgentConfig{
+		StateDir: t.TempDir(),
+		Selector: &condorg.RoundRobinSelector{Sites: []string{site.GatekeeperAddr()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Close)
+	ctl, err := condorg.NewControlServer(agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctl.Close() })
+	gw, err := New("127.0.0.1:0", Config{
+		Agent: ctl.Addr(),
+		Users: map[string]User{
+			"tok-a": {Owner: "ann"},
+			"tok-b": {Owner: "bea"},
+		},
+		Obs: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go gw.Serve()
+	t.Cleanup(func() { gw.Close() })
+	return "http://" + gw.Addr()
+}
+
+func doReq(t *testing.T, method, url, token string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestGatewayLifecycle drives submit → wait → status → log → queue over
+// HTTP and checks auth and error mapping along the way.
+func TestGatewayLifecycle(t *testing.T) {
+	base := startWorld(t)
+
+	// No or unknown token → 401.
+	if code := doReq(t, "GET", base+"/v1/jobs", "", nil, nil); code != http.StatusUnauthorized {
+		t.Fatalf("no token: HTTP %d, want 401", code)
+	}
+	if code := doReq(t, "GET", base+"/v1/jobs", "bogus", nil, nil); code != http.StatusUnauthorized {
+		t.Fatalf("bad token: HTTP %d, want 401", code)
+	}
+
+	var sub SubmitResponse
+	if code := doReq(t, "POST", base+"/v1/jobs", "tok-a", SubmitRequest{Program: "ok"}, &sub); code != http.StatusOK || sub.ID == "" {
+		t.Fatalf("submit: HTTP %d id %q", code, sub.ID)
+	}
+	var info condorg.JobInfo
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if code := doReq(t, "GET", base+"/v1/jobs/"+sub.ID+"/wait?timeout=5s", "tok-a", nil, &info); code != http.StatusOK {
+			t.Fatalf("wait: HTTP %d", code)
+		}
+		if info.State.Terminal() || time.Now().After(deadline) {
+			break
+		}
+	}
+	if info.State != condorg.Completed {
+		t.Fatalf("job finished %v, want Completed", info.State)
+	}
+	var logs LogResponse
+	if code := doReq(t, "GET", base+"/v1/jobs/"+sub.ID+"/log", "tok-a", nil, &logs); code != http.StatusOK || len(logs.Events) == 0 {
+		t.Fatalf("log: HTTP %d, %d events", code, len(logs.Events))
+	}
+	var q QueueResponse
+	if code := doReq(t, "GET", base+"/v1/jobs", "tok-a", nil, &q); code != http.StatusOK || len(q.Jobs) != 1 {
+		t.Fatalf("queue: HTTP %d, %d jobs", code, len(q.Jobs))
+	}
+	// Trusted-mode scoping: bea's listing is empty (the gateway asserts
+	// her owner in the filter).
+	if code := doReq(t, "GET", base+"/v1/jobs", "tok-b", nil, &q); code != http.StatusOK || len(q.Jobs) != 0 {
+		t.Fatalf("bea queue: HTTP %d, %d jobs", code, len(q.Jobs))
+	}
+	// Unknown job → 404 via the ctl no-such-job code.
+	if code := doReq(t, "GET", base+"/v1/jobs/gj999", "tok-a", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("ghost status: HTTP %d, want 404", code)
+	}
+	// Trusted-mode per-job enforcement: the gateway's open control
+	// session could see ann's job, so the gateway itself must answer
+	// bea with 404 on every per-job op — same anti-enumeration contract
+	// as the authenticated path.
+	for _, probe := range []struct{ method, path string }{
+		{"GET", "/v1/jobs/" + sub.ID},
+		{"GET", "/v1/jobs/" + sub.ID + "/wait"},
+		{"GET", "/v1/jobs/" + sub.ID + "/log"},
+		{"GET", "/v1/jobs/" + sub.ID + "/stdout"},
+		{"GET", "/v1/jobs/" + sub.ID + "/trace"},
+		{"POST", "/v1/jobs/" + sub.ID + "/hold"},
+		{"POST", "/v1/jobs/" + sub.ID + "/release"},
+		{"DELETE", "/v1/jobs/" + sub.ID},
+	} {
+		if code := doReq(t, probe.method, base+probe.path, "tok-b", nil, nil); code != http.StatusNotFound {
+			t.Fatalf("bea %s %s on ann's job: HTTP %d, want 404", probe.method, probe.path, code)
+		}
+	}
+	// And ann's own access still works after the probes.
+	if code := doReq(t, "GET", base+"/v1/jobs/"+sub.ID, "tok-a", nil, &info); code != http.StatusOK {
+		t.Fatalf("ann status after probes: HTTP %d", code)
+	}
+	// Malformed body → 400 from the gateway itself.
+	req, _ := http.NewRequest("POST", base+"/v1/jobs", bytes.NewReader([]byte("{not json")))
+	req.Header.Set("Authorization", "Bearer tok-a")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: HTTP %d, want 400", resp.StatusCode)
+	}
+}

@@ -521,6 +521,7 @@ type RemoteError struct {
 	Class faultclass.Class
 }
 
+// Error implements error.
 func (e *RemoteError) Error() string { return e.Msg }
 
 // FaultClass exposes the server-assigned class to faultclass.ClassOf.

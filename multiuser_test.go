@@ -1,24 +1,70 @@
 package benchmarks
 
-// Multi-user stress: three users' agents share three sites, with a
-// concurrent mix of successes, failures, cancellations, and holds. The
-// invariant under all of it: every submission resolves to exactly the
-// right terminal state and programs execute exactly once.
+// Multi-user stress, portal-style: THREE users share ONE agent behind
+// the HTTP gateway. Each user authenticates to the gateway with a bearer
+// token; the gateway holds a GSI credential per user, so the agent's
+// control endpoint derives every job's owner from the wire session —
+// request bodies never assert identity. The invariants under a
+// concurrent mix of successes and failures: every submission resolves to
+// exactly the right terminal state, programs execute exactly once, and
+// no op ever leaks another owner's jobs.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"condorg/internal/condorg"
+	"condorg/internal/gateway"
 	"condorg/internal/gram"
+	"condorg/internal/gsi"
 	"condorg/internal/lrm"
 )
+
+// gwClient is a minimal HTTP client for one gateway user.
+type gwClient struct {
+	t     *testing.T
+	base  string
+	token string
+}
+
+// do runs one request and decodes the JSON response into out (ignored
+// when nil), returning the HTTP status.
+func (c *gwClient) do(method, path string, body, out any) int {
+	c.t.Helper()
+	var buf io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		buf = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.base+path, buf)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			c.t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
 
 func TestThreeUsersSharedGrid(t *testing.T) {
 	var runs atomic.Int64
@@ -49,62 +95,145 @@ func TestThreeUsersSharedGrid(t *testing.T) {
 		gks = append(gks, site.GatekeeperAddr())
 	}
 
-	// One agent per user, as deployed in practice (a personal agent).
+	// ONE shared agent for all users, its control endpoint authenticated
+	// against a test CA: the owner of every op comes from the session.
+	agent, err := condorg.NewAgent(condorg.AgentConfig{
+		StateDir: t.TempDir(),
+		Selector: &condorg.RoundRobinSelector{Sites: gks},
+		Probe:    condorg.ProbeOptions{Interval: 40 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	now := time.Now()
+	ca, err := gsi.NewCA("portal-ca", now, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := condorg.NewControlServerConfig(agent, "127.0.0.1:0", condorg.ControlConfig{
+		Anchor: ca.Certificate(),
+		OwnerOf: func(subject string) string {
+			// Subjects are "/C=test/U=userN"; the owner is the last element.
+			return subject[len("/C=test/U="):]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	users := make(map[string]gateway.User)
+	tokens := make([]string, 3)
+	for u := 0; u < 3; u++ {
+		cred, err := ca.IssueUser(fmt.Sprintf("/C=test/U=user%d", u), now, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens[u] = fmt.Sprintf("token-%d", u)
+		users[tokens[u]] = gateway.User{Owner: fmt.Sprintf("user%d", u), Credential: cred}
+	}
+	gw, err := gateway.New("127.0.0.1:0", gateway.Config{Agent: ctl.Addr(), Users: users})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go gw.Serve()
+	defer gw.Close()
+
 	type submission struct {
-		agent *condorg.Agent
-		id    string
-		want  condorg.JobState
+		user int
+		id   string
+		want condorg.JobState
 	}
 	var mu sync.Mutex
 	var subs []submission
 	var wg sync.WaitGroup
 	for u := 0; u < 3; u++ {
 		u := u
-		agent, err := condorg.NewAgent(condorg.AgentConfig{
-			StateDir: t.TempDir(),
-			Selector: &condorg.RoundRobinSelector{Sites: gks},
-			Probe:    condorg.ProbeOptions{Interval: 40 * time.Millisecond},
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer agent.Close()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			owner := fmt.Sprintf("user%d", u)
+			cli := &gwClient{t: t, base: "http://" + gw.Addr(), token: tokens[u]}
 			for j := 0; j < 8; j++ {
 				prog, want := "ok", condorg.Completed
 				if j%4 == 3 {
 					prog, want = "bad", condorg.Failed
 				}
-				id, err := agent.Submit(condorg.SubmitRequest{
-					Owner: owner, Executable: gram.Program(prog),
-				})
-				if err != nil {
-					t.Error(err)
+				var resp gateway.SubmitResponse
+				if code := cli.do("POST", "/v1/jobs", gateway.SubmitRequest{Program: prog}, &resp); code != http.StatusOK {
+					t.Errorf("user%d submit: HTTP %d", u, code)
 					return
 				}
 				mu.Lock()
-				subs = append(subs, submission{agent, id, want})
+				subs = append(subs, submission{u, resp.ID, want})
 				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
 	for _, s := range subs {
-		info, err := s.agent.Wait(ctx, s.id)
-		if err != nil {
-			t.Fatal(err)
+		cli := &gwClient{t: t, base: "http://" + gw.Addr(), token: tokens[s.user]}
+		var info condorg.JobInfo
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if code := cli.do("GET", "/v1/jobs/"+s.id+"/wait?timeout=5s", nil, &info); code != http.StatusOK {
+				t.Fatalf("user%d wait %s: HTTP %d", s.user, s.id, code)
+			}
+			if info.State.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never terminal (last %v)", s.id, info.State)
+			}
 		}
 		if info.State != s.want {
 			t.Fatalf("job %s: %v, want %v (%s)", s.id, info.State, s.want, info.Error)
 		}
+		if info.Owner != fmt.Sprintf("user%d", s.user) {
+			t.Fatalf("job %s owned by %q, want user%d", s.id, info.Owner, s.user)
+		}
 	}
 	if got := runs.Load(); got != 24 {
 		t.Fatalf("executions = %d, want exactly 24", got)
+	}
+
+	// Zero cross-owner leaks: each user's listing shows exactly its own
+	// 8 jobs, and another owner's job answers 404 on every per-job op —
+	// present or not, indistinguishable.
+	byUser := make(map[int][]string)
+	for _, s := range subs {
+		byUser[s.user] = append(byUser[s.user], s.id)
+	}
+	for u := 0; u < 3; u++ {
+		cli := &gwClient{t: t, base: "http://" + gw.Addr(), token: tokens[u]}
+		var q gateway.QueueResponse
+		if code := cli.do("GET", "/v1/jobs", nil, &q); code != http.StatusOK {
+			t.Fatalf("user%d queue: HTTP %d", u, code)
+		}
+		if len(q.Jobs) != 8 {
+			t.Fatalf("user%d sees %d jobs, want exactly its own 8", u, len(q.Jobs))
+		}
+		for _, j := range q.Jobs {
+			if j.Owner != fmt.Sprintf("user%d", u) {
+				t.Fatalf("user%d's listing leaked job %s of %q", u, j.ID, j.Owner)
+			}
+		}
+		foreign := byUser[(u+1)%3][0]
+		for _, probe := range []struct{ method, path string }{
+			{"GET", "/v1/jobs/" + foreign},
+			{"GET", "/v1/jobs/" + foreign + "/log"},
+			{"GET", "/v1/jobs/" + foreign + "/stdout"},
+			{"GET", "/v1/jobs/" + foreign + "/trace"},
+			{"DELETE", "/v1/jobs/" + foreign},
+			{"POST", "/v1/jobs/" + foreign + "/hold"},
+		} {
+			if code := cli.do(probe.method, probe.path, nil, nil); code != http.StatusNotFound {
+				t.Fatalf("user%d %s %s on foreign job: HTTP %d, want 404", u, probe.method, probe.path, code)
+			}
+		}
 	}
 }
