@@ -56,9 +56,12 @@ import (
 	"time"
 
 	"condorg/internal/broker"
+	"condorg/internal/condor"
 	"condorg/internal/condorg"
 	"condorg/internal/faultclass"
 	"condorg/internal/gateway"
+	"condorg/internal/glidein"
+	"condorg/internal/gridftp"
 	"condorg/internal/journal"
 	"condorg/internal/mds"
 	"condorg/internal/obs"
@@ -85,6 +88,8 @@ func main() {
 		metrics(args)
 	case "health":
 		health(args)
+	case "pool":
+		pool(args)
 	case "audit":
 		audit(args)
 	case "status", "wait", "rm", "hold", "release", "log", "stdout", "trace":
@@ -95,7 +100,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: condorg <serve|gateway|submit|q|status|wait|rm|hold|release|log|stdout|trace|metrics|health|audit|sites> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: condorg <serve|gateway|submit|q|status|wait|rm|hold|release|log|stdout|trace|metrics|health|pool|audit|sites> [flags]")
 	os.Exit(2)
 }
 
@@ -276,16 +281,37 @@ func serve(args []string) {
 	standby := fs.String("standby", "", "run as a hot standby tailing the primary at this control address; take over when its lease expires")
 	leaseTTL := fs.Duration("lease-ttl", 0, "standby: declare the primary dead after this long without contact (0 = default 3s)")
 	standbyPoll := fs.Duration("standby-poll", 0, "standby: journal stream long-poll bound (0 = default 1s)")
-	journalPartitions := fs.Int("journal-partitions", 0, "owner hash buckets the job journal is sharded across (0 = default 16, -1 = single store; pinned at first start, ignored with -ha)")
+	journalPartitions := fs.Int("journal-partitions", 0, "owner hash buckets the job journal is sharded across (0 = default 16, -1 = single store; pinned at first start; rejected with -ha, which replicates one chain)")
 	maxQueuedPerOwner := fs.Int("max-queued-per-owner", 0, "reject a submit once the owner has this many non-terminal jobs (0 = unlimited)")
 	maxActivePerOwner := fs.Int("max-active-per-owner", 0, "reject a submit once the owner has this many non-held active jobs (0 = unlimited)")
 	submitRate := fs.Float64("submit-rate", 0, "per-owner submit token-bucket refill rate in submits/second (0 = unlimited)")
 	submitBurst := fs.Int("submit-burst", 0, "per-owner submit token-bucket depth (min 1 when -submit-rate is set)")
 	maxPayloadBytes := fs.Int("max-payload-bytes", 0, "reject a submit whose executable+stdin exceed this many bytes; oversized control envelopes are refused before decode (0 = unlimited)")
+	glideinOn := fs.Bool("glidein", false, "run the elastic GlideIn autoscaler: pilots submitted to the -sites hosts form the schedulable pool and jobs bind to pilots as they come up (delayed binding)")
+	glideinMin := fs.Int("glidein-min", 0, "minimum pilots the autoscaler keeps alive")
+	glideinMax := fs.Int("glidein-max", 0, "maximum pilots (0 = twice the host-site count)")
+	glideinJobsPerPilot := fs.Int("glidein-jobs-per-pilot", 0, "queue depth one pilot is expected to absorb (0 = default 4)")
+	glideinLease := fs.Duration("glidein-lease", 0, "pilot lease: hard lifetime before self-retirement (0 = default 1h)")
+	glideinIdle := fs.Duration("glidein-idle", 0, "pilot idle window before self-retirement (0 = default 1m)")
+	glideinInterval := fs.Duration("glidein-interval", 0, "autoscaler reconciliation interval (0 = default 1s)")
+	glideinCpus := fs.Int("glidein-cpus", 0, "CPUs each pilot's private gatekeeper schedules (0 = default 4)")
 	fs.Parse(args)
+	if err := checkServeFlags(*ha, *journalPartitions); err != nil {
+		log.Fatal(err)
+	}
 
+	var adaptive *broker.Adaptive
 	var selector condorg.Selector
 	switch {
+	case *glideinOn:
+		if *sites == "" {
+			log.Fatal("condorg serve: -glidein needs -sites (the hosts pilots are submitted to)")
+		}
+		// The schedulable pool is the set of pilot gatekeepers; it starts
+		// empty and the provisioner registers pilots as they come up, so
+		// binding is deferred until capacity exists.
+		adaptive = broker.NewAdaptive(nil)
+		selector = adaptive
 	case *mdsAddr != "":
 		b, err := broker.NewMDSBroker(*mdsAddr, "", "")
 		if err != nil {
@@ -322,6 +348,7 @@ func serve(args []string) {
 	cfg.Batch.MaxDelay = *batchMaxDelay
 	cfg.Wire.Codec = *wireCodec
 	cfg.HA.Enabled = *ha
+	cfg.DeferBinding = *glideinOn
 	cfg.Tenancy.Partitions = *journalPartitions
 	cfg.Tenancy.MaxQueuedPerOwner = *maxQueuedPerOwner
 	cfg.Tenancy.MaxActivePerOwner = *maxActivePerOwner
@@ -333,6 +360,9 @@ func serve(args []string) {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	if *standby != "" {
+		if *glideinOn {
+			log.Fatal("condorg serve: -glidein is a primary-agent feature and cannot be combined with -standby")
+		}
 		sb, err := condorg.NewStandby(condorg.StandbyConfig{
 			Primary:  *standby,
 			StateDir: stateDir,
@@ -373,7 +403,28 @@ func serve(args []string) {
 		log.Fatal(err)
 	}
 	defer agent.Close()
-	ctl, err := condorg.NewControlServerAddr(agent, *listen)
+
+	ctlCfg := condorg.ControlConfig{}
+	if *glideinOn {
+		prov, stop, err := startGlidein(agent, glideinFlags{
+			hostSites:    strings.Split(*sites, ","),
+			stateDir:     stateDir,
+			registry:     adaptive,
+			min:          *glideinMin,
+			max:          *glideinMax,
+			jobsPerPilot: *glideinJobsPerPilot,
+			lease:        *glideinLease,
+			idle:         *glideinIdle,
+			interval:     *glideinInterval,
+			cpus:         *glideinCpus,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		ctlCfg.Pool = func() condorg.CtlPoolResp { return poolResp(prov.Status()) }
+	}
+	ctl, err := condorg.NewControlServerConfig(agent, *listen, ctlCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -381,6 +432,133 @@ func serve(args []string) {
 	fmt.Printf("condorg agent: control endpoint %s (state %s)\n", ctl.Addr(), stateDir)
 	<-sig
 	fmt.Println("condorg agent: shutting down")
+}
+
+// checkServeFlags rejects flag combinations that would otherwise
+// misbehave silently. -ha replicates a single hash-chained journal, so an
+// owner-partitioned store cannot be combined with it — an operator
+// setting both must get a hard error, not an unpartitioned store.
+func checkServeFlags(ha bool, journalPartitions int) error {
+	if ha && journalPartitions > 0 {
+		return fmt.Errorf("condorg serve: -journal-partitions %d cannot be combined with -ha: hot-standby replication streams a single journal chain and would silently ignore the partitioning; drop one of the two flags", journalPartitions)
+	}
+	return nil
+}
+
+// glideinFlags carries the serve -glidein-* flag values.
+type glideinFlags struct {
+	hostSites    []string
+	stateDir     string
+	registry     *broker.Adaptive
+	min, max     int
+	jobsPerPilot int
+	lease        time.Duration
+	idle         time.Duration
+	interval     time.Duration
+	cpus         int
+}
+
+// startGlidein brings up the elastic-pool substrate inside the agent
+// process — the personal-pool Collector pilots advertise to and the
+// GridFTP repository they fetch the daemon payload from — and starts the
+// autoscaler over the host sites. The returned stop function drains the
+// pool (every pilot also self-retires via lease/idle if the agent dies
+// without calling it).
+func startGlidein(agent *condorg.Agent, gf glideinFlags) (*glidein.Provisioner, func(), error) {
+	coll, err := condor.NewCollector(condor.CollectorOptions{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("condorg serve: glidein collector: %w", err)
+	}
+	repoDir := filepath.Join(gf.stateDir, "glidein-repo")
+	if err := os.MkdirAll(repoDir, 0o700); err != nil {
+		coll.Close()
+		return nil, nil, err
+	}
+	repo, err := gridftp.NewServer(repoDir, gridftp.ServerOptions{})
+	if err != nil {
+		coll.Close()
+		return nil, nil, fmt.Errorf("condorg serve: glidein repo: %w", err)
+	}
+	ftp := gridftp.NewClient(nil, nil, 2)
+	err = ftp.Put(repo.Addr(), glidein.StartdBlob, []byte("condor_startd v6.3 payload"))
+	ftp.Close()
+	if err != nil {
+		coll.Close()
+		repo.Close()
+		return nil, nil, fmt.Errorf("condorg serve: seed glidein repo: %w", err)
+	}
+
+	hosts := make(map[string]string, len(gf.hostSites))
+	for _, addr := range gf.hostSites {
+		hosts[addr] = addr
+	}
+	prov, err := glidein.NewProvisioner(glidein.ProvisionerConfig{
+		HostSites:     hosts,
+		CollectorAddr: coll.Addr(),
+		RepoAddr:      repo.Addr(),
+		Demand:        agent.Backlog,
+		HostHealthy: func(gk string) bool {
+			for _, row := range agent.PipelineHealth() {
+				if row.Site == gk && row.Breaker == "open" {
+					return false
+				}
+			}
+			return true
+		},
+		Stage: func(addr string) (hits, misses int64) {
+			for _, row := range agent.PipelineHealth() {
+				if row.Site == addr {
+					hits += int64(row.StageHits)
+					misses += int64(row.StageMisses)
+				}
+			}
+			return hits, misses
+		},
+		Registry:     gf.registry,
+		SiteRetired:  agent.SiteRetired,
+		MinPilots:    gf.min,
+		MaxPilots:    gf.max,
+		JobsPerPilot: gf.jobsPerPilot,
+		Interval:     gf.interval,
+		Lease:        gf.lease,
+		IdleTimeout:  gf.idle,
+		PilotCpus:    gf.cpus,
+		Obs:          agent.Obs(),
+	})
+	if err != nil {
+		coll.Close()
+		repo.Close()
+		return nil, nil, err
+	}
+	prov.Start()
+	fmt.Printf("condorg agent: glidein autoscaler over %d host sites (collector %s, repo %s)\n",
+		len(hosts), coll.Addr(), repo.Addr())
+	return prov, func() {
+		prov.Drain()
+		prov.Close()
+		coll.Close()
+		repo.Close()
+	}, nil
+}
+
+// poolResp adapts the provisioner's snapshot to the ctl.v1 pool view.
+func poolResp(st glidein.PoolStatus) condorg.CtlPoolResp {
+	resp := condorg.CtlPoolResp{
+		Target:    st.Target,
+		Demand:    st.Demand,
+		Submitted: st.Submitted,
+		Retired:   st.Retired,
+	}
+	for _, p := range st.Pilots {
+		resp.Pilots = append(resp.Pilots, condorg.CtlPoolPilot{
+			Slot:       p.Slot,
+			HostSite:   p.HostSite,
+			Gatekeeper: p.Gatekeeper,
+			ActiveJobs: p.ActiveJobs,
+			State:      p.State,
+		})
+	}
+	return resp
 }
 
 func client(fs *flag.FlagSet, args []string) (*condorg.ControlClient, []string) {
@@ -502,6 +680,30 @@ func health(args []string) {
 	for _, s := range resp.Sites {
 		fmt.Printf("%-10s %-22s %-10s %6d %8d %9d %10d %11d\n",
 			s.Owner, s.Site, s.Breaker, s.Fails, s.Queued, s.InFlight, s.StageHits, s.StageMisses)
+	}
+}
+
+// pool prints the elastic glidein autoscaler's view: target vs. actual
+// pool size and every tracked pilot.
+func pool(args []string) {
+	fs := flag.NewFlagSet("pool", flag.ExitOnError)
+	agent := fs.String("agent", "127.0.0.1:7100", "agent control address")
+	fs.Parse(args)
+	cli := condorg.NewControlClient(*agent)
+	defer cli.Close()
+	resp, err := cli.Pool()
+	if err != nil {
+		die(err)
+	}
+	if !resp.Enabled {
+		fmt.Println("glidein autoscaler: not running (start the agent with -glidein)")
+		return
+	}
+	fmt.Printf("pool: %d pilots, target %d (demand %d jobs; %d submitted, %d retired all-time)\n",
+		len(resp.Pilots), resp.Target, resp.Demand, resp.Submitted, resp.Retired)
+	fmt.Printf("%-28s %-22s %-22s %-9s %6s\n", "SLOT", "HOST", "GATEKEEPER", "STATE", "ACTIVE")
+	for _, p := range resp.Pilots {
+		fmt.Printf("%-28s %-22s %-22s %-9s %6d\n", p.Slot, p.HostSite, p.Gatekeeper, p.State, p.ActiveJobs)
 	}
 }
 

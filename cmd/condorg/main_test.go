@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeRejectsHAWithJournalPartitions pins the startup contract: -ha
+// replicates one journal chain, so combining it with owner partitioning
+// must be a hard error naming both flags — never a silently unpartitioned
+// store.
+func TestServeRejectsHAWithJournalPartitions(t *testing.T) {
+	err := checkServeFlags(true, 16)
+	if err == nil {
+		t.Fatal("-ha with -journal-partitions 16 accepted; want a hard startup error")
+	}
+	for _, flag := range []string{"-ha", "-journal-partitions"} {
+		if !strings.Contains(err.Error(), flag) {
+			t.Fatalf("error %q does not name %s", err, flag)
+		}
+	}
+
+	// The non-conflicting combinations stay valid: partitions without HA,
+	// HA with the flag unset, and HA with the explicit single-store value
+	// (-1), which is exactly what replication produces anyway.
+	for _, ok := range []struct {
+		ha    bool
+		parts int
+	}{{false, 16}, {true, 0}, {true, -1}, {false, 0}} {
+		if err := checkServeFlags(ok.ha, ok.parts); err != nil {
+			t.Fatalf("checkServeFlags(%v, %d) = %v; want nil", ok.ha, ok.parts, err)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"condorg/internal/broker"
+	"condorg/internal/glidein"
 	"condorg/internal/gram"
 	"condorg/internal/lrm"
 	"condorg/internal/programs"
@@ -52,10 +53,15 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// The site hosts elastic glidein pilots: the gatekeeper-pilot program
+	// brings up a private gatekeeper inside an allocation, and jobs bound
+	// to it run from the same demo-program library as direct submissions.
+	rt := programs.NewRuntime()
+	glidein.InstallGatekeeperPilot(rt, rt, nil, nil, nil)
 	site, err := gram.NewSite(gram.SiteConfig{
 		Name:           *name,
 		Cluster:        cluster,
-		Runtime:        programs.NewRuntime(),
+		Runtime:        rt,
 		StateDir:       stateDir,
 		GatekeeperAddr: *addr,
 	})

@@ -163,6 +163,46 @@ func TestTenancyFlagsDocumented(t *testing.T) {
 	}
 }
 
+// TestGlideinFlagsDocumented guards the elastic-autoscaler surface: the
+// serve glidein flags and the pool subcommand must be registered by the
+// CLI and documented in the operator guide, and the design doc must keep
+// the elastic-provisioning section describing the semantics they
+// configure.
+func TestGlideinFlagsDocumented(t *testing.T) {
+	doc, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile("cmd/condorg/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"glidein", "glidein-min", "glidein-max", "glidein-jobs-per-pilot",
+		"glidein-lease", "glidein-idle", "glidein-interval", "glidein-cpus",
+	} {
+		if !strings.Contains(string(src), fmt.Sprintf("(%q,", name)) {
+			t.Errorf("cmd/condorg/main.go does not register -%s", name)
+		}
+		if !strings.Contains(string(doc), "`-"+name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document -%s", name)
+		}
+	}
+	if !strings.Contains(string(src), `case "pool":`) {
+		t.Error("cmd/condorg/main.go lost the pool subcommand")
+	}
+	if !strings.Contains(string(doc), "condorg pool") {
+		t.Error("docs/OPERATIONS.md does not document `condorg pool`")
+	}
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(design), "Elastic provisioning") {
+		t.Error("DESIGN.md lost its elastic-provisioning section")
+	}
+}
+
 // TestReadmeLinksOperationsDoc: the operator guide is reachable from the
 // front page.
 func TestReadmeLinksOperationsDoc(t *testing.T) {

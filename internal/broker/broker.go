@@ -219,13 +219,58 @@ type siteStats struct {
 	totalWait time.Duration // sum of observed waits
 }
 
-// NewAdaptive creates an adaptive selector over a fixed site list.
+// NewAdaptive creates an adaptive selector over an initial site list.
+// Sites that appear later (glidein pilots, operator additions) join via
+// RegisterSite and leave via RemoveSite.
 func NewAdaptive(sites []string) *Adaptive {
-	a := &Adaptive{sites: append([]string(nil), sites...), stats: make(map[string]*siteStats)}
-	for _, s := range a.sites {
-		a.stats[s] = &siteStats{}
+	a := &Adaptive{stats: make(map[string]*siteStats)}
+	for _, s := range sites {
+		a.registerLocked(s)
 	}
 	return a
+}
+
+func (a *Adaptive) registerLocked(site string) {
+	if _, ok := a.stats[site]; ok {
+		return
+	}
+	a.sites = append(a.sites, site)
+	a.stats[site] = &siteStats{}
+}
+
+// RegisterSite adds a late-joining site to the candidate pool. Idempotent:
+// re-registering a known site keeps its accumulated statistics.
+func (a *Adaptive) RegisterSite(site string) {
+	if site == "" {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.registerLocked(site)
+}
+
+// RemoveSite withdraws a site from the candidate pool and drops its
+// statistics. Unknown sites are a no-op.
+func (a *Adaptive) RemoveSite(site string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.stats[site]; !ok {
+		return
+	}
+	delete(a.stats, site)
+	for i, s := range a.sites {
+		if s == site {
+			a.sites = append(a.sites[:i], a.sites[i+1:]...)
+			break
+		}
+	}
+}
+
+// Sites returns the current candidate pool.
+func (a *Adaptive) Sites() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.sites...)
 }
 
 // Select implements condorg.Selector.

@@ -283,3 +283,76 @@ func TestAdaptiveSelectHealthySkipsVetoed(t *testing.T) {
 		t.Fatalf("want ErrAllSitesUnhealthy, got %v", err)
 	}
 }
+
+func TestAdaptiveRegisterRemove(t *testing.T) {
+	a := NewAdaptive([]string{"a"})
+	// Pile backlog onto a; a late-joining unprobed site must win the next
+	// score race immediately.
+	a.ObserveStart("a", time.Second)
+	if s, _ := a.Select(condorg.SubmitRequest{}); s != "a" {
+		t.Fatalf("only site not selected: %s", s)
+	}
+	a.RegisterSite("b")
+	a.RegisterSite("b") // idempotent
+	a.RegisterSite("")  // no-op
+	if got := a.Sites(); len(got) != 2 {
+		t.Fatalf("sites after register = %v", got)
+	}
+	if s, _ := a.Select(condorg.SubmitRequest{}); s != "b" {
+		t.Fatalf("late-joining site never selected: %s", s)
+	}
+	// Removal withdraws the site and its stats; re-registration starts fresh.
+	a.RemoveSite("b")
+	a.RemoveSite("ghost")
+	if got := a.Sites(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("sites after remove = %v", got)
+	}
+	for i := 0; i < 5; i++ {
+		if s, _ := a.Select(condorg.SubmitRequest{}); s != "a" {
+			t.Fatalf("removed site still selected")
+		}
+	}
+	if a.InFlight("b") != 0 {
+		t.Fatalf("removed site kept stats: %d in flight", a.InFlight("b"))
+	}
+}
+
+func TestAdaptiveLateJoinSiteReceivesWork(t *testing.T) {
+	first := quickSite(t, "first", 2)
+	a := NewAdaptive([]string{first.GatekeeperAddr()})
+	agent, err := condorg.NewAgent(condorg.AgentConfig{
+		StateDir: t.TempDir(),
+		Selector: a,
+		Probe:    condorg.ProbeOptions{Interval: 40 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	// The pool grows after the selector was built — exactly what a glidein
+	// pilot coming up looks like. The late site must be a candidate and
+	// actually run work.
+	late := quickSite(t, "late", 2)
+	a.RegisterSite(late.GatekeeperAddr())
+
+	sawLate := false
+	for i := 0; i < 8; i++ {
+		id, err := agent.Submit(condorg.SubmitRequest{Owner: "u", Executable: gram.Program("task")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
+		info, err := agent.Wait(ctx, id)
+		cancel()
+		if err != nil || info.State != condorg.Completed {
+			t.Fatalf("job %s: %v err=%v", id, info.State, err)
+		}
+		if info.Site == late.GatekeeperAddr() {
+			sawLate = true
+		}
+	}
+	if !sawLate {
+		t.Fatal("late-joining site never received work")
+	}
+}

@@ -157,6 +157,14 @@ type AgentConfig struct {
 	Clock gsi.Clock
 	// Selector picks sites for jobs without an explicit Site.
 	Selector Selector
+	// DeferBinding accepts jobs even when the Selector currently has no
+	// candidate (e.g. an elastic pool that has scaled to zero): the job
+	// queues unbound and the dispatcher binds it once a site appears.
+	// The dispatcher also re-binds still-unsubmitted jobs away from
+	// breaker-open or vanished sites — safe because a job without a
+	// remote contact can have left at most an uncommitted (never-run)
+	// incarnation behind.
+	DeferBinding bool
 	// Notifier receives user notifications; defaults to a Mailbox.
 	Notifier Notifier
 	// Delegate forwards a proxy of this lifetime with each submission.
@@ -1024,7 +1032,12 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 			site, err = a.cfg.Selector.Select(req)
 		}
 		if err != nil {
-			return "", fmt.Errorf("condorg: selector: %w", err)
+			if !a.cfg.DeferBinding {
+				return "", fmt.Errorf("condorg: selector: %w", err)
+			}
+			// Deferred binding: queue the job unbound; dispatchPending
+			// binds it once the selector has a candidate.
+			site = ""
 		}
 	}
 
@@ -1085,7 +1098,11 @@ func (a *Agent) Submit(req SubmitRequest) (string, error) {
 	// journal write and the site's reply, recovery resubmits with the
 	// same SubmissionID and the site deduplicates — exactly-once. log()
 	// persists the record (SUBMIT event included) in a single delta.
-	a.log(rec, "SUBMIT", "job submitted to agent, destined for %s", site)
+	dest := site
+	if dest == "" {
+		dest = "a deferred-binding site"
+	}
+	a.log(rec, "SUBMIT", "job submitted to agent, destined for %s", dest)
 	a.managerFor(req.Owner).enqueueSubmit(rec)
 	a.changed.Notify()
 	a.obs.Counter("agent_jobs_submitted_total").Inc()
@@ -1612,6 +1629,63 @@ func (a *Agent) HasPendingJobs(owner string) bool {
 		}
 	}
 	return false
+}
+
+// Backlog counts runnable jobs: non-terminal and not held. It is the
+// demand signal an elastic provisioner sizes the glidein pool to.
+func (a *Agent) Backlog() int {
+	a.idMu.RLock()
+	recs := make([]*jobRecord, 0, len(a.ids))
+	for _, rec := range a.ids {
+		recs = append(recs, rec)
+	}
+	a.idMu.RUnlock()
+	n := 0
+	for _, rec := range recs {
+		rec.mu.Lock()
+		if !rec.State.Terminal() && rec.State != Held {
+			n++
+		}
+		rec.mu.Unlock()
+	}
+	return n
+}
+
+// SiteRetired declares a gatekeeper address permanently gone. The paper's
+// disconnection handling waits for a vanished site to come back — right
+// for a real institution, hopeless for an elastic glidein pilot that was
+// deliberately retired and will never return. The provisioner calls this
+// after a pilot's GRAM job reaches a terminal state, which the pilot only
+// does after closing its private gatekeeper: any incarnation still bound
+// there provably cannot complete anymore, so it is classified SiteLost and
+// resubmitted exactly-once through the standard ladder. Unsubmitted jobs
+// bound to the address need nothing here — the deferred-binding dispatcher
+// re-binds them once the breaker opens.
+func (a *Agent) SiteRetired(addr string) {
+	if addr == "" {
+		return
+	}
+	a.idMu.RLock()
+	recs := make([]*jobRecord, 0, len(a.ids))
+	for _, rec := range a.ids {
+		recs = append(recs, rec)
+	}
+	a.idMu.RUnlock()
+	for _, rec := range recs {
+		rec.mu.Lock()
+		match := !rec.State.Terminal() && rec.State != Held &&
+			rec.Contact.JobID != "" && rec.Contact.GatekeeperAddr == addr
+		owner := rec.Owner
+		rec.mu.Unlock()
+		if !match {
+			continue
+		}
+		a.managerFor(owner).maybeResubmit(rec, gram.StatusInfo{
+			State: gram.StateFailed,
+			Error: "glidein pilot at " + addr + " retired",
+			Fault: faultclass.SiteLost,
+		})
+	}
 }
 
 // Notifier exposes the configured notifier for companion services.

@@ -1,6 +1,7 @@
 package condorg
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,6 +39,10 @@ type ControlConfig struct {
 	// listings, metrics, health, journal replication) in authenticated
 	// mode. In open mode everything is implicitly admin.
 	Admins map[string]bool
+	// Pool, when set, answers the admin-gated "pool" op with the elastic
+	// glidein autoscaler's state. Nil reports Enabled=false — an agent
+	// without a provisioner.
+	Pool func() CtlPoolResp
 }
 
 // ControlServer exposes an Agent over the wire protocol so the condorg CLI
@@ -231,8 +236,19 @@ func (c *ControlClient) Stdout(id string) ([]byte, error) {
 
 // Wait blocks (polling) until the job is terminal or timeout elapses.
 func (c *ControlClient) Wait(id string, timeout time.Duration) (JobInfo, error) {
+	return c.WaitCtx(context.Background(), id, timeout)
+}
+
+// WaitCtx is Wait observing ctx: the poll loop re-checks the context
+// between one-second long-poll rounds, so an abandoned caller releases
+// its agent connection within a round instead of parking for the full
+// timeout.
+func (c *ControlClient) WaitCtx(ctx context.Context, id string, timeout time.Duration) (JobInfo, error) {
 	deadline := time.Now().Add(timeout)
 	for {
+		if err := ctx.Err(); err != nil {
+			return JobInfo{}, fmt.Errorf("condorg: wait for %s: %w", id, err)
+		}
 		var info JobInfo
 		if err := c.call("wait", ctlWait{ID: id, TimeoutSec: 1}, &info); err != nil {
 			return JobInfo{}, err

@@ -218,6 +218,27 @@ type CtlHealthResp struct {
 	HA    *CtlHAStatus    `json:"ha,omitempty"`
 }
 
+// CtlPoolPilot is one glidein pilot row of the "pool" view.
+type CtlPoolPilot struct {
+	Slot       string `json:"slot"`
+	HostSite   string `json:"host_site"`
+	Gatekeeper string `json:"gatekeeper,omitempty"`
+	ActiveJobs int64  `json:"active_jobs"`
+	State      string `json:"state"` // pending | up | retiring
+}
+
+// CtlPoolResp is the elastic glidein pool's state: the autoscaler's
+// current target, the demand it derived it from, and every tracked
+// pilot. Enabled=false means the agent runs without a provisioner.
+type CtlPoolResp struct {
+	Enabled   bool           `json:"enabled"`
+	Target    int            `json:"target"`
+	Demand    int            `json:"demand"`
+	Submitted int64          `json:"submitted_total"`
+	Retired   int64          `json:"retired_total"`
+	Pilots    []CtlPoolPilot `json:"pilots,omitempty"`
+}
+
 // ownerFor resolves the wire peer into the op owner. Open mode has no
 // peer and yields "" — the trusted single-tenant posture. Authenticated
 // mode maps the subject through OwnerOf (identity when nil); an unmapped
@@ -335,6 +356,7 @@ func (c *ControlServer) registerOps() {
 		"trace":   c.opTrace,
 		"metrics": c.opMetrics,
 		"health":  c.opHealth,
+		"pool":    c.opPool,
 		// Journal replication (see hastream.go): standby bootstrap + tail.
 		"journal.snapshot": c.opJournalSnapshot,
 		"journal.stream":   c.opJournalStream,
@@ -573,6 +595,18 @@ func (c *ControlServer) opHealth(owner string, _ json.RawMessage) (any, error) {
 	return resp, nil
 }
 
+func (c *ControlServer) opPool(owner string, _ json.RawMessage) (any, error) {
+	if !c.isAdmin(owner) {
+		return nil, ctlForbidden(owner, "pool")
+	}
+	if c.cfg.Pool == nil {
+		return CtlPoolResp{}, nil
+	}
+	resp := c.cfg.Pool()
+	resp.Enabled = true
+	return resp, nil
+}
+
 // call runs one v1 op round-trip: envelope out, envelope back, typed
 // error surfaced as *CtlError (so faultclass.ClassOf works on it).
 func (c *ControlClient) call(op string, req, resp any) error {
@@ -639,5 +673,13 @@ func (c *ControlClient) Health() ([]CtlSiteHealth, error) {
 func (c *ControlClient) HealthFull() (CtlHealthResp, error) {
 	var resp CtlHealthResp
 	err := c.call("health", nil, &resp)
+	return resp, err
+}
+
+// Pool fetches the elastic glidein pool view (Enabled=false when the
+// agent runs without a provisioner).
+func (c *ControlClient) Pool() (CtlPoolResp, error) {
+	var resp CtlPoolResp
+	err := c.call("pool", nil, &resp)
 	return resp, err
 }

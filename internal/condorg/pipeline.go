@@ -318,6 +318,46 @@ func (gm *GridManager) dispatchPending() {
 			continue
 		}
 		site := rec.Site
+		// Deferred / elastic binding: a job accepted without a site binds
+		// here once the selector has a candidate, and a still-unsubmitted
+		// job bound to a breaker-open site (e.g. a retired pilot) moves to
+		// a healthy one. Both require an empty remote contact: such a job
+		// can have left at most an *uncommitted* incarnation behind — a
+		// torn Submit reply the site expires without ever running it — so
+		// changing the binding cannot double-execute. Anything with a
+		// contact goes through commit-retry / resubmit instead.
+		if gm.agent.cfg.DeferBinding && gm.agent.cfg.Selector != nil && rec.Contact.JobID == "" &&
+			(site == "" || gm.gram.SiteHealth(site) == faultclass.Open) {
+			newSite, err := selectSite(gm.agent.cfg.Selector, SubmitRequest{Owner: rec.Owner}, gm.healthView())
+			if err == nil && newSite != site {
+				old := site
+				rec.Site = newSite
+				// The new site has none of our bytes: restart staging.
+				rec.Stage = StageInfo{Hash: rec.Stage.Hash, Total: rec.Stage.Total}
+				detail := "bound to " + newSite
+				if old != "" {
+					detail = "rebound from breaker-open " + old + " to " + newSite
+				}
+				gm.agent.traceLocked(rec, obs.PhaseBind, "", detail)
+				rec.bumpLocked()
+				rec.mu.Unlock()
+				// Journal the new binding BEFORE the task can reach the
+				// wire: recovery must resubmit (same SubmissionID) to the
+				// site the incarnation actually targets.
+				gm.agent.log(rec, "BIND", "%s", detail)
+				site = newSite
+				rec.mu.Lock()
+				if rec.State.Terminal() || rec.State == Held {
+					rec.mu.Unlock()
+					continue
+				}
+			} else if site == "" {
+				// No candidate yet: park until the pool grows.
+				rec.mu.Unlock()
+				parked = append(parked, rec)
+				continue
+			}
+		}
 		if gm.gram.SiteHealth(site) != faultclass.Closed {
 			if probed[site] || !gm.gram.SiteReady(site) {
 				rec.mu.Unlock()

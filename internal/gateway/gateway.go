@@ -399,6 +399,12 @@ func (g *Gateway) handleRelease(u User, _ http.ResponseWriter, r *http.Request) 
 	return nil, g.client(u).Release(r.PathValue("id"))
 }
 
+// maxWaitTimeout is the server-side ceiling on one long-poll round of
+// GET /v1/jobs/{id}/wait. A client wanting to wait longer re-issues the
+// request; without the cap one request could pin an agent connection for
+// an arbitrary client-chosen duration.
+const maxWaitTimeout = 5 * time.Minute
+
 func (g *Gateway) handleWait(u User, _ http.ResponseWriter, r *http.Request) (any, error) {
 	timeout := 30 * time.Second
 	if s := r.URL.Query().Get("timeout"); s != "" {
@@ -407,10 +413,16 @@ func (g *Gateway) handleWait(u User, _ http.ResponseWriter, r *http.Request) (an
 			return nil, badRequest("gateway: bad timeout: %v", err)
 		}
 	}
+	if timeout > maxWaitTimeout {
+		timeout = maxWaitTimeout
+	}
 	if err := g.authorize(u, r.PathValue("id")); err != nil {
 		return nil, err
 	}
-	info, err := g.client(u).Wait(r.PathValue("id"), timeout)
+	// The request context propagates into the poll loop: a client that
+	// hangs up frees the handler (and its agent connection) within one
+	// poll round instead of waiting out the timeout.
+	info, err := g.client(u).WaitCtx(r.Context(), r.PathValue("id"), timeout)
 	if err != nil && !strings.Contains(err.Error(), "timed out") {
 		return nil, err
 	}

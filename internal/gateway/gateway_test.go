@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -24,6 +26,10 @@ func startWorld(t *testing.T) string {
 	rt.Register("ok", func(_ context.Context, _ []string, _ []byte, stdout, _ io.Writer, _ map[string]string) error {
 		fmt.Fprintln(stdout, "ran")
 		return nil
+	})
+	rt.Register("park", func(ctx context.Context, _ []string, _ []byte, _, _ io.Writer, _ map[string]string) error {
+		<-ctx.Done()
+		return ctx.Err()
 	})
 	cluster, err := lrm.NewCluster(lrm.Config{Name: "gw", Cpus: 2})
 	if err != nil {
@@ -172,5 +178,65 @@ func TestGatewayLifecycle(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad body: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// waitHandlerParked reports whether a handleWait frame is currently on
+// some goroutine's stack (the gateway runs in-process here).
+func waitHandlerParked() bool {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return strings.Contains(string(buf[:n]), "handleWait")
+}
+
+// TestWaitObservesRequestContext pins the long-poll lifecycle: a client
+// that hangs up mid-wait must free the handler goroutine promptly — it
+// must not stay parked until the (possibly huge) ?timeout= elapses.
+func TestWaitObservesRequestContext(t *testing.T) {
+	base := startWorld(t)
+	var job struct {
+		ID string `json:"id"`
+	}
+	if code := doReq(t, "POST", base+"/v1/jobs", "tok-a", map[string]any{"program": "park"}, &job); code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/jobs/"+job.ID+"/wait?timeout=5m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer tok-a")
+	done := make(chan struct{})
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(done)
+	}()
+
+	deadline := time.Now().Add(8 * time.Second)
+	for !waitHandlerParked() {
+		if time.Now().After(deadline) {
+			t.Fatal("wait handler never parked")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(8 * time.Second):
+		t.Fatal("client Do did not return after cancel")
+	}
+	// The handler goroutine itself must exit within about one poll round,
+	// not linger until the 5-minute timeout.
+	deadline = time.Now().Add(8 * time.Second)
+	for waitHandlerParked() {
+		if time.Now().After(deadline) {
+			t.Fatal("handler goroutine still parked in handleWait after request cancel")
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 }

@@ -330,6 +330,26 @@ func (s *Site) Name() string { return s.cfg.Name }
 // Cluster exposes the LRM (resource ads need queue depth etc.).
 func (s *Site) Cluster() *lrm.Cluster { return s.cfg.Cluster }
 
+// ActiveJobs counts jobs that have not reached a terminal state. Glidein
+// pilots use it as the idle signal for §5's runaway-daemon guard.
+func (s *Site) ActiveJobs() int {
+	s.mu.Lock()
+	jobs := make([]*siteJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		j.mu.Lock()
+		if !j.status.State.Terminal() {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
 // authorize maps a peer subject through the gridmap.
 func (s *Site) authorize(peer string) (string, error) {
 	if s.cfg.Anchor == nil {

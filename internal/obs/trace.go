@@ -27,6 +27,7 @@ const (
 	PhaseRecover     = "recover"      // agent restart reloaded this job
 	PhaseCancelAck   = "cancel-ack"   // site acknowledged a cancel tombstone
 	PhaseStage       = "stage"        // executable pre-staging progress (resume offsets in Detail)
+	PhaseBind        = "bind"         // deferred/elastic binding chose (or changed) the target site
 )
 
 // TraceEvent is one entry of a job's lifecycle timeline.
