@@ -11,6 +11,13 @@
 // bucket (-submit-rate, -submit-burst), and `condorg gateway` fronts the
 // control endpoint with an HTTP API that maps bearer tokens to owners.
 //
+// The agent watches every owner's proxy: `-myproxy` (with `-myproxy-user`
+// and `-myproxy-pass`) or a per-owner `-myproxy-users` file enables
+// proactive renewal — expiring proxies are re-fetched ahead of expiry
+// (-cred-renew-lead, spread per owner by -cred-renew-jitter) and
+// re-delegated in-band to the running jobs' managers, with no hold/release
+// cycle.
+//
 // `condorg serve -standby ADDR` runs the same binary as a hot standby: it
 // tails the primary's hash-chained journal stream into its own state
 // directory and promotes itself to a full agent when the primary's lease
@@ -25,7 +32,7 @@
 //
 // Usage:
 //
-//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-ha] [-standby addr] [-lease-ttl d] [-standby-poll d] [-max-submit-retries n] [-per-site-inflight n] [-max-inflight n] [-stage-chunk-size n] [-stage-streams n] [-no-stage] [-no-metrics] [-journal-partitions n] [-max-queued-per-owner n] [-max-active-per-owner n] [-submit-rate r] [-submit-burst n]
+//	condorg serve -listen 127.0.0.1:7100 -sites host:p1,host:p2 [-mds addr] [-state dir] [-sync] [-ha] [-standby addr] [-lease-ttl d] [-standby-poll d] [-max-submit-retries n] [-per-site-inflight n] [-max-inflight n] [-stage-chunk-size n] [-stage-streams n] [-no-stage] [-no-metrics] [-journal-partitions n] [-max-queued-per-owner n] [-max-active-per-owner n] [-submit-rate r] [-submit-burst n] [-myproxy addr] [-myproxy-user u] [-myproxy-pass p] [-myproxy-users file] [-cred-renew-lead d] [-cred-renew-jitter d] [-cred-renew-interval d] [-cred-renew-lifetime d]
 //	condorg gateway -listen 127.0.0.1:8080 -agent 127.0.0.1:7100 -users file
 //	condorg submit -agent 127.0.0.1:7100 [-owner u] [-site addr] program [args...]
 //	condorg q      -agent 127.0.0.1:7100 [-owner u] [-state idle,running] [-limit n] [-after job-id]
@@ -58,10 +65,12 @@ import (
 	"condorg/internal/broker"
 	"condorg/internal/condor"
 	"condorg/internal/condorg"
+	"condorg/internal/credmgr"
 	"condorg/internal/faultclass"
 	"condorg/internal/gateway"
 	"condorg/internal/glidein"
 	"condorg/internal/gridftp"
+	"condorg/internal/gsi"
 	"condorg/internal/journal"
 	"condorg/internal/mds"
 	"condorg/internal/obs"
@@ -295,6 +304,14 @@ func serve(args []string) {
 	glideinIdle := fs.Duration("glidein-idle", 0, "pilot idle window before self-retirement (0 = default 1m)")
 	glideinInterval := fs.Duration("glidein-interval", 0, "autoscaler reconciliation interval (0 = default 1s)")
 	glideinCpus := fs.Int("glidein-cpus", 0, "CPUs each pilot's private gatekeeper schedules (0 = default 4)")
+	myproxyAddr := fs.String("myproxy", "", "default MyProxy server for proactive credential renewal")
+	myproxyUser := fs.String("myproxy-user", "", "MyProxy account used for owners without a per-owner binding")
+	myproxyPass := fs.String("myproxy-pass", "", "password paired with -myproxy-user")
+	myproxyUsers := fs.String("myproxy-users", "", "per-owner MyProxy bindings file: one \"owner user pass [addr]\" line per owner")
+	credRenewLead := fs.Duration("cred-renew-lead", 0, "renew an owner's proxy once less than this lifetime remains (0 = warn threshold)")
+	credRenewJitter := fs.Duration("cred-renew-jitter", 0, "deterministic per-owner spread added to the renewal lead so a fleet of renewals staggers (0 = none)")
+	credRenewInterval := fs.Duration("cred-renew-interval", 0, "credential monitor scan period (0 = default 1m)")
+	credRenewLifetime := fs.Duration("cred-renew-lifetime", 0, "lifetime requested for auto-renewed proxies (0 = default 12h)")
 	fs.Parse(args)
 	if err := checkServeFlags(*ha, *journalPartitions); err != nil {
 		log.Fatal(err)
@@ -355,6 +372,18 @@ func serve(args []string) {
 	cfg.Tenancy.SubmitRate = *submitRate
 	cfg.Tenancy.SubmitBurst = *submitBurst
 	cfg.Tenancy.MaxPayloadBytes = *maxPayloadBytes
+	if *myproxyUsers != "" {
+		bindings, err := parseMyProxyUsers(*myproxyUsers)
+		if err != nil {
+			log.Fatal("condorg serve: ", err)
+		}
+		cfg.Tenancy.MyProxy = bindings
+	}
+	cf := credFlags{
+		addr: *myproxyAddr, user: *myproxyUser, pass: *myproxyPass,
+		usersFile: *myproxyUsers, lead: *credRenewLead, jitter: *credRenewJitter,
+		interval: *credRenewInterval, lifetime: *credRenewLifetime,
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -392,6 +421,7 @@ func serve(args []string) {
 			log.Fatal(err)
 		}
 		defer ctl.Close()
+		defer startCredMonitor(agent, cf)()
 		fmt.Printf("condorg agent (promoted): control endpoint %s (state %s)\n", ctl.Addr(), stateDir)
 		<-sig
 		fmt.Println("condorg agent: shutting down")
@@ -403,6 +433,7 @@ func serve(args []string) {
 		log.Fatal(err)
 	}
 	defer agent.Close()
+	defer startCredMonitor(agent, cf)()
 
 	ctlCfg := condorg.ControlConfig{}
 	if *glideinOn {
@@ -443,6 +474,79 @@ func checkServeFlags(ha bool, journalPartitions int) error {
 		return fmt.Errorf("condorg serve: -journal-partitions %d cannot be combined with -ha: hot-standby replication streams a single journal chain and would silently ignore the partitioning; drop one of the two flags", journalPartitions)
 	}
 	return nil
+}
+
+// credFlags carries the serve credential-lifecycle flag values.
+type credFlags struct {
+	addr      string
+	user      string
+	pass      string
+	usersFile string
+	lead      time.Duration
+	jitter    time.Duration
+	interval  time.Duration
+	lifetime  time.Duration
+}
+
+// startCredMonitor runs the multi-tenant credential monitor over the agent
+// when any MyProxy source is configured, and returns its stop function (a
+// no-op when no source is given — the monitor's warn/hold ladder is
+// pointless on an agent that holds no credentials at all).
+func startCredMonitor(agent *condorg.Agent, cf credFlags) func() {
+	if cf.addr == "" && cf.usersFile == "" {
+		return func() {}
+	}
+	mcfg := credmgr.MonitorConfig{
+		Agent:         agent,
+		RenewLead:     cf.lead,
+		RenewJitter:   cf.jitter,
+		Interval:      cf.interval,
+		RenewLifetime: cf.lifetime,
+		MyProxyUser:   cf.user,
+		MyProxyPass:   cf.pass,
+	}
+	var mc *credmgr.MyProxyClient
+	if cf.addr != "" {
+		mc = credmgr.NewMyProxyClient(cf.addr, nil, gsi.WallClock)
+		mcfg.MyProxy = mc
+	}
+	mon := credmgr.NewMonitor(mcfg)
+	mon.Start()
+	fmt.Println("condorg agent: credential monitor watching all owners")
+	return func() {
+		mon.Stop()
+		if mc != nil {
+			mc.Close()
+		}
+	}
+}
+
+// parseMyProxyUsers reads the per-owner MyProxy bindings file: one
+// "owner user pass [addr]" line per owner (blank lines and #-comments
+// ignored). Owners listed here renew from their own MyProxy account; an
+// omitted addr falls back to the -myproxy server.
+func parseMyProxyUsers(path string) (map[string]condorg.MyProxyBinding, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	bindings := make(map[string]condorg.MyProxyBinding)
+	for i, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("%s:%d: want \"owner user pass [addr]\", got %q", path, i+1, line)
+		}
+		b := condorg.MyProxyBinding{User: fields[1], Pass: fields[2]}
+		if len(fields) == 4 {
+			b.Addr = fields[3]
+		}
+		bindings[fields[0]] = b
+	}
+	return bindings, nil
 }
 
 // glideinFlags carries the serve -glidein-* flag values.

@@ -17,7 +17,7 @@ import (
 func main() {
 	addr := flag.String("listen", "127.0.0.1:0", "listen address")
 	flag.Parse()
-	srv, err := credmgr.NewMyProxyServer(credmgr.MyProxyOptions{Addr: *addr})
+	srv, err := run(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,4 +26,9 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+}
+
+// run starts the repository on listen; the caller owns the returned server.
+func run(listen string) (*credmgr.MyProxyServer, error) {
+	return credmgr.NewMyProxyServer(credmgr.MyProxyOptions{Addr: listen})
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"condorg/internal/credmgr"
+	"condorg/internal/gsi"
+)
+
+// The served repository round-trips a deposited credential: store a
+// long-lived proxy, fetch a short-lived one derived from it, destroy the
+// deposit, and confirm it is gone.
+func TestMyProxyServeRoundTrip(t *testing.T) {
+	srv, err := run("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	now := time.Now()
+	ca, err := gsi.NewCA("/O=Grid/CN=CA", now, 365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := ca.IssueUser("/O=Grid/CN=u", now, 30*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := gsi.NewProxy(user, now, 7*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mc := credmgr.NewMyProxyClient(srv.Addr(), nil, gsi.WallClock)
+	defer mc.Close()
+	if err := mc.Store("u", "hunter2", long); err != nil {
+		t.Fatal(err)
+	}
+	short, err := mc.Get("u", "hunter2", 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Subject() != "/O=Grid/CN=u" {
+		t.Fatalf("fetched proxy subject = %q", short.Subject())
+	}
+	if left := short.TimeLeft(time.Now()); left <= 0 || left > 12*time.Hour {
+		t.Fatalf("fetched proxy lifetime = %v", left)
+	}
+	if err := mc.Destroy("u", "hunter2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Get("u", "hunter2", time.Hour); err == nil {
+		t.Fatal("destroyed deposit still served")
+	}
+}

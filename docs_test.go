@@ -203,6 +203,47 @@ func TestGlideinFlagsDocumented(t *testing.T) {
 	}
 }
 
+// TestCredFlagsDocumented guards the credential-lifecycle surface: the
+// serve MyProxy/renewal flags must be registered by the CLI and
+// documented in the operator guide, the guide must keep the
+// expired-proxy runbook, and the design doc must keep the section
+// describing the renewal/re-delegation/scoping semantics they configure.
+func TestCredFlagsDocumented(t *testing.T) {
+	doc, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile("cmd/condorg/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"myproxy", "myproxy-user", "myproxy-pass", "myproxy-users",
+		"cred-renew-lead", "cred-renew-jitter", "cred-renew-interval",
+		"cred-renew-lifetime",
+	} {
+		if !strings.Contains(string(src), fmt.Sprintf("(%q,", name)) {
+			t.Errorf("cmd/condorg/main.go does not register -%s", name)
+		}
+		if !strings.Contains(string(doc), "`-"+name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document -%s", name)
+		}
+	}
+	if !strings.Contains(string(doc), "### Credential lifecycle") {
+		t.Error("docs/OPERATIONS.md lost its credential-lifecycle section")
+	}
+	if !strings.Contains(string(doc), "a proxy expired") {
+		t.Error("docs/OPERATIONS.md lost the expired-proxy runbook")
+	}
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(design), "Credential lifecycle") {
+		t.Error("DESIGN.md lost its credential-lifecycle section")
+	}
+}
+
 // TestReadmeLinksOperationsDoc: the operator guide is reachable from the
 // front page.
 func TestReadmeLinksOperationsDoc(t *testing.T) {

@@ -300,8 +300,11 @@ type Agent struct {
 	bySiteJob  map[string]string     // site job ID -> agent job ID
 	tombstoned map[string]*jobRecord // jobs with unacked cancels
 	managers   map[string]*GridManager
-	closed     bool
-	mailbox    *Mailbox
+	// creds holds per-owner refreshed proxies; owners without an entry
+	// use cfg.Credential (the agent-wide default).
+	creds   map[string]*gsi.Credential
+	closed  bool
+	mailbox *Mailbox
 
 	// obs is nil when metrics are disabled (every handle below is then a
 	// nil no-op). traceCap < 0 disables per-job timelines.
@@ -355,6 +358,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	a := &Agent{
 		cfg:        cfg,
+		creds:      make(map[string]*gsi.Credential),
 		shards:     make(map[string]*ownerShard),
 		ids:        make(map[string]*jobRecord),
 		bySiteJob:  make(map[string]string),
@@ -904,7 +908,7 @@ func (a *Agent) managerFor(owner string) *GridManager {
 	if gm, ok := a.managers[owner]; ok && !gm.done() {
 		return gm
 	}
-	gm := newGridManager(a, owner)
+	gm := newGridManager(a, owner, a.ownerCredLocked(owner))
 	a.managers[owner] = gm
 	return gm
 }
@@ -1511,57 +1515,69 @@ func (a *Agent) applyRemoteStatus(rec *jobRecord, st gram.StatusInfo) {
 	a.noteJobChange(owner)
 }
 
-// Credential returns the agent's current user proxy.
+// Credential returns the agent's default user proxy (owners refreshed
+// individually may hold a newer one — see OwnerCredential).
 func (a *Agent) Credential() *gsi.Credential {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.cfg.Credential
 }
 
-// SetCredential installs a refreshed proxy (§4.3): every GridManager's GRAM
-// client switches to it, and the refreshed proxy is re-forwarded to the
-// JobManager of every active job so the remote copies do not expire either.
-// It returns the per-job forwarding errors (sites that are down will pick
-// up the fresh credential when the GridManager reconnects).
-func (a *Agent) SetCredential(cred *gsi.Credential) map[string]error {
+// OwnerCredential returns the proxy owner's GridManager authenticates
+// with: the owner's own refreshed proxy when one has been installed, the
+// agent-wide default otherwise.
+func (a *Agent) OwnerCredential(owner string) *gsi.Credential {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ownerCredLocked(owner)
+}
+
+// ownerCredLocked is OwnerCredential under a.mu (managerFor calls it while
+// holding the lock).
+func (a *Agent) ownerCredLocked(owner string) *gsi.Credential {
+	if cred, ok := a.creds[owner]; ok {
+		return cred
+	}
+	return a.cfg.Credential
+}
+
+// SetOwnerCredential installs a refreshed proxy for one owner (§4.3): the
+// owner's GridManager switches its GRAM client to it, and an in-band
+// re-delegation task is queued for every live JobManager holding one of
+// the owner's jobs — no hold/release cycle, so running jobs keep running
+// while their remote proxies are replaced. Delivery is asynchronous on the
+// per-site pipelines; sites that are down retry at probe pace, and only an
+// exhausted retry budget falls back to hold-and-notify.
+func (a *Agent) SetOwnerCredential(owner string, cred *gsi.Credential) {
+	a.mu.Lock()
+	a.creds[owner] = cred
+	gm := a.managers[owner]
+	a.mu.Unlock()
+	if gm != nil && !gm.done() {
+		gm.gram.SetCredential(cred)
+		gm.requestCredRefresh()
+	}
+}
+
+// SetCredential installs a refreshed default proxy: every owner WITHOUT an
+// owner-specific credential (see SetOwnerCredential) switches to it and has
+// the refreshed proxy re-delegated in-band to its live JobManagers. Owners
+// renewed individually keep their own, newer proxies.
+func (a *Agent) SetCredential(cred *gsi.Credential) {
 	a.mu.Lock()
 	a.cfg.Credential = cred
-	managers := make([]*GridManager, 0, len(a.managers))
-	for _, gm := range a.managers {
+	var managers []*GridManager
+	for owner, gm := range a.managers {
+		if _, override := a.creds[owner]; override || gm.done() {
+			continue
+		}
 		managers = append(managers, gm)
 	}
 	a.mu.Unlock()
-	var recs []*jobRecord
-	for _, sh := range a.allShards() {
-		sh.mu.Lock()
-		for _, rec := range sh.active {
-			recs = append(recs, rec)
-		}
-		sh.mu.Unlock()
-	}
 	for _, gm := range managers {
 		gm.gram.SetCredential(cred)
+		gm.requestCredRefresh()
 	}
-	errs := make(map[string]error)
-	delegate := a.cfg.Delegate
-	if delegate == 0 {
-		delegate = 12 * time.Hour
-	}
-	for _, rec := range recs {
-		rec.mu.Lock()
-		contact := rec.Contact
-		skip := rec.State.Terminal() || contact.JobID == ""
-		owner := rec.Owner
-		rec.mu.Unlock()
-		if skip {
-			continue
-		}
-		gm := a.managerFor(owner)
-		if err := gm.gram.RefreshCredential(contact, delegate); err != nil {
-			errs[rec.ID] = err
-		}
-	}
-	return errs
 }
 
 // HoldAll holds every non-terminal job of owner with the given reason and

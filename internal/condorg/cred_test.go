@@ -1,0 +1,104 @@
+package condorg
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"condorg/internal/gram"
+	"condorg/internal/gsi"
+	"condorg/internal/obs"
+)
+
+// A refreshed per-owner proxy reaches the running job's JobManager in-band
+// (jm.refresh-credential on the per-site pipeline) — no hold/release cycle,
+// so the job keeps running through the renewal.
+func TestSetOwnerCredentialRedelegatesInBand(t *testing.T) {
+	w := newWorld(t, 1)
+	now := time.Now()
+	ca, err := gsi.NewCA("/O=Grid/CN=CA", now, 48*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := ca.IssueUser("/O=Grid/CN=u", now, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := gsi.NewProxy(user, now, 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := w.agent.Submit(SubmitRequest{
+		Owner: "u", Executable: gram.Program("task"), Args: []string{"800ms"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAgentState(t, w.agent, id, Running)
+
+	w.agent.SetOwnerCredential("u", proxy)
+	if got := w.agent.OwnerCredential("u"); got != proxy {
+		t.Fatalf("OwnerCredential(u) = %v, want the installed proxy", got)
+	}
+	if got := w.agent.OwnerCredential("other"); got != nil {
+		t.Fatalf("another owner inherited u's proxy: %v", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	info, err := w.agent.Wait(ctx, id)
+	if err != nil || info.State != Completed {
+		t.Fatalf("after refresh: %v %v (err=%q)", info.State, err, info.Error)
+	}
+	tl, err := w.agent.Trace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRefresh := false
+	for _, ev := range tl.Events {
+		switch ev.Phase {
+		case obs.PhaseCredRefresh:
+			if ev.Class == "" {
+				sawRefresh = true
+			}
+		case obs.PhaseHold, obs.PhaseRelease:
+			t.Fatalf("hold/release on the in-band refresh happy path: %+v", ev)
+		}
+	}
+	if !sawRefresh {
+		t.Fatalf("no successful cred-refresh event in the timeline: %+v", tl.Events)
+	}
+}
+
+// MyProxyBinding resolves per-owner entries first, then the tenancy-wide
+// default, and reports absence when neither exists.
+func TestMyProxyBindingResolution(t *testing.T) {
+	def := MyProxyBinding{Addr: "mp:9", User: "any", Pass: "p"}
+	agent, err := NewAgent(AgentConfig{
+		StateDir: t.TempDir(),
+		Selector: StaticSelector("gk:1"),
+		Tenancy: TenancyOptions{
+			MyProxy:        map[string]MyProxyBinding{"alice": {User: "alice", Pass: "a"}},
+			MyProxyDefault: &def,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if b, ok := agent.MyProxyBinding("alice"); !ok || b.User != "alice" || b.Addr != "" {
+		t.Fatalf("alice binding = %+v ok=%v", b, ok)
+	}
+	if b, ok := agent.MyProxyBinding("bob"); !ok || b != def {
+		t.Fatalf("bob binding = %+v ok=%v, want the default", b, ok)
+	}
+	bare, err := NewAgent(AgentConfig{StateDir: t.TempDir(), Selector: StaticSelector("gk:1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if _, ok := bare.MyProxyBinding("alice"); ok {
+		t.Fatal("binding reported with none configured")
+	}
+}

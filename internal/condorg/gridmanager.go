@@ -8,6 +8,7 @@ import (
 
 	"condorg/internal/faultclass"
 	"condorg/internal/gram"
+	"condorg/internal/gsi"
 	"condorg/internal/obs"
 	"condorg/internal/wire"
 )
@@ -30,6 +31,7 @@ type GridManager struct {
 	recovery    []*jobRecord // recovered with a live contact to re-verify
 	workers     map[string]*siteWorker
 	cancelBusy  map[string]bool // tombstone retries queued or running
+	credBusy    map[string]bool // in-band credential refreshes queued or running, by job ID
 	outstanding int             // tasks queued + executing across all sites
 	// stageSem caps concurrent stage-chunk streams per site across all of
 	// this owner's staging tasks (AgentConfig.Stage.Streams); stageHits and
@@ -44,15 +46,16 @@ type GridManager struct {
 	workerWG    sync.WaitGroup
 }
 
-func newGridManager(a *Agent, owner string) *GridManager {
+func newGridManager(a *Agent, owner string, cred *gsi.Credential) *GridManager {
 	gm := &GridManager{
 		agent:       a,
 		owner:       owner,
-		gram:        gram.NewClient(a.cfg.Credential, a.cfg.Clock),
+		gram:        gram.NewClient(cred, a.cfg.Clock),
 		perSite:     a.cfg.Pipeline.PerSiteInFlight,
 		batch:       a.cfg.Batch,
 		workers:     make(map[string]*siteWorker),
 		cancelBusy:  make(map[string]bool),
+		credBusy:    make(map[string]bool),
 		stageSem:    make(map[string]chan struct{}),
 		stageHits:   make(map[string]int),
 		stageMisses: make(map[string]int),
@@ -141,6 +144,7 @@ func (gm *GridManager) run() {
 	for {
 		gm.dispatchPending()
 		gm.dispatchRecovery()
+		gm.dispatchCredRefresh()
 		if gm.tryRetire() {
 			return
 		}
@@ -597,4 +601,121 @@ func (gm *GridManager) cancelAcknowledged(contact gram.JobContact) bool {
 		return false // site unreachable: keep the tombstone
 	}
 	return acked(gm.gram.Cancel(newContact))
+}
+
+// maxCredRefreshTries bounds in-band re-delegation attempts that reached
+// the network and failed; exhaustion falls back to hold-and-notify.
+// Breaker fast-fails never burn the budget — the dispatcher parks the
+// obligation until the site is worth talking to again.
+const maxCredRefreshTries = 3
+
+// requestCredRefresh flags every live remote incarnation of the owner's
+// jobs for in-band credential re-delegation (§4.3, without the paper's
+// hold/release cycle). Called after SetOwnerCredential/SetCredential
+// installs a fresh proxy; the dispatcher routes the deliveries through the
+// per-site pipelines.
+func (gm *GridManager) requestCredRefresh() {
+	for _, rec := range gm.agent.activeJobs(gm.owner) {
+		rec.mu.Lock()
+		if !rec.State.Terminal() && rec.State != Held && rec.Contact.JobID != "" {
+			rec.credRefresh = true
+			rec.credRefreshTries = 0
+		}
+		rec.mu.Unlock()
+	}
+	gm.poke()
+}
+
+// dispatchCredRefresh queues one re-delegation task per flagged job whose
+// site is currently worth talking to. Breaker-open sites park the
+// obligation (re-examined every pass) rather than burning the retry
+// budget on attempts that cannot reach the network.
+func (gm *GridManager) dispatchCredRefresh() {
+	for _, rec := range gm.agent.activeJobs(gm.owner) {
+		rec.mu.Lock()
+		skip := rec.State.Terminal() || rec.State == Held ||
+			!rec.credRefresh || rec.Contact.JobID == ""
+		addr := rec.Contact.GatekeeperAddr
+		rec.mu.Unlock()
+		if skip || !gm.gram.SiteReady(addr) {
+			continue
+		}
+		gm.mu.Lock()
+		if gm.finished || gm.credBusy[rec.ID] {
+			gm.mu.Unlock()
+			continue
+		}
+		gm.credBusy[rec.ID] = true
+		gm.mu.Unlock()
+		gm.enqueueTask(addr, gmTask{kind: taskRefreshCred, rec: rec})
+	}
+}
+
+// refreshJobCred pushes the owner's refreshed proxy to one job's live
+// JobManager (a taskRefreshCred body) via jm.refresh-credential — the
+// in-band path that replaces the remote proxy without disturbing the
+// running job. Failure policy: breaker fast-fails and transient errors
+// retry (the latter up to maxCredRefreshTries); a peer predating the
+// refresh verb or a permanent rejection falls back to hold-and-notify, the
+// §4.3 response when re-delegation needs a human.
+func (gm *GridManager) refreshJobCred(rec *jobRecord) {
+	rec.mu.Lock()
+	if rec.State.Terminal() || rec.State == Held || !rec.credRefresh || rec.Contact.JobID == "" {
+		rec.mu.Unlock()
+		return
+	}
+	contact := rec.Contact
+	rec.mu.Unlock()
+	delegate := gm.agent.cfg.Delegate
+	if delegate == 0 {
+		delegate = 12 * time.Hour
+	}
+	err := gm.gram.RefreshCredential(contact, delegate)
+	if err == nil {
+		rec.mu.Lock()
+		rec.credRefresh = false
+		rec.credRefreshTries = 0
+		gm.agent.traceLocked(rec, obs.PhaseCredRefresh, "",
+			"refreshed credential delivered in-band to "+contact.JobManagerAddr)
+		rec.mu.Unlock()
+		gm.agent.obs.Counter(obs.Key("cred_redelegations_total", "outcome", "ok")).Inc()
+		gm.agent.log(rec, "CRED_REFRESH", "refreshed credential delivered to %s", contact.JobManagerAddr)
+		return
+	}
+	if errors.Is(err, faultclass.ErrBreakerOpen) {
+		return // parked; the dispatcher re-queues once the site recovers
+	}
+	class := faultclass.ClassOf(err)
+	if wire.IsNoSuchMethod(err) {
+		// A peer from before the refresh verb: fall back to the paper's
+		// hold/release re-forwarding — the hold tombstone-cancels the
+		// remote copy (which holds the stale proxy) and the release
+		// resubmits under the fresh credential.
+		rec.mu.Lock()
+		rec.credRefresh = false
+		id := rec.ID
+		rec.mu.Unlock()
+		gm.agent.obs.Counter(obs.Key("cred_redelegations_total", "outcome", "unsupported")).Inc()
+		gm.agent.log(rec, "CRED_REFRESH", "site predates in-band refresh; falling back to hold/release")
+		if gm.agent.Hold(id, "credential refresh unsupported by site; recycling the incarnation") == nil {
+			_ = gm.agent.Release(id)
+		}
+		return
+	}
+	rec.mu.Lock()
+	rec.credRefreshTries++
+	n := rec.credRefreshTries
+	gm.agent.traceLocked(rec, obs.PhaseCredRefresh, class.String(), "re-delegation failed: "+err.Error())
+	exhausted := n >= maxCredRefreshTries ||
+		class == faultclass.Permanent || class == faultclass.AuthExpired
+	if exhausted {
+		rec.credRefresh = false
+	}
+	rec.mu.Unlock()
+	if !exhausted {
+		gm.agent.obs.Counter(obs.Key("cred_redelegations_total", "outcome", "retry")).Inc()
+		return // still flagged; the next dispatch pass retries
+	}
+	gm.agent.obs.Counter(obs.Key("cred_redelegations_total", "outcome", "fallback")).Inc()
+	gm.holdJob(rec, fmt.Sprintf("credential re-delegation to %s failed (%v)", contact.JobManagerAddr, err))
 }

@@ -39,6 +39,7 @@ const (
 	taskStage                       // chunked executable pre-stage to the site
 	taskBatchProbe                  // coalesced §4.2 probe of several jobs at one site
 	taskBatchCancel                 // coalesced cancel of several tombstones at one site
+	taskRefreshCred                 // in-band credential re-delegation to one job manager
 )
 
 func (k taskKind) String() string {
@@ -57,6 +58,8 @@ func (k taskKind) String() string {
 		return "batch-probe"
 	case taskBatchCancel:
 		return "batch-cancel"
+	case taskRefreshCred:
+		return "refresh-cred"
 	}
 	return "unknown"
 }
@@ -250,6 +253,8 @@ func (gm *GridManager) runTask(t gmTask) {
 		gm.probeBatch(t.recs)
 	case taskBatchCancel:
 		gm.cancelBatch(t.pairs)
+	case taskRefreshCred:
+		gm.refreshJobCred(t.rec)
 	}
 }
 
@@ -283,6 +288,12 @@ func (gm *GridManager) endTask(t gmTask) {
 			rec.opBusy = false
 			rec.mu.Unlock()
 		}
+	case taskRefreshCred:
+		// Re-delegations are keyed by job in credBusy, not opBusy: the
+		// refresh may run alongside a probe — they touch disjoint verbs.
+		gm.mu.Lock()
+		delete(gm.credBusy, t.rec.ID)
+		gm.mu.Unlock()
 	default:
 		t.rec.mu.Lock()
 		t.rec.opBusy = false

@@ -55,6 +55,38 @@ type TenancyOptions struct {
 	// MaxPayloadBytes caps the executable+stdin bytes of one submit
 	// (0 = unlimited).
 	MaxPayloadBytes int
+	// MyProxy binds owners to the MyProxy accounts their proxies are
+	// proactively renewed from (credmgr.Monitor reads the bindings via
+	// Agent.MyProxyBinding). Owners without an entry fall back to
+	// MyProxyDefault.
+	MyProxy map[string]MyProxyBinding
+	// MyProxyDefault, when non-nil, is the renewal binding for owners
+	// not named in MyProxy.
+	MyProxyDefault *MyProxyBinding
+}
+
+// MyProxyBinding names the MyProxy account one owner's short-lived proxies
+// are renewed from. The binding lives in agent configuration (not credmgr)
+// so serve-flag wiring and the monitor share one source of truth.
+type MyProxyBinding struct {
+	// Addr is the MyProxy server address; empty means the monitor's
+	// default server.
+	Addr string
+	// User and Pass authenticate the renewal fetch.
+	User string
+	Pass string
+}
+
+// MyProxyBinding returns owner's credential-renewal binding, falling back
+// to the tenancy-wide default; ok is false when neither is configured.
+func (a *Agent) MyProxyBinding(owner string) (MyProxyBinding, bool) {
+	if b, ok := a.cfg.Tenancy.MyProxy[owner]; ok {
+		return b, true
+	}
+	if d := a.cfg.Tenancy.MyProxyDefault; d != nil {
+		return *d, true
+	}
+	return MyProxyBinding{}, false
 }
 
 // ownerShard is one owner's stripe of the job table: its own lock, its

@@ -183,6 +183,13 @@ type jobRecord struct {
 	// job concurrently. Guarded by mu; cancels of OLD incarnations are
 	// tracked separately (they touch disjoint remote state).
 	opBusy bool
+	// credRefresh marks an in-band credential re-delegation owed to this
+	// job's live JobManager; credRefreshTries counts attempts that reached
+	// the network and failed. Guarded by mu but deliberately not persisted:
+	// after an agent crash the credential monitor's next scan re-issues the
+	// obligation, so journaling it would only add write amplification.
+	credRefresh      bool
+	credRefreshTries int
 	// persistMu serializes snapshot+journal-write pairs for this record:
 	// without it two workers could persist the same record with the older
 	// snapshot landing after the newer one. Taken around mu, never inside.

@@ -2,6 +2,7 @@ package credmgr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -183,7 +184,7 @@ func TestRefreshReleasesAndCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := mon.Refresh(fresh)
+	res := mon.Refresh("jfrey", fresh)
 	if len(res.Released) != 1 || res.Released[0] != id {
 		t.Fatalf("released = %v", res.Released)
 	}
@@ -309,16 +310,15 @@ func TestAutoRenewalFromMyProxy(t *testing.T) {
 	if len(res.Held) != 0 {
 		t.Fatalf("auto-renewal still held jobs: %v", res.Held)
 	}
-	if left := w.agent.Credential().TimeLeft(w.clk.Now()); left < 11*time.Hour {
-		t.Fatalf("agent credential lifetime after renewal = %v", left)
+	if left := w.agent.OwnerCredential("jfrey").TimeLeft(w.clk.Now()); left < 11*time.Hour {
+		t.Fatalf("owner credential lifetime after renewal = %v", left)
 	}
 	info, _ := w.agent.Status(id)
 	if info.State == condorg.Held {
 		t.Fatal("job held despite auto-renewal")
 	}
-	_, renewals := mon.Stats()
-	if renewals != 1 {
-		t.Fatalf("renewals = %d", renewals)
+	if got := mon.Stats(); got.Renewals != 1 || got.LastErr != nil {
+		t.Fatalf("stats after renewal = %+v", got)
 	}
 }
 
@@ -332,7 +332,7 @@ func TestMonitorStartStop(t *testing.T) {
 	mon.Start() // idempotent
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if scans, _ := mon.Stats(); scans >= 3 {
+		if mon.Stats().Scans >= 3 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -341,9 +341,149 @@ func TestMonitorStartStop(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	mon.Stop()
-	scans, _ := mon.Stats()
+	scans := mon.Stats().Scans
 	time.Sleep(50 * time.Millisecond)
-	if after, _ := mon.Stats(); after != scans {
+	if after := mon.Stats().Scans; after != scans {
 		t.Fatal("monitor kept scanning after Stop")
+	}
+}
+
+// One scan loop covers every owner with queued jobs, and each owner renews
+// from their own MyProxy binding — the refreshed proxies carry the right
+// identities.
+func TestMultiOwnerRenewalPerBinding(t *testing.T) {
+	w := newWorld(t)
+	alice, err := w.ca.IssueUser("/O=Grid/CN=alice", w.clk.Now(), 30*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srvJ, _ := NewMyProxyServer(MyProxyOptions{Clock: w.clk.Now})
+	defer srvJ.Close()
+	srvA, _ := NewMyProxyServer(MyProxyOptions{Clock: w.clk.Now})
+	defer srvA.Close()
+	longJ, _ := gsi.NewProxy(w.user, w.clk.Now(), 7*24*time.Hour)
+	longA, _ := gsi.NewProxy(alice, w.clk.Now(), 7*24*time.Hour)
+	mcJ := NewMyProxyClient(srvJ.Addr(), nil, w.clk.Now)
+	defer mcJ.Close()
+	mcA := NewMyProxyClient(srvA.Addr(), nil, w.clk.Now)
+	defer mcA.Close()
+	if err := mcJ.Store("jfrey", "pj", longJ); err != nil {
+		t.Fatal(err)
+	}
+	if err := mcA.Store("alice", "pa", longA); err != nil {
+		t.Fatal(err)
+	}
+
+	proxy, _ := gsi.NewProxy(w.user, w.clk.Now(), 2*time.Hour)
+	agent, err := condorg.NewAgent(condorg.AgentConfig{
+		StateDir:   t.TempDir(),
+		Credential: proxy,
+		Clock:      w.clk.Now,
+		Selector:   condorg.StaticSelector(w.site.GatekeeperAddr()),
+		Probe:      condorg.ProbeOptions{Interval: 40 * time.Millisecond},
+		Tenancy: condorg.TenancyOptions{MyProxy: map[string]condorg.MyProxyBinding{
+			"jfrey": {Addr: srvJ.Addr(), User: "jfrey", Pass: "pj"},
+			"alice": {Addr: srvA.Addr(), User: "alice", Pass: "pa"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	for _, owner := range []string{"jfrey", "alice"} {
+		if _, err := agent.Submit(condorg.SubmitRequest{
+			Owner: owner, Executable: gram.Program("task"), Args: []string{"30s"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mon := NewMonitor(MonitorConfig{
+		Agent: agent, Clock: w.clk.Now, WarnThreshold: time.Hour,
+		RenewLifetime: 12 * time.Hour,
+	})
+	defer mon.Stop()
+	w.clk.Advance(90 * time.Minute) // both owners down to 30m
+	res := mon.Scan()
+	if len(res.Owners) != 2 {
+		t.Fatalf("scanned owners = %+v", res.Owners)
+	}
+	for _, os := range res.Owners {
+		if !os.Renewed || os.Err != nil || len(os.Held) != 0 {
+			t.Fatalf("owner %q not renewed cleanly: %+v", os.Owner, os)
+		}
+	}
+	if got := mon.Stats().Renewals; got != 2 {
+		t.Fatalf("renewals = %d", got)
+	}
+	// Each owner's fresh proxy came from *their* server: the subjects differ.
+	if s := agent.OwnerCredential("jfrey").Subject(); s != "/O=Grid/CN=jfrey" {
+		t.Fatalf("jfrey renewed as %q", s)
+	}
+	if s := agent.OwnerCredential("alice").Subject(); s != "/O=Grid/CN=alice" {
+		t.Fatalf("alice renewed as %q", s)
+	}
+}
+
+// A failed renewal is not swallowed: Stats carries a typed *ScanError, the
+// owner is notified, and the warn/hold ladder still runs on the old proxy.
+func TestScanErrorSurfaced(t *testing.T) {
+	w := newWorld(t)
+	id := w.submitLong(t)
+	srv, _ := NewMyProxyServer(MyProxyOptions{Clock: w.clk.Now})
+	defer srv.Close()
+	mc := NewMyProxyClient(srv.Addr(), nil, w.clk.Now)
+	defer mc.Close()
+	// Nothing stored under "jfrey": every renewal attempt fails.
+	mon := NewMonitor(MonitorConfig{
+		Agent: w.agent, Owner: "jfrey", Clock: w.clk.Now, WarnThreshold: time.Hour,
+		MyProxy: mc, MyProxyUser: "jfrey", MyProxyPass: "nope",
+	})
+	w.clk.Advance(90 * time.Minute)
+	res := mon.Scan()
+	if len(res.Owners) != 1 || res.Owners[0].Err == nil {
+		t.Fatalf("scan error not reported: %+v", res.Owners)
+	}
+	if !res.Warned {
+		t.Fatal("failed renewal suppressed the expiry warning")
+	}
+	var se *ScanError
+	if err := mon.Stats().LastErr; !errors.As(err, &se) || se.Owner != "jfrey" || se.Op != "renew" {
+		t.Fatalf("Stats().LastErr = %v", err)
+	}
+	found := false
+	for _, m := range w.agent.Mailbox().Messages("jfrey") {
+		if strings.Contains(m.Subject, "renewal failed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no renewal-failure notification")
+	}
+	// The proxy eventually expires with renewal still failing: jobs hold.
+	w.clk.Advance(time.Hour)
+	if res := mon.Scan(); len(res.Held) != 1 || res.Held[0] != id {
+		t.Fatalf("expiry with broken MyProxy did not hold: %+v", res)
+	}
+}
+
+// The per-owner renewal jitter is deterministic and bounded.
+func TestRenewJitterDeterministic(t *testing.T) {
+	mon := NewMonitor(MonitorConfig{
+		Agent: nil, Clock: gsi.WallClock,
+		RenewLead: time.Hour, RenewJitter: 30 * time.Minute,
+	})
+	a, b := mon.leadFor("alice"), mon.leadFor("bob")
+	for _, d := range []time.Duration{a, b} {
+		if d < time.Hour || d >= 90*time.Minute {
+			t.Fatalf("lead %v outside [1h, 1h30m)", d)
+		}
+	}
+	if a == b {
+		t.Fatal("distinct owners landed on identical jittered leads")
+	}
+	if mon.leadFor("alice") != a {
+		t.Fatal("jitter not stable across calls")
 	}
 }

@@ -264,17 +264,7 @@ func (c *Client) BatchSubmit(gkAddr string, entries []BatchSubmitEntry) ([]Batch
 			sr.Capability = data
 		}
 		if e.Opts.Delegate > 0 {
-			c.mu.Lock()
-			cred := c.cred
-			c.mu.Unlock()
-			if cred == nil {
-				return nil, fmt.Errorf("gram: delegation requested without a credential")
-			}
-			proxy, err := gsi.Delegate(cred, c.clock(), e.Opts.Delegate)
-			if err != nil {
-				return nil, fmt.Errorf("gram: delegate: %w", err)
-			}
-			data, err := gsi.EncodeCredential(proxy)
+			data, err := c.delegateFor(gkAddr, e.Opts.Delegate)
 			if err != nil {
 				return nil, err
 			}

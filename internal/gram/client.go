@@ -273,6 +273,24 @@ type SubmitOptions struct {
 	Capability *gsi.Capability
 }
 
+// delegateFor mints the site-scoped delegation payload for a request bound
+// to gkAddr: a fresh proxy whose chain names the gatekeeper it is for, so
+// the receiving site can exercise it locally but cannot replay it against
+// any other site (restricted delegation, §4.3 / mediated-delegation model).
+func (c *Client) delegateFor(gkAddr string, lifetime time.Duration) ([]byte, error) {
+	c.mu.Lock()
+	cred := c.cred
+	c.mu.Unlock()
+	if cred == nil {
+		return nil, fmt.Errorf("gram: delegation requested without a credential")
+	}
+	proxy, err := gsi.DelegateScoped(cred, gkAddr, c.clock(), lifetime)
+	if err != nil {
+		return nil, fmt.Errorf("gram: delegate: %w", err)
+	}
+	return gsi.EncodeCredential(proxy)
+}
+
 // Submit runs phase one of the two-phase commit: the request travels with
 // the submission ID, and a lost response is recovered by retrying the same
 // wire sequence number. On success the job exists at the site in
@@ -287,17 +305,7 @@ func (c *Client) Submit(gkAddr string, spec JobSpec, opts SubmitOptions) (JobCon
 		req.Capability = data
 	}
 	if opts.Delegate > 0 {
-		c.mu.Lock()
-		cred := c.cred
-		c.mu.Unlock()
-		if cred == nil {
-			return JobContact{}, fmt.Errorf("gram: delegation requested without a credential")
-		}
-		proxy, err := gsi.Delegate(cred, c.clock(), opts.Delegate)
-		if err != nil {
-			return JobContact{}, fmt.Errorf("gram: delegate: %w", err)
-		}
-		data, err := gsi.EncodeCredential(proxy)
+		data, err := c.delegateFor(gkAddr, opts.Delegate)
 		if err != nil {
 			return JobContact{}, err
 		}
@@ -407,18 +415,11 @@ func (c *Client) RestartJobManager(contact JobContact) (JobContact, error) {
 }
 
 // RefreshCredential re-forwards a fresh proxy to the job's site (§4.3).
+// The forwarded proxy is scoped to the job's gatekeeper like the original
+// submit-time delegation, and the call is in-band: the running JobManager
+// swaps credentials without the job being held or interrupted.
 func (c *Client) RefreshCredential(contact JobContact, lifetime time.Duration) error {
-	c.mu.Lock()
-	cred := c.cred
-	c.mu.Unlock()
-	if cred == nil {
-		return fmt.Errorf("gram: no credential to forward")
-	}
-	proxy, err := gsi.Delegate(cred, c.clock(), lifetime)
-	if err != nil {
-		return err
-	}
-	data, err := gsi.EncodeCredential(proxy)
+	data, err := c.delegateFor(contact.GatekeeperAddr, lifetime)
 	if err != nil {
 		return err
 	}

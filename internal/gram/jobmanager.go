@@ -131,12 +131,15 @@ func (jm *JobManager) handleRefreshCredential(peer string, body json.RawMessage)
 	if err != nil {
 		return nil, err
 	}
+	// The refreshed proxy passes the same vetting as the submit-time
+	// delegation — chain verification plus site scope — so a renewed
+	// credential cannot launder away the original restriction, and a proxy
+	// refreshed for another site is refused with a Permanent fault.
+	if err := jm.site.checkDelegated(cred); err != nil {
+		return nil, err
+	}
 	if jm.site.cfg.Anchor != nil {
-		subject, err := gsi.VerifyChain(cred.Chain, jm.site.cfg.Anchor, jm.site.cfg.Clock())
-		if err != nil {
-			return nil, fmt.Errorf("gram: refreshed credential: %w", err)
-		}
-		if subject != peer {
+		if subject := cred.Subject(); subject != peer {
 			return nil, fmt.Errorf("gram: refreshed credential subject %s != peer %s", subject, peer)
 		}
 	}

@@ -411,8 +411,8 @@ func (s *Site) submitOne(peer string, req submitReq) (submitResp, error) {
 		if err != nil {
 			return submitResp{}, fmt.Errorf("gram: bad delegated credential: %w", err)
 		}
-		if _, err := gsi.VerifyChain(cred.Chain, s.cfg.Anchor, s.cfg.Clock()); s.cfg.Anchor != nil && err != nil {
-			return submitResp{}, fmt.Errorf("gram: delegated credential: %w", err)
+		if err := s.checkDelegated(cred); err != nil {
+			return submitResp{}, err
 		}
 	}
 
@@ -468,6 +468,31 @@ func (s *Site) submitOne(peer string, req submitReq) (submitResp, error) {
 		s.persist(job)
 	}
 	return submitResp{JobID: id, JobManagerAddr: jm.Addr()}, nil
+}
+
+// checkDelegated vets a proxy forwarded to this site: the chain must
+// verify against the trust anchor (when one is configured) and any
+// delegation scope in the chain must name this gatekeeper. A proxy minted
+// for another site is refused with a Permanent fault — retrying cannot
+// change the verdict, and classifying it Transient would burn the
+// submitter's retry budget against a correctness rejection.
+func (s *Site) checkDelegated(cred *gsi.Credential) error {
+	self := s.GatekeeperAddr()
+	if s.cfg.Anchor != nil {
+		if _, err := gsi.VerifyChainAt(cred.Chain, s.cfg.Anchor, self, s.cfg.Clock()); err != nil {
+			if errors.Is(err, gsi.ErrScope) {
+				return faultclass.New(faultclass.Permanent, fmt.Errorf("gram: delegated credential: %w", err))
+			}
+			return fmt.Errorf("gram: delegated credential: %w", err)
+		}
+		return nil
+	}
+	// Open (anchorless) grids still honor the restriction: the scope is a
+	// statement of intent by the delegator, meaningful without a PKI.
+	if err := gsi.CheckScope(cred.Chain, self); err != nil {
+		return faultclass.New(faultclass.Permanent, fmt.Errorf("gram: delegated credential: %w", err))
+	}
+	return nil
 }
 
 // expireUncommitted discards a submission whose commit never arrived.

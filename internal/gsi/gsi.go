@@ -6,11 +6,26 @@
 // the delegation chain to a trusted CA and enforces every lifetime on the
 // path, so capturing a proxy buys an adversary only its remaining minutes.
 //
+// Renewal contract (§4.3): proxies are deliberately short-lived, so the
+// agent renews them ahead of expiry (internal/credmgr) and re-forwards the
+// fresh proxy to every remote service still holding a stale copy via
+// Delegate/DelegateScoped. A remote copy never outlives the proxy it was
+// derived from — lifetimes clamp to the parent's remaining window — and a
+// renewed proxy is a new chain, never a mutated old one.
+//
+// Scoping contract (mediated delegation): DelegateScoped embeds the target
+// site's identity in the delegated certificate itself, covered by the
+// signature. A scoped proxy presented anywhere other than the site named
+// in its chain fails verification (VerifyChainAt, ErrScope), so a
+// compromised site cannot replay the proxies delegated to it against the
+// rest of the grid. Scope can be narrowed along a chain but never widened:
+// a proxy derived from a scoped parent inherits the restriction.
+//
 // Substitution note (see DESIGN.md): the paper's GSI rides on X.509/SSL; we
 // use Ed25519 with a compact JSON certificate encoding. The security
 // semantics every experiment depends on — single sign-on, finite proxy
-// lifetimes, chain verification, gridmap authorization — are implemented
-// with real signatures, not stubs.
+// lifetimes, chain verification, gridmap authorization, restricted
+// delegation — are implemented with real signatures, not stubs.
 package gsi
 
 import (
@@ -42,7 +57,14 @@ type Certificate struct {
 	NotAfter  time.Time         `json:"not_after"`
 	IsProxy   bool              `json:"is_proxy"`
 	Serial    uint64            `json:"serial"`
-	Signature []byte            `json:"signature"`
+	// Scope, when non-empty, restricts where the certificate may be
+	// presented: the gatekeeper address of the one site this delegation is
+	// for. It is covered by the signature (tbs marshals the whole
+	// certificate), so a site cannot strip or rewrite the restriction; the
+	// empty value (the common case, omitted from the encoding) leaves
+	// pre-scoping signatures valid unchanged.
+	Scope     string `json:"scope,omitempty"`
+	Signature []byte `json:"signature"`
 }
 
 // tbs returns the to-be-signed encoding of the certificate.
@@ -177,6 +199,12 @@ func (ca *CA) IssueUser(subject string, now time.Time, validity time.Duration) (
 // the parent's key never leaves the caller. Proxy lifetime is clamped to
 // the parent's remaining lifetime, as in GSI.
 func NewProxy(parent *Credential, now time.Time, lifetime time.Duration) (*Credential, error) {
+	// A proxy derived from a scoped parent inherits the restriction: the
+	// narrowing survives further delegation and can never be shed.
+	return newProxy(parent, now, lifetime, ChainScope(parent.Chain))
+}
+
+func newProxy(parent *Credential, now time.Time, lifetime time.Duration, scope string) (*Credential, error) {
 	if parent.Expired(now) {
 		return nil, ErrExpired
 	}
@@ -196,6 +224,7 @@ func NewProxy(parent *Credential, now time.Time, lifetime time.Duration) (*Crede
 		NotAfter:  now.Add(lifetime),
 		IsProxy:   true,
 		Serial:    leaf.Serial,
+		Scope:     scope,
 	}
 	cert.Signature = parent.Sign(cert.tbs())
 	chain := append([]*Certificate{cert}, parent.Chain...)
@@ -209,7 +238,32 @@ var (
 	ErrBadChain     = errors.New("gsi: malformed certificate chain")
 	ErrUntrusted    = errors.New("gsi: chain does not terminate at a trusted CA")
 	ErrUnauthorized = errors.New("gsi: subject not authorized (no gridmap entry)")
+	ErrScope        = errors.New("gsi: credential scoped to another site")
 )
+
+// ChainScope returns the effective delegation scope of a chain: the
+// leaf-most non-empty Scope, or "" when the chain is unrestricted.
+func ChainScope(chain []*Certificate) string {
+	for _, cert := range chain {
+		if cert.Scope != "" {
+			return cert.Scope
+		}
+	}
+	return ""
+}
+
+// CheckScope enforces the restricted-delegation rule: every scoped
+// certificate in the chain must name site. It is deliberately independent
+// of signature verification so callers without a trust anchor (open test
+// grids) can still refuse obviously misdirected proxies.
+func CheckScope(chain []*Certificate, site string) error {
+	for _, cert := range chain {
+		if cert.Scope != "" && cert.Scope != site {
+			return fmt.Errorf("%w: delegated to %q, presented at %q", ErrScope, cert.Scope, site)
+		}
+	}
+	return nil
+}
 
 // VerifyChain validates a certificate chain against a trust anchor at time
 // now: every signature must verify, every validity window must contain now,
@@ -254,6 +308,23 @@ func VerifyChain(chain []*Certificate, anchor *Certificate, now time.Time) (stri
 		}
 	}
 	return "", ErrBadChain
+}
+
+// VerifyChainAt validates a chain like VerifyChain and additionally
+// enforces delegation scope at the named site: a chain carrying any scope
+// other than site fails with ErrScope. Services that receive delegated
+// credentials (a gatekeeper accepting a submit, a JobManager accepting a
+// refresh) verify with this form so a proxy minted for one site is inert
+// everywhere else.
+func VerifyChainAt(chain []*Certificate, anchor *Certificate, site string, now time.Time) (string, error) {
+	subject, err := VerifyChain(chain, anchor, now)
+	if err != nil {
+		return "", err
+	}
+	if err := CheckScope(chain, site); err != nil {
+		return "", err
+	}
+	return subject, nil
 }
 
 // Gridmap maps authenticated grid subjects to local account names — the

@@ -1,0 +1,104 @@
+package gsi
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestScopedDelegationVerifiesAtItsSite(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=jfrey", t0, 30*24*time.Hour)
+	proxy, _ := NewProxy(user, t0, 12*time.Hour)
+	del, err := DelegateScoped(proxy, "127.0.0.1:7001", t0, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ChainScope(del.Chain); got != "127.0.0.1:7001" {
+		t.Fatalf("ChainScope = %q", got)
+	}
+	subject, err := VerifyChainAt(del.Chain, ca.Certificate(), "127.0.0.1:7001", t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subject != "/O=Grid/CN=jfrey" {
+		t.Fatalf("subject = %q", subject)
+	}
+}
+
+func TestScopedDelegationRejectedElsewhere(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=jfrey", t0, 30*24*time.Hour)
+	del, err := DelegateScoped(user, "siteA:7001", t0, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyChainAt(del.Chain, ca.Certificate(), "siteB:7002", t0.Add(time.Hour)); !errors.Is(err, ErrScope) {
+		t.Fatalf("wrong-site verify error = %v, want ErrScope", err)
+	}
+	if err := CheckScope(del.Chain, "siteB:7002"); !errors.Is(err, ErrScope) {
+		t.Fatalf("CheckScope = %v, want ErrScope", err)
+	}
+}
+
+// The scope rides under the signature: a site rewriting (or stripping) the
+// restriction invalidates the certificate.
+func TestScopeTamperRejected(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=jfrey", t0, 30*24*time.Hour)
+	del, err := DelegateScoped(user, "siteA:7001", t0, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Chain[0].Scope = "siteB:7002"
+	if _, err := VerifyChainAt(del.Chain, ca.Certificate(), "siteB:7002", t0.Add(time.Hour)); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("rewritten scope error = %v, want ErrBadSignature", err)
+	}
+	del.Chain[0].Scope = ""
+	if _, err := VerifyChain(del.Chain, ca.Certificate(), t0.Add(time.Hour)); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("stripped scope error = %v, want ErrBadSignature", err)
+	}
+}
+
+// Scope only narrows: re-delegating a site-scoped proxy to a different
+// site is refused at mint time, and a proxy derived from a scoped parent
+// inherits the restriction.
+func TestScopeCannotWiden(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=jfrey", t0, 30*24*time.Hour)
+	del, err := DelegateScoped(user, "siteA:7001", t0, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DelegateScoped(del, "siteB:7002", t0, time.Hour); !errors.Is(err, ErrScope) {
+		t.Fatalf("re-scope error = %v, want ErrScope", err)
+	}
+	child, err := NewProxy(del, t0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := child.Leaf().Scope; got != "siteA:7001" {
+		t.Fatalf("derived proxy scope = %q, want inherited siteA:7001", got)
+	}
+	if _, err := VerifyChainAt(child.Chain, ca.Certificate(), "siteB:7002", t0.Add(time.Minute)); !errors.Is(err, ErrScope) {
+		t.Fatalf("derived proxy at wrong site = %v, want ErrScope", err)
+	}
+	// Same-site re-delegation stays legal (a site refreshing its own copy).
+	if _, err := DelegateScoped(del, "siteA:7001", t0, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Unscoped chains predate the Scope field; their signatures and their
+// acceptance at any site must be unaffected.
+func TestUnscopedChainUnaffectedByScopeCheck(t *testing.T) {
+	ca := newTestCA(t)
+	user, _ := ca.IssueUser("/O=Grid/CN=jfrey", t0, 30*24*time.Hour)
+	proxy, _ := NewProxy(user, t0, 12*time.Hour)
+	if got := ChainScope(proxy.Chain); got != "" {
+		t.Fatalf("ChainScope = %q, want empty", got)
+	}
+	if _, err := VerifyChainAt(proxy.Chain, ca.Certificate(), "any-site:9", t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+}

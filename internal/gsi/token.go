@@ -91,6 +91,22 @@ func Delegate(cred *Credential, now time.Time, lifetime time.Duration) (*Credent
 	return NewProxy(cred, now, lifetime)
 }
 
+// DelegateScoped derives a delegation proxy restricted to one site: the
+// site's identity (its gatekeeper address) is embedded in the delegated
+// certificate under the signature, so the receiving site can use the proxy
+// locally but cannot replay it against any other site (VerifyChainAt /
+// CheckScope reject it with ErrScope). Scope only narrows: delegating from
+// an already-scoped credential to a different site is refused.
+func DelegateScoped(cred *Credential, site string, now time.Time, lifetime time.Duration) (*Credential, error) {
+	if site == "" {
+		return nil, fmt.Errorf("%w: empty delegation scope", ErrScope)
+	}
+	if have := ChainScope(cred.Chain); have != "" && have != site {
+		return nil, fmt.Errorf("%w: cannot re-scope a %q delegation to %q", ErrScope, have, site)
+	}
+	return newProxy(cred, now, lifetime, site)
+}
+
 // EncodeCredential serializes a credential (including its private key) for
 // transport inside an already-authenticated delegation message.
 func EncodeCredential(c *Credential) ([]byte, error) { return json.Marshal(c) }

@@ -28,6 +28,7 @@ const (
 	PhaseCancelAck   = "cancel-ack"   // site acknowledged a cancel tombstone
 	PhaseStage       = "stage"        // executable pre-staging progress (resume offsets in Detail)
 	PhaseBind        = "bind"         // deferred/elastic binding chose (or changed) the target site
+	PhaseCredRefresh = "cred-refresh" // refreshed credential re-delegated in-band to the job manager
 )
 
 // TraceEvent is one entry of a job's lifecycle timeline.

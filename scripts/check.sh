@@ -20,12 +20,13 @@ go vet ./...
 
 # The multi-tenant API surface is public contract: every exported
 # top-level identifier in the gateway, the wire substrate, the
-# control-plane types, and the glidein autoscaler must carry a doc
-# comment. (A grep-level check, so it stays dependency-free; grouped
-# decl blocks are out of scope.)
+# control-plane types, the glidein autoscaler, the credential manager,
+# and the GSI layer must carry a doc comment. (A grep-level check, so it
+# stays dependency-free; grouped decl blocks are out of scope.)
 doc_lint_files=$(ls internal/gateway/*.go internal/wire/*.go \
     internal/condorg/control.go internal/condorg/controlv1.go \
-    internal/condorg/tenancy.go internal/glidein/*.go | grep -v _test.go)
+    internal/condorg/tenancy.go internal/glidein/*.go \
+    internal/credmgr/*.go internal/gsi/*.go | grep -v _test.go)
 undocumented=$(awk '
     (/^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/) && prev !~ /^\/\// {
         printf "%s:%d: exported declaration without doc comment: %s\n", FILENAME, FNR, $0
